@@ -1,0 +1,116 @@
+// Ablations of AARC's design choices (DESIGN.md §5):
+//   1. priority ordering: cost-keyed max-heap vs FIFO;
+//   2. step policy: proportional-headroom vs fixed-units initial steps;
+//   3. accept-side step halving: on (geometric refinement) vs off (paper's
+//      narrowest reading: only reverts shrink the step);
+//   4. FUNC_TRIAL backoff budget;
+//   5. robustness: execution-noise level and cold-start injection.
+//
+// Each variant reports samples spent, sampling runtime, and the final
+// configuration's validated cost — so the table shows what each mechanism
+// buys.
+
+#include <iostream>
+
+#include "aarc/scheduler.h"
+#include "platform/profiler.h"
+#include "support/table.h"
+#include "workloads/catalog.h"
+
+namespace {
+
+using namespace aarc;
+
+struct VariantOutcome {
+  std::size_t samples = 0;
+  double sampling_runtime = 0.0;
+  double validated_cost = 0.0;
+  bool feasible = false;
+};
+
+VariantOutcome run_variant(const workloads::Workload& w, const platform::Executor& ex,
+                           const core::SchedulerOptions& opts) {
+  const core::GraphCentricScheduler scheduler(ex, platform::ConfigGrid{}, opts);
+  const auto report = scheduler.schedule(w.workflow, w.slo_seconds);
+  VariantOutcome out;
+  out.samples = report.result.samples();
+  out.sampling_runtime = report.result.trace.total_sampling_runtime();
+  out.feasible = report.result.found_feasible;
+  if (out.feasible) {
+    support::Rng rng(4242);
+    const platform::Profiler profiler(ex);
+    out.validated_cost =
+        profiler.profile(w.workflow, report.result.best_config, 100, rng).cost.mean;
+  }
+  return out;
+}
+
+void emit(support::Table& table, const std::string& name, const workloads::Workload& w,
+          const platform::Executor& ex, const core::SchedulerOptions& opts) {
+  const auto out = run_variant(w, ex, opts);
+  table.add_row({name, std::to_string(out.samples),
+                 support::format_double(out.sampling_runtime, 0),
+                 out.feasible ? support::format_double(out.validated_cost, 1) : "infeasible"});
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "# AARC ablations (per-workload; validated cost = mean of 100 runs)\n\n";
+
+  const platform::Executor default_ex;
+
+  for (const auto& name : workloads::paper_workload_names()) {
+    const workloads::Workload w = workloads::make_by_name(name);
+    support::Table table({"variant", "samples", "sampling runtime (s)",
+                          "validated mean cost"});
+
+    core::SchedulerOptions base;
+    emit(table, "default (cost-priority, proportional, accept-halving)", w, default_ex,
+         base);
+
+    core::SchedulerOptions fifo = base;
+    fifo.configurator.fifo_priority = true;
+    emit(table, "FIFO queue (no cost priorities)", w, default_ex, fifo);
+
+    core::SchedulerOptions fixed = base;
+    fixed.configurator.step_policy = core::StepPolicy::FixedUnits;
+    fixed.configurator.fixed_step_units = 32;
+    emit(table, "fixed 32-unit initial steps", w, default_ex, fixed);
+
+    core::SchedulerOptions no_accept_halving = base;
+    no_accept_halving.configurator.halve_step_on_accept = false;
+    emit(table, "no accept-side halving (reverts only)", w, default_ex,
+         no_accept_halving);
+
+    core::SchedulerOptions tight_trials = base;
+    tight_trials.configurator.func_trial = 2;
+    emit(table, "FUNC_TRIAL = 2", w, default_ex, tight_trials);
+
+    core::SchedulerOptions many_trials = base;
+    many_trials.configurator.func_trial = 10;
+    emit(table, "FUNC_TRIAL = 10", w, default_ex, many_trials);
+
+    core::SchedulerOptions polish = base;
+    polish.configurator.polish_allocate = true;
+    polish.configurator.max_trail = 140;  // headroom for the extra round
+    emit(table, "+ allocate-direction polish round", w, default_ex, polish);
+
+    // Robustness: 10% execution noise.
+    platform::ExecutorOptions noisy_opts;
+    noisy_opts.noise = perf::NoiseModel(0.10);
+    const platform::Executor noisy_ex(
+        std::make_unique<platform::DecoupledLinearPricing>(), noisy_opts);
+    emit(table, "10% execution noise", w, noisy_ex, base);
+
+    // Robustness: cold starts on 10% of invocations (0.5-2 s penalty).
+    platform::ExecutorOptions cold_opts;
+    cold_opts.cold_start = platform::ColdStartModel(0.10, 0.5, 2.0);
+    const platform::Executor cold_ex(
+        std::make_unique<platform::DecoupledLinearPricing>(), cold_opts);
+    emit(table, "cold starts (p=0.1, 0.5-2 s)", w, cold_ex, base);
+
+    std::cout << "## " << name << "\n" << table.to_markdown() << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Fig. 6 — "Runtime Changing with Sample Counts of Different Methods under
+// Different Workflows".
+//
+// For each workload, prints the incumbent configuration's observed runtime
+// after each sample, per method.  Paper shapes to look for:
+//   * AARC's runtime trends upward toward (but not past) the SLO — it trades
+//     latency headroom for cost;
+//   * BO's incumbent jumps around (large decoupled search space);
+//   * MAFF moves in a few coarse steps and then freezes (local optimum).
+
+#include <iostream>
+
+#include "harness.h"
+#include "report/ascii_chart.h"
+
+int main() {
+  using namespace aarc;
+
+  std::cout << "# Fig. 6 — incumbent runtime vs sample count\n\n";
+
+  const platform::Executor ex;
+  const platform::ConfigGrid grid;
+
+  for (const auto& name : workloads::paper_workload_names()) {
+    const workloads::Workload w = workloads::make_by_name(name);
+    std::vector<std::string> labels;
+    std::vector<std::vector<double>> series;
+    for (const std::string& method : {"AARC", "BO", "MAFF"}) {
+      const auto result = bench::run_method(method, w, ex, grid, {});
+      labels.push_back(method);
+      series.push_back(result.trace.incumbent_runtime_series());
+    }
+    std::cout << "## " << name << " (SLO " << support::format_double(w.slo_seconds, 0)
+              << " s)\n"
+              << report::series_table(labels, series, 5, 1).to_markdown() << "\n";
+    std::cout << report::ascii_chart(labels, series) << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Fig. 8 — "Performance Across Input Sizes in Video Analysis" (§IV-D).
+//
+// The Input-Aware Configuration Engine schedules one configuration per input
+// class (light / middle / heavy) and dispatches each request by its input
+// features.  The baselines keep one fixed configuration tuned at the middle
+// scale.  Paper shapes to look for:
+//   * (a) runtime: the fixed MAFF configuration can violate the SLO on heavy
+//     inputs; the engine stays within the SLO on every class;
+//   * (b) cost: the engine is far cheaper on light inputs (paper: ~90%) and
+//     still cheaper on heavy inputs (~46% vs MAFF / ~35% vs BO).
+
+#include <iostream>
+
+#include "harness.h"
+#include "inputaware/engine.h"
+
+int main() {
+  using namespace aarc;
+
+  std::cout << "# Fig. 8 — input-aware configuration on Video Analysis\n\n";
+
+  const workloads::Workload w = workloads::make_by_name("video_analysis");
+  const platform::Executor ex;
+  const platform::ConfigGrid grid;
+  const platform::Profiler profiler(ex);
+
+  // Engine: one AARC configuration per input class.
+  inputaware::InputAwareEngine engine(w, ex, grid);
+  const std::size_t engine_samples = engine.build();
+  std::cout << "engine built: " << engine_samples << " samples across "
+            << w.input_classes.size() << " classes\n\n";
+
+  // Baselines: one fixed configuration each, tuned at the middle scale.
+  const auto bo = bench::run_method("BO", w, ex, grid, {});
+  const auto maff = bench::run_method("MAFF", w, ex, grid, {});
+
+  support::Table runtime_table({"input", "engine (AARC)", "BO fixed", "MAFF fixed",
+                                "SLO"});
+  support::Table cost_table({"input", "engine (AARC)", "BO fixed", "MAFF fixed"});
+  support::Table violation_table({"input", "engine viol. %", "BO viol. %",
+                                  "MAFF viol. %"});
+
+  for (const auto entry : {workloads::InputClass::Light, workloads::InputClass::Middle,
+                           workloads::InputClass::Heavy}) {
+    const double scale = w.scale_for(entry);
+    const auto& engine_config = engine.configuration(entry).report.result.best_config;
+
+    auto profile = [&](const platform::WorkflowConfig& cfg) {
+      support::Rng rng(4242);
+      return profiler.profile(w.workflow, cfg, 100, rng, scale);
+    };
+    const auto engine_run = profile(engine_config);
+    const auto bo_run = profile(bo.best_config);
+    const auto maff_run = profile(maff.best_config);
+
+    auto runtime_cell = [&](const platform::ProfileReport& r) {
+      if (r.makespans.empty()) return std::string("OOM");
+      std::string cell = support::format_mean_std(r.makespan.mean, r.makespan.stddev, 1);
+      if (r.makespan.mean > w.slo_seconds) cell += " (SLO!)";
+      return cell;
+    };
+    runtime_table.add_row({to_string(entry), runtime_cell(engine_run),
+                           runtime_cell(bo_run), runtime_cell(maff_run),
+                           support::format_double(w.slo_seconds, 0)});
+    cost_table.add_row({to_string(entry),
+                        support::format_double(engine_run.cost.mean, 0),
+                        bo_run.makespans.empty()
+                            ? "OOM"
+                            : support::format_double(bo_run.cost.mean, 0),
+                        maff_run.makespans.empty()
+                            ? "OOM"
+                            : support::format_double(maff_run.cost.mean, 0)});
+    violation_table.add_row(
+        {to_string(entry),
+         support::format_percent(engine_run.slo_violation_rate(w.slo_seconds), 0),
+         support::format_percent(bo_run.slo_violation_rate(w.slo_seconds), 0),
+         support::format_percent(maff_run.slo_violation_rate(w.slo_seconds), 0)});
+  }
+
+  std::cout << "## (a) runtime per input class (mean ± std over 100 runs)\n"
+            << runtime_table.to_markdown() << "\n";
+  std::cout << "## per-run SLO violation rates\n" << violation_table.to_markdown() << "\n";
+  std::cout << "## (b) mean cost per input class\n" << cost_table.to_markdown();
+  std::cout << "\npaper anchors: fixed MAFF may violate the 600 s SLO on heavy inputs;\n"
+               "the engine cuts cost ~90% on light and ~46%/35% on heavy vs MAFF/BO.\n";
+
+  // Demonstrate the dispatch path itself (classify by input features).
+  std::cout << "\n## dispatch demo\n";
+  const inputaware::ReferenceInput ref;
+  for (double factor : {0.2, 1.0, 2.5}) {
+    inputaware::InputDescriptor in = ref.descriptor;
+    in.size_mb *= factor;
+    in.bitrate_kbps *= factor;
+    in.duration_seconds *= factor;
+    const auto& cc = engine.dispatch(in);
+    std::cout << "input " << support::format_double(in.size_mb, 0) << " MB @ "
+              << support::format_double(in.bitrate_kbps, 0) << " kbps -> class "
+              << to_string(cc.input_class) << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Generalization study (extension): the full method comparison on the
+// Data Analytics workload — a MapReduce-style DAG that is *not* in the
+// paper, with mixed affinities inside one workflow (cpu-bound mappers,
+// a memory-bound shuffle, an io-bound report stage).  If AARC's wins were
+// an artifact of the paper's three applications, they would not transfer.
+
+#include <iostream>
+
+#include "baselines/oracle.h"
+#include "harness.h"
+#include "workloads/data_analytics.h"
+
+int main() {
+  using namespace aarc;
+
+  std::cout << "# Generalization: Data Analytics (extension workload)\n\n";
+
+  const workloads::Workload w = workloads::make_data_analytics();
+  const platform::Executor ex;
+  const platform::ConfigGrid grid;
+
+  const auto results = bench::run_all_methods(w, ex, grid);
+
+  std::vector<report::MethodRun> rows;
+  std::vector<report::ValidationRun> validations;
+  for (const auto& mr : results) {
+    rows.push_back({mr.method, "data_analytics", mr.search});
+    if (mr.search.found_feasible) {
+      report::ValidationRun v;
+      v.method = mr.method;
+      v.workload = "data_analytics";
+      v.slo_seconds = w.slo_seconds;
+      v.profile = mr.validation;
+      validations.push_back(std::move(v));
+    }
+  }
+
+  std::cout << "## search totals\n"
+            << report::search_totals_table(rows).to_markdown() << "\n";
+  std::cout << "## 100-run validation\n"
+            << report::validation_table(validations).to_markdown() << "\n";
+
+  const auto oracle = baselines::oracle_search(w.workflow, ex, grid, w.slo_seconds);
+  if (oracle.feasible) {
+    std::cout << "## optimality\n";
+    for (const auto& mr : results) {
+      if (!mr.search.found_feasible) continue;
+      std::cout << mr.method << ": "
+                << support::format_double(mr.validation.cost.mean / oracle.mean_cost, 2)
+                << "x the oracle cost\n";
+    }
+  }
+  return 0;
+}

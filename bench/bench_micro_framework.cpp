@@ -1,0 +1,98 @@
+// Micro-benchmarks of the framework's own hot paths (google-benchmark):
+// critical-path extraction, detour enumeration, the simulated executor, GP
+// fitting/prediction, and a full AARC scheduling pass.
+
+#include <benchmark/benchmark.h>
+
+#include "aarc/scheduler.h"
+#include "baselines/bo/gp.h"
+#include "dag/critical_path.h"
+#include "dag/detour.h"
+#include "platform/executor.h"
+#include "support/rng.h"
+#include "workloads/catalog.h"
+#include "workloads/synthetic.h"
+
+namespace {
+
+using namespace aarc;
+
+workloads::Workload synthetic(std::size_t layers, std::size_t width) {
+  workloads::SyntheticOptions opts;
+  opts.pattern = workloads::Pattern::Random;
+  opts.layers = layers;
+  opts.width = width;
+  opts.seed = 11;
+  return workloads::make_synthetic(opts);
+}
+
+void BM_CriticalPath(benchmark::State& state) {
+  const auto w = synthetic(static_cast<std::size_t>(state.range(0)),
+                           static_cast<std::size_t>(state.range(1)));
+  dag::Graph g = w.workflow.graph();
+  support::Rng rng(1);
+  for (dag::NodeId id = 0; id < g.node_count(); ++id) g.set_weight(id, rng.uniform(1, 10));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dag::find_critical_path(g));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.node_count()));
+}
+BENCHMARK(BM_CriticalPath)->Args({3, 3})->Args({6, 6})->Args({10, 10});
+
+void BM_DetourEnumeration(benchmark::State& state) {
+  const auto w = synthetic(static_cast<std::size_t>(state.range(0)),
+                           static_cast<std::size_t>(state.range(1)));
+  dag::Graph g = w.workflow.graph();
+  support::Rng rng(1);
+  for (dag::NodeId id = 0; id < g.node_count(); ++id) g.set_weight(id, rng.uniform(1, 10));
+  const auto cp = dag::find_critical_path(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dag::find_detour_subpaths(g, cp));
+  }
+}
+BENCHMARK(BM_DetourEnumeration)->Args({3, 3})->Args({6, 6});
+
+void BM_ExecuteWorkflow(benchmark::State& state) {
+  const auto w = workloads::make_by_name("video_analysis");
+  const platform::Executor ex;
+  const auto cfg = platform::uniform_config(w.workflow.function_count(), {4.0, 5120.0});
+  support::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ex.execute(w.workflow, cfg, 1.0, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(w.workflow.function_count()));
+}
+BENCHMARK(BM_ExecuteWorkflow);
+
+void BM_GpFitPredict(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  support::Rng rng(3);
+  std::vector<std::vector<double>> x(n, std::vector<double>(14));
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (double& v : x[i]) v = rng.uniform(0.0, 1.0);
+    y[i] = rng.uniform(0.0, 100.0);
+  }
+  const std::vector<double> query(14, 0.5);
+  for (auto _ : state) {
+    baselines::GaussianProcess gp(std::make_unique<baselines::Matern52Kernel>(1.0, 0.2),
+                                  1e-3);
+    gp.fit(x, y);
+    benchmark::DoNotOptimize(gp.predict(query));
+  }
+}
+BENCHMARK(BM_GpFitPredict)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_AarcFullSchedule(benchmark::State& state) {
+  const auto w = workloads::make_by_name("chatbot");
+  const platform::Executor ex;
+  const core::GraphCentricScheduler scheduler(ex, platform::ConfigGrid{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.schedule(w.workflow, w.slo_seconds));
+  }
+}
+BENCHMARK(BM_AarcFullSchedule)->Unit(benchmark::kMillisecond);
+
+}  // namespace

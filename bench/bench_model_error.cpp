@@ -1,0 +1,80 @@
+// Model-error robustness (extension): schedule on *fitted* models.
+//
+// Real adopters fit performance models from a handful of noisy measurements
+// (workloads/calibrated.h).  This bench measures each paper workload on the
+// default 7-point plan, fits per-function AnalyticModels, runs AARC against
+// the *fitted* workflow, and then validates the resulting configuration on
+// the *true* workflow: how much of the cost saving survives model error,
+// and does the configuration still meet the SLO?
+
+#include <iostream>
+
+#include "aarc/scheduler.h"
+#include "platform/profiler.h"
+#include "support/table.h"
+#include "workloads/calibrated.h"
+#include "workloads/catalog.h"
+
+int main() {
+  using namespace aarc;
+
+  std::cout << "# Scheduling on calibrated (fitted) models (extension)\n\n";
+
+  const platform::Executor ex;
+  const platform::ConfigGrid grid;
+  const platform::Profiler profiler(ex);
+  const core::GraphCentricScheduler scheduler(ex, grid);
+
+  support::Table table({"workload", "fit MSLE (max)", "measurements",
+                        "cost (true models)", "cost (fitted models)", "penalty",
+                        "meets SLO"});
+
+  for (const auto& name : workloads::paper_workload_names()) {
+    const workloads::Workload w = workloads::make_by_name(name);
+
+    // Baseline: AARC on the ground-truth models.
+    const auto truth_report = scheduler.schedule(w.workflow, w.slo_seconds);
+
+    // Calibrated: measure + fit, schedule on the fits, validate on truth.
+    const auto calibration = workloads::calibrate_workflow(w.workflow, ex);
+    const auto fitted_report =
+        scheduler.schedule(calibration.workflow, w.slo_seconds);
+
+    double worst_fit = 0.0;
+    for (double e : calibration.fit_errors) worst_fit = std::max(worst_fit, e);
+
+    if (!truth_report.result.found_feasible || !fitted_report.result.found_feasible) {
+      table.add_row({name, support::format_double(worst_fit, 3),
+                     std::to_string(calibration.measurements), "-", "-", "-",
+                     "infeasible"});
+      continue;
+    }
+
+    support::Rng rng(4242);
+    const auto truth_val =
+        profiler.profile(w.workflow, truth_report.result.best_config, 100, rng);
+    support::Rng rng2(4242);
+    const auto fitted_val =
+        profiler.profile(w.workflow, fitted_report.result.best_config, 100, rng2);
+    if (fitted_val.failures > 0) {
+      table.add_row({name, support::format_double(worst_fit, 3),
+                     std::to_string(calibration.measurements),
+                     support::format_double(truth_val.cost.mean, 1), "OOM on truth",
+                     "-", "NO"});
+      continue;
+    }
+
+    table.add_row(
+        {name, support::format_double(worst_fit, 3),
+         std::to_string(calibration.measurements),
+         support::format_double(truth_val.cost.mean, 1),
+         support::format_double(fitted_val.cost.mean, 1),
+         support::format_percent(fitted_val.cost.mean / truth_val.cost.mean - 1.0, 1),
+         fitted_val.makespan.mean <= w.slo_seconds ? "yes" : "NO"});
+  }
+
+  std::cout << table.to_markdown();
+  std::cout << "\n(penalty = extra validated cost of the configuration found on fitted\n"
+               "models, relative to scheduling on the ground-truth models)\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Optimality gap (extension): how close does each black-box method get to a
+// white-box oracle that reads the mean response surfaces directly?
+//
+// The oracle performs exhaustive per-function coordinate descent on the
+// noiseless model (baselines/oracle.h) — a bound no sampling method can
+// beat.  For each paper workload we report each method's validated mean
+// cost as a multiple of the oracle's, plus random search as the classic
+// sanity control for BO.
+
+#include <iostream>
+
+#include "baselines/oracle.h"
+#include "baselines/random_search.h"
+#include "harness.h"
+
+int main() {
+  using namespace aarc;
+
+  std::cout << "# Optimality gap vs white-box oracle (extension)\n\n";
+
+  const platform::Executor ex;
+  const platform::ConfigGrid grid;
+  const platform::Profiler profiler(ex);
+
+  support::Table table({"workload", "oracle cost", "AARC", "BO", "MAFF", "random"});
+
+  for (const auto& name : workloads::paper_workload_names()) {
+    const workloads::Workload w = workloads::make_by_name(name);
+
+    const auto oracle = baselines::oracle_search(w.workflow, ex, grid, w.slo_seconds);
+    if (!oracle.feasible) {
+      table.add_row({name, "infeasible", "-", "-", "-", "-"});
+      continue;
+    }
+
+    auto validated_ratio = [&](const search::SearchResult& r) -> std::string {
+      if (!r.found_feasible) return "infeasible";
+      support::Rng rng(4242);
+      const auto profile = profiler.profile(w.workflow, r.best_config, 100, rng);
+      return support::format_double(profile.cost.mean / oracle.mean_cost, 2) + "x";
+    };
+
+    const auto aarc = bench::run_method("AARC", w, ex, grid, {});
+    const auto bo = bench::run_method("BO", w, ex, grid, {});
+    const auto maff = bench::run_method("MAFF", w, ex, grid, {});
+    search::Evaluator rnd_ev(w.workflow, ex, w.slo_seconds, 1.0, 3303);
+    const auto rnd = baselines::random_search(rnd_ev, grid);
+
+    table.add_row({name, support::format_double(oracle.mean_cost, 1),
+                   validated_ratio(aarc), validated_ratio(bo), validated_ratio(maff),
+                   validated_ratio(rnd)});
+  }
+
+  std::cout << table.to_markdown();
+  std::cout << "\n(cells = validated mean cost / oracle mean cost; the oracle uses "
+               "the model directly\nand is a lower bound for every sampling method)\n";
+  return 0;
+}

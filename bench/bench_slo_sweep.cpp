@@ -1,0 +1,62 @@
+// SLO sensitivity (extension): the cost-vs-SLO frontier.
+//
+// Sweeps the end-to-end SLO from tight (just above the fastest possible
+// makespan) to loose (4x) and reports each method's validated mean cost.
+// The interesting shapes:
+//   * every method's cost falls as the SLO loosens (latency headroom is
+//     traded for cheaper allocations);
+//   * AARC tracks the oracle frontier across the whole range;
+//   * MAFF's coupled knob flattens out early — extra headroom it cannot
+//     convert into savings is the price of coupling.
+
+#include <iostream>
+
+#include "baselines/oracle.h"
+#include "harness.h"
+
+int main() {
+  using namespace aarc;
+
+  std::cout << "# Cost vs SLO frontier (extension)\n\n";
+
+  const platform::Executor ex;
+  const platform::ConfigGrid grid;
+  const platform::Profiler profiler(ex);
+
+  for (const auto& name : workloads::paper_workload_names()) {
+    const workloads::Workload w = workloads::make_by_name(name);
+
+    // The fastest possible makespan: everything at the grid maximum.
+    const auto base = platform::uniform_config(w.workflow.function_count(),
+                                               grid.max_config());
+    const double fastest = ex.execute_mean(w.workflow, base).makespan;
+
+    support::Table table({"SLO (s)", "AARC", "MAFF", "oracle"});
+    for (double factor : {1.15, 1.5, 2.0, 3.0, 4.0}) {
+      const double slo = fastest * factor;
+
+      workloads::Workload variant(w.workflow.clone());
+      variant.slo_seconds = slo;
+
+      auto validated = [&](const search::SearchResult& r) -> std::string {
+        if (!r.found_feasible) return "infeasible";
+        support::Rng rng(4242);
+        return support::format_double(
+            profiler.profile(variant.workflow, r.best_config, 50, rng).cost.mean, 1);
+      };
+
+      const auto aarc = bench::run_method("AARC", variant, ex, grid, {});
+      const auto maff = bench::run_method("MAFF", variant, ex, grid, {});
+      const auto oracle =
+          baselines::oracle_search(variant.workflow, ex, grid, slo);
+
+      table.add_row({support::format_double(slo, 0), validated(aarc), validated(maff),
+                     oracle.feasible ? support::format_double(oracle.mean_cost, 1)
+                                     : "infeasible"});
+    }
+    std::cout << "## " << name << " (fastest possible: "
+              << support::format_double(fastest, 1) << " s)\n"
+              << table.to_markdown() << "\n";
+  }
+  return 0;
+}

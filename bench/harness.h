@@ -1,0 +1,77 @@
+// Shared experiment harness for the bench binaries: runs the three search
+// methods (AARC / BO / MAFF) on a workload with the paper's Section IV-A
+// setup and returns their results plus Table-II-style validations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "aarc/scheduler.h"
+#include "baselines/bo/bo_optimizer.h"
+#include "baselines/maff/maff.h"
+#include "platform/profiler.h"
+#include "report/comparison.h"
+#include "workloads/catalog.h"
+
+namespace aarc::bench {
+
+struct MethodResult {
+  std::string method;
+  search::SearchResult search;
+  platform::ProfileReport validation;  ///< 100 noisy runs of the final config
+};
+
+struct ExperimentSeeds {
+  std::uint64_t aarc = 2025;
+  std::uint64_t bo = 3101;
+  std::uint64_t maff = 3202;
+  std::uint64_t validation = 4242;
+};
+
+/// Run one method by name ("AARC", "BO", "MAFF") at the given input scale.
+inline search::SearchResult run_method(const std::string& method,
+                                       const workloads::Workload& w,
+                                       const platform::Executor& executor,
+                                       const platform::ConfigGrid& grid,
+                                       const ExperimentSeeds& seeds,
+                                       double input_scale = 1.0) {
+  if (method == "AARC") {
+    core::SchedulerOptions opts;
+    opts.seed = seeds.aarc;
+    const core::GraphCentricScheduler scheduler(executor, grid, opts);
+    return scheduler.schedule(w.workflow, w.slo_seconds, input_scale).result;
+  }
+  if (method == "BO") {
+    search::Evaluator ev(w.workflow, executor, w.slo_seconds, input_scale, seeds.bo);
+    baselines::BoOptions opts;
+    opts.seed = seeds.bo;
+    return baselines::bayesian_optimization(ev, grid, opts);
+  }
+  search::Evaluator ev(w.workflow, executor, w.slo_seconds, input_scale, seeds.maff);
+  return baselines::maff_gradient_descent(ev, grid);
+}
+
+/// Run all three methods and validate each final configuration with the
+/// paper's protocol (100 noisy executions).
+inline std::vector<MethodResult> run_all_methods(const workloads::Workload& w,
+                                                 const platform::Executor& executor,
+                                                 const platform::ConfigGrid& grid,
+                                                 const ExperimentSeeds& seeds = {},
+                                                 double input_scale = 1.0) {
+  std::vector<MethodResult> out;
+  const platform::Profiler profiler(executor);
+  for (const std::string& method : {"AARC", "BO", "MAFF"}) {
+    MethodResult mr;
+    mr.method = method;
+    mr.search = run_method(method, w, executor, grid, seeds, input_scale);
+    if (mr.search.found_feasible) {
+      support::Rng rng(seeds.validation);
+      mr.validation =
+          profiler.profile(w.workflow, mr.search.best_config, 100, rng, input_scale);
+    }
+    out.push_back(std::move(mr));
+  }
+  return out;
+}
+
+}  // namespace aarc::bench

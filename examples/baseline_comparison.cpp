@@ -1,0 +1,79 @@
+// Compare AARC against the two baselines (Bayesian Optimization and MAFF)
+// on one workload: search totals, final configuration quality, and the
+// validation protocol of the paper's Table II (100 noisy executions).
+//
+// Usage: baseline_comparison [chatbot|ml_pipeline|video_analysis]
+
+#include <iostream>
+#include <string>
+
+#include "aarc/scheduler.h"
+#include "baselines/bo/bo_optimizer.h"
+#include "baselines/maff/maff.h"
+#include "platform/profiler.h"
+#include "report/comparison.h"
+#include "workloads/catalog.h"
+
+int main(int argc, char** argv) {
+  using namespace aarc;
+
+  const std::string name = argc > 1 ? argv[1] : "chatbot";
+  const workloads::Workload workload = workloads::make_by_name(name);
+  const platform::Executor executor;
+  const platform::ConfigGrid grid;
+
+  std::cout << "workload: " << name << "  SLO " << workload.slo_seconds << " s\n\n";
+
+  std::vector<report::MethodRun> runs;
+  std::vector<report::ValidationRun> validations;
+  const platform::Profiler profiler(executor);
+  support::Rng validation_rng(99);
+
+  auto validate = [&](const std::string& method, const search::SearchResult& result) {
+    if (!result.found_feasible) return;
+    report::ValidationRun v;
+    v.method = method;
+    v.workload = name;
+    v.slo_seconds = workload.slo_seconds;
+    v.profile = profiler.profile(workload.workflow, result.best_config, 100, validation_rng);
+    validations.push_back(std::move(v));
+  };
+
+  // AARC.
+  {
+    const core::GraphCentricScheduler scheduler(executor, grid);
+    auto report = scheduler.schedule(workload.workflow, workload.slo_seconds);
+    validate("AARC", report.result);
+    runs.push_back({"AARC", name, std::move(report.result)});
+  }
+  // Bayesian Optimization.
+  {
+    search::Evaluator evaluator(workload.workflow, executor, workload.slo_seconds, 1.0, 31);
+    auto result = baselines::bayesian_optimization(evaluator, grid);
+    validate("BO", result);
+    runs.push_back({"BO", name, std::move(result)});
+  }
+  // MAFF.
+  {
+    search::Evaluator evaluator(workload.workflow, executor, workload.slo_seconds, 1.0, 32);
+    auto result = baselines::maff_gradient_descent(evaluator, grid);
+    validate("MAFF", result);
+    runs.push_back({"MAFF", name, std::move(result)});
+  }
+
+  std::cout << "=== search totals (Fig. 5) ===\n"
+            << report::search_totals_table(runs).to_markdown() << "\n";
+
+  std::cout << "=== incumbent cost by sample (Fig. 7) ===\n";
+  std::vector<std::string> labels;
+  std::vector<std::vector<double>> cost_series;
+  for (const auto& run : runs) {
+    labels.push_back(run.method);
+    cost_series.push_back(run.result.trace.incumbent_cost_series());
+  }
+  std::cout << report::series_table(labels, cost_series, 10).to_markdown() << "\n";
+
+  std::cout << "=== validation, 100 runs each (Table II) ===\n"
+            << report::validation_table(validations).to_markdown();
+  return 0;
+}

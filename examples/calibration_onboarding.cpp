@@ -1,0 +1,79 @@
+// Onboarding a workload from measurements.
+//
+// A real adopter has no analytic models — only the ability to run their
+// functions at chosen configurations and time them.  This example runs that
+// loop end to end: measure every Chatbot function on a small plan (with
+// OOM-boundary probing), fit analytic models to the samples, schedule on
+// the *fitted* workflow, and validate the result against the "real" one.
+
+#include <iostream>
+
+#include "aarc/scheduler.h"
+#include "platform/profiler.h"
+#include "support/table.h"
+#include "workloads/calibrated.h"
+#include "workloads/catalog.h"
+
+using namespace aarc;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "chatbot";
+  const workloads::Workload w = workloads::make_by_name(name);
+  const platform::Executor executor;
+  const platform::ConfigGrid grid;
+
+  // 1. Measure + fit.
+  std::cout << "measuring and fitting " << name << "...\n";
+  const auto calibration = workloads::calibrate_workflow(w.workflow, executor);
+  support::Table fits({"function", "fit MSLE"});
+  for (dag::NodeId id = 0; id < w.workflow.function_count(); ++id) {
+    fits.add_row({w.workflow.function_name(id),
+                  support::format_double(calibration.fit_errors[id], 4)});
+  }
+  std::cout << fits.to_markdown();
+  std::cout << "total measurements: " << calibration.measurements << "\n\n";
+
+  // 2. Schedule on the fitted workflow.
+  const core::GraphCentricScheduler scheduler(executor, grid);
+  const auto fitted = scheduler.schedule(calibration.workflow, w.slo_seconds);
+  if (!fitted.result.found_feasible) {
+    std::cout << "no feasible configuration found on the fitted models\n";
+    return 1;
+  }
+
+  // 3. Validate the configuration against the *true* workload, and compare
+  // with what scheduling on ground truth would have achieved.
+  const auto truth = scheduler.schedule(w.workflow, w.slo_seconds);
+  const platform::Profiler profiler(executor);
+  support::Rng rng(4242);
+  const auto fitted_val =
+      profiler.profile(w.workflow, fitted.result.best_config, 100, rng);
+  support::Rng rng2(4242);
+  const auto truth_val =
+      profiler.profile(w.workflow, truth.result.best_config, 100, rng2);
+
+  support::Table compare({"schedule computed on", "runtime (s)", "mean cost",
+                          "meets SLO"});
+  compare.add_row({"ground-truth models",
+                   support::format_mean_std(truth_val.makespan.mean,
+                                            truth_val.makespan.stddev, 1),
+                   support::format_double(truth_val.cost.mean, 1),
+                   truth_val.makespan.mean <= w.slo_seconds ? "yes" : "NO"});
+  compare.add_row({"fitted models",
+                   fitted_val.makespans.empty()
+                       ? "OOM"
+                       : support::format_mean_std(fitted_val.makespan.mean,
+                                                  fitted_val.makespan.stddev, 1),
+                   support::format_double(fitted_val.cost.mean, 1),
+                   !fitted_val.makespans.empty() &&
+                           fitted_val.makespan.mean <= w.slo_seconds
+                       ? "yes"
+                       : "NO"});
+  std::cout << compare.to_markdown();
+  std::cout << "\nthe fitted-model schedule costs "
+            << support::format_percent(
+                   fitted_val.cost.mean / truth_val.cost.mean - 1.0, 1)
+            << " more than the ground-truth schedule — the price of learning the\n"
+               "surfaces from " << calibration.measurements << " measurements.\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// The Input-Aware Configuration Engine (paper §IV-D) in action.
+//
+// Builds per-input-class configurations for the Video Analysis workflow,
+// then simulates a request stream of mixed video sizes: each request is
+// classified by its input features (size, bitrate, duration) and executed
+// under its class's configuration.  Compares against serving every request
+// with one fixed worst-case-provisioned configuration.
+
+#include <iostream>
+
+#include "inputaware/engine.h"
+#include "platform/executor.h"
+#include "support/table.h"
+#include "workloads/catalog.h"
+
+using namespace aarc;
+
+int main() {
+  workloads::Workload w = workloads::make_by_name("video_analysis");
+  // For a *continuous* request stream each class must be provisioned for its
+  // worst case, so build every class configuration at the class's upper
+  // scale bound (the paper's Fig. 8 evaluates three discrete input sizes,
+  // where the representative scales suffice).
+  w.input_classes = {{workloads::InputClass::Light, 0.5},
+                     {workloads::InputClass::Middle, 1.5},
+                     {workloads::InputClass::Heavy, 1.8}};
+  const platform::Executor executor;
+  const platform::ConfigGrid grid;
+
+  std::cout << "building per-class configurations (light/middle/heavy)...\n";
+  inputaware::InputAwareEngine engine(w, executor, grid);
+  const std::size_t samples = engine.build();
+  std::cout << "done: " << samples << " profiling samples\n\n";
+
+  support::Table config_table({"class", "scale", "example function", "vCPU", "MB"});
+  for (auto c : {workloads::InputClass::Light, workloads::InputClass::Middle,
+                 workloads::InputClass::Heavy}) {
+    const auto& cc = engine.configuration(c);
+    const auto ex0 = w.workflow.function_id("extract_0");
+    config_table.add_row({to_string(c), support::format_double(cc.scale, 2), "extract_0",
+                          support::format_double(cc.report.result.best_config[ex0].vcpu, 1),
+                          support::format_double(
+                              cc.report.result.best_config[ex0].memory_mb, 0)});
+  }
+  std::cout << config_table.to_markdown() << "\n";
+
+  // A stream of 30 requests with mixed input sizes.
+  const inputaware::ReferenceInput ref;
+  support::Rng rng(99);
+  double engine_cost = 0.0;
+  double fixed_cost = 0.0;
+  std::size_t engine_violations = 0;
+  std::size_t fixed_violations = 0;
+  // Without the engine, a single SLO-safe configuration must be provisioned
+  // for the worst-case (heavy) input.
+  const auto& fixed_config =
+      engine.configuration(workloads::InputClass::Heavy).report.result.best_config;
+
+  for (int r = 0; r < 30; ++r) {
+    const double factor = rng.uniform(0.1, 1.8);
+    inputaware::InputDescriptor in = ref.descriptor;
+    in.size_mb *= factor;
+    in.bitrate_kbps *= factor;
+    in.duration_seconds *= factor;
+
+    const auto& cc = engine.dispatch(in);
+    // Execute under the dispatched class configuration at the true scale.
+    const double true_scale = factor;
+    support::Rng run_rng = rng.split(static_cast<std::uint64_t>(r));
+    const auto engine_run =
+        executor.execute(w.workflow, cc.report.result.best_config, true_scale, run_rng);
+    const auto fixed_run = executor.execute(w.workflow, fixed_config, true_scale, run_rng);
+
+    engine_cost += engine_run.total_cost;
+    if (engine_run.failed || engine_run.makespan > w.slo_seconds) ++engine_violations;
+    if (fixed_run.failed || fixed_run.makespan > w.slo_seconds) {
+      ++fixed_violations;
+      fixed_cost += fixed_run.observed_cost();  // charge what actually ran
+    } else {
+      fixed_cost += fixed_run.total_cost;
+    }
+  }
+
+  support::Table result({"serving mode", "total cost (30 requests)", "SLO violations"});
+  result.add_row({"input-aware engine", support::format_double(engine_cost, 0),
+                  std::to_string(engine_violations)});
+  result.add_row({"fixed worst-case config", support::format_double(fixed_cost, 0),
+                  std::to_string(fixed_violations)});
+  std::cout << result.to_markdown();
+  std::cout << "\nthe engine adapts the allocation per request class: cheaper on small\n"
+               "inputs and SLO-safe on large ones (paper Fig. 8).\n";
+  return 0;
+}

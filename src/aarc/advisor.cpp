@@ -1,0 +1,51 @@
+#include "aarc/advisor.h"
+
+#include "dag/critical_path.h"
+#include "support/contracts.h"
+
+namespace aarc::core {
+
+using support::expects;
+
+AdvisoryReport advise(const platform::Workflow& workflow,
+                      const platform::WorkflowConfig& config,
+                      const platform::Executor& executor, double slo_seconds,
+                      double input_scale) {
+  expects(slo_seconds > 0.0, "SLO must be positive");
+  workflow.validate();
+  expects(config.size() == workflow.function_count(),
+          "config must have one entry per function");
+
+  const auto run = executor.execute_mean(workflow, config, input_scale);
+  expects(!run.failed, "cannot advise on a configuration that OOMs");
+
+  // Weighted schedule for critical-path membership and slack.
+  dag::Graph g = workflow.graph();
+  g.set_weights(run.runtimes());
+  const dag::Path cp = dag::find_critical_path(g);
+  const dag::Schedule schedule = dag::compute_schedule(g);
+
+  AdvisoryReport report;
+  report.mean_makespan = run.makespan;
+  report.mean_cost = run.total_cost;
+  report.slo_seconds = slo_seconds;
+  report.slo_headroom_fraction = 1.0 - run.makespan / slo_seconds;
+
+  report.functions.resize(workflow.function_count());
+  for (dag::NodeId id = 0; id < workflow.function_count(); ++id) {
+    FunctionAdvice& advice = report.functions[id];
+    advice.node = id;
+    advice.config = config[id];
+    advice.mean_runtime = run.invocations[id].runtime;
+    advice.mean_cost = run.invocations[id].cost;
+    advice.cost_share = run.total_cost > 0.0 ? advice.mean_cost / run.total_cost : 0.0;
+    advice.elasticity = perf::elasticity(workflow.model(id), config[id].vcpu,
+                                         config[id].memory_mb, input_scale);
+    advice.affinity = perf::classify(advice.elasticity);
+    advice.on_critical_path = cp.contains(id);
+    advice.slack_seconds = schedule.slack(id);
+  }
+  return report;
+}
+
+}  // namespace aarc::core

@@ -1,0 +1,47 @@
+// Configuration advisor: explain a deployed configuration.
+//
+// Given a workflow, a configuration, and the SLO, the advisor produces the
+// per-function diagnostics a platform operator would want next to the raw
+// numbers: each function's share of the workflow cost, its resource
+// affinity at the configured operating point, how far the allocation sits
+// from the grid bounds, and whether the function is on the critical path.
+// Used by `aarc_cli advise` and available as a library API.
+#pragma once
+
+#include <vector>
+
+#include "perf/affinity.h"
+#include "platform/executor.h"
+#include "platform/resource.h"
+
+namespace aarc::core {
+
+struct FunctionAdvice {
+  dag::NodeId node = dag::kInvalidNode;
+  platform::ResourceConfig config;
+  double mean_runtime = 0.0;          ///< seconds under this configuration
+  double mean_cost = 0.0;             ///< per-invocation cost
+  double cost_share = 0.0;            ///< fraction of the workflow cost
+  perf::ResourceElasticity elasticity;
+  perf::AffinityClass affinity = perf::AffinityClass::Balanced;
+  bool on_critical_path = false;
+  double slack_seconds = 0.0;         ///< schedule slack at this config
+};
+
+struct AdvisoryReport {
+  std::vector<FunctionAdvice> functions;  ///< by NodeId
+  double mean_makespan = 0.0;
+  double mean_cost = 0.0;
+  double slo_seconds = 0.0;
+  /// Fraction of the SLO left unused: 1 - makespan/slo (negative = violating).
+  double slo_headroom_fraction = 0.0;
+};
+
+/// Analyze `config` for `workflow` under `slo_seconds` (mean model, no
+/// noise).  The executor supplies the pricing model.
+AdvisoryReport advise(const platform::Workflow& workflow,
+                      const platform::WorkflowConfig& config,
+                      const platform::Executor& executor, double slo_seconds,
+                      double input_scale = 1.0);
+
+}  // namespace aarc::core

@@ -1,0 +1,31 @@
+#include "aarc/operation.h"
+
+#include "support/contracts.h"
+
+namespace aarc::core {
+
+using support::expects;
+
+const char* to_string(ResourceType type) {
+  return type == ResourceType::Cpu ? "cpu" : "mem";
+}
+
+void OperationQueue::push(Operation op, double priority) {
+  expects(op.node != dag::kInvalidNode, "operation must target a node");
+  expects(op.step >= 1, "operation step must be >= 1 grid unit");
+  heap_.push(Entry{op, priority, next_sequence_++});
+}
+
+Operation OperationQueue::pop() {
+  expects(!heap_.empty(), "pop from empty operation queue");
+  Operation op = heap_.top().op;
+  heap_.pop();
+  return op;
+}
+
+double OperationQueue::top_priority() const {
+  expects(!heap_.empty(), "top_priority of empty operation queue");
+  return heap_.top().priority;
+}
+
+}  // namespace aarc::core

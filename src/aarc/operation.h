@@ -1,0 +1,60 @@
+// Deallocation operations and the priority queue of Algorithm 2.
+#pragma once
+
+#include <cstddef>
+#include <queue>
+#include <vector>
+
+#include "dag/graph.h"
+
+namespace aarc::core {
+
+/// Which resource an operation adjusts.
+enum class ResourceType { Cpu, Memory };
+
+const char* to_string(ResourceType type);
+
+/// One pending deallocation: "take `step` grid units of `type` away from
+/// `node`" with `trail` backoff retries left (paper Algorithm 2, line 7).
+struct Operation {
+  dag::NodeId node = dag::kInvalidNode;
+  ResourceType type = ResourceType::Cpu;
+  std::size_t step = 1;   ///< grid units removed per attempt
+  std::size_t trail = 0;  ///< remaining backoff budget (FUNC_TRIAL at start)
+};
+
+/// Max-heap of operations.  Priorities: fresh ops enter at +infinity (line
+/// 5), successfully applied ops re-enter keyed by the cost reduction they
+/// achieved (line 20-21), reverted-but-retryable ops re-enter at 0 (line
+/// 17).  Ties break FIFO by insertion sequence so the loop is deterministic.
+class OperationQueue {
+ public:
+  void push(Operation op, double priority);
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Pop the highest-priority operation (FIFO among equal priorities).
+  Operation pop();
+  /// Priority of the next operation to pop; queue must be non-empty.
+  double top_priority() const;
+
+ private:
+  struct Entry {
+    Operation op;
+    double priority;
+    std::size_t sequence;
+
+    /// std::priority_queue is a max-heap on operator<; an entry is "less"
+    /// (popped later) when its priority is lower, or equal priority but
+    /// inserted later.
+    friend bool operator<(const Entry& a, const Entry& b) {
+      if (a.priority != b.priority) return a.priority < b.priority;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Entry> heap_;
+  std::size_t next_sequence_ = 0;
+};
+
+}  // namespace aarc::core

@@ -1,0 +1,177 @@
+#include "aarc/priority_configurator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "aarc/operation.h"
+#include "support/contracts.h"
+#include "support/log.h"
+
+namespace aarc::core {
+
+using support::expects;
+
+namespace {
+
+double path_runtime(const std::vector<double>& function_runtimes,
+                    const std::vector<dag::NodeId>& path_nodes) {
+  double total = 0.0;
+  for (dag::NodeId id : path_nodes) total += function_runtimes[id];
+  return total;
+}
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// Which way a round moves resources: Algorithm 2 proper deallocates; the
+/// optional polish round allocates (see ConfiguratorOptions::polish_allocate).
+enum class Direction { Deallocate, Allocate };
+
+}  // namespace
+
+PriorityConfigurator::PriorityConfigurator(const platform::ConfigGrid& grid,
+                                           ConfiguratorOptions options)
+    : grid_(grid), options_(options) {
+  expects(options_.func_trial >= 1, "FUNC_TRIAL must be >= 1");
+  expects(options_.max_trail >= 1, "MAX_TRAIL must be >= 1");
+  expects(options_.initial_step_fraction > 0.0 && options_.initial_step_fraction <= 1.0,
+          "initial_step_fraction must be in (0, 1]");
+  expects(options_.fixed_step_units >= 1, "fixed_step_units must be >= 1");
+  expects(options_.polish_step_units >= 1, "polish_step_units must be >= 1");
+  expects(options_.slo_safety_margin >= 0.0 && options_.slo_safety_margin < 1.0,
+          "slo_safety_margin must be in [0, 1)");
+}
+
+std::size_t PriorityConfigurator::initial_step_units(double current_value,
+                                                     ResourceType type) const {
+  if (options_.step_policy == StepPolicy::FixedUnits) return options_.fixed_step_units;
+  const support::ValueGrid& axis =
+      type == ResourceType::Cpu ? grid_.cpu() : grid_.memory();
+  const std::size_t headroom = axis.index_of(current_value);  // units above grid min
+  const auto step = static_cast<std::size_t>(
+      std::floor(static_cast<double>(headroom) * options_.initial_step_fraction));
+  return std::max<std::size_t>(1, step);
+}
+
+namespace {
+
+struct RoundState {
+  std::size_t count = 0;  // probes spent across all rounds (vs MAX_TRAIL)
+  std::vector<double> accepted_cost;
+};
+
+}  // namespace
+
+PathConfigOutcome PriorityConfigurator::configure_path(
+    search::Evaluator& evaluator, const std::vector<dag::NodeId>& path_nodes,
+    double path_slo, platform::WorkflowConfig& config,
+    const search::Evaluation& baseline) const {
+  expects(!path_nodes.empty(), "cannot configure an empty path");
+  expects(path_slo > 0.0, "path SLO must be positive");
+  expects(config.size() == evaluator.workflow().function_count(),
+          "config size must match the workflow");
+  expects(baseline.function_runtimes.size() == config.size(),
+          "baseline must evaluate the same workflow");
+
+  const double effective_slo = path_slo * (1.0 - options_.slo_safety_margin);
+  const double effective_e2e_slo =
+      evaluator.slo_seconds() * (1.0 - options_.slo_safety_margin);
+
+  PathConfigOutcome outcome;
+  outcome.accepted_runtimes = baseline.function_runtimes;
+  outcome.accepted_path_runtime = path_runtime(baseline.function_runtimes, path_nodes);
+
+  RoundState state;
+  // Last observed (accepted) cost per function, used for the "cost
+  // increases" check of line 14 and for priorities.
+  state.accepted_cost = baseline.function_costs;
+
+  auto run_round = [&](Direction direction, std::size_t forced_step) {
+    // Line 3-10: seed the queue with a cpu and a memory op per function.
+    OperationQueue queue;
+    for (dag::NodeId id : path_nodes) {
+      for (ResourceType type : {ResourceType::Cpu, ResourceType::Memory}) {
+        const double current =
+            type == ResourceType::Cpu ? config[id].vcpu : config[id].memory_mb;
+        Operation op;
+        op.node = id;
+        op.type = type;
+        op.step = forced_step != 0 ? forced_step : initial_step_units(current, type);
+        op.trail = options_.func_trial;
+        queue.push(op, kInfinity);
+      }
+    }
+
+    // Line 11: loop until the queue drains or MAX_TRAIL probes are spent.
+    while (!queue.empty() && state.count < options_.max_trail) {
+      Operation op = queue.pop();
+
+      // deallocate(op) / allocate(op): move the resource by `step` units.
+      const support::ValueGrid& axis =
+          op.type == ResourceType::Cpu ? grid_.cpu() : grid_.memory();
+      double& value = op.type == ResourceType::Cpu ? config[op.node].vcpu
+                                                   : config[op.node].memory_mb;
+      const double previous = value;
+      const double proposed = direction == Direction::Deallocate
+                                  ? axis.step_down(previous, op.step)
+                                  : axis.step_up(previous, op.step);
+      if (proposed == previous) {
+        // Grid boundary reached: the op is exhausted; drop without a probe.
+        continue;
+      }
+      value = proposed;
+      ++state.count;
+
+      const search::Evaluation eval = evaluator.evaluate(config);
+      ++outcome.samples_used;
+
+      const double new_path_runtime = path_runtime(eval.function_runtimes, path_nodes);
+      const double previous_cost = state.accepted_cost[op.node];
+      const double new_cost = eval.function_costs[op.node];
+
+      const bool error = eval.sample.failed;
+      const bool slo_violated =
+          new_path_runtime > effective_slo || eval.sample.makespan > effective_e2e_slo;
+      const bool cost_increased = !(new_cost < previous_cost);
+
+      if (error || slo_violated || cost_increased) {
+        // Line 14-18: revert, back off exponentially, burn a trial.  A
+        // revert at the minimum step cannot be refined further — retrying
+        // the same grid move would only re-measure noise — so the op is
+        // dropped.
+        value = previous;
+        ++outcome.ops_reverted;
+        expects(op.trail >= 1, "reverted op must have had a trial left");
+        op.trail = op.step == 1 ? 0 : op.trail - 1;
+        op.step = std::max<std::size_t>(1, op.step / 2);
+        if (op.trail > 0) queue.push(op, 0.0);
+        continue;
+      }
+
+      // Line 19-22: keep the move; the priority is the achieved cost
+      // reduction (FIFO ablation flattens it to a constant).
+      state.accepted_cost = eval.function_costs;
+      outcome.accepted_runtimes = eval.function_runtimes;
+      outcome.accepted_path_runtime = new_path_runtime;
+      ++outcome.ops_accepted;
+      const double reduced_cost = previous_cost - new_cost;
+      if (reduced_cost < options_.min_gain_fraction * previous_cost) continue;
+      if (options_.halve_step_on_accept) op.step = std::max<std::size_t>(1, op.step / 2);
+      queue.push(op, options_.fifo_priority ? 1.0 : reduced_cost);
+    }
+  };
+
+  // Algorithm 2 proper: the deallocation round.
+  run_round(Direction::Deallocate, 0);
+
+  // Optional extension: a short allocate-direction polish round recovers
+  // overshoot past a cost minimum (see options.h).
+  if (options_.polish_allocate) {
+    run_round(Direction::Allocate, options_.polish_step_units);
+  }
+
+  outcome.accepted_costs = std::move(state.accepted_cost);
+  return outcome;
+}
+
+}  // namespace aarc::core

@@ -1,0 +1,69 @@
+// Priority Configurator — Algorithm 2 of the paper.
+//
+// Given a path of functions and a latency budget (the end-to-end SLO for the
+// critical path, a sub-SLO for detours), greedily deallocates CPU and memory
+// per function through a max-priority queue of operations:
+//
+//   * every (function x resource) pair starts as an operation with priority
+//     +infinity, step chosen by the step policy, and FUNC_TRIAL retries;
+//   * popping an operation shrinks that resource by `step` grid units and
+//     executes the workflow once (one sample);
+//   * if the probe OOMs, the path runtime exceeds its (margin-adjusted) SLO,
+//     or the operated function's cost did not decrease, the resource is
+//     restored, the step halves (exponential backoff), one trial is burned,
+//     and the op re-enters at priority 0 — or is dropped at trial 0;
+//   * otherwise the new allocation is kept and the op re-enters with the
+//     achieved cost reduction as its priority;
+//   * the loop ends when the queue is empty or MAX_TRAIL samples were spent.
+#pragma once
+
+#include <vector>
+
+#include "aarc/operation.h"
+#include "aarc/options.h"
+#include "dag/graph.h"
+#include "platform/resource.h"
+#include "search/evaluator.h"
+
+namespace aarc::core {
+
+/// Outcome of configuring one path.
+struct PathConfigOutcome {
+  std::size_t samples_used = 0;        ///< probes spent by this call
+  std::size_t ops_accepted = 0;        ///< deallocations kept
+  std::size_t ops_reverted = 0;        ///< deallocations undone
+  /// Per-function observed runtimes of the last accepted state (by NodeId,
+  /// full workflow length) — Algorithm 1 uses these to refresh DAG weights.
+  std::vector<double> accepted_runtimes;
+  /// Per-function observed costs of the last accepted state (by NodeId) —
+  /// the scheduler threads these into the next path's baseline.
+  std::vector<double> accepted_costs;
+  /// Path runtime of the accepted state (sum over the path's nodes).
+  double accepted_path_runtime = 0.0;
+};
+
+class PriorityConfigurator {
+ public:
+  PriorityConfigurator(const platform::ConfigGrid& grid, ConfiguratorOptions options);
+
+  /// Configure the functions in `path_nodes` subject to `path_slo`.
+  /// `config` is the full-workflow configuration and is mutated in place;
+  /// `baseline` must be an evaluation of `config` as it stands (Algorithm
+  /// 1's "execute G" provides it for the critical path; the scheduler passes
+  /// the last accepted evaluation for sub-paths).
+  PathConfigOutcome configure_path(search::Evaluator& evaluator,
+                                   const std::vector<dag::NodeId>& path_nodes,
+                                   double path_slo, platform::WorkflowConfig& config,
+                                   const search::Evaluation& baseline) const;
+
+  const ConfiguratorOptions& options() const { return options_; }
+  const platform::ConfigGrid& grid() const { return grid_; }
+
+ private:
+  std::size_t initial_step_units(double current_value, ResourceType type) const;
+
+  platform::ConfigGrid grid_;
+  ConfiguratorOptions options_;
+};
+
+}  // namespace aarc::core

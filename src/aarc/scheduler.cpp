@@ -1,0 +1,142 @@
+#include "aarc/scheduler.h"
+
+#include <algorithm>
+
+#include "dag/critical_path.h"
+#include "dag/detour.h"
+#include "support/contracts.h"
+#include "support/log.h"
+
+namespace aarc::core {
+
+using support::expects;
+
+namespace {
+
+/// Build a baseline Evaluation for configure_path from the last accepted
+/// state of a previous path (only the per-function vectors are consumed).
+search::Evaluation baseline_from(const std::vector<double>& runtimes,
+                                 const std::vector<double>& costs) {
+  search::Evaluation eval;
+  eval.function_runtimes = runtimes;
+  eval.function_costs = costs;
+  return eval;
+}
+
+}  // namespace
+
+GraphCentricScheduler::GraphCentricScheduler(const platform::Executor& executor,
+                                             platform::ConfigGrid grid,
+                                             SchedulerOptions options)
+    : executor_(&executor), grid_(grid), options_(options) {}
+
+ScheduleReport GraphCentricScheduler::schedule(const platform::Workflow& workflow,
+                                               double slo_seconds,
+                                               double input_scale) const {
+  expects(slo_seconds > 0.0, "SLO must be positive");
+
+  platform::Workflow wf = workflow.clone();
+  wf.validate();
+  const std::size_t n = wf.function_count();
+
+  search::Evaluator evaluator(wf, *executor_, slo_seconds, input_scale, options_.seed);
+  const PriorityConfigurator configurator(grid_, options_.configurator);
+
+  ScheduleReport report;
+
+  // Lines 2-4: over-provisioned base configuration.
+  platform::WorkflowConfig config = platform::uniform_config(n, grid_.max_config());
+
+  // Line 5: execute G once to weight the DAG.
+  const search::Evaluation baseline = evaluator.evaluate(config);
+  if (baseline.sample.failed) {
+    // The workflow cannot run even fully provisioned: no feasible config.
+    report.result.trace = evaluator.trace();
+    report.result.found_feasible = false;
+    return report;
+  }
+  report.profiled_makespan = baseline.sample.makespan;
+  wf.mutable_graph().set_weights(baseline.function_runtimes);
+
+  // Line 6: critical path of the weighted DAG.
+  const dag::Path critical_path = dag::find_critical_path(wf.graph());
+  report.critical_path = critical_path.nodes();
+
+  std::vector<bool> scheduled(n, false);
+
+  // Lines 7-9: configure the critical path against the end-to-end SLO.
+  PathConfigOutcome last =
+      configurator.configure_path(evaluator, critical_path.nodes(), slo_seconds, config,
+                                  baseline);
+  for (dag::NodeId id : critical_path.nodes()) scheduled[id] = true;
+  wf.mutable_graph().set_weights(last.accepted_runtimes);
+
+  // Line 10: detour sub-paths connected to the critical path.
+  const auto subpaths = dag::find_detour_subpaths(wf.graph(), critical_path);
+
+  // Lines 11-21: configure each sub-path against its interval sub-SLO.
+  for (const auto& sp : subpaths) {
+    // Line 12: the sub-SLO is the critical-path interval between anchors.
+    double sub_slo =
+        critical_path.weight_between(wf.graph(), sp.start_anchor(), sp.end_anchor());
+
+    // Lines 13-18: pop already-scheduled functions and deduct their runtime.
+    std::vector<dag::NodeId> remaining;
+    for (dag::NodeId id : sp.path.nodes()) {
+      if (scheduled[id]) {
+        sub_slo -= wf.graph().weight(id);
+      } else {
+        remaining.push_back(id);
+      }
+    }
+    if (remaining.empty()) continue;
+    if (sub_slo <= 0.0) {
+      // Degenerate interval (anchors consume the whole budget): the detour
+      // functions keep the base configuration, which is the fastest
+      // available, so the critical path cannot be delayed.
+      support::log_warn("sub-path ", sp.path.to_string(wf.graph()),
+                        " has no slack; keeping base configuration");
+      for (dag::NodeId id : remaining) scheduled[id] = true;
+      continue;
+    }
+
+    const PathConfigOutcome outcome = configurator.configure_path(
+        evaluator, remaining, sub_slo, config,
+        baseline_from(last.accepted_runtimes, last.accepted_costs));
+    for (dag::NodeId id : remaining) scheduled[id] = true;
+    wf.mutable_graph().set_weights(outcome.accepted_runtimes);
+    last = outcome;
+    ++report.subpath_count;
+  }
+
+  // Nodes on neither the critical path nor any detour (possible with
+  // multiple sources/sinks): configure each as a single-node path bounded by
+  // its schedule slack.
+  if (options_.configure_uncovered_nodes) {
+    const auto uncovered = dag::uncovered_nodes(wf.graph(), critical_path, subpaths);
+    if (!uncovered.empty()) {
+      const dag::Schedule sched = dag::compute_schedule(wf.graph());
+      for (dag::NodeId id : uncovered) {
+        if (scheduled[id]) continue;
+        const double budget = wf.graph().weight(id) + sched.slack(id);
+        if (budget <= 0.0) continue;
+        const PathConfigOutcome outcome = configurator.configure_path(
+            evaluator, {id}, budget, config,
+            baseline_from(last.accepted_runtimes, last.accepted_costs));
+        scheduled[id] = true;
+        wf.mutable_graph().set_weights(outcome.accepted_runtimes);
+        last = outcome;
+        ++report.uncovered_count;
+      }
+    }
+  }
+
+  // Finalization (step 7 in Fig. 4): verify the configuration once.
+  const search::Evaluation final_eval = evaluator.evaluate(config);
+  report.result.best_config = config;
+  report.result.found_feasible = final_eval.sample.feasible;
+  report.result.trace = evaluator.trace();
+  return report;
+}
+
+}  // namespace aarc::core

@@ -1,0 +1,59 @@
+// Graph-Centric Scheduler — Algorithm 1 of the paper, and the public entry
+// point of the AARC framework.
+//
+// schedule() takes a workflow plus its end-to-end SLO and returns the
+// cost-optimized decoupled configuration:
+//   1. every function gets the over-provisioned base configuration (the
+//      grid maximum) — line 2-4;
+//   2. one profiling execution weights the DAG with observed runtimes —
+//      line 5;
+//   3. the critical path is extracted and handed to the Priority
+//      Configurator with the full SLO — lines 6-9;
+//   4. detour sub-paths are enumerated; each gets the critical-path interval
+//      between its anchors as sub-SLO, minus the runtime of functions that
+//      are already scheduled (lines 10-18), and is configured the same way
+//      (lines 19-20);
+//   5. the final configuration is returned together with the full sampling
+//      trace (for Figs. 5-7).
+#pragma once
+
+#include "aarc/options.h"
+#include "aarc/priority_configurator.h"
+#include "platform/executor.h"
+#include "search/evaluator.h"
+
+namespace aarc::core {
+
+/// Detailed report of one scheduling run (beyond the generic SearchResult).
+struct ScheduleReport {
+  search::SearchResult result;
+  std::vector<dag::NodeId> critical_path;     ///< node ids in order
+  std::size_t subpath_count = 0;              ///< detours configured
+  std::size_t uncovered_count = 0;            ///< stray nodes configured
+  double profiled_makespan = 0.0;             ///< base-config makespan
+};
+
+class GraphCentricScheduler {
+ public:
+  /// The executor is the platform the workflow runs on; the grid bounds the
+  /// search space.  Both are captured by value/reference per call safety:
+  /// executor must outlive the scheduler.
+  GraphCentricScheduler(const platform::Executor& executor, platform::ConfigGrid grid,
+                        SchedulerOptions options = {});
+
+  /// Run Algorithm 1.  `input_scale` selects the input size class (1.0 for
+  /// the paper's main experiments).  The workflow is cloned internally; the
+  /// argument is not modified.
+  ScheduleReport schedule(const platform::Workflow& workflow, double slo_seconds,
+                          double input_scale = 1.0) const;
+
+  const SchedulerOptions& options() const { return options_; }
+  const platform::ConfigGrid& grid() const { return grid_; }
+
+ private:
+  const platform::Executor* executor_;
+  platform::ConfigGrid grid_;
+  SchedulerOptions options_;
+};
+
+}  // namespace aarc::core

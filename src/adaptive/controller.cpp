@@ -1,0 +1,72 @@
+#include "adaptive/controller.h"
+
+#include <algorithm>
+
+#include "support/contracts.h"
+#include "support/log.h"
+
+namespace aarc::adaptive {
+
+using support::expects;
+
+namespace {
+/// A placeholder expectation for the monitor before the first schedule runs.
+constexpr double kUninitializedExpectation = 1.0;
+}  // namespace
+
+AdaptiveController::AdaptiveController(const workloads::Workload& workload,
+                                       const platform::Executor& executor,
+                                       platform::ConfigGrid grid,
+                                       ControllerOptions options)
+    : workload_(&workload),
+      executor_(&executor),
+      grid_(grid),
+      options_(options),
+      monitor_(kUninitializedExpectation, workload.slo_seconds, options.monitor) {
+  expects(options_.min_observations_between_reconfigs >= 1,
+          "cool-down must be at least one observation");
+  reschedule(1.0);
+  reconfigurations_ = 0;  // the initial deployment is not a re-configuration
+}
+
+bool AdaptiveController::observe(double makespan_seconds) {
+  monitor_.observe(makespan_seconds);
+  ++observations_since_reconfig_;
+  if (observations_since_reconfig_ < options_.min_observations_between_reconfigs) {
+    return false;
+  }
+  if (!monitor_.should_reconfigure()) return false;
+
+  const DriftVerdict verdict = monitor_.verdict();
+  const double new_scale =
+      std::max(0.05, scale_estimate_ * monitor_.estimated_drift_ratio());
+  support::log_info("adaptive controller: ", to_string(verdict),
+                    "; rescheduling at scale ", new_scale);
+  reschedule(new_scale);
+  ++reconfigurations_;
+  return true;
+}
+
+void AdaptiveController::reschedule(double scale) {
+  core::GraphCentricScheduler scheduler(*executor_, grid_, options_.scheduler);
+  const core::ScheduleReport report =
+      scheduler.schedule(workload_->workflow, workload_->slo_seconds, scale);
+  scheduling_samples_ += report.result.samples();
+  if (report.result.found_feasible) {
+    config_ = report.result.best_config;
+    scale_estimate_ = scale;
+  } else if (config_.empty()) {
+    // First deployment and even the base configuration misses the SLO: fall
+    // back to full provisioning (the safest thing a controller can do).
+    support::log_warn("adaptive controller: no feasible config; using grid maximum");
+    config_ = platform::uniform_config(workload_->workflow.function_count(),
+                                       grid_.max_config());
+  }
+
+  const auto expectation =
+      executor_->execute_mean(workload_->workflow, config_, scale);
+  monitor_.reset(expectation.failed ? workload_->slo_seconds : expectation.makespan);
+  observations_since_reconfig_ = 0;
+}
+
+}  // namespace aarc::adaptive

@@ -1,0 +1,61 @@
+// Adaptive controller: drift monitor + Graph-Centric Scheduler in a loop.
+//
+// Owns the deployed configuration of one workload.  Each completed request's
+// runtime is fed to the monitor; when the monitor flags SLO risk or drift,
+// the controller re-runs AARC at the estimated new input scale and swaps the
+// configuration.  This closes the loop the paper leaves as the §IV-D
+// plugin's "when a request arrives" step for workloads whose input mix
+// shifts over time.
+#pragma once
+
+#include <cstddef>
+
+#include "aarc/scheduler.h"
+#include "adaptive/monitor.h"
+#include "workloads/workload.h"
+
+namespace aarc::adaptive {
+
+struct ControllerOptions {
+  MonitorOptions monitor;
+  core::SchedulerOptions scheduler;
+  /// Cool-down: minimum observations between two reconfigurations.
+  std::size_t min_observations_between_reconfigs = 10;
+};
+
+class AdaptiveController {
+ public:
+  /// Deploys an initial configuration by running AARC at scale 1.
+  /// The workload and executor must outlive the controller.
+  AdaptiveController(const workloads::Workload& workload,
+                     const platform::Executor& executor, platform::ConfigGrid grid,
+                     ControllerOptions options = {});
+
+  const platform::WorkflowConfig& current_config() const { return config_; }
+  std::size_t reconfigurations() const { return reconfigurations_; }
+  double current_scale_estimate() const { return scale_estimate_; }
+  const DriftMonitor& monitor() const { return monitor_; }
+
+  /// Feed one completed request's end-to-end runtime.  Returns true when
+  /// this observation triggered a reconfiguration.
+  bool observe(double makespan_seconds);
+
+  /// Samples spent on (re)scheduling so far.
+  std::size_t scheduling_samples() const { return scheduling_samples_; }
+
+ private:
+  void reschedule(double scale);
+
+  const workloads::Workload* workload_;
+  const platform::Executor* executor_;
+  platform::ConfigGrid grid_;
+  ControllerOptions options_;
+  platform::WorkflowConfig config_;
+  DriftMonitor monitor_;
+  double scale_estimate_ = 1.0;
+  std::size_t reconfigurations_ = 0;
+  std::size_t observations_since_reconfig_ = 0;
+  std::size_t scheduling_samples_ = 0;
+};
+
+}  // namespace aarc::adaptive

@@ -1,0 +1,67 @@
+#include "adaptive/monitor.h"
+
+#include "support/contracts.h"
+
+namespace aarc::adaptive {
+
+using support::expects;
+
+const char* to_string(DriftVerdict verdict) {
+  switch (verdict) {
+    case DriftVerdict::Healthy:
+      return "healthy";
+    case DriftVerdict::SloRisk:
+      return "slo-risk";
+    case DriftVerdict::DriftedSlower:
+      return "drifted-slower";
+    case DriftVerdict::DriftedFaster:
+      return "drifted-faster";
+  }
+  return "?";
+}
+
+DriftMonitor::DriftMonitor(double expected_makespan, double slo_seconds,
+                           MonitorOptions options)
+    : expected_(expected_makespan), slo_(slo_seconds), options_(options) {
+  expects(expected_makespan > 0.0, "expected makespan must be positive");
+  expects(slo_seconds > 0.0, "SLO must be positive");
+  expects(options.ewma_alpha > 0.0 && options.ewma_alpha <= 1.0,
+          "EWMA alpha must be in (0, 1]");
+  expects(options.slo_risk_fraction > 0.0 && options.slo_risk_fraction <= 1.0,
+          "slo_risk_fraction must be in (0, 1]");
+  expects(options.drift_up_factor > 1.0, "drift_up_factor must exceed 1");
+  expects(options.drift_down_factor > 0.0 && options.drift_down_factor < 1.0,
+          "drift_down_factor must be in (0, 1)");
+}
+
+void DriftMonitor::observe(double makespan_seconds) {
+  expects(makespan_seconds > 0.0, "observed makespan must be positive");
+  if (count_ == 0) {
+    ewma_ = makespan_seconds;
+  } else {
+    ewma_ = options_.ewma_alpha * makespan_seconds + (1.0 - options_.ewma_alpha) * ewma_;
+  }
+  ++count_;
+}
+
+DriftVerdict DriftMonitor::verdict() const {
+  if (count_ < options_.min_observations) return DriftVerdict::Healthy;
+  if (ewma_ > slo_ * options_.slo_risk_fraction) return DriftVerdict::SloRisk;
+  if (ewma_ > expected_ * options_.drift_up_factor) return DriftVerdict::DriftedSlower;
+  if (ewma_ < expected_ * options_.drift_down_factor) return DriftVerdict::DriftedFaster;
+  return DriftVerdict::Healthy;
+}
+
+double DriftMonitor::estimated_drift_ratio() const {
+  if (count_ < options_.min_observations) return 1.0;
+  return ewma_ / expected_;
+}
+
+void DriftMonitor::reset(double expected_makespan) {
+  expects(expected_makespan > 0.0, "expected makespan must be positive");
+  expected_ = expected_makespan;
+  ewma_ = 0.0;
+  count_ = 0;
+}
+
+}  // namespace aarc::adaptive

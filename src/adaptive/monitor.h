@@ -1,0 +1,70 @@
+// Online drift detection for deployed configurations.
+//
+// A configuration found by AARC is only optimal for the conditions it was
+// profiled under.  In production, input characteristics drift (the paper's
+// §IV-D motivates this for input-sensitive workflows).  The monitor watches
+// the stream of end-to-end runtimes of a deployed workflow and flags when
+// the configuration should be recomputed:
+//   * SLO risk: the recent runtime level approaches or exceeds the SLO;
+//   * drift: the recent level departs from the expected level by more than
+//     a configurable factor in either direction (slower = SLO risk,
+//     faster = money on the table).
+//
+// Detection uses an exponentially weighted moving average (EWMA), the
+// standard low-memory level estimator.
+#pragma once
+
+#include <cstddef>
+
+namespace aarc::adaptive {
+
+struct MonitorOptions {
+  double ewma_alpha = 0.2;        ///< EWMA weight of the newest observation
+  double slo_risk_fraction = 0.9; ///< flag when EWMA > slo * this
+  double drift_up_factor = 1.25;  ///< flag when EWMA > expected * this
+  double drift_down_factor = 0.6; ///< flag when EWMA < expected * this
+  std::size_t min_observations = 5;  ///< no verdicts before this many samples
+};
+
+enum class DriftVerdict {
+  Healthy,       ///< keep the configuration
+  SloRisk,       ///< runtime level approaching/over the SLO
+  DriftedSlower, ///< sustained slowdown vs expectation
+  DriftedFaster, ///< sustained speedup vs expectation (over-provisioned now)
+};
+
+const char* to_string(DriftVerdict verdict);
+
+class DriftMonitor {
+ public:
+  /// `expected_makespan` is the level the deployed configuration was
+  /// validated at; `slo_seconds` the workflow's SLO.
+  DriftMonitor(double expected_makespan, double slo_seconds, MonitorOptions options = {});
+
+  /// Feed one observed end-to-end runtime.
+  void observe(double makespan_seconds);
+
+  std::size_t observations() const { return count_; }
+  double ewma() const { return ewma_; }
+  double expected() const { return expected_; }
+
+  /// Current verdict (Healthy until min_observations reached).
+  DriftVerdict verdict() const;
+  bool should_reconfigure() const { return verdict() != DriftVerdict::Healthy; }
+
+  /// Ratio of the observed level to the expected level — the scale estimate
+  /// a re-scheduling pass should use (1.0 until observations accumulate).
+  double estimated_drift_ratio() const;
+
+  /// Re-arm after a reconfiguration with a new expectation.
+  void reset(double expected_makespan);
+
+ private:
+  double expected_;
+  double slo_;
+  MonitorOptions options_;
+  double ewma_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace aarc::adaptive

@@ -1,0 +1,27 @@
+#include "baselines/bo/acquisition.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace aarc::baselines {
+
+double normal_pdf(double z) {
+  return std::exp(-0.5 * z * z) / std::sqrt(2.0 * std::numbers::pi);
+}
+
+double normal_cdf(double z) { return 0.5 * (1.0 + std::erf(z / std::numbers::sqrt2)); }
+
+double expected_improvement(const GpPrediction& prediction, double best, double xi) {
+  const double sigma = std::sqrt(prediction.variance);
+  const double improvement = best - prediction.mean - xi;
+  if (sigma < 1e-12) return improvement > 0.0 ? improvement : 0.0;
+  const double z = improvement / sigma;
+  return improvement * normal_cdf(z) + sigma * normal_pdf(z);
+}
+
+double negative_lower_confidence_bound(const GpPrediction& prediction, double beta) {
+  const double sigma = std::sqrt(prediction.variance);
+  return -(prediction.mean - beta * sigma);
+}
+
+}  // namespace aarc::baselines

@@ -1,0 +1,22 @@
+// Acquisition functions for Bayesian optimization (minimization form).
+#pragma once
+
+#include "baselines/bo/gp.h"
+
+namespace aarc::baselines {
+
+/// Standard normal probability density.
+double normal_pdf(double z);
+/// Standard normal cumulative distribution.
+double normal_cdf(double z);
+
+/// Expected improvement below `best` for a minimization problem:
+/// EI = (best - mu - xi) Phi(z) + sigma phi(z), z = (best - mu - xi)/sigma.
+/// Returns 0 when sigma is (numerically) 0.
+double expected_improvement(const GpPrediction& prediction, double best, double xi = 0.0);
+
+/// Lower confidence bound (negated for "larger is better" ranking):
+/// score = -(mu - beta * sigma).
+double negative_lower_confidence_bound(const GpPrediction& prediction, double beta = 2.0);
+
+}  // namespace aarc::baselines

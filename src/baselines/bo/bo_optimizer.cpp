@@ -1,0 +1,191 @@
+#include "baselines/bo/bo_optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+
+#include "baselines/bo/acquisition.h"
+#include "baselines/bo/gp.h"
+#include "baselines/bo/lhs.h"
+#include "support/contracts.h"
+
+namespace aarc::baselines {
+
+using support::expects;
+
+namespace {
+
+/// Bijection between normalized [0,1]^{2F} vectors and grid configs.
+class SpaceCodec {
+ public:
+  SpaceCodec(const platform::ConfigGrid& grid, std::size_t functions)
+      : grid_(&grid), functions_(functions) {}
+
+  std::size_t dims() const { return 2 * functions_; }
+
+  platform::WorkflowConfig decode(const std::vector<double>& x) const {
+    expects(x.size() == dims(), "codec dimension mismatch");
+    platform::WorkflowConfig config(functions_);
+    for (std::size_t f = 0; f < functions_; ++f) {
+      config[f].vcpu = axis_value(grid_->cpu(), x[2 * f]);
+      config[f].memory_mb = axis_value(grid_->memory(), x[2 * f + 1]);
+    }
+    return config;
+  }
+
+  std::vector<double> encode(const platform::WorkflowConfig& config) const {
+    std::vector<double> x(dims());
+    for (std::size_t f = 0; f < functions_; ++f) {
+      x[2 * f] = axis_coord(grid_->cpu(), config[f].vcpu);
+      x[2 * f + 1] = axis_coord(grid_->memory(), config[f].memory_mb);
+    }
+    return x;
+  }
+
+  /// Snap a normalized vector onto exact grid coordinates.
+  std::vector<double> snap(const std::vector<double>& x) const {
+    return encode(decode(x));
+  }
+
+ private:
+  static double axis_value(const support::ValueGrid& axis, double coord) {
+    const double clamped = std::clamp(coord, 0.0, 1.0);
+    const auto idx = static_cast<std::size_t>(
+        std::round(clamped * static_cast<double>(axis.size() - 1)));
+    return axis.value(std::min(idx, axis.size() - 1));
+  }
+
+  static double axis_coord(const support::ValueGrid& axis, double value) {
+    return static_cast<double>(axis.index_of(value)) /
+           static_cast<double>(axis.size() - 1);
+  }
+
+  const platform::ConfigGrid* grid_;
+  std::size_t functions_;
+};
+
+double objective_of(const search::Sample& sample, double slo, const BoOptions& options) {
+  if (sample.failed) return options.oom_penalty;
+  double obj = sample.cost;
+  const double safe_slo = slo * (1.0 - options.slo_margin);
+  if (sample.makespan > safe_slo) {
+    obj += options.slo_penalty_per_second * (sample.makespan - safe_slo);
+  }
+  return obj;
+}
+
+/// Cheapest probe whose observed makespan sits inside the safety margin.
+std::optional<std::size_t> best_safe_index(const search::SearchTrace& trace,
+                                           double safe_slo) {
+  std::optional<std::size_t> best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (const auto& s : trace.samples()) {
+    if (s.failed || s.makespan > safe_slo) continue;
+    if (s.cost < best_cost) {
+      best_cost = s.cost;
+      best = s.index;
+    }
+  }
+  return best;
+}
+
+std::unique_ptr<Kernel> make_kernel(const BoOptions& options) {
+  constexpr double kSignalVariance = 1.0;
+  constexpr double kInitialLengthscale = 0.2;
+  if (options.kernel == KernelChoice::Rbf) {
+    return std::make_unique<RbfKernel>(kSignalVariance, kInitialLengthscale);
+  }
+  return std::make_unique<Matern52Kernel>(kSignalVariance, kInitialLengthscale);
+}
+
+}  // namespace
+
+search::SearchResult bayesian_optimization(search::Evaluator& evaluator,
+                                           const platform::ConfigGrid& grid,
+                                           const BoOptions& options) {
+  expects(options.max_samples >= options.init_samples,
+          "max_samples must cover the initial design");
+  expects(options.init_samples >= 2, "need at least two initial samples");
+  expects(options.candidate_pool > 0, "candidate pool must be non-empty");
+
+  const std::size_t functions = evaluator.workflow().function_count();
+  const SpaceCodec codec(grid, functions);
+  support::Rng rng(options.seed);
+
+  std::vector<std::vector<double>> xs;
+  std::vector<double> objectives;
+  xs.reserve(options.max_samples);
+  objectives.reserve(options.max_samples);
+
+  auto probe = [&](const std::vector<double>& x) {
+    const auto snapped = codec.snap(x);
+    const auto eval = evaluator.evaluate(codec.decode(snapped));
+    xs.push_back(snapped);
+    objectives.push_back(objective_of(eval.sample, evaluator.slo_seconds(), options));
+  };
+
+  // Initial design: the over-provisioned provider default first (a known
+  // safe anchor, as in Bilal et al.'s setup), then a Latin hypercube.
+  std::size_t lhs_count = options.init_samples;
+  if (options.warm_start_with_base) {
+    probe(codec.encode(platform::uniform_config(functions, grid.max_config())));
+    lhs_count -= 1;
+  }
+  for (const auto& x : latin_hypercube(lhs_count, codec.dims(), rng)) {
+    probe(x);
+  }
+
+  GaussianProcess gp(make_kernel(options), options.noise_variance);
+
+  while (xs.size() < options.max_samples) {
+    gp.fit(xs, objectives);
+    if (options.lengthscale_every > 0 && xs.size() % options.lengthscale_every == 0) {
+      gp.select_lengthscale({0.05, 0.1, 0.2, 0.4, 0.8});
+    }
+
+    const double best_objective = *std::min_element(objectives.begin(), objectives.end());
+    const std::size_t best_index = static_cast<std::size_t>(
+        std::min_element(objectives.begin(), objectives.end()) - objectives.begin());
+
+    // Candidate pool: uniform random grid points + local moves around the
+    // incumbent (one coordinate nudged a few grid steps).
+    std::vector<std::vector<double>> candidates;
+    candidates.reserve(options.candidate_pool + options.local_candidates);
+    for (std::size_t i = 0; i < options.candidate_pool; ++i) {
+      std::vector<double> x(codec.dims());
+      for (double& v : x) v = rng.uniform(0.0, 1.0);
+      candidates.push_back(codec.snap(x));
+    }
+    for (std::size_t i = 0; i < options.local_candidates; ++i) {
+      std::vector<double> x = xs[best_index];
+      const std::size_t dim = rng.index(codec.dims());
+      x[dim] = std::clamp(x[dim] + rng.normal(0.0, 0.05), 0.0, 1.0);
+      candidates.push_back(codec.snap(x));
+    }
+
+    double best_ei = -1.0;
+    const std::vector<double>* best_candidate = &candidates.front();
+    for (const auto& c : candidates) {
+      const double ei = expected_improvement(gp.predict(c), best_objective, options.xi);
+      if (ei > best_ei) {
+        best_ei = ei;
+        best_candidate = &c;
+      }
+    }
+    probe(*best_candidate);
+  }
+
+  search::SearchResult result;
+  result.trace = evaluator.trace();
+  auto best = best_safe_index(result.trace, evaluator.slo_seconds() * (1.0 - options.slo_margin));
+  // Fall back to plain feasibility if nothing sits inside the margin.
+  if (!best.has_value()) best = result.trace.best_feasible_index();
+  if (best.has_value()) {
+    result.found_feasible = true;
+    result.best_config = result.trace.samples()[*best].config;
+  }
+  return result;
+}
+
+}  // namespace aarc::baselines

@@ -1,0 +1,47 @@
+// Bayesian-optimization baseline (Bilal et al. [8], adapted to workflows as
+// in Section IV-A(b) of the paper).
+//
+// The search space is the joint decoupled configuration of all functions:
+// per function a (vCPU, memory) pair on the discrete grid, i.e. 2F
+// dimensions normalized to [0,1].  The objective is workflow cost with a
+// linear penalty for SLO violations (and a large fixed penalty for OOM).
+// Initialization is a Latin hypercube; each round fits a GP (Matern 5/2 by
+// default) and maximizes expected improvement over a random candidate pool
+// plus local perturbations of the incumbent.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "platform/resource.h"
+#include "search/evaluator.h"
+#include "support/rng.h"
+
+namespace aarc::baselines {
+
+enum class KernelChoice { Matern52, Rbf };
+
+struct BoOptions {
+  std::size_t max_samples = 100;       ///< total evaluations incl. init
+  std::size_t init_samples = 10;       ///< warm start + Latin hypercube
+  std::size_t candidate_pool = 512;    ///< random grid candidates per round
+  std::size_t local_candidates = 64;   ///< perturbations of the incumbent
+  double slo_penalty_per_second = 50.0;///< objective penalty per second over SLO
+  double oom_penalty = 1e6;            ///< objective for OOM probes
+  double xi = 0.01;                    ///< EI exploration margin
+  double slo_margin = 0.03;            ///< configs within slo*(1-margin) count as safe
+  bool warm_start_with_base = true;    ///< first probe = over-provisioned default
+  KernelChoice kernel = KernelChoice::Matern52;
+  double noise_variance = 1e-3;        ///< GP noise (standardized units)
+  std::size_t lengthscale_every = 10;  ///< refit lengthscale each k rounds
+  std::uint64_t seed = 7;
+};
+
+/// Run the BO baseline.  Every evaluation is recorded in the evaluator's
+/// trace; the returned best config is the cheapest feasible probe (empty
+/// when none was feasible).
+search::SearchResult bayesian_optimization(search::Evaluator& evaluator,
+                                           const platform::ConfigGrid& grid,
+                                           const BoOptions& options = {});
+
+}  // namespace aarc::baselines

@@ -1,0 +1,99 @@
+#include "baselines/bo/gp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "support/contracts.h"
+#include "support/statistics.h"
+
+namespace aarc::baselines {
+
+using support::expects;
+
+GaussianProcess::GaussianProcess(std::unique_ptr<Kernel> kernel, double noise_variance)
+    : kernel_(std::move(kernel)), noise_variance_(noise_variance) {
+  expects(kernel_ != nullptr, "GP requires a kernel");
+  expects(noise_variance_ > 0.0, "noise variance must be positive");
+}
+
+void GaussianProcess::fit(const std::vector<std::vector<double>>& x,
+                          const std::vector<double>& y) {
+  expects(!x.empty(), "GP fit requires at least one sample");
+  expects(x.size() == y.size(), "x/y size mismatch");
+  const std::size_t d = x.front().size();
+  expects(d > 0, "GP inputs must have dimension >= 1");
+  for (const auto& row : x) expects(row.size() == d, "inconsistent input dimension");
+
+  x_ = x;
+  y_raw_ = y;
+  const auto stats = support::summarize(y);
+  y_mean_ = stats.mean;
+  y_scale_ = stats.stddev > 1e-12 ? stats.stddev : 1.0;
+  y_std_.resize(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) y_std_[i] = (y[i] - y_mean_) / y_scale_;
+  refit();
+}
+
+void GaussianProcess::refit() {
+  const std::size_t n = x_.size();
+  Matrix k(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = (*kernel_)(x_[i], x_[j]);
+      k.at(i, j) = v;
+      k.at(j, i) = v;
+    }
+    k.at(i, i) += noise_variance_;
+  }
+  chol_ = cholesky(k, 1e-9);
+  alpha_ = cholesky_solve(chol_, y_std_);
+}
+
+GpPrediction GaussianProcess::predict(const std::vector<double>& x) const {
+  expects(fitted(), "predict before fit");
+  expects(x.size() == x_.front().size(), "query dimension mismatch");
+  const std::size_t n = x_.size();
+  std::vector<double> kstar(n);
+  for (std::size_t i = 0; i < n; ++i) kstar[i] = (*kernel_)(x_[i], x);
+
+  const double mean_std = dot(kstar, alpha_);
+  const std::vector<double> v = solve_lower(chol_, kstar);
+  const double kxx = (*kernel_)(x, x);
+  const double var_std = std::max(0.0, kxx - dot(v, v));
+
+  GpPrediction out;
+  out.mean = mean_std * y_scale_ + y_mean_;
+  out.variance = var_std * y_scale_ * y_scale_;
+  return out;
+}
+
+double GaussianProcess::log_marginal_likelihood() const {
+  expects(fitted(), "log_marginal_likelihood before fit");
+  const auto n = static_cast<double>(x_.size());
+  const double data_fit = -0.5 * dot(y_std_, alpha_);
+  const double complexity = -log_diagonal_sum(chol_);
+  const double norm = -0.5 * n * std::log(2.0 * std::numbers::pi);
+  return data_fit + complexity + norm;
+}
+
+void GaussianProcess::select_lengthscale(const std::vector<double>& candidates) {
+  expects(fitted(), "select_lengthscale before fit");
+  expects(!candidates.empty(), "need at least one lengthscale candidate");
+  double best_ll = -std::numeric_limits<double>::infinity();
+  double best_ls = kernel_->lengthscale();
+  for (double ls : candidates) {
+    kernel_ = kernel_->with_lengthscale(ls);
+    refit();
+    const double ll = log_marginal_likelihood();
+    if (ll > best_ll) {
+      best_ll = ll;
+      best_ls = ls;
+    }
+  }
+  kernel_ = kernel_->with_lengthscale(best_ls);
+  refit();
+}
+
+}  // namespace aarc::baselines

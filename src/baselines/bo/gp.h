@@ -1,0 +1,54 @@
+// Gaussian-process regression with internal target standardization.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "baselines/bo/kernel.h"
+#include "baselines/bo/linalg.h"
+
+namespace aarc::baselines {
+
+/// Posterior at a query point.
+struct GpPrediction {
+  double mean = 0.0;
+  double variance = 0.0;  ///< >= 0 (clamped)
+};
+
+class GaussianProcess {
+ public:
+  /// noise_variance is relative to the standardized targets.
+  GaussianProcess(std::unique_ptr<Kernel> kernel, double noise_variance = 1e-4);
+
+  /// Fit on n points of dimension d.  Throws on inconsistent shapes.
+  void fit(const std::vector<std::vector<double>>& x, const std::vector<double>& y);
+
+  bool fitted() const { return !x_.empty(); }
+  std::size_t sample_count() const { return x_.size(); }
+
+  /// Posterior mean/variance in original target units.
+  GpPrediction predict(const std::vector<double>& x) const;
+
+  /// Log marginal likelihood of the standardized targets under the current
+  /// fit (for lengthscale selection).
+  double log_marginal_likelihood() const;
+
+  /// Refit with the lengthscale from `candidates` that maximizes marginal
+  /// likelihood.  Requires fitted().
+  void select_lengthscale(const std::vector<double>& candidates);
+
+ private:
+  void refit();
+
+  std::unique_ptr<Kernel> kernel_;
+  double noise_variance_;
+  std::vector<std::vector<double>> x_;
+  std::vector<double> y_raw_;
+  std::vector<double> y_std_;  ///< standardized targets
+  double y_mean_ = 0.0;
+  double y_scale_ = 1.0;
+  Matrix chol_;
+  std::vector<double> alpha_;  ///< K^-1 y_std
+};
+
+}  // namespace aarc::baselines

@@ -1,0 +1,64 @@
+#include "baselines/bo/kernel.h"
+
+#include <cmath>
+
+#include "support/contracts.h"
+
+namespace aarc::baselines {
+
+using support::expects;
+
+namespace {
+double squared_distance(const std::vector<double>& a, const std::vector<double>& b) {
+  expects(a.size() == b.size(), "kernel input dimension mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+}  // namespace
+
+RbfKernel::RbfKernel(double signal_variance, double lengthscale)
+    : signal_variance_(signal_variance), lengthscale_(lengthscale) {
+  expects(signal_variance > 0.0, "signal variance must be positive");
+  expects(lengthscale > 0.0, "lengthscale must be positive");
+}
+
+double RbfKernel::operator()(const std::vector<double>& a,
+                             const std::vector<double>& b) const {
+  const double r2 = squared_distance(a, b);
+  return signal_variance_ * std::exp(-r2 / (2.0 * lengthscale_ * lengthscale_));
+}
+
+std::unique_ptr<Kernel> RbfKernel::clone() const {
+  return std::make_unique<RbfKernel>(*this);
+}
+
+std::unique_ptr<Kernel> RbfKernel::with_lengthscale(double lengthscale) const {
+  return std::make_unique<RbfKernel>(signal_variance_, lengthscale);
+}
+
+Matern52Kernel::Matern52Kernel(double signal_variance, double lengthscale)
+    : signal_variance_(signal_variance), lengthscale_(lengthscale) {
+  expects(signal_variance > 0.0, "signal variance must be positive");
+  expects(lengthscale > 0.0, "lengthscale must be positive");
+}
+
+double Matern52Kernel::operator()(const std::vector<double>& a,
+                                  const std::vector<double>& b) const {
+  const double r = std::sqrt(squared_distance(a, b));
+  const double s = std::sqrt(5.0) * r / lengthscale_;
+  return signal_variance_ * (1.0 + s + s * s / 3.0) * std::exp(-s);
+}
+
+std::unique_ptr<Kernel> Matern52Kernel::clone() const {
+  return std::make_unique<Matern52Kernel>(*this);
+}
+
+std::unique_ptr<Kernel> Matern52Kernel::with_lengthscale(double lengthscale) const {
+  return std::make_unique<Matern52Kernel>(signal_variance_, lengthscale);
+}
+
+}  // namespace aarc::baselines

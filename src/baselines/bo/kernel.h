@@ -1,0 +1,64 @@
+// Covariance kernels over normalized configuration vectors ([0,1]^d).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+namespace aarc::baselines {
+
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+
+  /// k(a, b); inputs are same-dimension vectors.
+  virtual double operator()(const std::vector<double>& a,
+                            const std::vector<double>& b) const = 0;
+
+  virtual std::unique_ptr<Kernel> clone() const = 0;
+
+  virtual double lengthscale() const = 0;
+  virtual std::unique_ptr<Kernel> with_lengthscale(double lengthscale) const = 0;
+
+ protected:
+  Kernel() = default;
+  Kernel(const Kernel&) = default;
+  Kernel& operator=(const Kernel&) = default;
+};
+
+/// Squared-exponential: sigma_f^2 * exp(-||a-b||^2 / (2 l^2)).
+class RbfKernel final : public Kernel {
+ public:
+  RbfKernel(double signal_variance, double lengthscale);
+
+  double operator()(const std::vector<double>& a,
+                    const std::vector<double>& b) const override;
+  std::unique_ptr<Kernel> clone() const override;
+  double lengthscale() const override { return lengthscale_; }
+  std::unique_ptr<Kernel> with_lengthscale(double lengthscale) const override;
+
+  double signal_variance() const { return signal_variance_; }
+
+ private:
+  double signal_variance_;
+  double lengthscale_;
+};
+
+/// Matern 5/2: sigma_f^2 * (1 + sqrt(5)r/l + 5r^2/(3l^2)) exp(-sqrt(5)r/l).
+class Matern52Kernel final : public Kernel {
+ public:
+  Matern52Kernel(double signal_variance, double lengthscale);
+
+  double operator()(const std::vector<double>& a,
+                    const std::vector<double>& b) const override;
+  std::unique_ptr<Kernel> clone() const override;
+  double lengthscale() const override { return lengthscale_; }
+  std::unique_ptr<Kernel> with_lengthscale(double lengthscale) const override;
+
+  double signal_variance() const { return signal_variance_; }
+
+ private:
+  double signal_variance_;
+  double lengthscale_;
+};
+
+}  // namespace aarc::baselines

@@ -1,0 +1,24 @@
+#include "baselines/bo/lhs.h"
+
+#include "support/contracts.h"
+
+namespace aarc::baselines {
+
+using support::expects;
+
+std::vector<std::vector<double>> latin_hypercube(std::size_t count, std::size_t dims,
+                                                 support::Rng& rng) {
+  expects(count > 0 && dims > 0, "latin_hypercube requires positive count and dims");
+  std::vector<std::vector<double>> points(count, std::vector<double>(dims, 0.0));
+  for (std::size_t d = 0; d < dims; ++d) {
+    const auto strata = rng.permutation(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const double lo = static_cast<double>(strata[i]) / static_cast<double>(count);
+      const double hi = static_cast<double>(strata[i] + 1) / static_cast<double>(count);
+      points[i][d] = rng.uniform(lo, hi);
+    }
+  }
+  return points;
+}
+
+}  // namespace aarc::baselines

@@ -1,0 +1,15 @@
+// Latin-hypercube sampling in [0,1]^d for BO initialization.
+#pragma once
+
+#include <vector>
+
+#include "support/rng.h"
+
+namespace aarc::baselines {
+
+/// `count` points in [0,1]^d, one per stratum per dimension, jittered within
+/// strata.  Deterministic for a given rng state.
+std::vector<std::vector<double>> latin_hypercube(std::size_t count, std::size_t dims,
+                                                 support::Rng& rng);
+
+}  // namespace aarc::baselines

@@ -1,0 +1,100 @@
+#include "baselines/bo/linalg.h"
+
+#include <cmath>
+
+#include "support/contracts.h"
+
+namespace aarc::baselines {
+
+using support::expects;
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+  expects(rows > 0 && cols > 0, "matrix dimensions must be positive");
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  expects(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  expects(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+std::vector<double> Matrix::multiply(const std::vector<double>& v) const {
+  expects(v.size() == cols_, "matrix-vector size mismatch");
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += data_[r * cols_ + c] * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+Matrix cholesky(const Matrix& a, double jitter) {
+  expects(a.rows() == a.cols(), "cholesky requires a square matrix");
+  const std::size_t n = a.rows();
+  Matrix l(n, n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a.at(j, j) + jitter;
+    for (std::size_t k = 0; k < j; ++k) diag -= l.at(j, k) * l.at(j, k);
+    expects(diag > 0.0, "matrix is not positive definite (even with jitter)");
+    l.at(j, j) = std::sqrt(diag);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double acc = a.at(i, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= l.at(i, k) * l.at(j, k);
+      l.at(i, j) = acc / l.at(j, j);
+    }
+  }
+  return l;
+}
+
+std::vector<double> solve_lower(const Matrix& l, const std::vector<double>& b) {
+  expects(l.rows() == l.cols(), "triangular solve requires a square matrix");
+  expects(b.size() == l.rows(), "rhs size mismatch");
+  const std::size_t n = l.rows();
+  std::vector<double> y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t k = 0; k < i; ++k) acc -= l.at(i, k) * y[k];
+    y[i] = acc / l.at(i, i);
+  }
+  return y;
+}
+
+std::vector<double> solve_lower_transpose(const Matrix& l, const std::vector<double>& y) {
+  expects(l.rows() == l.cols(), "triangular solve requires a square matrix");
+  expects(y.size() == l.rows(), "rhs size mismatch");
+  const std::size_t n = l.rows();
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double acc = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) acc -= l.at(k, i) * x[k];
+    x[i] = acc / l.at(i, i);
+  }
+  return x;
+}
+
+std::vector<double> cholesky_solve(const Matrix& l, const std::vector<double>& b) {
+  return solve_lower_transpose(l, solve_lower(l, b));
+}
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  expects(a.size() == b.size(), "dot product size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double log_diagonal_sum(const Matrix& l) {
+  expects(l.rows() == l.cols(), "log_diagonal_sum requires a square matrix");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < l.rows(); ++i) acc += std::log(l.at(i, i));
+  return acc;
+}
+
+}  // namespace aarc::baselines

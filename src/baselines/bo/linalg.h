@@ -1,0 +1,55 @@
+// Small dense linear algebra for the Gaussian-process baseline.
+//
+// Row-major matrices, Cholesky factorization with jitter, and triangular
+// solves — everything a GP posterior needs, nothing more.  Sizes are the
+// number of BO samples (~100), so O(n^3) with plain loops is plenty.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace aarc::baselines {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  /// A * v; v.size() must equal cols().
+  std::vector<double> multiply(const std::vector<double>& v) const;
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Cholesky factorization A = L L^T of a symmetric positive-definite matrix.
+/// Adds `jitter` to the diagonal before factorizing (GP numerical hygiene);
+/// throws ContractViolation if the matrix is not SPD even with jitter.
+Matrix cholesky(const Matrix& a, double jitter = 1e-10);
+
+/// Solve L y = b with L lower-triangular.
+std::vector<double> solve_lower(const Matrix& l, const std::vector<double>& b);
+
+/// Solve L^T x = y with L lower-triangular (upper solve on the transpose).
+std::vector<double> solve_lower_transpose(const Matrix& l, const std::vector<double>& y);
+
+/// Solve A x = b given the Cholesky factor L of A.
+std::vector<double> cholesky_solve(const Matrix& l, const std::vector<double>& b);
+
+/// Dot product; sizes must match.
+double dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Sum of log of the diagonal (log det(L) for a Cholesky factor).
+double log_diagonal_sum(const Matrix& l);
+
+}  // namespace aarc::baselines

@@ -1,0 +1,126 @@
+#include "baselines/maff/maff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "support/contracts.h"
+
+namespace aarc::baselines {
+
+using support::expects;
+
+namespace {
+
+platform::ResourceConfig coupled(const platform::ConfigGrid& grid, double memory_mb,
+                                 double mb_per_vcpu) {
+  platform::ResourceConfig rc;
+  rc.memory_mb = grid.memory().snap(memory_mb);
+  rc.vcpu = grid.coupled_vcpu_for_memory(rc.memory_mb, mb_per_vcpu);
+  return rc;
+}
+
+}  // namespace
+
+search::SearchResult maff_gradient_descent(search::Evaluator& evaluator,
+                                           const platform::ConfigGrid& grid,
+                                           const MaffOptions& options) {
+  expects(options.mb_per_vcpu > 0.0, "coupling ratio must be positive");
+  expects(options.initial_step_mb >= options.min_step_mb,
+          "initial step must be >= min step");
+  expects(options.max_samples >= 1, "max_samples must be >= 1");
+
+  const std::size_t n = evaluator.workflow().function_count();
+  const double safe_slo = evaluator.slo_seconds() * (1.0 - options.slo_margin);
+
+  // Over-provisioned coupled start.
+  std::vector<double> memory(n, grid.memory().snap(options.start_memory_mb));
+  platform::WorkflowConfig config(n);
+  for (std::size_t f = 0; f < n; ++f) {
+    config[f] = coupled(grid, memory[f], options.mb_per_vcpu);
+  }
+
+  auto evaluate = [&]() { return evaluator.evaluate(config); };
+
+  // Baseline probe: establishes cost under the starting configuration.
+  search::Evaluation current = evaluate();
+  double current_cost = current.sample.cost;
+  const bool start_feasible = !current.sample.failed && current.sample.makespan <= safe_slo;
+
+  std::vector<double> step(n, options.initial_step_mb);
+  std::vector<bool> done(n, !start_feasible);  // infeasible start: nothing to do
+
+  for (std::size_t round = 0;
+       round < options.max_rounds && evaluator.samples_used() < options.max_samples;
+       ++round) {
+    bool any_progress = false;
+    for (std::size_t f = 0; f < n; ++f) {
+      if (done[f]) continue;
+      if (evaluator.samples_used() >= options.max_samples) break;
+
+      const double proposed_memory = grid.memory().snap(memory[f] - step[f]);
+      if (proposed_memory >= memory[f]) {
+        // Already at the floor for this step size.
+        step[f] /= 2.0;
+        if (step[f] < options.min_step_mb) done[f] = true;
+        continue;
+      }
+
+      const platform::ResourceConfig previous = config[f];
+      config[f] = coupled(grid, proposed_memory, options.mb_per_vcpu);
+      const search::Evaluation probe = evaluate();
+
+      if (probe.sample.failed || probe.sample.makespan > safe_slo) {
+        // SLO violated: revert and terminate this function's descent.
+        config[f] = previous;
+        done[f] = true;
+        continue;
+      }
+      if (!(probe.sample.cost < current_cost)) {
+        // Cost did not improve: revert, halve the step (gradient backoff).
+        config[f] = previous;
+        step[f] /= 2.0;
+        if (step[f] < options.min_step_mb) done[f] = true;
+        continue;
+      }
+
+      // Accept the cheaper coupled configuration.
+      memory[f] = proposed_memory;
+      current_cost = probe.sample.cost;
+      any_progress = true;
+    }
+    if (!any_progress && std::all_of(done.begin(), done.end(), [](bool d) { return d; })) {
+      break;
+    }
+    if (!any_progress) {
+      // No accepted move this sweep; continue only if some function still
+      // has step budget (its next, smaller step may succeed).
+      bool movable = false;
+      for (std::size_t f = 0; f < n; ++f) movable = movable || !done[f];
+      if (!movable) break;
+    }
+  }
+
+  search::SearchResult result;
+  result.trace = evaluator.trace();
+  // Cheapest probe inside the safety margin; fall back to plain feasibility.
+  std::optional<std::size_t> best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (const auto& s : result.trace.samples()) {
+    if (s.failed || s.makespan > safe_slo) continue;
+    if (s.cost < best_cost) {
+      best_cost = s.cost;
+      best = s.index;
+    }
+  }
+  if (!best.has_value()) best = result.trace.best_feasible_index();
+  if (best.has_value()) {
+    result.found_feasible = true;
+    result.best_config = result.trace.samples()[*best].config;
+  }
+  return result;
+}
+
+}  // namespace aarc::baselines

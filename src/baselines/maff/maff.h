@@ -1,0 +1,40 @@
+// MAFF baseline (Zubko et al. [14], adapted as in Section IV-A(b)):
+// memory-centric gradient descent with coupled CPU.
+//
+// "The MAFF gradient descent method iteratively minimizes cost, allocating
+// vCPU cores proportionally (1 core per 1,024 MB of memory).  If a
+// workflow's SLO is violated, the process reverts to the previous step and
+// terminates."
+//
+// Adaptation to workflows: round-robin coordinate descent over functions.
+// Each function descends its memory knob (CPU always coupled at
+// memory/1024) with a halving step; SLO violation reverts and terminates
+// that function's descent, a cost increase halves the step.  The coupled
+// knob keeps the search space small (few samples) but forfeits decoupled
+// optima — exactly the local-optimum behaviour the paper reports for the
+// ML Pipeline workflow.
+#pragma once
+
+#include <cstdint>
+
+#include "platform/resource.h"
+#include "search/evaluator.h"
+
+namespace aarc::baselines {
+
+struct MaffOptions {
+  double mb_per_vcpu = 1024.0;        ///< coupling ratio (paper: 1 core / 1024 MB)
+  double initial_step_mb = 2048.0;    ///< first memory decrement
+  double min_step_mb = 128.0;         ///< descent stops below this step
+  double start_memory_mb = 10240.0;   ///< over-provisioned start
+  std::size_t max_samples = 100;      ///< global probe cap
+  std::size_t max_rounds = 16;        ///< round-robin sweeps cap
+  double slo_margin = 0.03;           ///< keep makespan within slo*(1-margin)
+};
+
+/// Run the MAFF baseline.  Every probe lands in the evaluator's trace.
+search::SearchResult maff_gradient_descent(search::Evaluator& evaluator,
+                                           const platform::ConfigGrid& grid,
+                                           const MaffOptions& options = {});
+
+}  // namespace aarc::baselines

@@ -1,0 +1,87 @@
+#include "baselines/oracle.h"
+
+#include <limits>
+
+#include "support/contracts.h"
+
+namespace aarc::baselines {
+
+using support::expects;
+
+OracleResult oracle_search(const platform::Workflow& workflow,
+                           const platform::Executor& executor,
+                           const platform::ConfigGrid& grid, double slo_seconds,
+                           double input_scale, const OracleOptions& options) {
+  expects(slo_seconds > 0.0, "SLO must be positive");
+  expects(options.max_passes >= 1, "oracle needs at least one pass");
+  expects(options.slo_margin >= 0.0 && options.slo_margin < 1.0,
+          "slo_margin must be in [0, 1)");
+  workflow.validate();
+
+  const double safe_slo = slo_seconds * (1.0 - options.slo_margin);
+  const std::size_t n = workflow.function_count();
+
+  OracleResult result;
+  result.config = platform::uniform_config(n, grid.max_config());
+
+  auto evaluate = [&](const platform::WorkflowConfig& cfg) {
+    ++result.evaluations;
+    return executor.execute_mean(workflow, cfg, input_scale);
+  };
+
+  {
+    const auto base = evaluate(result.config);
+    if (base.failed || base.makespan > safe_slo) {
+      // Even fully provisioned the workflow misses the SLO: infeasible.
+      result.mean_makespan = base.makespan;
+      result.mean_cost = base.total_cost;
+      return result;
+    }
+    result.mean_makespan = base.makespan;
+    result.mean_cost = base.total_cost;
+  }
+
+  const auto cpu_values = grid.cpu().values();
+  const auto mem_values = grid.memory().values();
+
+  bool changed = true;
+  while (changed && result.passes < options.max_passes) {
+    changed = false;
+    ++result.passes;
+    for (dag::NodeId id = 0; id < n; ++id) {
+      platform::ResourceConfig best = result.config[id];
+      double best_cost = result.mean_cost;
+
+      // Exhaustive scan of this function's grid slice.  Memory points below
+      // the function's OOM floor are skipped wholesale.
+      const double floor = workflow.model(id).min_memory_mb(input_scale);
+      platform::WorkflowConfig candidate = result.config;
+      for (double mem : mem_values) {
+        if (mem < floor) continue;
+        candidate[id].memory_mb = mem;
+        for (double cpu : cpu_values) {
+          candidate[id].vcpu = cpu;
+          const auto run = evaluate(candidate);
+          if (run.failed || run.makespan > safe_slo) continue;
+          if (run.total_cost < best_cost) {
+            best_cost = run.total_cost;
+            best = candidate[id];
+          }
+        }
+      }
+      if (!(best == result.config[id])) {
+        result.config[id] = best;
+        result.mean_cost = best_cost;
+        changed = true;
+      }
+    }
+  }
+
+  const auto final_run = executor.execute_mean(workflow, result.config, input_scale);
+  result.mean_makespan = final_run.makespan;
+  result.mean_cost = final_run.total_cost;
+  result.feasible = !final_run.failed && final_run.makespan <= safe_slo;
+  return result;
+}
+
+}  // namespace aarc::baselines

@@ -1,0 +1,37 @@
+// White-box oracle: near-optimal configurations from the mean model.
+//
+// Unlike AARC/BO/MAFF, the oracle is not sample-based — it reads the
+// noiseless response surfaces directly and performs exhaustive per-function
+// coordinate descent over the full grid (all cpu x memory points of one
+// function, holding the others fixed), iterated to a fixpoint, subject to
+// the mean makespan staying within the SLO.  It bounds what any black-box
+// search could achieve and lets the benches report AARC's optimality gap.
+#pragma once
+
+#include "platform/executor.h"
+#include "platform/resource.h"
+
+namespace aarc::baselines {
+
+struct OracleOptions {
+  std::size_t max_passes = 8;      ///< coordinate-descent sweeps cap
+  double slo_margin = 0.0;         ///< optimize against slo*(1-margin)
+};
+
+struct OracleResult {
+  platform::WorkflowConfig config;
+  double mean_makespan = 0.0;
+  double mean_cost = 0.0;
+  bool feasible = false;
+  std::size_t passes = 0;          ///< sweeps until fixpoint (or cap)
+  std::size_t evaluations = 0;     ///< mean-model executions performed
+};
+
+/// Compute the oracle configuration.  The executor's pricing model is used;
+/// its noise/cold-start settings are ignored (mean executions only).
+OracleResult oracle_search(const platform::Workflow& workflow,
+                           const platform::Executor& executor,
+                           const platform::ConfigGrid& grid, double slo_seconds,
+                           double input_scale = 1.0, const OracleOptions& options = {});
+
+}  // namespace aarc::baselines

@@ -1,0 +1,55 @@
+#include "baselines/random_search.h"
+
+#include <limits>
+#include <optional>
+
+#include "support/contracts.h"
+#include "support/rng.h"
+
+namespace aarc::baselines {
+
+using support::expects;
+
+search::SearchResult random_search(search::Evaluator& evaluator,
+                                   const platform::ConfigGrid& grid,
+                                   const RandomSearchOptions& options) {
+  expects(options.max_samples >= 1, "random search needs at least one sample");
+  expects(options.slo_margin >= 0.0 && options.slo_margin < 1.0,
+          "slo_margin must be in [0, 1)");
+
+  const std::size_t n = evaluator.workflow().function_count();
+  support::Rng rng(options.seed);
+
+  if (options.warm_start_with_base) {
+    (void)evaluator.evaluate(platform::uniform_config(n, grid.max_config()));
+  }
+  while (evaluator.samples_used() < options.max_samples) {
+    platform::WorkflowConfig config(n);
+    for (auto& rc : config) {
+      rc.vcpu = grid.cpu().value(rng.index(grid.cpu().size()));
+      rc.memory_mb = grid.memory().value(rng.index(grid.memory().size()));
+    }
+    (void)evaluator.evaluate(config);
+  }
+
+  search::SearchResult result;
+  result.trace = evaluator.trace();
+  const double safe_slo = evaluator.slo_seconds() * (1.0 - options.slo_margin);
+  std::optional<std::size_t> best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (const auto& s : result.trace.samples()) {
+    if (s.failed || s.makespan > safe_slo) continue;
+    if (s.cost < best_cost) {
+      best_cost = s.cost;
+      best = s.index;
+    }
+  }
+  if (!best.has_value()) best = result.trace.best_feasible_index();
+  if (best.has_value()) {
+    result.found_feasible = true;
+    result.best_config = result.trace.samples()[*best].config;
+  }
+  return result;
+}
+
+}  // namespace aarc::baselines

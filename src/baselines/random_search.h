@@ -1,0 +1,27 @@
+// Random search: the classic black-box control for BO.
+//
+// Draws uniformly random grid configurations (optionally warm-started with
+// the over-provisioned default) and keeps the cheapest SLO-safe probe.  Any
+// model-based method that cannot beat this is not earning its complexity.
+#pragma once
+
+#include <cstdint>
+
+#include "platform/resource.h"
+#include "search/evaluator.h"
+
+namespace aarc::baselines {
+
+struct RandomSearchOptions {
+  std::size_t max_samples = 100;
+  double slo_margin = 0.03;          ///< select within slo*(1-margin)
+  bool warm_start_with_base = true;  ///< first probe = grid maximum
+  std::uint64_t seed = 17;
+};
+
+/// Run random search; every probe lands in the evaluator's trace.
+search::SearchResult random_search(search::Evaluator& evaluator,
+                                   const platform::ConfigGrid& grid,
+                                   const RandomSearchOptions& options = {});
+
+}  // namespace aarc::baselines

@@ -1,0 +1,109 @@
+#include "dag/analysis.h"
+
+#include <algorithm>
+
+#include "support/contracts.h"
+
+namespace aarc::dag {
+
+std::string to_string(TopologyClass pattern) {
+  switch (pattern) {
+    case TopologyClass::Sequential:
+      return "sequential";
+    case TopologyClass::FanOut:
+      return "fan-out";
+    case TopologyClass::Coupled:
+      return "coupled";
+    case TopologyClass::Mixed:
+      return "mixed";
+  }
+  return "?";
+}
+
+std::vector<std::size_t> levels(const Graph& g) {
+  g.validate();
+  std::vector<std::size_t> level(g.node_count(), 0);
+  for (NodeId id : g.topological_order()) {
+    for (NodeId p : g.predecessors(id)) {
+      level[id] = std::max(level[id], level[p] + 1);
+    }
+  }
+  return level;
+}
+
+std::vector<std::size_t> width_profile(const Graph& g) {
+  const auto level = levels(g);
+  const std::size_t depth =
+      level.empty() ? 0 : *std::max_element(level.begin(), level.end()) + 1;
+  std::vector<std::size_t> widths(depth, 0);
+  for (std::size_t l : level) ++widths[l];
+  return widths;
+}
+
+namespace {
+
+/// Coupled stage: this node fans out to >= 2 successors and at least one of
+/// those successors has another predecessor that also feeds *all* siblings
+/// (complete bipartite coupling between producer and consumer sets).
+bool node_coupled(const Graph& g, NodeId id) {
+  const auto& succ = g.successors(id);
+  if (succ.size() < 2) return false;
+  bool multi_parent = false;
+  for (NodeId s : succ) {
+    for (NodeId p : g.predecessors(s)) {
+      if (p != id) multi_parent = true;
+      for (NodeId other : succ) {
+        if (!g.has_edge(p, other)) return false;
+      }
+    }
+  }
+  return multi_parent;
+}
+
+/// Fan-out stage: >= 2 successors, each consuming only this node's output.
+bool node_fans_out(const Graph& g, NodeId id) {
+  const auto& succ = g.successors(id);
+  if (succ.size() < 2) return false;
+  for (NodeId s : succ) {
+    if (g.predecessors(s).size() != 1) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+GraphMetrics analyze(const Graph& g) {
+  g.validate();
+  GraphMetrics m;
+  m.node_count = g.node_count();
+  m.edge_count = g.edge_count();
+  m.source_count = g.sources().size();
+  m.sink_count = g.sinks().size();
+  m.avg_degree = static_cast<double>(m.edge_count) / static_cast<double>(m.node_count);
+
+  const auto widths = width_profile(g);
+  m.depth = widths.size();
+  m.max_width = widths.empty() ? 0 : *std::max_element(widths.begin(), widths.end());
+
+  bool any_fan_out = false;
+  bool any_coupled = false;
+  for (NodeId id = 0; id < g.node_count(); ++id) {
+    m.max_fan_out = std::max(m.max_fan_out, g.successors(id).size());
+    m.max_fan_in = std::max(m.max_fan_in, g.predecessors(id).size());
+    if (node_coupled(g, id)) any_coupled = true;
+    if (node_fans_out(g, id)) any_fan_out = true;
+  }
+
+  if (any_fan_out && any_coupled) {
+    m.topology = TopologyClass::Mixed;
+  } else if (any_coupled) {
+    m.topology = TopologyClass::Coupled;
+  } else if (any_fan_out) {
+    m.topology = TopologyClass::FanOut;
+  } else {
+    m.topology = TopologyClass::Sequential;
+  }
+  return m;
+}
+
+}  // namespace aarc::dag

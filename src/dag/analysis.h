@@ -1,0 +1,58 @@
+// Structural analysis of workflow DAGs.
+//
+// Reports the metrics the CLI's `describe` command and the synthetic
+// population studies use: depth, width profile, fan-in/out extremes, and a
+// topological stage classification.  Note that the paper's "scatter vs
+// broadcast" label (§IV-A(c)) is *data-semantic* — whether parallel branches
+// receive slices or copies of the same payload — and cannot be recovered
+// from topology alone; the classification here is purely structural:
+//   * Sequential — a chain, no parallel section anywhere;
+//   * FanOut     — parallel branches, each with a single parent (the shape
+//                  of both scatter and single-source broadcast stages);
+//   * Coupled    — a complete-bipartite stage (every producer feeds every
+//                  consumer, as in the synthetic Broadcast generator);
+//   * Mixed      — both FanOut and Coupled stages present.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dag/graph.h"
+
+namespace aarc::dag {
+
+/// Topological stage classification (see file comment).
+enum class TopologyClass {
+  Sequential,
+  FanOut,
+  Coupled,
+  Mixed,
+};
+
+std::string to_string(TopologyClass pattern);
+
+/// Structural metrics of a DAG.
+struct GraphMetrics {
+  std::size_t node_count = 0;
+  std::size_t edge_count = 0;
+  std::size_t depth = 0;          ///< number of levels (longest hop path)
+  std::size_t max_width = 0;      ///< widest level
+  std::size_t source_count = 0;
+  std::size_t sink_count = 0;
+  std::size_t max_fan_out = 0;
+  std::size_t max_fan_in = 0;
+  double avg_degree = 0.0;        ///< edges / nodes
+  TopologyClass topology = TopologyClass::Sequential;
+};
+
+/// Compute all metrics.  Requires a validated DAG.
+GraphMetrics analyze(const Graph& g);
+
+/// Level of each node: the longest hop-distance from any source (sources are
+/// level 0).  This is the layering used for width computation.
+std::vector<std::size_t> levels(const Graph& g);
+
+/// Number of functions that can run concurrently at each level.
+std::vector<std::size_t> width_profile(const Graph& g);
+
+}  // namespace aarc::dag

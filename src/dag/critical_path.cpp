@@ -1,0 +1,90 @@
+#include "dag/critical_path.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/contracts.h"
+
+namespace aarc::dag {
+
+using support::ensures;
+using support::expects;
+
+Schedule compute_schedule(const Graph& g) {
+  g.validate();
+  const auto order = g.topological_order();
+  const std::size_t n = g.node_count();
+
+  Schedule s;
+  s.earliest_start.assign(n, 0.0);
+  s.earliest_finish.assign(n, 0.0);
+  for (NodeId id : order) {
+    double start = 0.0;
+    for (NodeId p : g.predecessors(id)) start = std::max(start, s.earliest_finish[p]);
+    s.earliest_start[id] = start;
+    s.earliest_finish[id] = start + g.weight(id);
+    s.makespan = std::max(s.makespan, s.earliest_finish[id]);
+  }
+
+  s.latest_finish.assign(n, s.makespan);
+  s.latest_start.assign(n, s.makespan);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId id = *it;
+    double finish = s.makespan;
+    for (NodeId nxt : g.successors(id)) finish = std::min(finish, s.latest_start[nxt]);
+    s.latest_finish[id] = finish;
+    s.latest_start[id] = finish - g.weight(id);
+  }
+  return s;
+}
+
+Path find_critical_path(const Graph& g) {
+  g.validate();
+  const auto order = g.topological_order();
+  const std::size_t n = g.node_count();
+
+  // dist[id]: max total weight of a path ending at id (inclusive).
+  std::vector<double> dist(n, 0.0);
+  std::vector<NodeId> parent(n, kInvalidNode);
+  for (NodeId id : order) {
+    double best = 0.0;
+    NodeId best_parent = kInvalidNode;
+    for (NodeId p : g.predecessors(id)) {
+      // Deterministic tie-break: strictly-greater keeps the smallest-id
+      // predecessor encountered first (predecessor lists are insertion
+      // ordered, so equal-weight ties resolve to the earliest-added edge).
+      if (dist[p] > best || best_parent == kInvalidNode) {
+        if (dist[p] >= best) {
+          best = dist[p];
+          best_parent = p;
+        }
+      }
+    }
+    parent[id] = best_parent;
+    dist[id] = best + g.weight(id);
+  }
+
+  NodeId tail = kInvalidNode;
+  double best = -std::numeric_limits<double>::infinity();
+  for (NodeId id = 0; id < n; ++id) {
+    if (!g.successors(id).empty()) continue;  // only sinks terminate the path
+    if (dist[id] > best) {
+      best = dist[id];
+      tail = id;
+    }
+  }
+  expects(tail != kInvalidNode, "DAG has no sink");
+
+  std::vector<NodeId> reversed;
+  for (NodeId id = tail; id != kInvalidNode; id = parent[id]) reversed.push_back(id);
+  std::reverse(reversed.begin(), reversed.end());
+
+  Path path(std::move(reversed));
+  ensures(path.is_valid_in(g), "critical path must be a valid path");
+  ensures(g.predecessors(path.front()).empty(), "critical path must start at a source");
+  return path;
+}
+
+double critical_path_length(const Graph& g) { return find_critical_path(g).total_weight(g); }
+
+}  // namespace aarc::dag

@@ -1,0 +1,40 @@
+// Critical-path analysis of a weighted workflow DAG.
+//
+// The critical path is the maximum-weight source-to-sink path where weights
+// are per-node runtimes (find_critical_path(G) in the paper's Table I).  We
+// also expose the classic forward/backward schedule (earliest/latest start
+// and slack), which the executor and the sub-SLO derivation reuse.
+#pragma once
+
+#include <vector>
+
+#include "dag/graph.h"
+#include "dag/path.h"
+
+namespace aarc::dag {
+
+/// Earliest/latest schedule of a weighted DAG (all times in seconds).
+struct Schedule {
+  std::vector<double> earliest_start;   ///< per node
+  std::vector<double> earliest_finish;  ///< per node
+  std::vector<double> latest_start;     ///< per node, w.r.t. makespan
+  std::vector<double> latest_finish;    ///< per node
+  double makespan = 0.0;
+
+  /// Slack of a node: latest_start - earliest_start.  Zero on the critical
+  /// path (up to floating tolerance).
+  double slack(NodeId id) const { return latest_start[id] - earliest_start[id]; }
+};
+
+/// Compute the earliest/latest schedule.  Requires a validated DAG.
+Schedule compute_schedule(const Graph& g);
+
+/// The critical path: maximum total-weight path from a source to a sink.
+/// Ties are broken deterministically (smallest NodeId preferred at each hop).
+/// Requires a validated DAG.
+Path find_critical_path(const Graph& g);
+
+/// Length (total node weight) of the critical path == schedule makespan.
+double critical_path_length(const Graph& g);
+
+}  // namespace aarc::dag

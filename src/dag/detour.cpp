@@ -1,0 +1,91 @@
+#include "dag/detour.h"
+
+#include <algorithm>
+
+#include "support/contracts.h"
+
+namespace aarc::dag {
+
+using support::expects;
+
+std::vector<NodeId> DetourSubpath::interior() const {
+  const auto& nodes = path.nodes();
+  if (nodes.size() <= 2) return {};
+  return {nodes.begin() + 1, nodes.end() - 1};
+}
+
+namespace {
+
+void dfs_detours(const Graph& g, const std::vector<bool>& on_cp, std::vector<NodeId>& current,
+                 std::vector<bool>& visiting, std::vector<DetourSubpath>& out,
+                 std::size_t max_paths) {
+  const NodeId tail = current.back();
+  for (NodeId next : g.successors(tail)) {
+    if (on_cp[next]) {
+      // Reached the critical path again: record if there is an interior.
+      if (current.size() >= 2) {
+        std::vector<NodeId> nodes = current;
+        nodes.push_back(next);
+        out.push_back(DetourSubpath{Path(std::move(nodes))});
+        expects(out.size() <= max_paths, "detour enumeration exceeded max_paths");
+      }
+      continue;
+    }
+    if (visiting[next]) continue;  // keep paths simple
+    visiting[next] = true;
+    current.push_back(next);
+    dfs_detours(g, on_cp, current, visiting, out, max_paths);
+    current.pop_back();
+    visiting[next] = false;
+  }
+}
+
+}  // namespace
+
+std::vector<DetourSubpath> find_detour_subpaths(const Graph& g, const Path& critical_path,
+                                                std::size_t max_paths) {
+  expects(!critical_path.empty(), "critical path must be non-empty");
+  expects(critical_path.is_valid_in(g), "critical path must be a valid path of g");
+
+  std::vector<bool> on_cp(g.node_count(), false);
+  for (NodeId id : critical_path.nodes()) on_cp[id] = true;
+
+  std::vector<DetourSubpath> out;
+  std::vector<bool> visiting(g.node_count(), false);
+  for (NodeId start : critical_path.nodes()) {
+    std::vector<NodeId> current{start};
+    dfs_detours(g, on_cp, current, visiting, out, max_paths);
+  }
+
+  // Only keep detours whose end anchor is on the critical path *after* the
+  // start anchor; an end anchor at or before the start would imply a cycle
+  // through the critical path, impossible in a DAG, but anchor positions are
+  // still used for deterministic ordering.
+  auto cp_index = [&](NodeId id) { return critical_path.index_of(id); };
+  std::sort(out.begin(), out.end(), [&](const DetourSubpath& a, const DetourSubpath& b) {
+    const auto sa = cp_index(a.start_anchor());
+    const auto sb = cp_index(b.start_anchor());
+    if (sa != sb) return sa < sb;
+    const auto ea = cp_index(a.end_anchor());
+    const auto eb = cp_index(b.end_anchor());
+    if (ea != eb) return ea < eb;
+    return a.path.nodes() < b.path.nodes();
+  });
+  return out;
+}
+
+std::vector<NodeId> uncovered_nodes(const Graph& g, const Path& critical_path,
+                                    const std::vector<DetourSubpath>& subpaths) {
+  std::vector<bool> covered(g.node_count(), false);
+  for (NodeId id : critical_path.nodes()) covered[id] = true;
+  for (const auto& sp : subpaths) {
+    for (NodeId id : sp.path.nodes()) covered[id] = true;
+  }
+  std::vector<NodeId> out;
+  for (NodeId id = 0; id < g.node_count(); ++id) {
+    if (!covered[id]) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace aarc::dag

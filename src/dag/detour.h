@@ -1,0 +1,49 @@
+// Detour sub-path enumeration (find_detour_subpath(G, critical_path) in the
+// paper's Table I).
+//
+// A detour sub-path starts at a node of the critical path, ends at a (later)
+// node of the critical path, and every interior node is off the critical
+// path.  Algorithm 1 assigns each such sub-path the sub-SLO
+// runtime_sum(critical_path, start, end) so that configuring the detour's
+// functions can never delay the critical path.
+#pragma once
+
+#include <vector>
+
+#include "dag/graph.h"
+#include "dag/path.h"
+
+namespace aarc::dag {
+
+/// One detour: the full path including both anchors.
+struct DetourSubpath {
+  Path path;  ///< anchors included: front()/back() are on the critical path
+
+  NodeId start_anchor() const { return path.front(); }
+  NodeId end_anchor() const { return path.back(); }
+
+  /// Interior nodes (everything strictly between the anchors).
+  std::vector<NodeId> interior() const;
+
+  friend bool operator==(const DetourSubpath&, const DetourSubpath&) = default;
+};
+
+/// Enumerate every simple detour sub-path of g with respect to the given
+/// critical path.  Paths with an empty interior (direct edges between
+/// critical-path nodes) carry no functions to configure and are omitted.
+/// The result is deterministic: ordered by position of the start anchor on
+/// the critical path, then by position of the end anchor, then by the node
+/// sequence.  Throws if the enumeration exceeds `max_paths` (guards against
+/// pathological dense DAGs).
+std::vector<DetourSubpath> find_detour_subpaths(const Graph& g, const Path& critical_path,
+                                                std::size_t max_paths = 10000);
+
+/// Every node of g that lies on no detour and not on the critical path is
+/// unreachable from the critical-path structure; for a connected DAG whose
+/// critical path spans source to sink this set is empty unless the DAG has
+/// multiple sources/sinks.  Returns those uncovered nodes (callers decide how
+/// to configure them, typically by treating each as a single-node path).
+std::vector<NodeId> uncovered_nodes(const Graph& g, const Path& critical_path,
+                                    const std::vector<DetourSubpath>& subpaths);
+
+}  // namespace aarc::dag

@@ -1,0 +1,48 @@
+#include "dag/dot.h"
+
+#include <sstream>
+
+#include "support/table.h"
+
+namespace aarc::dag {
+
+namespace {
+bool path_has_edge(const Path& p, NodeId from, NodeId to) {
+  const auto& nodes = p.nodes();
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    if (nodes[i - 1] == from && nodes[i] == to) return true;
+  }
+  return false;
+}
+}  // namespace
+
+std::string to_dot(const Graph& g, const DotOptions& options) {
+  std::ostringstream os;
+  os << "digraph \"" << g.name() << "\" {\n";
+  os << "  rankdir=" << options.rankdir << ";\n";
+  os << "  node [shape=box, style=rounded];\n";
+  for (NodeId id = 0; id < g.node_count(); ++id) {
+    os << "  n" << id << " [label=\"" << g.node_name(id);
+    if (options.show_weights) {
+      os << "\\n(w=" << support::format_double(g.weight(id), 2) << "s)";
+    }
+    os << "\"";
+    if (options.highlight != nullptr && options.highlight->contains(id)) {
+      os << ", color=red, penwidth=2";
+    }
+    os << "];\n";
+  }
+  for (NodeId id = 0; id < g.node_count(); ++id) {
+    for (NodeId next : g.successors(id)) {
+      os << "  n" << id << " -> n" << next;
+      if (options.highlight != nullptr && path_has_edge(*options.highlight, id, next)) {
+        os << " [color=red, penwidth=2]";
+      }
+      os << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace aarc::dag

@@ -1,0 +1,22 @@
+// Graphviz DOT export — regenerates the paper's Fig. 1 architecture diagrams
+// and annotates critical paths for debugging.
+#pragma once
+
+#include <string>
+
+#include "dag/graph.h"
+#include "dag/path.h"
+
+namespace aarc::dag {
+
+/// Options controlling DOT rendering.
+struct DotOptions {
+  bool show_weights = true;          ///< append "(w=...)" to node labels
+  const Path* highlight = nullptr;   ///< path drawn bold/red (e.g. critical path)
+  std::string rankdir = "LR";        ///< graph orientation
+};
+
+/// Render g as a DOT digraph.
+std::string to_dot(const Graph& g, const DotOptions& options = {});
+
+}  // namespace aarc::dag

@@ -1,0 +1,233 @@
+#include "dag/graph.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/contracts.h"
+
+namespace aarc::dag {
+
+using support::expects;
+using support::invariant;
+
+Graph::Graph(const Graph& other)
+    : name_(other.name_),
+      names_(other.names_),
+      weights_(other.weights_),
+      succ_(other.succ_),
+      pred_(other.pred_),
+      edge_count_(other.edge_count_),
+      validated_(other.validated_.load(std::memory_order_relaxed)) {}
+
+Graph& Graph::operator=(const Graph& other) {
+  if (this == &other) return *this;
+  name_ = other.name_;
+  names_ = other.names_;
+  weights_ = other.weights_;
+  succ_ = other.succ_;
+  pred_ = other.pred_;
+  edge_count_ = other.edge_count_;
+  validated_.store(other.validated_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  return *this;
+}
+
+Graph::Graph(Graph&& other) noexcept
+    : name_(std::move(other.name_)),
+      names_(std::move(other.names_)),
+      weights_(std::move(other.weights_)),
+      succ_(std::move(other.succ_)),
+      pred_(std::move(other.pred_)),
+      edge_count_(other.edge_count_),
+      validated_(other.validated_.load(std::memory_order_relaxed)) {}
+
+Graph& Graph::operator=(Graph&& other) noexcept {
+  if (this == &other) return *this;
+  name_ = std::move(other.name_);
+  names_ = std::move(other.names_);
+  weights_ = std::move(other.weights_);
+  succ_ = std::move(other.succ_);
+  pred_ = std::move(other.pred_);
+  edge_count_ = other.edge_count_;
+  validated_.store(other.validated_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  return *this;
+}
+
+NodeId Graph::add_node(std::string name, double weight) {
+  expects(!name.empty(), "node name must be non-empty");
+  expects(!find_node(name).has_value(), "node names must be unique: " + name);
+  expects(weight >= 0.0, "node weight must be non-negative");
+  names_.push_back(std::move(name));
+  weights_.push_back(weight);
+  succ_.emplace_back();
+  pred_.emplace_back();
+  validated_ = false;
+  return names_.size() - 1;
+}
+
+void Graph::add_edge(NodeId from, NodeId to) {
+  check_node(from);
+  check_node(to);
+  expects(from != to, "self-loops are not allowed in a workflow DAG");
+  if (has_edge(from, to)) return;
+  succ_[from].push_back(to);
+  pred_[to].push_back(from);
+  ++edge_count_;
+  validated_ = false;
+}
+
+const std::string& Graph::node_name(NodeId id) const {
+  check_node(id);
+  return names_[id];
+}
+
+std::optional<NodeId> Graph::find_node(std::string_view name) const {
+  for (NodeId id = 0; id < names_.size(); ++id) {
+    if (names_[id] == name) return id;
+  }
+  return std::nullopt;
+}
+
+double Graph::weight(NodeId id) const {
+  check_node(id);
+  return weights_[id];
+}
+
+void Graph::set_weight(NodeId id, double weight) {
+  check_node(id);
+  expects(weight >= 0.0, "node weight must be non-negative");
+  weights_[id] = weight;
+}
+
+void Graph::set_weights(const std::vector<double>& weights) {
+  expects(weights.size() == node_count(), "weights size must equal node count");
+  for (double w : weights) expects(w >= 0.0, "node weight must be non-negative");
+  weights_ = weights;
+}
+
+std::vector<double> Graph::weights() const { return weights_; }
+
+const std::vector<NodeId>& Graph::successors(NodeId id) const {
+  check_node(id);
+  return succ_[id];
+}
+
+const std::vector<NodeId>& Graph::predecessors(NodeId id) const {
+  check_node(id);
+  return pred_[id];
+}
+
+bool Graph::has_edge(NodeId from, NodeId to) const {
+  check_node(from);
+  check_node(to);
+  return std::find(succ_[from].begin(), succ_[from].end(), to) != succ_[from].end();
+}
+
+std::vector<NodeId> Graph::sources() const {
+  std::vector<NodeId> out;
+  for (NodeId id = 0; id < node_count(); ++id) {
+    if (pred_[id].empty()) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<NodeId> Graph::sinks() const {
+  std::vector<NodeId> out;
+  for (NodeId id = 0; id < node_count(); ++id) {
+    if (succ_[id].empty()) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<NodeId> Graph::topological_order() const {
+  std::vector<std::size_t> indegree(node_count());
+  for (NodeId id = 0; id < node_count(); ++id) indegree[id] = pred_[id].size();
+  std::queue<NodeId> ready;
+  for (NodeId id = 0; id < node_count(); ++id) {
+    if (indegree[id] == 0) ready.push(id);
+  }
+  std::vector<NodeId> order;
+  order.reserve(node_count());
+  while (!ready.empty()) {
+    const NodeId id = ready.front();
+    ready.pop();
+    order.push_back(id);
+    for (NodeId next : succ_[id]) {
+      if (--indegree[next] == 0) ready.push(next);
+    }
+  }
+  expects(order.size() == node_count(), "graph contains a cycle; not a DAG");
+  return order;
+}
+
+bool Graph::is_acyclic() const {
+  try {
+    (void)topological_order();
+    return true;
+  } catch (const support::ContractViolation&) {
+    return false;
+  }
+}
+
+bool Graph::is_connected() const {
+  if (empty()) return false;
+  std::vector<bool> seen(node_count(), false);
+  std::queue<NodeId> frontier;
+  frontier.push(0);
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!frontier.empty()) {
+    const NodeId id = frontier.front();
+    frontier.pop();
+    auto visit = [&](NodeId next) {
+      if (!seen[next]) {
+        seen[next] = true;
+        ++visited;
+        frontier.push(next);
+      }
+    };
+    for (NodeId n : succ_[id]) visit(n);
+    for (NodeId n : pred_[id]) visit(n);
+  }
+  return visited == node_count();
+}
+
+bool Graph::reachable(NodeId from, NodeId to) const {
+  check_node(from);
+  check_node(to);
+  if (from == to) return true;
+  std::vector<bool> seen(node_count(), false);
+  std::queue<NodeId> frontier;
+  frontier.push(from);
+  seen[from] = true;
+  while (!frontier.empty()) {
+    const NodeId id = frontier.front();
+    frontier.pop();
+    for (NodeId next : succ_[id]) {
+      if (next == to) return true;
+      if (!seen[next]) {
+        seen[next] = true;
+        frontier.push(next);
+      }
+    }
+  }
+  return false;
+}
+
+void Graph::validate() const {
+  if (validated_) return;
+  expects(!empty(), "workflow DAG must have at least one node");
+  expects(is_acyclic(), "workflow graph must be acyclic");
+  expects(is_connected(), "workflow graph must be connected");
+  for (double w : weights_) {
+    invariant(w >= 0.0, "node weights must be non-negative");
+  }
+  validated_ = true;
+}
+
+void Graph::check_node(NodeId id) const {
+  expects(id < node_count(), "node id out of range");
+}
+
+}  // namespace aarc::dag

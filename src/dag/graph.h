@@ -1,0 +1,110 @@
+// Directed acyclic graph of workflow functions.
+//
+// Nodes carry a name and a non-negative weight (profiled runtime in seconds,
+// Algorithm 1 line 5: "execute G" then weight the DAG).  Edges encode
+// happens-before: a function starts once every predecessor finished.  The
+// graph is append-only (nodes/edges are added, never removed), which keeps
+// NodeId stable and cheap (a dense index).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aarc::dag {
+
+/// Dense node identifier; valid ids are 0 .. Graph::node_count()-1.
+using NodeId = std::size_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::string name) : name_(std::move(name)) {}
+
+  // The validation cache is atomic (see below), which forfeits the implicit
+  // copy/move operations; these reproduce them member-wise.
+  Graph(const Graph& other);
+  Graph& operator=(const Graph& other);
+  Graph(Graph&& other) noexcept;
+  Graph& operator=(Graph&& other) noexcept;
+  ~Graph() = default;
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Add a node; returns its id.  Names must be unique and non-empty.
+  NodeId add_node(std::string name, double weight = 0.0);
+
+  /// Add a directed edge from -> to.  Both ids must exist; self-loops are
+  /// rejected; duplicate edges are idempotent.  Cycle creation is detected
+  /// lazily by validate()/topological_order().
+  void add_edge(NodeId from, NodeId to);
+
+  std::size_t node_count() const { return names_.size(); }
+  std::size_t edge_count() const { return edge_count_; }
+  bool empty() const { return names_.empty(); }
+
+  const std::string& node_name(NodeId id) const;
+  /// Look up a node by name; nullopt when absent.
+  std::optional<NodeId> find_node(std::string_view name) const;
+
+  double weight(NodeId id) const;
+  void set_weight(NodeId id, double weight);
+  /// Replace all weights at once; size must equal node_count().
+  void set_weights(const std::vector<double>& weights);
+  /// All node weights, indexed by NodeId.
+  std::vector<double> weights() const;
+
+  const std::vector<NodeId>& successors(NodeId id) const;
+  const std::vector<NodeId>& predecessors(NodeId id) const;
+
+  bool has_edge(NodeId from, NodeId to) const;
+
+  /// Nodes with no predecessors / successors.
+  std::vector<NodeId> sources() const;
+  std::vector<NodeId> sinks() const;
+
+  /// Kahn topological order; throws ContractViolation if the graph has a
+  /// cycle (and therefore is not a DAG).
+  std::vector<NodeId> topological_order() const;
+
+  /// True when the edge relation is acyclic.
+  bool is_acyclic() const;
+
+  /// True when every node is reachable from some source and reaches some
+  /// sink (trivially true for acyclic graphs) and the underlying undirected
+  /// graph is connected.  Empty graphs are not connected.
+  bool is_connected() const;
+
+  /// True when `to` is reachable from `from` following edges.
+  bool reachable(NodeId from, NodeId to) const;
+
+  /// Throws ContractViolation unless the graph is a non-empty, connected DAG
+  /// with all weights >= 0 — the well-formedness the scheduler requires.
+  /// The (structural) result is cached: repeated calls on an unmodified
+  /// topology are O(1), which matters because the executor validates on
+  /// every simulated execution.  Weight updates do not invalidate the cache
+  /// (weights are checked non-negative at the setters).
+  void validate() const;
+
+ private:
+  void check_node(NodeId id) const;
+
+  std::string name_;
+  std::vector<std::string> names_;
+  std::vector<double> weights_;
+  std::vector<std::vector<NodeId>> succ_;
+  std::vector<std::vector<NodeId>> pred_;
+  std::size_t edge_count_ = 0;
+  /// Structural validation cache; atomic so concurrent validate() calls on
+  /// a shared (otherwise immutable) graph are race-free.
+  mutable std::atomic<bool> validated_{false};
+};
+
+}  // namespace aarc::dag

@@ -1,0 +1,70 @@
+#include "dag/path.h"
+
+#include <algorithm>
+
+#include "support/contracts.h"
+
+namespace aarc::dag {
+
+using support::expects;
+
+NodeId Path::front() const {
+  expects(!nodes_.empty(), "front() of empty path");
+  return nodes_.front();
+}
+
+NodeId Path::back() const {
+  expects(!nodes_.empty(), "back() of empty path");
+  return nodes_.back();
+}
+
+NodeId Path::at(std::size_t i) const {
+  expects(i < nodes_.size(), "path index out of range");
+  return nodes_[i];
+}
+
+bool Path::contains(NodeId id) const {
+  return std::find(nodes_.begin(), nodes_.end(), id) != nodes_.end();
+}
+
+std::size_t Path::index_of(NodeId id) const {
+  const auto it = std::find(nodes_.begin(), nodes_.end(), id);
+  expects(it != nodes_.end(), "node not on path");
+  return static_cast<std::size_t>(it - nodes_.begin());
+}
+
+bool Path::is_valid_in(const Graph& g) const {
+  for (NodeId id : nodes_) {
+    if (id >= g.node_count()) return false;
+  }
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    if (!g.has_edge(nodes_[i - 1], nodes_[i])) return false;
+  }
+  return true;
+}
+
+double Path::total_weight(const Graph& g) const {
+  double total = 0.0;
+  for (NodeId id : nodes_) total += g.weight(id);
+  return total;
+}
+
+double Path::weight_between(const Graph& g, NodeId start, NodeId end) const {
+  const std::size_t i = index_of(start);
+  const std::size_t j = index_of(end);
+  expects(i <= j, "weight_between requires start before end along the path");
+  double total = 0.0;
+  for (std::size_t k = i; k <= j; ++k) total += g.weight(nodes_[k]);
+  return total;
+}
+
+std::string Path::to_string(const Graph& g) const {
+  std::string out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (i > 0) out += " -> ";
+    out += g.node_name(nodes_[i]);
+  }
+  return out;
+}
+
+}  // namespace aarc::dag

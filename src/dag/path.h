@@ -1,0 +1,50 @@
+// Paths through a workflow DAG and the interval arithmetic Algorithm 1 needs
+// (runtime_sum over [start, end] along a path — Table I of the paper).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dag/graph.h"
+
+namespace aarc::dag {
+
+/// An ordered sequence of nodes connected by edges in the graph.
+class Path {
+ public:
+  Path() = default;
+  explicit Path(std::vector<NodeId> nodes) : nodes_(std::move(nodes)) {}
+
+  const std::vector<NodeId>& nodes() const { return nodes_; }
+  std::size_t size() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+
+  NodeId front() const;
+  NodeId back() const;
+  NodeId at(std::size_t i) const;
+
+  bool contains(NodeId id) const;
+  /// Index of id within the path; throws if absent.
+  std::size_t index_of(NodeId id) const;
+
+  /// True when each consecutive pair is an edge of g.
+  bool is_valid_in(const Graph& g) const;
+
+  /// Sum of g's node weights over the whole path.
+  double total_weight(const Graph& g) const;
+
+  /// Sum of node weights over the closed interval [start, end] of the path
+  /// (both endpoints included).  `start` must not come after `end` in the
+  /// path.  This is the paper's runtime_sum(path, start, end).
+  double weight_between(const Graph& g, NodeId start, NodeId end) const;
+
+  /// Human-readable "a -> b -> c" using node names.
+  std::string to_string(const Graph& g) const;
+
+  friend bool operator==(const Path&, const Path&) = default;
+
+ private:
+  std::vector<NodeId> nodes_;
+};
+
+}  // namespace aarc::dag

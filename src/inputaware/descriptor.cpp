@@ -1,0 +1,28 @@
+#include "inputaware/descriptor.h"
+
+#include <cmath>
+
+#include "support/contracts.h"
+
+namespace aarc::inputaware {
+
+using support::expects;
+
+double estimate_scale(const InputDescriptor& input, const ReferenceInput& reference) {
+  double log_sum = 0.0;
+  int features = 0;
+  auto consider = [&](double value, double ref) {
+    if (value > 0.0) {
+      expects(ref > 0.0, "reference feature must be positive when input feature is set");
+      log_sum += std::log(value / ref);
+      ++features;
+    }
+  };
+  consider(input.size_mb, reference.descriptor.size_mb);
+  consider(input.bitrate_kbps, reference.descriptor.bitrate_kbps);
+  consider(input.duration_seconds, reference.descriptor.duration_seconds);
+  expects(features > 0, "input descriptor must have at least one positive feature");
+  return std::exp(log_sum / features);
+}
+
+}  // namespace aarc::inputaware

@@ -1,0 +1,28 @@
+// Input descriptors for the Input-Aware Configuration Engine (Section IV-D).
+//
+// "The Engine analyzes the characteristics of the input data, such as video
+// bitrate and duration."  A descriptor carries those scalar features; the
+// engine maps them to a work scale relative to a reference input and from
+// there to an input class.
+#pragma once
+
+namespace aarc::inputaware {
+
+/// Scalar features of one request's input.
+struct InputDescriptor {
+  double size_mb = 0.0;
+  double bitrate_kbps = 0.0;
+  double duration_seconds = 0.0;
+};
+
+/// The reference ("middle") input against which scales are computed.
+struct ReferenceInput {
+  InputDescriptor descriptor{512.0, 4000.0, 120.0};
+};
+
+/// Estimated work scale of `input` relative to the reference: the geometric
+/// mean of the per-feature ratios (features at 0 are ignored; at least one
+/// feature must be positive).
+double estimate_scale(const InputDescriptor& input, const ReferenceInput& reference = {});
+
+}  // namespace aarc::inputaware

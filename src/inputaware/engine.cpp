@@ -1,0 +1,58 @@
+#include "inputaware/engine.h"
+
+#include "support/contracts.h"
+
+namespace aarc::inputaware {
+
+using support::expects;
+
+InputAwareEngine::InputAwareEngine(const workloads::Workload& workload,
+                                   const platform::Executor& executor,
+                                   platform::ConfigGrid grid,
+                                   core::SchedulerOptions scheduler_options,
+                                   ClassThresholds thresholds)
+    : workload_(&workload),
+      executor_(&executor),
+      grid_(grid),
+      scheduler_options_(scheduler_options),
+      thresholds_(thresholds) {
+  expects(thresholds_.light_below > 0.0, "light threshold must be positive");
+  expects(thresholds_.heavy_above > thresholds_.light_below,
+          "heavy threshold must exceed the light threshold");
+}
+
+std::size_t InputAwareEngine::build() {
+  const core::GraphCentricScheduler scheduler(*executor_, grid_, scheduler_options_);
+  std::size_t total_samples = 0;
+  table_.clear();
+  for (const auto& entry : workload_->input_classes) {
+    ClassConfiguration cc;
+    cc.input_class = entry.input_class;
+    cc.scale = entry.scale;
+    cc.report = scheduler.schedule(workload_->workflow, workload_->slo_seconds, entry.scale);
+    total_samples += cc.report.result.samples();
+    table_.emplace(entry.input_class, std::move(cc));
+  }
+  return total_samples;
+}
+
+workloads::InputClass InputAwareEngine::classify(const InputDescriptor& input,
+                                                 const ReferenceInput& reference) const {
+  const double scale = estimate_scale(input, reference);
+  if (scale < thresholds_.light_below) return workloads::InputClass::Light;
+  if (scale >= thresholds_.heavy_above) return workloads::InputClass::Heavy;
+  return workloads::InputClass::Middle;
+}
+
+const ClassConfiguration& InputAwareEngine::configuration(workloads::InputClass c) const {
+  const auto it = table_.find(c);
+  expects(it != table_.end(), "engine has no configuration for this class; call build()");
+  return it->second;
+}
+
+const ClassConfiguration& InputAwareEngine::dispatch(const InputDescriptor& input,
+                                                     const ReferenceInput& reference) const {
+  return configuration(classify(input, reference));
+}
+
+}  // namespace aarc::inputaware

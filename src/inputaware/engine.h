@@ -1,0 +1,66 @@
+// Input-Aware Configuration Engine Plugin (Section IV-D).
+//
+// "If developers trigger the plugin, the Engine analyzes the characteristics
+// of the input data ... sorts the inputs and invokes Graph-Centric Scheduler
+// and Priority Configurator to determine the optimal resource configuration
+// scheme for each input.  When a request arrives, the Engine analyzes the
+// input scale and allocates the input to different configurations."
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "aarc/scheduler.h"
+#include "inputaware/descriptor.h"
+#include "workloads/workload.h"
+
+namespace aarc::inputaware {
+
+/// Classification thresholds on the estimated work scale.
+struct ClassThresholds {
+  double light_below = 0.5;   ///< scale < this  -> Light
+  double heavy_above = 1.5;   ///< scale >= this -> Heavy; otherwise Middle
+};
+
+/// Per-class scheduling outcome.
+struct ClassConfiguration {
+  workloads::InputClass input_class = workloads::InputClass::Middle;
+  double scale = 1.0;
+  core::ScheduleReport report;
+};
+
+class InputAwareEngine {
+ public:
+  /// The engine keeps references to the workload and executor; both must
+  /// outlive it.
+  InputAwareEngine(const workloads::Workload& workload, const platform::Executor& executor,
+                   platform::ConfigGrid grid, core::SchedulerOptions scheduler_options = {},
+                   ClassThresholds thresholds = {});
+
+  /// Run AARC once per input class (uses the workload's class scales).
+  /// Returns total samples spent across classes.
+  std::size_t build();
+
+  bool built() const { return !table_.empty(); }
+
+  /// Map an incoming input to its class by estimated scale.
+  workloads::InputClass classify(const InputDescriptor& input,
+                                 const ReferenceInput& reference = {}) const;
+
+  /// The configuration scheduled for a class; build() must have run.
+  const ClassConfiguration& configuration(workloads::InputClass c) const;
+
+  /// Full dispatch: classify, then return the class's configuration.
+  const ClassConfiguration& dispatch(const InputDescriptor& input,
+                                     const ReferenceInput& reference = {}) const;
+
+ private:
+  const workloads::Workload* workload_;
+  const platform::Executor* executor_;
+  platform::ConfigGrid grid_;
+  core::SchedulerOptions scheduler_options_;
+  ClassThresholds thresholds_;
+  std::map<workloads::InputClass, ClassConfiguration> table_;
+};
+
+}  // namespace aarc::inputaware

@@ -1,0 +1,414 @@
+#include "io/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <sstream>
+
+namespace aarc::io {
+
+namespace {
+
+[[noreturn]] void type_error(const char* expected) {
+  throw JsonError(std::string("JSON value is not ") + expected);
+}
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (!is_bool()) type_error("a boolean");
+  return std::get<bool>(value_);
+}
+
+double Json::as_number() const {
+  if (!is_number()) type_error("a number");
+  return std::get<double>(value_);
+}
+
+const std::string& Json::as_string() const {
+  if (!is_string()) type_error("a string");
+  return std::get<std::string>(value_);
+}
+
+const JsonArray& Json::as_array() const {
+  if (!is_array()) type_error("an array");
+  return std::get<JsonArray>(value_);
+}
+
+const JsonObject& Json::as_object() const {
+  if (!is_object()) type_error("an object");
+  return std::get<JsonObject>(value_);
+}
+
+JsonArray& Json::as_array() {
+  if (!is_array()) type_error("an array");
+  return std::get<JsonArray>(value_);
+}
+
+JsonObject& Json::as_object() {
+  if (!is_object()) type_error("an object");
+  return std::get<JsonObject>(value_);
+}
+
+const Json& Json::at(std::string_view key) const {
+  const auto& obj = as_object();
+  const auto it = obj.find(std::string(key));
+  if (it == obj.end()) throw JsonError("missing JSON field: " + std::string(key));
+  return it->second;
+}
+
+bool Json::contains(std::string_view key) const {
+  return is_object() && as_object().count(std::string(key)) > 0;
+}
+
+double Json::number_or(std::string_view key, double fallback) const {
+  return contains(key) ? at(key).as_number() : fallback;
+}
+
+std::string Json::string_or(std::string_view key, std::string fallback) const {
+  return contains(key) ? at(key).as_string() : std::move(fallback);
+}
+
+bool Json::bool_or(std::string_view key, bool fallback) const {
+  return contains(key) ? at(key).as_bool() : fallback;
+}
+
+namespace {
+
+void dump_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_number(std::string& out, double d) {
+  if (d == static_cast<double>(static_cast<std::int64_t>(d)) && std::abs(d) < 1e15) {
+    out += std::to_string(static_cast<std::int64_t>(d));
+    return;
+  }
+  std::ostringstream os;
+  os.precision(17);
+  os << d;
+  out += os.str();
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+}  // namespace
+
+void Json::dump_impl(std::string& out, int indent, int depth) const {
+  if (is_null()) {
+    out += "null";
+  } else if (is_bool()) {
+    out += as_bool() ? "true" : "false";
+  } else if (is_number()) {
+    if (!std::isfinite(as_number())) throw JsonError("cannot serialize non-finite number");
+    dump_number(out, as_number());
+  } else if (is_string()) {
+    dump_string(out, as_string());
+  } else if (is_array()) {
+    const auto& arr = as_array();
+    if (arr.empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      if (i > 0) out += ',';
+      newline_indent(out, indent, depth + 1);
+      arr[i].dump_impl(out, indent, depth + 1);
+    }
+    newline_indent(out, indent, depth);
+    out += ']';
+  } else {
+    const auto& obj = as_object();
+    if (obj.empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    bool first = true;
+    for (const auto& [key, value] : obj) {
+      if (!first) out += ',';
+      first = false;
+      newline_indent(out, indent, depth + 1);
+      dump_string(out, key);
+      out += indent > 0 ? ": " : ":";
+      value.dump_impl(out, indent, depth + 1);
+    }
+    newline_indent(out, indent, depth);
+    out += '}';
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_impl(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json value = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters after JSON document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    std::size_t line = 1;
+    std::size_t column = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    std::ostringstream os;
+    os << "JSON parse error at line " << line << ", column " << column << ": " << message;
+    throw JsonError(os.str());
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char advance() {
+    const char ch = peek();
+    ++pos_;
+    return ch;
+  }
+
+  void expect(char ch) {
+    if (advance() != ch) {
+      --pos_;
+      fail(std::string("expected '") + ch + "'");
+    }
+  }
+
+  bool consume_if(char ch) {
+    if (pos_ < text_.size() && text_[pos_] == ch) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect_keyword(std::string_view keyword) {
+    if (text_.substr(pos_, keyword.size()) != keyword) {
+      fail("invalid literal");
+    }
+    pos_ += keyword.size();
+  }
+
+  Json parse_value() {
+    skip_whitespace();
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return Json(parse_string());
+      case 't':
+        expect_keyword("true");
+        return Json(true);
+      case 'f':
+        expect_keyword("false");
+        return Json(false);
+      case 'n':
+        expect_keyword("null");
+        return Json(nullptr);
+      default:
+        return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    JsonObject obj;
+    skip_whitespace();
+    if (consume_if('}')) return Json(std::move(obj));
+    while (true) {
+      skip_whitespace();
+      if (peek() != '"') fail("object keys must be strings");
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      Json value = parse_value();
+      if (!obj.emplace(std::move(key), std::move(value)).second) {
+        fail("duplicate object key");
+      }
+      skip_whitespace();
+      if (consume_if(',')) continue;
+      expect('}');
+      break;
+    }
+    return Json(std::move(obj));
+  }
+
+  Json parse_array() {
+    expect('[');
+    JsonArray arr;
+    skip_whitespace();
+    if (consume_if(']')) return Json(std::move(arr));
+    while (true) {
+      arr.push_back(parse_value());
+      skip_whitespace();
+      if (consume_if(',')) continue;
+      expect(']');
+      break;
+    }
+    return Json(std::move(arr));
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char ch = advance();
+      if (ch == '"') break;
+      if (ch == '\\') {
+        const char esc = advance();
+        switch (esc) {
+          case '"':
+            out += '"';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          case '/':
+            out += '/';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 'b':
+            out += '\b';
+            break;
+          case 'f':
+            out += '\f';
+            break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char hex = advance();
+              code <<= 4;
+              if (hex >= '0' && hex <= '9') {
+                code |= static_cast<unsigned>(hex - '0');
+              } else if (hex >= 'a' && hex <= 'f') {
+                code |= static_cast<unsigned>(hex - 'a' + 10);
+              } else if (hex >= 'A' && hex <= 'F') {
+                code |= static_cast<unsigned>(hex - 'A' + 10);
+              } else {
+                fail("invalid \\u escape");
+              }
+            }
+            // Encode the (BMP) code point as UTF-8.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            fail("invalid escape sequence");
+        }
+      } else if (static_cast<unsigned char>(ch) < 0x20) {
+        fail("unescaped control character in string");
+      } else {
+        out += ch;
+      }
+    }
+    return out;
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (consume_if('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("invalid value");
+    const std::string token(text_.substr(start, pos_ - start));
+    try {
+      std::size_t consumed = 0;
+      const double value = std::stod(token, &consumed);
+      if (consumed != token.size()) throw std::invalid_argument(token);
+      return Json(value);
+    } catch (const std::exception&) {
+      pos_ = start;
+      fail("invalid number: " + token);
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json parse_json(std::string_view text) { return Parser(text).parse_document(); }
+
+}  // namespace aarc::io

@@ -1,0 +1,83 @@
+#include "io/trace_io.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contracts.h"
+#include "support/table.h"
+
+namespace aarc::io {
+
+using support::expects;
+using support::format_double;
+
+std::string trace_to_csv(const search::SearchTrace& trace) {
+  support::Table table({"index", "makespan", "cost", "wall_seconds", "wall_cost",
+                        "failed", "feasible"});
+  for (const auto& s : trace.samples()) {
+    table.add_row({std::to_string(s.index),
+                   std::isfinite(s.makespan) ? format_double(s.makespan, 4) : "inf",
+                   std::isfinite(s.cost) ? format_double(s.cost, 4) : "inf",
+                   format_double(s.wall_seconds, 4), format_double(s.wall_cost, 4),
+                   s.failed ? "1" : "0", s.feasible ? "1" : "0"});
+  }
+  return table.to_csv();
+}
+
+std::string execution_to_csv(const platform::Workflow& workflow,
+                             const platform::ExecutionResult& result) {
+  expects(result.invocations.size() == workflow.function_count(),
+          "result does not match the workflow");
+  support::Table table({"function", "start", "runtime", "finish", "cost", "oom"});
+  for (const auto& inv : result.invocations) {
+    table.add_row({workflow.function_name(inv.node),
+                   std::isfinite(inv.start) ? format_double(inv.start, 4) : "inf",
+                   std::isfinite(inv.runtime) ? format_double(inv.runtime, 4) : "inf",
+                   std::isfinite(inv.finish) ? format_double(inv.finish, 4) : "inf",
+                   std::isfinite(inv.cost) ? format_double(inv.cost, 4) : "inf",
+                   inv.oom ? "1" : "0"});
+  }
+  return table.to_csv();
+}
+
+std::string execution_gantt(const platform::Workflow& workflow,
+                            const platform::ExecutionResult& result, std::size_t width) {
+  expects(result.invocations.size() == workflow.function_count(),
+          "result does not match the workflow");
+  expects(width >= 10, "gantt width must be at least 10 columns");
+
+  const double horizon = result.observed_wall_seconds();
+  std::size_t name_width = 0;
+  for (dag::NodeId id = 0; id < workflow.function_count(); ++id) {
+    name_width = std::max(name_width, workflow.function_name(id).size());
+  }
+
+  std::string out;
+  for (const auto& inv : result.invocations) {
+    const std::string& name = workflow.function_name(inv.node);
+    out += name;
+    out.append(name_width - name.size(), ' ');
+    out += " |";
+    if (inv.oom || !std::isfinite(inv.finish)) {
+      out += " OOM";
+    } else if (horizon <= 0.0) {
+      out += std::string(width, '#');
+    } else {
+      const auto begin = static_cast<std::size_t>(inv.start / horizon *
+                                                  static_cast<double>(width));
+      auto end = static_cast<std::size_t>(inv.finish / horizon *
+                                          static_cast<double>(width));
+      end = std::max(end, begin + 1);
+      end = std::min(end, width);
+      out.append(begin, ' ');
+      out.append(end - begin, '#');
+      out.append(width - end, ' ');
+      out += "| ";
+      out += format_double(inv.start, 1) + "-" + format_double(inv.finish, 1) + "s";
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace aarc::io

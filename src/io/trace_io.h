@@ -1,0 +1,32 @@
+// Search-trace and execution-timeline export.
+//
+// The bench harness prints markdown; downstream analysis wants machine
+// formats.  This module renders:
+//   * a SearchTrace as CSV (one row per sample, the exact series behind
+//     Figs. 3, 6 and 7);
+//   * an ExecutionResult as CSV (one row per invocation) and as a textual
+//     Gantt chart for quick terminal inspection of workflow schedules.
+#pragma once
+
+#include <string>
+
+#include "platform/executor.h"
+#include "search/trace.h"
+
+namespace aarc::io {
+
+/// CSV with columns: index, makespan, cost, wall_seconds, wall_cost,
+/// failed, feasible.
+std::string trace_to_csv(const search::SearchTrace& trace);
+
+/// CSV with columns: function, start, runtime, finish, cost, oom.
+std::string execution_to_csv(const platform::Workflow& workflow,
+                             const platform::ExecutionResult& result);
+
+/// Textual Gantt chart of one execution (fixed `width` characters across the
+/// makespan).  OOM rows are marked.  Requires a successful-or-partial run.
+std::string execution_gantt(const platform::Workflow& workflow,
+                            const platform::ExecutionResult& result,
+                            std::size_t width = 60);
+
+}  // namespace aarc::io

@@ -1,0 +1,253 @@
+#include "io/workflow_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "perf/analytic.h"
+#include "perf/composite.h"
+#include "perf/profile_table.h"
+#include "support/contracts.h"
+
+namespace aarc::io {
+
+using support::expects;
+
+namespace {
+
+Json analytic_to_json(const perf::AnalyticModel& model) {
+  const perf::AnalyticParams& p = model.params();
+  JsonObject obj;
+  obj["type"] = "analytic";
+  obj["io_seconds"] = p.io_seconds;
+  obj["serial_seconds"] = p.serial_seconds;
+  obj["parallel_seconds"] = p.parallel_seconds;
+  obj["max_parallelism"] = p.max_parallelism;
+  obj["working_set_mb"] = p.working_set_mb;
+  obj["min_memory_mb"] = p.min_memory_mb;
+  obj["pressure_coeff"] = p.pressure_coeff;
+  obj["input_work_exp"] = p.input_work_exp;
+  obj["input_memory_exp"] = p.input_memory_exp;
+  return Json(std::move(obj));
+}
+
+std::unique_ptr<perf::PerfModel> analytic_from_json(const Json& doc) {
+  perf::AnalyticParams p;
+  p.io_seconds = doc.number_or("io_seconds", 0.0);
+  p.serial_seconds = doc.number_or("serial_seconds", 0.0);
+  p.parallel_seconds = doc.number_or("parallel_seconds", 0.0);
+  p.max_parallelism = doc.number_or("max_parallelism", 1.0);
+  p.working_set_mb = doc.number_or("working_set_mb", 128.0);
+  p.min_memory_mb = doc.number_or("min_memory_mb", 64.0);
+  p.pressure_coeff = doc.number_or("pressure_coeff", 0.0);
+  p.input_work_exp = doc.number_or("input_work_exp", 1.0);
+  p.input_memory_exp = doc.number_or("input_memory_exp", 0.0);
+  return std::make_unique<perf::AnalyticModel>(p);
+}
+
+JsonArray numbers_to_json(const std::vector<double>& values) {
+  JsonArray arr;
+  arr.reserve(values.size());
+  for (double v : values) arr.emplace_back(v);
+  return arr;
+}
+
+std::vector<double> numbers_from_json(const Json& doc) {
+  std::vector<double> out;
+  for (const auto& v : doc.as_array()) out.push_back(v.as_number());
+  return out;
+}
+
+Json profile_table_to_json(const perf::ProfileTableModel& model) {
+  JsonObject obj;
+  obj["type"] = "profile_table";
+  obj["cpu_points"] = Json(numbers_to_json(model.cpu_points()));
+  obj["mem_points"] = Json(numbers_to_json(model.mem_points()));
+  obj["runtimes"] = Json(numbers_to_json(model.runtime_matrix()));
+  obj["input_work_exp"] = model.input_work_exp();
+  return Json(std::move(obj));
+}
+
+std::unique_ptr<perf::PerfModel> profile_table_from_json(const Json& doc) {
+  return std::make_unique<perf::ProfileTableModel>(
+      numbers_from_json(doc.at("cpu_points")), numbers_from_json(doc.at("mem_points")),
+      numbers_from_json(doc.at("runtimes")), doc.number_or("input_work_exp", 1.0));
+}
+
+Json composite_to_json(const perf::CompositeModel& model) {
+  JsonObject obj;
+  obj["type"] = "composite";
+  JsonArray stages;
+  for (std::size_t i = 0; i < model.stage_count(); ++i) {
+    stages.push_back(model_to_json(model.stage(i)));
+  }
+  obj["stages"] = Json(std::move(stages));
+  return Json(std::move(obj));
+}
+
+std::unique_ptr<perf::PerfModel> composite_from_json(const Json& doc) {
+  std::vector<std::unique_ptr<perf::PerfModel>> stages;
+  for (const auto& stage : doc.at("stages").as_array()) {
+    stages.push_back(model_from_json(stage));
+  }
+  return std::make_unique<perf::CompositeModel>(std::move(stages));
+}
+
+workloads::InputClass input_class_from_name(const std::string& name) {
+  if (name == "light") return workloads::InputClass::Light;
+  if (name == "middle") return workloads::InputClass::Middle;
+  if (name == "heavy") return workloads::InputClass::Heavy;
+  throw JsonError("unknown input class: " + name);
+}
+
+}  // namespace
+
+Json model_to_json(const perf::PerfModel& model) {
+  if (const auto* analytic = dynamic_cast<const perf::AnalyticModel*>(&model)) {
+    return analytic_to_json(*analytic);
+  }
+  if (const auto* table = dynamic_cast<const perf::ProfileTableModel*>(&model)) {
+    return profile_table_to_json(*table);
+  }
+  if (const auto* composite = dynamic_cast<const perf::CompositeModel*>(&model)) {
+    return composite_to_json(*composite);
+  }
+  throw JsonError("cannot serialize unknown performance-model type");
+}
+
+std::unique_ptr<perf::PerfModel> model_from_json(const Json& doc) {
+  const std::string type = doc.at("type").as_string();
+  if (type == "analytic") return analytic_from_json(doc);
+  if (type == "profile_table") return profile_table_from_json(doc);
+  if (type == "composite") return composite_from_json(doc);
+  throw JsonError("unknown performance-model type: " + type);
+}
+
+Json workload_to_json(const workloads::Workload& workload) {
+  const platform::Workflow& wf = workload.workflow;
+  JsonObject obj;
+  obj["name"] = wf.name();
+  obj["slo_seconds"] = workload.slo_seconds;
+  obj["input_sensitive"] = workload.input_sensitive;
+
+  JsonArray classes;
+  for (const auto& entry : workload.input_classes) {
+    JsonObject c;
+    c["class"] = to_string(entry.input_class);
+    c["scale"] = entry.scale;
+    classes.push_back(Json(std::move(c)));
+  }
+  obj["input_classes"] = Json(std::move(classes));
+
+  JsonArray functions;
+  for (dag::NodeId id = 0; id < wf.function_count(); ++id) {
+    JsonObject f;
+    f["name"] = wf.function_name(id);
+    f["model"] = model_to_json(wf.model(id));
+    functions.push_back(Json(std::move(f)));
+  }
+  obj["functions"] = Json(std::move(functions));
+
+  JsonArray edges;
+  for (dag::NodeId id = 0; id < wf.function_count(); ++id) {
+    for (dag::NodeId next : wf.graph().successors(id)) {
+      JsonArray edge;
+      edge.emplace_back(wf.function_name(id));
+      edge.emplace_back(wf.function_name(next));
+      edges.push_back(Json(std::move(edge)));
+    }
+  }
+  obj["edges"] = Json(std::move(edges));
+  return Json(std::move(obj));
+}
+
+workloads::Workload workload_from_json(const Json& doc) {
+  platform::Workflow wf(doc.at("name").as_string());
+  for (const auto& f : doc.at("functions").as_array()) {
+    wf.add_function(f.at("name").as_string(), model_from_json(f.at("model")));
+  }
+  for (const auto& e : doc.at("edges").as_array()) {
+    const auto& pair = e.as_array();
+    if (pair.size() != 2) throw JsonError("edges must be [from, to] pairs");
+    wf.add_edge(pair[0].as_string(), pair[1].as_string());
+  }
+  wf.validate();
+
+  workloads::Workload w(std::move(wf));
+  w.slo_seconds = doc.at("slo_seconds").as_number();
+  expects(w.slo_seconds > 0.0, "slo_seconds must be positive");
+  w.input_sensitive = doc.bool_or("input_sensitive", false);
+  if (doc.contains("input_classes")) {
+    for (const auto& c : doc.at("input_classes").as_array()) {
+      workloads::InputClassScale entry;
+      entry.input_class = input_class_from_name(c.at("class").as_string());
+      entry.scale = c.at("scale").as_number();
+      expects(entry.scale > 0.0, "input class scale must be positive");
+      w.input_classes.push_back(entry);
+    }
+  }
+  return w;
+}
+
+std::string workload_to_string(const workloads::Workload& workload, int indent) {
+  return workload_to_json(workload).dump(indent);
+}
+
+workloads::Workload workload_from_string(std::string_view text) {
+  return workload_from_json(parse_json(text));
+}
+
+Json config_to_json(const platform::Workflow& workflow,
+                    const platform::WorkflowConfig& config) {
+  expects(config.size() == workflow.function_count(),
+          "config must have one entry per function");
+  JsonObject obj;
+  obj["workflow"] = workflow.name();
+  JsonArray functions;
+  for (dag::NodeId id = 0; id < workflow.function_count(); ++id) {
+    JsonObject f;
+    f["name"] = workflow.function_name(id);
+    f["vcpu"] = config[id].vcpu;
+    f["memory_mb"] = config[id].memory_mb;
+    functions.push_back(Json(std::move(f)));
+  }
+  obj["functions"] = Json(std::move(functions));
+  return Json(std::move(obj));
+}
+
+platform::WorkflowConfig config_from_json(const platform::Workflow& workflow,
+                                          const Json& doc) {
+  platform::WorkflowConfig config(workflow.function_count());
+  std::vector<bool> seen(workflow.function_count(), false);
+  for (const auto& f : doc.at("functions").as_array()) {
+    const dag::NodeId id = workflow.function_id(f.at("name").as_string());
+    if (seen[id]) throw JsonError("duplicate function in config: " + f.at("name").as_string());
+    seen[id] = true;
+    config[id].vcpu = f.at("vcpu").as_number();
+    config[id].memory_mb = f.at("memory_mb").as_number();
+    expects(config[id].vcpu > 0.0 && config[id].memory_mb > 0.0,
+            "configured allocations must be positive");
+  }
+  for (dag::NodeId id = 0; id < workflow.function_count(); ++id) {
+    if (!seen[id]) {
+      throw JsonError("config missing function: " + workflow.function_name(id));
+    }
+  }
+  return config;
+}
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw JsonError("cannot open file: " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void write_text_file(const std::string& path, std::string_view contents) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw JsonError("cannot write file: " + path);
+  out << contents;
+  expects(out.good(), "failed writing file: " + path);
+}
+
+}  // namespace aarc::io

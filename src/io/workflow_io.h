@@ -1,0 +1,68 @@
+// Workflow / configuration serialization.
+//
+// A production deployment needs workloads as data, not code: developers
+// submit a workflow description (functions with calibrated performance
+// models, dependency edges, SLO, input classes), and the platform hands back
+// a resource configuration.  Both directions are JSON documents with a
+// stable schema:
+//
+//   {
+//     "name": "chatbot",
+//     "slo_seconds": 120,
+//     "input_sensitive": false,
+//     "input_classes": [{"class": "light", "scale": 1.0}, ...],
+//     "functions": [
+//       {"name": "preprocess",
+//        "model": {"type": "analytic", "io_seconds": 2.0, ...}},
+//       {"name": "pipeline",
+//        "model": {"type": "composite", "stages": [{...}, {...}]}},
+//       {"name": "measured",
+//        "model": {"type": "profile_table", "cpu_points": [...],
+//                  "mem_points": [...], "runtimes": [...],
+//                  "input_work_exp": 1.0}}
+//     ],
+//     "edges": [["preprocess", "train_nb"], ...]
+//   }
+//
+// Configurations:
+//   {"workflow": "chatbot",
+//    "functions": [{"name": "preprocess", "vcpu": 1.0, "memory_mb": 512}, ...]}
+#pragma once
+
+#include <string>
+
+#include "io/json.h"
+#include "platform/resource.h"
+#include "workloads/workload.h"
+
+namespace aarc::io {
+
+/// Serialize a workload (topology + models + SLO + input classes).
+Json workload_to_json(const workloads::Workload& workload);
+
+/// Parse a workload; throws JsonError on schema violations and
+/// ContractViolation on semantic ones (cycles, bad parameters, ...).
+workloads::Workload workload_from_json(const Json& doc);
+
+/// Convenience: text round-trips.
+std::string workload_to_string(const workloads::Workload& workload, int indent = 2);
+workloads::Workload workload_from_string(std::string_view text);
+
+/// Serialize a per-function configuration for the given workflow.
+Json config_to_json(const platform::Workflow& workflow,
+                    const platform::WorkflowConfig& config);
+
+/// Parse a configuration against the given workflow (functions are matched
+/// by name; every function must be present exactly once).
+platform::WorkflowConfig config_from_json(const platform::Workflow& workflow,
+                                          const Json& doc);
+
+/// Serialize / parse a performance model (the "model" sub-document).
+Json model_to_json(const perf::PerfModel& model);
+std::unique_ptr<perf::PerfModel> model_from_json(const Json& doc);
+
+/// Whole-file helpers.
+std::string read_text_file(const std::string& path);
+void write_text_file(const std::string& path, std::string_view contents);
+
+}  // namespace aarc::io

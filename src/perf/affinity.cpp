@@ -1,0 +1,91 @@
+#include "perf/affinity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contracts.h"
+
+namespace aarc::perf {
+
+using support::expects;
+
+std::string to_string(AffinityClass c) {
+  switch (c) {
+    case AffinityClass::CpuBound:
+      return "cpu-bound";
+    case AffinityClass::MemoryBound:
+      return "memory-bound";
+    case AffinityClass::IoBound:
+      return "io-bound";
+    case AffinityClass::Balanced:
+      return "balanced";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Central log-log difference along one axis; `lo`/`hi` are the perturbed
+/// resource values, `t_lo`/`t_hi` the runtimes there.
+double log_log_slope(double lo, double hi, double t_lo, double t_hi) {
+  return (std::log(t_hi) - std::log(t_lo)) / (std::log(hi) - std::log(lo));
+}
+
+}  // namespace
+
+ResourceElasticity elasticity(const PerfModel& model, double vcpu, double memory_mb,
+                              double input_scale, double rel_step) {
+  expects(vcpu > 0.0 && memory_mb > 0.0 && input_scale > 0.0,
+          "operating point must be positive");
+  expects(rel_step > 0.0 && rel_step < 1.0, "rel_step must be in (0, 1)");
+  expects(model.fits_memory(memory_mb, input_scale),
+          "operating point must not be below the OOM floor");
+
+  ResourceElasticity e;
+
+  // CPU axis: symmetric in log space.
+  {
+    const double lo = vcpu * (1.0 - rel_step);
+    const double hi = vcpu * (1.0 + rel_step);
+    const double t_lo = model.mean_runtime(lo, memory_mb, input_scale);
+    const double t_hi = model.mean_runtime(hi, memory_mb, input_scale);
+    e.cpu = log_log_slope(lo, hi, t_lo, t_hi);
+  }
+
+  // Memory axis: keep the downward probe above the OOM floor (when the
+  // operating point sits on the floor itself, no downward probe exists and
+  // the elasticity degrades to the upward half-difference).
+  {
+    const double floor = model.min_memory_mb(input_scale);
+    const double lo = std::max(memory_mb * (1.0 - rel_step), floor);
+    const double hi = memory_mb * (1.0 + rel_step);
+    if (lo < hi) {
+      const double t_lo = model.mean_runtime(vcpu, lo, input_scale);
+      const double t_hi = model.mean_runtime(vcpu, hi, input_scale);
+      e.memory = log_log_slope(lo, hi, t_lo, t_hi);
+    }
+  }
+  return e;
+}
+
+AffinityClass classify(const ResourceElasticity& e, const AffinityThresholds& t) {
+  const double cpu = std::abs(e.cpu);
+  const double mem = std::abs(e.memory);
+  const bool cpu_matters = cpu >= t.significant;
+  const bool mem_matters = mem >= t.significant;
+  if (!cpu_matters && !mem_matters) return AffinityClass::IoBound;
+  if (cpu_matters && (!mem_matters || cpu >= t.dominance * mem)) {
+    return AffinityClass::CpuBound;
+  }
+  if (mem_matters && (!cpu_matters || mem >= t.dominance * cpu)) {
+    return AffinityClass::MemoryBound;
+  }
+  return AffinityClass::Balanced;
+}
+
+AffinityClass affinity_of(const PerfModel& model, double vcpu, double memory_mb,
+                          double input_scale, const AffinityThresholds& t) {
+  return classify(elasticity(model, vcpu, memory_mb, input_scale), t);
+}
+
+}  // namespace aarc::perf

@@ -1,0 +1,58 @@
+// Resource-affinity analysis.
+//
+// "AARC ... increases resource flexibility and efficiency through a
+// comprehensive exploration of serverless workflows' resource affinities"
+// (paper §I).  This module makes those affinities explicit: the local
+// elasticity of a function's runtime with respect to each resource —
+// d log t / d log r, measured by symmetric relative perturbation — and a
+// classification into the archetypes the paper's motivation discusses
+// (compute-intensive Chatbot/ML-Pipeline functions vs memory-hungry Video
+// Analysis stages vs I/O floors).
+#pragma once
+
+#include <string>
+
+#include "perf/model.h"
+
+namespace aarc::perf {
+
+/// Local log-log sensitivities at an operating point.  By the PerfModel
+/// monotonicity contract both values are <= 0 (more resource never slows a
+/// function down); magnitudes tell how much a resource still matters there.
+struct ResourceElasticity {
+  double cpu = 0.0;     ///< d log t / d log vcpu  (<= 0)
+  double memory = 0.0;  ///< d log t / d log memory (<= 0)
+};
+
+enum class AffinityClass {
+  CpuBound,     ///< runtime follows CPU, memory is slack
+  MemoryBound,  ///< runtime follows memory (working-set pressure)
+  IoBound,      ///< neither resource moves the runtime (floor-dominated)
+  Balanced,     ///< both resources matter comparably
+};
+
+std::string to_string(AffinityClass c);
+
+/// Thresholds for classify(): a resource "matters" when |elasticity| is at
+/// least `significant`; the larger one dominates when it exceeds the other
+/// by `dominance` times.
+struct AffinityThresholds {
+  double significant = 0.05;
+  double dominance = 3.0;
+};
+
+/// Measure the elasticity of `model` at (vcpu, memory_mb, input_scale) with
+/// a symmetric relative step `rel_step` (clipped to stay above the model's
+/// OOM floor on the memory axis; the memory elasticity is 0 when no
+/// downward perturbation is possible).
+ResourceElasticity elasticity(const PerfModel& model, double vcpu, double memory_mb,
+                              double input_scale = 1.0, double rel_step = 0.2);
+
+/// Classify an operating point by its elasticities.
+AffinityClass classify(const ResourceElasticity& e, const AffinityThresholds& t = {});
+
+/// Convenience: elasticity + classify.
+AffinityClass affinity_of(const PerfModel& model, double vcpu, double memory_mb,
+                          double input_scale = 1.0, const AffinityThresholds& t = {});
+
+}  // namespace aarc::perf

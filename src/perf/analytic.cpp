@@ -1,0 +1,61 @@
+#include "perf/analytic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contracts.h"
+
+namespace aarc::perf {
+
+using support::ensures;
+using support::expects;
+
+void AnalyticParams::validate() const {
+  expects(io_seconds >= 0.0, "io_seconds must be >= 0");
+  expects(serial_seconds >= 0.0, "serial_seconds must be >= 0");
+  expects(parallel_seconds >= 0.0, "parallel_seconds must be >= 0");
+  expects(io_seconds + serial_seconds + parallel_seconds > 0.0,
+          "model must describe some work");
+  expects(max_parallelism >= 1.0, "max_parallelism must be >= 1");
+  expects(working_set_mb > 0.0, "working_set_mb must be > 0");
+  expects(min_memory_mb > 0.0, "min_memory_mb must be > 0");
+  expects(min_memory_mb <= working_set_mb, "min_memory_mb must be <= working_set_mb");
+  expects(pressure_coeff >= 0.0, "pressure_coeff must be >= 0");
+  expects(input_work_exp >= 0.0, "input_work_exp must be >= 0");
+  expects(input_memory_exp >= 0.0, "input_memory_exp must be >= 0");
+}
+
+AnalyticModel::AnalyticModel(AnalyticParams params) : params_(params) { params_.validate(); }
+
+double AnalyticModel::mean_runtime(double vcpu, double memory_mb, double input_scale) const {
+  expects(vcpu > 0.0, "vcpu must be positive");
+  expects(memory_mb > 0.0, "memory_mb must be positive");
+  expects(input_scale > 0.0, "input_scale must be positive");
+  expects(memory_mb >= min_memory_mb(input_scale),
+          "allocation below OOM floor; check fits_memory first");
+
+  const double work_scale = std::pow(input_scale, params_.input_work_exp);
+  const double ws = params_.working_set_mb * std::pow(input_scale, params_.input_memory_exp);
+
+  const double serial_rate = std::min(vcpu, 1.0);
+  const double parallel_rate = std::min(vcpu, params_.max_parallelism);
+  const double compute = params_.serial_seconds / serial_rate +
+                         (params_.parallel_seconds > 0.0
+                              ? params_.parallel_seconds / parallel_rate
+                              : 0.0);
+  const double pressure = 1.0 + params_.pressure_coeff * std::max(0.0, ws / memory_mb - 1.0);
+  const double t = work_scale * (params_.io_seconds + compute * pressure);
+  ensures(std::isfinite(t) && t > 0.0, "runtime must be finite and positive");
+  return t;
+}
+
+double AnalyticModel::min_memory_mb(double input_scale) const {
+  expects(input_scale > 0.0, "input_scale must be positive");
+  return params_.min_memory_mb * std::pow(input_scale, params_.input_memory_exp);
+}
+
+std::unique_ptr<PerfModel> AnalyticModel::clone() const {
+  return std::make_unique<AnalyticModel>(params_);
+}
+
+}  // namespace aarc::perf

@@ -1,0 +1,47 @@
+// Analytic response-surface model: Amdahl CPU scaling x memory-pressure
+// slowdown + I/O floor, with power-law input-size scaling.
+#pragma once
+
+#include "perf/model.h"
+
+namespace aarc::perf {
+
+/// Parameters of the analytic model.  All times are seconds at 1 vCPU with
+/// ample memory and input_scale == 1.
+struct AnalyticParams {
+  double io_seconds = 0.0;         ///< incompressible floor (network/storage)
+  double serial_seconds = 1.0;     ///< non-parallelizable compute
+  double parallel_seconds = 0.0;   ///< perfectly parallelizable compute
+  double max_parallelism = 1.0;    ///< cores beyond this are wasted (>= 1)
+  double working_set_mb = 128.0;   ///< below this, pressure slowdown kicks in
+  double min_memory_mb = 64.0;     ///< below this, OOM (<= working_set_mb)
+  double pressure_coeff = 2.0;     ///< slowdown slope when mem < working set
+  double input_work_exp = 1.0;     ///< compute & I/O scale as scale^exp
+  double input_memory_exp = 0.0;   ///< working set / OOM floor scale as scale^exp
+
+  /// Throws ContractViolation when parameters are inconsistent.
+  void validate() const;
+};
+
+/// The standard function model used by the built-in workloads.
+///
+/// t(c, m, s) = s^we * io
+///            + s^we * [ serial / min(c, 1) + parallel / min(c, P) ]
+///              * (1 + k * max(0, ws(s)/m - 1))
+/// where ws(s) = working_set_mb * s^me and the allocation OOMs below
+/// min_memory_mb * s^me.
+class AnalyticModel final : public PerfModel {
+ public:
+  explicit AnalyticModel(AnalyticParams params);
+
+  double mean_runtime(double vcpu, double memory_mb, double input_scale) const override;
+  double min_memory_mb(double input_scale) const override;
+  std::unique_ptr<PerfModel> clone() const override;
+
+  const AnalyticParams& params() const { return params_; }
+
+ private:
+  AnalyticParams params_;
+};
+
+}  // namespace aarc::perf

@@ -1,0 +1,143 @@
+#include "perf/calibration.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "support/contracts.h"
+
+namespace aarc::perf {
+
+using support::expects;
+
+namespace {
+
+constexpr double kOomPenalty = 25.0;  // squared-log-error units per violated sample
+
+double loss_impl(const AnalyticParams& params, const std::vector<CalibrationSample>& samples) {
+  AnalyticParams p = params;
+  try {
+    p.validate();
+  } catch (const support::ContractViolation&) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const AnalyticModel model(p);
+  double total = 0.0;
+  for (const auto& s : samples) {
+    if (!model.fits_memory(s.memory_mb, s.input_scale)) {
+      total += kOomPenalty;
+      continue;
+    }
+    const double predicted = model.mean_runtime(s.vcpu, s.memory_mb, s.input_scale);
+    const double e = std::log(predicted) - std::log(s.runtime_seconds);
+    total += e * e;
+  }
+  return total / static_cast<double>(samples.size());
+}
+
+/// The tunable parameters as a flat vector (log-space for positive scales).
+struct ParamVector {
+  static constexpr std::size_t kDim = 8;
+
+  static ParamVector from(const AnalyticParams& p) {
+    ParamVector v;
+    v.x = {std::log(std::max(p.io_seconds, 1e-3)),
+           std::log(std::max(p.serial_seconds, 1e-3)),
+           std::log(std::max(p.parallel_seconds, 1e-3)),
+           std::log(p.max_parallelism),
+           std::log(p.working_set_mb),
+           std::log(p.min_memory_mb),
+           std::log(std::max(p.pressure_coeff, 1e-3)),
+           p.input_work_exp};
+    return v;
+  }
+
+  AnalyticParams to_params() const {
+    AnalyticParams p;
+    p.io_seconds = std::exp(x[0]);
+    p.serial_seconds = std::exp(x[1]);
+    p.parallel_seconds = std::exp(x[2]);
+    p.max_parallelism = std::max(1.0, std::exp(x[3]));
+    p.working_set_mb = std::exp(x[4]);
+    p.min_memory_mb = std::min(std::exp(x[5]), p.working_set_mb);
+    p.pressure_coeff = std::exp(x[6]);
+    p.input_work_exp = std::clamp(x[7], 0.0, 4.0);
+    p.input_memory_exp = 0.0;
+    return p;
+  }
+
+  std::array<double, kDim> x{};
+};
+
+ParamVector random_start(support::Rng& rng) {
+  ParamVector v;
+  v.x[0] = rng.uniform(std::log(0.01), std::log(60.0));    // io
+  v.x[1] = rng.uniform(std::log(0.01), std::log(200.0));   // serial
+  v.x[2] = rng.uniform(std::log(0.01), std::log(1000.0));  // parallel
+  v.x[3] = rng.uniform(std::log(1.0), std::log(16.0));     // max parallelism
+  v.x[4] = rng.uniform(std::log(64.0), std::log(8192.0));  // working set
+  v.x[5] = rng.uniform(std::log(32.0), std::log(2048.0));  // min memory
+  v.x[6] = rng.uniform(std::log(0.1), std::log(8.0));      // pressure
+  v.x[7] = rng.uniform(0.0, 2.0);                          // work exp
+  return v;
+}
+
+}  // namespace
+
+double calibration_loss(const AnalyticParams& params,
+                        const std::vector<CalibrationSample>& samples) {
+  expects(!samples.empty(), "calibration requires samples");
+  return loss_impl(params, samples);
+}
+
+CalibrationResult calibrate(const std::vector<CalibrationSample>& samples,
+                            const CalibrationOptions& options) {
+  expects(samples.size() >= 4, "calibration requires at least 4 samples");
+  std::set<double> cpus;
+  std::set<double> mems;
+  for (const auto& s : samples) {
+    expects(s.vcpu > 0.0 && s.memory_mb > 0.0 && s.input_scale > 0.0 &&
+                s.runtime_seconds > 0.0,
+            "calibration samples must be positive");
+    cpus.insert(s.vcpu);
+    mems.insert(s.memory_mb);
+  }
+  expects(cpus.size() >= 2, "samples must span >= 2 distinct cpu values");
+  expects(mems.size() >= 2, "samples must span >= 2 distinct memory values");
+  expects(options.restarts > 0 && options.iterations_per_restart > 0,
+          "calibration budgets must be positive");
+
+  support::Rng rng(options.seed);
+  CalibrationResult best;
+  best.mean_squared_log_error = std::numeric_limits<double>::infinity();
+
+  for (std::size_t r = 0; r < options.restarts; ++r) {
+    ParamVector current = random_start(rng);
+    double current_loss = loss_impl(current.to_params(), samples);
+    ++best.evaluations;
+    double temperature = 0.5;
+    for (std::size_t it = 0; it < options.iterations_per_restart; ++it) {
+      // Coordinate proposal with shrinking magnitude.
+      const std::size_t dim = rng.index(ParamVector::kDim);
+      ParamVector proposal = current;
+      proposal.x[dim] += rng.normal(0.0, temperature);
+      const double proposal_loss = loss_impl(proposal.to_params(), samples);
+      ++best.evaluations;
+      if (proposal_loss < current_loss) {
+        current = proposal;
+        current_loss = proposal_loss;
+      } else {
+        temperature = std::max(0.02, temperature * 0.995);
+      }
+    }
+    if (current_loss < best.mean_squared_log_error) {
+      best.mean_squared_log_error = current_loss;
+      best.params = current.to_params();
+    }
+  }
+  return best;
+}
+
+}  // namespace aarc::perf

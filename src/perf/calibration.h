@@ -1,0 +1,45 @@
+// Calibration: fit AnalyticParams to observed (cpu, mem, scale, runtime)
+// samples.  Useful to port a real function's profile into the simulator and
+// as a sanity check that the analytic family can represent measured surfaces.
+//
+// The fitter minimizes mean squared log-error with a seeded random-restart
+// coordinate search (robust, derivative-free; the parameter space is tiny).
+#pragma once
+
+#include <vector>
+
+#include "perf/analytic.h"
+#include "support/rng.h"
+
+namespace aarc::perf {
+
+struct CalibrationSample {
+  double vcpu = 1.0;
+  double memory_mb = 1024.0;
+  double input_scale = 1.0;
+  double runtime_seconds = 1.0;
+};
+
+struct CalibrationResult {
+  AnalyticParams params;
+  double mean_squared_log_error = 0.0;
+  std::size_t evaluations = 0;
+};
+
+struct CalibrationOptions {
+  std::size_t restarts = 8;
+  std::size_t iterations_per_restart = 200;
+  std::uint64_t seed = 42;
+};
+
+/// Mean squared log-error of a parameter set against the samples; samples
+/// whose memory is below the candidate OOM floor incur a fixed penalty.
+double calibration_loss(const AnalyticParams& params,
+                        const std::vector<CalibrationSample>& samples);
+
+/// Fit the analytic family to the samples.  Requires >= 4 samples spanning
+/// at least two distinct cpu values and two distinct memory values.
+CalibrationResult calibrate(const std::vector<CalibrationSample>& samples,
+                            const CalibrationOptions& options = {});
+
+}  // namespace aarc::perf

@@ -1,0 +1,41 @@
+#include "perf/composite.h"
+
+#include <algorithm>
+
+#include "support/contracts.h"
+
+namespace aarc::perf {
+
+using support::expects;
+
+CompositeModel::CompositeModel(std::vector<std::unique_ptr<PerfModel>> stages)
+    : stages_(std::move(stages)) {
+  expects(!stages_.empty(), "CompositeModel requires at least one stage");
+  for (const auto& s : stages_) expects(s != nullptr, "CompositeModel stage must not be null");
+}
+
+double CompositeModel::mean_runtime(double vcpu, double memory_mb, double input_scale) const {
+  double total = 0.0;
+  for (const auto& s : stages_) total += s->mean_runtime(vcpu, memory_mb, input_scale);
+  return total;
+}
+
+double CompositeModel::min_memory_mb(double input_scale) const {
+  double floor = 0.0;
+  for (const auto& s : stages_) floor = std::max(floor, s->min_memory_mb(input_scale));
+  return floor;
+}
+
+const PerfModel& CompositeModel::stage(std::size_t i) const {
+  expects(i < stages_.size(), "stage index out of range");
+  return *stages_[i];
+}
+
+std::unique_ptr<PerfModel> CompositeModel::clone() const {
+  std::vector<std::unique_ptr<PerfModel>> copies;
+  copies.reserve(stages_.size());
+  for (const auto& s : stages_) copies.push_back(s->clone());
+  return std::make_unique<CompositeModel>(std::move(copies));
+}
+
+}  // namespace aarc::perf

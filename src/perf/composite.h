@@ -1,0 +1,31 @@
+// Composite model: a function whose body is a sequence of stages, each with
+// its own response surface (e.g. "download, then decode, then upload").  The
+// runtime is the sum of stage runtimes; the OOM floor is the max of stage
+// floors.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "perf/model.h"
+
+namespace aarc::perf {
+
+class CompositeModel final : public PerfModel {
+ public:
+  /// Takes ownership of the stage models; at least one stage required.
+  explicit CompositeModel(std::vector<std::unique_ptr<PerfModel>> stages);
+
+  double mean_runtime(double vcpu, double memory_mb, double input_scale) const override;
+  double min_memory_mb(double input_scale) const override;
+  std::unique_ptr<PerfModel> clone() const override;
+
+  std::size_t stage_count() const { return stages_.size(); }
+  /// Stage accessor (serialization, introspection).  i < stage_count().
+  const PerfModel& stage(std::size_t i) const;
+
+ private:
+  std::vector<std::unique_ptr<PerfModel>> stages_;
+};
+
+}  // namespace aarc::perf

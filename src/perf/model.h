@@ -1,0 +1,48 @@
+// Function performance models.
+//
+// The paper measures real functions in Docker containers; here (see DESIGN.md
+// §2) each serverless function is described by a response surface
+// t(vCPU, memory, input_scale) that captures the affinities the paper
+// observes: CPU-bound functions speed up with cores until their parallelism
+// is exhausted, memory-bound functions slow down sharply below their working
+// set, and every function has an incompressible I/O floor.  The platform
+// layer adds seeded multiplicative noise per invocation.
+#pragma once
+
+#include <memory>
+
+namespace aarc::perf {
+
+/// Deterministic mean-runtime model of one serverless function.
+///
+/// Contract for all implementations:
+///  * vcpu > 0, memory_mb > 0, input_scale > 0;
+///  * memory_mb >= min_memory_mb(input_scale), otherwise the configuration
+///    is an out-of-memory failure and callers must not ask for a runtime;
+///  * mean_runtime is finite, positive, non-increasing in vcpu and in
+///    memory_mb, and non-decreasing in input_scale.
+class PerfModel {
+ public:
+  virtual ~PerfModel() = default;
+
+  /// Expected runtime in seconds under the given allocation and input scale.
+  virtual double mean_runtime(double vcpu, double memory_mb, double input_scale) const = 0;
+
+  /// Minimum memory below which the function OOMs for this input scale.
+  virtual double min_memory_mb(double input_scale) const = 0;
+
+  /// Deep copy (models are owned per workflow instance).
+  virtual std::unique_ptr<PerfModel> clone() const = 0;
+
+  /// Convenience: can this allocation run at all?
+  bool fits_memory(double memory_mb, double input_scale) const {
+    return memory_mb >= min_memory_mb(input_scale);
+  }
+
+ protected:
+  PerfModel() = default;
+  PerfModel(const PerfModel&) = default;
+  PerfModel& operator=(const PerfModel&) = default;
+};
+
+}  // namespace aarc::perf

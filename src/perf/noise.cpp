@@ -1,0 +1,22 @@
+#include "perf/noise.h"
+
+#include "support/contracts.h"
+
+namespace aarc::perf {
+
+using support::expects;
+
+NoiseModel::NoiseModel(double sigma) : sigma_(sigma) {
+  expects(sigma >= 0.0, "noise sigma must be >= 0");
+}
+
+double NoiseModel::sample_factor(support::Rng& rng) const {
+  return rng.lognormal_unit_mean(sigma_);
+}
+
+double NoiseModel::noisy_runtime(double mean_runtime, support::Rng& rng) const {
+  expects(mean_runtime > 0.0, "mean runtime must be positive");
+  return mean_runtime * sample_factor(rng);
+}
+
+}  // namespace aarc::perf

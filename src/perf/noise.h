@@ -1,0 +1,30 @@
+// Per-invocation measurement noise.
+//
+// Real serverless invocations vary run to run (scheduling jitter, cache
+// state, network).  Table II of the paper reports ~2-3% relative standard
+// deviation; we model the observed runtime as mean * X with X lognormal and
+// E[X] = 1, which keeps runtimes positive and the mean unbiased.
+#pragma once
+
+#include "support/rng.h"
+
+namespace aarc::perf {
+
+class NoiseModel {
+ public:
+  /// sigma is the lognormal shape parameter; 0 disables noise entirely.
+  explicit NoiseModel(double sigma = 0.0);
+
+  double sigma() const { return sigma_; }
+
+  /// Draw one multiplicative factor (mean exactly 1).
+  double sample_factor(support::Rng& rng) const;
+
+  /// Apply noise to a mean runtime.
+  double noisy_runtime(double mean_runtime, support::Rng& rng) const;
+
+ private:
+  double sigma_;
+};
+
+}  // namespace aarc::perf

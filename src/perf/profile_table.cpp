@@ -1,0 +1,80 @@
+#include "perf/profile_table.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contracts.h"
+
+namespace aarc::perf {
+
+using support::expects;
+
+namespace {
+/// Index i such that points[i] <= v < points[i+1], clamped to the grid.
+std::size_t bracket(const std::vector<double>& points, double v) {
+  if (v <= points.front()) return 0;
+  if (v >= points[points.size() - 2]) return points.size() - 2;
+  const auto it = std::upper_bound(points.begin(), points.end(), v);
+  return static_cast<std::size_t>(it - points.begin()) - 1;
+}
+
+double clamp_to(const std::vector<double>& points, double v) {
+  return std::clamp(v, points.front(), points.back());
+}
+}  // namespace
+
+ProfileTableModel::ProfileTableModel(std::vector<double> cpu_points,
+                                     std::vector<double> mem_points,
+                                     std::vector<double> runtimes, double input_work_exp)
+    : cpu_points_(std::move(cpu_points)),
+      mem_points_(std::move(mem_points)),
+      runtimes_(std::move(runtimes)),
+      input_work_exp_(input_work_exp) {
+  expects(cpu_points_.size() >= 2, "need >= 2 cpu grid points");
+  expects(mem_points_.size() >= 2, "need >= 2 memory grid points");
+  expects(runtimes_.size() == cpu_points_.size() * mem_points_.size(),
+          "runtimes must be a full cpu x mem matrix");
+  expects(std::is_sorted(cpu_points_.begin(), cpu_points_.end()) &&
+              std::adjacent_find(cpu_points_.begin(), cpu_points_.end()) == cpu_points_.end(),
+          "cpu grid must be strictly increasing");
+  expects(std::is_sorted(mem_points_.begin(), mem_points_.end()) &&
+              std::adjacent_find(mem_points_.begin(), mem_points_.end()) == mem_points_.end(),
+          "memory grid must be strictly increasing");
+  for (double t : runtimes_) expects(t > 0.0 && std::isfinite(t), "runtimes must be positive");
+  expects(input_work_exp_ >= 0.0, "input_work_exp must be >= 0");
+}
+
+double ProfileTableModel::at(std::size_t ci, std::size_t mi) const {
+  return runtimes_[ci * mem_points_.size() + mi];
+}
+
+double ProfileTableModel::mean_runtime(double vcpu, double memory_mb,
+                                       double input_scale) const {
+  expects(vcpu > 0.0 && memory_mb > 0.0 && input_scale > 0.0,
+          "arguments must be positive");
+  const double c = clamp_to(cpu_points_, vcpu);
+  const double m = clamp_to(mem_points_, memory_mb);
+  const std::size_t ci = bracket(cpu_points_, c);
+  const std::size_t mi = bracket(mem_points_, m);
+  const double cf = (c - cpu_points_[ci]) / (cpu_points_[ci + 1] - cpu_points_[ci]);
+  const double mf = (m - mem_points_[mi]) / (mem_points_[mi + 1] - mem_points_[mi]);
+  const double t00 = at(ci, mi);
+  const double t01 = at(ci, mi + 1);
+  const double t10 = at(ci + 1, mi);
+  const double t11 = at(ci + 1, mi + 1);
+  const double top = t00 + (t01 - t00) * mf;
+  const double bottom = t10 + (t11 - t10) * mf;
+  const double base = top + (bottom - top) * cf;
+  return base * std::pow(input_scale, input_work_exp_);
+}
+
+double ProfileTableModel::min_memory_mb(double /*input_scale*/) const {
+  return mem_points_.front();
+}
+
+std::unique_ptr<PerfModel> ProfileTableModel::clone() const {
+  return std::make_unique<ProfileTableModel>(cpu_points_, mem_points_, runtimes_,
+                                             input_work_exp_);
+}
+
+}  // namespace aarc::perf

@@ -1,0 +1,39 @@
+// Profile-table model: runtime measured (or precomputed) on a CPU x memory
+// grid, evaluated by bilinear interpolation.  Used when a function's surface
+// comes from real measurements rather than an analytic form, and by the
+// calibration tests as ground truth.
+#pragma once
+
+#include <vector>
+
+#include "perf/model.h"
+
+namespace aarc::perf {
+
+class ProfileTableModel final : public PerfModel {
+ public:
+  /// cpu_points and mem_points must be strictly increasing with >= 2 entries
+  /// each; runtimes is row-major [cpu][mem] with positive entries.
+  ProfileTableModel(std::vector<double> cpu_points, std::vector<double> mem_points,
+                    std::vector<double> runtimes, double input_work_exp = 1.0);
+
+  double mean_runtime(double vcpu, double memory_mb, double input_scale) const override;
+  double min_memory_mb(double input_scale) const override;
+  std::unique_ptr<PerfModel> clone() const override;
+
+  /// Introspection for serialization.
+  const std::vector<double>& cpu_points() const { return cpu_points_; }
+  const std::vector<double>& mem_points() const { return mem_points_; }
+  const std::vector<double>& runtime_matrix() const { return runtimes_; }
+  double input_work_exp() const { return input_work_exp_; }
+
+ private:
+  double at(std::size_t ci, std::size_t mi) const;
+
+  std::vector<double> cpu_points_;
+  std::vector<double> mem_points_;
+  std::vector<double> runtimes_;  // row-major [cpu][mem]
+  double input_work_exp_;
+};
+
+}  // namespace aarc::perf

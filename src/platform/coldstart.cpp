@@ -1,0 +1,23 @@
+#include "platform/coldstart.h"
+
+#include "support/contracts.h"
+
+namespace aarc::platform {
+
+using support::expects;
+
+ColdStartModel::ColdStartModel(double probability, double min_delay_seconds,
+                               double max_delay_seconds)
+    : probability_(probability), min_delay_(min_delay_seconds), max_delay_(max_delay_seconds) {
+  expects(probability >= 0.0 && probability <= 1.0, "cold-start probability in [0, 1]");
+  expects(min_delay_seconds >= 0.0, "cold-start delay must be non-negative");
+  expects(max_delay_seconds >= min_delay_seconds, "max delay must be >= min delay");
+}
+
+double ColdStartModel::sample_delay(support::Rng& rng) const {
+  if (!enabled()) return 0.0;
+  if (!rng.bernoulli(probability_)) return 0.0;
+  return rng.uniform(min_delay_, max_delay_);
+}
+
+}  // namespace aarc::platform

@@ -1,0 +1,33 @@
+// Cold-start model (extension, disabled by default).
+//
+// The paper evaluates warm workflows; real platforms add a container start
+// penalty on a fraction of invocations.  The ablation bench uses this to show
+// AARC's search is robust to cold-start noise.
+#pragma once
+
+#include "support/rng.h"
+
+namespace aarc::platform {
+
+class ColdStartModel {
+ public:
+  /// Disabled model: probability 0.
+  ColdStartModel() = default;
+
+  /// `probability` of a cold start per invocation; the penalty is uniform in
+  /// [min_delay_seconds, max_delay_seconds].
+  ColdStartModel(double probability, double min_delay_seconds, double max_delay_seconds);
+
+  bool enabled() const { return probability_ > 0.0; }
+  double probability() const { return probability_; }
+
+  /// Sampled start penalty in seconds (0 when warm).
+  double sample_delay(support::Rng& rng) const;
+
+ private:
+  double probability_ = 0.0;
+  double min_delay_ = 0.0;
+  double max_delay_ = 0.0;
+};
+
+}  // namespace aarc::platform

@@ -1,0 +1,115 @@
+#include "platform/executor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contracts.h"
+
+namespace aarc::platform {
+
+using support::expects;
+
+std::vector<double> ExecutionResult::runtimes() const {
+  std::vector<double> out;
+  out.reserve(invocations.size());
+  for (const auto& inv : invocations) out.push_back(inv.runtime);
+  return out;
+}
+
+std::vector<dag::NodeId> ExecutionResult::oom_nodes() const {
+  std::vector<dag::NodeId> out;
+  for (const auto& inv : invocations) {
+    if (inv.oom) out.push_back(inv.node);
+  }
+  return out;
+}
+
+double ExecutionResult::observed_wall_seconds() const {
+  double wall = 0.0;
+  for (const auto& inv : invocations) {
+    if (std::isfinite(inv.finish)) wall = std::max(wall, inv.finish);
+  }
+  return wall;
+}
+
+double ExecutionResult::observed_cost() const {
+  double total = 0.0;
+  for (const auto& inv : invocations) {
+    if (std::isfinite(inv.cost)) total += inv.cost;
+  }
+  return total;
+}
+
+Executor::Executor(std::unique_ptr<PricingModel> pricing, ExecutorOptions options)
+    : pricing_(std::move(pricing)), options_(options) {
+  expects(pricing_ != nullptr, "executor requires a pricing model");
+}
+
+ExecutionResult Executor::execute(const Workflow& workflow, const WorkflowConfig& config,
+                                  double input_scale, support::Rng& rng) const {
+  return run(workflow, config, input_scale, &rng);
+}
+
+ExecutionResult Executor::execute_mean(const Workflow& workflow, const WorkflowConfig& config,
+                                       double input_scale) const {
+  return run(workflow, config, input_scale, nullptr);
+}
+
+ExecutionResult Executor::run(const Workflow& workflow, const WorkflowConfig& config,
+                              double input_scale, support::Rng* rng) const {
+  workflow.validate();
+  expects(config.size() == workflow.function_count(),
+          "config must have one entry per function");
+  expects(input_scale > 0.0, "input_scale must be positive");
+  for (const auto& rc : config) {
+    expects(rc.vcpu > 0.0 && rc.memory_mb > 0.0, "allocations must be positive");
+  }
+
+  const dag::Graph& g = workflow.graph();
+  const auto order = g.topological_order();
+
+  ExecutionResult result;
+  result.invocations.resize(g.node_count());
+
+  for (dag::NodeId id : order) {
+    InvocationRecord rec;
+    rec.node = id;
+    double start = 0.0;
+    for (dag::NodeId p : g.predecessors(id)) {
+      start = std::max(start, result.invocations[p].finish);
+    }
+    rec.start = start;
+
+    const perf::PerfModel& model = workflow.model(id);
+    if (!model.fits_memory(config[id].memory_mb, input_scale)) {
+      rec.oom = true;
+      rec.runtime = kInfiniteTime;
+      rec.finish = kInfiniteTime;
+      rec.cost = kInfiniteTime;
+      result.failed = true;
+    } else {
+      double t = model.mean_runtime(config[id].vcpu, config[id].memory_mb, input_scale);
+      if (rng != nullptr) {
+        t = options_.noise.noisy_runtime(t, *rng);
+        rec.cold_start_delay = options_.cold_start.sample_delay(*rng);
+        t += rec.cold_start_delay;
+      }
+      rec.runtime = t;
+      rec.finish = start + t;
+      rec.cost = pricing_->invocation_cost(config[id], t);
+    }
+    result.invocations[id] = rec;
+  }
+
+  double makespan = 0.0;
+  double total_cost = 0.0;
+  for (const auto& rec : result.invocations) {
+    makespan = std::max(makespan, rec.finish);
+    total_cost += rec.cost;
+  }
+  result.makespan = result.failed ? kInfiniteTime : makespan;
+  result.total_cost = result.failed ? kInfiniteTime : total_cost;
+  return result;
+}
+
+}  // namespace aarc::platform

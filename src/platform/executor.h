@@ -1,0 +1,98 @@
+// The workflow executor — the simulated serverless platform.
+//
+// "Workflows execute in separate Docker containers, enabling CPU and memory
+// allocation decoupling" (Section IV-A(a)).  Here each node's container is an
+// invocation whose duration comes from the function's performance model plus
+// seeded noise (plus an optional cold-start penalty); the DAG semantics are
+// the standard ones: a function starts when all its predecessors finished.
+// The end-to-end runtime (makespan) is the finish time of the last function;
+// the cost is the sum of per-invocation costs under the pricing model.
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "dag/graph.h"
+#include "perf/noise.h"
+#include "platform/coldstart.h"
+#include "platform/pricing.h"
+#include "platform/resource.h"
+#include "platform/workflow.h"
+#include "support/rng.h"
+
+namespace aarc::platform {
+
+/// Outcome of one function invocation within a workflow execution.
+struct InvocationRecord {
+  dag::NodeId node = dag::kInvalidNode;
+  double start = 0.0;             ///< seconds from workflow start
+  double runtime = 0.0;           ///< observed duration (inf when OOM)
+  double finish = 0.0;            ///< start + runtime
+  double cost = 0.0;              ///< billed cost (inf when OOM)
+  double cold_start_delay = 0.0;  ///< included in runtime
+  bool oom = false;
+};
+
+/// Outcome of one end-to-end workflow execution.
+struct ExecutionResult {
+  std::vector<InvocationRecord> invocations;  ///< indexed by NodeId
+  double makespan = 0.0;                      ///< inf when any function OOMed
+  double total_cost = 0.0;                    ///< inf when any function OOMed
+  bool failed = false;                        ///< true when any function OOMed
+
+  /// Observed per-function runtimes, indexed by NodeId.
+  std::vector<double> runtimes() const;
+  /// Nodes that ran out of memory.
+  std::vector<dag::NodeId> oom_nodes() const;
+
+  /// Wall-clock seconds the execution occupied even if it failed: the
+  /// largest finite finish time (0 when nothing ran).  Search algorithms
+  /// charge this as sampling time for failed probes.
+  double observed_wall_seconds() const;
+  /// Billed cost of the invocations that did run (finite part only).
+  double observed_cost() const;
+};
+
+inline constexpr double kInfiniteTime = std::numeric_limits<double>::infinity();
+
+/// Executor options.
+struct ExecutorOptions {
+  perf::NoiseModel noise{0.03};  ///< ~3% relative std, matching Table II
+  ColdStartModel cold_start{};   ///< disabled by default
+};
+
+class Executor {
+ public:
+  /// Takes ownership of the pricing model (paper constants by default).
+  explicit Executor(std::unique_ptr<PricingModel> pricing =
+                        std::make_unique<DecoupledLinearPricing>(),
+                    ExecutorOptions options = {});
+
+  Executor(Executor&&) noexcept = default;
+  Executor& operator=(Executor&&) noexcept = default;
+
+  const PricingModel& pricing() const { return *pricing_; }
+  const ExecutorOptions& options() const { return options_; }
+
+  /// Execute the workflow once under `config` at the given input scale,
+  /// drawing noise from `rng`.  `config` must have one entry per function
+  /// with positive allocations.  OOM does not throw: it marks the record and
+  /// poisons makespan/cost with infinity (search algorithms treat this as an
+  /// error to revert, exactly like the paper's "encounters an error").
+  ExecutionResult execute(const Workflow& workflow, const WorkflowConfig& config,
+                          double input_scale, support::Rng& rng) const;
+
+  /// Noise-free analytic execution (used to seed weights and by tests).
+  ExecutionResult execute_mean(const Workflow& workflow, const WorkflowConfig& config,
+                               double input_scale = 1.0) const;
+
+ private:
+  ExecutionResult run(const Workflow& workflow, const WorkflowConfig& config,
+                      double input_scale, support::Rng* rng) const;
+
+  std::unique_ptr<PricingModel> pricing_;
+  ExecutorOptions options_;
+};
+
+}  // namespace aarc::platform

@@ -1,0 +1,46 @@
+#include "platform/pricing.h"
+
+#include "support/contracts.h"
+
+namespace aarc::platform {
+
+using support::expects;
+
+DecoupledLinearPricing::DecoupledLinearPricing(double mu0_per_vcpu_second,
+                                               double mu1_per_mb_second,
+                                               double mu2_per_request)
+    : mu0_(mu0_per_vcpu_second), mu1_(mu1_per_mb_second), mu2_(mu2_per_request) {
+  expects(mu0_ >= 0.0 && mu1_ >= 0.0 && mu2_ >= 0.0, "prices must be non-negative");
+  expects(mu0_ + mu1_ > 0.0, "at least one resource must have a price");
+}
+
+double DecoupledLinearPricing::invocation_cost(const ResourceConfig& config,
+                                               double seconds) const {
+  expects(seconds >= 0.0, "duration must be non-negative");
+  expects(config.vcpu > 0.0 && config.memory_mb > 0.0, "allocation must be positive");
+  return seconds * (mu0_ * config.vcpu + mu1_ * config.memory_mb) + mu2_;
+}
+
+std::unique_ptr<PricingModel> DecoupledLinearPricing::clone() const {
+  return std::make_unique<DecoupledLinearPricing>(*this);
+}
+
+CoupledMemoryPricing::CoupledMemoryPricing(double price_per_mb_second,
+                                           double price_per_request)
+    : per_mb_second_(price_per_mb_second), per_request_(price_per_request) {
+  expects(per_mb_second_ > 0.0, "per-MB-second price must be positive");
+  expects(per_request_ >= 0.0, "per-request price must be non-negative");
+}
+
+double CoupledMemoryPricing::invocation_cost(const ResourceConfig& config,
+                                             double seconds) const {
+  expects(seconds >= 0.0, "duration must be non-negative");
+  expects(config.memory_mb > 0.0, "memory must be positive");
+  return seconds * per_mb_second_ * config.memory_mb + per_request_;
+}
+
+std::unique_ptr<PricingModel> CoupledMemoryPricing::clone() const {
+  return std::make_unique<CoupledMemoryPricing>(*this);
+}
+
+}  // namespace aarc::platform

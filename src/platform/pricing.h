@@ -1,0 +1,68 @@
+// Pricing models.
+//
+// The paper extends AWS Lambda's pricing to decoupled resources (Section
+// IV-A(d)):  cost_ij = t_ij * (mu0 * cpu_j + mu1 * mem_j) + mu2 with
+// mu0 = 0.512 per vCPU-second, mu1 = 0.001 per MB-second, mu2 = 0 per
+// request.  A coupled (memory-centric) adapter prices the memory knob alone,
+// as AWS Lambda bills, for the motivation experiment's baseline.
+#pragma once
+
+#include <memory>
+
+#include "platform/resource.h"
+
+namespace aarc::platform {
+
+/// Price of one function invocation given its allocation and duration.
+class PricingModel {
+ public:
+  virtual ~PricingModel() = default;
+
+  /// Cost of running `config` for `seconds`.  seconds >= 0.
+  virtual double invocation_cost(const ResourceConfig& config, double seconds) const = 0;
+
+  virtual std::unique_ptr<PricingModel> clone() const = 0;
+
+ protected:
+  PricingModel() = default;
+  PricingModel(const PricingModel&) = default;
+  PricingModel& operator=(const PricingModel&) = default;
+};
+
+/// cost = t * (mu0 * vcpu + mu1 * memory_mb) + mu2  (the paper's model).
+class DecoupledLinearPricing final : public PricingModel {
+ public:
+  /// Paper constants by default.
+  explicit DecoupledLinearPricing(double mu0_per_vcpu_second = 0.512,
+                                  double mu1_per_mb_second = 0.001,
+                                  double mu2_per_request = 0.0);
+
+  double invocation_cost(const ResourceConfig& config, double seconds) const override;
+  std::unique_ptr<PricingModel> clone() const override;
+
+  double mu0() const { return mu0_; }
+  double mu1() const { return mu1_; }
+  double mu2() const { return mu2_; }
+
+ private:
+  double mu0_;
+  double mu1_;
+  double mu2_;
+};
+
+/// Memory-centric (coupled) pricing: bills the memory knob only, with CPU
+/// implied — AWS-Lambda-style "price per GB-second".
+class CoupledMemoryPricing final : public PricingModel {
+ public:
+  explicit CoupledMemoryPricing(double price_per_mb_second = 0.0015,
+                                double price_per_request = 0.0);
+
+  double invocation_cost(const ResourceConfig& config, double seconds) const override;
+  std::unique_ptr<PricingModel> clone() const override;
+
+ private:
+  double per_mb_second_;
+  double per_request_;
+};
+
+}  // namespace aarc::platform

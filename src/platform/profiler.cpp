@@ -1,0 +1,58 @@
+#include "platform/profiler.h"
+
+#include "support/contracts.h"
+
+namespace aarc::platform {
+
+using support::expects;
+
+double ProfileReport::slo_violation_rate(double slo_seconds) const {
+  expects(slo_seconds > 0.0, "SLO must be positive");
+  if (makespans.empty()) return 0.0;
+  std::size_t violations = 0;
+  for (double m : makespans) {
+    if (m > slo_seconds) ++violations;
+  }
+  return static_cast<double>(violations) / static_cast<double>(makespans.size());
+}
+
+ProfileReport Profiler::profile(const Workflow& workflow, const WorkflowConfig& config,
+                                std::size_t runs, support::Rng& rng,
+                                double input_scale) const {
+  expects(runs > 0, "profiling requires at least one run");
+  ProfileReport report;
+  report.runs = runs;
+  support::Accumulator makespan_acc;
+  support::Accumulator cost_acc;
+  std::vector<support::Accumulator> fn_acc(workflow.function_count());
+
+  for (std::size_t r = 0; r < runs; ++r) {
+    const ExecutionResult res = executor_->execute(workflow, config, input_scale, rng);
+    if (res.failed) {
+      ++report.failures;
+      continue;
+    }
+    makespan_acc.add(res.makespan);
+    cost_acc.add(res.total_cost);
+    report.makespans.push_back(res.makespan);
+    report.costs.push_back(res.total_cost);
+    for (const auto& inv : res.invocations) fn_acc[inv.node].add(inv.runtime);
+  }
+
+  report.makespan = makespan_acc.summary();
+  report.cost = cost_acc.summary();
+  report.function_runtime.reserve(fn_acc.size());
+  for (const auto& acc : fn_acc) report.function_runtime.push_back(acc.summary());
+  return report;
+}
+
+ExecutionResult Profiler::profile_into_weights(Workflow& workflow,
+                                               const WorkflowConfig& config,
+                                               support::Rng& rng, double input_scale) const {
+  const ExecutionResult res = executor_->execute(workflow, config, input_scale, rng);
+  expects(!res.failed, "profiling execution OOMed under the base configuration");
+  workflow.mutable_graph().set_weights(res.runtimes());
+  return res;
+}
+
+}  // namespace aarc::platform

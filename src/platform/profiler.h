@@ -1,0 +1,47 @@
+// Profiler — repeated executions and aggregation.
+//
+// Algorithm 1's first step ("execute G" under the base configuration) and the
+// paper's Table II methodology ("execute the workflow 100 times ... calculate
+// its average runtime and cost") both live here.
+#pragma once
+
+#include <vector>
+
+#include "platform/executor.h"
+#include "support/statistics.h"
+
+namespace aarc::platform {
+
+/// Aggregate of repeated executions under one fixed configuration.
+struct ProfileReport {
+  std::size_t runs = 0;
+  std::size_t failures = 0;                       ///< executions with an OOM
+  support::Summary makespan;                      ///< over successful runs
+  support::Summary cost;                          ///< over successful runs
+  std::vector<support::Summary> function_runtime; ///< per NodeId, successful runs
+  std::vector<double> makespans;                  ///< raw series (successful runs)
+  std::vector<double> costs;                      ///< raw series (successful runs)
+
+  /// Fraction of successful runs whose makespan exceeded `slo_seconds`.
+  double slo_violation_rate(double slo_seconds) const;
+};
+
+class Profiler {
+ public:
+  explicit Profiler(const Executor& executor) : executor_(&executor) {}
+
+  /// Run `runs` noisy executions; aggregates successful ones and counts OOMs.
+  ProfileReport profile(const Workflow& workflow, const WorkflowConfig& config,
+                        std::size_t runs, support::Rng& rng, double input_scale = 1.0) const;
+
+  /// One noisy profiling execution whose per-function runtimes are written
+  /// into the workflow graph's node weights (the paper's step 2: "converting
+  /// the workflow into a weighted DAG").  Returns the execution result.
+  ExecutionResult profile_into_weights(Workflow& workflow, const WorkflowConfig& config,
+                                       support::Rng& rng, double input_scale = 1.0) const;
+
+ private:
+  const Executor* executor_;
+};
+
+}  // namespace aarc::platform

@@ -1,0 +1,46 @@
+#include "platform/resource.h"
+
+#include "support/contracts.h"
+#include "support/table.h"
+
+namespace aarc::platform {
+
+using support::expects;
+
+std::string to_string(const ResourceConfig& config) {
+  return support::format_double(config.vcpu, 1) + " vCPU / " +
+         support::format_double(config.memory_mb, 0) + " MB";
+}
+
+ConfigGrid::ConfigGrid()
+    : cpu_(0.1, 10.0, 0.1), memory_(128.0, 10240.0, 64.0) {}
+
+ConfigGrid::ConfigGrid(support::ValueGrid cpu, support::ValueGrid memory)
+    : cpu_(cpu), memory_(memory) {}
+
+ResourceConfig ConfigGrid::snap(const ResourceConfig& config) const {
+  return ResourceConfig{cpu_.snap(config.vcpu), memory_.snap(config.memory_mb)};
+}
+
+bool ConfigGrid::contains(const ResourceConfig& config) const {
+  return cpu_.contains(config.vcpu) && memory_.contains(config.memory_mb);
+}
+
+ResourceConfig ConfigGrid::max_config() const {
+  return ResourceConfig{cpu_.max(), memory_.max()};
+}
+
+ResourceConfig ConfigGrid::min_config() const {
+  return ResourceConfig{cpu_.min(), memory_.min()};
+}
+
+double ConfigGrid::coupled_vcpu_for_memory(double memory_mb, double mb_per_vcpu) const {
+  expects(mb_per_vcpu > 0.0, "mb_per_vcpu must be positive");
+  return cpu_.snap(memory_mb / mb_per_vcpu);
+}
+
+WorkflowConfig uniform_config(std::size_t node_count, const ResourceConfig& config) {
+  return WorkflowConfig(node_count, config);
+}
+
+}  // namespace aarc::platform

@@ -1,0 +1,70 @@
+// Decoupled resource configurations and the discrete configuration space.
+//
+// The whole point of the paper: vCPU and memory are configured independently
+// instead of being coupled through a memory-centric knob.  The discrete grid
+// matches Section IV-A: memory 128..10240 MB in 64 MB steps, vCPU 0.1..10 in
+// 0.1 steps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/grid.h"
+
+namespace aarc::platform {
+
+/// One function's resource allocation.
+struct ResourceConfig {
+  double vcpu = 1.0;
+  double memory_mb = 1024.0;
+
+  friend bool operator==(const ResourceConfig&, const ResourceConfig&) = default;
+};
+
+/// Render "1.0 vCPU / 1024 MB".
+std::string to_string(const ResourceConfig& config);
+
+/// The discrete configuration space for one function.
+class ConfigGrid {
+ public:
+  /// Paper defaults (Section IV-A).
+  ConfigGrid();
+  ConfigGrid(support::ValueGrid cpu, support::ValueGrid memory);
+
+  const support::ValueGrid& cpu() const { return cpu_; }
+  const support::ValueGrid& memory() const { return memory_; }
+
+  /// Snap both dimensions onto the grid.
+  ResourceConfig snap(const ResourceConfig& config) const;
+
+  /// True when both dimensions sit exactly on grid points.
+  bool contains(const ResourceConfig& config) const;
+
+  /// Largest configuration on the grid (the over-provisioned base config of
+  /// Algorithm 1 line 3).
+  ResourceConfig max_config() const;
+
+  /// Smallest configuration on the grid.
+  ResourceConfig min_config() const;
+
+  /// Number of distinct (cpu, mem) points.
+  std::size_t size() const { return cpu_.size() * memory_.size(); }
+
+  /// AWS-Lambda-style coupling: given memory, the implied vCPU share
+  /// (mb_per_vcpu controls the ratio; paper's MAFF uses 1024 MB per core),
+  /// snapped to the cpu grid.
+  double coupled_vcpu_for_memory(double memory_mb, double mb_per_vcpu = 1024.0) const;
+
+ private:
+  support::ValueGrid cpu_;
+  support::ValueGrid memory_;
+};
+
+/// A full workflow configuration: one ResourceConfig per DAG node, indexed by
+/// dag::NodeId.
+using WorkflowConfig = std::vector<ResourceConfig>;
+
+/// Uniform workflow config helper.
+WorkflowConfig uniform_config(std::size_t node_count, const ResourceConfig& config);
+
+}  // namespace aarc::platform

@@ -1,0 +1,48 @@
+#include "platform/workflow.h"
+
+#include "support/contracts.h"
+
+namespace aarc::platform {
+
+using support::expects;
+
+Workflow::Workflow(std::string name) : graph_(std::move(name)) {}
+
+Workflow Workflow::clone() const {
+  Workflow copy(graph_.name());
+  copy.graph_ = graph_;
+  copy.models_.reserve(models_.size());
+  for (const auto& m : models_) copy.models_.push_back(m->clone());
+  return copy;
+}
+
+dag::NodeId Workflow::add_function(std::string name, std::unique_ptr<perf::PerfModel> model) {
+  expects(model != nullptr, "function model must not be null");
+  const dag::NodeId id = graph_.add_node(std::move(name));
+  models_.push_back(std::move(model));
+  return id;
+}
+
+void Workflow::add_edge(dag::NodeId from, dag::NodeId to) { graph_.add_edge(from, to); }
+
+void Workflow::add_edge(std::string_view from, std::string_view to) {
+  graph_.add_edge(function_id(from), function_id(to));
+}
+
+dag::NodeId Workflow::function_id(std::string_view name) const {
+  const auto id = graph_.find_node(name);
+  expects(id.has_value(), std::string("unknown function: ") + std::string(name));
+  return *id;
+}
+
+const perf::PerfModel& Workflow::model(dag::NodeId id) const {
+  expects(id < models_.size(), "node id out of range");
+  return *models_[id];
+}
+
+void Workflow::validate() const {
+  graph_.validate();
+  expects(models_.size() == graph_.node_count(), "every function needs a model");
+}
+
+}  // namespace aarc::platform

@@ -1,0 +1,68 @@
+// A serverless workflow: a DAG of functions, each with a performance model.
+//
+// This is the object developers "submit to the cloud platform along with the
+// SLO" (paper Fig. 4, step 1).  The topology lives in a dag::Graph whose
+// node weights the profiler fills with measured runtimes; the per-function
+// performance models drive the simulator.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dag/graph.h"
+#include "perf/model.h"
+
+namespace aarc::platform {
+
+/// One function of the workflow.
+struct FunctionSpec {
+  std::string name;
+  std::unique_ptr<perf::PerfModel> model;
+
+  FunctionSpec(std::string n, std::unique_ptr<perf::PerfModel> m)
+      : name(std::move(n)), model(std::move(m)) {}
+};
+
+class Workflow {
+ public:
+  explicit Workflow(std::string name);
+
+  Workflow(Workflow&&) noexcept = default;
+  Workflow& operator=(Workflow&&) noexcept = default;
+  Workflow(const Workflow&) = delete;
+  Workflow& operator=(const Workflow&) = delete;
+
+  /// Deep copy (clones every performance model).
+  Workflow clone() const;
+
+  const std::string& name() const { return graph_.name(); }
+
+  /// Add a function node; returns its id.
+  dag::NodeId add_function(std::string name, std::unique_ptr<perf::PerfModel> model);
+
+  /// Add a dependency edge: `to` starts only after `from` finishes.
+  void add_edge(dag::NodeId from, dag::NodeId to);
+  /// Edge by function names (both must exist).
+  void add_edge(std::string_view from, std::string_view to);
+
+  std::size_t function_count() const { return graph_.node_count(); }
+  const std::string& function_name(dag::NodeId id) const { return graph_.node_name(id); }
+  dag::NodeId function_id(std::string_view name) const;
+
+  const perf::PerfModel& model(dag::NodeId id) const;
+
+  /// The topology; node weights are whatever the last profiling pass stored.
+  const dag::Graph& graph() const { return graph_; }
+  dag::Graph& mutable_graph() { return graph_; }
+
+  /// Throws unless the workflow is a well-formed connected DAG with a model
+  /// on every node.
+  void validate() const;
+
+ private:
+  dag::Graph graph_;
+  std::vector<std::unique_ptr<perf::PerfModel>> models_;
+};
+
+}  // namespace aarc::platform

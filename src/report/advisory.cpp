@@ -1,0 +1,33 @@
+#include "report/advisory.h"
+
+#include "support/contracts.h"
+
+namespace aarc::report {
+
+using support::format_double;
+using support::format_percent;
+
+support::Table advisory_table(const core::AdvisoryReport& report,
+                              const platform::Workflow& workflow) {
+  support::expects(report.functions.size() == workflow.function_count(),
+                   "advisory report does not match the workflow");
+  support::Table table({"function", "vCPU", "MB", "runtime (s)", "cost share",
+                        "affinity", "critical", "slack (s)"});
+  for (const auto& f : report.functions) {
+    table.add_row({workflow.function_name(f.node), format_double(f.config.vcpu, 1),
+                   format_double(f.config.memory_mb, 0),
+                   format_double(f.mean_runtime, 1), format_percent(f.cost_share, 1),
+                   perf::to_string(f.affinity), f.on_critical_path ? "yes" : "",
+                   format_double(f.slack_seconds, 1)});
+  }
+  return table;
+}
+
+std::string advisory_headline(const core::AdvisoryReport& report) {
+  return "mean runtime " + format_double(report.mean_makespan, 1) + " s of SLO " +
+         format_double(report.slo_seconds, 0) + " s (headroom " +
+         format_percent(report.slo_headroom_fraction, 1) + "), mean cost " +
+         format_double(report.mean_cost, 1);
+}
+
+}  // namespace aarc::report

@@ -1,0 +1,18 @@
+// Rendering of advisory reports (aarc/advisor.h) as tables.
+#pragma once
+
+#include "aarc/advisor.h"
+#include "platform/workflow.h"
+#include "support/table.h"
+
+namespace aarc::report {
+
+/// One row per function: allocation, runtime, cost share, affinity,
+/// critical-path membership, slack.
+support::Table advisory_table(const core::AdvisoryReport& report,
+                              const platform::Workflow& workflow);
+
+/// One-line headline: runtime vs SLO with headroom, mean cost.
+std::string advisory_headline(const core::AdvisoryReport& report);
+
+}  // namespace aarc::report

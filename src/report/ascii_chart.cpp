@@ -1,0 +1,110 @@
+#include "report/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/contracts.h"
+#include "support/table.h"
+
+namespace aarc::report {
+
+using support::expects;
+
+std::string ascii_chart(const std::vector<std::string>& labels,
+                        const std::vector<std::vector<double>>& series,
+                        const ChartOptions& options) {
+  expects(labels.size() == series.size(), "one label per series");
+  expects(!series.empty(), "chart needs at least one series");
+  expects(options.width >= 10 && options.height >= 3, "chart too small");
+
+  static constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '#', '@'};
+
+  // Longest series defines the x extent.
+  std::size_t longest = 0;
+  for (const auto& s : series) longest = std::max(longest, s.size());
+  if (longest == 0) return "(no data)\n";
+
+  // Global y range over finite values.
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto& s : series) {
+    for (double v : s) {
+      if (!std::isfinite(v)) continue;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (!std::isfinite(lo)) return "(no finite data)\n";
+  if (options.y_from_zero) lo = std::min(lo, 0.0);
+  if (hi == lo) hi = lo + 1.0;  // flat series: give the range some height
+
+  const std::size_t width = options.width;
+  const std::size_t height = options.height;
+  std::vector<std::string> canvas(height, std::string(width, ' '));
+
+  auto row_of = [&](double v) {
+    const double frac = (v - lo) / (hi - lo);
+    const auto r = static_cast<std::size_t>(std::llround(
+        frac * static_cast<double>(height - 1)));
+    return height - 1 - std::min(r, height - 1);  // row 0 = top
+  };
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const auto& s = series[si];
+    if (s.empty()) continue;
+    const char glyph = kGlyphs[si % std::size(kGlyphs)];
+    for (std::size_t col = 0; col < width; ++col) {
+      // Resample: x position -> sample index (padding with the last value).
+      const std::size_t idx = longest == 1
+                                  ? 0
+                                  : col * (longest - 1) / (width - 1);
+      const double v = idx < s.size() ? s[idx] : s.back();
+      if (!std::isfinite(v)) continue;
+      canvas[row_of(v)][col] = glyph;
+    }
+  }
+
+  // Assemble with y labels on the left and an x axis underneath.
+  std::string out;
+  const std::string top_label = support::format_double(hi, 1);
+  const std::string bottom_label = support::format_double(lo, 1);
+  const std::size_t label_width = std::max(top_label.size(), bottom_label.size());
+
+  for (std::size_t r = 0; r < height; ++r) {
+    std::string label;
+    if (r == 0) {
+      label = top_label;
+    } else if (r == height - 1) {
+      label = bottom_label;
+    }
+    out.append(label_width - label.size(), ' ');
+    out += label;
+    out += " |";
+    out += canvas[r];
+    out += '\n';
+  }
+  out.append(label_width, ' ');
+  out += " +";
+  out.append(width, '-');
+  out += "\n";
+  out.append(label_width + 2, ' ');
+  out += "1";
+  const std::string xmax = std::to_string(longest);
+  if (width > xmax.size() + 1) {
+    out.append(width - 1 - xmax.size(), ' ');
+    out += xmax;
+  }
+  out += "  (sample)\n";
+
+  // Legend.
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    out += "  ";
+    out += kGlyphs[si % std::size(kGlyphs)];
+    out += " = " + labels[si];
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace aarc::report

@@ -1,0 +1,29 @@
+// Terminal line charts.
+//
+// The paper's Figs. 3, 6 and 7 are line plots; the bench harness prints
+// their data as tables for machine diffing, and uses this renderer to also
+// *draw* them in the terminal so the shapes (convergence, instability,
+// plateaus) are visible at a glance without leaving the shell.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace aarc::report {
+
+struct ChartOptions {
+  std::size_t width = 70;   ///< plot columns (x resolution)
+  std::size_t height = 12;  ///< plot rows (y resolution)
+  bool y_from_zero = false; ///< anchor the y axis at 0 instead of the min
+};
+
+/// Render one or more series as an ASCII chart.  Series are drawn with
+/// distinct glyphs ('*', 'o', '+', 'x', ...) over a shared y scale; x is the
+/// sample index, resampled to the chart width.  Shorter series are padded
+/// with their last value (matching the incumbent-series semantics).  A
+/// legend and y-axis labels are included.  Non-finite values are skipped.
+std::string ascii_chart(const std::vector<std::string>& labels,
+                        const std::vector<std::vector<double>>& series,
+                        const ChartOptions& options = {});
+
+}  // namespace aarc::report

@@ -1,0 +1,71 @@
+#include "report/comparison.h"
+
+#include <algorithm>
+
+#include "support/contracts.h"
+
+namespace aarc::report {
+
+using support::expects;
+using support::format_double;
+using support::Table;
+
+Table search_totals_table(const std::vector<MethodRun>& runs) {
+  Table table({"workload", "method", "samples", "sampling runtime (s)",
+               "sampling cost", "found feasible"});
+  for (const auto& run : runs) {
+    table.add_row({run.workload, run.method, std::to_string(run.result.samples()),
+                   format_double(run.result.trace.total_sampling_runtime(), 1),
+                   format_double(run.result.trace.total_sampling_cost(), 1),
+                   run.result.found_feasible ? "yes" : "no"});
+  }
+  return table;
+}
+
+Table series_table(const std::vector<std::string>& labels,
+                   const std::vector<std::vector<double>>& series, std::size_t stride,
+                   int precision) {
+  expects(labels.size() == series.size(), "one label per series");
+  expects(stride >= 1, "stride must be >= 1");
+
+  std::size_t longest = 0;
+  for (const auto& s : series) longest = std::max(longest, s.size());
+
+  std::vector<std::string> header{"sample"};
+  header.insert(header.end(), labels.begin(), labels.end());
+  Table table(std::move(header));
+
+  for (std::size_t i = 0; i < longest; i += stride) {
+    std::vector<std::string> row{std::to_string(i + 1)};
+    for (const auto& s : series) {
+      if (s.empty()) {
+        row.emplace_back("-");
+      } else {
+        const std::size_t idx = std::min(i, s.size() - 1);
+        row.push_back(format_double(s[idx], precision));
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+Table validation_table(const std::vector<ValidationRun>& runs) {
+  Table table({"workload", "method", "runtime (s)", "cost", "SLO", "meets SLO (mean)"});
+  for (const auto& run : runs) {
+    const auto& m = run.profile.makespan;
+    table.add_row({run.workload, run.method, support::format_mean_std(m.mean, m.stddev, 1),
+                   support::format_kilo(run.profile.cost.sum, 1),
+                   format_double(run.slo_seconds, 0),
+                   m.mean <= run.slo_seconds ? "yes" : "NO"});
+  }
+  return table;
+}
+
+std::string reduction_percent(double ours, double theirs, int precision) {
+  expects(theirs != 0.0, "cannot compute a reduction against zero");
+  const double fraction = (theirs - ours) / theirs;
+  return support::format_percent(fraction, precision);
+}
+
+}  // namespace aarc::report

@@ -1,0 +1,44 @@
+// Report builders shared by the bench harness: method-comparison tables
+// (Fig. 5, Table II) and sample-series tables (Figs. 3, 6, 7).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "platform/profiler.h"
+#include "search/evaluator.h"
+#include "support/table.h"
+
+namespace aarc::report {
+
+/// One search method's outcome on one workload.
+struct MethodRun {
+  std::string method;
+  std::string workload;
+  search::SearchResult result;
+};
+
+/// Fig. 5: per (workload, method) totals of the sampling phase.
+support::Table search_totals_table(const std::vector<MethodRun>& runs);
+
+/// Figs. 6/7: incumbent runtime/cost by sample count.  Series are padded
+/// with their final value so rows align; `stride` thins the rows.
+support::Table series_table(const std::vector<std::string>& labels,
+                            const std::vector<std::vector<double>>& series,
+                            std::size_t stride = 5, int precision = 2);
+
+/// Table II row source: validation of a final configuration.
+struct ValidationRun {
+  std::string method;
+  std::string workload;
+  double slo_seconds = 0.0;
+  platform::ProfileReport profile;
+};
+
+/// Table II: mean +/- std runtime and total cost per (workload, method).
+support::Table validation_table(const std::vector<ValidationRun>& runs);
+
+/// "-49.6%" style reduction of `ours` versus `theirs` (positive = cheaper).
+std::string reduction_percent(double ours, double theirs, int precision = 1);
+
+}  // namespace aarc::report

@@ -1,0 +1,42 @@
+#include "search/evaluator.h"
+
+#include "support/contracts.h"
+
+namespace aarc::search {
+
+using support::expects;
+
+Evaluator::Evaluator(const platform::Workflow& workflow, const platform::Executor& executor,
+                     double slo_seconds, double input_scale, std::uint64_t seed)
+    : workflow_(&workflow),
+      executor_(&executor),
+      slo_(slo_seconds),
+      input_scale_(input_scale),
+      rng_(seed) {
+  expects(slo_seconds > 0.0, "SLO must be positive");
+  expects(input_scale > 0.0, "input scale must be positive");
+  workflow.validate();
+}
+
+Evaluation Evaluator::evaluate(const platform::WorkflowConfig& config) {
+  const platform::ExecutionResult result =
+      executor_->execute(*workflow_, config, input_scale_, rng_);
+
+  Evaluation eval;
+  eval.sample.index = trace_.size();
+  eval.sample.config = config;
+  eval.sample.makespan = result.makespan;
+  eval.sample.cost = result.total_cost;
+  eval.sample.wall_seconds = result.observed_wall_seconds();
+  eval.sample.wall_cost = result.observed_cost();
+  eval.sample.failed = result.failed;
+  eval.sample.feasible = !result.failed && result.makespan <= slo_;
+  eval.function_runtimes = result.runtimes();
+  eval.function_costs.reserve(result.invocations.size());
+  for (const auto& inv : result.invocations) eval.function_costs.push_back(inv.cost);
+
+  trace_.add(eval.sample);
+  return eval;
+}
+
+}  // namespace aarc::search

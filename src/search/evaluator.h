@@ -1,0 +1,61 @@
+// The evaluator: the single gateway through which every search algorithm
+// probes the platform.
+//
+// One evaluate() call = one workflow execution on the (simulated) platform =
+// one "sample" in the paper's terminology.  The evaluator owns the trace, so
+// sampling totals and convergence series are recorded uniformly no matter
+// which algorithm is searching.
+#pragma once
+
+#include <cstdint>
+
+#include "platform/executor.h"
+#include "search/trace.h"
+#include "support/rng.h"
+
+namespace aarc::search {
+
+/// Also carries the per-function observed runtimes of the latest probe,
+/// which AARC's Algorithm 1/2 needs (path runtime sums).
+struct Evaluation {
+  Sample sample;
+  std::vector<double> function_runtimes;  ///< by NodeId; inf where OOM
+  std::vector<double> function_costs;     ///< by NodeId; inf where OOM
+};
+
+class Evaluator {
+ public:
+  /// The evaluator keeps references; workflow and executor must outlive it.
+  Evaluator(const platform::Workflow& workflow, const platform::Executor& executor,
+            double slo_seconds, double input_scale, std::uint64_t seed);
+
+  /// Execute once under `config`, record and return the sample.
+  Evaluation evaluate(const platform::WorkflowConfig& config);
+
+  const platform::Workflow& workflow() const { return *workflow_; }
+  const platform::Executor& executor() const { return *executor_; }
+  double slo_seconds() const { return slo_; }
+  double input_scale() const { return input_scale_; }
+
+  const SearchTrace& trace() const { return trace_; }
+  std::size_t samples_used() const { return trace_.size(); }
+
+ private:
+  const platform::Workflow* workflow_;
+  const platform::Executor* executor_;
+  double slo_;
+  double input_scale_;
+  support::Rng rng_;
+  SearchTrace trace_;
+};
+
+/// The outcome every search algorithm returns.
+struct SearchResult {
+  platform::WorkflowConfig best_config;  ///< empty when no feasible config found
+  bool found_feasible = false;
+  SearchTrace trace;
+
+  std::size_t samples() const { return trace.size(); }
+};
+
+}  // namespace aarc::search

@@ -1,0 +1,97 @@
+#include "search/trace.h"
+
+#include <cmath>
+#include <limits>
+
+#include "support/contracts.h"
+
+namespace aarc::search {
+
+using support::expects;
+
+void SearchTrace::add(Sample sample) {
+  expects(sample.index == samples_.size(), "sample indices must be consecutive");
+  expects(std::isfinite(sample.wall_seconds) && sample.wall_seconds >= 0.0 &&
+              std::isfinite(sample.wall_cost) && sample.wall_cost >= 0.0,
+          "sampling wall time/cost must be finite and non-negative");
+  samples_.push_back(std::move(sample));
+}
+
+double SearchTrace::total_sampling_runtime() const {
+  double total = 0.0;
+  for (const auto& s : samples_) total += s.wall_seconds;
+  return total;
+}
+
+double SearchTrace::total_sampling_cost() const {
+  double total = 0.0;
+  for (const auto& s : samples_) total += s.wall_cost;
+  return total;
+}
+
+std::optional<std::size_t> SearchTrace::best_feasible_index() const {
+  std::optional<std::size_t> best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (const auto& s : samples_) {
+    if (s.feasible && s.cost < best_cost) {
+      best_cost = s.cost;
+      best = s.index;
+    }
+  }
+  return best;
+}
+
+namespace {
+enum class Field { Cost, Runtime };
+
+std::vector<double> incumbent_series(const std::vector<Sample>& samples, Field field) {
+  std::vector<double> out;
+  double best_cost = std::numeric_limits<double>::infinity();
+  double incumbent_value = 0.0;
+  bool have_incumbent = false;
+  std::size_t pending = 0;  // samples seen before the first feasible one
+  for (const auto& s : samples) {
+    if (s.feasible && s.cost < best_cost) {
+      best_cost = s.cost;
+      incumbent_value = field == Field::Cost ? s.cost : s.makespan;
+      if (!have_incumbent) {
+        have_incumbent = true;
+        // Backfill the prefix so the series has one entry per sample.
+        out.assign(pending, incumbent_value);
+      }
+    }
+    if (have_incumbent) {
+      out.push_back(incumbent_value);
+    } else {
+      ++pending;
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<double> SearchTrace::incumbent_cost_series() const {
+  return incumbent_series(samples_, Field::Cost);
+}
+
+std::vector<double> SearchTrace::incumbent_runtime_series() const {
+  return incumbent_series(samples_, Field::Runtime);
+}
+
+std::vector<double> SearchTrace::raw_cost_series() const {
+  std::vector<double> out;
+  for (const auto& s : samples_) {
+    if (!s.failed) out.push_back(s.cost);
+  }
+  return out;
+}
+
+std::vector<double> SearchTrace::raw_runtime_series() const {
+  std::vector<double> out;
+  for (const auto& s : samples_) {
+    if (!s.failed) out.push_back(s.makespan);
+  }
+  return out;
+}
+
+}  // namespace aarc::search

@@ -1,0 +1,64 @@
+// Search traces: the per-sample record every configuration-search algorithm
+// (AARC, BO, MAFF) produces.
+//
+// The paper's evaluation reads directly off these traces:
+//  * Fig. 5  — total sampling runtime and cost of the whole search;
+//  * Fig. 6  — the incumbent configuration's runtime vs sample count;
+//  * Fig. 7  — the incumbent configuration's cost vs sample count;
+//  * Fig. 3  — raw per-sample cost series (fluctuation statistics).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "platform/resource.h"
+
+namespace aarc::search {
+
+/// One sampled execution during a configuration search.
+struct Sample {
+  std::size_t index = 0;                ///< 0-based sample number
+  platform::WorkflowConfig config;      ///< configuration probed
+  double makespan = 0.0;                ///< observed end-to-end runtime (inf on OOM)
+  double cost = 0.0;                    ///< observed total cost (inf on OOM)
+  double wall_seconds = 0.0;            ///< wall time the probe consumed (finite)
+  double wall_cost = 0.0;               ///< billed cost the probe consumed (finite)
+  bool failed = false;                  ///< OOM during the probe
+  bool feasible = false;                ///< !failed && makespan <= SLO
+};
+
+class SearchTrace {
+ public:
+  void add(Sample sample);
+
+  const std::vector<Sample>& samples() const { return samples_; }
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// Total wall-clock seconds spent sampling (Fig. 5 "runtime").
+  double total_sampling_runtime() const;
+  /// Total cost billed while sampling (Fig. 5 "cost").
+  double total_sampling_cost() const;
+
+  /// Index of the cheapest feasible sample so far (the incumbent), or
+  /// nullopt if no feasible sample exists.
+  std::optional<std::size_t> best_feasible_index() const;
+
+  /// The incumbent's cost after each sample (Fig. 7 series).  Entries before
+  /// the first feasible sample repeat the first feasible value once known;
+  /// if the search never found a feasible sample the series is empty.
+  std::vector<double> incumbent_cost_series() const;
+
+  /// The incumbent's observed runtime after each sample (Fig. 6 series).
+  std::vector<double> incumbent_runtime_series() const;
+
+  /// Raw per-sample cost series with failed probes skipped (Fig. 3).
+  std::vector<double> raw_cost_series() const;
+  /// Raw per-sample runtime series with failed probes skipped.
+  std::vector<double> raw_runtime_series() const;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+}  // namespace aarc::search

@@ -1,0 +1,237 @@
+#include "serving/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+
+#include "support/contracts.h"
+
+namespace aarc::serving {
+
+using support::expects;
+
+double ServingReport::slo_violation_rate(double slo_seconds) const {
+  expects(slo_seconds > 0.0, "SLO must be positive");
+  std::size_t successes = 0;
+  std::size_t violations = 0;
+  for (const auto& r : requests) {
+    if (r.failed) continue;
+    ++successes;
+    if (r.latency() > slo_seconds) ++violations;
+  }
+  return successes == 0 ? 0.0
+                        : static_cast<double>(violations) / static_cast<double>(successes);
+}
+
+ServingSimulator::ServingSimulator(const platform::Workflow& workflow,
+                                   const platform::PricingModel& pricing,
+                                   ServingOptions options)
+    : workflow_(&workflow), pricing_(&pricing), options_(options) {
+  workflow.validate();
+  expects(options_.keep_alive_seconds >= 0.0, "keep-alive must be non-negative");
+  expects(options_.cold_start_min_seconds >= 0.0 &&
+              options_.cold_start_max_seconds >= options_.cold_start_min_seconds,
+          "cold-start range must be ordered and non-negative");
+}
+
+namespace {
+
+enum class EventKind { Arrival, Completion };
+
+struct Event {
+  double time = 0.0;
+  EventKind kind = EventKind::Arrival;
+  std::size_t request = 0;
+  dag::NodeId node = dag::kInvalidNode;
+  std::uint64_t sequence = 0;  ///< deterministic tie-break
+
+  friend bool operator>(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.sequence > b.sequence;
+  }
+};
+
+struct FunctionPool {
+  std::size_t busy = 0;
+  std::vector<double> idle_release_times;   ///< warm containers, by release time
+  std::deque<std::pair<std::size_t, dag::NodeId>> waiting;  ///< capped overflow
+};
+
+struct RequestState {
+  std::vector<std::size_t> remaining_preds;
+  std::size_t nodes_done = 0;
+  bool failed = false;
+  double last_completion = 0.0;
+};
+
+}  // namespace
+
+ServingReport ServingSimulator::serve(const std::vector<Request>& requests) const {
+  const dag::Graph& g = workflow_->graph();
+  const std::size_t n = g.node_count();
+  for (std::size_t i = 0; i + 1 < requests.size(); ++i) {
+    expects(requests[i].arrival_seconds <= requests[i + 1].arrival_seconds,
+            "requests must be sorted by arrival time");
+  }
+  for (const auto& r : requests) {
+    expects(r.config.size() == n, "request config must cover every function");
+    expects(r.input_scale > 0.0, "input scale must be positive");
+    for (const auto& rc : r.config) {
+      expects(rc.vcpu > 0.0 && rc.memory_mb > 0.0, "allocations must be positive");
+    }
+  }
+
+  support::Rng rng(options_.seed);
+  ServingReport report;
+  report.requests.resize(requests.size());
+  std::vector<RequestState> state(requests.size());
+  std::vector<FunctionPool> pools(n);
+  std::size_t alive_containers = 0;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+  std::uint64_t sequence = 0;
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    report.requests[i].index = i;
+    report.requests[i].arrival = requests[i].arrival_seconds;
+    state[i].remaining_preds.resize(n);
+    for (dag::NodeId id = 0; id < n; ++id) {
+      state[i].remaining_preds[id] = g.predecessors(id).size();
+    }
+    events.push({requests[i].arrival_seconds, EventKind::Arrival, i, dag::kInvalidNode,
+                 sequence++});
+  }
+
+  // Purge idle containers whose keep-alive lapsed before `now`.
+  auto purge_expired = [&](FunctionPool& pool, double now) {
+    auto& idle = pool.idle_release_times;
+    const auto split = std::partition(idle.begin(), idle.end(), [&](double released) {
+      return released + options_.keep_alive_seconds >= now;
+    });
+    alive_containers -= static_cast<std::size_t>(idle.end() - split);
+    idle.erase(split, idle.end());
+  };
+
+  // Start one invocation now (the caller has checked capacity).
+  auto start_invocation = [&](std::size_t r, dag::NodeId node, double now) {
+    FunctionPool& pool = pools[node];
+    purge_expired(pool, now);
+
+    double cold_delay = 0.0;
+    if (!pool.idle_release_times.empty()) {
+      // Reuse the most recently released container (LIFO keeps pools small).
+      const auto hottest =
+          std::max_element(pool.idle_release_times.begin(), pool.idle_release_times.end());
+      pool.idle_release_times.erase(hottest);
+      ++report.warm_starts;
+    } else {
+      cold_delay =
+          rng.uniform(options_.cold_start_min_seconds, options_.cold_start_max_seconds);
+      ++report.cold_starts;
+      ++report.requests[r].cold_starts;
+      ++alive_containers;
+      report.peak_containers = std::max(report.peak_containers, alive_containers);
+    }
+    ++pool.busy;
+
+    double billed = cold_delay;
+    const auto& model = workflow_->model(node);
+    const auto& rc = requests[r].config[node];
+    if (!model.fits_memory(rc.memory_mb, requests[r].input_scale)) {
+      // OOM: the request fails; the container is charged for the cold start
+      // only and frees immediately.
+      state[r].failed = true;
+      report.requests[r].failed = true;
+    } else {
+      billed += options_.noise.noisy_runtime(
+          model.mean_runtime(rc.vcpu, rc.memory_mb, requests[r].input_scale), rng);
+    }
+    report.requests[r].cost += pricing_->invocation_cost(rc, billed);
+    ++report.requests[r].invocations;
+    events.push({now + billed, EventKind::Completion, r, node, sequence++});
+  };
+
+  // Admit an invocation, or queue it when the function is at capacity.
+  auto admit = [&](std::size_t r, dag::NodeId node, double now) {
+    FunctionPool& pool = pools[node];
+    if (options_.max_containers_per_function != 0 &&
+        pool.busy >= options_.max_containers_per_function) {
+      pool.waiting.emplace_back(r, node);
+      return;
+    }
+    start_invocation(r, node, now);
+  };
+
+  while (!events.empty()) {
+    const Event ev = events.top();
+    events.pop();
+
+    if (ev.kind == EventKind::Arrival) {
+      for (dag::NodeId src : g.sources()) admit(ev.request, src, ev.time);
+      continue;
+    }
+
+    // Completion of (request, node).
+    FunctionPool& pool = pools[ev.node];
+    --pool.busy;
+    pool.idle_release_times.push_back(ev.time);
+
+    // Feed a queued invocation of this function, if any.
+    while (!pool.waiting.empty()) {
+      const auto [wr, wn] = pool.waiting.front();
+      pool.waiting.pop_front();
+      if (state[wr].failed) continue;  // abandoned by a failed request
+      start_invocation(wr, wn, ev.time);
+      break;
+    }
+
+    RequestState& rs = state[ev.request];
+    rs.last_completion = ev.time;
+    ++rs.nodes_done;
+    if (!rs.failed) {
+      for (dag::NodeId next : g.successors(ev.node)) {
+        if (--rs.remaining_preds[next] == 0) admit(ev.request, next, ev.time);
+      }
+      if (rs.nodes_done == n) report.requests[ev.request].completion = ev.time;
+    } else {
+      // Failed requests drain their in-flight work but spawn nothing new.
+      report.requests[ev.request].completion = ev.time;
+    }
+  }
+
+  support::Accumulator latency;
+  for (const auto& r : report.requests) {
+    report.total_cost += r.cost;
+    if (r.failed) {
+      ++report.failed_requests;
+    } else {
+      latency.add(r.latency());
+    }
+  }
+  report.latency = latency.summary();
+  return report;
+}
+
+std::vector<Request> poisson_stream(std::size_t count, double arrivals_per_second,
+                                    double scale_min, double scale_max,
+                                    const platform::WorkflowConfig& config,
+                                    std::uint64_t seed) {
+  expects(arrivals_per_second > 0.0, "arrival rate must be positive");
+  expects(scale_min > 0.0 && scale_max >= scale_min, "scale range must be ordered");
+  support::Rng rng(seed);
+  std::vector<Request> out;
+  out.reserve(count);
+  double t = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    t += -std::log(1.0 - rng.uniform(0.0, 1.0)) / arrivals_per_second;
+    Request r;
+    r.arrival_seconds = t;
+    r.input_scale = rng.uniform(scale_min, scale_max);
+    r.config = config;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace aarc::serving

@@ -1,0 +1,102 @@
+// Discrete-event serving simulator.
+//
+// The executor in platform/ runs one workflow in isolation — that is all the
+// paper's configuration-search experiments need.  A deployed platform serves
+// a *stream* of workflow requests whose invocations overlap, reuse warm
+// containers, suffer cold starts, and compete for per-function concurrency.
+// This module simulates exactly that:
+//
+//   * requests arrive at given times with an input scale and a per-request
+//     resource configuration (fixed, or chosen by the Input-Aware engine);
+//   * every function invocation needs a container of that function; an idle
+//     warm container (within keep-alive) is reused, otherwise a cold start
+//     penalty applies;
+//   * per-function concurrency can be capped; excess invocations queue FIFO;
+//   * billing follows the platform pricing model over the billed duration
+//     (cold-start initialization included, as providers bill provisioned
+//     time).
+//
+// The simulation is a classic event-heap DES, deterministic under a seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "perf/noise.h"
+#include "platform/pricing.h"
+#include "platform/resource.h"
+#include "platform/workflow.h"
+#include "support/rng.h"
+#include "support/statistics.h"
+
+namespace aarc::serving {
+
+struct ServingOptions {
+  double keep_alive_seconds = 600.0;  ///< container idle lifetime
+  double cold_start_min_seconds = 0.5;
+  double cold_start_max_seconds = 2.0;
+  std::size_t max_containers_per_function = 0;  ///< 0 = unlimited
+  perf::NoiseModel noise{0.03};
+  std::uint64_t seed = 2026;
+};
+
+/// One workflow request entering the system.
+struct Request {
+  double arrival_seconds = 0.0;
+  double input_scale = 1.0;
+  platform::WorkflowConfig config;  ///< allocation for this request
+};
+
+/// Outcome of one served request.
+struct RequestOutcome {
+  std::size_t index = 0;
+  double arrival = 0.0;
+  double completion = 0.0;       ///< absolute time the last function finished
+  double cost = 0.0;             ///< billed cost of all invocations
+  std::size_t cold_starts = 0;   ///< invocations that provisioned a container
+  std::size_t invocations = 0;
+  bool failed = false;           ///< an invocation OOMed
+
+  double latency() const { return completion - arrival; }
+};
+
+struct ServingReport {
+  std::vector<RequestOutcome> requests;
+  double total_cost = 0.0;
+  std::size_t cold_starts = 0;
+  std::size_t warm_starts = 0;
+  std::size_t failed_requests = 0;
+  std::size_t peak_containers = 0;  ///< max simultaneously-alive containers
+  support::Summary latency;         ///< over successful requests
+
+  /// Fraction of successful requests whose latency exceeded `slo_seconds`.
+  double slo_violation_rate(double slo_seconds) const;
+};
+
+class ServingSimulator {
+ public:
+  /// The workflow and pricing model must outlive the simulator.
+  ServingSimulator(const platform::Workflow& workflow,
+                   const platform::PricingModel& pricing, ServingOptions options = {});
+
+  /// Serve the given requests (must be sorted by arrival time).  Each
+  /// request's config must have one positive entry per function.
+  ServingReport serve(const std::vector<Request>& requests) const;
+
+  const ServingOptions& options() const { return options_; }
+
+ private:
+  const platform::Workflow* workflow_;
+  const platform::PricingModel* pricing_;
+  ServingOptions options_;
+};
+
+/// Build a Poisson request stream: exponential inter-arrivals with the given
+/// rate, input scales drawn uniformly from [scale_min, scale_max], one fixed
+/// configuration for every request.  Deterministic under the seed.
+std::vector<Request> poisson_stream(std::size_t count, double arrivals_per_second,
+                                    double scale_min, double scale_max,
+                                    const platform::WorkflowConfig& config,
+                                    std::uint64_t seed);
+
+}  // namespace aarc::serving

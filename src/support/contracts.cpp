@@ -1,0 +1,15 @@
+#include "support/contracts.h"
+
+#include <sstream>
+
+namespace aarc::support::detail {
+
+void fail_contract(std::string_view kind, std::string_view message, std::string_view file,
+                   int line) {
+  std::ostringstream os;
+  os << kind << " violated: " << message;
+  if (!file.empty()) os << " [" << file << ":" << line << "]";
+  throw ContractViolation(os.str());
+}
+
+}  // namespace aarc::support::detail

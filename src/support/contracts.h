@@ -1,0 +1,42 @@
+// Lightweight precondition / postcondition / invariant checks in the spirit of
+// the C++ Core Guidelines' Expects()/Ensures() (I.6, I.8).  Violations throw,
+// so tests can assert on them and long experiment runs fail loudly instead of
+// silently producing garbage.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace aarc::support {
+
+/// Thrown when a contract (precondition, postcondition, or invariant) fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void fail_contract(std::string_view kind, std::string_view message,
+                                std::string_view file, int line);
+}  // namespace detail
+
+/// Check a precondition; throws ContractViolation when `condition` is false.
+inline void expects(bool condition, std::string_view message, std::string_view file = {},
+                    int line = 0) {
+  if (!condition) detail::fail_contract("precondition", message, file, line);
+}
+
+/// Check a postcondition; throws ContractViolation when `condition` is false.
+inline void ensures(bool condition, std::string_view message, std::string_view file = {},
+                    int line = 0) {
+  if (!condition) detail::fail_contract("postcondition", message, file, line);
+}
+
+/// Check an internal invariant; throws ContractViolation when false.
+inline void invariant(bool condition, std::string_view message, std::string_view file = {},
+                      int line = 0) {
+  if (!condition) detail::fail_contract("invariant", message, file, line);
+}
+
+}  // namespace aarc::support

@@ -1,0 +1,70 @@
+#include "support/grid.h"
+
+#include <cmath>
+
+#include "support/contracts.h"
+
+namespace aarc::support {
+
+namespace {
+constexpr double kTolerance = 1e-6;
+}
+
+ValueGrid::ValueGrid(double min, double max, double step) : min_(min), max_(max), step_(step) {
+  expects(step > 0.0, "ValueGrid step must be positive");
+  expects(max >= min, "ValueGrid max must be >= min");
+  const double steps = (max - min) / step;
+  const double rounded = std::round(steps);
+  expects(std::abs(steps - rounded) < kTolerance,
+          "ValueGrid max must be min + k*step for integral k");
+  size_ = static_cast<std::size_t>(rounded) + 1;
+}
+
+double ValueGrid::value(std::size_t i) const {
+  expects(i < size_, "ValueGrid::value index out of range");
+  // Compute from the ends to avoid drift and guarantee value(size-1) == max.
+  if (i + 1 == size_) return max_;
+  return min_ + static_cast<double>(i) * step_;
+}
+
+std::size_t ValueGrid::index_of(double v) const {
+  if (v <= min_) return 0;
+  if (v >= max_) return size_ - 1;
+  const double idx = std::round((v - min_) / step_);
+  auto i = static_cast<std::size_t>(idx);
+  if (i >= size_) i = size_ - 1;
+  return i;
+}
+
+double ValueGrid::snap(double v) const { return value(index_of(v)); }
+
+double ValueGrid::clamp(double v) const {
+  if (v < min_) return min_;
+  if (v > max_) return max_;
+  return v;
+}
+
+bool ValueGrid::contains(double v) const {
+  if (v < min_ - kTolerance || v > max_ + kTolerance) return false;
+  return std::abs(snap(v) - v) < kTolerance;
+}
+
+double ValueGrid::step_down(double v, std::size_t units) const {
+  const std::size_t i = index_of(v);
+  return value(i >= units ? i - units : 0);
+}
+
+double ValueGrid::step_up(double v, std::size_t units) const {
+  const std::size_t i = index_of(v);
+  const std::size_t j = i + units;
+  return value(j < size_ ? j : size_ - 1);
+}
+
+std::vector<double> ValueGrid::values() const {
+  std::vector<double> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) out.push_back(value(i));
+  return out;
+}
+
+}  // namespace aarc::support

@@ -1,0 +1,57 @@
+// Discretized value grids.
+//
+// The paper's search space is discrete: memory in 64 MB increments from
+// 128 MB to 10240 MB, vCPU from 0.1 to 10 in 0.1 steps (Section IV-A).  All
+// three algorithms (AARC, BO, MAFF) operate on such grids; this class is the
+// single source of truth for snapping, clamping, and indexing.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace aarc::support {
+
+/// An arithmetic grid {min, min+step, ..., max}.  `max` must be reachable
+/// from `min` by an integral number of steps (within floating tolerance);
+/// the constructor enforces this.
+class ValueGrid {
+ public:
+  ValueGrid(double min, double max, double step);
+
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double step() const { return step_; }
+  std::size_t size() const { return size_; }
+
+  /// Value at grid index i.  Requires i < size().
+  double value(std::size_t i) const;
+
+  /// Index of the grid point nearest to v (clamped to the grid range).
+  std::size_t index_of(double v) const;
+
+  /// Snap v to the nearest grid point (clamped to the range).
+  double snap(double v) const;
+
+  /// Clamp v into [min, max] without snapping.
+  double clamp(double v) const;
+
+  /// True when v coincides with a grid point (within tolerance).
+  bool contains(double v) const;
+
+  /// Move `units` grid steps down from v (after snapping); clamps at min().
+  double step_down(double v, std::size_t units) const;
+
+  /// Move `units` grid steps up from v (after snapping); clamps at max().
+  double step_up(double v, std::size_t units) const;
+
+  /// All grid values, materialized (useful for sweeps and BO candidates).
+  std::vector<double> values() const;
+
+ private:
+  double min_;
+  double max_;
+  double step_;
+  std::size_t size_;
+};
+
+}  // namespace aarc::support

@@ -1,0 +1,43 @@
+#include "support/log.h"
+
+#include <atomic>
+#include <iostream>
+
+namespace aarc::support {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+std::string_view level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug:
+      return "DEBUG";
+    case LogLevel::Info:
+      return "INFO";
+    case LogLevel::Warn:
+      return "WARN";
+    case LogLevel::Error:
+      return "ERROR";
+    case LogLevel::Off:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void log_message(LogLevel level, std::string_view message) {
+  std::string line;
+  line.reserve(message.size() + 16);
+  line += '[';
+  line += level_name(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+  std::cerr << line;
+}
+
+}  // namespace aarc::support

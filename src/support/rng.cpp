@@ -1,0 +1,73 @@
+#include "support/rng.h"
+
+#include <cmath>
+
+#include "support/contracts.h"
+
+namespace aarc::support {
+
+std::uint64_t SplitMix64::next() {
+  state_ += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t derive_seed(std::uint64_t parent, std::uint64_t stream) {
+  SplitMix64 mix(parent ^ (0xA0761D6478BD642FULL + stream * 0xE7037ED1A0B428DBULL));
+  // Burn one output so that stream 0 does not reproduce the parent sequence.
+  (void)mix.next();
+  return mix.next();
+}
+
+double Rng::uniform(double lo, double hi) {
+  expects(lo <= hi, "Rng::uniform requires lo <= hi");
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  expects(lo <= hi, "Rng::uniform_int requires lo <= hi");
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+double Rng::lognormal_unit_mean(double sigma) {
+  expects(sigma >= 0.0, "lognormal sigma must be non-negative");
+  if (sigma == 0.0) return 1.0;
+  const double mu = -0.5 * sigma * sigma;
+  std::lognormal_distribution<double> dist(mu, sigma);
+  return dist(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  expects(p >= 0.0 && p <= 1.0, "bernoulli probability must be in [0, 1]");
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+std::size_t Rng::index(std::size_t n) {
+  expects(n > 0, "Rng::index requires a non-empty range");
+  std::uniform_int_distribution<std::size_t> dist(0, n - 1);
+  return dist(engine_);
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  for (std::size_t i = n; i > 1; --i) {
+    std::uniform_int_distribution<std::size_t> dist(0, i - 1);
+    std::swap(perm[i - 1], perm[dist(engine_)]);
+  }
+  return perm;
+}
+
+Rng Rng::split(std::uint64_t stream) const { return Rng(derive_seed(seed_, stream)); }
+
+}  // namespace aarc::support

@@ -1,0 +1,134 @@
+#include "support/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contracts.h"
+
+namespace aarc::support {
+
+void Accumulator::add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void Accumulator::merge(const Accumulator& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Accumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double Accumulator::min() const {
+  expects(count_ > 0, "Accumulator::min on empty accumulator");
+  return min_;
+}
+
+double Accumulator::max() const {
+  expects(count_ > 0, "Accumulator::max on empty accumulator");
+  return max_;
+}
+
+Summary Accumulator::summary() const {
+  Summary s;
+  s.count = count_;
+  s.mean = mean_;
+  s.stddev = stddev();
+  s.min = count_ > 0 ? min_ : 0.0;
+  s.max = count_ > 0 ? max_ : 0.0;
+  s.sum = sum_;
+  return s;
+}
+
+Summary summarize(std::span<const double> values) {
+  Accumulator acc;
+  for (double v : values) acc.add(v);
+  return acc.summary();
+}
+
+double mean(std::span<const double> values) { return summarize(values).mean; }
+
+double stddev(std::span<const double> values) { return summarize(values).stddev; }
+
+double percentile(std::span<const double> values, double p) {
+  expects(!values.empty(), "percentile of empty sample");
+  expects(p >= 0.0 && p <= 100.0, "percentile p must be in [0, 100]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double mean_abs_delta(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    total += std::abs(values[i] - values[i - 1]);
+  }
+  return total / static_cast<double>(values.size() - 1);
+}
+
+double fraction_increases(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  std::size_t increases = 0;
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    if (values[i] > values[i - 1]) ++increases;
+  }
+  return static_cast<double>(increases) / static_cast<double>(values.size() - 1);
+}
+
+std::vector<double> running_min(std::span<const double> values) {
+  std::vector<double> out;
+  out.reserve(values.size());
+  double best = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    best = i == 0 ? values[i] : std::min(best, values[i]);
+    out.push_back(best);
+  }
+  return out;
+}
+
+std::vector<double> running_max(std::span<const double> values) {
+  std::vector<double> out;
+  out.reserve(values.size());
+  double best = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    best = i == 0 ? values[i] : std::max(best, values[i]);
+    out.push_back(best);
+  }
+  return out;
+}
+
+}  // namespace aarc::support

@@ -1,0 +1,73 @@
+// Descriptive statistics used by the profiler, the search traces, and the
+// experiment harness (mean +/- std rows of Table II, fluctuation metrics of
+// Fig. 3, best-so-far series of Figs. 6/7).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace aarc::support {
+
+/// Summary of a sample: count, mean, standard deviation (sample, n-1),
+/// min/max, and sum.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+};
+
+/// Online (Welford) accumulator; numerically stable single-pass mean/variance.
+class Accumulator {
+ public:
+  void add(double x);
+  /// Merge another accumulator into this one (parallel-safe reduction).
+  void merge(const Accumulator& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); zero for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+  Summary summary() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// One-shot summary of a span of values.
+Summary summarize(std::span<const double> values);
+
+double mean(std::span<const double> values);
+double stddev(std::span<const double> values);
+
+/// Linear-interpolated percentile, p in [0, 100].  Requires non-empty input.
+double percentile(std::span<const double> values, double p);
+
+/// Mean absolute difference between consecutive values (the paper's Fig. 3
+/// "average fluctuation amplitude").  Zero for fewer than two values.
+double mean_abs_delta(std::span<const double> values);
+
+/// Fraction of consecutive deltas that are strictly positive (the paper's
+/// "over half of the changes are increases").  Zero for fewer than two values.
+double fraction_increases(std::span<const double> values);
+
+/// Running minimum of a series (best-so-far curve for cost plots).
+std::vector<double> running_min(std::span<const double> values);
+
+/// Running maximum of a series.
+std::vector<double> running_max(std::span<const double> values);
+
+}  // namespace aarc::support

@@ -1,0 +1,25 @@
+// Small string utilities (join/split/trim) shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aarc::support {
+
+/// Join the elements with the separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Split on a single-character separator; empty fields are preserved.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Strip leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Lower-case ASCII copy.
+std::string to_lower(std::string_view text);
+
+}  // namespace aarc::support

@@ -1,0 +1,95 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/contracts.h"
+
+namespace aarc::support {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  expects(!header_.empty(), "Table requires at least one column");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  expects(row.size() == header_.size(), "Table row width must match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::to_markdown() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << cells[c];
+      for (std::size_t pad = cells[c].size(); pad < widths[c]; ++pad) os << ' ';
+      os << " |";
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  os << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << ' ';
+    for (std::size_t i = 0; i < widths[c]; ++i) os << '-';
+    os << " |";
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+  const bool needs_quote = cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quote) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << ',';
+      os << csv_escape(cells[c]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string format_double(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+std::string format_kilo(double v, int precision) {
+  return format_double(v / 1000.0, precision) + "k";
+}
+
+std::string format_mean_std(double mean, double std, int precision) {
+  return format_double(mean, precision) + " ± " + format_double(std, precision);
+}
+
+std::string format_percent(double fraction, int precision) {
+  return format_double(fraction * 100.0, precision) + "%";
+}
+
+}  // namespace aarc::support

@@ -1,0 +1,47 @@
+// Minimal tabular output: markdown tables for terminal reports (the bench
+// harness prints every paper table/figure as one of these) and CSV for
+// machine-readable export.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace aarc::support {
+
+/// A simple rectangular table builder.  All rows must have the same number of
+/// cells as the header.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return header_.size(); }
+
+  /// Render as a GitHub-flavoured markdown table with aligned columns.
+  std::string to_markdown() const;
+
+  /// Render as RFC-4180-ish CSV (cells containing comma/quote/newline are
+  /// quoted, embedded quotes doubled).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (no trailing locale surprises).
+std::string format_double(double v, int precision = 2);
+
+/// Format like the paper's Table II cost column: value/1000 with one decimal
+/// and a trailing 'k' (e.g. 2390.9k).
+std::string format_kilo(double v, int precision = 1);
+
+/// Format "mean ± std" with the given precision.
+std::string format_mean_std(double mean, double std, int precision = 1);
+
+/// Format a percentage with sign, e.g. "-49.6%".
+std::string format_percent(double fraction, int precision = 1);
+
+}  // namespace aarc::support

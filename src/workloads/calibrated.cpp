@@ -1,0 +1,102 @@
+#include "workloads/calibrated.h"
+
+#include <algorithm>
+
+#include "perf/analytic.h"
+#include "support/contracts.h"
+
+namespace aarc::workloads {
+
+using support::expects;
+
+CalibrationOutcome calibrate_workflow(const platform::Workflow& workflow,
+                                      const platform::Executor& executor,
+                                      const MeasurementPlan& plan) {
+  workflow.validate();
+  expects(!plan.points.empty(), "measurement plan needs at least one point");
+  expects(plan.repeats >= 1, "measurement plan needs at least one repeat");
+  expects(plan.input_scale > 0.0, "input scale must be positive");
+
+  support::Rng rng(plan.seed);
+  platform::Workflow clone(workflow.name() + "_calibrated");
+  std::vector<double> errors;
+  std::size_t measurements = 0;
+
+  const platform::ConfigGrid grid;
+
+  // First pass: create the fitted functions in id order.
+  for (dag::NodeId id = 0; id < workflow.function_count(); ++id) {
+    const perf::PerfModel& truth = workflow.model(id);
+
+    // Optional: bisect the OOM boundary on the memory grid.  Every probe is
+    // one execution attempt against the platform.
+    double measured_floor = 0.0;
+    std::vector<platform::ResourceConfig> points = plan.points;
+    if (plan.probe_oom_floor) {
+      std::size_t lo = 0;                              // may OOM
+      std::size_t hi = grid.memory().size() - 1;
+      expects(truth.fits_memory(grid.memory().value(hi), plan.input_scale),
+              "function cannot run even at maximum memory");
+      if (truth.fits_memory(grid.memory().value(lo), plan.input_scale)) {
+        measured_floor = grid.memory().value(lo);
+      } else {
+        while (hi - lo > 1) {
+          const std::size_t mid = lo + (hi - lo) / 2;
+          ++measurements;
+          if (truth.fits_memory(grid.memory().value(mid), plan.input_scale)) {
+            hi = mid;
+          } else {
+            lo = mid;
+          }
+        }
+        measured_floor = grid.memory().value(hi);
+      }
+      // Observe the pressure knee: points just above the floor.
+      points.push_back({2.0, measured_floor});
+      points.push_back({2.0, grid.memory().snap(measured_floor * 1.5)});
+      points.push_back({2.0, grid.memory().snap(measured_floor * 2.5)});
+    }
+
+    std::vector<perf::CalibrationSample> samples;
+    for (const auto& point : points) {
+      if (!truth.fits_memory(point.memory_mb, plan.input_scale)) continue;
+      for (std::size_t r = 0; r < plan.repeats; ++r) {
+        const double mean =
+            truth.mean_runtime(point.vcpu, point.memory_mb, plan.input_scale);
+        const double observed = executor.options().noise.noisy_runtime(mean, rng);
+        samples.push_back({point.vcpu, point.memory_mb, plan.input_scale, observed});
+        ++measurements;
+      }
+    }
+    expects(samples.size() >= 4,
+            "measurement plan left too few feasible points for " +
+                workflow.function_name(id));
+    perf::CalibrationOptions fit = plan.fit;
+    fit.seed = support::derive_seed(plan.seed, id);
+    const perf::CalibrationResult result = perf::calibrate(samples, fit);
+    errors.push_back(result.mean_squared_log_error);
+
+    perf::AnalyticParams params = result.params;
+    if (plan.probe_oom_floor) {
+      // Pin the floor to the measured boundary; keep the working set above
+      // it so the parameters stay consistent.
+      params.min_memory_mb = measured_floor;
+      params.working_set_mb = std::max(params.working_set_mb, params.min_memory_mb);
+    }
+    clone.add_function(workflow.function_name(id),
+                       std::make_unique<perf::AnalyticModel>(params));
+  }
+
+  // Second pass: copy the topology.
+  for (dag::NodeId id = 0; id < workflow.function_count(); ++id) {
+    for (dag::NodeId next : workflow.graph().successors(id)) {
+      clone.add_edge(id, next);
+    }
+  }
+  clone.validate();
+
+  CalibrationOutcome outcome{std::move(clone), std::move(errors), measurements};
+  return outcome;
+}
+
+}  // namespace aarc::workloads

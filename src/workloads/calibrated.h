@@ -1,0 +1,59 @@
+// Calibration onboarding pipeline.
+//
+// A real adopter does not know their functions' response surfaces — they
+// *measure* them.  This module runs that loop against the (simulated)
+// platform: execute every function of a workflow across a small measurement
+// plan (a grid of configurations, repeated under noise), fit an
+// AnalyticModel to each function's samples (perf/calibration.h), and return
+// a clone of the workflow driven by the *fitted* models.
+//
+// Scheduling on the calibrated clone instead of the ground-truth models
+// quantifies AARC's robustness to model error — `bench_model_error` reports
+// how much of the cost savings survives the fit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "perf/calibration.h"
+#include "platform/executor.h"
+#include "platform/workflow.h"
+
+namespace aarc::workloads {
+
+struct MeasurementPlan {
+  /// Configurations each function is measured at.
+  std::vector<platform::ResourceConfig> points{
+      {0.5, 512.0},  {1.0, 512.0},  {1.0, 2048.0},  {2.0, 1024.0},
+      {4.0, 1024.0}, {4.0, 4096.0}, {6.0, 6144.0},  {8.0, 4096.0},
+      {10.0, 5120.0}, {10.0, 10240.0},
+  };
+  std::size_t repeats = 3;       ///< noisy measurements per point
+  double input_scale = 1.0;
+  std::uint64_t seed = 515;
+  perf::CalibrationOptions fit{10, 400, 42};  ///< fitting budget
+
+  /// Probe each function's OOM boundary by bisection over the memory grid
+  /// (each probe is one execution attempt) and (a) pin the fitted model's
+  /// min_memory_mb to the measured floor, (b) add measurement points just
+  /// above the floor so the pressure knee is observable.  Without this the
+  /// fitted floors can sit below the real ones and a schedule computed on
+  /// the fits OOMs in production.
+  bool probe_oom_floor = true;
+};
+
+struct CalibrationOutcome {
+  platform::Workflow workflow;            ///< the calibrated clone
+  std::vector<double> fit_errors;         ///< per-function mean sq. log error
+  std::size_t measurements = 0;           ///< total executions spent
+};
+
+/// Measure + fit every function of `workflow`.  Functions are measured in
+/// isolation (their model invoked directly, with the executor's noise), so
+/// the plan cost is measurements-per-function x functions.  Points below a
+/// function's OOM floor are skipped.
+CalibrationOutcome calibrate_workflow(const platform::Workflow& workflow,
+                                      const platform::Executor& executor,
+                                      const MeasurementPlan& plan = {});
+
+}  // namespace aarc::workloads

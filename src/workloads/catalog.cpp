@@ -1,0 +1,58 @@
+#include "workloads/catalog.h"
+
+#include "support/contracts.h"
+#include "workloads/chatbot.h"
+#include "workloads/data_analytics.h"
+#include "workloads/ml_pipeline.h"
+#include "workloads/video_analysis.h"
+
+namespace aarc::workloads {
+
+using support::expects;
+
+std::string to_string(InputClass c) {
+  switch (c) {
+    case InputClass::Light:
+      return "light";
+    case InputClass::Middle:
+      return "middle";
+    case InputClass::Heavy:
+      return "heavy";
+  }
+  return "?";
+}
+
+double Workload::scale_for(InputClass c) const {
+  for (const auto& entry : input_classes) {
+    if (entry.input_class == c) return entry.scale;
+  }
+  return 1.0;
+}
+
+std::vector<std::string> paper_workload_names() {
+  return {"chatbot", "ml_pipeline", "video_analysis"};
+}
+
+Workload make_by_name(std::string_view name) {
+  if (name == "chatbot") return make_chatbot();
+  if (name == "ml_pipeline") return make_ml_pipeline();
+  if (name == "video_analysis") return make_video_analysis();
+  if (name == "data_analytics") return make_data_analytics();
+  expects(false, std::string("unknown workload: ") + std::string(name));
+  // Unreachable; expects() always throws on false.
+  throw support::ContractViolation("unreachable");
+}
+
+std::vector<Workload> make_paper_workloads() {
+  std::vector<Workload> out;
+  for (const auto& name : paper_workload_names()) out.push_back(make_by_name(name));
+  return out;
+}
+
+std::vector<std::string> all_workload_names() {
+  auto names = paper_workload_names();
+  names.push_back("data_analytics");
+  return names;
+}
+
+}  // namespace aarc::workloads

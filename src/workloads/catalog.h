@@ -1,0 +1,25 @@
+// Catalog of the paper's three evaluation workloads.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace aarc::workloads {
+
+/// Names of the paper's workloads, in presentation order.
+std::vector<std::string> paper_workload_names();
+
+/// Build a paper workload by name ("chatbot", "ml_pipeline",
+/// "video_analysis"); throws on unknown names.
+Workload make_by_name(std::string_view name);
+
+/// Build all three paper workloads.
+std::vector<Workload> make_paper_workloads();
+
+/// Names of every built-in workload: the paper's three plus the extension
+/// workloads (currently "data_analytics").
+std::vector<std::string> all_workload_names();
+
+}  // namespace aarc::workloads

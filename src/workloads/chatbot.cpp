@@ -1,0 +1,55 @@
+#include "workloads/chatbot.h"
+
+#include "perf/analytic.h"
+
+namespace aarc::workloads {
+
+namespace {
+std::unique_ptr<perf::PerfModel> model(double io, double serial, double parallel,
+                                       double max_par, double working_set, double min_mem,
+                                       double pressure = 3.0) {
+  perf::AnalyticParams p;
+  p.io_seconds = io;
+  p.serial_seconds = serial;
+  p.parallel_seconds = parallel;
+  p.max_parallelism = max_par;
+  p.working_set_mb = working_set;
+  p.min_memory_mb = min_mem;
+  p.pressure_coeff = pressure;
+  p.input_work_exp = 1.0;
+  p.input_memory_exp = 0.0;  // text workloads: memory footprint input-insensitive
+  return std::make_unique<perf::AnalyticModel>(p);
+}
+}  // namespace
+
+Workload make_chatbot() {
+  platform::Workflow wf("chatbot");
+
+  //                      io  serial parallel maxP  wset  minMem
+  const auto preprocess = wf.add_function("preprocess", model(2.0, 6.0, 8.0, 2.0, 440.0, 192.0));
+  const auto train_nb = wf.add_function("train_nb", model(1.0, 14.0, 12.0, 2.0, 470.0, 256.0));
+  const auto train_lr = wf.add_function("train_lr", model(1.0, 16.0, 14.0, 2.0, 500.0, 256.0));
+  const auto train_svm = wf.add_function("train_svm", model(1.0, 20.0, 20.0, 2.0, 505.0, 256.0));
+  const auto train_rf = wf.add_function("train_rf", model(1.0, 15.0, 12.0, 2.0, 460.0, 256.0));
+  const auto aggregate = wf.add_function("aggregate", model(3.0, 6.0, 2.0, 1.0, 310.0, 192.0));
+  const auto intent = wf.add_function("intent_detect", model(8.0, 8.0, 4.0, 1.5, 380.0, 192.0));
+
+  wf.add_edge(preprocess, train_nb);
+  wf.add_edge(preprocess, train_lr);
+  wf.add_edge(preprocess, train_svm);
+  wf.add_edge(preprocess, train_rf);
+  wf.add_edge(train_nb, aggregate);
+  wf.add_edge(train_lr, aggregate);
+  wf.add_edge(train_svm, aggregate);
+  wf.add_edge(train_rf, aggregate);
+  wf.add_edge(aggregate, intent);
+
+  Workload w(std::move(wf));
+  w.slo_seconds = 120.0;
+  w.input_sensitive = false;
+  w.input_classes = {{InputClass::Light, 1.0}, {InputClass::Middle, 1.0},
+                     {InputClass::Heavy, 1.0}};
+  return w;
+}
+
+}  // namespace aarc::workloads

@@ -1,0 +1,19 @@
+// The Chatbot workflow (paper Fig. 1, left).
+//
+// "Processes input, trains classifiers in parallel, and uses remote storage
+// for real-time intent detection."  Scatter communication pattern: a
+// preprocessing stage fans out to four classifier-training branches which
+// join into an aggregation stage followed by intent detection against remote
+// storage.  The functions are dominated by serial compute with modest
+// intra-function parallelism and small working sets, which is what makes the
+// whole workflow's affinity land near 1 vCPU / 512 MB (Section II-A).
+#pragma once
+
+#include "workloads/workload.h"
+
+namespace aarc::workloads {
+
+/// Build the Chatbot workload (SLO 120 s, Section IV-A(c)).
+Workload make_chatbot();
+
+}  // namespace aarc::workloads

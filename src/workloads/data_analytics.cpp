@@ -1,0 +1,69 @@
+#include "workloads/data_analytics.h"
+
+#include "perf/analytic.h"
+
+namespace aarc::workloads {
+
+namespace {
+std::unique_ptr<perf::PerfModel> model(double io, double serial, double parallel,
+                                       double max_par, double working_set, double min_mem,
+                                       double pressure, double mem_exp) {
+  perf::AnalyticParams p;
+  p.io_seconds = io;
+  p.serial_seconds = serial;
+  p.parallel_seconds = parallel;
+  p.max_parallelism = max_par;
+  p.working_set_mb = working_set;
+  p.min_memory_mb = min_mem;
+  p.pressure_coeff = pressure;
+  p.input_work_exp = 1.0;
+  p.input_memory_exp = mem_exp;
+  return std::make_unique<perf::AnalyticModel>(p);
+}
+}  // namespace
+
+Workload make_data_analytics() {
+  platform::Workflow wf("data_analytics");
+
+  //                     io  serial parallel maxP  wset   minMem press memExp
+  const auto ingest =
+      wf.add_function("ingest", model(10.0, 8.0, 40.0, 4.0, 1020.0, 512.0, 3.0, 0.5));
+  std::vector<dag::NodeId> mappers;
+  for (int i = 0; i < 6; ++i) {
+    // CPU-parallel scans with small working sets (the 87.5%-style decoupling
+    // win of the paper's ML Pipeline, at larger scale).
+    mappers.push_back(wf.add_function(
+        "map_" + std::to_string(i),
+        model(2.0, 3.0, 80.0 + 6.0 * i, 6.0, 700.0 + 30.0 * i, 384.0, 3.0, 0.3)));
+  }
+  // Shuffle holds the whole intermediate dataset: memory-bound.
+  const auto shuffle =
+      wf.add_function("shuffle", model(6.0, 10.0, 30.0, 3.0, 6100.0, 3072.0, 5.0, 0.7));
+  std::vector<dag::NodeId> reducers;
+  for (int i = 0; i < 3; ++i) {
+    reducers.push_back(wf.add_function(
+        "reduce_" + std::to_string(i),
+        model(2.0, 5.0, 36.0 + 5.0 * i, 4.0, 1530.0, 768.0, 4.0, 0.5)));
+  }
+  // Report is an IO floor: remote writes dominate.
+  const auto report =
+      wf.add_function("report", model(12.0, 4.0, 2.0, 1.0, 440.0, 256.0, 2.0, 0.0));
+
+  for (auto m : mappers) {
+    wf.add_edge(ingest, m);
+    wf.add_edge(m, shuffle);
+  }
+  for (auto r : reducers) {
+    wf.add_edge(shuffle, r);
+    wf.add_edge(r, report);
+  }
+
+  Workload w(std::move(wf));
+  w.slo_seconds = 300.0;
+  w.input_sensitive = true;
+  w.input_classes = {{InputClass::Light, 0.5}, {InputClass::Middle, 1.0},
+                     {InputClass::Heavy, 1.5}};
+  return w;
+}
+
+}  // namespace aarc::workloads

@@ -1,0 +1,19 @@
+// Data Analytics workload (extension — not in the paper).
+//
+// A MapReduce-style batch job: ingest splits the dataset to six mappers
+// (CPU-parallel with moderate working sets), a shuffle stage gathers and
+// re-partitions (memory- and IO-heavy), three reducers aggregate in
+// parallel, and a report stage writes results.  This is the fourth workload
+// used by the generalization studies: mixed affinities inside one DAG
+// (cpu-bound mappers, memory-bound shuffle, io-bound report) and a wider
+// fan-out than any of the paper's three applications.
+#pragma once
+
+#include "workloads/workload.h"
+
+namespace aarc::workloads {
+
+/// Build the Data Analytics workload (SLO 300 s).
+Workload make_data_analytics();
+
+}  // namespace aarc::workloads

@@ -1,0 +1,19 @@
+// The ML Pipeline workflow (paper Fig. 1, middle).
+//
+// "Achieves machine learning by performing dimensionality reduction, model
+// training, and testing."  Broadcast communication pattern: the PCA stage
+// broadcasts the reduced dataset to three parallel trainers, whose models are
+// combined and then evaluated.  Training is highly parallel CPU-bound work
+// with a small working set — the decoupled optimum sits near 4 vCPU / 512 MB,
+// an 87.5% memory cut versus the coupled 4 vCPU / 4096 MB point (Section
+// II-A).
+#pragma once
+
+#include "workloads/workload.h"
+
+namespace aarc::workloads {
+
+/// Build the ML Pipeline workload (SLO 120 s, Section IV-A(c)).
+Workload make_ml_pipeline();
+
+}  // namespace aarc::workloads

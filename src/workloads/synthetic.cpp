@@ -1,0 +1,153 @@
+#include "workloads/synthetic.h"
+
+#include <string>
+
+#include "perf/analytic.h"
+#include "platform/executor.h"
+#include "support/contracts.h"
+#include "support/rng.h"
+
+namespace aarc::workloads {
+
+using support::expects;
+
+std::string to_string(Pattern p) {
+  switch (p) {
+    case Pattern::Scatter:
+      return "scatter";
+    case Pattern::Broadcast:
+      return "broadcast";
+    case Pattern::Chain:
+      return "chain";
+    case Pattern::Random:
+      return "random";
+  }
+  return "?";
+}
+
+namespace {
+
+std::unique_ptr<perf::PerfModel> random_model(support::Rng& rng) {
+  perf::AnalyticParams p;
+  // Draw a function archetype: CPU-bound, memory-bound, or IO-bound.
+  const auto archetype = rng.uniform_int(0, 2);
+  switch (archetype) {
+    case 0:  // CPU-bound
+      p.io_seconds = rng.uniform(0.5, 3.0);
+      p.serial_seconds = rng.uniform(2.0, 8.0);
+      p.parallel_seconds = rng.uniform(20.0, 80.0);
+      p.max_parallelism = rng.uniform(2.0, 8.0);
+      p.working_set_mb = rng.uniform(256.0, 1024.0);
+      break;
+    case 1:  // memory-bound
+      p.io_seconds = rng.uniform(1.0, 5.0);
+      p.serial_seconds = rng.uniform(5.0, 15.0);
+      p.parallel_seconds = rng.uniform(5.0, 30.0);
+      p.max_parallelism = rng.uniform(1.0, 4.0);
+      p.working_set_mb = rng.uniform(2048.0, 8192.0);
+      break;
+    default:  // IO-bound
+      p.io_seconds = rng.uniform(5.0, 20.0);
+      p.serial_seconds = rng.uniform(2.0, 10.0);
+      p.parallel_seconds = rng.uniform(0.5, 5.0);
+      p.max_parallelism = rng.uniform(1.0, 2.0);
+      p.working_set_mb = rng.uniform(192.0, 768.0);
+      break;
+  }
+  p.min_memory_mb = p.working_set_mb * rng.uniform(0.3, 0.6);
+  p.pressure_coeff = rng.uniform(1.0, 6.0);
+  p.input_work_exp = 1.0;
+  p.input_memory_exp = 0.0;
+  return std::make_unique<perf::AnalyticModel>(p);
+}
+
+platform::Workflow build_topology(const SyntheticOptions& options, support::Rng& rng) {
+  platform::Workflow wf("synthetic_" + to_string(options.pattern) + "_s" +
+                        std::to_string(options.seed));
+  const std::size_t layers = options.layers;
+  const std::size_t width = options.width;
+
+  const auto source = wf.add_function("source", random_model(rng));
+  if (options.pattern == Pattern::Chain) {
+    dag::NodeId prev = source;
+    for (std::size_t l = 0; l < layers; ++l) {
+      const auto node = wf.add_function("stage_" + std::to_string(l), random_model(rng));
+      wf.add_edge(prev, node);
+      prev = node;
+    }
+    const auto sink = wf.add_function("sink", random_model(rng));
+    wf.add_edge(prev, sink);
+    return wf;
+  }
+
+  // Scatter / Broadcast / Random: layered with `width` branches per layer.
+  std::vector<dag::NodeId> previous{source};
+  for (std::size_t l = 0; l < layers; ++l) {
+    std::vector<dag::NodeId> current;
+    current.reserve(width);
+    for (std::size_t b = 0; b < width; ++b) {
+      current.push_back(wf.add_function(
+          "f_" + std::to_string(l) + "_" + std::to_string(b), random_model(rng)));
+    }
+    switch (options.pattern) {
+      case Pattern::Scatter:
+        // Branch b follows branch b of the previous layer (parallel lanes).
+        for (std::size_t b = 0; b < width; ++b) {
+          wf.add_edge(previous[b % previous.size()], current[b]);
+        }
+        break;
+      case Pattern::Broadcast:
+        // Every node of the previous layer feeds every node of this layer.
+        for (dag::NodeId p : previous) {
+          for (dag::NodeId c : current) wf.add_edge(p, c);
+        }
+        break;
+      case Pattern::Random:
+      default:
+        // Each new node gets 1-2 random predecessors; each previous node is
+        // guaranteed at least one successor afterwards.
+        for (dag::NodeId c : current) {
+          const std::size_t fan_in = 1 + (rng.bernoulli(0.4) ? 1 : 0);
+          for (std::size_t k = 0; k < fan_in; ++k) {
+            wf.add_edge(previous[rng.index(previous.size())], c);
+          }
+        }
+        for (dag::NodeId p : previous) {
+          if (wf.graph().successors(p).empty()) {
+            wf.add_edge(p, current[rng.index(current.size())]);
+          }
+        }
+        break;
+    }
+    previous = std::move(current);
+  }
+  const auto sink = wf.add_function("sink", random_model(rng));
+  for (dag::NodeId p : previous) wf.add_edge(p, sink);
+  return wf;
+}
+
+}  // namespace
+
+Workload make_synthetic(const SyntheticOptions& options) {
+  expects(options.layers >= 1, "synthetic workflow needs at least one interior layer");
+  expects(options.width >= 1, "synthetic workflow needs width >= 1");
+  expects(options.slo_headroom > 1.0, "SLO headroom must exceed 1 for feasibility");
+
+  support::Rng rng(support::derive_seed(options.seed, 0xC0FFEE));
+  Workload w(build_topology(options, rng));
+  w.workflow.validate();
+
+  // Derive a feasible SLO from the base-config (over-provisioned) makespan.
+  const platform::Executor executor;
+  const platform::ConfigGrid grid;
+  const auto base = platform::uniform_config(w.workflow.function_count(), grid.max_config());
+  const auto result = executor.execute_mean(w.workflow, base);
+  expects(!result.failed, "synthetic workflow must run under the base config");
+  w.slo_seconds = result.makespan * options.slo_headroom;
+  w.input_sensitive = false;
+  w.input_classes = {{InputClass::Light, 1.0}, {InputClass::Middle, 1.0},
+                     {InputClass::Heavy, 1.0}};
+  return w;
+}
+
+}  // namespace aarc::workloads

@@ -1,0 +1,34 @@
+// Synthetic workflow generation for property tests, ablations, and the
+// scatter-vs-broadcast pattern study.
+//
+// Generates layered DAGs: a source layer fans into `width` parallel branches
+// (Scatter), or a single stage broadcasts to all branches which rejoin
+// (Broadcast), or a random layered topology with configurable fan-in/out
+// (Random).  Per-function model parameters are drawn from seeded ranges, so
+// the generated population covers CPU-bound, memory-bound, and IO-bound
+// functions.
+#pragma once
+
+#include <cstdint>
+
+#include "workloads/workload.h"
+
+namespace aarc::workloads {
+
+enum class Pattern { Scatter, Broadcast, Chain, Random };
+
+std::string to_string(Pattern p);
+
+struct SyntheticOptions {
+  Pattern pattern = Pattern::Random;
+  std::size_t layers = 3;      ///< interior layers between source and sink
+  std::size_t width = 3;       ///< branches per interior layer
+  std::uint64_t seed = 1;
+  double slo_headroom = 1.8;   ///< SLO = headroom x base-config makespan
+};
+
+/// Generate a workload; the SLO is derived from the base-configuration
+/// makespan so generated instances are always feasible.
+Workload make_synthetic(const SyntheticOptions& options);
+
+}  // namespace aarc::workloads

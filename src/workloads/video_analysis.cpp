@@ -1,0 +1,66 @@
+#include "workloads/video_analysis.h"
+
+#include "perf/analytic.h"
+
+namespace aarc::workloads {
+
+namespace {
+std::unique_ptr<perf::PerfModel> model(double io, double serial, double parallel,
+                                       double max_par, double working_set, double min_mem,
+                                       double pressure = 5.0) {
+  perf::AnalyticParams p;
+  p.io_seconds = io;
+  p.serial_seconds = serial;
+  p.parallel_seconds = parallel;
+  p.max_parallelism = max_par;
+  p.working_set_mb = working_set;
+  p.min_memory_mb = min_mem;
+  p.pressure_coeff = pressure;
+  p.input_work_exp = 1.0;
+  p.input_memory_exp = 0.6;  // frame buffers grow sublinearly with video size
+  return std::make_unique<perf::AnalyticModel>(p);
+}
+}  // namespace
+
+Workload make_video_analysis() {
+  platform::Workflow wf("video_analysis");
+
+  // Extraction/classification are dominated by embarrassingly parallel
+  // per-frame work (large `parallel`, small serial/io) with multi-GB frame
+  // buffers, so their decoupled optimum (~8.5 vCPU, ~5 GB) sits far off the
+  // 1-core-per-GB coupling diagonal — the affinity gap that separates AARC
+  // from MAFF in the paper's Table II.
+  //                    io  serial parallel maxP   wset   minMem
+  const auto split = wf.add_function("split", model(20.0, 30.0, 100.0, 4.0, 2040.0, 1024.0));
+  const auto ex0 = wf.add_function("extract_0", model(7.0, 14.0, 700.0, 8.5, 5100.0, 2048.0));
+  const auto ex1 = wf.add_function("extract_1", model(7.0, 13.0, 660.0, 8.5, 5050.0, 2048.0));
+  const auto ex2 = wf.add_function("extract_2", model(7.0, 15.0, 720.0, 8.5, 5110.0, 2048.0));
+  const auto ex3 = wf.add_function("extract_3", model(7.0, 14.0, 680.0, 8.5, 5080.0, 2048.0));
+  const auto cl0 = wf.add_function("classify_0", model(5.0, 11.0, 450.0, 8.5, 4180.0, 1792.0));
+  const auto cl1 = wf.add_function("classify_1", model(5.0, 10.0, 430.0, 8.5, 4150.0, 1792.0));
+  const auto cl2 = wf.add_function("classify_2", model(5.0, 12.0, 460.0, 8.5, 4200.0, 1792.0));
+  const auto cl3 = wf.add_function("classify_3", model(5.0, 11.0, 440.0, 8.5, 4170.0, 1792.0));
+  const auto merge = wf.add_function("merge", model(15.0, 25.0, 20.0, 2.0, 1530.0, 768.0));
+
+  wf.add_edge(split, ex0);
+  wf.add_edge(split, ex1);
+  wf.add_edge(split, ex2);
+  wf.add_edge(split, ex3);
+  wf.add_edge(ex0, cl0);
+  wf.add_edge(ex1, cl1);
+  wf.add_edge(ex2, cl2);
+  wf.add_edge(ex3, cl3);
+  wf.add_edge(cl0, merge);
+  wf.add_edge(cl1, merge);
+  wf.add_edge(cl2, merge);
+  wf.add_edge(cl3, merge);
+
+  Workload w(std::move(wf));
+  w.slo_seconds = 600.0;
+  w.input_sensitive = true;
+  w.input_classes = {{InputClass::Light, 0.25}, {InputClass::Middle, 1.0},
+                     {InputClass::Heavy, 1.8}};
+  return w;
+}
+
+}  // namespace aarc::workloads

@@ -1,0 +1,21 @@
+// The Video Analysis workflow (paper Fig. 1, right).
+//
+// "Splits input videos, extracts key frames, and classifies them."  Scatter
+// pattern: a splitter fans the video out to four chunk pipelines
+// (frame extraction then classification) that merge at the end.  Extraction
+// and classification are highly parallel with large, input-dependent working
+// sets — the decoupled optimum sits near 8 vCPU / 5120 MB (Section II-A) and
+// the workload is input-sensitive (Section IV-D), which drives the
+// Input-Aware Configuration Engine experiment of Fig. 8.
+#pragma once
+
+#include "workloads/workload.h"
+
+namespace aarc::workloads {
+
+/// Build the Video Analysis workload (SLO 600 s, Section IV-A(c)).
+/// Input classes: light 0.25x, middle 1x, heavy 1.8x work; working sets grow
+/// sublinearly (exp 0.6) with the input scale.
+Workload make_video_analysis();
+
+}  // namespace aarc::workloads

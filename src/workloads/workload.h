@@ -1,0 +1,34 @@
+// A workload = a workflow plus its experiment context (SLO, input classes).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "platform/workflow.h"
+
+namespace aarc::workloads {
+
+/// Input-size classes used by the Video Analysis experiments (Section IV-D).
+enum class InputClass { Light, Middle, Heavy };
+
+std::string to_string(InputClass c);
+
+/// Scale factor applied to a workload's performance models for a class.
+struct InputClassScale {
+  InputClass input_class = InputClass::Middle;
+  double scale = 1.0;
+};
+
+struct Workload {
+  platform::Workflow workflow;
+  double slo_seconds = 0.0;
+  bool input_sensitive = false;
+  /// Scales per class; for input-insensitive workloads all scales are 1.
+  std::vector<InputClassScale> input_classes;
+
+  explicit Workload(platform::Workflow wf) : workflow(std::move(wf)) {}
+
+  double scale_for(InputClass c) const;
+};
+
+}  // namespace aarc::workloads

@@ -1,0 +1,122 @@
+#include "aarc/advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "perf/analytic.h"
+#include "support/contracts.h"
+
+namespace aarc::core {
+namespace {
+
+std::unique_ptr<perf::PerfModel> fn(double serial, double parallel = 0.0,
+                                    double max_par = 1.0) {
+  perf::AnalyticParams p;
+  p.io_seconds = 1.0;
+  p.serial_seconds = serial;
+  p.parallel_seconds = parallel;
+  p.max_parallelism = max_par;
+  p.working_set_mb = 400.0;
+  p.min_memory_mb = 192.0;
+  p.pressure_coeff = 3.0;
+  return std::make_unique<perf::AnalyticModel>(p);
+}
+
+/// src -> {heavy, light} -> sink.
+platform::Workflow diamond() {
+  platform::Workflow wf("diamond");
+  wf.add_function("src", fn(3.0));
+  wf.add_function("heavy", fn(20.0));
+  wf.add_function("light", fn(5.0));
+  wf.add_function("sink", fn(3.0));
+  wf.add_edge("src", "heavy");
+  wf.add_edge("src", "light");
+  wf.add_edge("heavy", "sink");
+  wf.add_edge("light", "sink");
+  return wf;
+}
+
+platform::Executor noiseless() {
+  platform::ExecutorOptions opts;
+  opts.noise = perf::NoiseModel(0.0);
+  return platform::Executor(std::make_unique<platform::DecoupledLinearPricing>(), opts);
+}
+
+TEST(Advisor, ReportsWholeWorkflowNumbers) {
+  const auto wf = diamond();
+  const auto ex = noiseless();
+  const auto cfg = platform::uniform_config(4, {1.0, 512.0});
+  const auto report = advise(wf, cfg, ex, 60.0);
+  // Makespan: 4 + 21 + 4 = 29.
+  EXPECT_DOUBLE_EQ(report.mean_makespan, 29.0);
+  EXPECT_NEAR(report.slo_headroom_fraction, 1.0 - 29.0 / 60.0, 1e-12);
+  EXPECT_GT(report.mean_cost, 0.0);
+  ASSERT_EQ(report.functions.size(), 4u);
+}
+
+TEST(Advisor, CostSharesSumToOne) {
+  const auto wf = diamond();
+  const auto ex = noiseless();
+  const auto report = advise(wf, platform::uniform_config(4, {1.0, 512.0}), ex, 60.0);
+  double total = 0.0;
+  for (const auto& f : report.functions) total += f.cost_share;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Advisor, CriticalPathAndSlackConsistent) {
+  const auto wf = diamond();
+  const auto ex = noiseless();
+  const auto report = advise(wf, platform::uniform_config(4, {1.0, 512.0}), ex, 60.0);
+  const auto heavy = wf.function_id("heavy");
+  const auto light = wf.function_id("light");
+  EXPECT_TRUE(report.functions[heavy].on_critical_path);
+  EXPECT_FALSE(report.functions[light].on_critical_path);
+  EXPECT_NEAR(report.functions[heavy].slack_seconds, 0.0, 1e-9);
+  // Light branch slack = heavy runtime - light runtime = 21 - 6 = 15.
+  EXPECT_NEAR(report.functions[light].slack_seconds, 15.0, 1e-9);
+}
+
+TEST(Advisor, RuntimesAndCostsMatchExecutor) {
+  const auto wf = diamond();
+  const auto ex = noiseless();
+  const auto cfg = platform::uniform_config(4, {2.0, 1024.0});
+  const auto report = advise(wf, cfg, ex, 60.0);
+  const auto run = ex.execute_mean(wf, cfg);
+  for (dag::NodeId id = 0; id < 4; ++id) {
+    EXPECT_DOUBLE_EQ(report.functions[id].mean_runtime, run.invocations[id].runtime);
+    EXPECT_DOUBLE_EQ(report.functions[id].mean_cost, run.invocations[id].cost);
+  }
+}
+
+TEST(Advisor, NegativeHeadroomWhenViolating) {
+  const auto wf = diamond();
+  const auto ex = noiseless();
+  const auto report = advise(wf, platform::uniform_config(4, {1.0, 512.0}), ex, 20.0);
+  EXPECT_LT(report.slo_headroom_fraction, 0.0);
+}
+
+TEST(Advisor, AffinitiesAreComputedPerFunction) {
+  platform::Workflow wf("mixed");
+  wf.add_function("compute", fn(1.0, 40.0, 8.0));
+  wf.add_function("io", fn(0.1));
+  wf.add_edge("compute", "io");
+  const auto ex = noiseless();
+  const auto report = advise(wf, platform::uniform_config(2, {2.0, 1024.0}), ex, 60.0);
+  EXPECT_EQ(report.functions[0].affinity, perf::AffinityClass::CpuBound);
+  EXPECT_EQ(report.functions[1].affinity, perf::AffinityClass::IoBound);
+}
+
+TEST(Advisor, RejectsBadInputs) {
+  const auto wf = diamond();
+  const auto ex = noiseless();
+  EXPECT_THROW(advise(wf, platform::uniform_config(4, {1.0, 512.0}), ex, 0.0),
+               support::ContractViolation);
+  EXPECT_THROW(advise(wf, platform::uniform_config(3, {1.0, 512.0}), ex, 60.0),
+               support::ContractViolation);
+  // OOM configuration.
+  auto cfg = platform::uniform_config(4, {1.0, 512.0});
+  cfg[0].memory_mb = 100.0;
+  EXPECT_THROW(advise(wf, cfg, ex, 60.0), support::ContractViolation);
+}
+
+}  // namespace
+}  // namespace aarc::core

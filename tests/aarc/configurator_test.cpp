@@ -1,0 +1,288 @@
+// Unit tests for Algorithm 2 (Priority Configurator) on small, hand-built
+// workflows with noiseless execution so the decisions are exactly auditable.
+#include "aarc/priority_configurator.h"
+
+#include <gtest/gtest.h>
+
+#include "perf/analytic.h"
+#include "platform/executor.h"
+#include "support/contracts.h"
+
+namespace aarc::core {
+namespace {
+
+std::unique_ptr<perf::PerfModel> cpu_bound(double serial, double parallel, double max_par,
+                                           double ws = 256.0, double min_mem = 128.0) {
+  perf::AnalyticParams p;
+  p.io_seconds = 1.0;
+  p.serial_seconds = serial;
+  p.parallel_seconds = parallel;
+  p.max_parallelism = max_par;
+  p.working_set_mb = ws;
+  p.min_memory_mb = min_mem;
+  p.pressure_coeff = 3.0;
+  return std::make_unique<perf::AnalyticModel>(p);
+}
+
+platform::Executor noiseless() {
+  platform::ExecutorOptions opts;
+  opts.noise = perf::NoiseModel(0.0);
+  return platform::Executor(std::make_unique<platform::DecoupledLinearPricing>(), opts);
+}
+
+/// One CPU-light function: optimum is (1.0 vCPU, 256 MB).
+platform::Workflow single() {
+  platform::Workflow wf("single");
+  wf.add_function("only", cpu_bound(20.0, 0.0, 1.0));
+  return wf;
+}
+
+search::Evaluation baseline_of(search::Evaluator& ev, const platform::WorkflowConfig& cfg) {
+  return ev.evaluate(cfg);
+}
+
+TEST(Configurator, RejectsBadOptions) {
+  const platform::ConfigGrid grid;
+  ConfiguratorOptions opts;
+  opts.func_trial = 0;
+  EXPECT_THROW(PriorityConfigurator(grid, opts), support::ContractViolation);
+  opts = ConfiguratorOptions{};
+  opts.max_trail = 0;
+  EXPECT_THROW(PriorityConfigurator(grid, opts), support::ContractViolation);
+  opts = ConfiguratorOptions{};
+  opts.initial_step_fraction = 0.0;
+  EXPECT_THROW(PriorityConfigurator(grid, opts), support::ContractViolation);
+  opts = ConfiguratorOptions{};
+  opts.slo_safety_margin = 1.0;
+  EXPECT_THROW(PriorityConfigurator(grid, opts), support::ContractViolation);
+}
+
+TEST(Configurator, RejectsEmptyPath) {
+  const platform::ConfigGrid grid;
+  const PriorityConfigurator pc(grid, {});
+  const platform::Workflow wf = single();
+  const platform::Executor ex = noiseless();
+  search::Evaluator ev(wf, ex, 100.0, 1.0, 1);
+  auto cfg = platform::uniform_config(1, grid.max_config());
+  const auto baseline = baseline_of(ev, cfg);
+  EXPECT_THROW(pc.configure_path(ev, {}, 100.0, cfg, baseline),
+               support::ContractViolation);
+}
+
+TEST(Configurator, DeallocatesTowardTheOptimum) {
+  const platform::ConfigGrid grid;
+  const PriorityConfigurator pc(grid, {});
+  const platform::Workflow wf = single();
+  const platform::Executor ex = noiseless();
+  search::Evaluator ev(wf, ex, 200.0, 1.0, 1);
+  auto cfg = platform::uniform_config(1, grid.max_config());
+  const auto baseline = baseline_of(ev, cfg);
+  const auto outcome = pc.configure_path(ev, {0}, 200.0, cfg, baseline);
+
+  // Serial function: anything above 1 vCPU is waste; memory above the
+  // 256 MB working set is waste.  SLO 200 is loose, so the optimum is
+  // purely cost-driven.
+  EXPECT_LE(cfg[0].vcpu, 1.5);
+  EXPECT_GE(cfg[0].vcpu, 0.5);
+  EXPECT_LE(cfg[0].memory_mb, 512.0);
+  EXPECT_GE(cfg[0].memory_mb, 192.0);
+  EXPECT_GT(outcome.ops_accepted, 0u);
+}
+
+TEST(Configurator, FinalConfigCostsLessThanBase) {
+  const platform::ConfigGrid grid;
+  const PriorityConfigurator pc(grid, {});
+  const platform::Workflow wf = single();
+  const platform::Executor ex = noiseless();
+  search::Evaluator ev(wf, ex, 200.0, 1.0, 1);
+  auto cfg = platform::uniform_config(1, grid.max_config());
+  const auto baseline = baseline_of(ev, cfg);
+  (void)pc.configure_path(ev, {0}, 200.0, cfg, baseline);
+  const double base_cost = ex.execute_mean(wf, platform::uniform_config(1, grid.max_config()))
+                               .total_cost;
+  EXPECT_LT(ex.execute_mean(wf, cfg).total_cost, 0.5 * base_cost);
+}
+
+TEST(Configurator, RespectsThePathSlo) {
+  // Tight SLO: the configurator must stop deallocating before the runtime
+  // crosses it (with the default 5% safety margin).
+  const platform::ConfigGrid grid;
+  const PriorityConfigurator pc(grid, {});
+  const platform::Workflow wf = single();  // ~21 s at 1 vCPU
+  const platform::Executor ex = noiseless();
+  const double slo = 22.0;
+  search::Evaluator ev(wf, ex, slo, 1.0, 1);
+  auto cfg = platform::uniform_config(1, grid.max_config());
+  const auto baseline = baseline_of(ev, cfg);
+  (void)pc.configure_path(ev, {0}, slo, cfg, baseline);
+  EXPECT_LE(ex.execute_mean(wf, cfg).makespan, slo);
+}
+
+TEST(Configurator, NeverOomsTheFinalConfig) {
+  const platform::ConfigGrid grid;
+  const PriorityConfigurator pc(grid, {});
+  platform::Workflow wf("memfloor");
+  wf.add_function("f", cpu_bound(5.0, 0.0, 1.0, 2048.0, 1024.0));
+  const platform::Executor ex = noiseless();
+  search::Evaluator ev(wf, ex, 500.0, 1.0, 1);
+  auto cfg = platform::uniform_config(1, grid.max_config());
+  const auto baseline = baseline_of(ev, cfg);
+  (void)pc.configure_path(ev, {0}, 500.0, cfg, baseline);
+  EXPECT_GE(cfg[0].memory_mb, 1024.0);
+  EXPECT_FALSE(ex.execute_mean(wf, cfg).failed);
+}
+
+TEST(Configurator, HonorsMaxTrail) {
+  const platform::ConfigGrid grid;
+  ConfiguratorOptions opts;
+  opts.max_trail = 3;
+  const PriorityConfigurator pc(grid, opts);
+  const platform::Workflow wf = single();
+  const platform::Executor ex = noiseless();
+  search::Evaluator ev(wf, ex, 200.0, 1.0, 1);
+  auto cfg = platform::uniform_config(1, grid.max_config());
+  const auto baseline = baseline_of(ev, cfg);
+  const auto outcome = pc.configure_path(ev, {0}, 200.0, cfg, baseline);
+  EXPECT_LE(outcome.samples_used, 3u);
+}
+
+TEST(Configurator, SamplesAreBoundedByQueueDynamics) {
+  // 2 ops, each with FUNC_TRIAL backoffs: the probe count has a hard
+  // combinatorial bound even with an unbounded MAX_TRAIL.
+  const platform::ConfigGrid grid;
+  ConfiguratorOptions opts;
+  opts.max_trail = 100000;
+  opts.func_trial = 3;
+  const PriorityConfigurator pc(grid, opts);
+  const platform::Workflow wf = single();
+  const platform::Executor ex = noiseless();
+  search::Evaluator ev(wf, ex, 200.0, 1.0, 1);
+  auto cfg = platform::uniform_config(1, grid.max_config());
+  const auto baseline = baseline_of(ev, cfg);
+  const auto outcome = pc.configure_path(ev, {0}, 200.0, cfg, baseline);
+  EXPECT_LT(outcome.samples_used, 60u);
+}
+
+TEST(Configurator, AccountingIsConsistent) {
+  const platform::ConfigGrid grid;
+  const PriorityConfigurator pc(grid, {});
+  const platform::Workflow wf = single();
+  const platform::Executor ex = noiseless();
+  search::Evaluator ev(wf, ex, 200.0, 1.0, 1);
+  auto cfg = platform::uniform_config(1, grid.max_config());
+  const auto baseline = baseline_of(ev, cfg);
+  const std::size_t before = ev.samples_used();
+  const auto outcome = pc.configure_path(ev, {0}, 200.0, cfg, baseline);
+  EXPECT_EQ(ev.samples_used() - before, outcome.samples_used);
+  EXPECT_EQ(outcome.ops_accepted + outcome.ops_reverted, outcome.samples_used);
+  EXPECT_EQ(outcome.accepted_runtimes.size(), 1u);
+  EXPECT_EQ(outcome.accepted_costs.size(), 1u);
+}
+
+TEST(Configurator, InfeasibleBudgetLeavesConfigAtBase) {
+  // A path SLO below the fastest possible runtime: every deallocation (and
+  // even the base) violates, so everything reverts.
+  const platform::ConfigGrid grid;
+  const PriorityConfigurator pc(grid, {});
+  const platform::Workflow wf = single();
+  const platform::Executor ex = noiseless();
+  search::Evaluator ev(wf, ex, 1.0, 1.0, 1);
+  auto cfg = platform::uniform_config(1, grid.max_config());
+  const auto baseline = baseline_of(ev, cfg);
+  const auto outcome = pc.configure_path(ev, {0}, 1.0, cfg, baseline);
+  EXPECT_EQ(outcome.ops_accepted, 0u);
+  EXPECT_EQ(cfg[0], grid.max_config());
+}
+
+TEST(Configurator, FixedStepPolicyWorks) {
+  const platform::ConfigGrid grid;
+  ConfiguratorOptions opts;
+  opts.step_policy = StepPolicy::FixedUnits;
+  opts.fixed_step_units = 8;
+  const PriorityConfigurator pc(grid, opts);
+  const platform::Workflow wf = single();
+  const platform::Executor ex = noiseless();
+  search::Evaluator ev(wf, ex, 200.0, 1.0, 1);
+  auto cfg = platform::uniform_config(1, grid.max_config());
+  const auto baseline = baseline_of(ev, cfg);
+  const auto outcome = pc.configure_path(ev, {0}, 200.0, cfg, baseline);
+  EXPECT_GT(outcome.ops_accepted, 0u);
+  EXPECT_LT(cfg[0].memory_mb, 10240.0);
+}
+
+TEST(Configurator, FifoAblationStillConverges) {
+  const platform::ConfigGrid grid;
+  ConfiguratorOptions opts;
+  opts.fifo_priority = true;
+  const PriorityConfigurator pc(grid, opts);
+  const platform::Workflow wf = single();
+  const platform::Executor ex = noiseless();
+  search::Evaluator ev(wf, ex, 200.0, 1.0, 1);
+  auto cfg = platform::uniform_config(1, grid.max_config());
+  const auto baseline = baseline_of(ev, cfg);
+  (void)pc.configure_path(ev, {0}, 200.0, cfg, baseline);
+  EXPECT_LT(cfg[0].memory_mb, 1024.0);
+  EXPECT_LT(cfg[0].vcpu, 2.1);
+}
+
+TEST(Configurator, PolishRoundRecoversOvershoot) {
+  // A function with high parallelism and a high-value knee: large first
+  // deallocation steps overshoot the cpu cost minimum; the allocate-polish
+  // round must climb back and end at least as cheap as without it.
+  const platform::ConfigGrid grid;
+  platform::Workflow wf("overshoot");
+  wf.add_function("f", cpu_bound(2.0, 60.0, 8.5, 4096.0, 1024.0));
+  const platform::Executor ex = noiseless();
+
+  auto final_cost = [&](bool polish) {
+    ConfiguratorOptions opts;
+    opts.polish_allocate = polish;
+    opts.max_trail = 200;
+    const PriorityConfigurator pc(grid, opts);
+    search::Evaluator ev(wf, ex, 500.0, 1.0, 1);
+    auto cfg = platform::uniform_config(1, grid.max_config());
+    const auto baseline = baseline_of(ev, cfg);
+    (void)pc.configure_path(ev, {0}, 500.0, cfg, baseline);
+    return ex.execute_mean(wf, cfg).total_cost;
+  };
+
+  EXPECT_LE(final_cost(true), final_cost(false) + 1e-9);
+}
+
+TEST(Configurator, PolishNeverViolatesTheSlo) {
+  const platform::ConfigGrid grid;
+  ConfiguratorOptions opts;
+  opts.polish_allocate = true;
+  opts.max_trail = 200;
+  const PriorityConfigurator pc(grid, opts);
+  const platform::Workflow wf = single();
+  const platform::Executor ex = noiseless();
+  const double slo = 25.0;
+  search::Evaluator ev(wf, ex, slo, 1.0, 1);
+  auto cfg = platform::uniform_config(1, grid.max_config());
+  const auto baseline = baseline_of(ev, cfg);
+  (void)pc.configure_path(ev, {0}, slo, cfg, baseline);
+  EXPECT_LE(ex.execute_mean(wf, cfg).makespan, slo);
+}
+
+TEST(Configurator, MultiFunctionPathSharesTheBudget) {
+  const platform::ConfigGrid grid;
+  const PriorityConfigurator pc(grid, {});
+  platform::Workflow wf("pair");
+  wf.add_function("a", cpu_bound(10.0, 0.0, 1.0));
+  wf.add_function("b", cpu_bound(10.0, 0.0, 1.0));
+  wf.add_edge("a", "b");
+  const platform::Executor ex = noiseless();
+  const double slo = 24.0;  // each function ~11 s at 1 vCPU
+  search::Evaluator ev(wf, ex, slo, 1.0, 1);
+  auto cfg = platform::uniform_config(2, grid.max_config());
+  const auto baseline = baseline_of(ev, cfg);
+  (void)pc.configure_path(ev, {0, 1}, slo, cfg, baseline);
+  EXPECT_LE(ex.execute_mean(wf, cfg).makespan, slo);
+  // Both functions must have been shrunk from the base config.
+  EXPECT_LT(cfg[0].memory_mb, 10240.0);
+  EXPECT_LT(cfg[1].memory_mb, 10240.0);
+}
+
+}  // namespace
+}  // namespace aarc::core

@@ -1,0 +1,108 @@
+#include "aarc/operation.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "support/contracts.h"
+
+namespace aarc::core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+Operation op(dag::NodeId node, ResourceType type = ResourceType::Cpu) {
+  Operation o;
+  o.node = node;
+  o.type = type;
+  o.step = 4;
+  o.trail = 3;
+  return o;
+}
+
+TEST(ResourceTypeNames, Strings) {
+  EXPECT_STREQ(to_string(ResourceType::Cpu), "cpu");
+  EXPECT_STREQ(to_string(ResourceType::Memory), "mem");
+}
+
+TEST(OperationQueue, StartsEmpty) {
+  OperationQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_THROW(q.pop(), support::ContractViolation);
+  EXPECT_THROW(q.top_priority(), support::ContractViolation);
+}
+
+TEST(OperationQueue, PopsHighestPriorityFirst) {
+  OperationQueue q;
+  q.push(op(1), 5.0);
+  q.push(op(2), 9.0);
+  q.push(op(3), 1.0);
+  EXPECT_DOUBLE_EQ(q.top_priority(), 9.0);
+  EXPECT_EQ(q.pop().node, 2u);
+  EXPECT_EQ(q.pop().node, 1u);
+  EXPECT_EQ(q.pop().node, 3u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(OperationQueue, InfinityBeatsEverything) {
+  OperationQueue q;
+  q.push(op(1), 1e12);
+  q.push(op(2), kInf);
+  EXPECT_EQ(q.pop().node, 2u);
+}
+
+TEST(OperationQueue, FifoAmongEqualPriorities) {
+  // Paper line 5: all fresh ops enter at +inf; the pop order must be the
+  // deterministic insertion order.
+  OperationQueue q;
+  q.push(op(10), kInf);
+  q.push(op(11), kInf);
+  q.push(op(12), kInf);
+  EXPECT_EQ(q.pop().node, 10u);
+  EXPECT_EQ(q.pop().node, 11u);
+  EXPECT_EQ(q.pop().node, 12u);
+}
+
+TEST(OperationQueue, RevertedOpsAtZeroComeAfterPositiveGains) {
+  OperationQueue q;
+  q.push(op(1), 0.0);   // reverted, retryable (line 17)
+  q.push(op(2), 3.5);   // accepted with gain (line 20-21)
+  EXPECT_EQ(q.pop().node, 2u);
+  EXPECT_EQ(q.pop().node, 1u);
+}
+
+TEST(OperationQueue, PreservesOperationFields) {
+  OperationQueue q;
+  Operation o = op(7, ResourceType::Memory);
+  o.step = 16;
+  o.trail = 2;
+  q.push(o, 1.0);
+  const Operation out = q.pop();
+  EXPECT_EQ(out.node, 7u);
+  EXPECT_EQ(out.type, ResourceType::Memory);
+  EXPECT_EQ(out.step, 16u);
+  EXPECT_EQ(out.trail, 2u);
+}
+
+TEST(OperationQueue, RejectsInvalidOps) {
+  OperationQueue q;
+  Operation bad;
+  bad.node = dag::kInvalidNode;
+  EXPECT_THROW(q.push(bad, 1.0), support::ContractViolation);
+  Operation zero_step = op(1);
+  zero_step.step = 0;
+  EXPECT_THROW(q.push(zero_step, 1.0), support::ContractViolation);
+}
+
+TEST(OperationQueue, SizeTracksPushPop) {
+  OperationQueue q;
+  q.push(op(1), 1.0);
+  q.push(op(2), 2.0);
+  EXPECT_EQ(q.size(), 2u);
+  (void)q.pop();
+  EXPECT_EQ(q.size(), 1u);
+}
+
+}  // namespace
+}  // namespace aarc::core

@@ -1,0 +1,99 @@
+// End-to-end properties of the AARC scheduler over a population of synthetic
+// workflows: for every topology pattern and seed, the returned configuration
+// must be on-grid, SLO-compliant in expectation, and cheaper than the base.
+#include <gtest/gtest.h>
+
+#include "aarc/scheduler.h"
+#include "dag/path.h"
+#include "platform/executor.h"
+#include "workloads/synthetic.h"
+
+namespace aarc::core {
+namespace {
+
+struct Case {
+  workloads::Pattern pattern;
+  std::uint64_t seed;
+};
+
+class SchedulerProperty : public ::testing::TestWithParam<Case> {
+ protected:
+  workloads::Workload workload() const {
+    workloads::SyntheticOptions opts;
+    opts.pattern = GetParam().pattern;
+    opts.seed = GetParam().seed;
+    opts.layers = 2 + GetParam().seed % 2;
+    opts.width = 2 + GetParam().seed % 3;
+    return workloads::make_synthetic(opts);
+  }
+};
+
+TEST_P(SchedulerProperty, ProducesValidSloCompliantCheaperConfig) {
+  const workloads::Workload w = workload();
+  const platform::Executor ex;
+  const platform::ConfigGrid grid;
+  const GraphCentricScheduler scheduler(ex, grid);
+  const auto report = scheduler.schedule(w.workflow, w.slo_seconds);
+
+  ASSERT_TRUE(report.result.found_feasible)
+      << "synthetic workloads are feasible by construction";
+  ASSERT_EQ(report.result.best_config.size(), w.workflow.function_count());
+
+  // Every allocation sits on the discrete grid.
+  for (const auto& rc : report.result.best_config) {
+    EXPECT_TRUE(grid.contains(rc)) << platform::to_string(rc);
+  }
+
+  // Mean behaviour: SLO met, cost beaten.
+  platform::ExecutorOptions noiseless_opts;
+  noiseless_opts.noise = perf::NoiseModel(0.0);
+  const platform::Executor noiseless(
+      std::make_unique<platform::DecoupledLinearPricing>(), noiseless_opts);
+  const auto final_run = noiseless.execute_mean(w.workflow, report.result.best_config);
+  EXPECT_FALSE(final_run.failed);
+  EXPECT_LE(final_run.makespan, w.slo_seconds * 1.001);
+
+  const auto base =
+      platform::uniform_config(w.workflow.function_count(), grid.max_config());
+  const auto base_run = noiseless.execute_mean(w.workflow, base);
+  EXPECT_LT(final_run.total_cost, base_run.total_cost);
+}
+
+TEST_P(SchedulerProperty, SampleCountIsBounded) {
+  const workloads::Workload w = workload();
+  const platform::Executor ex;
+  const GraphCentricScheduler scheduler(ex, platform::ConfigGrid{});
+  const auto report = scheduler.schedule(w.workflow, w.slo_seconds);
+  // 2 ops per function, each with <= ~(log2 grid + FUNC_TRIAL) probes, plus
+  // profiling/verification overhead — 40 per function is a generous bound.
+  EXPECT_LE(report.result.samples(), 40u * w.workflow.function_count() + 2u);
+}
+
+TEST_P(SchedulerProperty, CriticalPathIsValidInTheWorkflow) {
+  const workloads::Workload w = workload();
+  const platform::Executor ex;
+  const GraphCentricScheduler scheduler(ex, platform::ConfigGrid{});
+  const auto report = scheduler.schedule(w.workflow, w.slo_seconds);
+  const dag::Path cp{report.critical_path};
+  EXPECT_TRUE(cp.is_valid_in(w.workflow.graph()));
+  EXPECT_TRUE(w.workflow.graph().predecessors(cp.front()).empty());
+  EXPECT_TRUE(w.workflow.graph().successors(cp.back()).empty());
+}
+
+std::vector<Case> cases() {
+  std::vector<Case> out;
+  for (auto p : {workloads::Pattern::Scatter, workloads::Pattern::Broadcast,
+                 workloads::Pattern::Chain, workloads::Pattern::Random}) {
+    for (std::uint64_t s = 1; s <= 4; ++s) out.push_back({p, s});
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Population, SchedulerProperty, ::testing::ValuesIn(cases()),
+                         [](const ::testing::TestParamInfo<Case>& info) {
+                           return workloads::to_string(info.param.pattern) + "_s" +
+                                  std::to_string(info.param.seed);
+                         });
+
+}  // namespace
+}  // namespace aarc::core

@@ -1,0 +1,117 @@
+// Coverage of the scheduler's option surface: polish round at scheduler
+// level, input scale, custom grids, and MAX_TRAIL exhaustion behaviour.
+#include <gtest/gtest.h>
+
+#include "aarc/scheduler.h"
+#include "perf/analytic.h"
+#include "platform/executor.h"
+#include "workloads/catalog.h"
+
+namespace aarc::core {
+namespace {
+
+TEST(SchedulerOptions2, InputScaleChangesTheConfiguration) {
+  const auto w = workloads::make_by_name("video_analysis");
+  const platform::Executor ex;
+  const GraphCentricScheduler s(ex, platform::ConfigGrid{});
+  const auto light = s.schedule(w.workflow, w.slo_seconds, 0.25);
+  const auto heavy = s.schedule(w.workflow, w.slo_seconds, 1.8);
+  ASSERT_TRUE(light.result.found_feasible);
+  ASSERT_TRUE(heavy.result.found_feasible);
+  // Heavier inputs need more total memory (working sets scale with input).
+  double light_mem = 0.0;
+  double heavy_mem = 0.0;
+  for (std::size_t i = 0; i < light.result.best_config.size(); ++i) {
+    light_mem += light.result.best_config[i].memory_mb;
+    heavy_mem += heavy.result.best_config[i].memory_mb;
+  }
+  EXPECT_GT(heavy_mem, light_mem);
+}
+
+TEST(SchedulerOptions2, PolishRoundNeverWorsensTheResult) {
+  const auto w = workloads::make_by_name("video_analysis");
+  const platform::Executor ex;
+  platform::ExecutorOptions mean_opts;
+  mean_opts.noise = perf::NoiseModel(0.0);
+  const platform::Executor mean_ex(std::make_unique<platform::DecoupledLinearPricing>(),
+                                   mean_opts);
+
+  SchedulerOptions base;
+  SchedulerOptions polished = base;
+  polished.configurator.polish_allocate = true;
+  polished.configurator.max_trail = 160;
+
+  const GraphCentricScheduler s1(ex, platform::ConfigGrid{}, base);
+  const GraphCentricScheduler s2(ex, platform::ConfigGrid{}, polished);
+  const auto plain = s1.schedule(w.workflow, w.slo_seconds);
+  const auto polish = s2.schedule(w.workflow, w.slo_seconds);
+  ASSERT_TRUE(plain.result.found_feasible && polish.result.found_feasible);
+
+  const double plain_cost =
+      mean_ex.execute_mean(w.workflow, plain.result.best_config).total_cost;
+  const double polish_cost =
+      mean_ex.execute_mean(w.workflow, polish.result.best_config).total_cost;
+  EXPECT_LE(polish_cost, plain_cost * 1.02);  // never meaningfully worse
+}
+
+TEST(SchedulerOptions2, CustomGridIsRespected) {
+  // A coarse grid: every configured value must sit on it.
+  const platform::ConfigGrid coarse(support::ValueGrid(1.0, 8.0, 1.0),
+                                    support::ValueGrid(512.0, 8192.0, 512.0));
+  const auto w = workloads::make_by_name("chatbot");
+  const platform::Executor ex;
+  const GraphCentricScheduler s(ex, coarse);
+  const auto report = s.schedule(w.workflow, w.slo_seconds);
+  ASSERT_TRUE(report.result.found_feasible);
+  for (const auto& rc : report.result.best_config) {
+    EXPECT_TRUE(coarse.contains(rc)) << platform::to_string(rc);
+  }
+}
+
+TEST(SchedulerOptions2, TinyMaxTrailStillReturnsAValidConfig) {
+  const auto w = workloads::make_by_name("chatbot");
+  const platform::Executor ex;
+  SchedulerOptions opts;
+  opts.configurator.max_trail = 3;  // nearly no budget per path
+  const GraphCentricScheduler s(ex, platform::ConfigGrid{}, opts);
+  const auto report = s.schedule(w.workflow, w.slo_seconds);
+  ASSERT_TRUE(report.result.found_feasible);
+  // Very few samples: profiling + <= 3 per path + verification.
+  EXPECT_LT(report.result.samples(), 20u);
+  platform::ExecutorOptions mean_opts;
+  mean_opts.noise = perf::NoiseModel(0.0);
+  const platform::Executor mean_ex(std::make_unique<platform::DecoupledLinearPricing>(),
+                                   mean_opts);
+  EXPECT_LE(mean_ex.execute_mean(w.workflow, report.result.best_config).makespan,
+            w.slo_seconds);
+}
+
+TEST(SchedulerOptions2, SeedChangesProbesNotFeasibility) {
+  const auto w = workloads::make_by_name("ml_pipeline");
+  const platform::Executor ex;
+  SchedulerOptions a;
+  a.seed = 1;
+  SchedulerOptions b;
+  b.seed = 2;
+  const auto ra = GraphCentricScheduler(ex, platform::ConfigGrid{}, a)
+                      .schedule(w.workflow, w.slo_seconds);
+  const auto rb = GraphCentricScheduler(ex, platform::ConfigGrid{}, b)
+                      .schedule(w.workflow, w.slo_seconds);
+  EXPECT_TRUE(ra.result.found_feasible);
+  EXPECT_TRUE(rb.result.found_feasible);
+  // Different noise streams: traces differ somewhere.
+  bool diverged = ra.result.samples() != rb.result.samples();
+  if (!diverged) {
+    for (std::size_t i = 0; i < ra.result.samples(); ++i) {
+      if (ra.result.trace.samples()[i].makespan !=
+          rb.result.trace.samples()[i].makespan) {
+        diverged = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(diverged);
+}
+
+}  // namespace
+}  // namespace aarc::core

@@ -1,0 +1,226 @@
+// Tests for Algorithm 1 (Graph-Centric Scheduler) on hand-built workflows.
+#include "aarc/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "perf/analytic.h"
+#include "platform/executor.h"
+#include "support/contracts.h"
+
+namespace aarc::core {
+namespace {
+
+std::unique_ptr<perf::PerfModel> fn(double serial, double ws = 256.0,
+                                    double min_mem = 128.0) {
+  perf::AnalyticParams p;
+  p.io_seconds = 1.0;
+  p.serial_seconds = serial;
+  p.parallel_seconds = 0.0;
+  p.max_parallelism = 1.0;
+  p.working_set_mb = ws;
+  p.min_memory_mb = min_mem;
+  p.pressure_coeff = 3.0;
+  return std::make_unique<perf::AnalyticModel>(p);
+}
+
+/// src -> {heavy, light} -> sink: the classic detour shape.
+platform::Workflow diamond() {
+  platform::Workflow wf("diamond");
+  wf.add_function("src", fn(4.0));
+  wf.add_function("heavy", fn(20.0));
+  wf.add_function("light", fn(5.0));
+  wf.add_function("sink", fn(4.0));
+  wf.add_edge("src", "heavy");
+  wf.add_edge("src", "light");
+  wf.add_edge("heavy", "sink");
+  wf.add_edge("light", "sink");
+  return wf;
+}
+
+platform::Executor noiseless() {
+  platform::ExecutorOptions opts;
+  opts.noise = perf::NoiseModel(0.0);
+  return platform::Executor(std::make_unique<platform::DecoupledLinearPricing>(), opts);
+}
+
+TEST(Scheduler, RejectsNonPositiveSlo) {
+  const platform::Executor ex = noiseless();
+  const GraphCentricScheduler s(ex, platform::ConfigGrid{});
+  EXPECT_THROW(s.schedule(diamond(), 0.0), support::ContractViolation);
+}
+
+TEST(Scheduler, FindsTheExpectedCriticalPath) {
+  const platform::Executor ex = noiseless();
+  const GraphCentricScheduler s(ex, platform::ConfigGrid{});
+  const auto report = s.schedule(diamond(), 120.0);
+  const auto& wf = diamond();
+  std::vector<std::string> names;
+  for (dag::NodeId id : report.critical_path) names.push_back(wf.function_name(id));
+  EXPECT_EQ(names, (std::vector<std::string>{"src", "heavy", "sink"}));
+}
+
+TEST(Scheduler, ConfiguresEveryFunction) {
+  const platform::Executor ex = noiseless();
+  const GraphCentricScheduler s(ex, platform::ConfigGrid{});
+  const auto report = s.schedule(diamond(), 120.0);
+  ASSERT_TRUE(report.result.found_feasible);
+  ASSERT_EQ(report.result.best_config.size(), 4u);
+  // Everything should have moved off the over-provisioned base.
+  for (const auto& rc : report.result.best_config) {
+    EXPECT_LT(rc.memory_mb, 10240.0);
+    EXPECT_LT(rc.vcpu, 10.0);
+  }
+  EXPECT_EQ(report.subpath_count, 1u);  // the light branch
+  EXPECT_EQ(report.uncovered_count, 0u);
+}
+
+TEST(Scheduler, FinalConfigMeetsSloOnAverage) {
+  const platform::Executor ex = noiseless();
+  const GraphCentricScheduler s(ex, platform::ConfigGrid{});
+  const double slo = 40.0;
+  const auto report = s.schedule(diamond(), slo);
+  ASSERT_TRUE(report.result.found_feasible);
+  EXPECT_LE(ex.execute_mean(diamond(), report.result.best_config).makespan, slo);
+}
+
+TEST(Scheduler, FinalConfigIsMuchCheaperThanBase) {
+  const platform::Executor ex = noiseless();
+  const platform::ConfigGrid grid;
+  const GraphCentricScheduler s(ex, grid);
+  const auto report = s.schedule(diamond(), 120.0);
+  const auto base = platform::uniform_config(4, grid.max_config());
+  const double base_cost = ex.execute_mean(diamond(), base).total_cost;
+  const double aarc_cost = ex.execute_mean(diamond(), report.result.best_config).total_cost;
+  EXPECT_LT(aarc_cost, 0.25 * base_cost);
+}
+
+TEST(Scheduler, DetourBudgetKeepsCriticalPathCritical) {
+  // After scheduling, the light branch must not have become the bottleneck:
+  // src->light->sink must still fit within src->heavy->sink.
+  const platform::Executor ex = noiseless();
+  const GraphCentricScheduler s(ex, platform::ConfigGrid{});
+  const auto wf = diamond();
+  const auto report = s.schedule(wf, 60.0);
+  ASSERT_TRUE(report.result.found_feasible);
+  const auto res = ex.execute_mean(wf, report.result.best_config);
+  const double heavy_path = res.invocations[0].runtime + res.invocations[1].runtime +
+                            res.invocations[3].runtime;
+  const double light_path = res.invocations[0].runtime + res.invocations[2].runtime +
+                            res.invocations[3].runtime;
+  EXPECT_LE(light_path, heavy_path * 1.05);
+  EXPECT_NEAR(res.makespan, heavy_path, 1e-9);
+}
+
+TEST(Scheduler, TraceAccountsForEverySample) {
+  const platform::Executor ex = noiseless();
+  const GraphCentricScheduler s(ex, platform::ConfigGrid{});
+  const auto report = s.schedule(diamond(), 120.0);
+  EXPECT_GT(report.result.samples(), 2u);
+  // Profiling run + configurator probes + final verification.
+  EXPECT_EQ(report.result.trace.samples().front().index, 0u);
+  EXPECT_EQ(report.result.trace.samples().back().index, report.result.samples() - 1);
+  EXPECT_GT(report.result.trace.total_sampling_runtime(), 0.0);
+}
+
+TEST(Scheduler, InfeasibleWorkflowReportsNoConfig) {
+  // SLO far below the fastest possible makespan.
+  const platform::Executor ex = noiseless();
+  const GraphCentricScheduler s(ex, platform::ConfigGrid{});
+  const auto report = s.schedule(diamond(), 2.0);
+  EXPECT_FALSE(report.result.found_feasible);
+}
+
+TEST(Scheduler, SingleFunctionWorkflow) {
+  platform::Workflow wf("solo");
+  wf.add_function("only", fn(10.0));
+  const platform::Executor ex = noiseless();
+  const GraphCentricScheduler s(ex, platform::ConfigGrid{});
+  const auto report = s.schedule(wf, 60.0);
+  ASSERT_TRUE(report.result.found_feasible);
+  EXPECT_EQ(report.critical_path.size(), 1u);
+  EXPECT_EQ(report.subpath_count, 0u);
+  EXPECT_LT(report.result.best_config[0].memory_mb, 1024.0);
+}
+
+TEST(Scheduler, ChainWorkflowHasNoDetours) {
+  platform::Workflow wf("chain");
+  wf.add_function("a", fn(5.0));
+  wf.add_function("b", fn(5.0));
+  wf.add_function("c", fn(5.0));
+  wf.add_edge("a", "b");
+  wf.add_edge("b", "c");
+  const platform::Executor ex = noiseless();
+  const GraphCentricScheduler s(ex, platform::ConfigGrid{});
+  const auto report = s.schedule(wf, 60.0);
+  EXPECT_EQ(report.critical_path.size(), 3u);
+  EXPECT_EQ(report.subpath_count, 0u);
+  EXPECT_TRUE(report.result.found_feasible);
+}
+
+TEST(Scheduler, UncoveredNodesAreConfiguredWhenEnabled) {
+  // A stray second source joining at the sink is on no detour.
+  platform::Workflow wf("stray");
+  wf.add_function("a", fn(10.0));
+  wf.add_function("b", fn(10.0));
+  wf.add_function("stray", fn(2.0));
+  wf.add_edge("a", "b");
+  wf.add_edge("stray", "b");
+  const platform::Executor ex = noiseless();
+  SchedulerOptions opts;
+  const GraphCentricScheduler s(ex, platform::ConfigGrid{}, opts);
+  const auto report = s.schedule(wf, 60.0);
+  EXPECT_EQ(report.uncovered_count, 1u);
+  const auto stray_id = wf.function_id("stray");
+  EXPECT_LT(report.result.best_config[stray_id].memory_mb, 10240.0);
+}
+
+TEST(Scheduler, UncoveredNodesKeepBaseWhenDisabled) {
+  platform::Workflow wf("stray");
+  wf.add_function("a", fn(10.0));
+  wf.add_function("b", fn(10.0));
+  wf.add_function("stray", fn(2.0));
+  wf.add_edge("a", "b");
+  wf.add_edge("stray", "b");
+  const platform::Executor ex = noiseless();
+  SchedulerOptions opts;
+  opts.configure_uncovered_nodes = false;
+  const GraphCentricScheduler s(ex, platform::ConfigGrid{}, opts);
+  const auto report = s.schedule(wf, 60.0);
+  EXPECT_EQ(report.uncovered_count, 0u);
+  const auto stray_id = wf.function_id("stray");
+  EXPECT_EQ(report.result.best_config[stray_id], platform::ConfigGrid{}.max_config());
+}
+
+TEST(Scheduler, DeterministicForFixedSeed) {
+  const platform::Executor ex;  // default noise, seeded via options
+  SchedulerOptions opts;
+  opts.seed = 77;
+  const GraphCentricScheduler s(ex, platform::ConfigGrid{}, opts);
+  const auto a = s.schedule(diamond(), 120.0);
+  const auto b = s.schedule(diamond(), 120.0);
+  ASSERT_EQ(a.result.best_config.size(), b.result.best_config.size());
+  for (std::size_t i = 0; i < a.result.best_config.size(); ++i) {
+    EXPECT_EQ(a.result.best_config[i], b.result.best_config[i]);
+  }
+  EXPECT_EQ(a.result.samples(), b.result.samples());
+}
+
+TEST(Scheduler, ProfiledMakespanMatchesBaseExecution) {
+  const platform::Executor ex = noiseless();
+  const GraphCentricScheduler s(ex, platform::ConfigGrid{});
+  const auto report = s.schedule(diamond(), 120.0);
+  const auto base = platform::uniform_config(4, platform::ConfigGrid{}.max_config());
+  EXPECT_NEAR(report.profiled_makespan, ex.execute_mean(diamond(), base).makespan, 1e-9);
+}
+
+TEST(Scheduler, DoesNotMutateTheInputWorkflow) {
+  platform::Workflow wf = diamond();
+  const std::vector<double> before = wf.graph().weights();
+  const platform::Executor ex = noiseless();
+  const GraphCentricScheduler s(ex, platform::ConfigGrid{});
+  (void)s.schedule(wf, 120.0);
+  EXPECT_EQ(wf.graph().weights(), before);
+}
+
+}  // namespace
+}  // namespace aarc::core

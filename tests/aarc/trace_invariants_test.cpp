@@ -1,0 +1,138 @@
+// Behavioural invariants of the AARC search read off its sampling trace.
+// These pin Algorithm 1/2's observable behaviour without depending on any
+// particular landscape: what the scheduler *probes* is as much part of its
+// contract as what it returns.
+#include <gtest/gtest.h>
+
+#include "aarc/scheduler.h"
+#include "platform/executor.h"
+#include "workloads/catalog.h"
+#include "workloads/synthetic.h"
+
+namespace aarc::core {
+namespace {
+
+struct TraceCase {
+  std::string name;
+  workloads::Workload workload;
+};
+
+std::vector<std::string> case_names() {
+  return {"chatbot", "ml_pipeline", "video_analysis", "synthetic"};
+}
+
+workloads::Workload load_case(const std::string& name) {
+  if (name == "synthetic") {
+    workloads::SyntheticOptions opts;
+    opts.pattern = workloads::Pattern::Random;
+    opts.layers = 2;
+    opts.width = 3;
+    opts.seed = 13;
+    return workloads::make_synthetic(opts);
+  }
+  return workloads::make_by_name(name);
+}
+
+class TraceInvariants : public ::testing::TestWithParam<std::string> {
+ protected:
+  ScheduleReport run() const {
+    const workloads::Workload w = load_case(GetParam());
+    const platform::Executor ex;
+    const GraphCentricScheduler scheduler(ex, platform::ConfigGrid{});
+    return scheduler.schedule(w.workflow, w.slo_seconds);
+  }
+};
+
+std::size_t coordinate_diff(const platform::WorkflowConfig& a,
+                            const platform::WorkflowConfig& b) {
+  std::size_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].vcpu != b[i].vcpu) ++diff;
+    if (a[i].memory_mb != b[i].memory_mb) ++diff;
+  }
+  return diff;
+}
+
+TEST_P(TraceInvariants, FirstProbeIsTheOverProvisionedBase) {
+  const auto report = run();
+  const platform::ConfigGrid grid;
+  const auto& first = report.result.trace.samples().front().config;
+  for (const auto& rc : first) EXPECT_EQ(rc, grid.max_config());
+}
+
+TEST_P(TraceInvariants, EveryProbeIsOnTheGrid) {
+  const auto report = run();
+  const platform::ConfigGrid grid;
+  for (const auto& s : report.result.trace.samples()) {
+    for (const auto& rc : s.config) {
+      EXPECT_TRUE(grid.contains(rc)) << platform::to_string(rc);
+    }
+  }
+}
+
+TEST_P(TraceInvariants, ConsecutiveProbesDifferInAtMostTwoCoordinates) {
+  // Each probe applies exactly one deallocation to the current state; after
+  // a revert the next probe restores one coordinate and moves another, so
+  // consecutive sampled configs differ in 1 or 2 coordinates (0 only for
+  // the final verification re-probe of the accepted state).
+  const auto report = run();
+  const auto& samples = report.result.trace.samples();
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    const std::size_t diff = coordinate_diff(samples[i - 1].config, samples[i].config);
+    EXPECT_LE(diff, 2u) << "samples " << i - 1 << " -> " << i;
+  }
+}
+
+TEST_P(TraceInvariants, ProbesNeverExceedTheBaseAllocation) {
+  // Algorithm 2 only deallocates from the base configuration (the optional
+  // polish round is off by default), so no probe allocates above it.
+  const auto report = run();
+  const platform::ConfigGrid grid;
+  const auto base = grid.max_config();
+  for (const auto& s : report.result.trace.samples()) {
+    for (const auto& rc : s.config) {
+      EXPECT_LE(rc.vcpu, base.vcpu);
+      EXPECT_LE(rc.memory_mb, base.memory_mb);
+    }
+  }
+}
+
+TEST_P(TraceInvariants, FinalConfigWasActuallyProbed) {
+  const auto report = run();
+  if (!report.result.found_feasible) GTEST_SKIP();
+  bool seen = false;
+  for (const auto& s : report.result.trace.samples()) {
+    if (s.config == report.result.best_config) seen = true;
+  }
+  EXPECT_TRUE(seen);
+}
+
+TEST_P(TraceInvariants, AcceptedCostsNeverGoBelowTheOracleFloor) {
+  // Sanity: no probe can cost less than the sum of each function's cheapest
+  // possible invocation at its fastest runtime (a loose physical floor).
+  const auto report = run();
+  const workloads::Workload w = load_case(GetParam());
+  const platform::ConfigGrid grid;
+  platform::ExecutorOptions opts;
+  opts.noise = perf::NoiseModel(0.0);
+  const platform::Executor ex(std::make_unique<platform::DecoupledLinearPricing>(), opts);
+  const platform::DecoupledLinearPricing pricing;
+  double floor = 0.0;
+  for (dag::NodeId id = 0; id < w.workflow.function_count(); ++id) {
+    // Cheapest conceivable: min-grid rate for the duration of the fastest
+    // possible execution of that function.
+    const double fastest = w.workflow.model(id).mean_runtime(10.0, 10240.0, 1.0);
+    floor += pricing.invocation_cost(grid.min_config(), fastest) * 0.5;
+  }
+  for (const auto& s : report.result.trace.samples()) {
+    if (!s.failed) EXPECT_GT(s.cost, floor * 0.1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, TraceInvariants, ::testing::ValuesIn(case_names()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+}  // namespace
+}  // namespace aarc::core

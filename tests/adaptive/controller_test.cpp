@@ -1,0 +1,107 @@
+#include "adaptive/controller.h"
+
+#include <gtest/gtest.h>
+
+#include "platform/executor.h"
+#include "workloads/synthetic.h"
+
+namespace aarc::adaptive {
+namespace {
+
+workloads::Workload small_workload() {
+  workloads::SyntheticOptions opts;
+  opts.pattern = workloads::Pattern::Chain;
+  opts.layers = 1;
+  opts.seed = 5;
+  opts.slo_headroom = 3.0;
+  return workloads::make_synthetic(opts);
+}
+
+ControllerOptions quick_options() {
+  ControllerOptions opts;
+  opts.monitor.min_observations = 3;
+  opts.min_observations_between_reconfigs = 3;
+  return opts;
+}
+
+TEST(Controller, DeploysAnInitialConfiguration) {
+  const workloads::Workload w = small_workload();
+  const platform::Executor ex;
+  const AdaptiveController controller(w, ex, platform::ConfigGrid{}, quick_options());
+  EXPECT_EQ(controller.current_config().size(), w.workflow.function_count());
+  EXPECT_EQ(controller.reconfigurations(), 0u);
+  EXPECT_GT(controller.scheduling_samples(), 0u);
+  EXPECT_DOUBLE_EQ(controller.current_scale_estimate(), 1.0);
+}
+
+TEST(Controller, StableTrafficNeverReconfigures) {
+  const workloads::Workload w = small_workload();
+  const platform::Executor ex;
+  AdaptiveController controller(w, ex, platform::ConfigGrid{}, quick_options());
+  const double expected = controller.monitor().expected();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(controller.observe(expected * (1.0 + 0.02 * ((i % 3) - 1))));
+  }
+  EXPECT_EQ(controller.reconfigurations(), 0u);
+}
+
+TEST(Controller, SustainedSlowdownTriggersReconfiguration) {
+  const workloads::Workload w = small_workload();
+  const platform::Executor ex;
+  AdaptiveController controller(w, ex, platform::ConfigGrid{}, quick_options());
+  const double expected = controller.monitor().expected();
+  bool reconfigured = false;
+  for (int i = 0; i < 50 && !reconfigured; ++i) {
+    reconfigured = controller.observe(expected * 1.6);
+  }
+  EXPECT_TRUE(reconfigured);
+  EXPECT_EQ(controller.reconfigurations(), 1u);
+  // The controller's scale estimate grew to match the slowdown.
+  EXPECT_GT(controller.current_scale_estimate(), 1.2);
+}
+
+TEST(Controller, SpeedupReclaimsResources) {
+  const workloads::Workload w = small_workload();
+  const platform::Executor ex;
+  AdaptiveController controller(w, ex, platform::ConfigGrid{}, quick_options());
+  const double expected = controller.monitor().expected();
+  bool reconfigured = false;
+  for (int i = 0; i < 50 && !reconfigured; ++i) {
+    reconfigured = controller.observe(expected * 0.3);
+  }
+  EXPECT_TRUE(reconfigured);
+  EXPECT_LT(controller.current_scale_estimate(), 0.7);
+}
+
+TEST(Controller, CoolDownLimitsReconfigurationRate) {
+  const workloads::Workload w = small_workload();
+  const platform::Executor ex;
+  ControllerOptions opts = quick_options();
+  opts.min_observations_between_reconfigs = 20;
+  AdaptiveController controller(w, ex, platform::ConfigGrid{}, opts);
+  const double expected = controller.monitor().expected();
+  std::size_t reconfigs = 0;
+  for (int i = 0; i < 60; ++i) {
+    if (controller.observe(expected * 1.6)) ++reconfigs;
+  }
+  EXPECT_LE(reconfigs, 3u);
+}
+
+TEST(Controller, MonitorExpectationFollowsTheNewConfig) {
+  const workloads::Workload w = small_workload();
+  const platform::Executor ex;
+  AdaptiveController controller(w, ex, platform::ConfigGrid{}, quick_options());
+  const double before = controller.monitor().expected();
+  bool reconfigured = false;
+  for (int i = 0; i < 50 && !reconfigured; ++i) {
+    reconfigured = controller.observe(before * 1.6);
+  }
+  ASSERT_TRUE(reconfigured);
+  // After re-scheduling at a larger scale the expected level is above the
+  // old one (more work per request).
+  EXPECT_GT(controller.monitor().expected(), before);
+  EXPECT_EQ(controller.monitor().observations(), 0u);
+}
+
+}  // namespace
+}  // namespace aarc::adaptive

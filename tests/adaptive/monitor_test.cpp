@@ -1,0 +1,109 @@
+#include "adaptive/monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "support/contracts.h"
+
+namespace aarc::adaptive {
+namespace {
+
+MonitorOptions quick() {
+  MonitorOptions opts;
+  opts.min_observations = 3;
+  return opts;
+}
+
+TEST(Monitor, VerdictNames) {
+  EXPECT_STREQ(to_string(DriftVerdict::Healthy), "healthy");
+  EXPECT_STREQ(to_string(DriftVerdict::SloRisk), "slo-risk");
+  EXPECT_STREQ(to_string(DriftVerdict::DriftedSlower), "drifted-slower");
+  EXPECT_STREQ(to_string(DriftVerdict::DriftedFaster), "drifted-faster");
+}
+
+TEST(Monitor, RejectsBadConstruction) {
+  EXPECT_THROW(DriftMonitor(0.0, 100.0), support::ContractViolation);
+  EXPECT_THROW(DriftMonitor(10.0, 0.0), support::ContractViolation);
+  MonitorOptions bad;
+  bad.ewma_alpha = 0.0;
+  EXPECT_THROW(DriftMonitor(10.0, 100.0, bad), support::ContractViolation);
+  bad = MonitorOptions{};
+  bad.drift_up_factor = 1.0;
+  EXPECT_THROW(DriftMonitor(10.0, 100.0, bad), support::ContractViolation);
+  bad = MonitorOptions{};
+  bad.drift_down_factor = 1.0;
+  EXPECT_THROW(DriftMonitor(10.0, 100.0, bad), support::ContractViolation);
+}
+
+TEST(Monitor, HealthyUntilMinObservations) {
+  DriftMonitor m(10.0, 100.0, quick());
+  m.observe(95.0);  // way over, but only one observation
+  EXPECT_EQ(m.verdict(), DriftVerdict::Healthy);
+  EXPECT_DOUBLE_EQ(m.estimated_drift_ratio(), 1.0);
+  m.observe(95.0);
+  EXPECT_EQ(m.verdict(), DriftVerdict::Healthy);
+  m.observe(95.0);
+  EXPECT_NE(m.verdict(), DriftVerdict::Healthy);
+}
+
+TEST(Monitor, StableRuntimesStayHealthy) {
+  DriftMonitor m(50.0, 100.0, quick());
+  for (int i = 0; i < 20; ++i) m.observe(50.0 + (i % 2 == 0 ? 1.0 : -1.0));
+  EXPECT_EQ(m.verdict(), DriftVerdict::Healthy);
+  EXPECT_FALSE(m.should_reconfigure());
+  EXPECT_NEAR(m.ewma(), 50.0, 1.5);
+}
+
+TEST(Monitor, SloRiskDetected) {
+  DriftMonitor m(50.0, 100.0, quick());
+  for (int i = 0; i < 20; ++i) m.observe(95.0);
+  EXPECT_EQ(m.verdict(), DriftVerdict::SloRisk);
+  EXPECT_TRUE(m.should_reconfigure());
+}
+
+TEST(Monitor, SlowDriftDetectedBelowSloRisk) {
+  DriftMonitor m(50.0, 200.0, quick());  // loose SLO: drift fires first
+  for (int i = 0; i < 20; ++i) m.observe(70.0);  // 1.4x expected
+  EXPECT_EQ(m.verdict(), DriftVerdict::DriftedSlower);
+  EXPECT_NEAR(m.estimated_drift_ratio(), 1.4, 0.05);
+}
+
+TEST(Monitor, FastDriftDetected) {
+  DriftMonitor m(50.0, 200.0, quick());
+  for (int i = 0; i < 20; ++i) m.observe(20.0);  // 0.4x expected
+  EXPECT_EQ(m.verdict(), DriftVerdict::DriftedFaster);
+  EXPECT_LT(m.estimated_drift_ratio(), 0.5);
+}
+
+TEST(Monitor, EwmaTracksLevelShift) {
+  DriftMonitor m(50.0, 500.0, quick());
+  for (int i = 0; i < 10; ++i) m.observe(50.0);
+  EXPECT_NEAR(m.ewma(), 50.0, 0.1);
+  for (int i = 0; i < 30; ++i) m.observe(100.0);
+  EXPECT_NEAR(m.ewma(), 100.0, 2.0);
+}
+
+TEST(Monitor, SingleOutlierDoesNotTrip) {
+  DriftMonitor m(50.0, 200.0, quick());
+  for (int i = 0; i < 10; ++i) m.observe(50.0);
+  m.observe(100.0);  // one spike, alpha 0.2 -> ewma = 60 < 1.25*50 = 62.5
+  EXPECT_EQ(m.verdict(), DriftVerdict::Healthy);
+}
+
+TEST(Monitor, ResetReArms) {
+  DriftMonitor m(50.0, 200.0, quick());
+  for (int i = 0; i < 10; ++i) m.observe(80.0);
+  EXPECT_TRUE(m.should_reconfigure());
+  m.reset(80.0);
+  EXPECT_EQ(m.observations(), 0u);
+  EXPECT_EQ(m.verdict(), DriftVerdict::Healthy);
+  for (int i = 0; i < 10; ++i) m.observe(80.0);
+  EXPECT_FALSE(m.should_reconfigure());
+}
+
+TEST(Monitor, RejectsNonPositiveObservation) {
+  DriftMonitor m(50.0, 200.0);
+  EXPECT_THROW(m.observe(0.0), support::ContractViolation);
+}
+
+}  // namespace
+}  // namespace aarc::adaptive

@@ -1,0 +1,78 @@
+#include "baselines/bo/acquisition.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace aarc::baselines {
+namespace {
+
+TEST(NormalFunctions, PdfPeakAtZero) {
+  EXPECT_NEAR(normal_pdf(0.0), 1.0 / std::sqrt(2.0 * 3.14159265358979), 1e-6);
+  EXPECT_GT(normal_pdf(0.0), normal_pdf(1.0));
+  EXPECT_DOUBLE_EQ(normal_pdf(2.0), normal_pdf(-2.0));
+}
+
+TEST(NormalFunctions, CdfKnownValues) {
+  EXPECT_DOUBLE_EQ(normal_cdf(0.0), 0.5);
+  EXPECT_NEAR(normal_cdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.025, 1e-3);
+  EXPECT_NEAR(normal_cdf(5.0), 1.0, 1e-6);
+}
+
+TEST(ExpectedImprovement, ZeroVarianceBelowBest) {
+  // Deterministic prediction below best: improvement is exact.
+  GpPrediction p{3.0, 0.0};
+  EXPECT_DOUBLE_EQ(expected_improvement(p, 5.0), 2.0);
+}
+
+TEST(ExpectedImprovement, ZeroVarianceAboveBest) {
+  GpPrediction p{7.0, 0.0};
+  EXPECT_DOUBLE_EQ(expected_improvement(p, 5.0), 0.0);
+}
+
+TEST(ExpectedImprovement, AlwaysNonNegative) {
+  for (double mean : {-2.0, 0.0, 3.0, 10.0}) {
+    for (double var : {0.0, 0.5, 4.0}) {
+      EXPECT_GE(expected_improvement({mean, var}, 1.0), 0.0);
+    }
+  }
+}
+
+TEST(ExpectedImprovement, GrowsWithUncertaintyAtEqualMean) {
+  // Mean equals best: only uncertainty creates improvement potential.
+  const double lo = expected_improvement({5.0, 0.01}, 5.0);
+  const double hi = expected_improvement({5.0, 1.0}, 5.0);
+  EXPECT_GT(hi, lo);
+}
+
+TEST(ExpectedImprovement, PrefersLowerMeanAtEqualVariance) {
+  const double better = expected_improvement({2.0, 1.0}, 5.0);
+  const double worse = expected_improvement({4.0, 1.0}, 5.0);
+  EXPECT_GT(better, worse);
+}
+
+TEST(ExpectedImprovement, XiShrinksGreedyImprovement) {
+  const double plain = expected_improvement({3.0, 0.25}, 5.0, 0.0);
+  const double explored = expected_improvement({3.0, 0.25}, 5.0, 1.0);
+  EXPECT_GT(plain, explored);
+}
+
+TEST(ExpectedImprovement, MatchesClosedFormAtKnownPoint) {
+  // mu=0, sigma=1, best=0: EI = phi(0) = 1/sqrt(2 pi).
+  EXPECT_NEAR(expected_improvement({0.0, 1.0}, 0.0), normal_pdf(0.0), 1e-12);
+}
+
+TEST(Lcb, HigherVarianceScoresBetter) {
+  const double certain = negative_lower_confidence_bound({5.0, 0.0}, 2.0);
+  const double uncertain = negative_lower_confidence_bound({5.0, 4.0}, 2.0);
+  EXPECT_GT(uncertain, certain);
+}
+
+TEST(Lcb, LowerMeanScoresBetter) {
+  EXPECT_GT(negative_lower_confidence_bound({1.0, 1.0}),
+            negative_lower_confidence_bound({3.0, 1.0}));
+}
+
+}  // namespace
+}  // namespace aarc::baselines

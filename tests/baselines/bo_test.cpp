@@ -1,0 +1,154 @@
+#include "baselines/bo/bo_optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "perf/analytic.h"
+#include "platform/executor.h"
+#include "support/contracts.h"
+
+namespace aarc::baselines {
+namespace {
+
+std::unique_ptr<perf::PerfModel> fn(double serial) {
+  perf::AnalyticParams p;
+  p.io_seconds = 1.0;
+  p.serial_seconds = serial;
+  p.max_parallelism = 1.0;
+  p.working_set_mb = 256.0;
+  p.min_memory_mb = 128.0;
+  p.pressure_coeff = 2.0;
+  return std::make_unique<perf::AnalyticModel>(p);
+}
+
+platform::Workflow pair() {
+  platform::Workflow wf("pair");
+  wf.add_function("a", fn(8.0));
+  wf.add_function("b", fn(6.0));
+  wf.add_edge("a", "b");
+  return wf;
+}
+
+BoOptions quick_options() {
+  BoOptions opts;
+  opts.max_samples = 30;
+  opts.init_samples = 6;
+  opts.candidate_pool = 64;
+  opts.local_candidates = 16;
+  return opts;
+}
+
+TEST(BayesianOptimization, UsesExactlyMaxSamples) {
+  const platform::Workflow wf = pair();
+  const platform::Executor ex;
+  search::Evaluator ev(wf, ex, 100.0, 1.0, 1);
+  const auto result = bayesian_optimization(ev, platform::ConfigGrid{}, quick_options());
+  EXPECT_EQ(result.samples(), 30u);
+}
+
+TEST(BayesianOptimization, FindsAFeasibleConfig) {
+  const platform::Workflow wf = pair();
+  const platform::Executor ex;
+  search::Evaluator ev(wf, ex, 100.0, 1.0, 1);
+  const auto result = bayesian_optimization(ev, platform::ConfigGrid{}, quick_options());
+  ASSERT_TRUE(result.found_feasible);
+  ASSERT_EQ(result.best_config.size(), 2u);
+  EXPECT_FALSE(ex.execute_mean(wf, result.best_config).failed);
+  EXPECT_LE(ex.execute_mean(wf, result.best_config).makespan, 100.0 * 1.05);
+}
+
+TEST(BayesianOptimization, BestConfigBeatsWorstFeasibleProbe) {
+  const platform::Workflow wf = pair();
+  const platform::Executor ex;
+  search::Evaluator ev(wf, ex, 100.0, 1.0, 1);
+  const auto result = bayesian_optimization(ev, platform::ConfigGrid{}, quick_options());
+  double worst = 0.0;
+  double best = 1e18;
+  for (const auto& s : result.trace.samples()) {
+    if (!s.feasible) continue;
+    worst = std::max(worst, s.cost);
+    best = std::min(best, s.cost);
+  }
+  EXPECT_LT(best, worst);
+  const auto idx = result.trace.best_feasible_index();
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_DOUBLE_EQ(result.trace.samples()[*idx].cost, best);
+}
+
+TEST(BayesianOptimization, ProbesStayOnTheGrid) {
+  const platform::Workflow wf = pair();
+  const platform::Executor ex;
+  const platform::ConfigGrid grid;
+  search::Evaluator ev(wf, ex, 100.0, 1.0, 2);
+  const auto result = bayesian_optimization(ev, grid, quick_options());
+  for (const auto& s : result.trace.samples()) {
+    for (const auto& rc : s.config) EXPECT_TRUE(grid.contains(rc));
+  }
+}
+
+TEST(BayesianOptimization, DeterministicForSeeds) {
+  const platform::Workflow wf = pair();
+  const platform::Executor ex;
+  search::Evaluator ev1(wf, ex, 100.0, 1.0, 3);
+  search::Evaluator ev2(wf, ex, 100.0, 1.0, 3);
+  const auto r1 = bayesian_optimization(ev1, platform::ConfigGrid{}, quick_options());
+  const auto r2 = bayesian_optimization(ev2, platform::ConfigGrid{}, quick_options());
+  ASSERT_EQ(r1.samples(), r2.samples());
+  for (std::size_t i = 0; i < r1.samples(); ++i) {
+    EXPECT_EQ(r1.trace.samples()[i].config, r2.trace.samples()[i].config);
+  }
+}
+
+TEST(BayesianOptimization, TightSloYieldsNoFeasibleConfig) {
+  const platform::Workflow wf = pair();
+  const platform::Executor ex;
+  search::Evaluator ev(wf, ex, 0.5, 1.0, 4);  // impossible SLO
+  const auto result = bayesian_optimization(ev, platform::ConfigGrid{}, quick_options());
+  EXPECT_FALSE(result.found_feasible);
+  EXPECT_TRUE(result.best_config.empty());
+}
+
+TEST(BayesianOptimization, RejectsBadOptions) {
+  const platform::Workflow wf = pair();
+  const platform::Executor ex;
+  search::Evaluator ev(wf, ex, 100.0, 1.0, 5);
+  BoOptions opts = quick_options();
+  opts.init_samples = 40;  // > max_samples
+  EXPECT_THROW(bayesian_optimization(ev, platform::ConfigGrid{}, opts),
+               support::ContractViolation);
+  opts = quick_options();
+  opts.init_samples = 1;
+  EXPECT_THROW(bayesian_optimization(ev, platform::ConfigGrid{}, opts),
+               support::ContractViolation);
+}
+
+TEST(BayesianOptimization, RbfKernelVariantRuns) {
+  const platform::Workflow wf = pair();
+  const platform::Executor ex;
+  search::Evaluator ev(wf, ex, 100.0, 1.0, 6);
+  BoOptions opts = quick_options();
+  opts.kernel = KernelChoice::Rbf;
+  const auto result = bayesian_optimization(ev, platform::ConfigGrid{}, opts);
+  EXPECT_EQ(result.samples(), opts.max_samples);
+}
+
+TEST(BayesianOptimization, ImprovesOverInitialDesign) {
+  // The model-guided phase should find something at least as cheap as the
+  // best random initial sample (almost surely strictly cheaper).
+  const platform::Workflow wf = pair();
+  const platform::Executor ex;
+  BoOptions opts = quick_options();
+  opts.max_samples = 40;
+  search::Evaluator ev(wf, ex, 100.0, 1.0, 7);
+  const auto result = bayesian_optimization(ev, platform::ConfigGrid{}, opts);
+  double best_init = 1e18;
+  for (std::size_t i = 0; i < opts.init_samples; ++i) {
+    const auto& s = result.trace.samples()[i];
+    if (s.feasible) best_init = std::min(best_init, s.cost);
+  }
+  const auto idx = result.trace.best_feasible_index();
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_LE(result.trace.samples()[*idx].cost, best_init);
+}
+
+}  // namespace
+}  // namespace aarc::baselines

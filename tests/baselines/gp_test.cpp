@@ -1,0 +1,129 @@
+#include "baselines/bo/gp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/contracts.h"
+
+namespace aarc::baselines {
+namespace {
+
+GaussianProcess make_gp(double noise = 1e-6) {
+  return GaussianProcess(std::make_unique<RbfKernel>(1.0, 0.3), noise);
+}
+
+TEST(GaussianProcess, RequiresKernel) {
+  EXPECT_THROW(GaussianProcess(nullptr), support::ContractViolation);
+}
+
+TEST(GaussianProcess, RequiresPositiveNoise) {
+  EXPECT_THROW(GaussianProcess(std::make_unique<RbfKernel>(1.0, 0.3), 0.0),
+               support::ContractViolation);
+}
+
+TEST(GaussianProcess, PredictBeforeFitThrows) {
+  const GaussianProcess gp = make_gp();
+  EXPECT_THROW(gp.predict({0.5}), support::ContractViolation);
+}
+
+TEST(GaussianProcess, FitRejectsInconsistentShapes) {
+  GaussianProcess gp = make_gp();
+  EXPECT_THROW(gp.fit({{0.1}, {0.2, 0.3}}, {1.0, 2.0}), support::ContractViolation);
+  EXPECT_THROW(gp.fit({{0.1}}, {1.0, 2.0}), support::ContractViolation);
+  EXPECT_THROW(gp.fit({}, {}), support::ContractViolation);
+}
+
+TEST(GaussianProcess, InterpolatesTrainingPoints) {
+  GaussianProcess gp = make_gp();
+  const std::vector<std::vector<double>> x{{0.0}, {0.5}, {1.0}};
+  const std::vector<double> y{1.0, 3.0, 2.0};
+  gp.fit(x, y);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const auto p = gp.predict(x[i]);
+    EXPECT_NEAR(p.mean, y[i], 1e-3);
+    EXPECT_LT(p.variance, 1e-3);
+  }
+}
+
+TEST(GaussianProcess, UncertaintyGrowsAwayFromData) {
+  GaussianProcess gp = make_gp();
+  gp.fit({{0.0}, {0.2}}, {1.0, 2.0});
+  const double var_near = gp.predict({0.1}).variance;
+  const double var_far = gp.predict({3.0}).variance;
+  EXPECT_GT(var_far, var_near);
+}
+
+TEST(GaussianProcess, FarFromDataRevertsToPriorMean) {
+  GaussianProcess gp = make_gp();
+  gp.fit({{0.0}, {0.1}}, {10.0, 12.0});
+  // Standardized prior mean 0 maps back to the target mean (11).
+  EXPECT_NEAR(gp.predict({50.0}).mean, 11.0, 0.1);
+}
+
+TEST(GaussianProcess, VarianceIsNeverNegative) {
+  GaussianProcess gp = make_gp(1e-4);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 30; ++i) {
+    x.push_back({i / 30.0});
+    y.push_back(std::sin(i / 5.0));
+  }
+  gp.fit(x, y);
+  for (double q = -0.5; q <= 1.5; q += 0.05) {
+    EXPECT_GE(gp.predict({q}).variance, 0.0);
+  }
+}
+
+TEST(GaussianProcess, ConstantTargetsHandled) {
+  // Degenerate y (zero variance) must not divide by zero.
+  GaussianProcess gp = make_gp();
+  gp.fit({{0.0}, {0.5}, {1.0}}, {4.0, 4.0, 4.0});
+  EXPECT_NEAR(gp.predict({0.25}).mean, 4.0, 1e-6);
+}
+
+TEST(GaussianProcess, PredictRejectsWrongDimension) {
+  GaussianProcess gp = make_gp();
+  gp.fit({{0.0, 0.0}}, {1.0});
+  EXPECT_THROW(gp.predict({0.5}), support::ContractViolation);
+}
+
+TEST(GaussianProcess, LogMarginalLikelihoodPrefersTrueLengthscale) {
+  // Data sampled from a smooth function: a mid lengthscale should beat a
+  // tiny one on marginal likelihood.
+  GaussianProcess smooth(std::make_unique<RbfKernel>(1.0, 0.3), 1e-4);
+  GaussianProcess wiggly(std::make_unique<RbfKernel>(1.0, 0.01), 1e-4);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i <= 20; ++i) {
+    x.push_back({i / 20.0});
+    y.push_back(std::sin(3.0 * i / 20.0));
+  }
+  smooth.fit(x, y);
+  wiggly.fit(x, y);
+  EXPECT_GT(smooth.log_marginal_likelihood(), wiggly.log_marginal_likelihood());
+}
+
+TEST(GaussianProcess, SelectLengthscalePicksBestCandidate) {
+  GaussianProcess gp(std::make_unique<RbfKernel>(1.0, 0.01), 1e-4);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i <= 20; ++i) {
+    x.push_back({i / 20.0});
+    y.push_back(std::sin(3.0 * i / 20.0));
+  }
+  gp.fit(x, y);
+  const double before = gp.log_marginal_likelihood();
+  gp.select_lengthscale({0.01, 0.1, 0.3, 0.8});
+  EXPECT_GE(gp.log_marginal_likelihood(), before - 1e-9);
+}
+
+TEST(GaussianProcess, WorksWithMatern) {
+  GaussianProcess gp(std::make_unique<Matern52Kernel>(1.0, 0.3), 1e-6);
+  gp.fit({{0.0}, {1.0}}, {0.0, 1.0});
+  EXPECT_NEAR(gp.predict({0.0}).mean, 0.0, 1e-3);
+  EXPECT_NEAR(gp.predict({1.0}).mean, 1.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace aarc::baselines

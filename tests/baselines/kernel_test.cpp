@@ -1,0 +1,93 @@
+#include "baselines/bo/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/contracts.h"
+
+namespace aarc::baselines {
+namespace {
+
+TEST(RbfKernel, UnitAtZeroDistance) {
+  const RbfKernel k(2.0, 0.5);
+  EXPECT_DOUBLE_EQ(k({0.3, 0.7}, {0.3, 0.7}), 2.0);
+}
+
+TEST(RbfKernel, KnownValue) {
+  const RbfKernel k(1.0, 1.0);
+  // r^2 = 1 -> exp(-0.5).
+  EXPECT_NEAR(k({0.0}, {1.0}), std::exp(-0.5), 1e-12);
+}
+
+TEST(RbfKernel, DecaysWithDistance) {
+  const RbfKernel k(1.0, 0.3);
+  const std::vector<double> origin{0.0, 0.0};
+  double prev = k(origin, origin);
+  for (double d = 0.1; d <= 1.0; d += 0.1) {
+    const double v = k(origin, {d, 0.0});
+    EXPECT_LT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(RbfKernel, IsSymmetric) {
+  const RbfKernel k(1.5, 0.4);
+  EXPECT_DOUBLE_EQ(k({0.1, 0.9}, {0.8, 0.2}), k({0.8, 0.2}, {0.1, 0.9}));
+}
+
+TEST(RbfKernel, RejectsBadHyperparams) {
+  EXPECT_THROW(RbfKernel(0.0, 1.0), support::ContractViolation);
+  EXPECT_THROW(RbfKernel(1.0, 0.0), support::ContractViolation);
+}
+
+TEST(RbfKernel, RejectsDimensionMismatch) {
+  const RbfKernel k(1.0, 1.0);
+  EXPECT_THROW(k({1.0}, {1.0, 2.0}), support::ContractViolation);
+}
+
+TEST(RbfKernel, LengthscaleRebuild) {
+  const RbfKernel k(1.0, 0.2);
+  const auto wider = k.with_lengthscale(0.8);
+  EXPECT_DOUBLE_EQ(wider->lengthscale(), 0.8);
+  // Wider lengthscale -> higher correlation at the same distance.
+  EXPECT_GT((*wider)({0.0}, {0.5}), k({0.0}, {0.5}));
+}
+
+TEST(Matern52Kernel, UnitAtZeroDistance) {
+  const Matern52Kernel k(3.0, 0.5);
+  EXPECT_DOUBLE_EQ(k({0.1}, {0.1}), 3.0);
+}
+
+TEST(Matern52Kernel, KnownValue) {
+  const Matern52Kernel k(1.0, 1.0);
+  const double r = 1.0;
+  const double s = std::sqrt(5.0) * r;
+  EXPECT_NEAR(k({0.0}, {1.0}), (1.0 + s + s * s / 3.0) * std::exp(-s), 1e-12);
+}
+
+TEST(Matern52Kernel, DecaysMonotonically) {
+  const Matern52Kernel k(1.0, 0.3);
+  double prev = k({0.0}, {0.0});
+  for (double d = 0.1; d <= 2.0; d += 0.1) {
+    const double v = k({0.0}, {d});
+    EXPECT_LT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Matern52Kernel, HeavierTailsThanRbf) {
+  // At large distance the Matern kernel keeps more correlation than RBF.
+  const Matern52Kernel matern(1.0, 0.2);
+  const RbfKernel rbf(1.0, 0.2);
+  EXPECT_GT(matern({0.0}, {1.0}), rbf({0.0}, {1.0}));
+}
+
+TEST(Matern52Kernel, CloneIsEquivalent) {
+  const Matern52Kernel k(1.0, 0.4);
+  const auto c = k.clone();
+  EXPECT_DOUBLE_EQ((*c)({0.2, 0.3}, {0.7, 0.1}), k({0.2, 0.3}, {0.7, 0.1}));
+}
+
+}  // namespace
+}  // namespace aarc::baselines

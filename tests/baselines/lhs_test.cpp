@@ -1,0 +1,69 @@
+#include "baselines/bo/lhs.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "support/contracts.h"
+
+namespace aarc::baselines {
+namespace {
+
+TEST(LatinHypercube, ShapeIsCorrect) {
+  support::Rng rng(1);
+  const auto pts = latin_hypercube(8, 3, rng);
+  ASSERT_EQ(pts.size(), 8u);
+  for (const auto& p : pts) EXPECT_EQ(p.size(), 3u);
+}
+
+TEST(LatinHypercube, PointsInUnitCube) {
+  support::Rng rng(2);
+  for (const auto& p : latin_hypercube(20, 5, rng)) {
+    for (double v : p) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LT(v, 1.0);
+    }
+  }
+}
+
+TEST(LatinHypercube, OnePointPerStratumPerDimension) {
+  support::Rng rng(3);
+  const std::size_t n = 10;
+  const auto pts = latin_hypercube(n, 2, rng);
+  for (std::size_t d = 0; d < 2; ++d) {
+    std::vector<bool> stratum_hit(n, false);
+    for (const auto& p : pts) {
+      const auto s = static_cast<std::size_t>(p[d] * static_cast<double>(n));
+      EXPECT_FALSE(stratum_hit[s]) << "two points in stratum " << s;
+      stratum_hit[s] = true;
+    }
+    EXPECT_TRUE(std::all_of(stratum_hit.begin(), stratum_hit.end(), [](bool b) { return b; }));
+  }
+}
+
+TEST(LatinHypercube, DeterministicForSeed) {
+  support::Rng a(4);
+  support::Rng b(4);
+  EXPECT_EQ(latin_hypercube(5, 2, a), latin_hypercube(5, 2, b));
+}
+
+TEST(LatinHypercube, DifferentSeedsDiffer) {
+  support::Rng a(4);
+  support::Rng b(5);
+  EXPECT_NE(latin_hypercube(5, 2, a), latin_hypercube(5, 2, b));
+}
+
+TEST(LatinHypercube, RejectsDegenerateArguments) {
+  support::Rng rng(6);
+  EXPECT_THROW(latin_hypercube(0, 2, rng), support::ContractViolation);
+  EXPECT_THROW(latin_hypercube(2, 0, rng), support::ContractViolation);
+}
+
+TEST(LatinHypercube, SinglePointIsAnywhereInCube) {
+  support::Rng rng(7);
+  const auto pts = latin_hypercube(1, 4, rng);
+  ASSERT_EQ(pts.size(), 1u);
+}
+
+}  // namespace
+}  // namespace aarc::baselines

@@ -1,0 +1,140 @@
+#include "baselines/bo/linalg.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/contracts.h"
+
+namespace aarc::baselines {
+namespace {
+
+Matrix spd3() {
+  // A = B B^T for B = [[2,0,0],[1,3,0],[0,1,1]]: guaranteed SPD.
+  Matrix a(3, 3);
+  const double b[3][3] = {{2, 0, 0}, {1, 3, 0}, {0, 1, 1}};
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < 3; ++k) acc += b[i][k] * b[j][k];
+      a.at(i, j) = acc;
+    }
+  }
+  return a;
+}
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 1.5);
+  m.at(0, 0) = 7.0;
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 7.0);
+}
+
+TEST(Matrix, RejectsZeroDimensions) {
+  EXPECT_THROW(Matrix(0, 3), support::ContractViolation);
+}
+
+TEST(Matrix, RejectsOutOfRangeAccess) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), support::ContractViolation);
+  EXPECT_THROW(m.at(0, 2), support::ContractViolation);
+}
+
+TEST(Matrix, MultiplyVector) {
+  Matrix m(2, 3);
+  m.at(0, 0) = 1;
+  m.at(0, 1) = 2;
+  m.at(0, 2) = 3;
+  m.at(1, 0) = 4;
+  m.at(1, 1) = 5;
+  m.at(1, 2) = 6;
+  const auto y = m.multiply({1.0, 1.0, 1.0});
+  EXPECT_EQ(y, (std::vector<double>{6.0, 15.0}));
+}
+
+TEST(Matrix, MultiplyRejectsSizeMismatch) {
+  Matrix m(2, 3);
+  EXPECT_THROW(m.multiply({1.0, 2.0}), support::ContractViolation);
+}
+
+TEST(Cholesky, RecoversKnownFactor) {
+  const Matrix l = cholesky(spd3(), 0.0);
+  // The factor of B B^T is B itself (for lower-triangular positive B).
+  const double expected[3][3] = {{2, 0, 0}, {1, 3, 0}, {0, 1, 1}};
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(l.at(i, j), expected[i][j], 1e-9) << i << "," << j;
+    }
+  }
+}
+
+TEST(Cholesky, RejectsNonSquare) {
+  EXPECT_THROW(cholesky(Matrix(2, 3)), support::ContractViolation);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 2.0;
+  a.at(1, 1) = 1.0;  // eigenvalues 3, -1
+  EXPECT_THROW(cholesky(a, 0.0), support::ContractViolation);
+}
+
+TEST(Cholesky, JitterRescuesNearSingular) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 1.0;  // rank 1
+  EXPECT_NO_THROW(cholesky(a, 1e-6));
+}
+
+TEST(TriangularSolves, RoundTrip) {
+  const Matrix a = spd3();
+  const Matrix l = cholesky(a, 0.0);
+  const std::vector<double> x_true{1.0, -2.0, 3.0};
+  const std::vector<double> b = a.multiply(x_true);
+  const auto x = cholesky_solve(l, b);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST(TriangularSolves, LowerThenTranspose) {
+  const Matrix l = cholesky(spd3(), 0.0);
+  const std::vector<double> b{1.0, 2.0, 3.0};
+  const auto y = solve_lower(l, b);
+  // L y = b.
+  for (std::size_t i = 0; i < 3; ++i) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k <= i; ++k) acc += l.at(i, k) * y[k];
+    EXPECT_NEAR(acc, b[i], 1e-9);
+  }
+  const auto x = solve_lower_transpose(l, y);
+  // L^T x = y.
+  for (std::size_t i = 0; i < 3; ++i) {
+    double acc = 0.0;
+    for (std::size_t k = i; k < 3; ++k) acc += l.at(k, i) * x[k];
+    EXPECT_NEAR(acc, y[i], 1e-9);
+  }
+}
+
+TEST(TriangularSolves, RejectSizeMismatch) {
+  const Matrix l = cholesky(spd3(), 0.0);
+  EXPECT_THROW(solve_lower(l, {1.0, 2.0}), support::ContractViolation);
+  EXPECT_THROW(solve_lower_transpose(l, {1.0}), support::ContractViolation);
+}
+
+TEST(Dot, BasicAndMismatch) {
+  EXPECT_DOUBLE_EQ(dot({1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}), 32.0);
+  EXPECT_THROW(dot({1.0}, {1.0, 2.0}), support::ContractViolation);
+}
+
+TEST(LogDiagonalSum, MatchesHandComputation) {
+  const Matrix l = cholesky(spd3(), 0.0);
+  EXPECT_NEAR(log_diagonal_sum(l), std::log(2.0) + std::log(3.0) + std::log(1.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace aarc::baselines

@@ -1,0 +1,154 @@
+#include "baselines/maff/maff.h"
+
+#include <gtest/gtest.h>
+
+#include "perf/analytic.h"
+#include "platform/executor.h"
+#include "support/contracts.h"
+
+namespace aarc::baselines {
+namespace {
+
+std::unique_ptr<perf::PerfModel> fn(double serial, double parallel, double max_par) {
+  perf::AnalyticParams p;
+  p.io_seconds = 1.0;
+  p.serial_seconds = serial;
+  p.parallel_seconds = parallel;
+  p.max_parallelism = max_par;
+  p.working_set_mb = 400.0;
+  p.min_memory_mb = 192.0;
+  p.pressure_coeff = 3.0;
+  return std::make_unique<perf::AnalyticModel>(p);
+}
+
+platform::Workflow pair() {
+  platform::Workflow wf("pair");
+  wf.add_function("a", fn(6.0, 0.0, 1.0));
+  wf.add_function("b", fn(4.0, 16.0, 4.0));
+  wf.add_edge("a", "b");
+  return wf;
+}
+
+TEST(Maff, EveryProbeIsOnTheCouplingDiagonal) {
+  const platform::Workflow wf = pair();
+  const platform::Executor ex;
+  const platform::ConfigGrid grid;
+  search::Evaluator ev(wf, ex, 100.0, 1.0, 1);
+  const auto result = maff_gradient_descent(ev, grid);
+  for (const auto& s : result.trace.samples()) {
+    for (const auto& rc : s.config) {
+      EXPECT_DOUBLE_EQ(rc.vcpu, grid.coupled_vcpu_for_memory(rc.memory_mb))
+          << platform::to_string(rc);
+    }
+  }
+}
+
+TEST(Maff, FindsAFeasibleCheaperConfig) {
+  const platform::Workflow wf = pair();
+  const platform::Executor ex;
+  const platform::ConfigGrid grid;
+  search::Evaluator ev(wf, ex, 100.0, 1.0, 2);
+  const auto result = maff_gradient_descent(ev, grid);
+  ASSERT_TRUE(result.found_feasible);
+  const double start_cost = result.trace.samples().front().cost;
+  const auto idx = result.trace.best_feasible_index();
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_LT(result.trace.samples()[*idx].cost, start_cost);
+}
+
+TEST(Maff, MemoryOnlyDecreases) {
+  const platform::Workflow wf = pair();
+  const platform::Executor ex;
+  search::Evaluator ev(wf, ex, 100.0, 1.0, 3);
+  const auto result = maff_gradient_descent(ev, platform::ConfigGrid{});
+  for (const auto& s : result.trace.samples()) {
+    for (const auto& rc : s.config) EXPECT_LE(rc.memory_mb, 10240.0);
+  }
+  // The final best config is below the starting point on every function.
+  ASSERT_TRUE(result.found_feasible);
+  for (const auto& rc : result.best_config) EXPECT_LT(rc.memory_mb, 10240.0);
+}
+
+TEST(Maff, RespectsSampleCap) {
+  const platform::Workflow wf = pair();
+  const platform::Executor ex;
+  MaffOptions opts;
+  opts.max_samples = 5;
+  search::Evaluator ev(wf, ex, 100.0, 1.0, 4);
+  const auto result = maff_gradient_descent(ev, platform::ConfigGrid{}, opts);
+  EXPECT_LE(result.samples(), 5u);
+}
+
+TEST(Maff, UsesFewSamplesOverall) {
+  // MAFF's coupled knob keeps the search space tiny (Fig. 5's story).
+  const platform::Workflow wf = pair();
+  const platform::Executor ex;
+  search::Evaluator ev(wf, ex, 100.0, 1.0, 5);
+  const auto result = maff_gradient_descent(ev, platform::ConfigGrid{});
+  EXPECT_LE(result.samples(), 40u);
+}
+
+TEST(Maff, InfeasibleStartTerminatesQuickly) {
+  const platform::Workflow wf = pair();
+  const platform::Executor ex;
+  search::Evaluator ev(wf, ex, 0.5, 1.0, 6);  // impossible SLO
+  const auto result = maff_gradient_descent(ev, platform::ConfigGrid{});
+  EXPECT_FALSE(result.found_feasible);
+  EXPECT_LE(result.samples(), 2u);
+}
+
+TEST(Maff, SloViolationTerminatesTheFunctionDescent) {
+  // Tight-but-feasible SLO: descent must stop above the violating memory.
+  const platform::Workflow wf = pair();
+  const platform::Executor ex;
+  const double slo = 20.0;  // base makespan ~16 at 10 vCPU
+  search::Evaluator ev(wf, ex, slo, 1.0, 7);
+  const auto result = maff_gradient_descent(ev, platform::ConfigGrid{});
+  ASSERT_TRUE(result.found_feasible);
+  EXPECT_LE(ex.execute_mean(wf, result.best_config).makespan, slo * 1.05);
+}
+
+TEST(Maff, DeterministicForSeed) {
+  const platform::Workflow wf = pair();
+  const platform::Executor ex;
+  search::Evaluator ev1(wf, ex, 100.0, 1.0, 8);
+  search::Evaluator ev2(wf, ex, 100.0, 1.0, 8);
+  const auto r1 = maff_gradient_descent(ev1, platform::ConfigGrid{});
+  const auto r2 = maff_gradient_descent(ev2, platform::ConfigGrid{});
+  ASSERT_EQ(r1.samples(), r2.samples());
+  for (std::size_t i = 0; i < r1.samples(); ++i) {
+    EXPECT_EQ(r1.trace.samples()[i].config, r2.trace.samples()[i].config);
+  }
+}
+
+TEST(Maff, RejectsBadOptions) {
+  const platform::Workflow wf = pair();
+  const platform::Executor ex;
+  search::Evaluator ev(wf, ex, 100.0, 1.0, 9);
+  MaffOptions opts;
+  opts.mb_per_vcpu = 0.0;
+  EXPECT_THROW(maff_gradient_descent(ev, platform::ConfigGrid{}, opts),
+               support::ContractViolation);
+  opts = MaffOptions{};
+  opts.initial_step_mb = 32.0;  // below min step
+  EXPECT_THROW(maff_gradient_descent(ev, platform::ConfigGrid{}, opts),
+               support::ContractViolation);
+}
+
+TEST(Maff, CustomCouplingRatioRespected) {
+  const platform::Workflow wf = pair();
+  const platform::Executor ex;
+  const platform::ConfigGrid grid;
+  MaffOptions opts;
+  opts.mb_per_vcpu = 2048.0;
+  search::Evaluator ev(wf, ex, 100.0, 1.0, 10);
+  const auto result = maff_gradient_descent(ev, grid, opts);
+  for (const auto& s : result.trace.samples()) {
+    for (const auto& rc : s.config) {
+      EXPECT_DOUBLE_EQ(rc.vcpu, grid.coupled_vcpu_for_memory(rc.memory_mb, 2048.0));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aarc::baselines

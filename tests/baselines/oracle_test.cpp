@@ -1,0 +1,129 @@
+#include "baselines/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "perf/analytic.h"
+#include "support/contracts.h"
+
+namespace aarc::baselines {
+namespace {
+
+std::unique_ptr<perf::PerfModel> fn(double serial, double parallel, double max_par,
+                                    double ws = 400.0, double min_mem = 192.0) {
+  perf::AnalyticParams p;
+  p.io_seconds = 1.0;
+  p.serial_seconds = serial;
+  p.parallel_seconds = parallel;
+  p.max_parallelism = max_par;
+  p.working_set_mb = ws;
+  p.min_memory_mb = min_mem;
+  p.pressure_coeff = 3.0;
+  return std::make_unique<perf::AnalyticModel>(p);
+}
+
+platform::Workflow pair() {
+  platform::Workflow wf("pair");
+  wf.add_function("a", fn(6.0, 0.0, 1.0));
+  wf.add_function("b", fn(2.0, 16.0, 4.0));
+  wf.add_edge("a", "b");
+  return wf;
+}
+
+/// Small grid keeps the exhaustive scan fast in tests.
+platform::ConfigGrid small_grid() {
+  return platform::ConfigGrid(support::ValueGrid(0.5, 4.0, 0.5),
+                              support::ValueGrid(256.0, 2048.0, 256.0));
+}
+
+TEST(Oracle, FindsFeasibleConfigOnGrid) {
+  const platform::Workflow wf = pair();
+  const platform::Executor ex;
+  const auto grid = small_grid();
+  const auto result = oracle_search(wf, ex, grid, 60.0);
+  ASSERT_TRUE(result.feasible);
+  for (const auto& rc : result.config) EXPECT_TRUE(grid.contains(rc));
+  EXPECT_LE(result.mean_makespan, 60.0);
+  EXPECT_GT(result.evaluations, 0u);
+  EXPECT_GE(result.passes, 1u);
+}
+
+TEST(Oracle, BeatsOrMatchesEveryUniformConfig) {
+  // The oracle's cost must be <= the best uniform configuration on the
+  // grid (uniform configs are a subset of its search space reachable by
+  // coordinate descent from the base).
+  const platform::Workflow wf = pair();
+  const platform::Executor ex;
+  const auto grid = small_grid();
+  const double slo = 60.0;
+  const auto result = oracle_search(wf, ex, grid, slo);
+  ASSERT_TRUE(result.feasible);
+
+  double best_uniform = std::numeric_limits<double>::infinity();
+  for (double cpu : grid.cpu().values()) {
+    for (double mem : grid.memory().values()) {
+      const auto cfg = platform::uniform_config(2, {cpu, mem});
+      const auto run = ex.execute_mean(wf, cfg);
+      if (run.failed || run.makespan > slo) continue;
+      best_uniform = std::min(best_uniform, run.total_cost);
+    }
+  }
+  EXPECT_LE(result.mean_cost, best_uniform + 1e-9);
+}
+
+TEST(Oracle, RespectsTheSloConstraint) {
+  const platform::Workflow wf = pair();
+  const platform::Executor ex;
+  // Tight but feasible: base makespan ~ 1+6 + 1+2+4 = 14.
+  const auto result = oracle_search(wf, ex, small_grid(), 16.0);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_LE(result.mean_makespan, 16.0);
+}
+
+TEST(Oracle, InfeasibleSloReported) {
+  const platform::Workflow wf = pair();
+  const platform::Executor ex;
+  const auto result = oracle_search(wf, ex, small_grid(), 1.0);
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST(Oracle, MarginTightensTheConstraint) {
+  const platform::Workflow wf = pair();
+  const platform::Executor ex;
+  OracleOptions opts;
+  opts.slo_margin = 0.2;
+  const auto result = oracle_search(wf, ex, small_grid(), 30.0, 1.0, opts);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_LE(result.mean_makespan, 30.0 * 0.8 + 1e-9);
+}
+
+TEST(Oracle, CheaperSloMeansCheaperConfig) {
+  // Loosening the SLO can only reduce (or keep) the optimal cost.
+  const platform::Workflow wf = pair();
+  const platform::Executor ex;
+  const auto tight = oracle_search(wf, ex, small_grid(), 16.0);
+  const auto loose = oracle_search(wf, ex, small_grid(), 120.0);
+  ASSERT_TRUE(tight.feasible && loose.feasible);
+  EXPECT_LE(loose.mean_cost, tight.mean_cost + 1e-9);
+}
+
+TEST(Oracle, InputScaleShiftsTheOptimum) {
+  const platform::Workflow wf = pair();
+  const platform::Executor ex;
+  const auto small = oracle_search(wf, ex, small_grid(), 120.0, 0.5);
+  const auto big = oracle_search(wf, ex, small_grid(), 120.0, 2.0);
+  ASSERT_TRUE(small.feasible && big.feasible);
+  EXPECT_LT(small.mean_cost, big.mean_cost);
+}
+
+TEST(Oracle, RejectsBadArguments) {
+  const platform::Workflow wf = pair();
+  const platform::Executor ex;
+  EXPECT_THROW(oracle_search(wf, ex, small_grid(), 0.0), support::ContractViolation);
+  OracleOptions opts;
+  opts.max_passes = 0;
+  EXPECT_THROW(oracle_search(wf, ex, small_grid(), 10.0, 1.0, opts),
+               support::ContractViolation);
+}
+
+}  // namespace
+}  // namespace aarc::baselines

@@ -1,0 +1,105 @@
+#include "baselines/random_search.h"
+
+#include <gtest/gtest.h>
+
+#include "perf/analytic.h"
+#include "platform/executor.h"
+#include "support/contracts.h"
+
+namespace aarc::baselines {
+namespace {
+
+std::unique_ptr<perf::PerfModel> fn(double serial) {
+  perf::AnalyticParams p;
+  p.io_seconds = 1.0;
+  p.serial_seconds = serial;
+  p.working_set_mb = 400.0;
+  p.min_memory_mb = 192.0;
+  p.pressure_coeff = 2.0;
+  return std::make_unique<perf::AnalyticModel>(p);
+}
+
+platform::Workflow pair() {
+  platform::Workflow wf("pair");
+  wf.add_function("a", fn(5.0));
+  wf.add_function("b", fn(7.0));
+  wf.add_edge("a", "b");
+  return wf;
+}
+
+TEST(RandomSearch, UsesExactlyTheBudget) {
+  const platform::Workflow wf = pair();
+  const platform::Executor ex;
+  search::Evaluator ev(wf, ex, 100.0, 1.0, 1);
+  RandomSearchOptions opts;
+  opts.max_samples = 25;
+  const auto result = random_search(ev, platform::ConfigGrid{}, opts);
+  EXPECT_EQ(result.samples(), 25u);
+}
+
+TEST(RandomSearch, WarmStartGuaranteesFeasibility) {
+  const platform::Workflow wf = pair();
+  const platform::Executor ex;
+  search::Evaluator ev(wf, ex, 100.0, 1.0, 2);
+  RandomSearchOptions opts;
+  opts.max_samples = 3;  // tiny budget: the warm start must carry it
+  const auto result = random_search(ev, platform::ConfigGrid{}, opts);
+  EXPECT_TRUE(result.found_feasible);
+}
+
+TEST(RandomSearch, ProbesStayOnTheGrid) {
+  const platform::Workflow wf = pair();
+  const platform::Executor ex;
+  const platform::ConfigGrid grid;
+  search::Evaluator ev(wf, ex, 100.0, 1.0, 3);
+  const auto result = random_search(ev, grid);
+  for (const auto& s : result.trace.samples()) {
+    for (const auto& rc : s.config) EXPECT_TRUE(grid.contains(rc));
+  }
+}
+
+TEST(RandomSearch, BestConfigIsCheapestSafeProbe) {
+  const platform::Workflow wf = pair();
+  const platform::Executor ex;
+  search::Evaluator ev(wf, ex, 100.0, 1.0, 4);
+  RandomSearchOptions opts;
+  const auto result = random_search(ev, platform::ConfigGrid{}, opts);
+  ASSERT_TRUE(result.found_feasible);
+  const double safe = 100.0 * (1.0 - opts.slo_margin);
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& s : result.trace.samples()) {
+    if (!s.failed && s.makespan <= safe) best = std::min(best, s.cost);
+  }
+  // The returned config must be the argmin (compare by re-finding it).
+  bool found = false;
+  for (const auto& s : result.trace.samples()) {
+    if (s.cost == best && s.config == result.best_config) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RandomSearch, DeterministicForSeed) {
+  const platform::Workflow wf = pair();
+  const platform::Executor ex;
+  search::Evaluator ev1(wf, ex, 100.0, 1.0, 5);
+  search::Evaluator ev2(wf, ex, 100.0, 1.0, 5);
+  const auto a = random_search(ev1, platform::ConfigGrid{});
+  const auto b = random_search(ev2, platform::ConfigGrid{});
+  ASSERT_EQ(a.samples(), b.samples());
+  for (std::size_t i = 0; i < a.samples(); ++i) {
+    EXPECT_EQ(a.trace.samples()[i].config, b.trace.samples()[i].config);
+  }
+}
+
+TEST(RandomSearch, RejectsBadOptions) {
+  const platform::Workflow wf = pair();
+  const platform::Executor ex;
+  search::Evaluator ev(wf, ex, 100.0, 1.0, 6);
+  RandomSearchOptions opts;
+  opts.max_samples = 0;
+  EXPECT_THROW(random_search(ev, platform::ConfigGrid{}, opts),
+               support::ContractViolation);
+}
+
+}  // namespace
+}  // namespace aarc::baselines

@@ -1,0 +1,134 @@
+#include "dag/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "support/contracts.h"
+
+namespace aarc::dag {
+namespace {
+
+Graph chain(std::size_t n) {
+  Graph g("chain");
+  for (std::size_t i = 0; i < n; ++i) g.add_node("n" + std::to_string(i), 1.0);
+  for (std::size_t i = 1; i < n; ++i) g.add_edge(i - 1, i);
+  return g;
+}
+
+/// src -> {b0, b1, b2} -> sink, each branch fan-in 1 (FanOut shape).
+Graph fan_out() {
+  Graph g("fan");
+  g.add_node("src", 1.0);
+  g.add_node("b0", 1.0);
+  g.add_node("b1", 1.0);
+  g.add_node("b2", 1.0);
+  g.add_node("sink", 1.0);
+  for (NodeId b : {1u, 2u, 3u}) {
+    g.add_edge(0, b);
+    g.add_edge(b, 4);
+  }
+  return g;
+}
+
+/// Two source producers each feeding both consumers (complete bipartite:
+/// Coupled).  No single-parent fan-out stage anywhere.
+Graph coupled() {
+  Graph g("coupled");
+  g.add_node("p0", 1.0);
+  g.add_node("p1", 1.0);
+  g.add_node("c0", 1.0);
+  g.add_node("c1", 1.0);
+  g.add_node("sink", 1.0);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  g.add_edge(1, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 4);
+  g.add_edge(3, 4);
+  return g;
+}
+
+TEST(Analysis, ToStringNames) {
+  EXPECT_EQ(to_string(TopologyClass::Sequential), "sequential");
+  EXPECT_EQ(to_string(TopologyClass::FanOut), "fan-out");
+  EXPECT_EQ(to_string(TopologyClass::Coupled), "coupled");
+  EXPECT_EQ(to_string(TopologyClass::Mixed), "mixed");
+}
+
+TEST(Analysis, LevelsOfChain) {
+  const auto lv = levels(chain(4));
+  EXPECT_EQ(lv, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(Analysis, LevelsUseLongestPath) {
+  // Diamond with one long arm: the join's level follows the longer arm.
+  Graph g("d");
+  g.add_node("a", 1.0);
+  g.add_node("b", 1.0);
+  g.add_node("c", 1.0);
+  g.add_node("d", 1.0);
+  g.add_edge(0, 1);
+  g.add_edge(1, 3);
+  g.add_edge(0, 3);  // short arm
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  EXPECT_EQ(levels(g)[3], 2u);
+}
+
+TEST(Analysis, WidthProfileOfFanOut) {
+  EXPECT_EQ(width_profile(fan_out()), (std::vector<std::size_t>{1, 3, 1}));
+}
+
+TEST(Analysis, ChainMetrics) {
+  const GraphMetrics m = analyze(chain(5));
+  EXPECT_EQ(m.node_count, 5u);
+  EXPECT_EQ(m.edge_count, 4u);
+  EXPECT_EQ(m.depth, 5u);
+  EXPECT_EQ(m.max_width, 1u);
+  EXPECT_EQ(m.max_fan_out, 1u);
+  EXPECT_EQ(m.max_fan_in, 1u);
+  EXPECT_EQ(m.topology, TopologyClass::Sequential);
+  EXPECT_DOUBLE_EQ(m.avg_degree, 0.8);
+}
+
+TEST(Analysis, FanOutClassified) {
+  const GraphMetrics m = analyze(fan_out());
+  EXPECT_EQ(m.topology, TopologyClass::FanOut);
+  EXPECT_EQ(m.max_width, 3u);
+  EXPECT_EQ(m.max_fan_out, 3u);
+  EXPECT_EQ(m.max_fan_in, 3u);
+}
+
+TEST(Analysis, CoupledClassified) {
+  const GraphMetrics m = analyze(coupled());
+  EXPECT_EQ(m.topology, TopologyClass::Coupled);
+}
+
+TEST(Analysis, MixedClassified) {
+  // Coupled front section plus a single-parent fan-out stage off the sink.
+  Graph g = coupled();
+  const NodeId s0 = g.add_node("t0", 1.0);
+  const NodeId s1 = g.add_node("t1", 1.0);
+  g.add_edge(4, s0);
+  g.add_edge(4, s1);
+  const NodeId sink2 = g.add_node("sink2", 1.0);
+  g.add_edge(s0, sink2);
+  g.add_edge(s1, sink2);
+  EXPECT_EQ(analyze(g).topology, TopologyClass::Mixed);
+}
+
+TEST(Analysis, SingleNode) {
+  Graph g("one");
+  g.add_node("only", 1.0);
+  const GraphMetrics m = analyze(g);
+  EXPECT_EQ(m.depth, 1u);
+  EXPECT_EQ(m.max_width, 1u);
+  EXPECT_EQ(m.topology, TopologyClass::Sequential);
+}
+
+TEST(Analysis, RejectsInvalidGraph) {
+  Graph g;
+  EXPECT_THROW(analyze(g), support::ContractViolation);
+}
+
+}  // namespace
+}  // namespace aarc::dag

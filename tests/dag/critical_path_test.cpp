@@ -1,0 +1,131 @@
+#include "dag/critical_path.h"
+
+#include <gtest/gtest.h>
+
+#include "support/contracts.h"
+
+namespace aarc::dag {
+namespace {
+
+Graph diamond(double top, double bottom) {
+  Graph g("diamond");
+  g.add_node("src", 1.0);
+  g.add_node("top", top);
+  g.add_node("bottom", bottom);
+  g.add_node("sink", 2.0);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  return g;
+}
+
+TEST(CriticalPath, SingleNode) {
+  Graph g;
+  g.add_node("only", 5.0);
+  const Path p = find_critical_path(g);
+  EXPECT_EQ(p.nodes(), std::vector<NodeId>{0});
+  EXPECT_DOUBLE_EQ(critical_path_length(g), 5.0);
+}
+
+TEST(CriticalPath, ChainTakesAllNodes) {
+  Graph g;
+  g.add_node("a", 1.0);
+  g.add_node("b", 2.0);
+  g.add_node("c", 3.0);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const Path p = find_critical_path(g);
+  EXPECT_EQ(p.nodes(), (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(p.total_weight(g), 6.0);
+}
+
+TEST(CriticalPath, PicksHeavierBranch) {
+  const Graph g = diamond(10.0, 3.0);
+  const Path p = find_critical_path(g);
+  EXPECT_EQ(p.nodes(), (std::vector<NodeId>{0, 1, 3}));
+
+  const Graph g2 = diamond(3.0, 10.0);
+  EXPECT_EQ(find_critical_path(g2).nodes(), (std::vector<NodeId>{0, 2, 3}));
+}
+
+TEST(CriticalPath, TieBreaksDeterministically) {
+  const Graph g = diamond(5.0, 5.0);
+  const Path p1 = find_critical_path(g);
+  const Path p2 = find_critical_path(g);
+  EXPECT_EQ(p1, p2);
+  // Smallest-id predecessor wins the tie: the "top" branch (node 1).
+  EXPECT_EQ(p1.nodes(), (std::vector<NodeId>{0, 1, 3}));
+}
+
+TEST(CriticalPath, LengthEqualsMakespan) {
+  const Graph g = diamond(7.0, 4.0);
+  const Schedule s = compute_schedule(g);
+  EXPECT_DOUBLE_EQ(critical_path_length(g), s.makespan);
+}
+
+TEST(CriticalPath, SpansSourceToSink) {
+  const Graph g = diamond(2.0, 9.0);
+  const Path p = find_critical_path(g);
+  EXPECT_TRUE(g.predecessors(p.front()).empty());
+  EXPECT_TRUE(g.successors(p.back()).empty());
+}
+
+TEST(CriticalPath, ZeroWeightsStillValid) {
+  Graph g;
+  g.add_node("a", 0.0);
+  g.add_node("b", 0.0);
+  g.add_edge(0, 1);
+  const Path p = find_critical_path(g);
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_DOUBLE_EQ(p.total_weight(g), 0.0);
+}
+
+TEST(CriticalPath, RejectsInvalidGraph) {
+  Graph g;  // empty
+  EXPECT_THROW(find_critical_path(g), support::ContractViolation);
+}
+
+TEST(Schedule, ChainTimesAccumulate) {
+  Graph g;
+  g.add_node("a", 2.0);
+  g.add_node("b", 3.0);
+  g.add_edge(0, 1);
+  const Schedule s = compute_schedule(g);
+  EXPECT_DOUBLE_EQ(s.earliest_start[0], 0.0);
+  EXPECT_DOUBLE_EQ(s.earliest_finish[0], 2.0);
+  EXPECT_DOUBLE_EQ(s.earliest_start[1], 2.0);
+  EXPECT_DOUBLE_EQ(s.earliest_finish[1], 5.0);
+  EXPECT_DOUBLE_EQ(s.makespan, 5.0);
+}
+
+TEST(Schedule, ParallelBranchesOverlap) {
+  const Graph g = diamond(10.0, 3.0);
+  const Schedule s = compute_schedule(g);
+  EXPECT_DOUBLE_EQ(s.earliest_start[1], 1.0);
+  EXPECT_DOUBLE_EQ(s.earliest_start[2], 1.0);
+  EXPECT_DOUBLE_EQ(s.earliest_start[3], 11.0);  // waits for the heavy branch
+  EXPECT_DOUBLE_EQ(s.makespan, 13.0);
+}
+
+TEST(Schedule, SlackZeroOnCriticalPathOnly) {
+  const Graph g = diamond(10.0, 3.0);
+  const Schedule s = compute_schedule(g);
+  EXPECT_DOUBLE_EQ(s.slack(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.slack(1), 0.0);
+  EXPECT_DOUBLE_EQ(s.slack(3), 0.0);
+  EXPECT_DOUBLE_EQ(s.slack(2), 7.0);  // light branch: 10 - 3
+}
+
+TEST(Schedule, LatestTimesBoundEarliest) {
+  const Graph g = diamond(6.0, 2.0);
+  const Schedule s = compute_schedule(g);
+  for (NodeId id = 0; id < g.node_count(); ++id) {
+    EXPECT_LE(s.earliest_start[id], s.latest_start[id] + 1e-12);
+    EXPECT_LE(s.earliest_finish[id], s.latest_finish[id] + 1e-12);
+    EXPECT_DOUBLE_EQ(s.earliest_finish[id] - s.earliest_start[id], g.weight(id));
+  }
+}
+
+}  // namespace
+}  // namespace aarc::dag

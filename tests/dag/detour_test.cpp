@@ -1,0 +1,171 @@
+#include "dag/detour.h"
+
+#include <gtest/gtest.h>
+
+#include "dag/critical_path.h"
+#include "support/contracts.h"
+
+namespace aarc::dag {
+namespace {
+
+/// Fan-out/fan-in like the paper's Chatbot: src -> {b0..b2} -> sink, with b0
+/// the heaviest (critical) branch.
+Graph scatter() {
+  Graph g("scatter");
+  g.add_node("src", 1.0);
+  g.add_node("b0", 9.0);
+  g.add_node("b1", 4.0);
+  g.add_node("b2", 2.0);
+  g.add_node("sink", 1.0);
+  for (NodeId b : {1u, 2u, 3u}) {
+    g.add_edge(0, b);
+    g.add_edge(b, 4);
+  }
+  return g;
+}
+
+TEST(Detour, ScatterYieldsOneDetourPerLightBranch) {
+  const Graph g = scatter();
+  const Path cp = find_critical_path(g);
+  EXPECT_EQ(cp.nodes(), (std::vector<NodeId>{0, 1, 4}));
+
+  const auto detours = find_detour_subpaths(g, cp);
+  ASSERT_EQ(detours.size(), 2u);
+  EXPECT_EQ(detours[0].path.nodes(), (std::vector<NodeId>{0, 2, 4}));
+  EXPECT_EQ(detours[1].path.nodes(), (std::vector<NodeId>{0, 3, 4}));
+}
+
+TEST(Detour, AnchorsAreOnCriticalPathInteriorIsNot) {
+  const Graph g = scatter();
+  const Path cp = find_critical_path(g);
+  for (const auto& d : find_detour_subpaths(g, cp)) {
+    EXPECT_TRUE(cp.contains(d.start_anchor()));
+    EXPECT_TRUE(cp.contains(d.end_anchor()));
+    for (NodeId id : d.interior()) EXPECT_FALSE(cp.contains(id));
+    EXPECT_FALSE(d.interior().empty());
+    EXPECT_TRUE(d.path.is_valid_in(g));
+  }
+}
+
+TEST(Detour, DirectEdgeBetweenCpNodesIsNotADetour) {
+  Graph g;
+  g.add_node("a", 5.0);
+  g.add_node("b", 5.0);
+  g.add_node("c", 5.0);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);  // shortcut between critical-path nodes
+  const Path cp = find_critical_path(g);
+  EXPECT_EQ(cp.size(), 3u);
+  EXPECT_TRUE(find_detour_subpaths(g, cp).empty());
+}
+
+TEST(Detour, MultiHopInterior) {
+  // a -> m -> b is critical (m heavy); a -> x -> y -> b is a two-node detour.
+  Graph g;
+  g.add_node("a", 5.0);
+  g.add_node("m", 10.0);
+  g.add_node("x", 1.0);
+  g.add_node("y", 1.0);
+  g.add_node("b", 5.0);
+  g.add_edge(0, 1);
+  g.add_edge(1, 4);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  const Path cp = find_critical_path(g);
+  EXPECT_EQ(cp.nodes(), (std::vector<NodeId>{0, 1, 4}));
+  const auto detours = find_detour_subpaths(g, cp);
+  ASSERT_EQ(detours.size(), 1u);
+  EXPECT_EQ(detours[0].path.nodes(), (std::vector<NodeId>{0, 2, 3, 4}));
+  EXPECT_EQ(detours[0].interior(), (std::vector<NodeId>{2, 3}));
+}
+
+TEST(Detour, BranchingOffPathNodesEnumeratesAllSimplePaths) {
+  // Critical path src -> m -> sink; off-path p, q with p -> q give three
+  // simple detours: src-p-sink, src-q-sink, src-p-q-sink.
+  Graph g;
+  g.add_node("src", 10.0);
+  g.add_node("m", 8.0);
+  g.add_node("p", 1.0);
+  g.add_node("q", 1.0);
+  g.add_node("sink", 10.0);
+  g.add_edge(0, 1);
+  g.add_edge(1, 4);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  g.add_edge(2, 4);
+  g.add_edge(3, 4);
+  g.add_edge(2, 3);
+  const Path cp = find_critical_path(g);
+  ASSERT_EQ(cp.nodes(), (std::vector<NodeId>{0, 1, 4}));
+  const auto detours = find_detour_subpaths(g, cp);
+  ASSERT_EQ(detours.size(), 3u);
+  EXPECT_EQ(detours[0].path.nodes(), (std::vector<NodeId>{0, 2, 3, 4}));
+  EXPECT_EQ(detours[1].path.nodes(), (std::vector<NodeId>{0, 2, 4}));
+  EXPECT_EQ(detours[2].path.nodes(), (std::vector<NodeId>{0, 3, 4}));
+}
+
+TEST(Detour, ChainHasNoDetours) {
+  Graph g;
+  g.add_node("a", 1.0);
+  g.add_node("b", 1.0);
+  g.add_edge(0, 1);
+  const Path cp = find_critical_path(g);
+  EXPECT_TRUE(find_detour_subpaths(g, cp).empty());
+}
+
+TEST(Detour, DeterministicOrdering) {
+  const Graph g = scatter();
+  const Path cp = find_critical_path(g);
+  const auto a = find_detour_subpaths(g, cp);
+  const auto b = find_detour_subpaths(g, cp);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Detour, RejectsEmptyCriticalPath) {
+  const Graph g = scatter();
+  EXPECT_THROW(find_detour_subpaths(g, Path()), support::ContractViolation);
+}
+
+TEST(Detour, RejectsInvalidCriticalPath) {
+  const Graph g = scatter();
+  EXPECT_THROW(find_detour_subpaths(g, Path({0, 4})), support::ContractViolation);
+}
+
+TEST(Detour, MaxPathsGuard) {
+  const Graph g = scatter();
+  const Path cp = find_critical_path(g);
+  EXPECT_THROW(find_detour_subpaths(g, cp, 1), support::ContractViolation);
+}
+
+TEST(Detour, UncoveredNodesEmptyForScatter) {
+  const Graph g = scatter();
+  const Path cp = find_critical_path(g);
+  const auto detours = find_detour_subpaths(g, cp);
+  EXPECT_TRUE(uncovered_nodes(g, cp, detours).empty());
+}
+
+TEST(Detour, UncoveredNodesFoundForStrayBranch) {
+  // Second source that joins mid-path is a detour anchor only if it reaches
+  // the critical path; a node hanging off a non-CP source stays uncovered.
+  Graph g;
+  g.add_node("a", 10.0);
+  g.add_node("b", 10.0);
+  g.add_node("stray", 1.0);
+  g.add_edge(0, 1);
+  g.add_edge(2, 1);  // stray source feeding the sink
+  const Path cp = find_critical_path(g);
+  ASSERT_EQ(cp.nodes(), (std::vector<NodeId>{0, 1}));
+  const auto detours = find_detour_subpaths(g, cp);
+  EXPECT_TRUE(detours.empty());
+  EXPECT_EQ(uncovered_nodes(g, cp, detours), (std::vector<NodeId>{2}));
+}
+
+TEST(Detour, InteriorOfTwoNodePathIsEmpty) {
+  DetourSubpath d{Path({1, 2})};
+  EXPECT_TRUE(d.interior().empty());
+}
+
+}  // namespace
+}  // namespace aarc::dag

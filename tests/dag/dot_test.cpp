@@ -1,0 +1,62 @@
+#include "dag/dot.h"
+
+#include <gtest/gtest.h>
+
+#include "dag/critical_path.h"
+
+namespace aarc::dag {
+namespace {
+
+Graph small() {
+  Graph g("demo");
+  g.add_node("alpha", 1.5);
+  g.add_node("beta", 2.0);
+  g.add_edge(0, 1);
+  return g;
+}
+
+TEST(Dot, ContainsDigraphHeaderAndName) {
+  const std::string dot = to_dot(small());
+  EXPECT_NE(dot.find("digraph \"demo\""), std::string::npos);
+  EXPECT_NE(dot.find("rankdir=LR"), std::string::npos);
+}
+
+TEST(Dot, ContainsAllNodesAndEdges) {
+  const std::string dot = to_dot(small());
+  EXPECT_NE(dot.find("alpha"), std::string::npos);
+  EXPECT_NE(dot.find("beta"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+}
+
+TEST(Dot, WeightsShownByDefaultAndSuppressible) {
+  EXPECT_NE(to_dot(small()).find("w=1.50s"), std::string::npos);
+  DotOptions opts;
+  opts.show_weights = false;
+  EXPECT_EQ(to_dot(small(), opts).find("w="), std::string::npos);
+}
+
+TEST(Dot, HighlightMarksPathNodesAndEdges) {
+  const Graph g = small();
+  const Path cp = find_critical_path(g);
+  DotOptions opts;
+  opts.highlight = &cp;
+  const std::string dot = to_dot(g, opts);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1 [color=red"), std::string::npos);
+}
+
+TEST(Dot, RankdirConfigurable) {
+  DotOptions opts;
+  opts.rankdir = "TB";
+  EXPECT_NE(to_dot(small(), opts).find("rankdir=TB"), std::string::npos);
+}
+
+TEST(Dot, BalancedBraces) {
+  const std::string dot = to_dot(small());
+  EXPECT_EQ(dot.front(), 'd');
+  EXPECT_NE(dot.find("{"), std::string::npos);
+  EXPECT_EQ(dot.rfind("}\n"), dot.size() - 2);
+}
+
+}  // namespace
+}  // namespace aarc::dag

@@ -1,0 +1,206 @@
+#include "dag/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "support/contracts.h"
+
+namespace aarc::dag {
+namespace {
+
+using support::ContractViolation;
+
+Graph diamond() {
+  Graph g("diamond");
+  const NodeId a = g.add_node("a", 1.0);
+  const NodeId b = g.add_node("b", 2.0);
+  const NodeId c = g.add_node("c", 3.0);
+  const NodeId d = g.add_node("d", 4.0);
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  g.add_edge(b, d);
+  g.add_edge(c, d);
+  return g;
+}
+
+TEST(Graph, StartsEmpty) {
+  Graph g;
+  EXPECT_TRUE(g.empty());
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(Graph, AddNodeAssignsDenseIds) {
+  Graph g;
+  EXPECT_EQ(g.add_node("a"), 0u);
+  EXPECT_EQ(g.add_node("b"), 1u);
+  EXPECT_EQ(g.node_count(), 2u);
+}
+
+TEST(Graph, RejectsEmptyName) {
+  Graph g;
+  EXPECT_THROW(g.add_node(""), ContractViolation);
+}
+
+TEST(Graph, RejectsDuplicateName) {
+  Graph g;
+  g.add_node("a");
+  EXPECT_THROW(g.add_node("a"), ContractViolation);
+}
+
+TEST(Graph, RejectsNegativeWeight) {
+  Graph g;
+  EXPECT_THROW(g.add_node("a", -1.0), ContractViolation);
+}
+
+TEST(Graph, FindNodeByName) {
+  const Graph g = diamond();
+  EXPECT_EQ(g.find_node("c"), std::optional<NodeId>(2u));
+  EXPECT_FALSE(g.find_node("missing").has_value());
+}
+
+TEST(Graph, EdgeBookkeeping) {
+  const Graph g = diamond();
+  EXPECT_EQ(g.edge_count(), 4u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  EXPECT_EQ(g.successors(0).size(), 2u);
+  EXPECT_EQ(g.predecessors(3).size(), 2u);
+}
+
+TEST(Graph, DuplicateEdgeIsIdempotent) {
+  Graph g = diamond();
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.edge_count(), 4u);
+  EXPECT_EQ(g.successors(0).size(), 2u);
+}
+
+TEST(Graph, RejectsSelfLoop) {
+  Graph g = diamond();
+  EXPECT_THROW(g.add_edge(1, 1), ContractViolation);
+}
+
+TEST(Graph, RejectsOutOfRangeIds) {
+  Graph g = diamond();
+  EXPECT_THROW(g.add_edge(0, 99), ContractViolation);
+  EXPECT_THROW(g.weight(99), ContractViolation);
+  EXPECT_THROW(g.node_name(99), ContractViolation);
+}
+
+TEST(Graph, WeightsRoundTrip) {
+  Graph g = diamond();
+  g.set_weight(2, 7.5);
+  EXPECT_DOUBLE_EQ(g.weight(2), 7.5);
+  const std::vector<double> w{1.0, 1.0, 1.0, 1.0};
+  g.set_weights(w);
+  EXPECT_EQ(g.weights(), w);
+}
+
+TEST(Graph, SetWeightsRejectsWrongSize) {
+  Graph g = diamond();
+  EXPECT_THROW(g.set_weights({1.0, 2.0}), ContractViolation);
+}
+
+TEST(Graph, SetWeightsRejectsNegative) {
+  Graph g = diamond();
+  EXPECT_THROW(g.set_weights({1.0, -2.0, 3.0, 4.0}), ContractViolation);
+}
+
+TEST(Graph, SourcesAndSinks) {
+  const Graph g = diamond();
+  EXPECT_EQ(g.sources(), std::vector<NodeId>{0});
+  EXPECT_EQ(g.sinks(), std::vector<NodeId>{3});
+}
+
+TEST(Graph, TopologicalOrderRespectsEdges) {
+  const Graph g = diamond();
+  const auto order = g.topological_order();
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<std::size_t> pos(4);
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  EXPECT_LT(pos[0], pos[1]);
+  EXPECT_LT(pos[0], pos[2]);
+  EXPECT_LT(pos[1], pos[3]);
+  EXPECT_LT(pos[2], pos[3]);
+}
+
+TEST(Graph, CycleDetection) {
+  Graph g;
+  const NodeId a = g.add_node("a");
+  const NodeId b = g.add_node("b");
+  const NodeId c = g.add_node("c");
+  g.add_edge(a, b);
+  g.add_edge(b, c);
+  EXPECT_TRUE(g.is_acyclic());
+  g.add_edge(c, a);
+  EXPECT_FALSE(g.is_acyclic());
+  EXPECT_THROW(g.topological_order(), ContractViolation);
+}
+
+TEST(Graph, ConnectivityDetection) {
+  Graph g;
+  g.add_node("a");
+  g.add_node("b");
+  EXPECT_FALSE(g.is_connected());
+  g.add_edge(0, 1);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Graph, EmptyGraphIsNotConnected) {
+  const Graph g;
+  EXPECT_FALSE(g.is_connected());
+}
+
+TEST(Graph, Reachability) {
+  const Graph g = diamond();
+  EXPECT_TRUE(g.reachable(0, 3));
+  EXPECT_TRUE(g.reachable(1, 3));
+  EXPECT_FALSE(g.reachable(1, 2));
+  EXPECT_FALSE(g.reachable(3, 0));
+  EXPECT_TRUE(g.reachable(2, 2));
+}
+
+TEST(Graph, ValidateAcceptsWellFormedDag) {
+  EXPECT_NO_THROW(diamond().validate());
+}
+
+TEST(Graph, ValidateRejectsEmpty) {
+  const Graph g;
+  EXPECT_THROW(g.validate(), ContractViolation);
+}
+
+TEST(Graph, ValidateRejectsDisconnected) {
+  Graph g;
+  g.add_node("a");
+  g.add_node("b");
+  EXPECT_THROW(g.validate(), ContractViolation);
+}
+
+TEST(Graph, ValidationCacheInvalidatedByMutation) {
+  // validate() caches the structural result; adding nodes/edges must drop
+  // the cache so later corruption is still caught.
+  Graph g = diamond();
+  g.validate();          // caches success
+  g.add_node("island");  // disconnects the graph
+  EXPECT_THROW(g.validate(), ContractViolation);
+  g.add_edge(3, 4);  // reconnect (sink -> island)
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(Graph, ValidationCacheSurvivesWeightUpdates) {
+  Graph g = diamond();
+  g.validate();
+  g.set_weight(0, 99.0);  // weights can't break structure
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(Graph, ValidateRejectsCycle) {
+  Graph g;
+  g.add_node("a");
+  g.add_node("b");
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  EXPECT_THROW(g.validate(), ContractViolation);
+}
+
+}  // namespace
+}  // namespace aarc::dag

@@ -1,0 +1,100 @@
+#include "dag/path.h"
+
+#include <gtest/gtest.h>
+
+#include "support/contracts.h"
+
+namespace aarc::dag {
+namespace {
+
+using support::ContractViolation;
+
+Graph chain() {
+  Graph g("chain");
+  g.add_node("a", 10.0);
+  g.add_node("b", 20.0);
+  g.add_node("c", 30.0);
+  g.add_node("d", 40.0);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  return g;
+}
+
+TEST(Path, EmptyBasics) {
+  const Path p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.size(), 0u);
+  EXPECT_THROW(p.front(), ContractViolation);
+  EXPECT_THROW(p.back(), ContractViolation);
+}
+
+TEST(Path, FrontBackAt) {
+  const Path p({0, 1, 2});
+  EXPECT_EQ(p.front(), 0u);
+  EXPECT_EQ(p.back(), 2u);
+  EXPECT_EQ(p.at(1), 1u);
+  EXPECT_THROW(p.at(3), ContractViolation);
+}
+
+TEST(Path, ContainsAndIndexOf) {
+  const Path p({5, 3, 8});
+  EXPECT_TRUE(p.contains(3));
+  EXPECT_FALSE(p.contains(4));
+  EXPECT_EQ(p.index_of(8), 2u);
+  EXPECT_THROW(p.index_of(4), ContractViolation);
+}
+
+TEST(Path, ValidityInGraph) {
+  const Graph g = chain();
+  EXPECT_TRUE(Path({0, 1, 2, 3}).is_valid_in(g));
+  EXPECT_TRUE(Path({1, 2}).is_valid_in(g));
+  EXPECT_FALSE(Path({0, 2}).is_valid_in(g));     // skips b
+  EXPECT_FALSE(Path({1, 0}).is_valid_in(g));     // wrong direction
+  EXPECT_FALSE(Path({0, 99}).is_valid_in(g));    // unknown node
+  EXPECT_TRUE(Path({2}).is_valid_in(g));         // single node
+  EXPECT_TRUE(Path().is_valid_in(g));            // vacuous
+}
+
+TEST(Path, TotalWeight) {
+  const Graph g = chain();
+  EXPECT_DOUBLE_EQ(Path({0, 1, 2, 3}).total_weight(g), 100.0);
+  EXPECT_DOUBLE_EQ(Path({1}).total_weight(g), 20.0);
+  EXPECT_DOUBLE_EQ(Path().total_weight(g), 0.0);
+}
+
+TEST(Path, WeightBetweenIsInclusive) {
+  // This is the paper's runtime_sum(path, start, end).
+  const Graph g = chain();
+  const Path p({0, 1, 2, 3});
+  EXPECT_DOUBLE_EQ(p.weight_between(g, 1, 2), 50.0);
+  EXPECT_DOUBLE_EQ(p.weight_between(g, 0, 3), 100.0);
+  EXPECT_DOUBLE_EQ(p.weight_between(g, 2, 2), 30.0);
+}
+
+TEST(Path, WeightBetweenRejectsReversedInterval) {
+  const Graph g = chain();
+  const Path p({0, 1, 2, 3});
+  EXPECT_THROW(p.weight_between(g, 2, 1), ContractViolation);
+}
+
+TEST(Path, WeightBetweenRejectsForeignNodes) {
+  const Graph g = chain();
+  const Path p({0, 1, 2});
+  EXPECT_THROW(p.weight_between(g, 0, 3), ContractViolation);
+}
+
+TEST(Path, ToStringUsesNames) {
+  const Graph g = chain();
+  EXPECT_EQ(Path({0, 1, 2}).to_string(g), "a -> b -> c");
+  EXPECT_EQ(Path({3}).to_string(g), "d");
+  EXPECT_EQ(Path().to_string(g), "");
+}
+
+TEST(Path, EqualityIsStructural) {
+  EXPECT_EQ(Path({1, 2}), Path({1, 2}));
+  EXPECT_NE(Path({1, 2}), Path({2, 1}));
+}
+
+}  // namespace
+}  // namespace aarc::dag

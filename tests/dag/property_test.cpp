@@ -1,0 +1,113 @@
+// Property tests over generated DAG populations: the structural invariants
+// the AARC scheduler relies on must hold for every synthetic topology.
+#include <gtest/gtest.h>
+
+#include "dag/critical_path.h"
+#include "dag/detour.h"
+#include "support/rng.h"
+
+namespace aarc::dag {
+namespace {
+
+/// Random layered DAG (pure dag-level generator; independent from the
+/// workloads module so this test exercises dag/ in isolation).
+Graph random_layered(std::uint64_t seed) {
+  support::Rng rng(seed);
+  Graph g("random_" + std::to_string(seed));
+  const std::size_t layers = 2 + rng.index(4);
+  const std::size_t width = 1 + rng.index(4);
+
+  std::vector<NodeId> prev{g.add_node("src", rng.uniform(0.5, 10.0))};
+  for (std::size_t l = 0; l < layers; ++l) {
+    std::vector<NodeId> cur;
+    for (std::size_t w = 0; w < width; ++w) {
+      cur.push_back(g.add_node("n" + std::to_string(l) + "_" + std::to_string(w),
+                               rng.uniform(0.5, 10.0)));
+    }
+    for (NodeId c : cur) g.add_edge(prev[rng.index(prev.size())], c);
+    for (NodeId p : prev) {
+      if (g.successors(p).empty()) g.add_edge(p, cur[rng.index(cur.size())]);
+    }
+    // extra random edges for diamonds
+    for (std::size_t k = 0; k < width; ++k) {
+      if (rng.bernoulli(0.4)) g.add_edge(prev[rng.index(prev.size())], cur[rng.index(cur.size())]);
+    }
+    prev = std::move(cur);
+  }
+  const NodeId sink = g.add_node("sink", rng.uniform(0.5, 10.0));
+  for (NodeId p : prev) g.add_edge(p, sink);
+  return g;
+}
+
+class DagProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DagProperty, GeneratedGraphIsValid) {
+  const Graph g = random_layered(GetParam());
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST_P(DagProperty, CriticalPathIsLongestOverDetours) {
+  // Every detour's total weight must be <= the critical-path interval it
+  // spans — otherwise the "critical" path would not be critical.
+  const Graph g = random_layered(GetParam());
+  const Path cp = find_critical_path(g);
+  const auto detours = find_detour_subpaths(g, cp);
+  for (const auto& d : detours) {
+    const double interval = cp.weight_between(g, d.start_anchor(), d.end_anchor());
+    EXPECT_LE(d.path.total_weight(g), interval + 1e-9)
+        << "detour " << d.path.to_string(g) << " beats the critical path";
+  }
+}
+
+TEST_P(DagProperty, CriticalPathLengthEqualsMakespan) {
+  const Graph g = random_layered(GetParam());
+  EXPECT_NEAR(critical_path_length(g), compute_schedule(g).makespan, 1e-9);
+}
+
+TEST_P(DagProperty, CriticalPathNodesHaveZeroSlack) {
+  const Graph g = random_layered(GetParam());
+  const Path cp = find_critical_path(g);
+  const Schedule s = compute_schedule(g);
+  for (NodeId id : cp.nodes()) EXPECT_NEAR(s.slack(id), 0.0, 1e-9);
+}
+
+TEST_P(DagProperty, SlackIsNonNegative) {
+  const Graph g = random_layered(GetParam());
+  const Schedule s = compute_schedule(g);
+  for (NodeId id = 0; id < g.node_count(); ++id) EXPECT_GE(s.slack(id), -1e-9);
+}
+
+TEST_P(DagProperty, DetourInteriorsAreDisjointFromCp) {
+  const Graph g = random_layered(GetParam());
+  const Path cp = find_critical_path(g);
+  for (const auto& d : find_detour_subpaths(g, cp)) {
+    for (NodeId id : d.interior()) EXPECT_FALSE(cp.contains(id));
+    EXPECT_TRUE(cp.contains(d.start_anchor()));
+    EXPECT_TRUE(cp.contains(d.end_anchor()));
+    EXPECT_LT(cp.index_of(d.start_anchor()), cp.index_of(d.end_anchor()));
+  }
+}
+
+TEST_P(DagProperty, EveryNodeIsCoveredInSingleSourceSinkGraphs) {
+  // With one source and one sink, CP + detours must cover all nodes.
+  const Graph g = random_layered(GetParam());
+  if (g.sources().size() != 1 || g.sinks().size() != 1) GTEST_SKIP();
+  const Path cp = find_critical_path(g);
+  const auto detours = find_detour_subpaths(g, cp);
+  EXPECT_TRUE(uncovered_nodes(g, cp, detours).empty());
+}
+
+TEST_P(DagProperty, TopologicalOrderIsAValidSchedule) {
+  const Graph g = random_layered(GetParam());
+  const auto order = g.topological_order();
+  std::vector<std::size_t> pos(g.node_count());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (NodeId id = 0; id < g.node_count(); ++id) {
+    for (NodeId next : g.successors(id)) EXPECT_LT(pos[id], pos[next]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DagProperty, ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace aarc::dag

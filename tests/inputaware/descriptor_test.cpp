@@ -1,0 +1,54 @@
+#include "inputaware/descriptor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/contracts.h"
+
+namespace aarc::inputaware {
+namespace {
+
+TEST(EstimateScale, ReferenceInputIsUnitScale) {
+  const ReferenceInput ref;
+  EXPECT_NEAR(estimate_scale(ref.descriptor, ref), 1.0, 1e-12);
+}
+
+TEST(EstimateScale, DoubleEverythingDoublesScale) {
+  const ReferenceInput ref;
+  InputDescriptor in = ref.descriptor;
+  in.size_mb *= 2.0;
+  in.bitrate_kbps *= 2.0;
+  in.duration_seconds *= 2.0;
+  EXPECT_NEAR(estimate_scale(in, ref), 2.0, 1e-12);
+}
+
+TEST(EstimateScale, GeometricMeanOfRatios) {
+  const ReferenceInput ref;
+  InputDescriptor in = ref.descriptor;
+  in.size_mb *= 8.0;  // other two at 1x: scale = 8^(1/3) = 2.
+  EXPECT_NEAR(estimate_scale(in, ref), 2.0, 1e-12);
+}
+
+TEST(EstimateScale, IgnoresZeroFeatures) {
+  const ReferenceInput ref;
+  InputDescriptor in;
+  in.size_mb = ref.descriptor.size_mb * 4.0;  // only feature present
+  EXPECT_NEAR(estimate_scale(in, ref), 4.0, 1e-12);
+}
+
+TEST(EstimateScale, RejectsAllZeroDescriptor) {
+  EXPECT_THROW(estimate_scale(InputDescriptor{}), support::ContractViolation);
+}
+
+TEST(EstimateScale, SmallInputsScaleBelowOne) {
+  const ReferenceInput ref;
+  InputDescriptor in = ref.descriptor;
+  in.size_mb /= 4.0;
+  in.bitrate_kbps /= 4.0;
+  in.duration_seconds /= 4.0;
+  EXPECT_NEAR(estimate_scale(in, ref), 0.25, 1e-12);
+}
+
+}  // namespace
+}  // namespace aarc::inputaware

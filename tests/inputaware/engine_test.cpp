@@ -1,0 +1,141 @@
+#include "inputaware/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "platform/executor.h"
+#include "support/contracts.h"
+#include "workloads/synthetic.h"
+#include "workloads/video_analysis.h"
+
+namespace aarc::inputaware {
+namespace {
+
+InputDescriptor input_of_scale(double scale) {
+  const ReferenceInput ref;
+  InputDescriptor in = ref.descriptor;
+  in.size_mb *= scale;
+  in.bitrate_kbps *= scale;
+  in.duration_seconds *= scale;
+  return in;
+}
+
+/// Small input-sensitive workload (cheaper to schedule than Video Analysis).
+workloads::Workload small_sensitive() {
+  workloads::SyntheticOptions opts;
+  opts.pattern = workloads::Pattern::Chain;
+  opts.layers = 1;
+  opts.seed = 3;
+  workloads::Workload w = workloads::make_synthetic(opts);
+  w.input_sensitive = true;
+  w.input_classes = {{workloads::InputClass::Light, 0.25},
+                     {workloads::InputClass::Middle, 1.0},
+                     {workloads::InputClass::Heavy, 2.0}};
+  // Headroom so the heavy class stays feasible.
+  w.slo_seconds *= 2.5;
+  return w;
+}
+
+TEST(Engine, RejectsBadThresholds) {
+  const workloads::Workload w = small_sensitive();
+  const platform::Executor ex;
+  ClassThresholds t;
+  t.light_below = 2.0;
+  t.heavy_above = 1.0;
+  EXPECT_THROW(InputAwareEngine(w, ex, platform::ConfigGrid{}, {}, t),
+               support::ContractViolation);
+}
+
+TEST(Engine, ClassifiesByScale) {
+  const workloads::Workload w = small_sensitive();
+  const platform::Executor ex;
+  const InputAwareEngine engine(w, ex, platform::ConfigGrid{});
+  EXPECT_EQ(engine.classify(input_of_scale(0.2)), workloads::InputClass::Light);
+  EXPECT_EQ(engine.classify(input_of_scale(1.0)), workloads::InputClass::Middle);
+  EXPECT_EQ(engine.classify(input_of_scale(3.0)), workloads::InputClass::Heavy);
+}
+
+TEST(Engine, ClassBoundariesAreHalfOpen) {
+  const workloads::Workload w = small_sensitive();
+  const platform::Executor ex;
+  const InputAwareEngine engine(w, ex, platform::ConfigGrid{});
+  EXPECT_EQ(engine.classify(input_of_scale(0.4999)), workloads::InputClass::Light);
+  EXPECT_EQ(engine.classify(input_of_scale(0.5001)), workloads::InputClass::Middle);
+  EXPECT_EQ(engine.classify(input_of_scale(1.5)), workloads::InputClass::Heavy);
+}
+
+TEST(Engine, ConfigurationBeforeBuildThrows) {
+  const workloads::Workload w = small_sensitive();
+  const platform::Executor ex;
+  const InputAwareEngine engine(w, ex, platform::ConfigGrid{});
+  EXPECT_FALSE(engine.built());
+  EXPECT_THROW(engine.configuration(workloads::InputClass::Middle),
+               support::ContractViolation);
+}
+
+TEST(Engine, BuildProducesPerClassConfigurations) {
+  const workloads::Workload w = small_sensitive();
+  const platform::Executor ex;
+  InputAwareEngine engine(w, ex, platform::ConfigGrid{});
+  const std::size_t samples = engine.build();
+  EXPECT_TRUE(engine.built());
+  EXPECT_GT(samples, 0u);
+  for (auto c : {workloads::InputClass::Light, workloads::InputClass::Middle,
+                 workloads::InputClass::Heavy}) {
+    const auto& cc = engine.configuration(c);
+    EXPECT_EQ(cc.input_class, c);
+    EXPECT_TRUE(cc.report.result.found_feasible) << workloads::to_string(c);
+    EXPECT_EQ(cc.report.result.best_config.size(), w.workflow.function_count());
+  }
+}
+
+TEST(Engine, HeavyClassGetsMoreOrEqualResourcesThanLight) {
+  const workloads::Workload w = small_sensitive();
+  const platform::Executor ex;
+  InputAwareEngine engine(w, ex, platform::ConfigGrid{});
+  engine.build();
+  const auto& light = engine.configuration(workloads::InputClass::Light);
+  const auto& heavy = engine.configuration(workloads::InputClass::Heavy);
+  double light_rate = 0.0;
+  double heavy_rate = 0.0;
+  for (std::size_t i = 0; i < w.workflow.function_count(); ++i) {
+    light_rate += 0.512 * light.report.result.best_config[i].vcpu +
+                  0.001 * light.report.result.best_config[i].memory_mb;
+    heavy_rate += 0.512 * heavy.report.result.best_config[i].vcpu +
+                  0.001 * heavy.report.result.best_config[i].memory_mb;
+  }
+  EXPECT_GE(heavy_rate, light_rate * 0.9);
+}
+
+TEST(Engine, DispatchRoutesToTheMatchingClass) {
+  const workloads::Workload w = small_sensitive();
+  const platform::Executor ex;
+  InputAwareEngine engine(w, ex, platform::ConfigGrid{});
+  engine.build();
+  EXPECT_EQ(engine.dispatch(input_of_scale(0.2)).input_class,
+            workloads::InputClass::Light);
+  EXPECT_EQ(engine.dispatch(input_of_scale(1.0)).input_class,
+            workloads::InputClass::Middle);
+  EXPECT_EQ(engine.dispatch(input_of_scale(2.5)).input_class,
+            workloads::InputClass::Heavy);
+}
+
+TEST(Engine, PerClassConfigsMeetTheSloAtTheirScale) {
+  const workloads::Workload w = small_sensitive();
+  platform::ExecutorOptions noiseless;
+  noiseless.noise = perf::NoiseModel(0.0);
+  const platform::Executor mean_ex(std::make_unique<platform::DecoupledLinearPricing>(),
+                                   noiseless);
+  const platform::Executor ex;
+  InputAwareEngine engine(w, ex, platform::ConfigGrid{});
+  engine.build();
+  for (const auto& entry : w.input_classes) {
+    const auto& cc = engine.configuration(entry.input_class);
+    const auto run =
+        mean_ex.execute_mean(w.workflow, cc.report.result.best_config, entry.scale);
+    EXPECT_FALSE(run.failed);
+    EXPECT_LE(run.makespan, w.slo_seconds * 1.001) << workloads::to_string(entry.input_class);
+  }
+}
+
+}  // namespace
+}  // namespace aarc::inputaware

@@ -1,0 +1,79 @@
+// Classification edge cases of the Input-Aware engine: custom thresholds,
+// custom reference inputs, and partial feature vectors.
+#include <gtest/gtest.h>
+
+#include "inputaware/engine.h"
+#include "platform/executor.h"
+#include "workloads/synthetic.h"
+
+namespace aarc::inputaware {
+namespace {
+
+workloads::Workload tiny_workload() {
+  workloads::SyntheticOptions opts;
+  opts.pattern = workloads::Pattern::Chain;
+  opts.layers = 1;
+  opts.seed = 8;
+  return workloads::make_synthetic(opts);
+}
+
+InputDescriptor scaled(const ReferenceInput& ref, double f) {
+  InputDescriptor in = ref.descriptor;
+  in.size_mb *= f;
+  in.bitrate_kbps *= f;
+  in.duration_seconds *= f;
+  return in;
+}
+
+TEST(Thresholds, CustomBoundariesShiftClassification) {
+  const auto w = tiny_workload();
+  const platform::Executor ex;
+  ClassThresholds wide;
+  wide.light_below = 0.9;
+  wide.heavy_above = 1.1;
+  const InputAwareEngine engine(w, ex, platform::ConfigGrid{}, {}, wide);
+  const ReferenceInput ref;
+  EXPECT_EQ(engine.classify(scaled(ref, 0.85)), workloads::InputClass::Light);
+  EXPECT_EQ(engine.classify(scaled(ref, 1.0)), workloads::InputClass::Middle);
+  EXPECT_EQ(engine.classify(scaled(ref, 1.15)), workloads::InputClass::Heavy);
+}
+
+TEST(Thresholds, CustomReferenceInputRescalesEverything) {
+  const auto w = tiny_workload();
+  const platform::Executor ex;
+  const InputAwareEngine engine(w, ex, platform::ConfigGrid{});
+  ReferenceInput big_ref;
+  big_ref.descriptor = {2048.0, 16000.0, 480.0};
+  // An input that is "middle" against the default reference is light
+  // against a 4x larger one.
+  const ReferenceInput default_ref;
+  const auto in = scaled(default_ref, 1.0);
+  EXPECT_EQ(engine.classify(in, default_ref), workloads::InputClass::Middle);
+  EXPECT_EQ(engine.classify(in, big_ref), workloads::InputClass::Light);
+}
+
+TEST(Thresholds, PartialFeatureVectorsClassifyByAvailableFeatures) {
+  const auto w = tiny_workload();
+  const platform::Executor ex;
+  const InputAwareEngine engine(w, ex, platform::ConfigGrid{});
+  InputDescriptor only_size;
+  only_size.size_mb = ReferenceInput{}.descriptor.size_mb * 3.0;
+  EXPECT_EQ(engine.classify(only_size), workloads::InputClass::Heavy);
+  only_size.size_mb = ReferenceInput{}.descriptor.size_mb * 0.2;
+  EXPECT_EQ(engine.classify(only_size), workloads::InputClass::Light);
+}
+
+TEST(Thresholds, MixedFeaturesUseGeometricMean) {
+  const auto w = tiny_workload();
+  const platform::Executor ex;
+  const InputAwareEngine engine(w, ex, platform::ConfigGrid{});
+  const ReferenceInput ref;
+  // 8x size but 1/8 duration at reference bitrate: geometric mean = 1.
+  InputDescriptor in = ref.descriptor;
+  in.size_mb *= 8.0;
+  in.duration_seconds /= 8.0;
+  EXPECT_EQ(engine.classify(in, ref), workloads::InputClass::Middle);
+}
+
+}  // namespace
+}  // namespace aarc::inputaware

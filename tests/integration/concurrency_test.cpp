@@ -1,0 +1,73 @@
+// Thread-safety: the scheduler, executor, and baselines share no mutable
+// state across calls (everything flows through locals and value copies), so
+// concurrent scheduling of independent workloads must be race-free and give
+// bit-identical results to serial runs.  Run under TSan for full value; even
+// without it, divergent results would fail deterministically here.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "aarc/scheduler.h"
+#include "platform/executor.h"
+#include "workloads/catalog.h"
+
+namespace aarc {
+namespace {
+
+platform::WorkflowConfig schedule_once(const std::string& name) {
+  const workloads::Workload w = workloads::make_by_name(name);
+  const platform::Executor ex;
+  const core::GraphCentricScheduler scheduler(ex, platform::ConfigGrid{});
+  return scheduler.schedule(w.workflow, w.slo_seconds).result.best_config;
+}
+
+TEST(Concurrency, ParallelSchedulesMatchSerialOnes) {
+  const std::vector<std::string> names{"chatbot", "ml_pipeline", "chatbot",
+                                       "ml_pipeline"};
+  // Serial reference.
+  std::vector<platform::WorkflowConfig> serial;
+  for (const auto& n : names) serial.push_back(schedule_once(n));
+
+  // Concurrent runs.
+  std::vector<platform::WorkflowConfig> parallel(names.size());
+  std::vector<std::thread> threads;
+  threads.reserve(names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    threads.emplace_back([&, i] { parallel[i] = schedule_once(names[i]); });
+  }
+  for (auto& t : threads) t.join();
+
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    ASSERT_EQ(parallel[i].size(), serial[i].size()) << names[i];
+    for (std::size_t f = 0; f < serial[i].size(); ++f) {
+      EXPECT_EQ(parallel[i][f], serial[i][f]) << names[i] << " fn " << f;
+    }
+  }
+}
+
+TEST(Concurrency, SharedExecutorAcrossThreadsIsSafe) {
+  // One Executor instance used by several threads concurrently (it is
+  // const-stateless per call; rngs are thread-local by construction).
+  const workloads::Workload w = workloads::make_by_name("chatbot");
+  const platform::Executor ex;
+  const auto cfg = platform::uniform_config(w.workflow.function_count(), {1.0, 512.0});
+
+  std::vector<double> results(8, 0.0);
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    threads.emplace_back([&, i] {
+      support::Rng rng(100 + i);
+      results[i] = ex.execute(w.workflow, cfg, 1.0, rng).makespan;
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    support::Rng rng(100 + i);
+    EXPECT_DOUBLE_EQ(results[i], ex.execute(w.workflow, cfg, 1.0, rng).makespan);
+  }
+}
+
+}  // namespace
+}  // namespace aarc

@@ -1,0 +1,151 @@
+// Full-stack integration tests: the three paper workloads through all three
+// search methods, validated with the paper's Table II protocol.  These are
+// the tests that pin the reproduction's headline shapes.
+#include <gtest/gtest.h>
+
+#include "aarc/scheduler.h"
+#include "baselines/bo/bo_optimizer.h"
+#include "baselines/maff/maff.h"
+#include "inputaware/engine.h"
+#include "platform/profiler.h"
+#include "workloads/catalog.h"
+
+namespace aarc {
+namespace {
+
+struct MethodOutcome {
+  search::SearchResult result;
+  platform::ProfileReport validation;
+};
+
+class EndToEnd : public ::testing::TestWithParam<std::string> {
+ protected:
+  static MethodOutcome run_aarc(const workloads::Workload& w,
+                                const platform::Executor& ex) {
+    const core::GraphCentricScheduler scheduler(ex, platform::ConfigGrid{});
+    auto report = scheduler.schedule(w.workflow, w.slo_seconds);
+    return validate(w, ex, std::move(report.result));
+  }
+
+  static MethodOutcome run_bo(const workloads::Workload& w, const platform::Executor& ex) {
+    search::Evaluator ev(w.workflow, ex, w.slo_seconds, 1.0, 1001);
+    return validate(w, ex, baselines::bayesian_optimization(ev, platform::ConfigGrid{}));
+  }
+
+  static MethodOutcome run_maff(const workloads::Workload& w,
+                                const platform::Executor& ex) {
+    search::Evaluator ev(w.workflow, ex, w.slo_seconds, 1.0, 1002);
+    return validate(w, ex, baselines::maff_gradient_descent(ev, platform::ConfigGrid{}));
+  }
+
+  static MethodOutcome validate(const workloads::Workload& w, const platform::Executor& ex,
+                                search::SearchResult result) {
+    MethodOutcome out;
+    support::Rng rng(4242);
+    const platform::Profiler profiler(ex);
+    EXPECT_TRUE(result.found_feasible);
+    out.validation = profiler.profile(w.workflow, result.best_config, 100, rng);
+    out.result = std::move(result);
+    return out;
+  }
+};
+
+TEST_P(EndToEnd, AllMethodsMeetTheSloOnAverage) {
+  // Table II(a): "All methods meet the SLO constraints."
+  const workloads::Workload w = workloads::make_by_name(GetParam());
+  const platform::Executor ex;
+  for (const auto& outcome : {run_aarc(w, ex), run_bo(w, ex), run_maff(w, ex)}) {
+    EXPECT_EQ(outcome.validation.failures, 0u);
+    EXPECT_LE(outcome.validation.makespan.mean, w.slo_seconds);
+  }
+}
+
+TEST_P(EndToEnd, AarcIsCheapestOfTheThreeMethods) {
+  // Table II(b): AARC reduces cost versus both baselines on all workloads.
+  const workloads::Workload w = workloads::make_by_name(GetParam());
+  const platform::Executor ex;
+  const auto aarc = run_aarc(w, ex);
+  const auto bo = run_bo(w, ex);
+  const auto maff = run_maff(w, ex);
+  EXPECT_LT(aarc.validation.cost.mean, bo.validation.cost.mean);
+  EXPECT_LT(aarc.validation.cost.mean, maff.validation.cost.mean);
+}
+
+TEST_P(EndToEnd, AarcSamplingIsCheaperThanBo) {
+  // Fig. 5: AARC's total sampling runtime and cost beat BO on every
+  // workload ("total search time reductions of 85.8%...").
+  const workloads::Workload w = workloads::make_by_name(GetParam());
+  const platform::Executor ex;
+  const auto aarc = run_aarc(w, ex);
+  const auto bo = run_bo(w, ex);
+  EXPECT_LT(aarc.result.trace.total_sampling_runtime(),
+            bo.result.trace.total_sampling_runtime());
+  EXPECT_LT(aarc.result.trace.total_sampling_cost(),
+            bo.result.trace.total_sampling_cost());
+}
+
+TEST_P(EndToEnd, AarcCostSeriesConvergesDownward) {
+  // Fig. 7: "Using AARC, cost shows a downward trend and converges."
+  const workloads::Workload w = workloads::make_by_name(GetParam());
+  const platform::Executor ex;
+  const auto aarc = run_aarc(w, ex);
+  const auto series = aarc.result.trace.incumbent_cost_series();
+  ASSERT_GT(series.size(), 4u);
+  EXPECT_LT(series.back(), 0.6 * series.front());
+  for (std::size_t i = 1; i < series.size(); ++i) EXPECT_LE(series[i], series[i - 1]);
+}
+
+TEST_P(EndToEnd, AarcRuntimeTrendsUpTowardTheSlo) {
+  // Fig. 6: "runtime shows an upward trend using AARC" — trading latency
+  // headroom for cost until the SLO (or the cost optimum) binds.
+  const workloads::Workload w = workloads::make_by_name(GetParam());
+  const platform::Executor ex;
+  const auto aarc = run_aarc(w, ex);
+  const auto series = aarc.result.trace.incumbent_runtime_series();
+  ASSERT_GT(series.size(), 4u);
+  EXPECT_GT(series.back(), series.front());
+  EXPECT_LE(series.back(), w.slo_seconds);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperWorkloads, EndToEnd,
+                         ::testing::Values("chatbot", "ml_pipeline", "video_analysis"));
+
+TEST(EndToEndInputAware, EngineBeatsFixedConfigOnLightInputs) {
+  // Fig. 8(b): per-class configurations cut cost on light inputs versus a
+  // fixed (middle-tuned) configuration.
+  const workloads::Workload w = workloads::make_by_name("video_analysis");
+  const platform::Executor ex;
+  inputaware::InputAwareEngine engine(w, ex, platform::ConfigGrid{});
+  engine.build();
+
+  const auto& light = engine.configuration(workloads::InputClass::Light);
+  const auto& middle = engine.configuration(workloads::InputClass::Middle);
+
+  support::Rng rng(7);
+  const platform::Profiler profiler(ex);
+  const double light_scale = w.scale_for(workloads::InputClass::Light);
+  const auto with_engine = profiler.profile(
+      w.workflow, light.report.result.best_config, 30, rng, light_scale);
+  const auto with_fixed = profiler.profile(
+      w.workflow, middle.report.result.best_config, 30, rng, light_scale);
+  EXPECT_LT(with_engine.cost.mean, with_fixed.cost.mean);
+}
+
+TEST(EndToEndInputAware, HeavyInputsStayWithinSloWithEngine) {
+  // Fig. 8(a): the engine's heavy-class configuration stays within the SLO
+  // where a fixed coupled configuration may violate it.
+  const workloads::Workload w = workloads::make_by_name("video_analysis");
+  const platform::Executor ex;
+  inputaware::InputAwareEngine engine(w, ex, platform::ConfigGrid{});
+  engine.build();
+  const auto& heavy = engine.configuration(workloads::InputClass::Heavy);
+  support::Rng rng(8);
+  const platform::Profiler profiler(ex);
+  const auto report = profiler.profile(w.workflow, heavy.report.result.best_config, 30, rng,
+                                       w.scale_for(workloads::InputClass::Heavy));
+  EXPECT_EQ(report.failures, 0u);
+  EXPECT_LE(report.makespan.mean, w.slo_seconds);
+}
+
+}  // namespace
+}  // namespace aarc

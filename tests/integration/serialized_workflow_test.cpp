@@ -1,0 +1,62 @@
+// Integration: the full developer loop over serialized artifacts — export a
+// workload to JSON, re-load it, schedule it, serialize the configuration,
+// re-load that, and validate.  This is exactly what `aarc_cli` does; here it
+// runs through the library API so failures localize.
+#include <gtest/gtest.h>
+
+#include "aarc/scheduler.h"
+#include "io/workflow_io.h"
+#include "platform/profiler.h"
+#include "workloads/catalog.h"
+
+namespace aarc {
+namespace {
+
+class SerializedLoop : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SerializedLoop, ExportScheduleSimulate) {
+  // 1. Export and re-import the workload.
+  const workloads::Workload original = workloads::make_by_name(GetParam());
+  const workloads::Workload loaded =
+      io::workload_from_string(io::workload_to_string(original));
+
+  // 2. Schedule the re-imported workflow.
+  const platform::Executor ex;
+  const core::GraphCentricScheduler scheduler(ex, platform::ConfigGrid{});
+  const auto report = scheduler.schedule(loaded.workflow, loaded.slo_seconds);
+  ASSERT_TRUE(report.result.found_feasible);
+
+  // 3. Round-trip the configuration through JSON.
+  const auto config_doc = io::config_to_json(loaded.workflow, report.result.best_config);
+  const auto config = io::config_from_json(loaded.workflow,
+                                           io::parse_json(config_doc.dump(2)));
+
+  // 4. Validate on the *original* workload: serialization must not have
+  // changed behaviour.
+  support::Rng rng(4242);
+  const platform::Profiler profiler(ex);
+  const auto validation = profiler.profile(original.workflow, config, 50, rng);
+  EXPECT_EQ(validation.failures, 0u);
+  EXPECT_LE(validation.makespan.mean, original.slo_seconds);
+}
+
+TEST_P(SerializedLoop, ScheduleIsIdenticalOnOriginalAndReloaded) {
+  const workloads::Workload original = workloads::make_by_name(GetParam());
+  const workloads::Workload loaded =
+      io::workload_from_string(io::workload_to_string(original));
+  const platform::Executor ex;
+  const core::GraphCentricScheduler scheduler(ex, platform::ConfigGrid{});
+  const auto a = scheduler.schedule(original.workflow, original.slo_seconds);
+  const auto b = scheduler.schedule(loaded.workflow, loaded.slo_seconds);
+  ASSERT_EQ(a.result.best_config.size(), b.result.best_config.size());
+  for (std::size_t i = 0; i < a.result.best_config.size(); ++i) {
+    EXPECT_EQ(a.result.best_config[i], b.result.best_config[i]);
+  }
+  EXPECT_EQ(a.result.samples(), b.result.samples());
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperWorkloads, SerializedLoop,
+                         ::testing::Values("chatbot", "ml_pipeline", "video_analysis"));
+
+}  // namespace
+}  // namespace aarc

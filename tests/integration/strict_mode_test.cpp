@@ -1,0 +1,68 @@
+// "Strict paper mode": the most literal reading of Algorithm 2 — no
+// accept-side step halving, no diminishing-returns pruning, no polish round,
+// no SLO safety margin.  The calibrated defaults must only be *efficiency*
+// improvements: the strict mode has to remain correct (SLO-compliant,
+// cheaper than base) on every paper workload, just more sample-hungry.
+#include <gtest/gtest.h>
+
+#include "aarc/scheduler.h"
+#include "platform/executor.h"
+#include "workloads/catalog.h"
+
+namespace aarc {
+namespace {
+
+core::SchedulerOptions strict_options() {
+  core::SchedulerOptions opts;
+  opts.configurator.halve_step_on_accept = false;
+  opts.configurator.min_gain_fraction = 0.0;
+  opts.configurator.polish_allocate = false;
+  opts.configurator.slo_safety_margin = 0.0;
+  opts.configurator.max_trail = 400;  // strict mode needs more budget
+  return opts;
+}
+
+class StrictMode : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(StrictMode, RemainsCorrectJustMoreExpensive) {
+  const workloads::Workload w = workloads::make_by_name(GetParam());
+  const platform::Executor ex;
+  const platform::ConfigGrid grid;
+
+  const core::GraphCentricScheduler strict(ex, grid, strict_options());
+  const core::GraphCentricScheduler tuned(ex, grid);  // calibrated defaults
+
+  const auto strict_report = strict.schedule(w.workflow, w.slo_seconds);
+  const auto tuned_report = tuned.schedule(w.workflow, w.slo_seconds);
+  ASSERT_TRUE(strict_report.result.found_feasible);
+  ASSERT_TRUE(tuned_report.result.found_feasible);
+
+  platform::ExecutorOptions mean_opts;
+  mean_opts.noise = perf::NoiseModel(0.0);
+  const platform::Executor mean_ex(std::make_unique<platform::DecoupledLinearPricing>(),
+                                   mean_opts);
+
+  // Correctness: SLO met in expectation, cost beaten vs base.
+  const auto strict_run =
+      mean_ex.execute_mean(w.workflow, strict_report.result.best_config);
+  EXPECT_FALSE(strict_run.failed);
+  EXPECT_LE(strict_run.makespan, w.slo_seconds * 1.02);
+  const auto base = platform::uniform_config(w.workflow.function_count(),
+                                             grid.max_config());
+  EXPECT_LT(strict_run.total_cost,
+            0.75 * mean_ex.execute_mean(w.workflow, base).total_cost);
+
+  // The calibrated defaults buy samples, not correctness: strict mode uses
+  // materially more probes for a comparable (within 2x) final cost.
+  EXPECT_GT(strict_report.result.samples(), tuned_report.result.samples());
+  const auto tuned_run =
+      mean_ex.execute_mean(w.workflow, tuned_report.result.best_config);
+  EXPECT_LT(strict_run.total_cost, 2.0 * tuned_run.total_cost);
+  EXPECT_LT(tuned_run.total_cost, 2.0 * strict_run.total_cost);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperWorkloads, StrictMode,
+                         ::testing::Values("chatbot", "ml_pipeline", "video_analysis"));
+
+}  // namespace
+}  // namespace aarc

@@ -1,0 +1,54 @@
+// The committed workload fixtures under data/ must stay loadable and
+// behaviourally identical to the in-code builders — they are the files the
+// README and CLI docs point users at.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "io/workflow_io.h"
+#include "platform/executor.h"
+#include "workloads/catalog.h"
+
+namespace aarc::io {
+namespace {
+
+/// data/ lives two levels above this source file (tests/io/ -> repo root).
+std::string data_path(const std::string& name) {
+  const std::string self = __FILE__;
+  const auto pos = self.rfind("/tests/");
+  return self.substr(0, pos) + "/data/" + name + ".json";
+}
+
+class Fixtures : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(Fixtures, LoadsAndValidates) {
+  const auto w = workload_from_string(read_text_file(data_path(GetParam())));
+  EXPECT_NO_THROW(w.workflow.validate());
+  EXPECT_EQ(w.workflow.name(), GetParam());
+  EXPECT_GT(w.slo_seconds, 0.0);
+}
+
+TEST_P(Fixtures, MatchesTheBuilderBehaviourally) {
+  const auto from_file = workload_from_string(read_text_file(data_path(GetParam())));
+  const auto from_code = workloads::make_by_name(GetParam());
+
+  ASSERT_EQ(from_file.workflow.function_count(), from_code.workflow.function_count());
+  EXPECT_DOUBLE_EQ(from_file.slo_seconds, from_code.slo_seconds);
+
+  platform::ExecutorOptions opts;
+  opts.noise = perf::NoiseModel(0.0);
+  const platform::Executor ex(std::make_unique<platform::DecoupledLinearPricing>(), opts);
+  const auto cfg = platform::uniform_config(from_code.workflow.function_count(),
+                                            {4.0, 4096.0});
+  const auto a = ex.execute_mean(from_file.workflow, cfg);
+  const auto b = ex.execute_mean(from_code.workflow, cfg);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.total_cost, b.total_cost);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, Fixtures,
+                         ::testing::Values("chatbot", "ml_pipeline", "video_analysis",
+                                           "data_analytics"));
+
+}  // namespace
+}  // namespace aarc::io

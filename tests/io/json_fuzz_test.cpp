@@ -1,0 +1,98 @@
+// Robustness fuzzing of the JSON parser: seeded random byte strings and
+// random mutations of valid documents must either parse or throw JsonError —
+// never crash, hang, or throw anything else.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "io/json.h"
+#include "support/rng.h"
+
+namespace aarc::io {
+namespace {
+
+/// Parse and require graceful behaviour; returns true when it parsed.
+bool parse_gracefully(const std::string& text) {
+  try {
+    const Json doc = parse_json(text);
+    // Whatever parsed must re-serialize and re-parse identically.
+    const Json again = parse_json(doc.dump());
+    EXPECT_EQ(doc, again);
+    return true;
+  } catch (const JsonError&) {
+    return false;  // rejection is fine
+  }
+}
+
+class JsonFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JsonFuzz, RandomBytesNeverCrash) {
+  support::Rng rng(GetParam());
+  for (int doc = 0; doc < 200; ++doc) {
+    std::string text;
+    const std::size_t len = rng.index(60);
+    for (std::size_t i = 0; i < len; ++i) {
+      text += static_cast<char>(rng.uniform_int(32, 126));
+    }
+    (void)parse_gracefully(text);
+  }
+}
+
+TEST_P(JsonFuzz, StructuredSoupNeverCrashes) {
+  // Random soup from JSON-ish tokens: much higher parse rate than raw bytes,
+  // exercising deeper parser states.
+  static const char* kTokens[] = {"{",    "}",    "[",     "]",    ",",   ":",
+                                  "\"a\"", "\"b\"", "1",     "-2.5", "1e3", "true",
+                                  "false", "null", " ",     "\n"};
+  support::Rng rng(GetParam() + 1000);
+  for (int doc = 0; doc < 300; ++doc) {
+    std::string text;
+    const std::size_t len = 1 + rng.index(20);
+    for (std::size_t i = 0; i < len; ++i) {
+      text += kTokens[rng.index(std::size(kTokens))];
+    }
+    (void)parse_gracefully(text);
+  }
+}
+
+TEST_P(JsonFuzz, MutatedValidDocumentsNeverCrash) {
+  const std::string valid =
+      R"({"name":"wf","slo":120.5,"fns":[{"n":"a","xs":[1,2,3]},{"n":"b","ok":true}]})";
+  support::Rng rng(GetParam() + 2000);
+  for (int doc = 0; doc < 300; ++doc) {
+    std::string text = valid;
+    const std::size_t edits = 1 + rng.index(4);
+    for (std::size_t e = 0; e < edits; ++e) {
+      const std::size_t pos = rng.index(text.size());
+      switch (rng.index(3)) {
+        case 0:
+          text[pos] = static_cast<char>(rng.uniform_int(32, 126));
+          break;
+        case 1:
+          text.erase(pos, 1);
+          break;
+        default:
+          text.insert(pos, 1, static_cast<char>(rng.uniform_int(32, 126)));
+          break;
+      }
+      if (text.empty()) break;
+    }
+    (void)parse_gracefully(text);
+  }
+}
+
+TEST_P(JsonFuzz, DeepNestingParsesOrRejectsWithoutOverflow) {
+  // Moderately deep nesting must round-trip; the recursive-descent parser's
+  // depth is bounded by the input length, so this also guards stack use.
+  support::Rng rng(GetParam() + 3000);
+  const std::size_t depth = 50 + rng.index(100);
+  std::string text(depth, '[');
+  text += "1";
+  text.append(depth, ']');
+  EXPECT_TRUE(parse_gracefully(text));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonFuzz, ::testing::Range<std::uint64_t>(1, 6));
+
+}  // namespace
+}  // namespace aarc::io

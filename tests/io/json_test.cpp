@@ -1,0 +1,153 @@
+#include "io/json.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace aarc::io {
+namespace {
+
+TEST(Json, DefaultIsNull) {
+  const Json j;
+  EXPECT_TRUE(j.is_null());
+  EXPECT_FALSE(j.is_object());
+}
+
+TEST(Json, TypedConstructionAndAccess) {
+  EXPECT_TRUE(Json(true).as_bool());
+  EXPECT_DOUBLE_EQ(Json(3.5).as_number(), 3.5);
+  EXPECT_EQ(Json("hi").as_string(), "hi");
+  EXPECT_EQ(Json(JsonArray{Json(1), Json(2)}).as_array().size(), 2u);
+}
+
+TEST(Json, TypeMismatchThrows) {
+  EXPECT_THROW(Json(1.0).as_string(), JsonError);
+  EXPECT_THROW(Json("x").as_number(), JsonError);
+  EXPECT_THROW(Json(true).as_array(), JsonError);
+  EXPECT_THROW(Json().as_object(), JsonError);
+}
+
+TEST(Json, ObjectFieldAccess) {
+  JsonObject obj;
+  obj["a"] = 1.0;
+  obj["b"] = "text";
+  const Json j(std::move(obj));
+  EXPECT_DOUBLE_EQ(j.at("a").as_number(), 1.0);
+  EXPECT_TRUE(j.contains("b"));
+  EXPECT_FALSE(j.contains("c"));
+  EXPECT_THROW(j.at("c"), JsonError);
+}
+
+TEST(Json, FieldDefaults) {
+  JsonObject obj;
+  obj["x"] = 2.0;
+  obj["s"] = "v";
+  obj["f"] = false;
+  const Json j(std::move(obj));
+  EXPECT_DOUBLE_EQ(j.number_or("x", 9.0), 2.0);
+  EXPECT_DOUBLE_EQ(j.number_or("missing", 9.0), 9.0);
+  EXPECT_EQ(j.string_or("s", "d"), "v");
+  EXPECT_EQ(j.string_or("missing", "d"), "d");
+  EXPECT_FALSE(j.bool_or("f", true));
+  EXPECT_TRUE(j.bool_or("missing", true));
+}
+
+TEST(ParseJson, Scalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_TRUE(parse_json("true").as_bool());
+  EXPECT_FALSE(parse_json("false").as_bool());
+  EXPECT_DOUBLE_EQ(parse_json("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(parse_json("-3.25e2").as_number(), -325.0);
+  EXPECT_EQ(parse_json("\"hello\"").as_string(), "hello");
+}
+
+TEST(ParseJson, NestedStructure) {
+  const Json j = parse_json(R"({"a": [1, 2, {"b": true}], "c": null})");
+  EXPECT_EQ(j.at("a").as_array().size(), 3u);
+  EXPECT_TRUE(j.at("a").as_array()[2].at("b").as_bool());
+  EXPECT_TRUE(j.at("c").is_null());
+}
+
+TEST(ParseJson, StringEscapes) {
+  EXPECT_EQ(parse_json(R"("line\nbreak\t\"q\" \\")").as_string(), "line\nbreak\t\"q\" \\");
+  EXPECT_EQ(parse_json(R"("Aé")").as_string(), "A\xC3\xA9");
+}
+
+TEST(ParseJson, WhitespaceTolerant) {
+  const Json j = parse_json("  { \"a\"\n :\t[ 1 , 2 ]  }  ");
+  EXPECT_EQ(j.at("a").as_array().size(), 2u);
+}
+
+TEST(ParseJson, EmptyContainers) {
+  EXPECT_TRUE(parse_json("{}").as_object().empty());
+  EXPECT_TRUE(parse_json("[]").as_array().empty());
+}
+
+TEST(ParseJson, ErrorsCarryPosition) {
+  try {
+    parse_json("{\n  \"a\": tru\n}");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(ParseJson, RejectsMalformedDocuments) {
+  EXPECT_THROW(parse_json(""), JsonError);
+  EXPECT_THROW(parse_json("{"), JsonError);
+  EXPECT_THROW(parse_json("[1,]"), JsonError);
+  EXPECT_THROW(parse_json("{\"a\" 1}"), JsonError);
+  EXPECT_THROW(parse_json("{1: 2}"), JsonError);
+  EXPECT_THROW(parse_json("\"unterminated"), JsonError);
+  EXPECT_THROW(parse_json("12 34"), JsonError);
+  EXPECT_THROW(parse_json("1.2.3"), JsonError);
+  EXPECT_THROW(parse_json(R"({"a":1, "a":2})"), JsonError);
+  EXPECT_THROW(parse_json(R"("bad \x escape")"), JsonError);
+}
+
+TEST(DumpJson, CompactAndStable) {
+  JsonObject obj;
+  obj["b"] = 2;
+  obj["a"] = 1;
+  EXPECT_EQ(Json(std::move(obj)).dump(), R"({"a":1,"b":2})");
+}
+
+TEST(DumpJson, PrettyPrinting) {
+  JsonObject obj;
+  obj["k"] = Json(JsonArray{Json(1)});
+  const std::string pretty = Json(std::move(obj)).dump(2);
+  EXPECT_EQ(pretty, "{\n  \"k\": [\n    1\n  ]\n}");
+}
+
+TEST(DumpJson, IntegersPrintWithoutDecimals) {
+  EXPECT_EQ(Json(5.0).dump(), "5");
+  EXPECT_EQ(Json(-12.0).dump(), "-12");
+  EXPECT_EQ(Json(0.5).dump(), "0.5");
+}
+
+TEST(DumpJson, EscapesSpecials) {
+  EXPECT_EQ(Json("a\"b\\c\nd").dump(), R"("a\"b\\c\nd")");
+}
+
+TEST(DumpJson, RejectsNonFiniteNumbers) {
+  EXPECT_THROW(Json(std::numeric_limits<double>::infinity()).dump(), JsonError);
+}
+
+/// Round-trip property over a set of documents.
+class JsonRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(JsonRoundTrip, ParseDumpParseIsIdentity) {
+  const Json first = parse_json(GetParam());
+  const Json second = parse_json(first.dump());
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first.dump(2), second.dump(2));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Documents, JsonRoundTrip,
+    ::testing::Values("null", "true", "3.14159", "\"text with \\\"quotes\\\"\"",
+                      "[1,[2,[3,[]]]]", R"({"nested":{"deep":{"x":[1,2,3]}}})",
+                      R"({"mixed":[true,null,1.5,"s",{"k":[]}]})"));
+
+}  // namespace
+}  // namespace aarc::io

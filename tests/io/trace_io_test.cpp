@@ -1,0 +1,133 @@
+#include "io/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "perf/analytic.h"
+#include "support/contracts.h"
+
+namespace aarc::io {
+namespace {
+
+std::unique_ptr<perf::PerfModel> model(double serial, double min_mem = 128.0) {
+  perf::AnalyticParams p;
+  p.serial_seconds = serial;
+  p.working_set_mb = std::max(256.0, min_mem);
+  p.min_memory_mb = min_mem;
+  p.pressure_coeff = 0.0;
+  return std::make_unique<perf::AnalyticModel>(p);
+}
+
+platform::Workflow chain() {
+  platform::Workflow wf("chain");
+  wf.add_function("first", model(4.0));
+  wf.add_function("second", model(6.0));
+  wf.add_edge("first", "second");
+  return wf;
+}
+
+platform::Executor noiseless() {
+  platform::ExecutorOptions opts;
+  opts.noise = perf::NoiseModel(0.0);
+  return platform::Executor(std::make_unique<platform::DecoupledLinearPricing>(), opts);
+}
+
+search::SearchTrace sample_trace() {
+  search::SearchTrace trace;
+  search::Sample s;
+  s.index = 0;
+  s.makespan = 10.0;
+  s.cost = 5.5;
+  s.wall_seconds = 10.0;
+  s.wall_cost = 5.5;
+  s.feasible = true;
+  trace.add(s);
+  s.index = 1;
+  s.makespan = std::numeric_limits<double>::infinity();
+  s.cost = std::numeric_limits<double>::infinity();
+  s.wall_seconds = 3.0;
+  s.wall_cost = 1.0;
+  s.failed = true;
+  s.feasible = false;
+  trace.add(s);
+  return trace;
+}
+
+TEST(TraceCsv, OneRowPerSampleWithHeader) {
+  const std::string csv = trace_to_csv(sample_trace());
+  EXPECT_NE(csv.find("index,makespan,cost"), std::string::npos);
+  EXPECT_NE(csv.find("0,10.0000,5.5000,10.0000,5.5000,0,1"), std::string::npos);
+  EXPECT_NE(csv.find("1,inf,inf,3.0000,1.0000,1,0"), std::string::npos);
+}
+
+TEST(TraceCsv, EmptyTraceIsJustHeader) {
+  const std::string csv = trace_to_csv(search::SearchTrace{});
+  EXPECT_EQ(csv, "index,makespan,cost,wall_seconds,wall_cost,failed,feasible\n");
+}
+
+TEST(ExecutionCsv, ReportsPerInvocationRows) {
+  const platform::Workflow wf = chain();
+  const auto res = noiseless().execute_mean(wf, platform::uniform_config(2, {1.0, 512.0}));
+  const std::string csv = execution_to_csv(wf, res);
+  EXPECT_NE(csv.find("first,0.0000,4.0000,4.0000"), std::string::npos);
+  EXPECT_NE(csv.find("second,4.0000,6.0000,10.0000"), std::string::npos);
+}
+
+TEST(ExecutionCsv, MarksOomRows) {
+  const platform::Workflow wf = chain();
+  auto cfg = platform::uniform_config(2, {1.0, 512.0});
+  cfg[1].memory_mb = 100.0;
+  const auto res = noiseless().execute_mean(wf, cfg);
+  const std::string csv = execution_to_csv(wf, res);
+  EXPECT_NE(csv.find("second,4.0000,inf,inf,inf,1"), std::string::npos);
+}
+
+TEST(ExecutionCsv, RejectsMismatchedWorkflow) {
+  const platform::Workflow wf = chain();
+  platform::ExecutionResult wrong;
+  wrong.invocations.resize(5);
+  EXPECT_THROW(execution_to_csv(wf, wrong), support::ContractViolation);
+}
+
+TEST(Gantt, BarsSpanTheTimeline) {
+  const platform::Workflow wf = chain();
+  const auto res = noiseless().execute_mean(wf, platform::uniform_config(2, {1.0, 512.0}));
+  const std::string gantt = execution_gantt(wf, res, 24);
+  // Two lines, each naming a function and drawing #'s.
+  EXPECT_NE(gantt.find("first"), std::string::npos);
+  EXPECT_NE(gantt.find("second"), std::string::npos);
+  EXPECT_NE(gantt.find('#'), std::string::npos);
+  EXPECT_NE(gantt.find("0.0-4.0s"), std::string::npos);
+  EXPECT_NE(gantt.find("4.0-10.0s"), std::string::npos);
+}
+
+TEST(Gantt, SequentialFunctionsDontOverlap) {
+  const platform::Workflow wf = chain();
+  const auto res = noiseless().execute_mean(wf, platform::uniform_config(2, {1.0, 512.0}));
+  const std::string gantt = execution_gantt(wf, res, 24);
+  // The second bar starts after the first ends: the "second" row begins with
+  // spaces inside its lane.
+  const auto second_line = gantt.find("second |");
+  ASSERT_NE(second_line, std::string::npos);
+  const std::string lane = gantt.substr(second_line + 8, 10);
+  EXPECT_EQ(lane.substr(0, 5), "     ");
+}
+
+TEST(Gantt, MarksOomFunctions) {
+  const platform::Workflow wf = chain();
+  auto cfg = platform::uniform_config(2, {1.0, 512.0});
+  cfg[1].memory_mb = 100.0;
+  const auto res = noiseless().execute_mean(wf, cfg);
+  EXPECT_NE(execution_gantt(wf, res).find("OOM"), std::string::npos);
+}
+
+TEST(Gantt, RejectsNarrowWidth) {
+  const platform::Workflow wf = chain();
+  const auto res = noiseless().execute_mean(wf, platform::uniform_config(2, {1.0, 512.0}));
+  EXPECT_THROW(execution_gantt(wf, res, 5), support::ContractViolation);
+}
+
+}  // namespace
+}  // namespace aarc::io

@@ -1,0 +1,177 @@
+#include "io/workflow_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "perf/analytic.h"
+#include "perf/composite.h"
+#include "perf/profile_table.h"
+#include "platform/executor.h"
+#include "support/contracts.h"
+#include "workloads/catalog.h"
+
+namespace aarc::io {
+namespace {
+
+TEST(ModelIo, AnalyticRoundTrip) {
+  perf::AnalyticParams p;
+  p.io_seconds = 2.5;
+  p.serial_seconds = 7.0;
+  p.parallel_seconds = 21.0;
+  p.max_parallelism = 3.5;
+  p.working_set_mb = 900.0;
+  p.min_memory_mb = 300.0;
+  p.pressure_coeff = 4.0;
+  p.input_work_exp = 1.2;
+  p.input_memory_exp = 0.4;
+  const perf::AnalyticModel original(p);
+  const auto restored = model_from_json(model_to_json(original));
+  for (double cpu : {0.5, 2.0, 8.0}) {
+    for (double mem : {512.0, 2048.0}) {
+      EXPECT_DOUBLE_EQ(restored->mean_runtime(cpu, mem, 1.5),
+                       original.mean_runtime(cpu, mem, 1.5));
+    }
+  }
+  EXPECT_DOUBLE_EQ(restored->min_memory_mb(2.0), original.min_memory_mb(2.0));
+}
+
+TEST(ModelIo, CompositeRoundTrip) {
+  std::vector<std::unique_ptr<perf::PerfModel>> stages;
+  perf::AnalyticParams a;
+  a.serial_seconds = 3.0;
+  a.working_set_mb = 256.0;
+  a.min_memory_mb = 128.0;
+  stages.push_back(std::make_unique<perf::AnalyticModel>(a));
+  a.serial_seconds = 5.0;
+  stages.push_back(std::make_unique<perf::AnalyticModel>(a));
+  const perf::CompositeModel original(std::move(stages));
+  const auto restored = model_from_json(model_to_json(original));
+  EXPECT_DOUBLE_EQ(restored->mean_runtime(1.0, 512.0, 1.0),
+                   original.mean_runtime(1.0, 512.0, 1.0));
+}
+
+TEST(ModelIo, ProfileTableRoundTrip) {
+  const perf::ProfileTableModel original({1.0, 2.0}, {512.0, 1024.0},
+                                         {40.0, 30.0, 24.0, 20.0}, 1.5);
+  const auto restored = model_from_json(model_to_json(original));
+  EXPECT_DOUBLE_EQ(restored->mean_runtime(1.5, 768.0, 2.0),
+                   original.mean_runtime(1.5, 768.0, 2.0));
+}
+
+TEST(ModelIo, UnknownTypeRejected) {
+  EXPECT_THROW(model_from_json(parse_json(R"({"type": "magic"})")), JsonError);
+  EXPECT_THROW(model_from_json(parse_json(R"({"no_type": 1})")), JsonError);
+}
+
+class WorkloadRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadRoundTrip, PreservesStructureAndBehaviour) {
+  const workloads::Workload original = workloads::make_by_name(GetParam());
+  const workloads::Workload restored =
+      workload_from_string(workload_to_string(original));
+
+  EXPECT_EQ(restored.workflow.name(), original.workflow.name());
+  EXPECT_EQ(restored.workflow.function_count(), original.workflow.function_count());
+  EXPECT_EQ(restored.workflow.graph().edge_count(), original.workflow.graph().edge_count());
+  EXPECT_DOUBLE_EQ(restored.slo_seconds, original.slo_seconds);
+  EXPECT_EQ(restored.input_sensitive, original.input_sensitive);
+  ASSERT_EQ(restored.input_classes.size(), original.input_classes.size());
+  for (std::size_t i = 0; i < original.input_classes.size(); ++i) {
+    EXPECT_EQ(restored.input_classes[i].input_class, original.input_classes[i].input_class);
+    EXPECT_DOUBLE_EQ(restored.input_classes[i].scale, original.input_classes[i].scale);
+  }
+
+  // Behavioural equivalence: identical mean executions.
+  platform::ExecutorOptions opts;
+  opts.noise = perf::NoiseModel(0.0);
+  const platform::Executor ex(std::make_unique<platform::DecoupledLinearPricing>(), opts);
+  const auto cfg = platform::uniform_config(original.workflow.function_count(),
+                                            {2.0, 2048.0});
+  const auto a = ex.execute_mean(original.workflow, cfg);
+  const auto b = ex.execute_mean(restored.workflow, cfg);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.total_cost, b.total_cost);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperWorkloads, WorkloadRoundTrip,
+                         ::testing::Values("chatbot", "ml_pipeline", "video_analysis"));
+
+TEST(WorkloadIo, RejectsBadDocuments) {
+  EXPECT_THROW(workload_from_string("{}"), JsonError);
+  // Cycle.
+  EXPECT_THROW(workload_from_string(R"({
+    "name": "bad", "slo_seconds": 10,
+    "functions": [
+      {"name": "a", "model": {"type": "analytic", "serial_seconds": 1}},
+      {"name": "b", "model": {"type": "analytic", "serial_seconds": 1}}],
+    "edges": [["a", "b"], ["b", "a"]]})"),
+               support::ContractViolation);
+  // Unknown edge endpoint.
+  EXPECT_THROW(workload_from_string(R"({
+    "name": "bad", "slo_seconds": 10,
+    "functions": [{"name": "a", "model": {"type": "analytic", "serial_seconds": 1}}],
+    "edges": [["a", "ghost"]]})"),
+               support::ContractViolation);
+  // Non-positive SLO.
+  EXPECT_THROW(workload_from_string(R"({
+    "name": "bad", "slo_seconds": 0,
+    "functions": [{"name": "a", "model": {"type": "analytic", "serial_seconds": 1}}],
+    "edges": []})"),
+               support::ContractViolation);
+  // Bad input class name.
+  EXPECT_THROW(workload_from_string(R"({
+    "name": "bad", "slo_seconds": 10,
+    "functions": [{"name": "a", "model": {"type": "analytic", "serial_seconds": 1}}],
+    "edges": [], "input_classes": [{"class": "gigantic", "scale": 2}]})"),
+               JsonError);
+}
+
+TEST(ConfigIo, RoundTrip) {
+  const workloads::Workload w = workloads::make_by_name("chatbot");
+  platform::WorkflowConfig config(w.workflow.function_count());
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    config[i] = {1.0 + 0.1 * static_cast<double>(i), 512.0 + 64.0 * static_cast<double>(i)};
+  }
+  const auto restored =
+      config_from_json(w.workflow, config_to_json(w.workflow, config));
+  ASSERT_EQ(restored.size(), config.size());
+  for (std::size_t i = 0; i < config.size(); ++i) EXPECT_EQ(restored[i], config[i]);
+}
+
+TEST(ConfigIo, MatchesByNameNotOrder) {
+  const workloads::Workload w = workloads::make_by_name("chatbot");
+  // A document listing only some functions, or twice, is rejected.
+  const Json missing = parse_json(R"({"workflow": "chatbot", "functions": [
+      {"name": "preprocess", "vcpu": 1, "memory_mb": 512}]})");
+  EXPECT_THROW(config_from_json(w.workflow, missing), JsonError);
+}
+
+TEST(ConfigIo, RejectsDuplicatesAndUnknowns) {
+  const workloads::Workload w = workloads::make_by_name("chatbot");
+  const auto base = config_to_json(
+      w.workflow, platform::uniform_config(w.workflow.function_count(), {1.0, 512.0}));
+  // Duplicate entry.
+  Json dup = base;
+  dup.as_object()["functions"].as_array().push_back(
+      parse_json(R"({"name": "preprocess", "vcpu": 2, "memory_mb": 1024})"));
+  EXPECT_THROW(config_from_json(w.workflow, dup), JsonError);
+  // Unknown function name.
+  Json unknown = base;
+  unknown.as_object()["functions"].as_array()[0].as_object()["name"] = "ghost";
+  EXPECT_THROW(config_from_json(w.workflow, unknown), support::ContractViolation);
+}
+
+TEST(FileIo, WriteReadRoundTrip) {
+  const std::string path = "/tmp/aarc_io_test_file.json";
+  write_text_file(path, "{\"x\": 1}");
+  EXPECT_EQ(read_text_file(path), "{\"x\": 1}");
+  std::remove(path.c_str());
+}
+
+TEST(FileIo, MissingFileThrows) {
+  EXPECT_THROW(read_text_file("/tmp/definitely_missing_aarc_file.json"), JsonError);
+}
+
+}  // namespace
+}  // namespace aarc::io

@@ -1,0 +1,138 @@
+#include "perf/affinity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "perf/analytic.h"
+#include "support/contracts.h"
+
+namespace aarc::perf {
+namespace {
+
+AnalyticModel cpu_heavy() {
+  AnalyticParams p;
+  p.io_seconds = 0.5;
+  p.serial_seconds = 2.0;
+  p.parallel_seconds = 60.0;
+  p.max_parallelism = 8.0;
+  p.working_set_mb = 256.0;
+  p.min_memory_mb = 128.0;
+  p.pressure_coeff = 2.0;
+  return AnalyticModel(p);
+}
+
+AnalyticModel memory_heavy() {
+  AnalyticParams p;
+  p.io_seconds = 1.0;
+  p.serial_seconds = 10.0;
+  p.parallel_seconds = 0.0;
+  p.max_parallelism = 1.0;
+  p.working_set_mb = 4096.0;
+  p.min_memory_mb = 1024.0;
+  p.pressure_coeff = 5.0;
+  return AnalyticModel(p);
+}
+
+AnalyticModel io_heavy() {
+  AnalyticParams p;
+  p.io_seconds = 20.0;
+  p.serial_seconds = 0.5;
+  p.parallel_seconds = 0.0;
+  p.max_parallelism = 1.0;
+  p.working_set_mb = 256.0;
+  p.min_memory_mb = 128.0;
+  p.pressure_coeff = 1.0;
+  return AnalyticModel(p);
+}
+
+TEST(Affinity, ClassNames) {
+  EXPECT_EQ(to_string(AffinityClass::CpuBound), "cpu-bound");
+  EXPECT_EQ(to_string(AffinityClass::MemoryBound), "memory-bound");
+  EXPECT_EQ(to_string(AffinityClass::IoBound), "io-bound");
+  EXPECT_EQ(to_string(AffinityClass::Balanced), "balanced");
+}
+
+TEST(Affinity, ElasticitiesAreNonPositive) {
+  const auto m = cpu_heavy();
+  const auto e = elasticity(m, 2.0, 1024.0);
+  EXPECT_LE(e.cpu, 0.0);
+  EXPECT_LE(e.memory, 0.0);
+}
+
+TEST(Affinity, CpuHeavyInParallelRegionIsCpuBound) {
+  // At 2 vCPU with ample memory, the parallel work dominates: strong CPU
+  // elasticity, zero memory elasticity.
+  const auto m = cpu_heavy();
+  const auto e = elasticity(m, 2.0, 2048.0);
+  EXPECT_LT(e.cpu, -0.5);
+  EXPECT_NEAR(e.memory, 0.0, 1e-9);
+  EXPECT_EQ(affinity_of(m, 2.0, 2048.0), AffinityClass::CpuBound);
+}
+
+TEST(Affinity, CpuHeavyBeyondParallelismBecomesIoBound) {
+  // Beyond max_parallelism extra cores do nothing: both elasticities ~0.
+  const auto m = cpu_heavy();
+  EXPECT_EQ(affinity_of(m, 10.0, 2048.0), AffinityClass::IoBound);
+}
+
+TEST(Affinity, MemoryPressureRegionIsMemoryBound) {
+  // Below the 4096 MB working set the pressure term dominates.
+  const auto m = memory_heavy();
+  const auto e = elasticity(m, 2.0, 2048.0);
+  EXPECT_LT(e.memory, -0.3);
+  EXPECT_EQ(affinity_of(m, 2.0, 2048.0), AffinityClass::MemoryBound);
+}
+
+TEST(Affinity, AboveWorkingSetMemoryElasticityVanishes) {
+  const auto m = memory_heavy();
+  const auto e = elasticity(m, 2.0, 8192.0);
+  EXPECT_NEAR(e.memory, 0.0, 1e-9);
+}
+
+TEST(Affinity, IoFloorDominatedIsIoBound) {
+  EXPECT_EQ(affinity_of(io_heavy(), 2.0, 1024.0), AffinityClass::IoBound);
+}
+
+TEST(Affinity, SubCoreRegionShowsCpuElasticityNearMinusOne) {
+  // Below 1 vCPU everything scales ~1/cpu: elasticity ~ -1.
+  AnalyticParams p;
+  p.serial_seconds = 30.0;
+  p.working_set_mb = 256.0;
+  p.min_memory_mb = 128.0;
+  const AnalyticModel serial(p);
+  const auto e = elasticity(serial, 0.5, 1024.0, 1.0, 0.1);
+  EXPECT_NEAR(e.cpu, -1.0, 0.05);
+}
+
+TEST(Affinity, ClassifyThresholdsRespected) {
+  AffinityThresholds t;
+  t.significant = 0.05;
+  t.dominance = 3.0;
+  EXPECT_EQ(classify({-0.01, -0.01}, t), AffinityClass::IoBound);
+  EXPECT_EQ(classify({-0.9, -0.01}, t), AffinityClass::CpuBound);
+  EXPECT_EQ(classify({-0.01, -0.9}, t), AffinityClass::MemoryBound);
+  EXPECT_EQ(classify({-0.5, -0.4}, t), AffinityClass::Balanced);
+  // Both significant but one dominates 3x.
+  EXPECT_EQ(classify({-0.9, -0.2}, t), AffinityClass::CpuBound);
+}
+
+TEST(Affinity, MemoryProbeRespectsOomFloor) {
+  // Operating exactly at the floor: the downward probe is clipped, but the
+  // elasticity is still finite and well-defined.
+  const auto m = memory_heavy();
+  const auto e = elasticity(m, 1.0, 1024.0);
+  EXPECT_TRUE(std::isfinite(e.memory));
+  EXPECT_LT(e.memory, 0.0);  // pressure region: memory matters
+}
+
+TEST(Affinity, RejectsBadArguments) {
+  const auto m = cpu_heavy();
+  EXPECT_THROW(elasticity(m, 0.0, 1024.0), support::ContractViolation);
+  EXPECT_THROW(elasticity(m, 1.0, 1024.0, 1.0, 0.0), support::ContractViolation);
+  EXPECT_THROW(elasticity(m, 1.0, 1024.0, 1.0, 1.0), support::ContractViolation);
+  EXPECT_THROW(elasticity(m, 1.0, 64.0), support::ContractViolation);  // below floor
+}
+
+}  // namespace
+}  // namespace aarc::perf

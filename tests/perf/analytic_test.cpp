@@ -1,0 +1,158 @@
+#include "perf/analytic.h"
+
+#include <gtest/gtest.h>
+
+#include "support/contracts.h"
+
+namespace aarc::perf {
+namespace {
+
+using support::ContractViolation;
+
+AnalyticParams base_params() {
+  AnalyticParams p;
+  p.io_seconds = 2.0;
+  p.serial_seconds = 10.0;
+  p.parallel_seconds = 40.0;
+  p.max_parallelism = 4.0;
+  p.working_set_mb = 1024.0;
+  p.min_memory_mb = 512.0;
+  p.pressure_coeff = 2.0;
+  p.input_work_exp = 1.0;
+  p.input_memory_exp = 0.5;
+  return p;
+}
+
+TEST(AnalyticParams, ValidatesGoodParams) { EXPECT_NO_THROW(base_params().validate()); }
+
+TEST(AnalyticParams, RejectsNoWork) {
+  AnalyticParams p = base_params();
+  p.io_seconds = p.serial_seconds = p.parallel_seconds = 0.0;
+  EXPECT_THROW(p.validate(), ContractViolation);
+}
+
+TEST(AnalyticParams, RejectsSubUnitParallelism) {
+  AnalyticParams p = base_params();
+  p.max_parallelism = 0.5;
+  EXPECT_THROW(p.validate(), ContractViolation);
+}
+
+TEST(AnalyticParams, RejectsFloorAboveWorkingSet) {
+  AnalyticParams p = base_params();
+  p.min_memory_mb = 2048.0;
+  EXPECT_THROW(p.validate(), ContractViolation);
+}
+
+TEST(AnalyticModel, BaselinePoint) {
+  // 1 vCPU, ample memory, unit scale: io + serial + parallel.
+  const AnalyticModel m(base_params());
+  EXPECT_DOUBLE_EQ(m.mean_runtime(1.0, 4096.0, 1.0), 2.0 + 10.0 + 40.0);
+}
+
+TEST(AnalyticModel, AmdahlSpeedup) {
+  const AnalyticModel m(base_params());
+  // At 4 cores: serial unchanged, parallel / 4.
+  EXPECT_DOUBLE_EQ(m.mean_runtime(4.0, 4096.0, 1.0), 2.0 + 10.0 + 10.0);
+  // Beyond max_parallelism: no further speedup.
+  EXPECT_DOUBLE_EQ(m.mean_runtime(8.0, 4096.0, 1.0), 2.0 + 10.0 + 10.0);
+}
+
+TEST(AnalyticModel, SubCoreThrottlesEverything) {
+  const AnalyticModel m(base_params());
+  // 0.5 cores: serial/0.5 + parallel/0.5.
+  EXPECT_DOUBLE_EQ(m.mean_runtime(0.5, 4096.0, 1.0), 2.0 + 20.0 + 80.0);
+}
+
+TEST(AnalyticModel, MemoryPressureBelowWorkingSet) {
+  const AnalyticModel m(base_params());
+  // At half the working set: factor = 1 + 2*(2-1) = 3 on compute only.
+  EXPECT_DOUBLE_EQ(m.mean_runtime(1.0, 512.0, 1.0), 2.0 + 50.0 * 3.0);
+}
+
+TEST(AnalyticModel, NoPressureAtOrAboveWorkingSet) {
+  const AnalyticModel m(base_params());
+  EXPECT_DOUBLE_EQ(m.mean_runtime(1.0, 1024.0, 1.0), m.mean_runtime(1.0, 8192.0, 1.0));
+}
+
+TEST(AnalyticModel, OomFloorScalesWithInput) {
+  const AnalyticModel m(base_params());
+  EXPECT_DOUBLE_EQ(m.min_memory_mb(1.0), 512.0);
+  EXPECT_DOUBLE_EQ(m.min_memory_mb(4.0), 1024.0);  // 512 * 4^0.5
+  EXPECT_TRUE(m.fits_memory(512.0, 1.0));
+  EXPECT_FALSE(m.fits_memory(511.0, 1.0));
+  EXPECT_FALSE(m.fits_memory(512.0, 4.0));
+}
+
+TEST(AnalyticModel, RuntimeBelowFloorIsAContractViolation) {
+  const AnalyticModel m(base_params());
+  EXPECT_THROW(m.mean_runtime(1.0, 256.0, 1.0), ContractViolation);
+}
+
+TEST(AnalyticModel, InputScaleMultipliesWork) {
+  const AnalyticModel m(base_params());
+  const double t1 = m.mean_runtime(2.0, 4096.0, 1.0);
+  const double t2 = m.mean_runtime(2.0, 4096.0, 2.0);
+  EXPECT_DOUBLE_EQ(t2, 2.0 * t1);  // input_work_exp = 1
+}
+
+TEST(AnalyticModel, InputScaleGrowsWorkingSet) {
+  const AnalyticModel m(base_params());
+  // scale 4 -> working set 2048; at 1024 MB the function is now pressured.
+  const double unpressured = m.mean_runtime(1.0, 8192.0, 4.0);
+  const double pressured = m.mean_runtime(1.0, 1100.0, 4.0);
+  EXPECT_GT(pressured, unpressured);
+}
+
+TEST(AnalyticModel, RejectsNonPositiveArguments) {
+  const AnalyticModel m(base_params());
+  EXPECT_THROW(m.mean_runtime(0.0, 1024.0, 1.0), ContractViolation);
+  EXPECT_THROW(m.mean_runtime(1.0, 0.0, 1.0), ContractViolation);
+  EXPECT_THROW(m.mean_runtime(1.0, 1024.0, 0.0), ContractViolation);
+}
+
+TEST(AnalyticModel, CloneIsIndependentAndEqual) {
+  const AnalyticModel m(base_params());
+  const auto c = m.clone();
+  EXPECT_DOUBLE_EQ(c->mean_runtime(2.0, 2048.0, 1.5), m.mean_runtime(2.0, 2048.0, 1.5));
+}
+
+/// Monotonicity contract of PerfModel, swept over a grid of points.
+class AnalyticMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(AnalyticMonotonicity, NonIncreasingInCpu) {
+  const AnalyticModel m(base_params());
+  const double mem = 1024.0 + 512.0 * GetParam();
+  double prev = m.mean_runtime(0.2, mem, 1.0);
+  for (double c = 0.4; c <= 10.0; c += 0.2) {
+    const double t = m.mean_runtime(c, mem, 1.0);
+    EXPECT_LE(t, prev + 1e-12);
+    prev = t;
+  }
+}
+
+TEST_P(AnalyticMonotonicity, NonIncreasingInMemory) {
+  const AnalyticModel m(base_params());
+  const double cpu = 0.5 + GetParam();
+  double prev = m.mean_runtime(cpu, 512.0, 1.0);
+  for (double mem = 640.0; mem <= 8192.0; mem += 128.0) {
+    const double t = m.mean_runtime(cpu, mem, 1.0);
+    EXPECT_LE(t, prev + 1e-12);
+    prev = t;
+  }
+}
+
+TEST_P(AnalyticMonotonicity, NonDecreasingInInputScale) {
+  const AnalyticModel m(base_params());
+  const double cpu = 0.5 + GetParam();
+  double prev = m.mean_runtime(cpu, 8192.0, 0.5);
+  for (double s = 1.0; s <= 4.0; s += 0.5) {
+    const double t = m.mean_runtime(cpu, 8192.0, s);
+    EXPECT_GE(t, prev - 1e-12);
+    prev = t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AnalyticMonotonicity, ::testing::Values(0.0, 1.0, 2.0, 4.0));
+
+}  // namespace
+}  // namespace aarc::perf

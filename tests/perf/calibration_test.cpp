@@ -1,0 +1,122 @@
+#include "perf/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/contracts.h"
+
+namespace aarc::perf {
+namespace {
+
+/// Samples drawn from a known analytic surface.
+std::vector<CalibrationSample> samples_from(const AnalyticModel& truth) {
+  std::vector<CalibrationSample> out;
+  for (double c : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    for (double m : {512.0, 1024.0, 2048.0, 4096.0}) {
+      if (!truth.fits_memory(m, 1.0)) continue;
+      out.push_back({c, m, 1.0, truth.mean_runtime(c, m, 1.0)});
+    }
+  }
+  return out;
+}
+
+AnalyticModel ground_truth() {
+  AnalyticParams p;
+  p.io_seconds = 2.0;
+  p.serial_seconds = 8.0;
+  p.parallel_seconds = 32.0;
+  p.max_parallelism = 4.0;
+  p.working_set_mb = 1024.0;
+  p.min_memory_mb = 256.0;
+  p.pressure_coeff = 2.0;
+  return AnalyticModel(p);
+}
+
+TEST(CalibrationLoss, ZeroOnPerfectParams) {
+  const AnalyticModel truth = ground_truth();
+  EXPECT_NEAR(calibration_loss(truth.params(), samples_from(truth)), 0.0, 1e-12);
+}
+
+TEST(CalibrationLoss, PositiveOnWrongParams) {
+  const AnalyticModel truth = ground_truth();
+  AnalyticParams wrong = truth.params();
+  wrong.serial_seconds *= 3.0;
+  EXPECT_GT(calibration_loss(wrong, samples_from(truth)), 0.01);
+}
+
+TEST(CalibrationLoss, PenalizesOomViolations) {
+  const AnalyticModel truth = ground_truth();
+  AnalyticParams oomy = truth.params();
+  oomy.min_memory_mb = 4096.0;
+  oomy.working_set_mb = 4096.0;
+  EXPECT_GT(calibration_loss(oomy, samples_from(truth)),
+            calibration_loss(truth.params(), samples_from(truth)));
+}
+
+TEST(Calibrate, RecoversSurfaceWithinTolerance) {
+  const AnalyticModel truth = ground_truth();
+  const auto samples = samples_from(truth);
+  CalibrationOptions opts;
+  opts.restarts = 6;
+  opts.iterations_per_restart = 400;
+  const CalibrationResult result = calibrate(samples, opts);
+
+  // The fit must reproduce the observed runtimes well in log space
+  // (parameters themselves may be non-identifiable; the surface is what
+  // matters to the simulator).
+  EXPECT_LT(result.mean_squared_log_error, 0.02);
+  const AnalyticModel fitted(result.params);
+  for (const auto& s : samples) {
+    if (!fitted.fits_memory(s.memory_mb, s.input_scale)) continue;
+    const double predicted = fitted.mean_runtime(s.vcpu, s.memory_mb, s.input_scale);
+    EXPECT_NEAR(std::log(predicted), std::log(s.runtime_seconds), 0.5);
+  }
+}
+
+TEST(Calibrate, IsDeterministicForFixedSeed) {
+  const AnalyticModel truth = ground_truth();
+  const auto samples = samples_from(truth);
+  CalibrationOptions opts;
+  opts.restarts = 2;
+  opts.iterations_per_restart = 50;
+  const auto a = calibrate(samples, opts);
+  const auto b = calibrate(samples, opts);
+  EXPECT_DOUBLE_EQ(a.mean_squared_log_error, b.mean_squared_log_error);
+  EXPECT_DOUBLE_EQ(a.params.serial_seconds, b.params.serial_seconds);
+}
+
+TEST(Calibrate, CountsEvaluations) {
+  const AnalyticModel truth = ground_truth();
+  CalibrationOptions opts;
+  opts.restarts = 2;
+  opts.iterations_per_restart = 50;
+  const auto result = calibrate(samples_from(truth), opts);
+  EXPECT_EQ(result.evaluations, 2u * (50u + 1u));
+}
+
+TEST(Calibrate, RejectsTooFewSamples) {
+  std::vector<CalibrationSample> few{{1.0, 512.0, 1.0, 10.0}, {2.0, 512.0, 1.0, 8.0},
+                                     {1.0, 1024.0, 1.0, 9.0}};
+  EXPECT_THROW(calibrate(few), support::ContractViolation);
+}
+
+TEST(Calibrate, RejectsDegenerateSpans) {
+  // Four samples but only one cpu value.
+  std::vector<CalibrationSample> flat{{1.0, 512.0, 1.0, 10.0},
+                                      {1.0, 1024.0, 1.0, 9.0},
+                                      {1.0, 2048.0, 1.0, 9.0},
+                                      {1.0, 4096.0, 1.0, 9.0}};
+  EXPECT_THROW(calibrate(flat), support::ContractViolation);
+}
+
+TEST(Calibrate, RejectsNonPositiveSamples) {
+  std::vector<CalibrationSample> bad{{1.0, 512.0, 1.0, 10.0},
+                                     {2.0, 1024.0, 1.0, 9.0},
+                                     {4.0, 2048.0, 1.0, 9.0},
+                                     {8.0, 4096.0, 1.0, -1.0}};
+  EXPECT_THROW(calibrate(bad), support::ContractViolation);
+}
+
+}  // namespace
+}  // namespace aarc::perf

@@ -1,0 +1,73 @@
+#include "perf/composite.h"
+
+#include <gtest/gtest.h>
+
+#include "perf/analytic.h"
+#include "support/contracts.h"
+
+namespace aarc::perf {
+namespace {
+
+std::unique_ptr<PerfModel> stage(double serial, double min_mem, double ws) {
+  AnalyticParams p;
+  p.io_seconds = 1.0;
+  p.serial_seconds = serial;
+  p.parallel_seconds = 0.0;
+  p.max_parallelism = 1.0;
+  p.working_set_mb = ws;
+  p.min_memory_mb = min_mem;
+  p.pressure_coeff = 0.0;
+  return std::make_unique<AnalyticModel>(p);
+}
+
+TEST(Composite, RejectsEmptyStageList) {
+  EXPECT_THROW(CompositeModel(std::vector<std::unique_ptr<PerfModel>>{}),
+               support::ContractViolation);
+}
+
+TEST(Composite, RejectsNullStage) {
+  std::vector<std::unique_ptr<PerfModel>> stages;
+  stages.push_back(nullptr);
+  EXPECT_THROW(CompositeModel(std::move(stages)), support::ContractViolation);
+}
+
+TEST(Composite, RuntimeIsSumOfStages) {
+  std::vector<std::unique_ptr<PerfModel>> stages;
+  stages.push_back(stage(5.0, 128.0, 256.0));
+  stages.push_back(stage(7.0, 128.0, 256.0));
+  const CompositeModel m(std::move(stages));
+  EXPECT_EQ(m.stage_count(), 2u);
+  // Each stage: 1 io + serial.
+  EXPECT_DOUBLE_EQ(m.mean_runtime(1.0, 1024.0, 1.0), (1.0 + 5.0) + (1.0 + 7.0));
+}
+
+TEST(Composite, OomFloorIsMaxOfStages) {
+  std::vector<std::unique_ptr<PerfModel>> stages;
+  stages.push_back(stage(1.0, 128.0, 256.0));
+  stages.push_back(stage(1.0, 512.0, 1024.0));
+  const CompositeModel m(std::move(stages));
+  EXPECT_DOUBLE_EQ(m.min_memory_mb(1.0), 512.0);
+  EXPECT_FALSE(m.fits_memory(256.0, 1.0));
+  EXPECT_TRUE(m.fits_memory(512.0, 1.0));
+}
+
+TEST(Composite, CloneReproducesBehaviour) {
+  std::vector<std::unique_ptr<PerfModel>> stages;
+  stages.push_back(stage(3.0, 128.0, 256.0));
+  const CompositeModel m(std::move(stages));
+  const auto c = m.clone();
+  EXPECT_DOUBLE_EQ(c->mean_runtime(2.0, 512.0, 2.0), m.mean_runtime(2.0, 512.0, 2.0));
+  EXPECT_DOUBLE_EQ(c->min_memory_mb(1.0), m.min_memory_mb(1.0));
+}
+
+TEST(Composite, SingleStageEqualsThatStage) {
+  const auto lone = stage(9.0, 128.0, 256.0);
+  const double expected = lone->mean_runtime(1.0, 512.0, 1.0);
+  std::vector<std::unique_ptr<PerfModel>> stages;
+  stages.push_back(stage(9.0, 128.0, 256.0));
+  const CompositeModel m(std::move(stages));
+  EXPECT_DOUBLE_EQ(m.mean_runtime(1.0, 512.0, 1.0), expected);
+}
+
+}  // namespace
+}  // namespace aarc::perf

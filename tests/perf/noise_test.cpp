@@ -1,0 +1,63 @@
+#include "perf/noise.h"
+
+#include <gtest/gtest.h>
+
+#include "support/contracts.h"
+#include "support/statistics.h"
+
+namespace aarc::perf {
+namespace {
+
+TEST(Noise, RejectsNegativeSigma) {
+  EXPECT_THROW(NoiseModel(-0.01), support::ContractViolation);
+}
+
+TEST(Noise, ZeroSigmaIsDeterministic) {
+  const NoiseModel noise(0.0);
+  support::Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(noise.noisy_runtime(42.0, rng), 42.0);
+  }
+}
+
+TEST(Noise, FactorsArePositive) {
+  const NoiseModel noise(0.2);
+  support::Rng rng(2);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(noise.sample_factor(rng), 0.0);
+}
+
+TEST(Noise, MeanIsUnbiased) {
+  const NoiseModel noise(0.05);
+  support::Rng rng(3);
+  support::Accumulator acc;
+  for (int i = 0; i < 30000; ++i) acc.add(noise.noisy_runtime(100.0, rng));
+  EXPECT_NEAR(acc.mean(), 100.0, 0.3);
+}
+
+TEST(Noise, RelativeStdMatchesSigmaApproximately) {
+  // For small sigma, a lognormal's relative std ~ sigma (Table II shows
+  // ~2-3% run-to-run variation; the default executor uses sigma = 0.03).
+  const NoiseModel noise(0.03);
+  support::Rng rng(4);
+  support::Accumulator acc;
+  for (int i = 0; i < 30000; ++i) acc.add(noise.noisy_runtime(1.0, rng));
+  EXPECT_NEAR(acc.stddev() / acc.mean(), 0.03, 0.005);
+}
+
+TEST(Noise, DeterministicUnderSameSeed) {
+  const NoiseModel noise(0.1);
+  support::Rng a(5);
+  support::Rng b(5);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(noise.noisy_runtime(7.0, a), noise.noisy_runtime(7.0, b));
+  }
+}
+
+TEST(Noise, RejectsNonPositiveRuntime) {
+  const NoiseModel noise(0.1);
+  support::Rng rng(6);
+  EXPECT_THROW(noise.noisy_runtime(0.0, rng), support::ContractViolation);
+}
+
+}  // namespace
+}  // namespace aarc::perf

@@ -1,0 +1,79 @@
+#include "perf/profile_table.h"
+
+#include <gtest/gtest.h>
+
+#include "support/contracts.h"
+
+namespace aarc::perf {
+namespace {
+
+using support::ContractViolation;
+
+/// 2x2 grid: cpu {1, 2} x mem {512, 1024}.
+ProfileTableModel small_table() {
+  return ProfileTableModel({1.0, 2.0}, {512.0, 1024.0},
+                           {/*c1m512*/ 40.0, /*c1m1024*/ 30.0,
+                            /*c2m512*/ 24.0, /*c2m1024*/ 20.0});
+}
+
+TEST(ProfileTable, ExactGridPoints) {
+  const auto m = small_table();
+  EXPECT_DOUBLE_EQ(m.mean_runtime(1.0, 512.0, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(m.mean_runtime(1.0, 1024.0, 1.0), 30.0);
+  EXPECT_DOUBLE_EQ(m.mean_runtime(2.0, 512.0, 1.0), 24.0);
+  EXPECT_DOUBLE_EQ(m.mean_runtime(2.0, 1024.0, 1.0), 20.0);
+}
+
+TEST(ProfileTable, BilinearMidpoint) {
+  const auto m = small_table();
+  EXPECT_DOUBLE_EQ(m.mean_runtime(1.5, 768.0, 1.0), (40.0 + 30.0 + 24.0 + 20.0) / 4.0);
+}
+
+TEST(ProfileTable, LinearAlongOneAxis) {
+  const auto m = small_table();
+  EXPECT_DOUBLE_EQ(m.mean_runtime(1.0, 768.0, 1.0), 35.0);
+  EXPECT_DOUBLE_EQ(m.mean_runtime(1.5, 512.0, 1.0), 32.0);
+}
+
+TEST(ProfileTable, ClampsOutsideGrid) {
+  const auto m = small_table();
+  EXPECT_DOUBLE_EQ(m.mean_runtime(0.5, 512.0, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(m.mean_runtime(4.0, 2048.0, 1.0), 20.0);
+}
+
+TEST(ProfileTable, InputScalePowerLaw) {
+  const ProfileTableModel m({1.0, 2.0}, {512.0, 1024.0}, {40.0, 30.0, 24.0, 20.0}, 2.0);
+  EXPECT_DOUBLE_EQ(m.mean_runtime(1.0, 512.0, 3.0), 40.0 * 9.0);
+}
+
+TEST(ProfileTable, MinMemoryIsGridFloor) {
+  EXPECT_DOUBLE_EQ(small_table().min_memory_mb(1.0), 512.0);
+}
+
+TEST(ProfileTable, CloneBehavesSame) {
+  const auto m = small_table();
+  const auto c = m.clone();
+  EXPECT_DOUBLE_EQ(c->mean_runtime(1.3, 700.0, 1.0), m.mean_runtime(1.3, 700.0, 1.0));
+}
+
+TEST(ProfileTable, RejectsBadShapes) {
+  EXPECT_THROW(ProfileTableModel({1.0}, {512.0, 1024.0}, {1.0, 2.0}), ContractViolation);
+  EXPECT_THROW(ProfileTableModel({1.0, 2.0}, {512.0}, {1.0, 2.0}), ContractViolation);
+  EXPECT_THROW(ProfileTableModel({1.0, 2.0}, {512.0, 1024.0}, {1.0, 2.0, 3.0}),
+               ContractViolation);
+}
+
+TEST(ProfileTable, RejectsUnsortedGrids) {
+  EXPECT_THROW(ProfileTableModel({2.0, 1.0}, {512.0, 1024.0}, {1.0, 2.0, 3.0, 4.0}),
+               ContractViolation);
+  EXPECT_THROW(ProfileTableModel({1.0, 1.0}, {512.0, 1024.0}, {1.0, 2.0, 3.0, 4.0}),
+               ContractViolation);
+}
+
+TEST(ProfileTable, RejectsNonPositiveRuntimes) {
+  EXPECT_THROW(ProfileTableModel({1.0, 2.0}, {512.0, 1024.0}, {1.0, 0.0, 3.0, 4.0}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace aarc::perf

@@ -1,0 +1,49 @@
+#include "platform/coldstart.h"
+
+#include <gtest/gtest.h>
+
+#include "support/contracts.h"
+
+namespace aarc::platform {
+namespace {
+
+TEST(ColdStart, DefaultIsDisabled) {
+  const ColdStartModel m;
+  EXPECT_FALSE(m.enabled());
+  support::Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(m.sample_delay(rng), 0.0);
+}
+
+TEST(ColdStart, AlwaysColdSamplesWithinRange) {
+  const ColdStartModel m(1.0, 2.0, 4.0);
+  support::Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const double d = m.sample_delay(rng);
+    EXPECT_GE(d, 2.0);
+    EXPECT_LE(d, 4.0);
+  }
+}
+
+TEST(ColdStart, ProbabilityRespected) {
+  const ColdStartModel m(0.3, 1.0, 1.0);
+  support::Rng rng(3);
+  int cold = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) cold += m.sample_delay(rng) > 0.0 ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(cold) / n, 0.3, 0.03);
+}
+
+TEST(ColdStart, RejectsBadParameters) {
+  EXPECT_THROW(ColdStartModel(-0.1, 1.0, 2.0), support::ContractViolation);
+  EXPECT_THROW(ColdStartModel(1.1, 1.0, 2.0), support::ContractViolation);
+  EXPECT_THROW(ColdStartModel(0.5, -1.0, 2.0), support::ContractViolation);
+  EXPECT_THROW(ColdStartModel(0.5, 3.0, 2.0), support::ContractViolation);
+}
+
+TEST(ColdStart, ZeroProbabilityNeverCold) {
+  const ColdStartModel m(0.0, 1.0, 2.0);
+  EXPECT_FALSE(m.enabled());
+}
+
+}  // namespace
+}  // namespace aarc::platform

@@ -1,0 +1,140 @@
+// Edge-case and cross-check tests for the executor beyond the basics in
+// executor_test.cpp: pricing cross-checks, coupled pricing, scale extremes,
+// wide fan-outs, and noise statistics at the workflow level.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "perf/analytic.h"
+#include "platform/executor.h"
+#include "platform/profiler.h"
+#include "support/statistics.h"
+
+namespace aarc::platform {
+namespace {
+
+std::unique_ptr<perf::PerfModel> fn(double serial, double parallel = 0.0,
+                                    double max_par = 1.0) {
+  perf::AnalyticParams p;
+  p.io_seconds = 0.5;
+  p.serial_seconds = serial;
+  p.parallel_seconds = parallel;
+  p.max_parallelism = max_par;
+  p.working_set_mb = 300.0;
+  p.min_memory_mb = 160.0;
+  p.pressure_coeff = 2.0;
+  return std::make_unique<perf::AnalyticModel>(p);
+}
+
+Executor noiseless(std::unique_ptr<PricingModel> pricing =
+                       std::make_unique<DecoupledLinearPricing>()) {
+  ExecutorOptions opts;
+  opts.noise = perf::NoiseModel(0.0);
+  return Executor(std::move(pricing), opts);
+}
+
+TEST(ExecutorEdge, WideFanOutRunsFullyParallel) {
+  platform::Workflow wf("wide");
+  const auto src = wf.add_function("src", fn(1.0));
+  for (int i = 0; i < 16; ++i) {
+    const auto b = wf.add_function("b" + std::to_string(i), fn(5.0));
+    wf.add_edge(src, b);
+  }
+  const auto res = noiseless().execute_mean(wf, uniform_config(17, {1.0, 512.0}));
+  // All 16 branches overlap: makespan = src + one branch.
+  EXPECT_DOUBLE_EQ(res.makespan, 1.5 + 5.5);
+}
+
+TEST(ExecutorEdge, CoupledPricingBillsMemoryOnly) {
+  platform::Workflow wf("one");
+  wf.add_function("f", fn(10.0));
+  const Executor ex = noiseless(std::make_unique<CoupledMemoryPricing>(0.002));
+  const auto cheap_cpu = ex.execute_mean(wf, uniform_config(1, {0.5, 1024.0}));
+  const auto rich_cpu = ex.execute_mean(wf, uniform_config(1, {8.0, 1024.0}));
+  // Same memory: the per-second rate is identical; only runtime differs.
+  EXPECT_GT(cheap_cpu.makespan, rich_cpu.makespan);
+  EXPECT_NEAR(cheap_cpu.total_cost / cheap_cpu.makespan,
+              rich_cpu.total_cost / rich_cpu.makespan, 1e-9);
+}
+
+TEST(ExecutorEdge, ExtremeInputScales) {
+  platform::Workflow wf("one");
+  wf.add_function("f", fn(10.0));
+  const Executor ex = noiseless();
+  const auto tiny = ex.execute_mean(wf, uniform_config(1, {1.0, 512.0}), 0.01);
+  const auto huge = ex.execute_mean(wf, uniform_config(1, {1.0, 512.0}), 100.0);
+  EXPECT_GT(tiny.makespan, 0.0);
+  EXPECT_NEAR(huge.makespan / tiny.makespan, 10000.0, 1e-6);  // linear work exp
+}
+
+TEST(ExecutorEdge, MakespanNoiseIsSmallerThanPerFunctionNoise) {
+  // Independent per-function noise partially averages out along a chain:
+  // relative std of the makespan < relative std of one function.
+  platform::Workflow wf("chain");
+  dag::NodeId prev = wf.add_function("f0", fn(5.0));
+  for (int i = 1; i < 8; ++i) {
+    const auto next = wf.add_function("f" + std::to_string(i), fn(5.0));
+    wf.add_edge(prev, next);
+    prev = next;
+  }
+  const Executor ex;  // 3% noise
+  const Profiler profiler(ex);
+  support::Rng rng(55);
+  const auto report = profiler.profile(wf, uniform_config(8, {1.0, 512.0}), 200, rng);
+  const double makespan_rel = report.makespan.stddev / report.makespan.mean;
+  const double fn_rel =
+      report.function_runtime[0].stddev / report.function_runtime[0].mean;
+  EXPECT_LT(makespan_rel, fn_rel);
+  EXPECT_NEAR(fn_rel, 0.03, 0.01);
+}
+
+TEST(ExecutorEdge, TotalCostEqualsPricingOverRuntimes) {
+  platform::Workflow wf("pair");
+  wf.add_function("a", fn(3.0));
+  wf.add_function("b", fn(4.0, 8.0, 4.0));
+  wf.add_edge("a", "b");
+  const Executor ex;  // noisy
+  support::Rng rng(66);
+  WorkflowConfig cfg{{1.5, 768.0}, {3.0, 1024.0}};
+  const auto res = ex.execute(wf, cfg, 1.0, rng);
+  double expected = 0.0;
+  for (const auto& inv : res.invocations) {
+    expected += ex.pricing().invocation_cost(cfg[inv.node], inv.runtime);
+  }
+  EXPECT_NEAR(res.total_cost, expected, 1e-9);
+}
+
+TEST(ExecutorEdge, SplitStreamsAreIndependent) {
+  // Two executions with rngs split from the same parent differ, but are
+  // each reproducible.
+  platform::Workflow wf("one");
+  wf.add_function("f", fn(10.0));
+  const Executor ex;
+  support::Rng parent(9);
+  support::Rng a = parent.split(0);
+  support::Rng b = parent.split(1);
+  support::Rng a2 = parent.split(0);
+  const auto cfg = uniform_config(1, {1.0, 512.0});
+  const double ra = ex.execute(wf, cfg, 1.0, a).makespan;
+  const double rb = ex.execute(wf, cfg, 1.0, b).makespan;
+  const double ra2 = ex.execute(wf, cfg, 1.0, a2).makespan;
+  EXPECT_NE(ra, rb);
+  EXPECT_DOUBLE_EQ(ra, ra2);
+}
+
+TEST(ExecutorEdge, ProfilerScalesPropagate) {
+  platform::Workflow wf("one");
+  wf.add_function("f", fn(10.0));
+  const Executor ex;
+  const Profiler profiler(ex);
+  support::Rng rng1(7);
+  support::Rng rng2(7);
+  const auto cfg = uniform_config(1, {1.0, 512.0});
+  const auto small = profiler.profile(wf, cfg, 30, rng1, 1.0);
+  const auto big = profiler.profile(wf, cfg, 30, rng2, 2.0);
+  EXPECT_NEAR(big.makespan.mean / small.makespan.mean, 2.0, 0.05);
+}
+
+}  // namespace
+}  // namespace aarc::platform

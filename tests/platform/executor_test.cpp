@@ -1,0 +1,186 @@
+#include "platform/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "dag/critical_path.h"
+#include "perf/analytic.h"
+#include "support/contracts.h"
+
+namespace aarc::platform {
+namespace {
+
+std::unique_ptr<perf::PerfModel> model(double serial, double min_mem = 128.0) {
+  perf::AnalyticParams p;
+  p.serial_seconds = serial;
+  p.working_set_mb = std::max(min_mem, 256.0);
+  p.min_memory_mb = min_mem;
+  p.pressure_coeff = 0.0;
+  return std::make_unique<perf::AnalyticModel>(p);
+}
+
+/// src -> {fast, slow} -> sink.
+Workflow diamond() {
+  Workflow wf("diamond");
+  wf.add_function("src", model(1.0));
+  wf.add_function("fast", model(2.0));
+  wf.add_function("slow", model(10.0));
+  wf.add_function("sink", model(3.0));
+  wf.add_edge("src", "fast");
+  wf.add_edge("src", "slow");
+  wf.add_edge("fast", "sink");
+  wf.add_edge("slow", "sink");
+  return wf;
+}
+
+Executor noiseless_executor() {
+  ExecutorOptions opts;
+  opts.noise = perf::NoiseModel(0.0);
+  return Executor(std::make_unique<DecoupledLinearPricing>(), opts);
+}
+
+WorkflowConfig ones(std::size_t n) { return uniform_config(n, {1.0, 1024.0}); }
+
+TEST(Executor, MakespanFollowsDagSemantics) {
+  const Workflow wf = diamond();
+  const auto res = noiseless_executor().execute_mean(wf, ones(4));
+  // src(1) -> slow(10) -> sink(3): makespan 14; fast branch overlaps.
+  EXPECT_DOUBLE_EQ(res.makespan, 14.0);
+  EXPECT_DOUBLE_EQ(res.invocations[1].start, 1.0);
+  EXPECT_DOUBLE_EQ(res.invocations[2].start, 1.0);
+  EXPECT_DOUBLE_EQ(res.invocations[3].start, 11.0);
+}
+
+TEST(Executor, MakespanEqualsWeightedCriticalPath) {
+  const Workflow wf = diamond();
+  const auto res = noiseless_executor().execute_mean(wf, ones(4));
+  dag::Graph g = wf.graph();
+  g.set_weights(res.runtimes());
+  EXPECT_NEAR(res.makespan, dag::critical_path_length(g), 1e-9);
+}
+
+TEST(Executor, CostIsSumOfInvocationCosts) {
+  const Workflow wf = diamond();
+  const Executor ex = noiseless_executor();
+  const auto res = ex.execute_mean(wf, ones(4));
+  double expected = 0.0;
+  for (const auto& inv : res.invocations) {
+    expected += ex.pricing().invocation_cost({1.0, 1024.0}, inv.runtime);
+  }
+  EXPECT_DOUBLE_EQ(res.total_cost, expected);
+}
+
+TEST(Executor, NoiseIsSeededAndReproducible) {
+  const Workflow wf = diamond();
+  const Executor ex;  // default: 3% noise
+  support::Rng a(77);
+  support::Rng b(77);
+  const auto ra = ex.execute(wf, ones(4), 1.0, a);
+  const auto rb = ex.execute(wf, ones(4), 1.0, b);
+  EXPECT_DOUBLE_EQ(ra.makespan, rb.makespan);
+  EXPECT_DOUBLE_EQ(ra.total_cost, rb.total_cost);
+}
+
+TEST(Executor, NoisyRuntimesDifferAcrossRuns) {
+  const Workflow wf = diamond();
+  const Executor ex;
+  support::Rng rng(77);
+  const auto r1 = ex.execute(wf, ones(4), 1.0, rng);
+  const auto r2 = ex.execute(wf, ones(4), 1.0, rng);
+  EXPECT_NE(r1.makespan, r2.makespan);
+}
+
+TEST(Executor, OomPoisonsResultWithoutThrowing) {
+  const Workflow wf = diamond();
+  WorkflowConfig cfg = ones(4);
+  cfg[2].memory_mb = 100.0;  // below the 128 MB floor of "slow"
+  const auto res = noiseless_executor().execute_mean(wf, cfg);
+  EXPECT_TRUE(res.failed);
+  EXPECT_TRUE(std::isinf(res.makespan));
+  EXPECT_TRUE(std::isinf(res.total_cost));
+  EXPECT_EQ(res.oom_nodes(), (std::vector<dag::NodeId>{2}));
+  EXPECT_TRUE(res.invocations[2].oom);
+  EXPECT_FALSE(res.invocations[1].oom);
+}
+
+TEST(Executor, ObservedWallAndCostStayFiniteOnFailure) {
+  const Workflow wf = diamond();
+  WorkflowConfig cfg = ones(4);
+  cfg[2].memory_mb = 100.0;
+  const auto res = noiseless_executor().execute_mean(wf, cfg);
+  // The fast branch still ran: src(1) + fast(2) = 3 seconds of wall clock.
+  EXPECT_DOUBLE_EQ(res.observed_wall_seconds(), 3.0);
+  EXPECT_GT(res.observed_cost(), 0.0);
+  EXPECT_TRUE(std::isfinite(res.observed_cost()));
+}
+
+TEST(Executor, DownstreamOfOomIsAlsoPoisoned) {
+  Workflow wf("chain");
+  wf.add_function("a", model(1.0, 512.0));
+  wf.add_function("b", model(1.0));
+  wf.add_edge("a", "b");
+  WorkflowConfig cfg = ones(2);
+  cfg[0].memory_mb = 256.0;  // a OOMs
+  const auto res = noiseless_executor().execute_mean(wf, cfg);
+  EXPECT_TRUE(res.failed);
+  // b starts after a's (infinite) finish.
+  EXPECT_TRUE(std::isinf(res.invocations[1].start));
+}
+
+TEST(Executor, RejectsWrongConfigSize) {
+  const Workflow wf = diamond();
+  support::Rng rng(1);
+  EXPECT_THROW(noiseless_executor().execute(wf, ones(3), 1.0, rng),
+               support::ContractViolation);
+}
+
+TEST(Executor, RejectsNonPositiveAllocations) {
+  const Workflow wf = diamond();
+  WorkflowConfig cfg = ones(4);
+  cfg[0].vcpu = 0.0;
+  EXPECT_THROW(noiseless_executor().execute_mean(wf, cfg), support::ContractViolation);
+}
+
+TEST(Executor, RejectsNonPositiveInputScale) {
+  const Workflow wf = diamond();
+  EXPECT_THROW(noiseless_executor().execute_mean(wf, ones(4), 0.0),
+               support::ContractViolation);
+}
+
+TEST(Executor, RejectsNullPricing) {
+  EXPECT_THROW(Executor(nullptr), support::ContractViolation);
+}
+
+TEST(Executor, InputScaleSlowsEveryFunction) {
+  const Workflow wf = diamond();
+  const Executor ex = noiseless_executor();
+  const auto r1 = ex.execute_mean(wf, ones(4), 1.0);
+  const auto r2 = ex.execute_mean(wf, ones(4), 2.0);
+  EXPECT_DOUBLE_EQ(r2.makespan, 2.0 * r1.makespan);
+}
+
+TEST(Executor, ColdStartAddsDelay) {
+  const Workflow wf = diamond();
+  ExecutorOptions opts;
+  opts.noise = perf::NoiseModel(0.0);
+  opts.cold_start = ColdStartModel(1.0, 5.0, 5.0);  // always, exactly 5 s
+  const Executor ex(std::make_unique<DecoupledLinearPricing>(), opts);
+  support::Rng rng(3);
+  const auto res = ex.execute(wf, ones(4), 1.0, rng);
+  for (const auto& inv : res.invocations) EXPECT_DOUBLE_EQ(inv.cold_start_delay, 5.0);
+  EXPECT_DOUBLE_EQ(res.makespan, 14.0 + 3 * 5.0);  // three functions on the path
+}
+
+TEST(Executor, MeanExecutionIgnoresColdStart) {
+  const Workflow wf = diamond();
+  ExecutorOptions opts;
+  opts.noise = perf::NoiseModel(0.0);
+  opts.cold_start = ColdStartModel(1.0, 5.0, 5.0);
+  const Executor ex(std::make_unique<DecoupledLinearPricing>(), opts);
+  EXPECT_DOUBLE_EQ(ex.execute_mean(wf, ones(4)).makespan, 14.0);
+}
+
+}  // namespace
+}  // namespace aarc::platform

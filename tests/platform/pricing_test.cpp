@@ -1,0 +1,76 @@
+#include "platform/pricing.h"
+
+#include <gtest/gtest.h>
+
+#include "support/contracts.h"
+
+namespace aarc::platform {
+namespace {
+
+TEST(DecoupledPricing, PaperConstantsByDefault) {
+  const DecoupledLinearPricing p;
+  EXPECT_DOUBLE_EQ(p.mu0(), 0.512);
+  EXPECT_DOUBLE_EQ(p.mu1(), 0.001);
+  EXPECT_DOUBLE_EQ(p.mu2(), 0.0);
+}
+
+TEST(DecoupledPricing, MatchesPaperFormula) {
+  // cost = t * (mu0 * cpu + mu1 * mem) + mu2.
+  const DecoupledLinearPricing p;
+  EXPECT_DOUBLE_EQ(p.invocation_cost({1.0, 1024.0}, 10.0),
+                   10.0 * (0.512 * 1.0 + 0.001 * 1024.0));
+}
+
+TEST(DecoupledPricing, RequestFeeAddsOnce) {
+  const DecoupledLinearPricing p(0.5, 0.001, 2.0);
+  EXPECT_DOUBLE_EQ(p.invocation_cost({1.0, 1000.0}, 0.0), 2.0);
+}
+
+TEST(DecoupledPricing, LinearInDuration) {
+  const DecoupledLinearPricing p;
+  const ResourceConfig rc{2.0, 2048.0};
+  EXPECT_DOUBLE_EQ(p.invocation_cost(rc, 20.0), 2.0 * p.invocation_cost(rc, 10.0));
+}
+
+TEST(DecoupledPricing, MoreResourcesCostMore) {
+  const DecoupledLinearPricing p;
+  EXPECT_GT(p.invocation_cost({2.0, 1024.0}, 10.0), p.invocation_cost({1.0, 1024.0}, 10.0));
+  EXPECT_GT(p.invocation_cost({1.0, 2048.0}, 10.0), p.invocation_cost({1.0, 1024.0}, 10.0));
+}
+
+TEST(DecoupledPricing, RejectsNegativeInputs) {
+  const DecoupledLinearPricing p;
+  EXPECT_THROW(p.invocation_cost({1.0, 1024.0}, -1.0), support::ContractViolation);
+  EXPECT_THROW(p.invocation_cost({0.0, 1024.0}, 1.0), support::ContractViolation);
+}
+
+TEST(DecoupledPricing, RejectsAllZeroPrices) {
+  EXPECT_THROW(DecoupledLinearPricing(0.0, 0.0, 0.0), support::ContractViolation);
+}
+
+TEST(DecoupledPricing, CloneIsEquivalent) {
+  const DecoupledLinearPricing p(0.3, 0.002, 1.0);
+  const auto c = p.clone();
+  EXPECT_DOUBLE_EQ(c->invocation_cost({1.5, 512.0}, 7.0),
+                   p.invocation_cost({1.5, 512.0}, 7.0));
+}
+
+TEST(CoupledPricing, BillsMemoryOnly) {
+  const CoupledMemoryPricing p(0.002, 0.0);
+  // Same memory, different cpu: identical bill (AWS-Lambda semantics).
+  EXPECT_DOUBLE_EQ(p.invocation_cost({1.0, 1024.0}, 10.0),
+                   p.invocation_cost({8.0, 1024.0}, 10.0));
+  EXPECT_DOUBLE_EQ(p.invocation_cost({1.0, 1024.0}, 10.0), 10.0 * 0.002 * 1024.0);
+}
+
+TEST(CoupledPricing, RejectsZeroPrice) {
+  EXPECT_THROW(CoupledMemoryPricing(0.0), support::ContractViolation);
+}
+
+TEST(CoupledPricing, RequestFee) {
+  const CoupledMemoryPricing p(0.001, 3.0);
+  EXPECT_DOUBLE_EQ(p.invocation_cost({1.0, 1000.0}, 0.0), 3.0);
+}
+
+}  // namespace
+}  // namespace aarc::platform

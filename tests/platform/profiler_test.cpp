@@ -1,0 +1,120 @@
+#include "platform/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "perf/analytic.h"
+#include "support/contracts.h"
+
+namespace aarc::platform {
+namespace {
+
+std::unique_ptr<perf::PerfModel> model(double serial, double min_mem = 128.0) {
+  perf::AnalyticParams p;
+  p.serial_seconds = serial;
+  p.working_set_mb = std::max(256.0, min_mem);
+  p.min_memory_mb = min_mem;
+  p.pressure_coeff = 0.0;
+  return std::make_unique<perf::AnalyticModel>(p);
+}
+
+Workflow chain() {
+  Workflow wf("chain");
+  wf.add_function("a", model(4.0));
+  wf.add_function("b", model(6.0));
+  wf.add_edge("a", "b");
+  return wf;
+}
+
+TEST(Profiler, AggregatesRuns) {
+  const Executor ex;
+  const Profiler profiler(ex);
+  support::Rng rng(10);
+  const Workflow wf = chain();
+  const auto report = profiler.profile(wf, uniform_config(2, {1.0, 512.0}), 50, rng);
+  EXPECT_EQ(report.runs, 50u);
+  EXPECT_EQ(report.failures, 0u);
+  EXPECT_EQ(report.makespans.size(), 50u);
+  EXPECT_NEAR(report.makespan.mean, 10.0, 0.3);
+  EXPECT_GT(report.makespan.stddev, 0.0);
+  ASSERT_EQ(report.function_runtime.size(), 2u);
+  EXPECT_NEAR(report.function_runtime[0].mean, 4.0, 0.2);
+  EXPECT_NEAR(report.function_runtime[1].mean, 6.0, 0.2);
+}
+
+TEST(Profiler, CountsOomFailures) {
+  const Executor ex;
+  const Profiler profiler(ex);
+  support::Rng rng(11);
+  Workflow wf("oom");
+  wf.add_function("a", model(1.0, 512.0));
+  wf.add_function("b", model(1.0));
+  wf.add_edge("a", "b");
+  WorkflowConfig cfg = uniform_config(2, {1.0, 1024.0});
+  cfg[0].memory_mb = 256.0;  // always OOM
+  const auto report = profiler.profile(wf, cfg, 10, rng);
+  EXPECT_EQ(report.failures, 10u);
+  EXPECT_EQ(report.makespan.count, 0u);
+  EXPECT_TRUE(report.makespans.empty());
+}
+
+TEST(Profiler, SloViolationRate) {
+  ProfileReport report;
+  report.makespans = {10.0, 12.0, 9.0, 15.0};
+  EXPECT_DOUBLE_EQ(report.slo_violation_rate(11.0), 0.5);
+  EXPECT_DOUBLE_EQ(report.slo_violation_rate(20.0), 0.0);
+  EXPECT_DOUBLE_EQ(report.slo_violation_rate(5.0), 1.0);
+}
+
+TEST(Profiler, SloViolationRateRejectsBadSlo) {
+  ProfileReport report;
+  EXPECT_THROW(report.slo_violation_rate(0.0), support::ContractViolation);
+}
+
+TEST(Profiler, SloViolationRateEmptyIsZero) {
+  ProfileReport report;
+  EXPECT_DOUBLE_EQ(report.slo_violation_rate(10.0), 0.0);
+}
+
+TEST(Profiler, RejectsZeroRuns) {
+  const Executor ex;
+  const Profiler profiler(ex);
+  support::Rng rng(12);
+  const Workflow wf = chain();
+  EXPECT_THROW(profiler.profile(wf, uniform_config(2, {1.0, 512.0}), 0, rng),
+               support::ContractViolation);
+}
+
+TEST(Profiler, ProfileIntoWeightsStoresRuntimes) {
+  const Executor ex;
+  const Profiler profiler(ex);
+  support::Rng rng(13);
+  Workflow wf = chain();
+  const auto res = profiler.profile_into_weights(wf, uniform_config(2, {1.0, 512.0}), rng);
+  EXPECT_FALSE(res.failed);
+  EXPECT_DOUBLE_EQ(wf.graph().weight(0), res.invocations[0].runtime);
+  EXPECT_DOUBLE_EQ(wf.graph().weight(1), res.invocations[1].runtime);
+}
+
+TEST(Profiler, ProfileIntoWeightsThrowsOnOom) {
+  const Executor ex;
+  const Profiler profiler(ex);
+  support::Rng rng(14);
+  Workflow wf = chain();
+  WorkflowConfig cfg = uniform_config(2, {1.0, 100.0});  // below floor
+  EXPECT_THROW(profiler.profile_into_weights(wf, cfg, rng), support::ContractViolation);
+}
+
+TEST(Profiler, CostStatisticsArePositive) {
+  const Executor ex;
+  const Profiler profiler(ex);
+  support::Rng rng(15);
+  const Workflow wf = chain();
+  const auto report = profiler.profile(wf, uniform_config(2, {2.0, 1024.0}), 20, rng);
+  EXPECT_GT(report.cost.mean, 0.0);
+  EXPECT_NEAR(report.cost.sum, report.cost.mean * 20.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace aarc::platform

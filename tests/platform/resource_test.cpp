@@ -1,0 +1,77 @@
+#include "platform/resource.h"
+
+#include <gtest/gtest.h>
+
+#include "support/contracts.h"
+
+namespace aarc::platform {
+namespace {
+
+TEST(ResourceConfig, ToStringFormat) {
+  EXPECT_EQ(to_string(ResourceConfig{1.0, 1024.0}), "1.0 vCPU / 1024 MB");
+  EXPECT_EQ(to_string(ResourceConfig{0.5, 128.0}), "0.5 vCPU / 128 MB");
+}
+
+TEST(ConfigGrid, PaperDefaults) {
+  const ConfigGrid grid;
+  EXPECT_DOUBLE_EQ(grid.cpu().min(), 0.1);
+  EXPECT_DOUBLE_EQ(grid.cpu().max(), 10.0);
+  EXPECT_DOUBLE_EQ(grid.cpu().step(), 0.1);
+  EXPECT_DOUBLE_EQ(grid.memory().min(), 128.0);
+  EXPECT_DOUBLE_EQ(grid.memory().max(), 10240.0);
+  EXPECT_DOUBLE_EQ(grid.memory().step(), 64.0);
+  EXPECT_EQ(grid.size(), 100u * 159u);
+}
+
+TEST(ConfigGrid, SnapBothAxes) {
+  const ConfigGrid grid;
+  const ResourceConfig snapped = grid.snap({1.234, 1000.0});
+  EXPECT_DOUBLE_EQ(snapped.vcpu, 1.2);
+  EXPECT_DOUBLE_EQ(snapped.memory_mb, 1024.0);
+}
+
+TEST(ConfigGrid, ContainsRequiresBothOnGrid) {
+  const ConfigGrid grid;
+  EXPECT_TRUE(grid.contains({1.0, 1024.0}));
+  EXPECT_FALSE(grid.contains({1.05, 1024.0}));
+  EXPECT_FALSE(grid.contains({1.0, 1000.0}));
+}
+
+TEST(ConfigGrid, MaxMinConfigs) {
+  const ConfigGrid grid;
+  EXPECT_EQ(grid.max_config(), (ResourceConfig{10.0, 10240.0}));
+  EXPECT_EQ(grid.min_config(), (ResourceConfig{0.1, 128.0}));
+}
+
+TEST(ConfigGrid, CoupledVcpuMatchesMaffRule) {
+  // 1 core per 1024 MB (Section IV-A(b)).
+  const ConfigGrid grid;
+  EXPECT_DOUBLE_EQ(grid.coupled_vcpu_for_memory(1024.0), 1.0);
+  EXPECT_DOUBLE_EQ(grid.coupled_vcpu_for_memory(2048.0), 2.0);
+  EXPECT_DOUBLE_EQ(grid.coupled_vcpu_for_memory(512.0), 0.5);
+  // Snaps to the cpu grid and clamps at its bounds.
+  EXPECT_DOUBLE_EQ(grid.coupled_vcpu_for_memory(128.0), 0.1);
+  EXPECT_DOUBLE_EQ(grid.coupled_vcpu_for_memory(10240.0 * 2), 10.0);
+}
+
+TEST(ConfigGrid, CoupledRatioConfigurable) {
+  const ConfigGrid grid;
+  // AWS's actual ratio is ~1769 MB per vCPU.
+  EXPECT_NEAR(grid.coupled_vcpu_for_memory(1769.0, 1769.0), 1.0, 1e-9);
+}
+
+TEST(ConfigGrid, CoupledRejectsBadRatio) {
+  const ConfigGrid grid;
+  EXPECT_THROW(grid.coupled_vcpu_for_memory(1024.0, 0.0), support::ContractViolation);
+}
+
+TEST(UniformConfig, ReplicatesEntry) {
+  const auto cfg = uniform_config(3, {2.0, 512.0});
+  ASSERT_EQ(cfg.size(), 3u);
+  for (const auto& rc : cfg) EXPECT_EQ(rc, (ResourceConfig{2.0, 512.0}));
+}
+
+TEST(UniformConfig, ZeroNodes) { EXPECT_TRUE(uniform_config(0, {1.0, 128.0}).empty()); }
+
+}  // namespace
+}  // namespace aarc::platform

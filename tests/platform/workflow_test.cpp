@@ -1,0 +1,89 @@
+#include "platform/workflow.h"
+
+#include <gtest/gtest.h>
+
+#include "perf/analytic.h"
+#include "support/contracts.h"
+
+namespace aarc::platform {
+namespace {
+
+std::unique_ptr<perf::PerfModel> simple_model(double serial = 5.0) {
+  perf::AnalyticParams p;
+  p.serial_seconds = serial;
+  p.working_set_mb = 256.0;
+  p.min_memory_mb = 128.0;
+  return std::make_unique<perf::AnalyticModel>(p);
+}
+
+Workflow two_step() {
+  Workflow wf("two_step");
+  wf.add_function("first", simple_model(3.0));
+  wf.add_function("second", simple_model(4.0));
+  wf.add_edge("first", "second");
+  return wf;
+}
+
+TEST(Workflow, AddFunctionReturnsSequentialIds) {
+  Workflow wf("w");
+  EXPECT_EQ(wf.add_function("a", simple_model()), 0u);
+  EXPECT_EQ(wf.add_function("b", simple_model()), 1u);
+  EXPECT_EQ(wf.function_count(), 2u);
+}
+
+TEST(Workflow, RejectsNullModel) {
+  Workflow wf("w");
+  EXPECT_THROW(wf.add_function("a", nullptr), support::ContractViolation);
+}
+
+TEST(Workflow, FunctionLookupByName) {
+  const Workflow wf = two_step();
+  EXPECT_EQ(wf.function_id("second"), 1u);
+  EXPECT_EQ(wf.function_name(0), "first");
+  EXPECT_THROW(wf.function_id("nope"), support::ContractViolation);
+}
+
+TEST(Workflow, EdgesByNameAndId) {
+  Workflow wf("w");
+  const auto a = wf.add_function("a", simple_model());
+  const auto b = wf.add_function("b", simple_model());
+  wf.add_edge(a, b);
+  EXPECT_TRUE(wf.graph().has_edge(a, b));
+}
+
+TEST(Workflow, ModelAccessors) {
+  const Workflow wf = two_step();
+  EXPECT_DOUBLE_EQ(wf.model(0).mean_runtime(1.0, 1024.0, 1.0), 3.0);
+  EXPECT_DOUBLE_EQ(wf.model(1).mean_runtime(1.0, 1024.0, 1.0), 4.0);
+  EXPECT_THROW(wf.model(5), support::ContractViolation);
+}
+
+TEST(Workflow, ValidatePassesOnWellFormed) { EXPECT_NO_THROW(two_step().validate()); }
+
+TEST(Workflow, ValidateRejectsDisconnected) {
+  Workflow wf("w");
+  wf.add_function("a", simple_model());
+  wf.add_function("b", simple_model());
+  EXPECT_THROW(wf.validate(), support::ContractViolation);
+}
+
+TEST(Workflow, CloneIsDeepAndEquivalent) {
+  const Workflow wf = two_step();
+  const Workflow copy = wf.clone();
+  EXPECT_EQ(copy.name(), wf.name());
+  EXPECT_EQ(copy.function_count(), wf.function_count());
+  EXPECT_TRUE(copy.graph().has_edge(0, 1));
+  EXPECT_DOUBLE_EQ(copy.model(0).mean_runtime(1.0, 512.0, 1.0),
+                   wf.model(0).mean_runtime(1.0, 512.0, 1.0));
+  // The clone's models are distinct objects.
+  EXPECT_NE(&copy.model(0), &wf.model(0));
+}
+
+TEST(Workflow, WeightsLiveInGraph) {
+  Workflow wf = two_step();
+  wf.mutable_graph().set_weights({7.0, 8.0});
+  EXPECT_DOUBLE_EQ(wf.graph().weight(1), 8.0);
+}
+
+}  // namespace
+}  // namespace aarc::platform

@@ -1,0 +1,65 @@
+#include "report/advisory.h"
+
+#include <gtest/gtest.h>
+
+#include "perf/analytic.h"
+#include "platform/executor.h"
+#include "support/contracts.h"
+
+namespace aarc::report {
+namespace {
+
+std::unique_ptr<perf::PerfModel> fn(double serial) {
+  perf::AnalyticParams p;
+  p.io_seconds = 1.0;
+  p.serial_seconds = serial;
+  p.working_set_mb = 400.0;
+  p.min_memory_mb = 192.0;
+  return std::make_unique<perf::AnalyticModel>(p);
+}
+
+platform::Workflow chain() {
+  platform::Workflow wf("chain");
+  wf.add_function("first", fn(4.0));
+  wf.add_function("second", fn(6.0));
+  wf.add_edge("first", "second");
+  return wf;
+}
+
+core::AdvisoryReport make_report(const platform::Workflow& wf) {
+  platform::ExecutorOptions opts;
+  opts.noise = perf::NoiseModel(0.0);
+  const platform::Executor ex(std::make_unique<platform::DecoupledLinearPricing>(), opts);
+  return core::advise(wf, platform::uniform_config(2, {1.0, 512.0}), ex, 30.0);
+}
+
+TEST(AdvisoryTable, OneRowPerFunctionWithNames) {
+  const auto wf = chain();
+  const auto table = advisory_table(make_report(wf), wf);
+  EXPECT_EQ(table.rows(), 2u);
+  const std::string md = table.to_markdown();
+  EXPECT_NE(md.find("first"), std::string::npos);
+  EXPECT_NE(md.find("second"), std::string::npos);
+  EXPECT_NE(md.find("affinity"), std::string::npos);
+  // A chain: both functions on the critical path.
+  EXPECT_NE(md.find("yes"), std::string::npos);
+}
+
+TEST(AdvisoryTable, RejectsMismatchedWorkflow) {
+  const auto wf = chain();
+  platform::Workflow other("other");
+  other.add_function("solo", fn(1.0));
+  EXPECT_THROW(advisory_table(make_report(wf), other), support::ContractViolation);
+}
+
+TEST(AdvisoryHeadline, MentionsRuntimeSloAndCost) {
+  const auto wf = chain();
+  const std::string line = advisory_headline(make_report(wf));
+  EXPECT_NE(line.find("mean runtime 12.0 s"), std::string::npos);
+  EXPECT_NE(line.find("SLO 30 s"), std::string::npos);
+  EXPECT_NE(line.find("headroom 60.0%"), std::string::npos);
+  EXPECT_NE(line.find("mean cost"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aarc::report

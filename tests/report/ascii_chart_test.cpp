@@ -1,0 +1,104 @@
+#include "report/ascii_chart.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "support/contracts.h"
+
+namespace aarc::report {
+namespace {
+
+TEST(AsciiChart, RendersSingleSeriesWithAxesAndLegend) {
+  std::vector<double> ramp;
+  for (int i = 0; i <= 20; ++i) ramp.push_back(static_cast<double>(i));
+  const std::string chart = ascii_chart({"ramp"}, {ramp});
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  EXPECT_NE(chart.find("20.0 |"), std::string::npos);  // top y label
+  EXPECT_NE(chart.find(" 0.0 |"), std::string::npos);  // bottom y label
+  EXPECT_NE(chart.find("* = ramp"), std::string::npos);
+  EXPECT_NE(chart.find("(sample)"), std::string::npos);
+}
+
+TEST(AsciiChart, IncreasingSeriesClimbsAcrossRows) {
+  std::vector<double> ramp;
+  for (int i = 0; i <= 40; ++i) ramp.push_back(static_cast<double>(i));
+  ChartOptions opts;
+  opts.width = 40;
+  opts.height = 8;
+  const std::string chart = ascii_chart({"r"}, {ramp}, opts);
+  // Top row's glyph must sit to the right of the bottom row's glyph.
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < chart.size()) {
+    const auto nl = chart.find('\n', pos);
+    lines.push_back(chart.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  const auto top_col = lines[0].find('*');
+  const auto bottom_col = lines[7].find('*');
+  ASSERT_NE(top_col, std::string::npos);
+  ASSERT_NE(bottom_col, std::string::npos);
+  EXPECT_GT(top_col, bottom_col);
+}
+
+TEST(AsciiChart, MultipleSeriesUseDistinctGlyphs) {
+  const std::vector<double> a{1, 2, 3, 4, 5};
+  const std::vector<double> b{5, 4, 3, 2, 1};
+  const std::string chart = ascii_chart({"up", "down"}, {a, b});
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  EXPECT_NE(chart.find('o'), std::string::npos);
+  EXPECT_NE(chart.find("o = down"), std::string::npos);
+}
+
+TEST(AsciiChart, ShorterSeriesPadWithLastValue) {
+  const std::vector<double> longer{0, 0, 0, 0, 0, 0, 0, 0, 0, 10};
+  const std::vector<double> shorter{5.0};
+  ChartOptions opts;
+  opts.width = 20;
+  opts.height = 5;
+  const std::string chart = ascii_chart({"l", "s"}, {longer, shorter}, opts);
+  // The short series must span the full width at its (padded) level: count
+  // its glyph occurrences.
+  const std::size_t count = static_cast<std::size_t>(
+      std::count(chart.begin(), chart.end(), 'o'));
+  EXPECT_GE(count, 19u);  // one column may be overdrawn by the other series
+}
+
+TEST(AsciiChart, FlatSeriesStillRenders) {
+  const std::vector<double> flat(10, 7.0);
+  const std::string chart = ascii_chart({"flat"}, {flat});
+  EXPECT_NE(chart.find('*'), std::string::npos);
+}
+
+TEST(AsciiChart, SkipsNonFiniteValues) {
+  std::vector<double> with_inf{1.0, std::numeric_limits<double>::infinity(), 3.0};
+  const std::string chart = ascii_chart({"x"}, {with_inf});
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  EXPECT_NE(chart.find("3.0"), std::string::npos);  // range from finite values
+}
+
+TEST(AsciiChart, EmptyDataHandled) {
+  EXPECT_EQ(ascii_chart({"e"}, {{}}), "(no data)\n");
+  const std::vector<double> only_inf{std::numeric_limits<double>::infinity()};
+  EXPECT_EQ(ascii_chart({"i"}, {only_inf}), "(no finite data)\n");
+}
+
+TEST(AsciiChart, YFromZeroAnchorsTheAxis) {
+  const std::vector<double> high{100.0, 101.0, 102.0};
+  ChartOptions opts;
+  opts.y_from_zero = true;
+  const std::string chart = ascii_chart({"h"}, {high}, opts);
+  EXPECT_NE(chart.find("0.0 |"), std::string::npos);
+}
+
+TEST(AsciiChart, RejectsBadArguments) {
+  EXPECT_THROW(ascii_chart({"a"}, {{1.0}, {2.0}}), support::ContractViolation);
+  EXPECT_THROW(ascii_chart({}, {}), support::ContractViolation);
+  ChartOptions tiny;
+  tiny.width = 2;
+  EXPECT_THROW(ascii_chart({"a"}, {{1.0}}, tiny), support::ContractViolation);
+}
+
+}  // namespace
+}  // namespace aarc::report

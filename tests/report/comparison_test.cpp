@@ -1,0 +1,104 @@
+#include "report/comparison.h"
+
+#include <gtest/gtest.h>
+
+#include "support/contracts.h"
+
+namespace aarc::report {
+namespace {
+
+search::SearchResult result_with(std::vector<double> costs, double makespan = 10.0) {
+  search::SearchResult r;
+  for (std::size_t i = 0; i < costs.size(); ++i) {
+    search::Sample s;
+    s.index = i;
+    s.cost = costs[i];
+    s.makespan = makespan;
+    s.wall_seconds = makespan;
+    s.wall_cost = costs[i];
+    s.feasible = true;
+    r.trace.add(s);
+  }
+  r.found_feasible = true;
+  return r;
+}
+
+TEST(SearchTotalsTable, OneRowPerRun) {
+  std::vector<MethodRun> runs;
+  runs.push_back({"AARC", "chatbot", result_with({5.0, 4.0})});
+  runs.push_back({"BO", "chatbot", result_with({9.0})});
+  const auto table = search_totals_table(runs);
+  EXPECT_EQ(table.rows(), 2u);
+  const std::string md = table.to_markdown();
+  EXPECT_NE(md.find("AARC"), std::string::npos);
+  EXPECT_NE(md.find("20.0"), std::string::npos);  // 2 samples x 10 s
+  EXPECT_NE(md.find("yes"), std::string::npos);
+}
+
+TEST(SeriesTable, AlignsAndPadsSeries) {
+  const auto table =
+      series_table({"a", "b"}, {{1.0, 2.0, 3.0, 4.0, 5.0, 6.0}, {10.0}}, 5);
+  // Rows at samples 1 and 6.
+  EXPECT_EQ(table.rows(), 2u);
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("1,1.00,10.00"), std::string::npos);
+  EXPECT_NE(csv.find("6,6.00,10.00"), std::string::npos);  // b padded
+}
+
+TEST(SeriesTable, EmptySeriesRendersDash) {
+  const auto table = series_table({"a", "b"}, {{1.0}, {}}, 1);
+  EXPECT_NE(table.to_csv().find("1,1.00,-"), std::string::npos);
+}
+
+TEST(SeriesTable, RejectsLabelMismatch) {
+  EXPECT_THROW(series_table({"a"}, {{1.0}, {2.0}}), support::ContractViolation);
+}
+
+TEST(SeriesTable, RejectsZeroStride) {
+  EXPECT_THROW(series_table({"a"}, {{1.0}}, 0), support::ContractViolation);
+}
+
+TEST(ValidationTable, FormatsTableIIStyle) {
+  ValidationRun run;
+  run.method = "AARC";
+  run.workload = "chatbot";
+  run.slo_seconds = 120.0;
+  support::Accumulator acc;
+  acc.add(103.0);
+  acc.add(104.4);
+  run.profile.makespan = acc.summary();
+  support::Accumulator cost;
+  cost.add(23909.0);
+  cost.add(23909.0);
+  run.profile.cost = cost.summary();
+  const auto table = validation_table({run});
+  const std::string md = table.to_markdown();
+  EXPECT_NE(md.find("103.7 ± 1.0"), std::string::npos);
+  EXPECT_NE(md.find("47.8k"), std::string::npos);  // sum of costs / 1000
+  EXPECT_NE(md.find("yes"), std::string::npos);
+}
+
+TEST(ValidationTable, FlagsSloViolation) {
+  ValidationRun run;
+  run.method = "MAFF";
+  run.workload = "video";
+  run.slo_seconds = 100.0;
+  support::Accumulator acc;
+  acc.add(150.0);
+  run.profile.makespan = acc.summary();
+  const auto table = validation_table({run});
+  EXPECT_NE(table.to_markdown().find("NO"), std::string::npos);
+}
+
+TEST(ReductionPercent, MatchesPaperArithmetic) {
+  // Paper: AARC 435.0k vs BO 863.5k on ML Pipeline -> 49.6% cheaper.
+  EXPECT_EQ(reduction_percent(435.0, 863.5), "49.6%");
+  EXPECT_EQ(reduction_percent(200.0, 100.0), "-100.0%");
+}
+
+TEST(ReductionPercent, RejectsZeroBaseline) {
+  EXPECT_THROW(reduction_percent(1.0, 0.0), support::ContractViolation);
+}
+
+}  // namespace
+}  // namespace aarc::report

@@ -1,0 +1,116 @@
+#include "search/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "perf/analytic.h"
+#include "support/contracts.h"
+
+namespace aarc::search {
+namespace {
+
+std::unique_ptr<perf::PerfModel> model(double serial, double min_mem = 128.0) {
+  perf::AnalyticParams p;
+  p.serial_seconds = serial;
+  p.working_set_mb = 256.0;
+  p.min_memory_mb = min_mem;
+  p.pressure_coeff = 0.0;
+  return std::make_unique<perf::AnalyticModel>(p);
+}
+
+platform::Workflow chain() {
+  platform::Workflow wf("chain");
+  wf.add_function("a", model(4.0));
+  wf.add_function("b", model(6.0));
+  wf.add_edge("a", "b");
+  return wf;
+}
+
+TEST(Evaluator, RecordsEverySampleInOrder) {
+  const platform::Workflow wf = chain();
+  const platform::Executor ex;
+  Evaluator ev(wf, ex, 100.0, 1.0, 42);
+  const auto cfg = platform::uniform_config(2, {1.0, 512.0});
+  ev.evaluate(cfg);
+  ev.evaluate(cfg);
+  EXPECT_EQ(ev.samples_used(), 2u);
+  EXPECT_EQ(ev.trace().samples()[0].index, 0u);
+  EXPECT_EQ(ev.trace().samples()[1].index, 1u);
+}
+
+TEST(Evaluator, FeasibilityAgainstSlo) {
+  const platform::Workflow wf = chain();
+  const platform::Executor ex;
+  Evaluator tight(wf, ex, 5.0, 1.0, 42);   // makespan ~10 > 5
+  Evaluator loose(wf, ex, 100.0, 1.0, 42);
+  const auto cfg = platform::uniform_config(2, {1.0, 512.0});
+  EXPECT_FALSE(tight.evaluate(cfg).sample.feasible);
+  EXPECT_TRUE(loose.evaluate(cfg).sample.feasible);
+}
+
+TEST(Evaluator, CarriesFunctionRuntimesAndCosts) {
+  const platform::Workflow wf = chain();
+  const platform::Executor ex;
+  Evaluator ev(wf, ex, 100.0, 1.0, 42);
+  const auto eval = ev.evaluate(platform::uniform_config(2, {1.0, 512.0}));
+  ASSERT_EQ(eval.function_runtimes.size(), 2u);
+  ASSERT_EQ(eval.function_costs.size(), 2u);
+  EXPECT_NEAR(eval.function_runtimes[0], 4.0, 0.5);
+  EXPECT_NEAR(eval.function_runtimes[1], 6.0, 0.7);
+  EXPECT_GT(eval.function_costs[0], 0.0);
+  EXPECT_NEAR(eval.sample.makespan, eval.function_runtimes[0] + eval.function_runtimes[1],
+              1e-9);
+}
+
+TEST(Evaluator, OomSampleIsFailedWithFiniteWallCharges) {
+  const platform::Workflow wf = chain();
+  const platform::Executor ex;
+  Evaluator ev(wf, ex, 100.0, 1.0, 42);
+  auto cfg = platform::uniform_config(2, {1.0, 512.0});
+  cfg[1].memory_mb = 100.0;
+  const auto eval = ev.evaluate(cfg);
+  EXPECT_TRUE(eval.sample.failed);
+  EXPECT_FALSE(eval.sample.feasible);
+  EXPECT_TRUE(std::isinf(eval.sample.cost));
+  EXPECT_TRUE(std::isfinite(eval.sample.wall_seconds));
+  EXPECT_TRUE(std::isfinite(eval.sample.wall_cost));
+}
+
+TEST(Evaluator, DeterministicForSeed) {
+  const platform::Workflow wf = chain();
+  const platform::Executor ex;
+  Evaluator a(wf, ex, 100.0, 1.0, 7);
+  Evaluator b(wf, ex, 100.0, 1.0, 7);
+  const auto cfg = platform::uniform_config(2, {1.0, 512.0});
+  EXPECT_DOUBLE_EQ(a.evaluate(cfg).sample.makespan, b.evaluate(cfg).sample.makespan);
+}
+
+TEST(Evaluator, DifferentSeedsDiffer) {
+  const platform::Workflow wf = chain();
+  const platform::Executor ex;
+  Evaluator a(wf, ex, 100.0, 1.0, 7);
+  Evaluator b(wf, ex, 100.0, 1.0, 8);
+  const auto cfg = platform::uniform_config(2, {1.0, 512.0});
+  EXPECT_NE(a.evaluate(cfg).sample.makespan, b.evaluate(cfg).sample.makespan);
+}
+
+TEST(Evaluator, RejectsBadConstruction) {
+  const platform::Workflow wf = chain();
+  const platform::Executor ex;
+  EXPECT_THROW(Evaluator(wf, ex, 0.0, 1.0, 1), support::ContractViolation);
+  EXPECT_THROW(Evaluator(wf, ex, 10.0, 0.0, 1), support::ContractViolation);
+}
+
+TEST(Evaluator, InputScalePropagates) {
+  const platform::Workflow wf = chain();
+  const platform::Executor ex;
+  Evaluator small(wf, ex, 1000.0, 1.0, 7);
+  Evaluator big(wf, ex, 1000.0, 3.0, 7);
+  const auto cfg = platform::uniform_config(2, {1.0, 512.0});
+  EXPECT_NEAR(big.evaluate(cfg).sample.makespan, 3.0 * small.evaluate(cfg).sample.makespan,
+              1e-9);
+}
+
+}  // namespace
+}  // namespace aarc::search

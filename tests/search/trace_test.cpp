@@ -1,0 +1,119 @@
+#include "search/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "support/contracts.h"
+
+namespace aarc::search {
+namespace {
+
+Sample sample(std::size_t index, double makespan, double cost, bool feasible,
+              bool failed = false) {
+  Sample s;
+  s.index = index;
+  s.makespan = makespan;
+  s.cost = cost;
+  s.wall_seconds = failed ? makespan / 2.0 : makespan;
+  s.wall_cost = failed ? cost / 2.0 : cost;
+  s.failed = failed;
+  s.feasible = feasible;
+  return s;
+}
+
+TEST(SearchTrace, StartsEmpty) {
+  const SearchTrace t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_DOUBLE_EQ(t.total_sampling_runtime(), 0.0);
+  EXPECT_FALSE(t.best_feasible_index().has_value());
+  EXPECT_TRUE(t.incumbent_cost_series().empty());
+}
+
+TEST(SearchTrace, EnforcesConsecutiveIndices) {
+  SearchTrace t;
+  t.add(sample(0, 10.0, 5.0, true));
+  EXPECT_THROW(t.add(sample(2, 10.0, 5.0, true)), support::ContractViolation);
+}
+
+TEST(SearchTrace, TotalsSumWallQuantities) {
+  SearchTrace t;
+  t.add(sample(0, 10.0, 4.0, true));
+  t.add(sample(1, 20.0, 6.0, true));
+  EXPECT_DOUBLE_EQ(t.total_sampling_runtime(), 30.0);
+  EXPECT_DOUBLE_EQ(t.total_sampling_cost(), 10.0);
+}
+
+TEST(SearchTrace, FailedProbesChargePartialWallTime) {
+  SearchTrace t;
+  t.add(sample(0, 40.0, 8.0, false, /*failed=*/true));
+  EXPECT_DOUBLE_EQ(t.total_sampling_runtime(), 20.0);
+  EXPECT_DOUBLE_EQ(t.total_sampling_cost(), 4.0);
+}
+
+TEST(SearchTrace, BestFeasiblePicksCheapest) {
+  SearchTrace t;
+  t.add(sample(0, 10.0, 9.0, true));
+  t.add(sample(1, 10.0, 5.0, true));
+  t.add(sample(2, 10.0, 7.0, true));
+  EXPECT_EQ(t.best_feasible_index(), std::optional<std::size_t>(1));
+}
+
+TEST(SearchTrace, BestFeasibleIgnoresInfeasible) {
+  SearchTrace t;
+  t.add(sample(0, 10.0, 1.0, false));  // cheap but infeasible
+  t.add(sample(1, 10.0, 9.0, true));
+  EXPECT_EQ(t.best_feasible_index(), std::optional<std::size_t>(1));
+}
+
+TEST(SearchTrace, IncumbentCostSeriesIsNonIncreasing) {
+  SearchTrace t;
+  t.add(sample(0, 10.0, 9.0, true));
+  t.add(sample(1, 10.0, 12.0, true));  // worse: incumbent unchanged
+  t.add(sample(2, 10.0, 5.0, true));
+  const std::vector<double> expected{9.0, 9.0, 5.0};
+  EXPECT_EQ(t.incumbent_cost_series(), expected);
+}
+
+TEST(SearchTrace, IncumbentRuntimeTracksIncumbentNotMin) {
+  SearchTrace t;
+  t.add(sample(0, 10.0, 9.0, true));
+  t.add(sample(1, 20.0, 5.0, true));  // cheaper but slower: becomes incumbent
+  const std::vector<double> expected{10.0, 20.0};
+  EXPECT_EQ(t.incumbent_runtime_series(), expected);
+}
+
+TEST(SearchTrace, IncumbentSeriesBackfillsPrefix) {
+  SearchTrace t;
+  t.add(sample(0, 200.0, 9.0, false));  // infeasible prefix
+  t.add(sample(1, 10.0, 6.0, true));
+  const std::vector<double> expected{6.0, 6.0};
+  EXPECT_EQ(t.incumbent_cost_series(), expected);
+}
+
+TEST(SearchTrace, IncumbentSeriesEmptyWhenNeverFeasible) {
+  SearchTrace t;
+  t.add(sample(0, 200.0, 9.0, false));
+  EXPECT_TRUE(t.incumbent_cost_series().empty());
+  EXPECT_TRUE(t.incumbent_runtime_series().empty());
+}
+
+TEST(SearchTrace, RawSeriesSkipFailedProbes) {
+  SearchTrace t;
+  t.add(sample(0, 10.0, 9.0, true));
+  t.add(sample(1, 40.0, 8.0, false, /*failed=*/true));
+  t.add(sample(2, 12.0, 7.0, true));
+  EXPECT_EQ(t.raw_cost_series(), (std::vector<double>{9.0, 7.0}));
+  EXPECT_EQ(t.raw_runtime_series(), (std::vector<double>{10.0, 12.0}));
+}
+
+TEST(SearchTrace, RejectsInfiniteWallQuantities) {
+  SearchTrace t;
+  Sample s = sample(0, 10.0, 5.0, true);
+  s.wall_seconds = -std::numeric_limits<double>::infinity();
+  EXPECT_THROW(t.add(s), support::ContractViolation);
+}
+
+}  // namespace
+}  // namespace aarc::search

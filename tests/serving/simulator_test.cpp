@@ -1,0 +1,229 @@
+#include "serving/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "perf/analytic.h"
+#include "platform/executor.h"
+#include "support/contracts.h"
+
+namespace aarc::serving {
+namespace {
+
+std::unique_ptr<perf::PerfModel> fn(double serial, double min_mem = 128.0) {
+  perf::AnalyticParams p;
+  p.serial_seconds = serial;
+  p.working_set_mb = std::max(256.0, min_mem);
+  p.min_memory_mb = min_mem;
+  p.pressure_coeff = 0.0;
+  return std::make_unique<perf::AnalyticModel>(p);
+}
+
+platform::Workflow chain() {
+  platform::Workflow wf("chain");
+  wf.add_function("a", fn(4.0));
+  wf.add_function("b", fn(6.0));
+  wf.add_edge("a", "b");
+  return wf;
+}
+
+ServingOptions clean_options() {
+  ServingOptions opts;
+  opts.noise = perf::NoiseModel(0.0);
+  opts.cold_start_min_seconds = 1.0;
+  opts.cold_start_max_seconds = 1.0;  // deterministic cold starts
+  return opts;
+}
+
+Request request_at(double t, std::size_t functions, double scale = 1.0) {
+  Request r;
+  r.arrival_seconds = t;
+  r.input_scale = scale;
+  r.config = platform::uniform_config(functions, {1.0, 512.0});
+  return r;
+}
+
+const platform::DecoupledLinearPricing kPricing;
+
+TEST(Serving, SingleRequestMatchesExecutorPlusColdStarts) {
+  const platform::Workflow wf = chain();
+  const ServingSimulator sim(wf, kPricing, clean_options());
+  const auto report = sim.serve({request_at(0.0, 2)});
+  ASSERT_EQ(report.requests.size(), 1u);
+  const auto& r = report.requests[0];
+  EXPECT_FALSE(r.failed);
+  // a: 1 s cold + 4 s run; b: 1 s cold + 6 s run -> latency 12.
+  EXPECT_DOUBLE_EQ(r.latency(), 12.0);
+  EXPECT_EQ(r.cold_starts, 2u);
+  EXPECT_EQ(r.invocations, 2u);
+  EXPECT_EQ(report.warm_starts, 0u);
+  EXPECT_EQ(report.peak_containers, 2u);
+}
+
+TEST(Serving, BilledCostMatchesPricing) {
+  const platform::Workflow wf = chain();
+  const ServingSimulator sim(wf, kPricing, clean_options());
+  const auto report = sim.serve({request_at(0.0, 2)});
+  // (4+1) + (6+1) = 12 billed seconds at 1 vCPU / 512 MB.
+  const double expected = kPricing.invocation_cost({1.0, 512.0}, 12.0);
+  EXPECT_NEAR(report.total_cost, expected, 1e-9);
+}
+
+TEST(Serving, SequentialRequestsReuseWarmContainers) {
+  const platform::Workflow wf = chain();
+  const ServingSimulator sim(wf, kPricing, clean_options());
+  // Second request arrives after the first fully drained.
+  const auto report = sim.serve({request_at(0.0, 2), request_at(50.0, 2)});
+  EXPECT_EQ(report.cold_starts, 2u);  // only the first request provisions
+  EXPECT_EQ(report.warm_starts, 2u);
+  EXPECT_EQ(report.requests[1].cold_starts, 0u);
+  // Warm request is faster by the two cold starts.
+  EXPECT_DOUBLE_EQ(report.requests[1].latency(), 10.0);
+  EXPECT_EQ(report.peak_containers, 2u);
+}
+
+TEST(Serving, KeepAliveExpiryForcesColdStarts) {
+  const platform::Workflow wf = chain();
+  ServingOptions opts = clean_options();
+  opts.keep_alive_seconds = 5.0;  // containers die before the second request
+  const ServingSimulator sim(wf, kPricing, opts);
+  const auto report = sim.serve({request_at(0.0, 2), request_at(100.0, 2)});
+  EXPECT_EQ(report.cold_starts, 4u);
+  EXPECT_EQ(report.warm_starts, 0u);
+}
+
+TEST(Serving, ConcurrentRequestsNeedMoreContainers) {
+  const platform::Workflow wf = chain();
+  const ServingSimulator sim(wf, kPricing, clean_options());
+  // Both arrive together: no sharing possible.
+  const auto report = sim.serve({request_at(0.0, 2), request_at(0.0, 2)});
+  EXPECT_EQ(report.cold_starts, 4u);
+  EXPECT_EQ(report.peak_containers, 4u);
+  EXPECT_DOUBLE_EQ(report.requests[0].latency(), 12.0);
+  EXPECT_DOUBLE_EQ(report.requests[1].latency(), 12.0);
+}
+
+TEST(Serving, ConcurrencyCapQueuesInvocations) {
+  const platform::Workflow wf = chain();
+  ServingOptions opts = clean_options();
+  opts.max_containers_per_function = 1;
+  const ServingSimulator sim(wf, kPricing, opts);
+  const auto report = sim.serve({request_at(0.0, 2), request_at(0.0, 2)});
+  // Request 2's "a" waits for request 1's "a" (done at 5), runs warm to 9;
+  // its "b" then waits for request 1's "b" (5..12) and runs warm to 18.
+  EXPECT_DOUBLE_EQ(report.requests[0].latency(), 12.0);
+  EXPECT_DOUBLE_EQ(report.requests[1].latency(), 18.0);
+  EXPECT_EQ(report.peak_containers, 2u);  // one per function
+}
+
+TEST(Serving, ParallelBranchesOverlap) {
+  platform::Workflow wf("diamond");
+  wf.add_function("src", fn(1.0));
+  wf.add_function("x", fn(5.0));
+  wf.add_function("y", fn(5.0));
+  wf.add_function("sink", fn(1.0));
+  wf.add_edge("src", "x");
+  wf.add_edge("src", "y");
+  wf.add_edge("x", "sink");
+  wf.add_edge("y", "sink");
+  const ServingSimulator sim(wf, kPricing, clean_options());
+  const auto report = sim.serve({request_at(0.0, 4)});
+  // src 1+1, branches in parallel 1+5, sink 1+1: 2 + 6 + 2 = 10.
+  EXPECT_DOUBLE_EQ(report.requests[0].latency(), 10.0);
+}
+
+TEST(Serving, OomRequestFailsWithoutSpawningDownstream) {
+  const platform::Workflow wf = chain();
+  const ServingSimulator sim(wf, kPricing, clean_options());
+  Request bad = request_at(0.0, 2);
+  bad.config[0].memory_mb = 100.0;  // below the 128 MB floor of "a"
+  const auto report = sim.serve({bad});
+  EXPECT_EQ(report.failed_requests, 1u);
+  EXPECT_TRUE(report.requests[0].failed);
+  EXPECT_EQ(report.requests[0].invocations, 1u);  // "b" never ran
+  EXPECT_EQ(report.latency.count, 0u);
+}
+
+TEST(Serving, FailedRequestDoesNotBlockOthers) {
+  const platform::Workflow wf = chain();
+  const ServingSimulator sim(wf, kPricing, clean_options());
+  Request bad = request_at(0.0, 2);
+  bad.config[0].memory_mb = 100.0;
+  const auto report = sim.serve({bad, request_at(0.0, 2)});
+  EXPECT_EQ(report.failed_requests, 1u);
+  EXPECT_FALSE(report.requests[1].failed);
+  EXPECT_DOUBLE_EQ(report.requests[1].latency(), 12.0);
+}
+
+TEST(Serving, DeterministicUnderSeed) {
+  const platform::Workflow wf = chain();
+  ServingOptions opts;  // default noise on
+  opts.seed = 9;
+  const ServingSimulator sim(wf, kPricing, opts);
+  const auto stream = poisson_stream(20, 0.1, 0.5, 1.5,
+                                     platform::uniform_config(2, {1.0, 512.0}), 3);
+  const auto a = sim.serve(stream);
+  const auto b = sim.serve(stream);
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.requests[i].completion, b.requests[i].completion);
+    EXPECT_DOUBLE_EQ(a.requests[i].cost, b.requests[i].cost);
+  }
+  EXPECT_DOUBLE_EQ(a.total_cost, b.total_cost);
+}
+
+TEST(Serving, RejectsUnsortedOrMalformedRequests) {
+  const platform::Workflow wf = chain();
+  const ServingSimulator sim(wf, kPricing, clean_options());
+  EXPECT_THROW(sim.serve({request_at(5.0, 2), request_at(1.0, 2)}),
+               support::ContractViolation);
+  EXPECT_THROW(sim.serve({request_at(0.0, 1)}), support::ContractViolation);
+  Request zero_scale = request_at(0.0, 2);
+  zero_scale.input_scale = 0.0;
+  EXPECT_THROW(sim.serve({zero_scale}), support::ContractViolation);
+}
+
+TEST(Serving, SloViolationRate) {
+  ServingReport report;
+  RequestOutcome ok;
+  ok.arrival = 0.0;
+  ok.completion = 5.0;
+  RequestOutcome slow;
+  slow.arrival = 0.0;
+  slow.completion = 20.0;
+  RequestOutcome failed;
+  failed.failed = true;
+  report.requests = {ok, slow, failed};
+  EXPECT_DOUBLE_EQ(report.slo_violation_rate(10.0), 0.5);
+  EXPECT_THROW(report.slo_violation_rate(0.0), support::ContractViolation);
+}
+
+TEST(PoissonStream, PropertiesHold) {
+  const auto cfg = platform::uniform_config(2, {1.0, 512.0});
+  const auto stream = poisson_stream(200, 0.5, 0.5, 2.0, cfg, 11);
+  ASSERT_EQ(stream.size(), 200u);
+  double prev = 0.0;
+  double total_gap = 0.0;
+  for (const auto& r : stream) {
+    EXPECT_GE(r.arrival_seconds, prev);
+    EXPECT_GE(r.input_scale, 0.5);
+    EXPECT_LE(r.input_scale, 2.0);
+    total_gap += r.arrival_seconds - prev;
+    prev = r.arrival_seconds;
+  }
+  // Mean inter-arrival ~ 1/rate = 2 s.
+  EXPECT_NEAR(total_gap / 200.0, 2.0, 0.4);
+}
+
+TEST(PoissonStream, DeterministicAndSeedSensitive) {
+  const auto cfg = platform::uniform_config(2, {1.0, 512.0});
+  const auto a = poisson_stream(10, 1.0, 1.0, 1.0, cfg, 5);
+  const auto b = poisson_stream(10, 1.0, 1.0, 1.0, cfg, 5);
+  const auto c = poisson_stream(10, 1.0, 1.0, 1.0, cfg, 6);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a[i].arrival_seconds, b[i].arrival_seconds);
+  }
+  EXPECT_NE(a[0].arrival_seconds, c[0].arrival_seconds);
+}
+
+}  // namespace
+}  // namespace aarc::serving

@@ -1,0 +1,53 @@
+#include "support/contracts.h"
+
+#include <gtest/gtest.h>
+
+namespace aarc::support {
+namespace {
+
+TEST(Contracts, ExpectsPassesOnTrue) { EXPECT_NO_THROW(expects(true, "ok")); }
+
+TEST(Contracts, ExpectsThrowsOnFalse) {
+  EXPECT_THROW(expects(false, "boom"), ContractViolation);
+}
+
+TEST(Contracts, EnsuresThrowsOnFalse) {
+  EXPECT_THROW(ensures(false, "post"), ContractViolation);
+}
+
+TEST(Contracts, InvariantThrowsOnFalse) {
+  EXPECT_THROW(invariant(false, "inv"), ContractViolation);
+}
+
+TEST(Contracts, MessageIsPreserved) {
+  try {
+    expects(false, "the message");
+    FAIL() << "expected throw";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("the message"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("precondition"), std::string::npos);
+  }
+}
+
+TEST(Contracts, FileAndLineAppearWhenGiven) {
+  try {
+    ensures(false, "msg", "file.cpp", 42);
+    FAIL() << "expected throw";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("file.cpp:42"), std::string::npos);
+    EXPECT_NE(what.find("postcondition"), std::string::npos);
+  }
+}
+
+TEST(Contracts, ViolationIsLogicError) {
+  try {
+    invariant(false, "x");
+    FAIL() << "expected throw";
+  } catch (const std::logic_error&) {
+    SUCCEED();
+  }
+}
+
+}  // namespace
+}  // namespace aarc::support

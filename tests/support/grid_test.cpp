@@ -1,0 +1,122 @@
+#include "support/grid.h"
+
+#include <gtest/gtest.h>
+
+#include "support/contracts.h"
+
+namespace aarc::support {
+namespace {
+
+// The paper's two grids (Section IV-A).
+ValueGrid cpu_grid() { return ValueGrid(0.1, 10.0, 0.1); }
+ValueGrid mem_grid() { return ValueGrid(128.0, 10240.0, 64.0); }
+
+TEST(ValueGrid, PaperCpuGridHas100Points) { EXPECT_EQ(cpu_grid().size(), 100u); }
+
+TEST(ValueGrid, PaperMemoryGridHas159Points) { EXPECT_EQ(mem_grid().size(), 159u); }
+
+TEST(ValueGrid, EndpointsAreExact) {
+  EXPECT_DOUBLE_EQ(cpu_grid().value(0), 0.1);
+  EXPECT_DOUBLE_EQ(cpu_grid().value(99), 10.0);
+  EXPECT_DOUBLE_EQ(mem_grid().value(0), 128.0);
+  EXPECT_DOUBLE_EQ(mem_grid().value(158), 10240.0);
+}
+
+TEST(ValueGrid, RejectsNonIntegralRange) {
+  EXPECT_THROW(ValueGrid(0.0, 1.0, 0.3), ContractViolation);
+}
+
+TEST(ValueGrid, RejectsNonPositiveStep) {
+  EXPECT_THROW(ValueGrid(0.0, 1.0, 0.0), ContractViolation);
+  EXPECT_THROW(ValueGrid(0.0, 1.0, -1.0), ContractViolation);
+}
+
+TEST(ValueGrid, RejectsInvertedRange) {
+  EXPECT_THROW(ValueGrid(2.0, 1.0, 0.5), ContractViolation);
+}
+
+TEST(ValueGrid, SingletonGrid) {
+  const ValueGrid g(5.0, 5.0, 1.0);
+  EXPECT_EQ(g.size(), 1u);
+  EXPECT_DOUBLE_EQ(g.snap(100.0), 5.0);
+  EXPECT_DOUBLE_EQ(g.snap(-100.0), 5.0);
+}
+
+TEST(ValueGrid, SnapToNearest) {
+  const ValueGrid g = mem_grid();
+  EXPECT_DOUBLE_EQ(g.snap(520.0), 512.0);
+  EXPECT_DOUBLE_EQ(g.snap(545.0), 576.0);
+}
+
+TEST(ValueGrid, SnapClampsOutOfRange) {
+  const ValueGrid g = mem_grid();
+  EXPECT_DOUBLE_EQ(g.snap(1.0), 128.0);
+  EXPECT_DOUBLE_EQ(g.snap(999999.0), 10240.0);
+}
+
+TEST(ValueGrid, IndexOfRoundTrips) {
+  const ValueGrid g = mem_grid();
+  for (std::size_t i = 0; i < g.size(); i += 7) {
+    EXPECT_EQ(g.index_of(g.value(i)), i);
+  }
+}
+
+TEST(ValueGrid, ContainsGridPointsOnly) {
+  const ValueGrid g = mem_grid();
+  EXPECT_TRUE(g.contains(512.0));
+  EXPECT_FALSE(g.contains(513.0));
+  EXPECT_FALSE(g.contains(64.0));     // below range
+  EXPECT_FALSE(g.contains(20480.0));  // above range
+}
+
+TEST(ValueGrid, StepDownMovesExactUnits) {
+  const ValueGrid g = mem_grid();
+  EXPECT_DOUBLE_EQ(g.step_down(1024.0, 1), 960.0);
+  EXPECT_DOUBLE_EQ(g.step_down(1024.0, 14), 128.0);
+}
+
+TEST(ValueGrid, StepDownClampsAtMin) {
+  const ValueGrid g = mem_grid();
+  EXPECT_DOUBLE_EQ(g.step_down(256.0, 100), 128.0);
+  EXPECT_DOUBLE_EQ(g.step_down(128.0, 1), 128.0);
+}
+
+TEST(ValueGrid, StepUpClampsAtMax) {
+  const ValueGrid g = cpu_grid();
+  EXPECT_DOUBLE_EQ(g.step_up(9.9, 5), 10.0);
+  EXPECT_DOUBLE_EQ(g.step_up(1.0, 1), 1.1);
+}
+
+TEST(ValueGrid, ClampWithoutSnapping) {
+  const ValueGrid g = mem_grid();
+  EXPECT_DOUBLE_EQ(g.clamp(515.0), 515.0);
+  EXPECT_DOUBLE_EQ(g.clamp(1.0), 128.0);
+  EXPECT_DOUBLE_EQ(g.clamp(1e9), 10240.0);
+}
+
+TEST(ValueGrid, ValuesMaterializesWholeGrid) {
+  const ValueGrid g(0.0, 10.0, 2.5);
+  const std::vector<double> expected{0.0, 2.5, 5.0, 7.5, 10.0};
+  EXPECT_EQ(g.values(), expected);
+}
+
+TEST(ValueGrid, ValueIndexOutOfRangeThrows) {
+  EXPECT_THROW(cpu_grid().value(100), ContractViolation);
+}
+
+/// Property: snap is idempotent and stays on the grid for arbitrary inputs.
+class SnapProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(SnapProperty, IdempotentAndOnGrid) {
+  const ValueGrid g = mem_grid();
+  const double snapped = g.snap(GetParam());
+  EXPECT_TRUE(g.contains(snapped));
+  EXPECT_DOUBLE_EQ(g.snap(snapped), snapped);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, SnapProperty,
+                         ::testing::Values(-5.0, 0.0, 127.9, 128.0, 128.1, 500.0, 512.0,
+                                           5120.3, 10239.9, 10240.0, 99999.0));
+
+}  // namespace
+}  // namespace aarc::support

@@ -1,0 +1,55 @@
+#include "support/log.h"
+
+#include <gtest/gtest.h>
+
+namespace aarc::support {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+  LogLevelGuard(const LogLevelGuard&) = delete;
+  LogLevelGuard& operator=(const LogLevelGuard&) = delete;
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, LevelRoundTrips) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+}
+
+TEST(Log, EmitsToStderr) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::Debug);
+  ::testing::internal::CaptureStderr();
+  log_info("value=", 42, " name=", "x");
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[INFO] value=42 name=x"), std::string::npos);
+}
+
+TEST(Log, SuppressedBelowLevel) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::Error);
+  ::testing::internal::CaptureStderr();
+  log_debug("hidden");
+  log_info("hidden");
+  log_warn("hidden");
+  EXPECT_TRUE(::testing::internal::GetCapturedStderr().empty());
+}
+
+TEST(Log, OffSilencesEverything) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::Off);
+  ::testing::internal::CaptureStderr();
+  log_error("hidden");
+  EXPECT_TRUE(::testing::internal::GetCapturedStderr().empty());
+}
+
+}  // namespace
+}  // namespace aarc::support

@@ -1,0 +1,150 @@
+#include "support/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "support/contracts.h"
+#include "support/statistics.h"
+
+namespace aarc::support {
+namespace {
+
+TEST(SplitMix, IsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(DeriveSeed, IsPure) {
+  EXPECT_EQ(derive_seed(7, 3), derive_seed(7, 3));
+}
+
+TEST(DeriveSeed, StreamsDecorrelate) {
+  EXPECT_NE(derive_seed(7, 0), derive_seed(7, 1));
+  EXPECT_NE(derive_seed(7, 0), 7u);  // stream 0 must not echo the parent
+}
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(11);
+  Rng b(11);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+  }
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, UniformRejectsInvertedRange) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform(3.0, 2.0), ContractViolation);
+}
+
+TEST(Rng, UniformIntCoversBounds) {
+  Rng rng(6);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_int(0, 3));
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_TRUE(seen.count(0) == 1 && seen.count(3) == 1);
+}
+
+TEST(Rng, LognormalUnitMeanIsUnbiased) {
+  Rng rng(7);
+  Accumulator acc;
+  for (int i = 0; i < 20000; ++i) acc.add(rng.lognormal_unit_mean(0.1));
+  EXPECT_NEAR(acc.mean(), 1.0, 0.01);
+}
+
+TEST(Rng, LognormalZeroSigmaIsExactlyOne) {
+  Rng rng(8);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(rng.lognormal_unit_mean(0.0), 1.0);
+}
+
+TEST(Rng, LognormalRejectsNegativeSigma) {
+  Rng rng(8);
+  EXPECT_THROW(rng.lognormal_unit_mean(-0.1), ContractViolation);
+}
+
+TEST(Rng, BernoulliRespectsProbability) {
+  Rng rng(9);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(Rng, BernoulliRejectsOutOfRange) {
+  Rng rng(9);
+  EXPECT_THROW(rng.bernoulli(-0.1), ContractViolation);
+  EXPECT_THROW(rng.bernoulli(1.1), ContractViolation);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(10);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, IndexWithinBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) EXPECT_LT(rng.index(7), 7u);
+}
+
+TEST(Rng, IndexRejectsEmptyRange) {
+  Rng rng(11);
+  EXPECT_THROW(rng.index(0), ContractViolation);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(12);
+  const auto perm = rng.permutation(50);
+  std::set<std::size_t> unique(perm.begin(), perm.end());
+  EXPECT_EQ(unique.size(), 50u);
+  EXPECT_EQ(*unique.begin(), 0u);
+  EXPECT_EQ(*unique.rbegin(), 49u);
+}
+
+TEST(Rng, PermutationOfZeroIsEmpty) {
+  Rng rng(12);
+  EXPECT_TRUE(rng.permutation(0).empty());
+}
+
+TEST(Rng, SplitProducesIndependentStreams) {
+  Rng parent(13);
+  Rng c0 = parent.split(0);
+  Rng c1 = parent.split(1);
+  EXPECT_NE(c0.seed(), c1.seed());
+  EXPECT_NE(c0.uniform(0.0, 1.0), c1.uniform(0.0, 1.0));
+}
+
+TEST(Rng, SplitIsStable) {
+  Rng parent(13);
+  EXPECT_EQ(parent.split(4).seed(), parent.split(4).seed());
+}
+
+TEST(Rng, NormalMatchesMoments) {
+  Rng rng(14);
+  Accumulator acc;
+  for (int i = 0; i < 20000; ++i) acc.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(acc.mean(), 5.0, 0.08);
+  EXPECT_NEAR(acc.stddev(), 2.0, 0.08);
+}
+
+}  // namespace
+}  // namespace aarc::support

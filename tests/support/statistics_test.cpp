@@ -1,0 +1,174 @@
+#include "support/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "support/contracts.h"
+
+namespace aarc::support {
+namespace {
+
+TEST(Accumulator, EmptySummary) {
+  Accumulator acc;
+  const Summary s = acc.summary();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Accumulator, SingleValue) {
+  Accumulator acc;
+  acc.add(3.5);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(acc.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 3.5);
+  EXPECT_DOUBLE_EQ(acc.max(), 3.5);
+}
+
+TEST(Accumulator, KnownMeanAndStd) {
+  Accumulator acc;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(v);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  // Sample variance with n-1: sum sq dev = 32, / 7.
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Accumulator, MinMaxTracking) {
+  Accumulator acc;
+  for (double v : {5.0, -2.0, 8.0, 0.0}) acc.add(v);
+  EXPECT_DOUBLE_EQ(acc.min(), -2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 8.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 11.0);
+}
+
+TEST(Accumulator, MinMaxOnEmptyThrows) {
+  Accumulator acc;
+  EXPECT_THROW(acc.min(), ContractViolation);
+  EXPECT_THROW(acc.max(), ContractViolation);
+}
+
+TEST(Accumulator, MergeMatchesSequential) {
+  Accumulator all;
+  Accumulator left;
+  Accumulator right;
+  for (int i = 0; i < 50; ++i) {
+    const double v = std::sin(i) * 10.0;
+    all.add(v);
+    (i % 2 == 0 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(Accumulator, MergeWithEmptyIsIdentity) {
+  Accumulator acc;
+  acc.add(1.0);
+  acc.add(2.0);
+  Accumulator empty;
+  acc.merge(empty);
+  EXPECT_EQ(acc.count(), 2u);
+  empty.merge(acc);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(Summarize, MatchesAccumulator) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.sum, 10.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+}
+
+TEST(Percentile, MedianOfOddSample) {
+  const std::vector<double> v{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenPoints) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
+}
+
+TEST(Percentile, Extremes) {
+  const std::vector<double> v{5.0, 1.0, 9.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 9.0);
+}
+
+TEST(Percentile, SingleElement) {
+  const std::vector<double> v{42.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 73.0), 42.0);
+}
+
+TEST(Percentile, RejectsEmptyAndBadP) {
+  const std::vector<double> empty;
+  const std::vector<double> one{1.0};
+  EXPECT_THROW(percentile(empty, 50.0), ContractViolation);
+  EXPECT_THROW(percentile(one, -1.0), ContractViolation);
+  EXPECT_THROW(percentile(one, 101.0), ContractViolation);
+}
+
+TEST(MeanAbsDelta, PaperFluctuationMetric) {
+  // Fig. 3's "average fluctuation amplitude": mean |x_i - x_{i-1}|.
+  const std::vector<double> v{10.0, 12.0, 9.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean_abs_delta(v), (2.0 + 3.0 + 0.0) / 3.0);
+}
+
+TEST(MeanAbsDelta, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(mean_abs_delta(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_abs_delta(std::vector<double>{5.0}), 0.0);
+}
+
+TEST(FractionIncreases, CountsStrictIncreases) {
+  const std::vector<double> v{1.0, 2.0, 2.0, 1.0, 3.0};
+  // deltas: +1, 0, -1, +2 -> 2 of 4 increases.
+  EXPECT_DOUBLE_EQ(fraction_increases(v), 0.5);
+}
+
+TEST(RunningMin, IsMonotoneNonIncreasing) {
+  const std::vector<double> v{5.0, 7.0, 3.0, 4.0, 1.0};
+  const auto r = running_min(v);
+  const std::vector<double> expected{5.0, 5.0, 3.0, 3.0, 1.0};
+  EXPECT_EQ(r, expected);
+}
+
+TEST(RunningMax, IsMonotoneNonDecreasing) {
+  const std::vector<double> v{5.0, 7.0, 3.0, 9.0};
+  const auto r = running_max(v);
+  const std::vector<double> expected{5.0, 7.0, 7.0, 9.0};
+  EXPECT_EQ(r, expected);
+}
+
+TEST(RunningMin, EmptyInput) { EXPECT_TRUE(running_min(std::vector<double>{}).empty()); }
+
+/// Property: for any sample, stddev >= 0 and min <= mean <= max.
+class SummaryProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SummaryProperty, BasicInequalities) {
+  std::vector<double> v;
+  const int seed = GetParam();
+  for (int i = 0; i < 100; ++i) {
+    v.push_back(std::sin(seed * 100 + i) * std::cos(i * 0.7) * 50.0);
+  }
+  const Summary s = summarize(v);
+  EXPECT_GE(s.stddev, 0.0);
+  EXPECT_LE(s.min, s.mean);
+  EXPECT_GE(s.max, s.mean);
+  EXPECT_NEAR(s.sum, s.mean * static_cast<double>(s.count), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SummaryProperty, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace aarc::support

@@ -1,0 +1,51 @@
+#include "support/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace aarc::support {
+namespace {
+
+TEST(Join, EmptyVector) { EXPECT_EQ(join({}, ", "), ""); }
+
+TEST(Join, SingleElement) { EXPECT_EQ(join({"a"}, ", "), "a"); }
+
+TEST(Join, MultipleElements) { EXPECT_EQ(join({"a", "b", "c"}, "->"), "a->b->c"); }
+
+TEST(Split, BasicFields) {
+  const std::vector<std::string> expected{"a", "b", "c"};
+  EXPECT_EQ(split("a,b,c", ','), expected);
+}
+
+TEST(Split, PreservesEmptyFields) {
+  const std::vector<std::string> expected{"", "x", ""};
+  EXPECT_EQ(split(",x,", ','), expected);
+}
+
+TEST(Split, NoSeparator) {
+  const std::vector<std::string> expected{"abc"};
+  EXPECT_EQ(split("abc", ','), expected);
+}
+
+TEST(Split, RoundTripsWithJoin) {
+  const std::string original = "one,two,three";
+  EXPECT_EQ(join(split(original, ','), ","), original);
+}
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+}
+
+TEST(Trim, AllWhitespaceBecomesEmpty) { EXPECT_EQ(trim(" \t "), ""); }
+
+TEST(Trim, InteriorWhitespaceKept) { EXPECT_EQ(trim(" a b "), "a b"); }
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(starts_with("workflow", "work"));
+  EXPECT_FALSE(starts_with("work", "workflow"));
+  EXPECT_TRUE(starts_with("x", ""));
+}
+
+TEST(ToLower, AsciiOnly) { EXPECT_EQ(to_lower("AbC-123"), "abc-123"); }
+
+}  // namespace
+}  // namespace aarc::support

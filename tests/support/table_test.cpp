@@ -1,0 +1,89 @@
+#include "support/table.h"
+
+#include <gtest/gtest.h>
+
+#include "support/contracts.h"
+
+namespace aarc::support {
+namespace {
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table(std::vector<std::string>{}), ContractViolation);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(Table, CountsRowsAndColumns) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1", "2", "3"});
+  t.add_row({"4", "5", "6"});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.columns(), 3u);
+}
+
+TEST(Table, MarkdownHasHeaderSeparatorAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  const std::string md = t.to_markdown();
+  EXPECT_NE(md.find("| name"), std::string::npos);
+  EXPECT_NE(md.find("| ----"), std::string::npos);
+  EXPECT_NE(md.find("| x"), std::string::npos);
+}
+
+TEST(Table, MarkdownColumnsAligned) {
+  Table t({"a", "long-header"});
+  t.add_row({"wide-cell-content", "x"});
+  const std::string md = t.to_markdown();
+  // Each line has the same length when columns are padded.
+  std::size_t first_len = md.find('\n');
+  std::size_t pos = first_len + 1;
+  while (pos < md.size()) {
+    const std::size_t next = md.find('\n', pos);
+    EXPECT_EQ(next - pos, first_len) << md;
+    pos = next + 1;
+  }
+}
+
+TEST(Table, CsvBasic) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, CsvEscapesCommasAndQuotes) {
+  Table t({"a"});
+  t.add_row({"hello, \"world\""});
+  EXPECT_EQ(t.to_csv(), "a\n\"hello, \"\"world\"\"\"\n");
+}
+
+TEST(Table, CsvEscapesNewlines) {
+  Table t({"a"});
+  t.add_row({"two\nlines"});
+  EXPECT_EQ(t.to_csv(), "a\n\"two\nlines\"\n");
+}
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(3.0, 0), "3");
+  EXPECT_EQ(format_double(-1.005, 1), "-1.0");
+}
+
+TEST(FormatKilo, MatchesTableIIStyle) {
+  EXPECT_EQ(format_kilo(2390900.0), "2390.9k");
+  EXPECT_EQ(format_kilo(53600.0), "53.6k");
+}
+
+TEST(FormatMeanStd, PlusMinus) {
+  EXPECT_EQ(format_mean_std(103.7, 3.2), "103.7 ± 3.2");
+}
+
+TEST(FormatPercent, SignedPercentage) {
+  EXPECT_EQ(format_percent(0.496), "49.6%");
+  EXPECT_EQ(format_percent(-0.1), "-10.0%");
+}
+
+}  // namespace
+}  // namespace aarc::support

@@ -1,0 +1,124 @@
+#include "workloads/calibrated.h"
+
+#include <gtest/gtest.h>
+
+#include "aarc/scheduler.h"
+#include "support/contracts.h"
+#include "workloads/catalog.h"
+
+namespace aarc::workloads {
+namespace {
+
+TEST(Calibrated, PreservesTopologyAndNames) {
+  const Workload w = make_by_name("chatbot");
+  const platform::Executor ex;
+  const auto outcome = calibrate_workflow(w.workflow, ex);
+  EXPECT_EQ(outcome.workflow.function_count(), w.workflow.function_count());
+  EXPECT_EQ(outcome.workflow.graph().edge_count(), w.workflow.graph().edge_count());
+  for (dag::NodeId id = 0; id < w.workflow.function_count(); ++id) {
+    EXPECT_EQ(outcome.workflow.function_name(id), w.workflow.function_name(id));
+    for (dag::NodeId next : w.workflow.graph().successors(id)) {
+      EXPECT_TRUE(outcome.workflow.graph().has_edge(id, next));
+    }
+  }
+  EXPECT_EQ(outcome.workflow.name(), "chatbot_calibrated");
+}
+
+TEST(Calibrated, CountsMeasurements) {
+  const Workload w = make_by_name("chatbot");
+  const platform::Executor ex;
+  MeasurementPlan plan;
+  plan.repeats = 2;
+  const auto outcome = calibrate_workflow(w.workflow, ex, plan);
+  // Bounded by (plan points + 3 floor-knee points) x repeats per function,
+  // plus up to log2(grid) OOM bisection probes per function.
+  const std::size_t functions = w.workflow.function_count();
+  const std::size_t per_function = (plan.points.size() + 3) * plan.repeats + 8;
+  EXPECT_LE(outcome.measurements, per_function * functions);
+  EXPECT_GT(outcome.measurements, 0u);
+  EXPECT_EQ(outcome.fit_errors.size(), functions);
+}
+
+TEST(Calibrated, FitsReasonablyWell) {
+  const Workload w = make_by_name("ml_pipeline");
+  const platform::Executor ex;
+  MeasurementPlan plan;
+  plan.fit.restarts = 6;
+  plan.fit.iterations_per_restart = 300;
+  const auto outcome = calibrate_workflow(w.workflow, ex, plan);
+  for (double e : outcome.fit_errors) EXPECT_LT(e, 0.5);
+}
+
+TEST(Calibrated, FittedSurfacesTrackTruthOnPlanPoints) {
+  const Workload w = make_by_name("chatbot");
+  const platform::Executor ex;
+  MeasurementPlan plan;
+  plan.fit.restarts = 6;
+  plan.fit.iterations_per_restart = 300;
+  const auto outcome = calibrate_workflow(w.workflow, ex, plan);
+  for (dag::NodeId id = 0; id < w.workflow.function_count(); ++id) {
+    const auto& truth = w.workflow.model(id);
+    const auto& fitted = outcome.workflow.model(id);
+    for (const auto& point : plan.points) {
+      if (!truth.fits_memory(point.memory_mb, 1.0)) continue;
+      if (!fitted.fits_memory(point.memory_mb, 1.0)) continue;
+      const double t = truth.mean_runtime(point.vcpu, point.memory_mb, 1.0);
+      const double f = fitted.mean_runtime(point.vcpu, point.memory_mb, 1.0);
+      EXPECT_LT(std::abs(std::log(f / t)), 1.0)
+          << w.workflow.function_name(id) << " at " << platform::to_string(point);
+    }
+  }
+}
+
+TEST(Calibrated, DeterministicForSeed) {
+  const Workload w = make_by_name("chatbot");
+  const platform::Executor ex;
+  MeasurementPlan plan;
+  plan.fit.restarts = 2;
+  plan.fit.iterations_per_restart = 50;
+  const auto a = calibrate_workflow(w.workflow, ex, plan);
+  const auto b = calibrate_workflow(w.workflow, ex, plan);
+  ASSERT_EQ(a.fit_errors.size(), b.fit_errors.size());
+  for (std::size_t i = 0; i < a.fit_errors.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.fit_errors[i], b.fit_errors[i]);
+  }
+}
+
+TEST(Calibrated, SchedulingOnFitsStaysSloCompliantOnTruth) {
+  // The headline robustness property: a configuration found on fitted
+  // models still meets the SLO when validated against the true models.
+  const Workload w = make_by_name("chatbot");
+  const platform::Executor ex;
+  const auto outcome = calibrate_workflow(w.workflow, ex);
+  const core::GraphCentricScheduler scheduler(ex, platform::ConfigGrid{});
+  const auto report = scheduler.schedule(outcome.workflow, w.slo_seconds);
+  ASSERT_TRUE(report.result.found_feasible);
+
+  platform::ExecutorOptions noiseless;
+  noiseless.noise = perf::NoiseModel(0.0);
+  const platform::Executor mean_ex(std::make_unique<platform::DecoupledLinearPricing>(),
+                                   noiseless);
+  const auto run = mean_ex.execute_mean(w.workflow, report.result.best_config);
+  EXPECT_FALSE(run.failed);
+  EXPECT_LE(run.makespan, w.slo_seconds * 1.05);
+}
+
+TEST(Calibrated, RejectsBadPlans) {
+  const Workload w = make_by_name("chatbot");
+  const platform::Executor ex;
+  MeasurementPlan plan;
+  plan.points.clear();
+  EXPECT_THROW(calibrate_workflow(w.workflow, ex, plan), support::ContractViolation);
+  plan = MeasurementPlan{};
+  plan.repeats = 0;
+  EXPECT_THROW(calibrate_workflow(w.workflow, ex, plan), support::ContractViolation);
+  // A plan whose points all OOM for Video Analysis's extract functions.
+  plan = MeasurementPlan{};
+  plan.points = {{1.0, 128.0}, {1.0, 192.0}, {1.0, 256.0}, {1.0, 320.0}};
+  const Workload video = make_by_name("video_analysis");
+  EXPECT_THROW(calibrate_workflow(video.workflow, ex, plan),
+               support::ContractViolation);
+}
+
+}  // namespace
+}  // namespace aarc::workloads

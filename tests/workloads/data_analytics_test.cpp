@@ -1,0 +1,101 @@
+#include "workloads/data_analytics.h"
+
+#include <gtest/gtest.h>
+
+#include "aarc/advisor.h"
+#include "aarc/scheduler.h"
+#include "dag/analysis.h"
+#include "platform/executor.h"
+#include "workloads/catalog.h"
+
+namespace aarc::workloads {
+namespace {
+
+platform::Executor noiseless() {
+  platform::ExecutorOptions opts;
+  opts.noise = perf::NoiseModel(0.0);
+  return platform::Executor(std::make_unique<platform::DecoupledLinearPricing>(), opts);
+}
+
+TEST(DataAnalytics, InCatalogButNotAPaperWorkload) {
+  const auto paper = paper_workload_names();
+  EXPECT_EQ(paper.size(), 3u);
+  const auto all = all_workload_names();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all.back(), "data_analytics");
+  EXPECT_NO_THROW(make_by_name("data_analytics"));
+}
+
+TEST(DataAnalytics, MapReduceTopology) {
+  const Workload w = make_data_analytics();
+  EXPECT_NO_THROW(w.workflow.validate());
+  const auto& g = w.workflow.graph();
+  EXPECT_EQ(g.node_count(), 12u);  // ingest + 6 map + shuffle + 3 reduce + report
+  EXPECT_EQ(g.successors(*g.find_node("ingest")).size(), 6u);
+  EXPECT_EQ(g.predecessors(*g.find_node("shuffle")).size(), 6u);
+  EXPECT_EQ(g.successors(*g.find_node("shuffle")).size(), 3u);
+  EXPECT_EQ(g.predecessors(*g.find_node("report")).size(), 3u);
+  const auto metrics = dag::analyze(g);
+  EXPECT_EQ(metrics.max_width, 6u);
+  EXPECT_EQ(metrics.depth, 5u);
+}
+
+TEST(DataAnalytics, MixedAffinitiesInsideOneDag) {
+  // The point of the workload: mappers cpu-bound, shuffle memory-bound,
+  // report io-bound — all at a uniform mid-grid operating point.
+  const Workload w = make_data_analytics();
+  const auto& wf = w.workflow;
+  EXPECT_EQ(perf::affinity_of(wf.model(*wf.graph().find_node("map_0")), 2.0, 2048.0),
+            perf::AffinityClass::CpuBound);
+  EXPECT_EQ(perf::affinity_of(wf.model(*wf.graph().find_node("shuffle")), 3.0, 4096.0),
+            perf::AffinityClass::MemoryBound);
+  EXPECT_EQ(perf::affinity_of(wf.model(*wf.graph().find_node("report")), 2.0, 1024.0),
+            perf::AffinityClass::IoBound);
+}
+
+TEST(DataAnalytics, BaseConfigMeetsSloWithHeadroom) {
+  const Workload w = make_data_analytics();
+  const auto ex = noiseless();
+  const auto base = platform::uniform_config(w.workflow.function_count(),
+                                             platform::ConfigGrid{}.max_config());
+  const double makespan = ex.execute_mean(w.workflow, base).makespan;
+  EXPECT_LT(makespan, w.slo_seconds);
+  EXPECT_GT(w.slo_seconds, 1.5 * makespan);
+}
+
+TEST(DataAnalytics, AarcConfiguresItFeasiblyAndCheaply) {
+  const Workload w = make_data_analytics();
+  const platform::Executor ex;
+  const core::GraphCentricScheduler scheduler(ex, platform::ConfigGrid{});
+  const auto report = scheduler.schedule(w.workflow, w.slo_seconds);
+  ASSERT_TRUE(report.result.found_feasible);
+
+  const auto mean_ex = noiseless();
+  const auto run = mean_ex.execute_mean(w.workflow, report.result.best_config);
+  EXPECT_LE(run.makespan, w.slo_seconds);
+  const auto base = platform::uniform_config(w.workflow.function_count(),
+                                             platform::ConfigGrid{}.max_config());
+  EXPECT_LT(run.total_cost, 0.4 * mean_ex.execute_mean(w.workflow, base).total_cost);
+}
+
+TEST(DataAnalytics, HeavyInputsRemainFeasible) {
+  const Workload w = make_data_analytics();
+  EXPECT_TRUE(w.input_sensitive);
+  const auto ex = noiseless();
+  const auto base = platform::uniform_config(w.workflow.function_count(),
+                                             platform::ConfigGrid{}.max_config());
+  const auto heavy = ex.execute_mean(w.workflow, base, w.scale_for(InputClass::Heavy));
+  EXPECT_FALSE(heavy.failed);
+  EXPECT_LT(heavy.makespan, w.slo_seconds);
+}
+
+TEST(DataAnalytics, SerializationRoundTrips) {
+  const Workload w = make_data_analytics();
+  // Covered in depth by io tests; here just the new models' parameters.
+  EXPECT_GT(w.workflow.model(*w.workflow.graph().find_node("shuffle"))
+                .min_memory_mb(w.scale_for(InputClass::Heavy)),
+            w.workflow.model(*w.workflow.graph().find_node("shuffle")).min_memory_mb(1.0));
+}
+
+}  // namespace
+}  // namespace aarc::workloads

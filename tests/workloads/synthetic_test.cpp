@@ -1,0 +1,130 @@
+#include "workloads/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "dag/critical_path.h"
+#include "platform/executor.h"
+#include "support/contracts.h"
+
+namespace aarc::workloads {
+namespace {
+
+TEST(Synthetic, PatternNames) {
+  EXPECT_EQ(to_string(Pattern::Scatter), "scatter");
+  EXPECT_EQ(to_string(Pattern::Broadcast), "broadcast");
+  EXPECT_EQ(to_string(Pattern::Chain), "chain");
+  EXPECT_EQ(to_string(Pattern::Random), "random");
+}
+
+TEST(Synthetic, ChainHasLinearTopology) {
+  SyntheticOptions opts;
+  opts.pattern = Pattern::Chain;
+  opts.layers = 3;
+  const Workload w = make_synthetic(opts);
+  const auto& g = w.workflow.graph();
+  EXPECT_EQ(g.node_count(), 5u);  // source + 3 stages + sink
+  EXPECT_EQ(g.edge_count(), 4u);
+  for (dag::NodeId id = 0; id < g.node_count(); ++id) {
+    EXPECT_LE(g.successors(id).size(), 1u);
+    EXPECT_LE(g.predecessors(id).size(), 1u);
+  }
+}
+
+TEST(Synthetic, BroadcastIsFullyConnectedBetweenLayers) {
+  SyntheticOptions opts;
+  opts.pattern = Pattern::Broadcast;
+  opts.layers = 2;
+  opts.width = 3;
+  const Workload w = make_synthetic(opts);
+  const auto& g = w.workflow.graph();
+  // source->3 + 3x3 + 3->sink = 15 edges.
+  EXPECT_EQ(g.edge_count(), 15u);
+}
+
+TEST(Synthetic, ScatterKeepsParallelLanes) {
+  SyntheticOptions opts;
+  opts.pattern = Pattern::Scatter;
+  opts.layers = 3;
+  opts.width = 4;
+  const Workload w = make_synthetic(opts);
+  const auto& g = w.workflow.graph();
+  // Interior nodes have fan-in 1 (lanes), the sink gathers all lanes.
+  EXPECT_EQ(g.predecessors(*g.find_node("sink")).size(), 4u);
+  EXPECT_EQ(g.successors(*g.find_node("f_1_2")).size(), 1u);
+}
+
+TEST(Synthetic, GeneratedWorkflowsValidate) {
+  for (auto pattern : {Pattern::Scatter, Pattern::Broadcast, Pattern::Chain, Pattern::Random}) {
+    SyntheticOptions opts;
+    opts.pattern = pattern;
+    const Workload w = make_synthetic(opts);
+    EXPECT_NO_THROW(w.workflow.validate()) << to_string(pattern);
+  }
+}
+
+TEST(Synthetic, SloDerivedFromBaseMakespan) {
+  SyntheticOptions opts;
+  opts.slo_headroom = 2.0;
+  const Workload w = make_synthetic(opts);
+  platform::ExecutorOptions eo;
+  eo.noise = perf::NoiseModel(0.0);
+  const platform::Executor ex(std::make_unique<platform::DecoupledLinearPricing>(), eo);
+  const auto cfg = platform::uniform_config(w.workflow.function_count(), {10.0, 10240.0});
+  const double base = ex.execute_mean(w.workflow, cfg).makespan;
+  EXPECT_NEAR(w.slo_seconds, 2.0 * base, 1e-9);
+}
+
+TEST(Synthetic, DeterministicForSeed) {
+  SyntheticOptions opts;
+  opts.seed = 99;
+  const Workload a = make_synthetic(opts);
+  const Workload b = make_synthetic(opts);
+  EXPECT_EQ(a.workflow.name(), b.workflow.name());
+  EXPECT_EQ(a.workflow.function_count(), b.workflow.function_count());
+  EXPECT_EQ(a.workflow.graph().edge_count(), b.workflow.graph().edge_count());
+  EXPECT_DOUBLE_EQ(a.slo_seconds, b.slo_seconds);
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  SyntheticOptions a;
+  a.seed = 1;
+  SyntheticOptions b;
+  b.seed = 2;
+  EXPECT_NE(make_synthetic(a).slo_seconds, make_synthetic(b).slo_seconds);
+}
+
+TEST(Synthetic, RejectsDegenerateOptions) {
+  SyntheticOptions opts;
+  opts.layers = 0;
+  EXPECT_THROW(make_synthetic(opts), support::ContractViolation);
+  opts.layers = 1;
+  opts.width = 0;
+  EXPECT_THROW(make_synthetic(opts), support::ContractViolation);
+  opts.width = 1;
+  opts.slo_headroom = 1.0;
+  EXPECT_THROW(make_synthetic(opts), support::ContractViolation);
+}
+
+class SyntheticProperty
+    : public ::testing::TestWithParam<std::tuple<Pattern, std::uint64_t>> {};
+
+TEST_P(SyntheticProperty, AlwaysFeasibleConnectedDags) {
+  SyntheticOptions opts;
+  opts.pattern = std::get<0>(GetParam());
+  opts.seed = std::get<1>(GetParam());
+  opts.layers = 2 + opts.seed % 3;
+  opts.width = 1 + opts.seed % 4;
+  const Workload w = make_synthetic(opts);
+  EXPECT_NO_THROW(w.workflow.validate());
+  EXPECT_GT(w.slo_seconds, 0.0);
+  EXPECT_EQ(w.workflow.graph().sinks().size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Population, SyntheticProperty,
+    ::testing::Combine(::testing::Values(Pattern::Scatter, Pattern::Broadcast,
+                                         Pattern::Chain, Pattern::Random),
+                       ::testing::Range<std::uint64_t>(1, 9)));
+
+}  // namespace
+}  // namespace aarc::workloads

@@ -1,0 +1,208 @@
+// Tests that the three paper workloads have the structure and resource
+// affinities Section II-A / IV-A describe — these affinities are the inputs
+// every downstream experiment depends on.
+#include <gtest/gtest.h>
+
+#include "dag/critical_path.h"
+#include "dag/detour.h"
+#include "platform/executor.h"
+#include "support/contracts.h"
+#include "workloads/catalog.h"
+#include "workloads/chatbot.h"
+#include "workloads/ml_pipeline.h"
+#include "workloads/video_analysis.h"
+
+namespace aarc::workloads {
+namespace {
+
+platform::Executor noiseless() {
+  platform::ExecutorOptions opts;
+  opts.noise = perf::NoiseModel(0.0);
+  return platform::Executor(std::make_unique<platform::DecoupledLinearPricing>(), opts);
+}
+
+double mean_cost(const Workload& w, const platform::ResourceConfig& rc, double scale = 1.0) {
+  const auto cfg = platform::uniform_config(w.workflow.function_count(), rc);
+  return noiseless().execute_mean(w.workflow, cfg, scale).total_cost;
+}
+
+double mean_makespan(const Workload& w, const platform::ResourceConfig& rc,
+                     double scale = 1.0) {
+  const auto cfg = platform::uniform_config(w.workflow.function_count(), rc);
+  return noiseless().execute_mean(w.workflow, cfg, scale).makespan;
+}
+
+TEST(Catalog, ListsThreePaperWorkloads) {
+  const auto names = paper_workload_names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "chatbot");
+  EXPECT_EQ(names[1], "ml_pipeline");
+  EXPECT_EQ(names[2], "video_analysis");
+}
+
+TEST(Catalog, MakeByNameMatchesDirectBuilders) {
+  EXPECT_EQ(make_by_name("chatbot").workflow.name(), make_chatbot().workflow.name());
+  EXPECT_THROW(make_by_name("unknown"), support::ContractViolation);
+}
+
+TEST(Catalog, MakePaperWorkloadsBuildsAll) {
+  const auto all = make_paper_workloads();
+  ASSERT_EQ(all.size(), 3u);
+  for (const auto& w : all) EXPECT_NO_THROW(w.workflow.validate());
+}
+
+TEST(Catalog, SlosMatchSectionIVA) {
+  EXPECT_DOUBLE_EQ(make_chatbot().slo_seconds, 120.0);
+  EXPECT_DOUBLE_EQ(make_ml_pipeline().slo_seconds, 120.0);
+  EXPECT_DOUBLE_EQ(make_video_analysis().slo_seconds, 600.0);
+}
+
+TEST(Catalog, InputClassNames) {
+  EXPECT_EQ(to_string(InputClass::Light), "light");
+  EXPECT_EQ(to_string(InputClass::Middle), "middle");
+  EXPECT_EQ(to_string(InputClass::Heavy), "heavy");
+}
+
+TEST(Chatbot, HasScatterTopology) {
+  const Workload w = make_chatbot();
+  const auto& g = w.workflow.graph();
+  // One source (preprocess) fanning out to four trainers.
+  const auto sources = g.sources();
+  ASSERT_EQ(sources.size(), 1u);
+  EXPECT_EQ(g.successors(sources[0]).size(), 4u);
+  EXPECT_EQ(g.sinks().size(), 1u);
+}
+
+TEST(Chatbot, BaseConfigMeetsSlo) {
+  const Workload w = make_chatbot();
+  EXPECT_LT(mean_makespan(w, {10.0, 10240.0}), w.slo_seconds);
+}
+
+TEST(Chatbot, AffinityFavorsOneVcpu512Mb) {
+  // Section II-A: "Chatbot minimizes costs with 512 MB memory and 1 vCPU."
+  const Workload w = make_chatbot();
+  const double at_optimal = mean_cost(w, {1.0, 512.0});
+  EXPECT_LT(at_optimal, mean_cost(w, {2.0, 512.0}));
+  EXPECT_LT(at_optimal, mean_cost(w, {4.0, 1024.0}));
+  EXPECT_LT(at_optimal, mean_cost(w, {1.0, 2048.0}));
+  EXPECT_LT(at_optimal, mean_cost(w, {10.0, 10240.0}));
+}
+
+TEST(Chatbot, RuntimeInsensitiveToMemoryAboveWorkingSet) {
+  // Fig. 2a: runtime flat as memory varies (compute-bound).
+  const Workload w = make_chatbot();
+  const double t1 = mean_makespan(w, {1.0, 1024.0});
+  const double t2 = mean_makespan(w, {1.0, 10240.0});
+  EXPECT_NEAR(t1, t2, 1e-9);
+}
+
+TEST(MlPipeline, HasBroadcastTopology) {
+  const Workload w = make_ml_pipeline();
+  const auto& g = w.workflow.graph();
+  const auto pca = g.find_node("pca");
+  ASSERT_TRUE(pca.has_value());
+  EXPECT_EQ(g.successors(*pca).size(), 3u);  // broadcast to three trainers
+}
+
+TEST(MlPipeline, AffinityFavorsFourVcpu512Mb) {
+  // Section II-A: "a decoupled configuration of 4 vCPUs and 512 MB memory
+  // achieves the lowest cost."
+  const Workload w = make_ml_pipeline();
+  const double at_optimal = mean_cost(w, {4.0, 512.0});
+  EXPECT_LT(at_optimal, mean_cost(w, {1.0, 512.0}));
+  EXPECT_LT(at_optimal, mean_cost(w, {10.0, 512.0}));
+  EXPECT_LT(at_optimal, mean_cost(w, {4.0, 4096.0}));  // the coupled point
+}
+
+TEST(MlPipeline, DecoupledBeatsCoupledByLargeMargin) {
+  // The paper's headline motivation: 87.5% memory cut at equal runtime.
+  const Workload w = make_ml_pipeline();
+  const double decoupled = mean_cost(w, {4.0, 512.0});
+  const double coupled = mean_cost(w, {4.0, 4096.0});
+  EXPECT_LT(decoupled, 0.7 * coupled);
+  EXPECT_NEAR(mean_makespan(w, {4.0, 512.0}), mean_makespan(w, {4.0, 4096.0}), 1e-9);
+}
+
+TEST(VideoAnalysis, HasScatterChains) {
+  const Workload w = make_video_analysis();
+  const auto& g = w.workflow.graph();
+  const auto split = g.find_node("split");
+  ASSERT_TRUE(split.has_value());
+  EXPECT_EQ(g.successors(*split).size(), 4u);
+  // Each extract feeds exactly one classify.
+  for (const auto& name : {"extract_0", "extract_1", "extract_2", "extract_3"}) {
+    const auto id = g.find_node(name);
+    ASSERT_TRUE(id.has_value());
+    EXPECT_EQ(g.successors(*id).size(), 1u);
+  }
+}
+
+TEST(VideoAnalysis, AffinityFavorsEightVcpu5120Mb) {
+  // Section II-A: "Video Analysis achieves cost efficiency with 5120 MB
+  // memory and 8 vCPUs" (on Fig. 2's integer-vCPU sweep grid).
+  const Workload w = make_video_analysis();
+  const double at_optimal = mean_cost(w, {8.0, 5120.0});
+  EXPECT_LT(at_optimal, mean_cost(w, {4.0, 5120.0}));
+  EXPECT_LT(at_optimal, mean_cost(w, {8.0, 2048.0}));
+  EXPECT_LT(at_optimal, mean_cost(w, {8.0, 10240.0}));
+  EXPECT_LT(at_optimal, mean_cost(w, {2.0, 2048.0}));
+}
+
+TEST(VideoAnalysis, IsInputSensitive) {
+  const Workload w = make_video_analysis();
+  EXPECT_TRUE(w.input_sensitive);
+  EXPECT_LT(w.scale_for(InputClass::Light), 1.0);
+  EXPECT_DOUBLE_EQ(w.scale_for(InputClass::Middle), 1.0);
+  EXPECT_GT(w.scale_for(InputClass::Heavy), 1.0);
+}
+
+TEST(VideoAnalysis, HeavyInputsNeedMoreMemory) {
+  const Workload w = make_video_analysis();
+  const auto& extract = w.workflow.model(*w.workflow.graph().find_node("extract_0"));
+  EXPECT_GT(extract.min_memory_mb(2.0), extract.min_memory_mb(1.0));
+}
+
+TEST(VideoAnalysis, HeavyInputFeasibleUnderSloWithBigConfig) {
+  const Workload w = make_video_analysis();
+  EXPECT_LT(mean_makespan(w, {10.0, 10240.0}, w.scale_for(InputClass::Heavy)),
+            w.slo_seconds);
+}
+
+TEST(ScaleFor, DefaultsToOneForUnknownClass) {
+  Workload w = make_chatbot();
+  w.input_classes.clear();
+  EXPECT_DOUBLE_EQ(w.scale_for(InputClass::Heavy), 1.0);
+}
+
+class PaperWorkloadProperty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PaperWorkloadProperty, ValidatesAndHasSingleSourceSink) {
+  const Workload w = make_by_name(GetParam());
+  EXPECT_NO_THROW(w.workflow.validate());
+  EXPECT_EQ(w.workflow.graph().sources().size(), 1u);
+  EXPECT_EQ(w.workflow.graph().sinks().size(), 1u);
+}
+
+TEST_P(PaperWorkloadProperty, CriticalPathAndDetoursCoverEverything) {
+  const Workload w = make_by_name(GetParam());
+  dag::Graph g = w.workflow.graph();
+  const auto cfg = platform::uniform_config(w.workflow.function_count(), {10.0, 10240.0});
+  g.set_weights(noiseless().execute_mean(w.workflow, cfg).runtimes());
+  const auto cp = dag::find_critical_path(g);
+  const auto detours = dag::find_detour_subpaths(g, cp);
+  EXPECT_TRUE(dag::uncovered_nodes(g, cp, detours).empty());
+}
+
+TEST_P(PaperWorkloadProperty, BaseConfigIsFeasibleAndOverProvisioned) {
+  const Workload w = make_by_name(GetParam());
+  const double base = mean_makespan(w, {10.0, 10240.0});
+  EXPECT_LT(base, w.slo_seconds) << "base config must satisfy the SLO";
+  // And over-provisioned: the SLO leaves real slack to trade for cost.
+  EXPECT_GT(w.slo_seconds, 1.1 * base);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, PaperWorkloadProperty,
+                         ::testing::Values("chatbot", "ml_pipeline", "video_analysis"));
+
+}  // namespace
+}  // namespace aarc::workloads

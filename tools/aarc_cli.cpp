@@ -1,0 +1,342 @@
+// aarc_cli — command-line front end for the AARC framework.
+//
+// Commands:
+//   export <workload> --out <file>         dump a built-in workload as JSON
+//   describe <workload>                    topology, models, critical path, DOT
+//   schedule <workload> [--scale S] [--out <file>]
+//                                          run AARC, print/write the config
+//   simulate <workload> --config <file> [--runs N] [--scale S]
+//                                          validate a config (Table II protocol)
+//   advise <workload> [--config <file>]    per-function affinity/cost report
+//   serve <workload> [--requests N]        run a request stream on the DES
+//   compare <workload>                     AARC vs BO vs MAFF vs random vs oracle
+//
+// <workload> is a built-in name (chatbot | ml_pipeline | video_analysis) or a
+// path to a workload JSON file (see src/io/workflow_io.h for the schema).
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "aarc/advisor.h"
+#include "aarc/scheduler.h"
+#include "baselines/bo/bo_optimizer.h"
+#include "dag/analysis.h"
+#include "baselines/maff/maff.h"
+#include "baselines/oracle.h"
+#include "baselines/random_search.h"
+#include "dag/critical_path.h"
+#include "dag/dot.h"
+#include "io/trace_io.h"
+#include "io/workflow_io.h"
+#include "platform/profiler.h"
+#include "serving/simulator.h"
+#include "report/advisory.h"
+#include "report/comparison.h"
+#include "support/strings.h"
+#include "workloads/catalog.h"
+
+using namespace aarc;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::string workload;
+  std::map<std::string, std::string> options;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (support::starts_with(token, "--")) {
+      const std::string key = token.substr(2);
+      if (i + 1 >= argc) throw std::runtime_error("missing value for --" + key);
+      args.options[key] = argv[++i];
+    } else {
+      positional.push_back(token);
+    }
+  }
+  if (!positional.empty()) args.command = positional[0];
+  if (positional.size() > 1) args.workload = positional[1];
+  return args;
+}
+
+workloads::Workload load_workload(const std::string& name_or_path) {
+  for (const auto& name : workloads::all_workload_names()) {
+    if (name == name_or_path) return workloads::make_by_name(name);
+  }
+  return io::workload_from_string(io::read_text_file(name_or_path));
+}
+
+double option_number(const Args& args, const std::string& key, double fallback) {
+  const auto it = args.options.find(key);
+  return it == args.options.end() ? fallback : std::stod(it->second);
+}
+
+int cmd_export(const Args& args) {
+  const auto w = load_workload(args.workload);
+  const std::string text = io::workload_to_string(w);
+  const auto out = args.options.find("out");
+  if (out != args.options.end()) {
+    io::write_text_file(out->second, text + "\n");
+    std::cout << "wrote " << out->second << "\n";
+  } else {
+    std::cout << text << "\n";
+  }
+  return 0;
+}
+
+int cmd_describe(const Args& args) {
+  const auto w = load_workload(args.workload);
+  std::cout << "workflow: " << w.workflow.name() << "\n";
+  const auto metrics = dag::analyze(w.workflow.graph());
+  std::cout << "functions: " << metrics.node_count << ", edges: " << metrics.edge_count
+            << ", depth: " << metrics.depth << ", max width: " << metrics.max_width
+            << "\n";
+  std::cout << "topology: " << dag::to_string(metrics.topology)
+            << ", max fan-out: " << metrics.max_fan_out
+            << ", max fan-in: " << metrics.max_fan_in << "\n";
+  std::cout << "SLO: " << w.slo_seconds << " s, input-sensitive: "
+            << (w.input_sensitive ? "yes" : "no") << "\n\n";
+
+  // Profile under the base configuration to weight the DAG.
+  const platform::Executor ex;
+  platform::Workflow wf = w.workflow.clone();
+  const platform::ConfigGrid grid;
+  const auto base = platform::uniform_config(wf.function_count(), grid.max_config());
+  const auto run = ex.execute_mean(wf, base);
+  wf.mutable_graph().set_weights(run.runtimes());
+  const auto cp = dag::find_critical_path(wf.graph());
+
+  std::cout << "base-config makespan: " << support::format_double(run.makespan, 1)
+            << " s\ncritical path: " << cp.to_string(wf.graph()) << "\n\n";
+  std::cout << "schedule (base config):\n" << io::execution_gantt(wf, run) << "\n";
+  dag::DotOptions dot;
+  dot.highlight = &cp;
+  std::cout << "DOT:\n" << dag::to_dot(wf.graph(), dot);
+  return 0;
+}
+
+int cmd_schedule(const Args& args) {
+  const auto w = load_workload(args.workload);
+  const double scale = option_number(args, "scale", 1.0);
+  const platform::Executor ex;
+  const platform::ConfigGrid grid;
+  const core::GraphCentricScheduler scheduler(ex, grid);
+  const auto report = scheduler.schedule(w.workflow, w.slo_seconds, scale);
+
+  std::cout << "samples: " << report.result.samples() << ", feasible: "
+            << (report.result.found_feasible ? "yes" : "no") << "\n";
+  const auto trace_out = args.options.find("trace");
+  if (trace_out != args.options.end()) {
+    io::write_text_file(trace_out->second, io::trace_to_csv(report.result.trace));
+    std::cout << "wrote " << trace_out->second << "\n";
+  }
+  if (!report.result.found_feasible) return 1;
+
+  const std::string text = io::config_to_json(w.workflow, report.result.best_config).dump(2);
+  const auto out = args.options.find("out");
+  if (out != args.options.end()) {
+    io::write_text_file(out->second, text + "\n");
+    std::cout << "wrote " << out->second << "\n";
+  } else {
+    std::cout << text << "\n";
+  }
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  const auto w = load_workload(args.workload);
+  const auto config_path = args.options.find("config");
+  if (config_path == args.options.end()) {
+    throw std::runtime_error("simulate requires --config <file>");
+  }
+  const auto config = io::config_from_json(
+      w.workflow, io::parse_json(io::read_text_file(config_path->second)));
+  const auto runs = static_cast<std::size_t>(option_number(args, "runs", 100));
+  const double scale = option_number(args, "scale", 1.0);
+
+  const platform::Executor ex;
+  const platform::Profiler profiler(ex);
+  support::Rng rng(static_cast<std::uint64_t>(option_number(args, "seed", 4242)));
+  const auto report = profiler.profile(w.workflow, config, runs, rng, scale);
+
+  std::cout << "runs: " << report.runs << ", OOM failures: " << report.failures << "\n";
+  if (report.makespan.count > 0) {
+    std::cout << "runtime: "
+              << support::format_mean_std(report.makespan.mean, report.makespan.stddev, 1)
+              << " s (SLO " << w.slo_seconds << " s, violation rate "
+              << support::format_percent(report.slo_violation_rate(w.slo_seconds), 1)
+              << ")\n";
+    std::cout << "cost: mean " << support::format_double(report.cost.mean, 1)
+              << " per run, total " << support::format_kilo(report.cost.sum, 1) << "\n";
+  }
+  return 0;
+}
+
+int cmd_advise(const Args& args) {
+  const auto w = load_workload(args.workload);
+  const auto config_path = args.options.find("config");
+  platform::WorkflowConfig config;
+  const platform::Executor ex;
+  if (config_path != args.options.end()) {
+    config = io::config_from_json(
+        w.workflow, io::parse_json(io::read_text_file(config_path->second)));
+  } else {
+    // No config given: advise on what AARC itself would deploy.
+    const core::GraphCentricScheduler scheduler(ex, platform::ConfigGrid{});
+    auto report = scheduler.schedule(w.workflow, w.slo_seconds);
+    if (!report.result.found_feasible) {
+      std::cerr << "error: no feasible configuration found\n";
+      return 1;
+    }
+    config = std::move(report.result.best_config);
+  }
+
+  const auto report =
+      core::advise(w.workflow, config, ex, w.slo_seconds, option_number(args, "scale", 1.0));
+  std::cout << report::advisory_headline(report) << "\n\n"
+            << report::advisory_table(report, w.workflow).to_markdown();
+  return 0;
+}
+
+int cmd_serve(const Args& args) {
+  const auto w = load_workload(args.workload);
+  const platform::Executor ex;
+  const platform::ConfigGrid grid;
+
+  // Configuration: from --config, or scheduled by AARC on the spot.
+  platform::WorkflowConfig config;
+  const auto config_path = args.options.find("config");
+  if (config_path != args.options.end()) {
+    config = io::config_from_json(
+        w.workflow, io::parse_json(io::read_text_file(config_path->second)));
+  } else {
+    const core::GraphCentricScheduler scheduler(ex, grid);
+    auto report = scheduler.schedule(w.workflow, w.slo_seconds);
+    if (!report.result.found_feasible) {
+      std::cerr << "error: no feasible configuration found\n";
+      return 1;
+    }
+    config = std::move(report.result.best_config);
+  }
+
+  const auto count = static_cast<std::size_t>(option_number(args, "requests", 50));
+  const double rate = option_number(args, "rate", 0.01);
+  const auto seed = static_cast<std::uint64_t>(option_number(args, "seed", 77));
+  const auto stream = serving::poisson_stream(count, rate, 1.0, 1.0, config, seed);
+
+  const platform::DecoupledLinearPricing pricing;
+  serving::ServingOptions sopts;
+  sopts.keep_alive_seconds = option_number(args, "keep-alive", 600.0);
+  const serving::ServingSimulator sim(w.workflow, pricing, sopts);
+  const auto report = sim.serve(stream);
+
+  std::cout << "served " << report.requests.size() << " requests ("
+            << report.failed_requests << " failed)\n";
+  if (report.latency.count > 0) {
+    std::cout << "latency: "
+              << support::format_mean_std(report.latency.mean, report.latency.stddev, 1)
+              << " s (min " << support::format_double(report.latency.min, 1) << ", max "
+              << support::format_double(report.latency.max, 1) << ")\n";
+    std::cout << "SLO violation rate: "
+              << support::format_percent(report.slo_violation_rate(w.slo_seconds), 1)
+              << " (SLO " << support::format_double(w.slo_seconds, 0) << " s)\n";
+  }
+  std::cout << "total cost: " << support::format_double(report.total_cost, 1)
+            << ", cold starts: " << report.cold_starts << " of "
+            << report.cold_starts + report.warm_starts << " invocations, peak containers: "
+            << report.peak_containers << "\n";
+  return 0;
+}
+
+int cmd_compare(const Args& args) {
+  const auto w = load_workload(args.workload);
+  const platform::Executor ex;
+  const platform::ConfigGrid grid;
+  const platform::Profiler profiler(ex);
+
+  std::vector<report::MethodRun> runs;
+  std::vector<report::ValidationRun> validations;
+  auto record = [&](const std::string& method, search::SearchResult result) {
+    if (result.found_feasible) {
+      support::Rng rng(4242);
+      report::ValidationRun v;
+      v.method = method;
+      v.workload = w.workflow.name();
+      v.slo_seconds = w.slo_seconds;
+      v.profile = profiler.profile(w.workflow, result.best_config, 100, rng);
+      validations.push_back(std::move(v));
+    }
+    runs.push_back({method, w.workflow.name(), std::move(result)});
+  };
+
+  {
+    const core::GraphCentricScheduler scheduler(ex, grid);
+    record("AARC", scheduler.schedule(w.workflow, w.slo_seconds).result);
+  }
+  {
+    search::Evaluator ev(w.workflow, ex, w.slo_seconds, 1.0, 3101);
+    record("BO", baselines::bayesian_optimization(ev, grid));
+  }
+  {
+    search::Evaluator ev(w.workflow, ex, w.slo_seconds, 1.0, 3202);
+    record("MAFF", baselines::maff_gradient_descent(ev, grid));
+  }
+  {
+    search::Evaluator ev(w.workflow, ex, w.slo_seconds, 1.0, 3303);
+    record("random", baselines::random_search(ev, grid));
+  }
+
+  std::cout << "== search totals ==\n"
+            << report::search_totals_table(runs).to_markdown() << "\n";
+  std::cout << "== validation (100 runs) ==\n"
+            << report::validation_table(validations).to_markdown() << "\n";
+
+  const auto oracle = baselines::oracle_search(w.workflow, ex, grid, w.slo_seconds);
+  if (oracle.feasible) {
+    std::cout << "== white-box oracle (model lower bound) ==\n";
+    std::cout << "mean cost " << support::format_double(oracle.mean_cost, 1)
+              << ", mean runtime " << support::format_double(oracle.mean_makespan, 1)
+              << " s, " << oracle.evaluations << " model evaluations\n";
+  }
+  return 0;
+}
+
+int usage() {
+  std::cout << "usage: aarc_cli <command> <workload> [options]\n"
+               "commands:\n"
+               "  export   <workload> [--out file]\n"
+               "  describe <workload>\n"
+               "  schedule <workload> [--scale S] [--out file] [--trace file.csv]\n"
+               "  simulate <workload> --config file [--runs N] [--scale S] [--seed K]\n"
+               "  advise   <workload> [--config file] [--scale S]\n"
+               "  compare  <workload>\n"
+               "workload: chatbot | ml_pipeline | video_analysis | data_analytics |\n"
+               "          path/to/workload.json\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse_args(argc, argv);
+    if (args.command.empty() || args.workload.empty()) return usage();
+    if (args.command == "export") return cmd_export(args);
+    if (args.command == "describe") return cmd_describe(args);
+    if (args.command == "schedule") return cmd_schedule(args);
+    if (args.command == "simulate") return cmd_simulate(args);
+    if (args.command == "advise") return cmd_advise(args);
+    if (args.command == "serve") return cmd_serve(args);
+    if (args.command == "compare") return cmd_compare(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
