@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_aarc.dir/bench_ablation_aarc.cpp.o"
+  "CMakeFiles/bench_ablation_aarc.dir/bench_ablation_aarc.cpp.o.d"
+  "bench_ablation_aarc"
+  "bench_ablation_aarc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_aarc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig2_decoupling.cpp" "bench/CMakeFiles/bench_fig2_decoupling.dir/bench_fig2_decoupling.cpp.o" "gcc" "bench/CMakeFiles/bench_fig2_decoupling.dir/bench_fig2_decoupling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/aarc/CMakeFiles/aarc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/aarc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/inputaware/CMakeFiles/aarc_inputaware.dir/DependInfo.cmake"
+  "/root/repo/build/src/serving/CMakeFiles/aarc_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/aarc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/aarc_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/aarc_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/aarc_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/aarc_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/aarc_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/aarc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_bo_chatbot.dir/bench_fig3_bo_chatbot.cpp.o"
+  "CMakeFiles/bench_fig3_bo_chatbot.dir/bench_fig3_bo_chatbot.cpp.o.d"
+  "bench_fig3_bo_chatbot"
+  "bench_fig3_bo_chatbot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_bo_chatbot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

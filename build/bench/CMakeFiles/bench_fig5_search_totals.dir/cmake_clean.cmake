@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_search_totals.dir/bench_fig5_search_totals.cpp.o"
+  "CMakeFiles/bench_fig5_search_totals.dir/bench_fig5_search_totals.cpp.o.d"
+  "bench_fig5_search_totals"
+  "bench_fig5_search_totals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_search_totals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_slo_sweep.dir/bench_slo_sweep.cpp.o"
+  "CMakeFiles/bench_slo_sweep.dir/bench_slo_sweep.cpp.o.d"
+  "bench_slo_sweep"
+  "bench_slo_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_slo_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

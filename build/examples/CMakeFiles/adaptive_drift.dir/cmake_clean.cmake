@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_drift.dir/adaptive_drift.cpp.o"
+  "CMakeFiles/adaptive_drift.dir/adaptive_drift.cpp.o.d"
+  "adaptive_drift"
+  "adaptive_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

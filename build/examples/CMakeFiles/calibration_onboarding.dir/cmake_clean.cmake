@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibration_onboarding.dir/calibration_onboarding.cpp.o"
+  "CMakeFiles/calibration_onboarding.dir/calibration_onboarding.cpp.o.d"
+  "calibration_onboarding"
+  "calibration_onboarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibration_onboarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

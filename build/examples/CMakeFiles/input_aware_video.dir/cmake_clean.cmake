@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/input_aware_video.dir/input_aware_video.cpp.o"
+  "CMakeFiles/input_aware_video.dir/input_aware_video.cpp.o.d"
+  "input_aware_video"
+  "input_aware_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/input_aware_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

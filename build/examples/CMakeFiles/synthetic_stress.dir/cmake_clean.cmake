@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthetic_stress.dir/synthetic_stress.cpp.o"
+  "CMakeFiles/synthetic_stress.dir/synthetic_stress.cpp.o.d"
+  "synthetic_stress"
+  "synthetic_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthetic_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aarc_core.dir/advisor.cpp.o"
+  "CMakeFiles/aarc_core.dir/advisor.cpp.o.d"
+  "CMakeFiles/aarc_core.dir/operation.cpp.o"
+  "CMakeFiles/aarc_core.dir/operation.cpp.o.d"
+  "CMakeFiles/aarc_core.dir/priority_configurator.cpp.o"
+  "CMakeFiles/aarc_core.dir/priority_configurator.cpp.o.d"
+  "CMakeFiles/aarc_core.dir/scheduler.cpp.o"
+  "CMakeFiles/aarc_core.dir/scheduler.cpp.o.d"
+  "libaarc_core.a"
+  "libaarc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aarc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

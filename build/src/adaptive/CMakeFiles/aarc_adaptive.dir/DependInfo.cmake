@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adaptive/controller.cpp" "src/adaptive/CMakeFiles/aarc_adaptive.dir/controller.cpp.o" "gcc" "src/adaptive/CMakeFiles/aarc_adaptive.dir/controller.cpp.o.d"
+  "/root/repo/src/adaptive/monitor.cpp" "src/adaptive/CMakeFiles/aarc_adaptive.dir/monitor.cpp.o" "gcc" "src/adaptive/CMakeFiles/aarc_adaptive.dir/monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/aarc/CMakeFiles/aarc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/aarc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/aarc_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/aarc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/aarc_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/aarc_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/aarc_dag.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aarc_adaptive.dir/controller.cpp.o"
+  "CMakeFiles/aarc_adaptive.dir/controller.cpp.o.d"
+  "CMakeFiles/aarc_adaptive.dir/monitor.cpp.o"
+  "CMakeFiles/aarc_adaptive.dir/monitor.cpp.o.d"
+  "libaarc_adaptive.a"
+  "libaarc_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aarc_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bo/acquisition.cpp" "src/baselines/CMakeFiles/aarc_baselines.dir/bo/acquisition.cpp.o" "gcc" "src/baselines/CMakeFiles/aarc_baselines.dir/bo/acquisition.cpp.o.d"
+  "/root/repo/src/baselines/bo/bo_optimizer.cpp" "src/baselines/CMakeFiles/aarc_baselines.dir/bo/bo_optimizer.cpp.o" "gcc" "src/baselines/CMakeFiles/aarc_baselines.dir/bo/bo_optimizer.cpp.o.d"
+  "/root/repo/src/baselines/bo/gp.cpp" "src/baselines/CMakeFiles/aarc_baselines.dir/bo/gp.cpp.o" "gcc" "src/baselines/CMakeFiles/aarc_baselines.dir/bo/gp.cpp.o.d"
+  "/root/repo/src/baselines/bo/kernel.cpp" "src/baselines/CMakeFiles/aarc_baselines.dir/bo/kernel.cpp.o" "gcc" "src/baselines/CMakeFiles/aarc_baselines.dir/bo/kernel.cpp.o.d"
+  "/root/repo/src/baselines/bo/lhs.cpp" "src/baselines/CMakeFiles/aarc_baselines.dir/bo/lhs.cpp.o" "gcc" "src/baselines/CMakeFiles/aarc_baselines.dir/bo/lhs.cpp.o.d"
+  "/root/repo/src/baselines/bo/linalg.cpp" "src/baselines/CMakeFiles/aarc_baselines.dir/bo/linalg.cpp.o" "gcc" "src/baselines/CMakeFiles/aarc_baselines.dir/bo/linalg.cpp.o.d"
+  "/root/repo/src/baselines/maff/maff.cpp" "src/baselines/CMakeFiles/aarc_baselines.dir/maff/maff.cpp.o" "gcc" "src/baselines/CMakeFiles/aarc_baselines.dir/maff/maff.cpp.o.d"
+  "/root/repo/src/baselines/oracle.cpp" "src/baselines/CMakeFiles/aarc_baselines.dir/oracle.cpp.o" "gcc" "src/baselines/CMakeFiles/aarc_baselines.dir/oracle.cpp.o.d"
+  "/root/repo/src/baselines/random_search.cpp" "src/baselines/CMakeFiles/aarc_baselines.dir/random_search.cpp.o" "gcc" "src/baselines/CMakeFiles/aarc_baselines.dir/random_search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/search/CMakeFiles/aarc_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/aarc_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/aarc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/aarc_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/aarc_perf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

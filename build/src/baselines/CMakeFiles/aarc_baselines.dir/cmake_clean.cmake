@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aarc_baselines.dir/bo/acquisition.cpp.o"
+  "CMakeFiles/aarc_baselines.dir/bo/acquisition.cpp.o.d"
+  "CMakeFiles/aarc_baselines.dir/bo/bo_optimizer.cpp.o"
+  "CMakeFiles/aarc_baselines.dir/bo/bo_optimizer.cpp.o.d"
+  "CMakeFiles/aarc_baselines.dir/bo/gp.cpp.o"
+  "CMakeFiles/aarc_baselines.dir/bo/gp.cpp.o.d"
+  "CMakeFiles/aarc_baselines.dir/bo/kernel.cpp.o"
+  "CMakeFiles/aarc_baselines.dir/bo/kernel.cpp.o.d"
+  "CMakeFiles/aarc_baselines.dir/bo/lhs.cpp.o"
+  "CMakeFiles/aarc_baselines.dir/bo/lhs.cpp.o.d"
+  "CMakeFiles/aarc_baselines.dir/bo/linalg.cpp.o"
+  "CMakeFiles/aarc_baselines.dir/bo/linalg.cpp.o.d"
+  "CMakeFiles/aarc_baselines.dir/maff/maff.cpp.o"
+  "CMakeFiles/aarc_baselines.dir/maff/maff.cpp.o.d"
+  "CMakeFiles/aarc_baselines.dir/oracle.cpp.o"
+  "CMakeFiles/aarc_baselines.dir/oracle.cpp.o.d"
+  "CMakeFiles/aarc_baselines.dir/random_search.cpp.o"
+  "CMakeFiles/aarc_baselines.dir/random_search.cpp.o.d"
+  "libaarc_baselines.a"
+  "libaarc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aarc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

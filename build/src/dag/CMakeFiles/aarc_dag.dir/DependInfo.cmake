@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dag/analysis.cpp" "src/dag/CMakeFiles/aarc_dag.dir/analysis.cpp.o" "gcc" "src/dag/CMakeFiles/aarc_dag.dir/analysis.cpp.o.d"
+  "/root/repo/src/dag/critical_path.cpp" "src/dag/CMakeFiles/aarc_dag.dir/critical_path.cpp.o" "gcc" "src/dag/CMakeFiles/aarc_dag.dir/critical_path.cpp.o.d"
+  "/root/repo/src/dag/detour.cpp" "src/dag/CMakeFiles/aarc_dag.dir/detour.cpp.o" "gcc" "src/dag/CMakeFiles/aarc_dag.dir/detour.cpp.o.d"
+  "/root/repo/src/dag/dot.cpp" "src/dag/CMakeFiles/aarc_dag.dir/dot.cpp.o" "gcc" "src/dag/CMakeFiles/aarc_dag.dir/dot.cpp.o.d"
+  "/root/repo/src/dag/graph.cpp" "src/dag/CMakeFiles/aarc_dag.dir/graph.cpp.o" "gcc" "src/dag/CMakeFiles/aarc_dag.dir/graph.cpp.o.d"
+  "/root/repo/src/dag/path.cpp" "src/dag/CMakeFiles/aarc_dag.dir/path.cpp.o" "gcc" "src/dag/CMakeFiles/aarc_dag.dir/path.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/aarc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

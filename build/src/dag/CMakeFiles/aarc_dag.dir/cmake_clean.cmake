@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aarc_dag.dir/analysis.cpp.o"
+  "CMakeFiles/aarc_dag.dir/analysis.cpp.o.d"
+  "CMakeFiles/aarc_dag.dir/critical_path.cpp.o"
+  "CMakeFiles/aarc_dag.dir/critical_path.cpp.o.d"
+  "CMakeFiles/aarc_dag.dir/detour.cpp.o"
+  "CMakeFiles/aarc_dag.dir/detour.cpp.o.d"
+  "CMakeFiles/aarc_dag.dir/dot.cpp.o"
+  "CMakeFiles/aarc_dag.dir/dot.cpp.o.d"
+  "CMakeFiles/aarc_dag.dir/graph.cpp.o"
+  "CMakeFiles/aarc_dag.dir/graph.cpp.o.d"
+  "CMakeFiles/aarc_dag.dir/path.cpp.o"
+  "CMakeFiles/aarc_dag.dir/path.cpp.o.d"
+  "libaarc_dag.a"
+  "libaarc_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aarc_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aarc_inputaware.dir/descriptor.cpp.o"
+  "CMakeFiles/aarc_inputaware.dir/descriptor.cpp.o.d"
+  "CMakeFiles/aarc_inputaware.dir/engine.cpp.o"
+  "CMakeFiles/aarc_inputaware.dir/engine.cpp.o.d"
+  "libaarc_inputaware.a"
+  "libaarc_inputaware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aarc_inputaware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for aarc_inputaware.
+# This may be replaced when dependencies are built.

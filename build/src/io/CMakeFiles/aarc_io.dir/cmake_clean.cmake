@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aarc_io.dir/json.cpp.o"
+  "CMakeFiles/aarc_io.dir/json.cpp.o.d"
+  "CMakeFiles/aarc_io.dir/trace_io.cpp.o"
+  "CMakeFiles/aarc_io.dir/trace_io.cpp.o.d"
+  "CMakeFiles/aarc_io.dir/workflow_io.cpp.o"
+  "CMakeFiles/aarc_io.dir/workflow_io.cpp.o.d"
+  "libaarc_io.a"
+  "libaarc_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aarc_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

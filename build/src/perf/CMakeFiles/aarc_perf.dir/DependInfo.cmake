@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/affinity.cpp" "src/perf/CMakeFiles/aarc_perf.dir/affinity.cpp.o" "gcc" "src/perf/CMakeFiles/aarc_perf.dir/affinity.cpp.o.d"
+  "/root/repo/src/perf/analytic.cpp" "src/perf/CMakeFiles/aarc_perf.dir/analytic.cpp.o" "gcc" "src/perf/CMakeFiles/aarc_perf.dir/analytic.cpp.o.d"
+  "/root/repo/src/perf/calibration.cpp" "src/perf/CMakeFiles/aarc_perf.dir/calibration.cpp.o" "gcc" "src/perf/CMakeFiles/aarc_perf.dir/calibration.cpp.o.d"
+  "/root/repo/src/perf/composite.cpp" "src/perf/CMakeFiles/aarc_perf.dir/composite.cpp.o" "gcc" "src/perf/CMakeFiles/aarc_perf.dir/composite.cpp.o.d"
+  "/root/repo/src/perf/noise.cpp" "src/perf/CMakeFiles/aarc_perf.dir/noise.cpp.o" "gcc" "src/perf/CMakeFiles/aarc_perf.dir/noise.cpp.o.d"
+  "/root/repo/src/perf/profile_table.cpp" "src/perf/CMakeFiles/aarc_perf.dir/profile_table.cpp.o" "gcc" "src/perf/CMakeFiles/aarc_perf.dir/profile_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/aarc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

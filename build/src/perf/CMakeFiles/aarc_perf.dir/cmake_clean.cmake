@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aarc_perf.dir/affinity.cpp.o"
+  "CMakeFiles/aarc_perf.dir/affinity.cpp.o.d"
+  "CMakeFiles/aarc_perf.dir/analytic.cpp.o"
+  "CMakeFiles/aarc_perf.dir/analytic.cpp.o.d"
+  "CMakeFiles/aarc_perf.dir/calibration.cpp.o"
+  "CMakeFiles/aarc_perf.dir/calibration.cpp.o.d"
+  "CMakeFiles/aarc_perf.dir/composite.cpp.o"
+  "CMakeFiles/aarc_perf.dir/composite.cpp.o.d"
+  "CMakeFiles/aarc_perf.dir/noise.cpp.o"
+  "CMakeFiles/aarc_perf.dir/noise.cpp.o.d"
+  "CMakeFiles/aarc_perf.dir/profile_table.cpp.o"
+  "CMakeFiles/aarc_perf.dir/profile_table.cpp.o.d"
+  "libaarc_perf.a"
+  "libaarc_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aarc_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/coldstart.cpp" "src/platform/CMakeFiles/aarc_platform.dir/coldstart.cpp.o" "gcc" "src/platform/CMakeFiles/aarc_platform.dir/coldstart.cpp.o.d"
+  "/root/repo/src/platform/executor.cpp" "src/platform/CMakeFiles/aarc_platform.dir/executor.cpp.o" "gcc" "src/platform/CMakeFiles/aarc_platform.dir/executor.cpp.o.d"
+  "/root/repo/src/platform/pricing.cpp" "src/platform/CMakeFiles/aarc_platform.dir/pricing.cpp.o" "gcc" "src/platform/CMakeFiles/aarc_platform.dir/pricing.cpp.o.d"
+  "/root/repo/src/platform/profiler.cpp" "src/platform/CMakeFiles/aarc_platform.dir/profiler.cpp.o" "gcc" "src/platform/CMakeFiles/aarc_platform.dir/profiler.cpp.o.d"
+  "/root/repo/src/platform/resource.cpp" "src/platform/CMakeFiles/aarc_platform.dir/resource.cpp.o" "gcc" "src/platform/CMakeFiles/aarc_platform.dir/resource.cpp.o.d"
+  "/root/repo/src/platform/workflow.cpp" "src/platform/CMakeFiles/aarc_platform.dir/workflow.cpp.o" "gcc" "src/platform/CMakeFiles/aarc_platform.dir/workflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/aarc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/aarc_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/aarc_perf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

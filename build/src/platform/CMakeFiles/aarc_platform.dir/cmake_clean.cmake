@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aarc_platform.dir/coldstart.cpp.o"
+  "CMakeFiles/aarc_platform.dir/coldstart.cpp.o.d"
+  "CMakeFiles/aarc_platform.dir/executor.cpp.o"
+  "CMakeFiles/aarc_platform.dir/executor.cpp.o.d"
+  "CMakeFiles/aarc_platform.dir/pricing.cpp.o"
+  "CMakeFiles/aarc_platform.dir/pricing.cpp.o.d"
+  "CMakeFiles/aarc_platform.dir/profiler.cpp.o"
+  "CMakeFiles/aarc_platform.dir/profiler.cpp.o.d"
+  "CMakeFiles/aarc_platform.dir/resource.cpp.o"
+  "CMakeFiles/aarc_platform.dir/resource.cpp.o.d"
+  "CMakeFiles/aarc_platform.dir/workflow.cpp.o"
+  "CMakeFiles/aarc_platform.dir/workflow.cpp.o.d"
+  "libaarc_platform.a"
+  "libaarc_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aarc_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aarc_report.dir/advisory.cpp.o"
+  "CMakeFiles/aarc_report.dir/advisory.cpp.o.d"
+  "CMakeFiles/aarc_report.dir/ascii_chart.cpp.o"
+  "CMakeFiles/aarc_report.dir/ascii_chart.cpp.o.d"
+  "CMakeFiles/aarc_report.dir/comparison.cpp.o"
+  "CMakeFiles/aarc_report.dir/comparison.cpp.o.d"
+  "libaarc_report.a"
+  "libaarc_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aarc_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

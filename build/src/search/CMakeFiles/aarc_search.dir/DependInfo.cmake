@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/search/evaluator.cpp" "src/search/CMakeFiles/aarc_search.dir/evaluator.cpp.o" "gcc" "src/search/CMakeFiles/aarc_search.dir/evaluator.cpp.o.d"
+  "/root/repo/src/search/trace.cpp" "src/search/CMakeFiles/aarc_search.dir/trace.cpp.o" "gcc" "src/search/CMakeFiles/aarc_search.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/aarc_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/aarc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/aarc_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/aarc_perf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

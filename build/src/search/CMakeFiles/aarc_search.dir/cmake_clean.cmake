@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aarc_search.dir/evaluator.cpp.o"
+  "CMakeFiles/aarc_search.dir/evaluator.cpp.o.d"
+  "CMakeFiles/aarc_search.dir/trace.cpp.o"
+  "CMakeFiles/aarc_search.dir/trace.cpp.o.d"
+  "libaarc_search.a"
+  "libaarc_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aarc_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

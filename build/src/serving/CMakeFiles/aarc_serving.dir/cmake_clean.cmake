@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aarc_serving.dir/simulator.cpp.o"
+  "CMakeFiles/aarc_serving.dir/simulator.cpp.o.d"
+  "libaarc_serving.a"
+  "libaarc_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aarc_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aarc_support.dir/contracts.cpp.o"
+  "CMakeFiles/aarc_support.dir/contracts.cpp.o.d"
+  "CMakeFiles/aarc_support.dir/grid.cpp.o"
+  "CMakeFiles/aarc_support.dir/grid.cpp.o.d"
+  "CMakeFiles/aarc_support.dir/log.cpp.o"
+  "CMakeFiles/aarc_support.dir/log.cpp.o.d"
+  "CMakeFiles/aarc_support.dir/rng.cpp.o"
+  "CMakeFiles/aarc_support.dir/rng.cpp.o.d"
+  "CMakeFiles/aarc_support.dir/statistics.cpp.o"
+  "CMakeFiles/aarc_support.dir/statistics.cpp.o.d"
+  "CMakeFiles/aarc_support.dir/strings.cpp.o"
+  "CMakeFiles/aarc_support.dir/strings.cpp.o.d"
+  "CMakeFiles/aarc_support.dir/table.cpp.o"
+  "CMakeFiles/aarc_support.dir/table.cpp.o.d"
+  "libaarc_support.a"
+  "libaarc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aarc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

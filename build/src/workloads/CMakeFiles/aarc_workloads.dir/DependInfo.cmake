@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/calibrated.cpp" "src/workloads/CMakeFiles/aarc_workloads.dir/calibrated.cpp.o" "gcc" "src/workloads/CMakeFiles/aarc_workloads.dir/calibrated.cpp.o.d"
+  "/root/repo/src/workloads/catalog.cpp" "src/workloads/CMakeFiles/aarc_workloads.dir/catalog.cpp.o" "gcc" "src/workloads/CMakeFiles/aarc_workloads.dir/catalog.cpp.o.d"
+  "/root/repo/src/workloads/chatbot.cpp" "src/workloads/CMakeFiles/aarc_workloads.dir/chatbot.cpp.o" "gcc" "src/workloads/CMakeFiles/aarc_workloads.dir/chatbot.cpp.o.d"
+  "/root/repo/src/workloads/data_analytics.cpp" "src/workloads/CMakeFiles/aarc_workloads.dir/data_analytics.cpp.o" "gcc" "src/workloads/CMakeFiles/aarc_workloads.dir/data_analytics.cpp.o.d"
+  "/root/repo/src/workloads/ml_pipeline.cpp" "src/workloads/CMakeFiles/aarc_workloads.dir/ml_pipeline.cpp.o" "gcc" "src/workloads/CMakeFiles/aarc_workloads.dir/ml_pipeline.cpp.o.d"
+  "/root/repo/src/workloads/synthetic.cpp" "src/workloads/CMakeFiles/aarc_workloads.dir/synthetic.cpp.o" "gcc" "src/workloads/CMakeFiles/aarc_workloads.dir/synthetic.cpp.o.d"
+  "/root/repo/src/workloads/video_analysis.cpp" "src/workloads/CMakeFiles/aarc_workloads.dir/video_analysis.cpp.o" "gcc" "src/workloads/CMakeFiles/aarc_workloads.dir/video_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/aarc_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/aarc_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/aarc_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/aarc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aarc_workloads.dir/calibrated.cpp.o"
+  "CMakeFiles/aarc_workloads.dir/calibrated.cpp.o.d"
+  "CMakeFiles/aarc_workloads.dir/catalog.cpp.o"
+  "CMakeFiles/aarc_workloads.dir/catalog.cpp.o.d"
+  "CMakeFiles/aarc_workloads.dir/chatbot.cpp.o"
+  "CMakeFiles/aarc_workloads.dir/chatbot.cpp.o.d"
+  "CMakeFiles/aarc_workloads.dir/data_analytics.cpp.o"
+  "CMakeFiles/aarc_workloads.dir/data_analytics.cpp.o.d"
+  "CMakeFiles/aarc_workloads.dir/ml_pipeline.cpp.o"
+  "CMakeFiles/aarc_workloads.dir/ml_pipeline.cpp.o.d"
+  "CMakeFiles/aarc_workloads.dir/synthetic.cpp.o"
+  "CMakeFiles/aarc_workloads.dir/synthetic.cpp.o.d"
+  "CMakeFiles/aarc_workloads.dir/video_analysis.cpp.o"
+  "CMakeFiles/aarc_workloads.dir/video_analysis.cpp.o.d"
+  "libaarc_workloads.a"
+  "libaarc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aarc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aarc_tests.dir/aarc/advisor_test.cpp.o"
+  "CMakeFiles/aarc_tests.dir/aarc/advisor_test.cpp.o.d"
+  "CMakeFiles/aarc_tests.dir/aarc/configurator_test.cpp.o"
+  "CMakeFiles/aarc_tests.dir/aarc/configurator_test.cpp.o.d"
+  "CMakeFiles/aarc_tests.dir/aarc/operation_test.cpp.o"
+  "CMakeFiles/aarc_tests.dir/aarc/operation_test.cpp.o.d"
+  "CMakeFiles/aarc_tests.dir/aarc/property_test.cpp.o"
+  "CMakeFiles/aarc_tests.dir/aarc/property_test.cpp.o.d"
+  "CMakeFiles/aarc_tests.dir/aarc/scheduler_options_test.cpp.o"
+  "CMakeFiles/aarc_tests.dir/aarc/scheduler_options_test.cpp.o.d"
+  "CMakeFiles/aarc_tests.dir/aarc/scheduler_test.cpp.o"
+  "CMakeFiles/aarc_tests.dir/aarc/scheduler_test.cpp.o.d"
+  "CMakeFiles/aarc_tests.dir/aarc/trace_invariants_test.cpp.o"
+  "CMakeFiles/aarc_tests.dir/aarc/trace_invariants_test.cpp.o.d"
+  "aarc_tests"
+  "aarc_tests.pdb"
+  "aarc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aarc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_tests.dir/adaptive/controller_test.cpp.o"
+  "CMakeFiles/adaptive_tests.dir/adaptive/controller_test.cpp.o.d"
+  "CMakeFiles/adaptive_tests.dir/adaptive/monitor_test.cpp.o"
+  "CMakeFiles/adaptive_tests.dir/adaptive/monitor_test.cpp.o.d"
+  "adaptive_tests"
+  "adaptive_tests.pdb"
+  "adaptive_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

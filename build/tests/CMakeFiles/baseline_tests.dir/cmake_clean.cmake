@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_tests.dir/baselines/acquisition_test.cpp.o"
+  "CMakeFiles/baseline_tests.dir/baselines/acquisition_test.cpp.o.d"
+  "CMakeFiles/baseline_tests.dir/baselines/bo_options_test.cpp.o"
+  "CMakeFiles/baseline_tests.dir/baselines/bo_options_test.cpp.o.d"
+  "CMakeFiles/baseline_tests.dir/baselines/bo_test.cpp.o"
+  "CMakeFiles/baseline_tests.dir/baselines/bo_test.cpp.o.d"
+  "CMakeFiles/baseline_tests.dir/baselines/gp_test.cpp.o"
+  "CMakeFiles/baseline_tests.dir/baselines/gp_test.cpp.o.d"
+  "CMakeFiles/baseline_tests.dir/baselines/kernel_test.cpp.o"
+  "CMakeFiles/baseline_tests.dir/baselines/kernel_test.cpp.o.d"
+  "CMakeFiles/baseline_tests.dir/baselines/lhs_test.cpp.o"
+  "CMakeFiles/baseline_tests.dir/baselines/lhs_test.cpp.o.d"
+  "CMakeFiles/baseline_tests.dir/baselines/linalg_test.cpp.o"
+  "CMakeFiles/baseline_tests.dir/baselines/linalg_test.cpp.o.d"
+  "CMakeFiles/baseline_tests.dir/baselines/maff_test.cpp.o"
+  "CMakeFiles/baseline_tests.dir/baselines/maff_test.cpp.o.d"
+  "CMakeFiles/baseline_tests.dir/baselines/oracle_test.cpp.o"
+  "CMakeFiles/baseline_tests.dir/baselines/oracle_test.cpp.o.d"
+  "CMakeFiles/baseline_tests.dir/baselines/random_search_test.cpp.o"
+  "CMakeFiles/baseline_tests.dir/baselines/random_search_test.cpp.o.d"
+  "baseline_tests"
+  "baseline_tests.pdb"
+  "baseline_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

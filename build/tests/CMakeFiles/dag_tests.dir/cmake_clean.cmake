@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dag_tests.dir/dag/analysis_test.cpp.o"
+  "CMakeFiles/dag_tests.dir/dag/analysis_test.cpp.o.d"
+  "CMakeFiles/dag_tests.dir/dag/critical_path_test.cpp.o"
+  "CMakeFiles/dag_tests.dir/dag/critical_path_test.cpp.o.d"
+  "CMakeFiles/dag_tests.dir/dag/detour_test.cpp.o"
+  "CMakeFiles/dag_tests.dir/dag/detour_test.cpp.o.d"
+  "CMakeFiles/dag_tests.dir/dag/dot_test.cpp.o"
+  "CMakeFiles/dag_tests.dir/dag/dot_test.cpp.o.d"
+  "CMakeFiles/dag_tests.dir/dag/graph_test.cpp.o"
+  "CMakeFiles/dag_tests.dir/dag/graph_test.cpp.o.d"
+  "CMakeFiles/dag_tests.dir/dag/path_test.cpp.o"
+  "CMakeFiles/dag_tests.dir/dag/path_test.cpp.o.d"
+  "CMakeFiles/dag_tests.dir/dag/property_test.cpp.o"
+  "CMakeFiles/dag_tests.dir/dag/property_test.cpp.o.d"
+  "dag_tests"
+  "dag_tests.pdb"
+  "dag_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dag_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

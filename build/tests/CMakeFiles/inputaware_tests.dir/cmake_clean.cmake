@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inputaware_tests.dir/inputaware/descriptor_test.cpp.o"
+  "CMakeFiles/inputaware_tests.dir/inputaware/descriptor_test.cpp.o.d"
+  "CMakeFiles/inputaware_tests.dir/inputaware/engine_test.cpp.o"
+  "CMakeFiles/inputaware_tests.dir/inputaware/engine_test.cpp.o.d"
+  "CMakeFiles/inputaware_tests.dir/inputaware/thresholds_test.cpp.o"
+  "CMakeFiles/inputaware_tests.dir/inputaware/thresholds_test.cpp.o.d"
+  "inputaware_tests"
+  "inputaware_tests.pdb"
+  "inputaware_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inputaware_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/perf/affinity_test.cpp" "tests/CMakeFiles/perf_tests.dir/perf/affinity_test.cpp.o" "gcc" "tests/CMakeFiles/perf_tests.dir/perf/affinity_test.cpp.o.d"
+  "/root/repo/tests/perf/analytic_test.cpp" "tests/CMakeFiles/perf_tests.dir/perf/analytic_test.cpp.o" "gcc" "tests/CMakeFiles/perf_tests.dir/perf/analytic_test.cpp.o.d"
+  "/root/repo/tests/perf/calibration_test.cpp" "tests/CMakeFiles/perf_tests.dir/perf/calibration_test.cpp.o" "gcc" "tests/CMakeFiles/perf_tests.dir/perf/calibration_test.cpp.o.d"
+  "/root/repo/tests/perf/composite_test.cpp" "tests/CMakeFiles/perf_tests.dir/perf/composite_test.cpp.o" "gcc" "tests/CMakeFiles/perf_tests.dir/perf/composite_test.cpp.o.d"
+  "/root/repo/tests/perf/noise_test.cpp" "tests/CMakeFiles/perf_tests.dir/perf/noise_test.cpp.o" "gcc" "tests/CMakeFiles/perf_tests.dir/perf/noise_test.cpp.o.d"
+  "/root/repo/tests/perf/profile_table_test.cpp" "tests/CMakeFiles/perf_tests.dir/perf/profile_table_test.cpp.o" "gcc" "tests/CMakeFiles/perf_tests.dir/perf/profile_table_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/aarc/CMakeFiles/aarc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/aarc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/inputaware/CMakeFiles/aarc_inputaware.dir/DependInfo.cmake"
+  "/root/repo/build/src/adaptive/CMakeFiles/aarc_adaptive.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/aarc_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/serving/CMakeFiles/aarc_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/aarc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/aarc_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/aarc_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/aarc_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/aarc_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/aarc_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/aarc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

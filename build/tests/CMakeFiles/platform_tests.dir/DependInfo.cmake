@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/platform/coldstart_test.cpp" "tests/CMakeFiles/platform_tests.dir/platform/coldstart_test.cpp.o" "gcc" "tests/CMakeFiles/platform_tests.dir/platform/coldstart_test.cpp.o.d"
+  "/root/repo/tests/platform/executor_edge_test.cpp" "tests/CMakeFiles/platform_tests.dir/platform/executor_edge_test.cpp.o" "gcc" "tests/CMakeFiles/platform_tests.dir/platform/executor_edge_test.cpp.o.d"
+  "/root/repo/tests/platform/executor_test.cpp" "tests/CMakeFiles/platform_tests.dir/platform/executor_test.cpp.o" "gcc" "tests/CMakeFiles/platform_tests.dir/platform/executor_test.cpp.o.d"
+  "/root/repo/tests/platform/pricing_test.cpp" "tests/CMakeFiles/platform_tests.dir/platform/pricing_test.cpp.o" "gcc" "tests/CMakeFiles/platform_tests.dir/platform/pricing_test.cpp.o.d"
+  "/root/repo/tests/platform/profiler_test.cpp" "tests/CMakeFiles/platform_tests.dir/platform/profiler_test.cpp.o" "gcc" "tests/CMakeFiles/platform_tests.dir/platform/profiler_test.cpp.o.d"
+  "/root/repo/tests/platform/resource_test.cpp" "tests/CMakeFiles/platform_tests.dir/platform/resource_test.cpp.o" "gcc" "tests/CMakeFiles/platform_tests.dir/platform/resource_test.cpp.o.d"
+  "/root/repo/tests/platform/workflow_test.cpp" "tests/CMakeFiles/platform_tests.dir/platform/workflow_test.cpp.o" "gcc" "tests/CMakeFiles/platform_tests.dir/platform/workflow_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/aarc/CMakeFiles/aarc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/aarc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/inputaware/CMakeFiles/aarc_inputaware.dir/DependInfo.cmake"
+  "/root/repo/build/src/adaptive/CMakeFiles/aarc_adaptive.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/aarc_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/serving/CMakeFiles/aarc_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/aarc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/aarc_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/aarc_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/aarc_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/aarc_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/aarc_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/aarc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_tests.dir/platform/coldstart_test.cpp.o"
+  "CMakeFiles/platform_tests.dir/platform/coldstart_test.cpp.o.d"
+  "CMakeFiles/platform_tests.dir/platform/executor_edge_test.cpp.o"
+  "CMakeFiles/platform_tests.dir/platform/executor_edge_test.cpp.o.d"
+  "CMakeFiles/platform_tests.dir/platform/executor_test.cpp.o"
+  "CMakeFiles/platform_tests.dir/platform/executor_test.cpp.o.d"
+  "CMakeFiles/platform_tests.dir/platform/pricing_test.cpp.o"
+  "CMakeFiles/platform_tests.dir/platform/pricing_test.cpp.o.d"
+  "CMakeFiles/platform_tests.dir/platform/profiler_test.cpp.o"
+  "CMakeFiles/platform_tests.dir/platform/profiler_test.cpp.o.d"
+  "CMakeFiles/platform_tests.dir/platform/resource_test.cpp.o"
+  "CMakeFiles/platform_tests.dir/platform/resource_test.cpp.o.d"
+  "CMakeFiles/platform_tests.dir/platform/workflow_test.cpp.o"
+  "CMakeFiles/platform_tests.dir/platform/workflow_test.cpp.o.d"
+  "platform_tests"
+  "platform_tests.pdb"
+  "platform_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

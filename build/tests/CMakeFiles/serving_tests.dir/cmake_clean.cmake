@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serving_tests.dir/serving/engine_serving_test.cpp.o"
+  "CMakeFiles/serving_tests.dir/serving/engine_serving_test.cpp.o.d"
+  "CMakeFiles/serving_tests.dir/serving/simulator_test.cpp.o"
+  "CMakeFiles/serving_tests.dir/serving/simulator_test.cpp.o.d"
+  "serving_tests"
+  "serving_tests.pdb"
+  "serving_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serving_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aarc_cli.dir/aarc_cli.cpp.o"
+  "CMakeFiles/aarc_cli.dir/aarc_cli.cpp.o.d"
+  "aarc_cli"
+  "aarc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aarc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
