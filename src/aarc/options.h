@@ -58,6 +58,16 @@ struct ConfiguratorOptions {
   /// compares both.
   bool halve_step_on_accept = true;
 
+  /// On a hostile platform (platform/faults.h) a probe can fail transiently
+  /// — a crash or timeout, not a property of the configuration.  Algorithm
+  /// 2's revert path treats any error as "this move was bad": reverting and
+  /// halving the step on noise abandons good moves.  When a probe fails
+  /// transiently (no OOM) the configurator instead re-probes the *same*
+  /// configuration up to this many times (each re-probe burns MAX_TRAIL
+  /// budget) before falling back to the genuine revert-and-halve path.
+  /// 0 restores the paper's behavior: every error reverts.
+  std::size_t transient_probe_retries = 2;
+
   /// Extension (off by default to stay close to the paper): after the
   /// deallocation queue drains, run a short *allocate-direction* polish
   /// round.  Greedy deallocation only ever moves down the grid, so a large
@@ -76,6 +86,13 @@ struct SchedulerOptions {
 
   /// Seed for the profiling/search executions (sample noise).
   std::uint64_t seed = 2025;
+
+  /// Evaluator probe re-sampling (see search::ResampleOptions): extra
+  /// executions allowed per probe when it fails or is an outlier.  0 keeps
+  /// one execution per probe as in the paper.
+  std::size_t probe_resamples = 0;
+  /// Outlier threshold for probe re-sampling (0 disables the outlier check).
+  double probe_outlier_factor = 0.0;
 
   /// When true, nodes covered by neither the critical path nor any detour
   /// (possible with multiple sources/sinks) are configured as single-node

@@ -122,8 +122,23 @@ PathConfigOutcome PriorityConfigurator::configure_path(
       value = proposed;
       ++state.count;
 
-      const search::Evaluation eval = evaluator.evaluate(config);
+      search::Evaluation eval = evaluator.evaluate(config);
       ++outcome.samples_used;
+
+      // Distinguish "the platform hiccuped" from "this move was bad": a
+      // transient failure (crash/timeout, no OOM) is re-probed at the same
+      // configuration — burning MAX_TRAIL budget — instead of reverting and
+      // halving the step on what is merely noise.  OOM is deterministic and
+      // falls straight through to the revert path.
+      for (std::size_t left = options_.transient_probe_retries;
+           left > 0 && eval.sample.failed && eval.sample.transient &&
+           state.count < options_.max_trail;
+           --left) {
+        ++state.count;
+        eval = evaluator.evaluate(config);
+        ++outcome.samples_used;
+        ++outcome.transient_retries;
+      }
 
       const double new_path_runtime = path_runtime(eval.function_runtimes, path_nodes);
       const double previous_cost = state.accepted_cost[op.node];

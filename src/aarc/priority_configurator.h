@@ -12,6 +12,9 @@
 //     or the operated function's cost did not decrease, the resource is
 //     restored, the step halves (exponential backoff), one trial is burned,
 //     and the op re-enters at priority 0 — or is dropped at trial 0;
+//     a *transient* probe failure (platform crash/timeout, no OOM) is first
+//     re-probed at the same configuration instead of reverting, so platform
+//     hiccups don't masquerade as bad moves (transient_probe_retries);
 //   * otherwise the new allocation is kept and the op re-enters with the
 //     achieved cost reduction as its priority;
 //   * the loop ends when the queue is empty or MAX_TRAIL samples were spent.
@@ -32,6 +35,7 @@ struct PathConfigOutcome {
   std::size_t samples_used = 0;        ///< probes spent by this call
   std::size_t ops_accepted = 0;        ///< deallocations kept
   std::size_t ops_reverted = 0;        ///< deallocations undone
+  std::size_t transient_retries = 0;   ///< probes re-run after transient faults
   /// Per-function observed runtimes of the last accepted state (by NodeId,
   /// full workflow length) — Algorithm 1 uses these to refresh DAG weights.
   std::vector<double> accepted_runtimes;

@@ -39,7 +39,11 @@ ScheduleReport GraphCentricScheduler::schedule(const platform::Workflow& workflo
   wf.validate();
   const std::size_t n = wf.function_count();
 
-  search::Evaluator evaluator(wf, *executor_, slo_seconds, input_scale, options_.seed);
+  search::ResampleOptions resample;
+  resample.max_resamples = options_.probe_resamples;
+  resample.outlier_factor = options_.probe_outlier_factor;
+  search::Evaluator evaluator(wf, *executor_, slo_seconds, input_scale, options_.seed,
+                              resample);
   const PriorityConfigurator configurator(grid_, options_.configurator);
 
   ScheduleReport report;
@@ -47,8 +51,14 @@ ScheduleReport GraphCentricScheduler::schedule(const platform::Workflow& workflo
   // Lines 2-4: over-provisioned base configuration.
   platform::WorkflowConfig config = platform::uniform_config(n, grid_.max_config());
 
-  // Line 5: execute G once to weight the DAG.
-  const search::Evaluation baseline = evaluator.evaluate(config);
+  // Line 5: execute G once to weight the DAG.  A transient platform fault
+  // here says nothing about the configuration — re-probe before concluding
+  // the workflow cannot run fully provisioned.
+  search::Evaluation baseline = evaluator.evaluate(config);
+  for (std::size_t left = options_.configurator.transient_probe_retries;
+       left > 0 && baseline.sample.failed && baseline.sample.transient; --left) {
+    baseline = evaluator.evaluate(config);
+  }
   if (baseline.sample.failed) {
     // The workflow cannot run even fully provisioned: no feasible config.
     report.result.trace = evaluator.trace();
@@ -131,8 +141,13 @@ ScheduleReport GraphCentricScheduler::schedule(const platform::Workflow& workflo
     }
   }
 
-  // Finalization (step 7 in Fig. 4): verify the configuration once.
-  const search::Evaluation final_eval = evaluator.evaluate(config);
+  // Finalization (step 7 in Fig. 4): verify the configuration once; a
+  // transient fault must not reject an otherwise feasible configuration.
+  search::Evaluation final_eval = evaluator.evaluate(config);
+  for (std::size_t left = options_.configurator.transient_probe_retries;
+       left > 0 && final_eval.sample.failed && final_eval.sample.transient; --left) {
+    final_eval = evaluator.evaluate(config);
+  }
   report.result.best_config = config;
   report.result.found_feasible = final_eval.sample.feasible;
   report.result.trace = evaluator.trace();

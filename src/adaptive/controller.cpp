@@ -32,6 +32,16 @@ AdaptiveController::AdaptiveController(const workloads::Workload& workload,
 bool AdaptiveController::observe(double makespan_seconds) {
   monitor_.observe(makespan_seconds);
   ++observations_since_reconfig_;
+  return maybe_reschedule();
+}
+
+bool AdaptiveController::observe_failure() {
+  monitor_.observe_failure();
+  ++observations_since_reconfig_;
+  return maybe_reschedule();
+}
+
+bool AdaptiveController::maybe_reschedule() {
   if (observations_since_reconfig_ < options_.min_observations_between_reconfigs) {
     return false;
   }

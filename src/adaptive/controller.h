@@ -40,10 +40,17 @@ class AdaptiveController {
   /// this observation triggered a reconfiguration.
   bool observe(double makespan_seconds);
 
+  /// Feed one failed request (crash after retries, timeout, OOM).  A
+  /// sustained failure level flags SLO risk in the monitor and triggers a
+  /// reconfiguration just like a runtime regression.  Returns true when this
+  /// observation triggered one.
+  bool observe_failure();
+
   /// Samples spent on (re)scheduling so far.
   std::size_t scheduling_samples() const { return scheduling_samples_; }
 
  private:
+  bool maybe_reschedule();
   void reschedule(double scale);
 
   const workloads::Workload* workload_;

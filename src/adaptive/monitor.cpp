@@ -32,6 +32,10 @@ DriftMonitor::DriftMonitor(double expected_makespan, double slo_seconds,
   expects(options.drift_up_factor > 1.0, "drift_up_factor must exceed 1");
   expects(options.drift_down_factor > 0.0 && options.drift_down_factor < 1.0,
           "drift_down_factor must be in (0, 1)");
+  expects(options.failure_ewma_alpha > 0.0 && options.failure_ewma_alpha <= 1.0,
+          "failure EWMA alpha must be in (0, 1]");
+  expects(options.failure_rate_threshold > 0.0 && options.failure_rate_threshold <= 1.0,
+          "failure_rate_threshold must be in (0, 1]");
 }
 
 void DriftMonitor::observe(double makespan_seconds) {
@@ -42,9 +46,23 @@ void DriftMonitor::observe(double makespan_seconds) {
     ewma_ = options_.ewma_alpha * makespan_seconds + (1.0 - options_.ewma_alpha) * ewma_;
   }
   ++count_;
+  failure_ewma_ *= 1.0 - options_.failure_ewma_alpha;  // success = 0 observation
+  ++total_count_;
+}
+
+void DriftMonitor::observe_failure() {
+  failure_ewma_ =
+      options_.failure_ewma_alpha + (1.0 - options_.failure_ewma_alpha) * failure_ewma_;
+  ++total_count_;
 }
 
 DriftVerdict DriftMonitor::verdict() const {
+  // A sustained failure level is an SLO problem no matter how fast the
+  // surviving requests are — check it first, against all observations.
+  if (total_count_ >= options_.min_observations &&
+      failure_ewma_ > options_.failure_rate_threshold) {
+    return DriftVerdict::SloRisk;
+  }
   if (count_ < options_.min_observations) return DriftVerdict::Healthy;
   if (ewma_ > slo_ * options_.slo_risk_fraction) return DriftVerdict::SloRisk;
   if (ewma_ > expected_ * options_.drift_up_factor) return DriftVerdict::DriftedSlower;
@@ -61,7 +79,9 @@ void DriftMonitor::reset(double expected_makespan) {
   expects(expected_makespan > 0.0, "expected makespan must be positive");
   expected_ = expected_makespan;
   ewma_ = 0.0;
+  failure_ewma_ = 0.0;
   count_ = 0;
+  total_count_ = 0;
 }
 
 }  // namespace aarc::adaptive

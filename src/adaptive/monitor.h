@@ -24,6 +24,13 @@ struct MonitorOptions {
   double drift_up_factor = 1.25;  ///< flag when EWMA > expected * this
   double drift_down_factor = 0.6; ///< flag when EWMA < expected * this
   std::size_t min_observations = 5;  ///< no verdicts before this many samples
+
+  /// EWMA weight for the request failure indicator (crashes / timeouts).
+  double failure_ewma_alpha = 0.2;
+  /// Flag SloRisk when the failure EWMA exceeds this rate: a failed request
+  /// never met its deadline, so a sustained failure level is an SLO problem
+  /// even while the surviving requests look fast.
+  double failure_rate_threshold = 0.10;
 };
 
 enum class DriftVerdict {
@@ -41,12 +48,19 @@ class DriftMonitor {
   /// validated at; `slo_seconds` the workflow's SLO.
   DriftMonitor(double expected_makespan, double slo_seconds, MonitorOptions options = {});
 
-  /// Feed one observed end-to-end runtime.
+  /// Feed one observed end-to-end runtime (a successful request; also decays
+  /// the failure level).
   void observe(double makespan_seconds);
+
+  /// Feed one failed request (crash after retries, timeout, OOM).  Failed
+  /// requests have no runtime, so they only move the failure EWMA.
+  void observe_failure();
 
   std::size_t observations() const { return count_; }
   double ewma() const { return ewma_; }
   double expected() const { return expected_; }
+  /// EWMA of the failure indicator (0 = all succeeding, 1 = all failing).
+  double failure_ewma() const { return failure_ewma_; }
 
   /// Current verdict (Healthy until min_observations reached).
   DriftVerdict verdict() const;
@@ -64,7 +78,9 @@ class DriftMonitor {
   double slo_;
   MonitorOptions options_;
   double ewma_ = 0.0;
-  std::size_t count_ = 0;
+  double failure_ewma_ = 0.0;
+  std::size_t count_ = 0;        ///< successful observations (runtime EWMA)
+  std::size_t total_count_ = 0;  ///< all observations, failures included
 };
 
 }  // namespace aarc::adaptive

@@ -16,7 +16,8 @@
 namespace aarc::io {
 
 /// CSV with columns: index, makespan, cost, wall_seconds, wall_cost,
-/// failed, feasible.
+/// failed, feasible, attempts (platform executions the probe consumed;
+/// > 1 when the evaluator re-sampled a failed/outlier probe).
 std::string trace_to_csv(const search::SearchTrace& trace);
 
 /// CSV with columns: function, start, runtime, finish, cost, oom.

@@ -24,25 +24,57 @@ std::vector<dag::NodeId> ExecutionResult::oom_nodes() const {
   return out;
 }
 
+std::size_t ExecutionResult::total_attempts() const {
+  std::size_t total = 0;
+  for (const auto& inv : invocations) total += inv.attempts;
+  return total;
+}
+
+std::size_t ExecutionResult::transient_failures() const {
+  std::size_t total = 0;
+  for (const auto& inv : invocations) total += inv.transient_failures;
+  return total;
+}
+
+std::size_t ExecutionResult::timed_out_invocations() const {
+  std::size_t total = 0;
+  for (const auto& inv : invocations) {
+    if (inv.timed_out) ++total;
+  }
+  return total;
+}
+
+bool ExecutionResult::oom_failure() const {
+  for (const auto& inv : invocations) {
+    if (inv.oom) return true;
+  }
+  return false;
+}
+
 double ExecutionResult::observed_wall_seconds() const {
   double wall = 0.0;
   for (const auto& inv : invocations) {
-    if (std::isfinite(inv.finish)) wall = std::max(wall, inv.finish);
+    if (std::isfinite(inv.finish)) {
+      wall = std::max(wall, inv.finish);
+    } else if (std::isfinite(inv.start)) {
+      // Permanently failed invocation: its attempts still occupied the span
+      // [start, start + occupied_seconds).
+      wall = std::max(wall, inv.start + inv.occupied_seconds);
+    }
   }
   return wall;
 }
 
 double ExecutionResult::observed_cost() const {
   double total = 0.0;
-  for (const auto& inv : invocations) {
-    if (std::isfinite(inv.cost)) total += inv.cost;
-  }
+  for (const auto& inv : invocations) total += inv.billed_cost;
   return total;
 }
 
 Executor::Executor(std::unique_ptr<PricingModel> pricing, ExecutorOptions options)
     : pricing_(std::move(pricing)), options_(options) {
   expects(pricing_ != nullptr, "executor requires a pricing model");
+  options_.retry.validate();
 }
 
 ExecutionResult Executor::execute(const Workflow& workflow, const WorkflowConfig& config,
@@ -71,6 +103,8 @@ ExecutionResult Executor::run(const Workflow& workflow, const WorkflowConfig& co
   ExecutionResult result;
   result.invocations.resize(g.node_count());
 
+  const RetryPolicy& retry = options_.retry;
+
   for (dag::NodeId id : order) {
     InvocationRecord rec;
     rec.node = id;
@@ -82,21 +116,68 @@ ExecutionResult Executor::run(const Workflow& workflow, const WorkflowConfig& co
 
     const perf::PerfModel& model = workflow.model(id);
     if (!model.fits_memory(config[id].memory_mb, input_scale)) {
+      // OOM is a deterministic property of the configuration: retrying would
+      // fail identically, so it is never retried and nothing is billed.
       rec.oom = true;
+      rec.failed = true;
       rec.runtime = kInfiniteTime;
       rec.finish = kInfiniteTime;
       rec.cost = kInfiniteTime;
       result.failed = true;
     } else {
-      double t = model.mean_runtime(config[id].vcpu, config[id].memory_mb, input_scale);
-      if (rng != nullptr) {
-        t = options_.noise.noisy_runtime(t, *rng);
-        rec.cold_start_delay = options_.cold_start.sample_delay(*rng);
-        t += rec.cold_start_delay;
+      // Faults and retries are stochastic; the noise-free mean execution
+      // runs exactly one clean attempt (the timeout, being deterministic,
+      // still applies).
+      const std::size_t max_attempts =
+          rng != nullptr ? std::max<std::size_t>(1, retry.max_attempts) : 1;
+      double elapsed = 0.0;
+      bool success = false;
+      for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+        rec.attempts = attempt;
+        double duration =
+            model.mean_runtime(config[id].vcpu, config[id].memory_mb, input_scale);
+        double cold = 0.0;
+        FaultOutcome fault;
+        if (rng != nullptr) {
+          duration = options_.noise.noisy_runtime(duration, *rng);
+          cold = options_.cold_start.sample_delay(*rng);
+          fault = options_.faults.sample(id, *rng);
+        }
+        duration = duration * fault.runtime_multiplier + cold + fault.extra_delay_seconds;
+        bool attempt_timed_out = false;
+        if (fault.crashed) {
+          duration *= fault.crash_fraction;
+        } else if (retry.timeout_enabled() && duration > retry.timeout_seconds) {
+          duration = retry.timeout_seconds;
+          attempt_timed_out = true;
+        }
+        rec.billed_seconds += duration;
+        rec.billed_cost += pricing_->invocation_cost(config[id], duration);
+        elapsed += duration;
+        if (!fault.crashed && !attempt_timed_out) {
+          success = true;
+          rec.cold_start_delay = cold;
+          rec.timed_out = false;
+          break;
+        }
+        ++rec.transient_failures;
+        rec.timed_out = attempt_timed_out;
+        if (attempt < max_attempts && rng != nullptr) {
+          elapsed += retry.backoff_seconds(attempt, *rng);
+        }
       }
-      rec.runtime = t;
-      rec.finish = start + t;
-      rec.cost = pricing_->invocation_cost(config[id], t);
+      rec.occupied_seconds = elapsed;
+      if (success) {
+        rec.runtime = elapsed;
+        rec.finish = start + elapsed;
+        rec.cost = rec.billed_cost;
+      } else {
+        rec.failed = true;
+        rec.runtime = kInfiniteTime;
+        rec.finish = kInfiniteTime;
+        rec.cost = kInfiniteTime;
+        result.failed = true;
+      }
     }
     result.invocations[id] = rec;
   }

@@ -16,6 +16,7 @@
 #include "dag/graph.h"
 #include "perf/noise.h"
 #include "platform/coldstart.h"
+#include "platform/faults.h"
 #include "platform/pricing.h"
 #include "platform/resource.h"
 #include "platform/workflow.h"
@@ -24,33 +25,60 @@
 namespace aarc::platform {
 
 /// Outcome of one function invocation within a workflow execution.
+///
+/// With retries enabled an invocation may consume several attempts; the
+/// record aggregates them.  `runtime` then spans every attempt plus the
+/// backoff waits between them (so finish = start + runtime still holds and
+/// retry delays propagate to successors), while `billed_seconds`/`cost`
+/// bill every attempt — failed attempts occupy paid container time.
 struct InvocationRecord {
   dag::NodeId node = dag::kInvalidNode;
   double start = 0.0;             ///< seconds from workflow start
-  double runtime = 0.0;           ///< observed duration (inf when OOM)
+  double runtime = 0.0;           ///< observed duration (inf on permanent failure)
   double finish = 0.0;            ///< start + runtime
-  double cost = 0.0;              ///< billed cost (inf when OOM)
-  double cold_start_delay = 0.0;  ///< included in runtime
-  bool oom = false;
+  double cost = 0.0;              ///< billed cost (inf on permanent failure)
+  double cold_start_delay = 0.0;  ///< of the final attempt; included in runtime
+  bool oom = false;               ///< deterministic OOM (never retried)
+  bool failed = false;            ///< permanent failure: OOM or retries exhausted
+  bool timed_out = false;         ///< final attempt hit the invocation timeout
+  std::size_t attempts = 1;           ///< attempts consumed (>= 1)
+  std::size_t transient_failures = 0; ///< crashed or timed-out attempts
+  double billed_seconds = 0.0;    ///< billed duration across all attempts (finite)
+  double billed_cost = 0.0;       ///< billed cost across all attempts (finite)
+  double occupied_seconds = 0.0;  ///< wall time occupied incl. backoff (finite)
 };
 
 /// Outcome of one end-to-end workflow execution.
 struct ExecutionResult {
   std::vector<InvocationRecord> invocations;  ///< indexed by NodeId
-  double makespan = 0.0;                      ///< inf when any function OOMed
-  double total_cost = 0.0;                    ///< inf when any function OOMed
-  bool failed = false;                        ///< true when any function OOMed
+  double makespan = 0.0;                      ///< inf when any function failed
+  double total_cost = 0.0;                    ///< inf when any function failed
+  bool failed = false;                        ///< true when any function failed
 
   /// Observed per-function runtimes, indexed by NodeId.
   std::vector<double> runtimes() const;
   /// Nodes that ran out of memory.
   std::vector<dag::NodeId> oom_nodes() const;
 
+  /// Attempts consumed across all invocations (== function count when no
+  /// faults fired).
+  std::size_t total_attempts() const;
+  /// Crashed or timed-out attempts across all invocations.
+  std::size_t transient_failures() const;
+  /// Invocations whose final attempt hit the invocation timeout.
+  std::size_t timed_out_invocations() const;
+  /// True when the failure involves an OOM (deterministic, not retryable).
+  bool oom_failure() const;
+  /// True when the execution failed on transient faults only — a retry of
+  /// the whole probe may well succeed.
+  bool transient_failure() const { return failed && !oom_failure(); }
+
   /// Wall-clock seconds the execution occupied even if it failed: the
-  /// largest finite finish time (0 when nothing ran).  Search algorithms
-  /// charge this as sampling time for failed probes.
+  /// largest finite finish time, counting the occupied span of permanently
+  /// failed invocations (0 when nothing ran).  Search algorithms charge
+  /// this as sampling time for failed probes.
   double observed_wall_seconds() const;
-  /// Billed cost of the invocations that did run (finite part only).
+  /// Billed cost of every attempt that ran, failed or not (finite part).
   double observed_cost() const;
 };
 
@@ -60,6 +88,8 @@ inline constexpr double kInfiniteTime = std::numeric_limits<double>::infinity();
 struct ExecutorOptions {
   perf::NoiseModel noise{0.03};  ///< ~3% relative std, matching Table II
   ColdStartModel cold_start{};   ///< disabled by default
+  FaultModel faults{};           ///< disabled by default
+  RetryPolicy retry{};           ///< no retries, no timeout by default
 };
 
 class Executor {
@@ -77,9 +107,11 @@ class Executor {
 
   /// Execute the workflow once under `config` at the given input scale,
   /// drawing noise from `rng`.  `config` must have one entry per function
-  /// with positive allocations.  OOM does not throw: it marks the record and
-  /// poisons makespan/cost with infinity (search algorithms treat this as an
-  /// error to revert, exactly like the paper's "encounters an error").
+  /// with positive allocations.  Failure does not throw: OOM (deterministic,
+  /// never retried) and transient faults that exhaust the retry budget mark
+  /// the record and poison makespan/cost with infinity (search algorithms
+  /// treat this as an error to revert, exactly like the paper's "encounters
+  /// an error").  Failed attempts are billed and delay successors.
   ExecutionResult execute(const Workflow& workflow, const WorkflowConfig& config,
                           double input_scale, support::Rng& rng) const;
 

@@ -1,0 +1,96 @@
+#include "platform/faults.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contracts.h"
+
+namespace aarc::platform {
+
+using support::expects;
+
+namespace {
+
+bool is_probability(double p) { return p >= 0.0 && p <= 1.0; }
+
+}  // namespace
+
+bool FaultRates::any() const {
+  return transient_crash > 0.0 || straggler > 0.0 || cold_spike > 0.0 || throttle > 0.0;
+}
+
+void FaultRates::validate() const {
+  expects(is_probability(transient_crash) && is_probability(straggler) &&
+              is_probability(cold_spike) && is_probability(throttle),
+          "fault probabilities must be in [0, 1]");
+  expects(straggler_multiplier >= 1.0, "straggler multiplier must be >= 1");
+  expects(cold_spike_min_seconds >= 0.0 &&
+              cold_spike_max_seconds >= cold_spike_min_seconds,
+          "cold-spike range must be ordered and non-negative");
+  expects(throttle_min_seconds >= 0.0 && throttle_max_seconds >= throttle_min_seconds,
+          "throttle range must be ordered and non-negative");
+}
+
+FaultModel::FaultModel(FaultRates defaults) : defaults_(defaults) {
+  defaults_.validate();
+}
+
+void FaultModel::set_function_rates(dag::NodeId node, FaultRates rates) {
+  rates.validate();
+  overrides_[node] = rates;
+}
+
+const FaultRates& FaultModel::rates(dag::NodeId node) const {
+  const auto it = overrides_.find(node);
+  return it == overrides_.end() ? defaults_ : it->second;
+}
+
+bool FaultModel::enabled() const {
+  if (defaults_.any()) return true;
+  for (const auto& [node, rates] : overrides_) {
+    if (rates.any()) return true;
+  }
+  return false;
+}
+
+FaultOutcome FaultModel::sample(dag::NodeId node, support::Rng& rng) const {
+  FaultOutcome out;
+  const FaultRates& r = rates(node);
+  if (!r.any()) return out;  // no draws: faults off stays bit-identical
+
+  if (r.straggler > 0.0 && rng.bernoulli(r.straggler)) {
+    out.runtime_multiplier = r.straggler_multiplier;
+  }
+  if (r.cold_spike > 0.0 && rng.bernoulli(r.cold_spike)) {
+    out.extra_delay_seconds +=
+        rng.uniform(r.cold_spike_min_seconds, r.cold_spike_max_seconds);
+  }
+  if (r.throttle > 0.0 && rng.bernoulli(r.throttle)) {
+    out.extra_delay_seconds += rng.uniform(r.throttle_min_seconds, r.throttle_max_seconds);
+  }
+  if (r.transient_crash > 0.0 && rng.bernoulli(r.transient_crash)) {
+    out.crashed = true;
+    out.crash_fraction = rng.uniform(0.05, 1.0);
+  }
+  return out;
+}
+
+void RetryPolicy::validate() const {
+  expects(max_attempts >= 1, "max_attempts must be >= 1");
+  expects(backoff_initial_seconds >= 0.0, "backoff must be non-negative");
+  expects(backoff_multiplier >= 1.0, "backoff multiplier must be >= 1");
+  expects(backoff_jitter_fraction >= 0.0 && backoff_jitter_fraction < 1.0,
+          "backoff jitter must be in [0, 1)");
+  expects(timeout_seconds >= 0.0, "timeout must be non-negative");
+}
+
+double RetryPolicy::backoff_seconds(std::size_t failed_attempts, support::Rng& rng) const {
+  expects(failed_attempts >= 1, "backoff requires at least one failed attempt");
+  const double base = backoff_initial_seconds *
+                      std::pow(backoff_multiplier,
+                               static_cast<double>(failed_attempts - 1));
+  if (backoff_jitter_fraction == 0.0 || base == 0.0) return base;
+  return base * rng.uniform(1.0 - backoff_jitter_fraction, 1.0 + backoff_jitter_fraction);
+}
+
+}  // namespace aarc::platform

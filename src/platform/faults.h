@@ -1,0 +1,118 @@
+// Fault injection and retry policy (extension, disabled by default).
+//
+// The paper's platform model is benign: apart from deterministic OOM every
+// invocation succeeds.  Real serverless platforms are not — invocations
+// crash transiently (node eviction, dependency hiccups), straggle (noisy
+// neighbours), pay occasional cold-start spikes far above the usual penalty,
+// and get throttled by concurrency limiters.  This module makes the
+// simulated platform hostile in a *seeded, deterministic* way so that the
+// revert/backoff machinery of Algorithm 2, the serving simulator, and the
+// adaptive controller are exercised under realistic conditions:
+//
+//   * FaultModel — per-invocation fault sampler with global default rates
+//     and optional per-function overrides;
+//   * RetryPolicy — how the platform reacts: bounded attempts, exponential
+//     backoff with jitter, and a per-invocation timeout that converts
+//     runaway invocations into timeout failures instead of infinite waits.
+//
+// OOM stays outside this module: it is a deterministic property of the
+// configuration and is never retried.
+#pragma once
+
+#include <cstddef>
+#include <map>
+
+#include "dag/graph.h"
+#include "support/rng.h"
+
+namespace aarc::platform {
+
+/// Per-invocation fault probabilities and magnitudes.  All probabilities are
+/// independent per attempt; a crashed attempt draws its magnitudes too (the
+/// slowdown applies to the partial run that crashed).
+struct FaultRates {
+  /// Probability the attempt crashes part-way through (retryable).
+  double transient_crash = 0.0;
+  /// Probability the attempt is a straggler: runtime is multiplied.
+  double straggler = 0.0;
+  double straggler_multiplier = 4.0;
+  /// Probability of a cold-start spike: an extra uniform delay on top of the
+  /// regular cold-start model.
+  double cold_spike = 0.0;
+  double cold_spike_min_seconds = 2.0;
+  double cold_spike_max_seconds = 8.0;
+  /// Probability the platform throttles the attempt before it starts.
+  double throttle = 0.0;
+  double throttle_min_seconds = 0.5;
+  double throttle_max_seconds = 3.0;
+
+  /// True when any fault has a nonzero probability.
+  bool any() const;
+  /// Throws ContractViolation on out-of-range probabilities or magnitudes.
+  void validate() const;
+};
+
+/// What the fault sampler decided for one attempt.
+struct FaultOutcome {
+  bool crashed = false;
+  /// Fraction of the attempt's nominal duration consumed before the crash
+  /// (billed and occupying the container); 1.0 when not crashed.
+  double crash_fraction = 1.0;
+  double runtime_multiplier = 1.0;   ///< >1 when straggling
+  double extra_delay_seconds = 0.0;  ///< cold spike + throttle delay
+};
+
+/// Seeded, deterministic fault sampler.  A default-constructed model is
+/// disabled and consumes no randomness, so executions with faults off are
+/// bit-identical to executions without a FaultModel at all.
+class FaultModel {
+ public:
+  FaultModel() = default;  ///< disabled: every attempt is clean
+
+  /// Model with the given default rates applied to every function.
+  explicit FaultModel(FaultRates defaults);
+
+  /// Override the rates of one function (e.g. a flaky external dependency).
+  void set_function_rates(dag::NodeId node, FaultRates rates);
+
+  /// Effective rates for `node` (the override if present, else the default).
+  const FaultRates& rates(dag::NodeId node) const;
+  const FaultRates& default_rates() const { return defaults_; }
+
+  /// True when any function can fault.
+  bool enabled() const;
+
+  /// Sample one attempt's faults.  Consumes randomness only when the
+  /// effective rates for `node` are nonzero.
+  FaultOutcome sample(dag::NodeId node, support::Rng& rng) const;
+
+ private:
+  FaultRates defaults_{};
+  std::map<dag::NodeId, FaultRates> overrides_;
+};
+
+/// How failed attempts are retried and runaway attempts cut off.
+struct RetryPolicy {
+  /// Total attempts per invocation (1 = no retries).
+  std::size_t max_attempts = 1;
+  /// Backoff before attempt k+1 after k failures:
+  /// initial * multiplier^(k-1), jittered by +/- jitter_fraction.
+  double backoff_initial_seconds = 0.5;
+  double backoff_multiplier = 2.0;
+  double backoff_jitter_fraction = 0.1;
+  /// Per-invocation timeout; an attempt running longer fails at exactly this
+  /// duration (billed in full).  0 disables the timeout.
+  double timeout_seconds = 0.0;
+
+  bool retries_enabled() const { return max_attempts > 1; }
+  bool timeout_enabled() const { return timeout_seconds > 0.0; }
+
+  /// Throws ContractViolation on out-of-range fields.
+  void validate() const;
+
+  /// Sampled wait before the next attempt, given `failed_attempts` >= 1
+  /// failures so far.  Deterministic under the rng's stream.
+  double backoff_seconds(std::size_t failed_attempts, support::Rng& rng) const;
+};
+
+}  // namespace aarc::platform

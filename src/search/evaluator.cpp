@@ -1,39 +1,98 @@
 #include "search/evaluator.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "support/contracts.h"
 
 namespace aarc::search {
 
 using support::expects;
 
+namespace {
+
+/// Lower median of a non-empty vector (deterministic, no interpolation).
+double lower_median(std::vector<double> values) {
+  const std::size_t mid = (values.size() - 1) / 2;
+  std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid),
+                   values.end());
+  return values[mid];
+}
+
+}  // namespace
+
 Evaluator::Evaluator(const platform::Workflow& workflow, const platform::Executor& executor,
-                     double slo_seconds, double input_scale, std::uint64_t seed)
+                     double slo_seconds, double input_scale, std::uint64_t seed,
+                     ResampleOptions resample)
     : workflow_(&workflow),
       executor_(&executor),
       slo_(slo_seconds),
       input_scale_(input_scale),
-      rng_(seed) {
+      rng_(seed),
+      resample_(resample) {
   expects(slo_seconds > 0.0, "SLO must be positive");
   expects(input_scale > 0.0, "input scale must be positive");
+  expects(resample.outlier_factor >= 0.0, "outlier factor must be non-negative");
   workflow.validate();
 }
 
 Evaluation Evaluator::evaluate(const platform::WorkflowConfig& config) {
-  const platform::ExecutionResult result =
-      executor_->execute(*workflow_, config, input_scale_, rng_);
+  std::vector<platform::ExecutionResult> runs;
+  runs.push_back(executor_->execute(*workflow_, config, input_scale_, rng_));
+
+  const bool have_median = !success_makespans_.empty();
+  const double median_so_far = have_median ? lower_median(success_makespans_) : 0.0;
+  auto needs_rerun = [&](const platform::ExecutionResult& r) {
+    // OOM is deterministic: re-running reproduces it, so don't waste probes.
+    if (r.failed) return !r.oom_failure();
+    return resample_.outlier_factor > 0.0 && have_median &&
+           r.makespan > resample_.outlier_factor * median_so_far;
+  };
+
+  std::size_t budget = resample_.max_resamples;
+  while (budget > 0 && needs_rerun(runs.back())) {
+    runs.push_back(executor_->execute(*workflow_, config, input_scale_, rng_));
+    --budget;
+  }
+
+  // Aggregate: the run with the median makespan among successful runs; when
+  // every run failed, the last run represents the probe.
+  std::vector<std::size_t> ok;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (!runs[i].failed) ok.push_back(i);
+  }
+  std::size_t chosen = runs.size() - 1;
+  if (!ok.empty()) {
+    std::sort(ok.begin(), ok.end(), [&](std::size_t a, std::size_t b) {
+      if (runs[a].makespan != runs[b].makespan) {
+        return runs[a].makespan < runs[b].makespan;
+      }
+      return a < b;
+    });
+    chosen = ok[(ok.size() - 1) / 2];
+  }
+  const platform::ExecutionResult& result = runs[chosen];
 
   Evaluation eval;
   eval.sample.index = trace_.size();
   eval.sample.config = config;
   eval.sample.makespan = result.makespan;
   eval.sample.cost = result.total_cost;
-  eval.sample.wall_seconds = result.observed_wall_seconds();
-  eval.sample.wall_cost = result.observed_cost();
+  for (const auto& run : runs) {
+    eval.sample.wall_seconds += run.observed_wall_seconds();
+    eval.sample.wall_cost += run.observed_cost();
+  }
   eval.sample.failed = result.failed;
+  eval.sample.transient = result.transient_failure();
   eval.sample.feasible = !result.failed && result.makespan <= slo_;
+  eval.sample.probe_attempts = runs.size();
   eval.function_runtimes = result.runtimes();
   eval.function_costs.reserve(result.invocations.size());
   for (const auto& inv : result.invocations) eval.function_costs.push_back(inv.cost);
+
+  if (!result.failed && std::isfinite(result.makespan)) {
+    success_makespans_.push_back(result.makespan);
+  }
 
   trace_.add(eval.sample);
   return eval;

@@ -1,10 +1,18 @@
 // The evaluator: the single gateway through which every search algorithm
 // probes the platform.
 //
-// One evaluate() call = one workflow execution on the (simulated) platform =
-// one "sample" in the paper's terminology.  The evaluator owns the trace, so
-// sampling totals and convergence series are recorded uniformly no matter
-// which algorithm is searching.
+// One evaluate() call = one probe of a configuration = one "sample" in the
+// paper's terminology.  The evaluator owns the trace, so sampling totals and
+// convergence series are recorded uniformly no matter which algorithm is
+// searching.
+//
+// On a hostile platform (see platform/faults.h) a single execution is an
+// unreliable measurement: a transient crash or a straggler would make the
+// search abandon a perfectly good configuration.  The evaluator therefore
+// supports optional probe re-sampling: a failed (or outlier) execution is
+// re-run up to a bounded number of times and the probe is aggregated by the
+// median successful run.  Every execution is billed — wall time and cost
+// accumulate over re-samples — and the count is recorded in the trace.
 #pragma once
 
 #include <cstdint>
@@ -19,26 +27,41 @@ namespace aarc::search {
 /// which AARC's Algorithm 1/2 needs (path runtime sums).
 struct Evaluation {
   Sample sample;
-  std::vector<double> function_runtimes;  ///< by NodeId; inf where OOM
-  std::vector<double> function_costs;     ///< by NodeId; inf where OOM
+  std::vector<double> function_runtimes;  ///< by NodeId; inf where failed
+  std::vector<double> function_costs;     ///< by NodeId; inf where failed
+};
+
+/// Probe re-sampling knobs (disabled by default: one execution per probe).
+struct ResampleOptions {
+  /// Extra executions allowed per probe (0 disables re-sampling).
+  std::size_t max_resamples = 0;
+  /// When > 0, a successful execution whose makespan exceeds this factor
+  /// times the median successful makespan seen so far also triggers a
+  /// re-run (straggler smoothing).  0 disables the outlier check.
+  double outlier_factor = 0.0;
 };
 
 class Evaluator {
  public:
   /// The evaluator keeps references; workflow and executor must outlive it.
   Evaluator(const platform::Workflow& workflow, const platform::Executor& executor,
-            double slo_seconds, double input_scale, std::uint64_t seed);
+            double slo_seconds, double input_scale, std::uint64_t seed,
+            ResampleOptions resample = {});
 
-  /// Execute once under `config`, record and return the sample.
+  /// Probe `config`: execute once, re-sample on failure/outlier if enabled,
+  /// aggregate by the median successful run, record and return the sample.
   Evaluation evaluate(const platform::WorkflowConfig& config);
 
   const platform::Workflow& workflow() const { return *workflow_; }
   const platform::Executor& executor() const { return *executor_; }
   double slo_seconds() const { return slo_; }
   double input_scale() const { return input_scale_; }
+  const ResampleOptions& resample_options() const { return resample_; }
 
   const SearchTrace& trace() const { return trace_; }
   std::size_t samples_used() const { return trace_.size(); }
+  /// Platform executions consumed, re-samples included (>= samples_used()).
+  std::size_t executions_used() const { return trace_.total_probe_attempts(); }
 
  private:
   const platform::Workflow* workflow_;
@@ -46,6 +69,8 @@ class Evaluator {
   double slo_;
   double input_scale_;
   support::Rng rng_;
+  ResampleOptions resample_;
+  std::vector<double> success_makespans_;  ///< for the outlier median
   SearchTrace trace_;
 };
 

@@ -14,6 +14,7 @@ void SearchTrace::add(Sample sample) {
   expects(std::isfinite(sample.wall_seconds) && sample.wall_seconds >= 0.0 &&
               std::isfinite(sample.wall_cost) && sample.wall_cost >= 0.0,
           "sampling wall time/cost must be finite and non-negative");
+  expects(sample.probe_attempts >= 1, "a sample consumes at least one execution");
   samples_.push_back(std::move(sample));
 }
 
@@ -26,6 +27,28 @@ double SearchTrace::total_sampling_runtime() const {
 double SearchTrace::total_sampling_cost() const {
   double total = 0.0;
   for (const auto& s : samples_) total += s.wall_cost;
+  return total;
+}
+
+std::size_t SearchTrace::total_probe_attempts() const {
+  std::size_t total = 0;
+  for (const auto& s : samples_) total += s.probe_attempts;
+  return total;
+}
+
+std::size_t SearchTrace::resampled_probes() const {
+  std::size_t total = 0;
+  for (const auto& s : samples_) {
+    if (s.probe_attempts > 1) ++total;
+  }
+  return total;
+}
+
+std::size_t SearchTrace::transient_failures() const {
+  std::size_t total = 0;
+  for (const auto& s : samples_) {
+    if (s.failed && s.transient) ++total;
+  }
   return total;
 }
 

@@ -19,12 +19,18 @@ namespace aarc::search {
 struct Sample {
   std::size_t index = 0;                ///< 0-based sample number
   platform::WorkflowConfig config;      ///< configuration probed
-  double makespan = 0.0;                ///< observed end-to-end runtime (inf on OOM)
-  double cost = 0.0;                    ///< observed total cost (inf on OOM)
-  double wall_seconds = 0.0;            ///< wall time the probe consumed (finite)
-  double wall_cost = 0.0;               ///< billed cost the probe consumed (finite)
-  bool failed = false;                  ///< OOM during the probe
+  double makespan = 0.0;                ///< observed end-to-end runtime (inf on failure)
+  double cost = 0.0;                    ///< observed total cost (inf on failure)
+  double wall_seconds = 0.0;            ///< wall time the probe consumed (finite,
+                                        ///< summed over re-sampled executions)
+  double wall_cost = 0.0;               ///< billed cost the probe consumed (finite,
+                                        ///< summed over re-sampled executions)
+  bool failed = false;                  ///< probe failed (OOM or transient faults)
+  bool transient = false;               ///< the failure was transient (no OOM) —
+                                        ///< a retry of the probe may succeed
   bool feasible = false;                ///< !failed && makespan <= SLO
+  std::size_t probe_attempts = 1;       ///< platform executions this sample consumed
+                                        ///< (> 1 when the evaluator re-sampled)
 };
 
 class SearchTrace {
@@ -39,6 +45,13 @@ class SearchTrace {
   double total_sampling_runtime() const;
   /// Total cost billed while sampling (Fig. 5 "cost").
   double total_sampling_cost() const;
+
+  /// Platform executions consumed across all samples (re-samples included).
+  std::size_t total_probe_attempts() const;
+  /// Samples the evaluator had to re-run at least once (failure/outlier).
+  std::size_t resampled_probes() const;
+  /// Samples that ended in a transient (retryable) failure.
+  std::size_t transient_failures() const;
 
   /// Index of the cheapest feasible sample so far (the incumbent), or
   /// nullopt if no feasible sample exists.

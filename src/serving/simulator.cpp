@@ -13,15 +13,18 @@ using support::expects;
 
 double ServingReport::slo_violation_rate(double slo_seconds) const {
   expects(slo_seconds > 0.0, "SLO must be positive");
-  std::size_t successes = 0;
+  if (requests.empty()) return 0.0;
   std::size_t violations = 0;
   for (const auto& r : requests) {
-    if (r.failed) continue;
-    ++successes;
-    if (r.latency() > slo_seconds) ++violations;
+    // Failure-aware accounting: a failed request never met its deadline.
+    if (r.failed || r.latency() > slo_seconds) ++violations;
   }
-  return successes == 0 ? 0.0
-                        : static_cast<double>(violations) / static_cast<double>(successes);
+  return static_cast<double>(violations) / static_cast<double>(requests.size());
+}
+
+double ServingReport::request_failure_rate() const {
+  if (requests.empty()) return 0.0;
+  return static_cast<double>(failed_requests) / static_cast<double>(requests.size());
 }
 
 ServingSimulator::ServingSimulator(const platform::Workflow& workflow,
@@ -33,11 +36,12 @@ ServingSimulator::ServingSimulator(const platform::Workflow& workflow,
   expects(options_.cold_start_min_seconds >= 0.0 &&
               options_.cold_start_max_seconds >= options_.cold_start_min_seconds,
           "cold-start range must be ordered and non-negative");
+  options_.retry.validate();
 }
 
 namespace {
 
-enum class EventKind { Arrival, Completion };
+enum class EventKind { Arrival, Completion, Retry };
 
 struct Event {
   double time = 0.0;
@@ -45,6 +49,8 @@ struct Event {
   std::size_t request = 0;
   dag::NodeId node = dag::kInvalidNode;
   std::uint64_t sequence = 0;  ///< deterministic tie-break
+  bool failed_attempt = false; ///< completion of a crashed/timed-out attempt
+  bool timed_out = false;      ///< the failure was the invocation timeout
 
   friend bool operator>(const Event& a, const Event& b) {
     if (a.time != b.time) return a.time > b.time;
@@ -60,8 +66,10 @@ struct FunctionPool {
 
 struct RequestState {
   std::vector<std::size_t> remaining_preds;
+  std::vector<std::size_t> attempts;  ///< per node, attempts started
   std::size_t nodes_done = 0;
   bool failed = false;
+  bool transient_fail = false;  ///< failed on faults, not OOM
   double last_completion = 0.0;
 };
 
@@ -96,6 +104,7 @@ ServingReport ServingSimulator::serve(const std::vector<Request>& requests) cons
     report.requests[i].index = i;
     report.requests[i].arrival = requests[i].arrival_seconds;
     state[i].remaining_preds.resize(n);
+    state[i].attempts.assign(n, 0);
     for (dag::NodeId id = 0; id < n; ++id) {
       state[i].remaining_preds[id] = g.predecessors(id).size();
     }
@@ -113,7 +122,7 @@ ServingReport ServingSimulator::serve(const std::vector<Request>& requests) cons
     idle.erase(split, idle.end());
   };
 
-  // Start one invocation now (the caller has checked capacity).
+  // Start one invocation attempt now (the caller has checked capacity).
   auto start_invocation = [&](std::size_t r, dag::NodeId node, double now) {
     FunctionPool& pool = pools[node];
     purge_expired(pool, now);
@@ -136,20 +145,39 @@ ServingReport ServingSimulator::serve(const std::vector<Request>& requests) cons
     ++pool.busy;
 
     double billed = cold_delay;
+    bool attempt_failed = false;
+    bool attempt_timed_out = false;
     const auto& model = workflow_->model(node);
     const auto& rc = requests[r].config[node];
     if (!model.fits_memory(rc.memory_mb, requests[r].input_scale)) {
-      // OOM: the request fails; the container is charged for the cold start
-      // only and frees immediately.
+      // OOM: deterministic, never retried — the request fails; the container
+      // is charged for the cold start only and frees immediately.
       state[r].failed = true;
       report.requests[r].failed = true;
     } else {
-      billed += options_.noise.noisy_runtime(
+      double duration = options_.noise.noisy_runtime(
           model.mean_runtime(rc.vcpu, rc.memory_mb, requests[r].input_scale), rng);
+      const platform::FaultOutcome fault = options_.faults.sample(node, rng);
+      duration = duration * fault.runtime_multiplier + fault.extra_delay_seconds;
+      if (fault.crashed) {
+        duration *= fault.crash_fraction;
+        attempt_failed = true;
+      } else if (options_.retry.timeout_enabled() &&
+                 duration > options_.retry.timeout_seconds) {
+        duration = options_.retry.timeout_seconds;
+        attempt_failed = true;
+        attempt_timed_out = true;
+      }
+      billed += duration;
     }
+    // Every attempt is billed, failed or not: it occupied provisioned time.
     report.requests[r].cost += pricing_->invocation_cost(rc, billed);
     ++report.requests[r].invocations;
-    events.push({now + billed, EventKind::Completion, r, node, sequence++});
+    ++state[r].attempts[node];
+    Event done{now + billed, EventKind::Completion, r, node, sequence++};
+    done.failed_attempt = attempt_failed;
+    done.timed_out = attempt_timed_out;
+    events.push(done);
   };
 
   // Admit an invocation, or queue it when the function is at capacity.
@@ -163,6 +191,19 @@ ServingReport ServingSimulator::serve(const std::vector<Request>& requests) cons
     start_invocation(r, node, now);
   };
 
+  // Feed a queued invocation of this function, if any.
+  auto feed_waiting = [&](FunctionPool& pool, double now) {
+    while (!pool.waiting.empty()) {
+      const auto [wr, wn] = pool.waiting.front();
+      pool.waiting.pop_front();
+      if (state[wr].failed) continue;  // abandoned by a failed request
+      start_invocation(wr, wn, now);
+      break;
+    }
+  };
+
+  const std::size_t max_attempts = std::max<std::size_t>(1, options_.retry.max_attempts);
+
   while (!events.empty()) {
     const Event ev = events.top();
     events.pop();
@@ -172,19 +213,49 @@ ServingReport ServingSimulator::serve(const std::vector<Request>& requests) cons
       continue;
     }
 
-    // Completion of (request, node).
+    if (ev.kind == EventKind::Retry) {
+      // Backoff elapsed: re-admit unless the request failed meanwhile (e.g.
+      // a parallel branch OOMed).  Retries queue like any other invocation.
+      if (!state[ev.request].failed) admit(ev.request, ev.node, ev.time);
+      continue;
+    }
+
+    // Completion of one attempt of (request, node).
     FunctionPool& pool = pools[ev.node];
     --pool.busy;
-    pool.idle_release_times.push_back(ev.time);
 
-    // Feed a queued invocation of this function, if any.
-    while (!pool.waiting.empty()) {
-      const auto [wr, wn] = pool.waiting.front();
-      pool.waiting.pop_front();
-      if (state[wr].failed) continue;  // abandoned by a failed request
-      start_invocation(wr, wn, ev.time);
-      break;
+    if (ev.failed_attempt) {
+      // A crashed or timed-out attempt destroys its container (the sandbox
+      // was killed); the concurrency slot frees for queued work either way.
+      --alive_containers;
+      feed_waiting(pool, ev.time);
+      if (ev.timed_out) {
+        ++report.timeouts;
+        ++report.requests[ev.request].timeouts;
+      }
+      RequestState& rs = state[ev.request];
+      rs.last_completion = ev.time;
+      if (rs.failed) {
+        // The request already failed elsewhere; just drain.
+        report.requests[ev.request].completion = ev.time;
+      } else if (rs.attempts[ev.node] < max_attempts) {
+        ++report.retries;
+        ++report.requests[ev.request].retries;
+        const double backoff =
+            options_.retry.backoff_seconds(rs.attempts[ev.node], rng);
+        events.push({ev.time + backoff, EventKind::Retry, ev.request, ev.node,
+                     sequence++});
+      } else {
+        rs.failed = true;
+        rs.transient_fail = true;
+        report.requests[ev.request].failed = true;
+        report.requests[ev.request].completion = ev.time;
+      }
+      continue;
     }
+
+    pool.idle_release_times.push_back(ev.time);
+    feed_waiting(pool, ev.time);
 
     RequestState& rs = state[ev.request];
     rs.last_completion = ev.time;
@@ -201,10 +272,12 @@ ServingReport ServingSimulator::serve(const std::vector<Request>& requests) cons
   }
 
   support::Accumulator latency;
-  for (const auto& r : report.requests) {
+  for (std::size_t i = 0; i < report.requests.size(); ++i) {
+    const auto& r = report.requests[i];
     report.total_cost += r.cost;
     if (r.failed) {
       ++report.failed_requests;
+      if (state[i].transient_fail) ++report.failed_after_retries;
     } else {
       latency.add(r.latency());
     }

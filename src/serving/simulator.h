@@ -14,7 +14,11 @@
 //   * per-function concurrency can be capped; excess invocations queue FIFO;
 //   * billing follows the platform pricing model over the billed duration
 //     (cold-start initialization included, as providers bill provisioned
-//     time).
+//     time);
+//   * an optional fault model injects transient crashes, stragglers,
+//     cold-start spikes and throttling; a retry policy re-runs failed
+//     attempts with backoff.  Retried attempts occupy containers and queue
+//     slots like any other invocation and are billed in full.
 //
 // The simulation is a classic event-heap DES, deterministic under a seed.
 #pragma once
@@ -23,6 +27,7 @@
 #include <vector>
 
 #include "perf/noise.h"
+#include "platform/faults.h"
 #include "platform/pricing.h"
 #include "platform/resource.h"
 #include "platform/workflow.h"
@@ -37,6 +42,8 @@ struct ServingOptions {
   double cold_start_max_seconds = 2.0;
   std::size_t max_containers_per_function = 0;  ///< 0 = unlimited
   perf::NoiseModel noise{0.03};
+  platform::FaultModel faults{};  ///< disabled by default
+  platform::RetryPolicy retry{};  ///< no retries, no timeout by default
   std::uint64_t seed = 2026;
 };
 
@@ -52,10 +59,12 @@ struct RequestOutcome {
   std::size_t index = 0;
   double arrival = 0.0;
   double completion = 0.0;       ///< absolute time the last function finished
-  double cost = 0.0;             ///< billed cost of all invocations
+  double cost = 0.0;             ///< billed cost of all invocations/attempts
   std::size_t cold_starts = 0;   ///< invocations that provisioned a container
-  std::size_t invocations = 0;
-  bool failed = false;           ///< an invocation OOMed
+  std::size_t invocations = 0;   ///< attempts started (retries included)
+  std::size_t retries = 0;       ///< failed attempts that were retried
+  std::size_t timeouts = 0;      ///< attempts cut off by the invocation timeout
+  bool failed = false;           ///< OOM, or transient faults exhausted retries
 
   double latency() const { return completion - arrival; }
 };
@@ -66,11 +75,24 @@ struct ServingReport {
   std::size_t cold_starts = 0;
   std::size_t warm_starts = 0;
   std::size_t failed_requests = 0;
+  std::size_t retries = 0;             ///< failed attempts that were retried
+  std::size_t timeouts = 0;            ///< attempts cut off by the timeout
+  std::size_t failed_after_retries = 0; ///< requests lost to transient faults
+                                        ///< despite exhausting the retry budget
   std::size_t peak_containers = 0;  ///< max simultaneously-alive containers
-  support::Summary latency;         ///< over successful requests
+  support::Summary latency;  ///< over successful requests only — failed
+                             ///< requests have no end-to-end latency and are
+                             ///< EXCLUDED here; check request_failure_rate()
+                             ///< before reading this as "user experience"
 
-  /// Fraction of successful requests whose latency exceeded `slo_seconds`.
+  /// Fraction of ALL requests that violated the SLO.  Failure-aware: a
+  /// failed request never met its deadline, so it counts as a violation
+  /// (SLAM-style SLO accounting).  A report where every request failed has
+  /// violation rate 1, not 0.
   double slo_violation_rate(double slo_seconds) const;
+
+  /// Fraction of requests that failed outright (OOM or retries exhausted).
+  double request_failure_rate() const;
 };
 
 class ServingSimulator {

@@ -45,6 +45,48 @@ TEST(Monitor, HealthyUntilMinObservations) {
   EXPECT_NE(m.verdict(), DriftVerdict::Healthy);
 }
 
+TEST(Monitor, SustainedFailuresFlagSloRisk) {
+  DriftMonitor m(50.0, 100.0, quick());
+  // Only failures arrive: no runtime observations at all, yet the verdict
+  // must escalate — a failed request is an SLO violation.
+  for (int i = 0; i < 10; ++i) m.observe_failure();
+  EXPECT_EQ(m.verdict(), DriftVerdict::SloRisk);
+  EXPECT_TRUE(m.should_reconfigure());
+  EXPECT_GT(m.failure_ewma(), 0.5);
+}
+
+TEST(Monitor, RareFailuresAmongSuccessesStayHealthy) {
+  DriftMonitor m(50.0, 100.0, quick());
+  for (int i = 0; i < 50; ++i) {
+    if (i % 25 == 0) {
+      m.observe_failure();
+    } else {
+      m.observe(50.0);
+    }
+  }
+  // 2% failures, well under the 10% threshold: successes decay the level.
+  EXPECT_EQ(m.verdict(), DriftVerdict::Healthy);
+  EXPECT_LT(m.failure_ewma(), 0.1);
+}
+
+TEST(Monitor, ResetClearsFailureLevel) {
+  DriftMonitor m(50.0, 100.0, quick());
+  for (int i = 0; i < 10; ++i) m.observe_failure();
+  EXPECT_EQ(m.verdict(), DriftVerdict::SloRisk);
+  m.reset(50.0);
+  EXPECT_DOUBLE_EQ(m.failure_ewma(), 0.0);
+  EXPECT_EQ(m.verdict(), DriftVerdict::Healthy);
+}
+
+TEST(Monitor, RejectsBadFailureOptions) {
+  MonitorOptions bad;
+  bad.failure_ewma_alpha = 0.0;
+  EXPECT_THROW(DriftMonitor(10.0, 100.0, bad), support::ContractViolation);
+  bad = MonitorOptions{};
+  bad.failure_rate_threshold = 0.0;
+  EXPECT_THROW(DriftMonitor(10.0, 100.0, bad), support::ContractViolation);
+}
+
 TEST(Monitor, StableRuntimesStayHealthy) {
   DriftMonitor m(50.0, 100.0, quick());
   for (int i = 0; i < 20; ++i) m.observe(50.0 + (i % 2 == 0 ? 1.0 : -1.0));

@@ -1,0 +1,313 @@
+#include "platform/faults.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "perf/analytic.h"
+#include "platform/executor.h"
+#include "support/contracts.h"
+
+namespace aarc::platform {
+namespace {
+
+std::unique_ptr<perf::PerfModel> model(double serial, double min_mem = 128.0) {
+  perf::AnalyticParams p;
+  p.serial_seconds = serial;
+  p.working_set_mb = std::max(min_mem, 256.0);
+  p.min_memory_mb = min_mem;
+  p.pressure_coeff = 0.0;
+  return std::make_unique<perf::AnalyticModel>(p);
+}
+
+Workflow chain() {
+  Workflow wf("chain");
+  wf.add_function("a", model(4.0));
+  wf.add_function("b", model(6.0));
+  wf.add_edge("a", "b");
+  return wf;
+}
+
+WorkflowConfig ones(std::size_t n) { return uniform_config(n, {1.0, 1024.0}); }
+
+Executor executor_with(ExecutorOptions opts) {
+  return Executor(std::make_unique<DecoupledLinearPricing>(), opts);
+}
+
+ExecutorOptions noiseless() {
+  ExecutorOptions opts;
+  opts.noise = perf::NoiseModel(0.0);
+  return opts;
+}
+
+TEST(FaultRates, ValidateRejectsBadFields) {
+  FaultRates r;
+  r.transient_crash = 1.5;
+  EXPECT_THROW(r.validate(), support::ContractViolation);
+  r = FaultRates{};
+  r.straggler_multiplier = 0.5;
+  EXPECT_THROW(r.validate(), support::ContractViolation);
+  r = FaultRates{};
+  r.cold_spike_max_seconds = -1.0;
+  EXPECT_THROW(r.validate(), support::ContractViolation);
+  EXPECT_NO_THROW(FaultRates{}.validate());
+}
+
+TEST(FaultModel, DisabledModelConsumesNoRandomness) {
+  const FaultModel faults;
+  support::Rng a(42);
+  support::Rng b(42);
+  const FaultOutcome out = faults.sample(0, a);
+  EXPECT_FALSE(out.crashed);
+  EXPECT_DOUBLE_EQ(out.runtime_multiplier, 1.0);
+  EXPECT_DOUBLE_EQ(out.extra_delay_seconds, 0.0);
+  // a drew nothing: its next draw matches a fresh generator's first draw.
+  EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+}
+
+TEST(FaultModel, PerFunctionOverridesApply) {
+  FaultRates defaults;
+  defaults.transient_crash = 0.0;
+  FaultModel faults(defaults);
+  EXPECT_FALSE(faults.enabled());
+
+  FaultRates flaky;
+  flaky.transient_crash = 1.0;
+  faults.set_function_rates(1, flaky);
+  EXPECT_TRUE(faults.enabled());
+  EXPECT_DOUBLE_EQ(faults.rates(1).transient_crash, 1.0);
+  EXPECT_DOUBLE_EQ(faults.rates(0).transient_crash, 0.0);
+
+  support::Rng rng(7);
+  EXPECT_FALSE(faults.sample(0, rng).crashed);
+  EXPECT_TRUE(faults.sample(1, rng).crashed);
+}
+
+TEST(FaultModel, DeterministicStragglerAndDelays) {
+  FaultRates r;
+  r.straggler = 1.0;
+  r.straggler_multiplier = 3.0;
+  r.cold_spike = 1.0;
+  r.cold_spike_min_seconds = 5.0;
+  r.cold_spike_max_seconds = 5.0;
+  r.throttle = 1.0;
+  r.throttle_min_seconds = 2.0;
+  r.throttle_max_seconds = 2.0;
+  const FaultModel faults{r};
+  support::Rng rng(1);
+  const FaultOutcome out = faults.sample(0, rng);
+  EXPECT_FALSE(out.crashed);
+  EXPECT_DOUBLE_EQ(out.runtime_multiplier, 3.0);
+  EXPECT_DOUBLE_EQ(out.extra_delay_seconds, 7.0);
+}
+
+TEST(RetryPolicy, BackoffGrowsExponentiallyWithBoundedJitter) {
+  RetryPolicy retry;
+  retry.max_attempts = 4;
+  retry.backoff_initial_seconds = 1.0;
+  retry.backoff_multiplier = 2.0;
+  retry.backoff_jitter_fraction = 0.2;
+  support::Rng rng(11);
+  for (std::size_t k = 1; k <= 3; ++k) {
+    const double base = std::pow(2.0, static_cast<double>(k - 1));
+    const double d = retry.backoff_seconds(k, rng);
+    EXPECT_GE(d, base * 0.8);
+    EXPECT_LE(d, base * 1.2);
+  }
+}
+
+TEST(RetryPolicy, ValidateRejectsBadFields) {
+  RetryPolicy retry;
+  retry.max_attempts = 0;
+  EXPECT_THROW(retry.validate(), support::ContractViolation);
+  retry = RetryPolicy{};
+  retry.backoff_multiplier = 0.5;
+  EXPECT_THROW(retry.validate(), support::ContractViolation);
+  retry = RetryPolicy{};
+  retry.backoff_jitter_fraction = 1.0;
+  EXPECT_THROW(retry.validate(), support::ContractViolation);
+  retry = RetryPolicy{};
+  retry.timeout_seconds = -1.0;
+  EXPECT_THROW(retry.validate(), support::ContractViolation);
+}
+
+TEST(ExecutorFaults, CleanOptionsMatchLegacyBehaviorExactly) {
+  // Disabled faults/retries must not perturb the RNG stream: results are
+  // bit-identical to an executor that predates the fault layer.
+  const Workflow wf = chain();
+  const Executor legacy;  // default options
+  ExecutorOptions with_layer;
+  with_layer.faults = FaultModel{};
+  with_layer.retry = RetryPolicy{};
+  const Executor layered = executor_with(with_layer);
+  support::Rng a(123);
+  support::Rng b(123);
+  const auto ra = legacy.execute(wf, ones(2), 1.0, a);
+  const auto rb = layered.execute(wf, ones(2), 1.0, b);
+  EXPECT_DOUBLE_EQ(ra.makespan, rb.makespan);
+  EXPECT_DOUBLE_EQ(ra.total_cost, rb.total_cost);
+}
+
+TEST(ExecutorFaults, TimeoutMarksRecordAndBillsTimeoutDuration) {
+  const Workflow wf = chain();
+  ExecutorOptions opts = noiseless();
+  opts.retry.timeout_seconds = 2.0;  // below both mean runtimes (4 s, 6 s)
+  opts.retry.max_attempts = 3;
+  opts.retry.backoff_initial_seconds = 0.0;
+  opts.retry.backoff_jitter_fraction = 0.0;
+  const Executor ex = executor_with(opts);
+  support::Rng rng(5);
+  const auto res = ex.execute(wf, ones(2), 1.0, rng);
+  EXPECT_TRUE(res.failed);
+  EXPECT_TRUE(res.transient_failure());
+  EXPECT_FALSE(res.oom_failure());
+  EXPECT_TRUE(std::isinf(res.makespan));
+  const auto& inv = res.invocations[0];
+  EXPECT_TRUE(inv.timed_out);
+  EXPECT_TRUE(inv.failed);
+  EXPECT_EQ(inv.attempts, 3u);
+  EXPECT_EQ(inv.transient_failures, 3u);
+  // Every attempt is billed for exactly the timeout duration.
+  EXPECT_DOUBLE_EQ(inv.billed_seconds, 3 * 2.0);
+  EXPECT_GT(res.observed_cost(), 0.0);
+  EXPECT_TRUE(std::isfinite(res.observed_cost()));
+  EXPECT_EQ(res.timed_out_invocations(), 2u);
+}
+
+TEST(ExecutorFaults, TimeoutAppliesToMeanExecutionDeterministically) {
+  const Workflow wf = chain();
+  ExecutorOptions opts = noiseless();
+  opts.retry.timeout_seconds = 5.0;  // "a" (4 s) fits, "b" (6 s) does not
+  const Executor ex = executor_with(opts);
+  const auto res = ex.execute_mean(wf, ones(2));
+  EXPECT_FALSE(res.invocations[0].timed_out);
+  EXPECT_TRUE(res.invocations[1].timed_out);
+  EXPECT_TRUE(res.failed);
+}
+
+TEST(ExecutorFaults, StragglerSlowdownFeedsTimeout) {
+  const Workflow wf = chain();
+  ExecutorOptions opts = noiseless();
+  FaultRates r;
+  r.straggler = 1.0;
+  r.straggler_multiplier = 10.0;
+  opts.faults = FaultModel{r};
+  opts.retry.timeout_seconds = 20.0;  // 4 s fits only un-straggled
+  const Executor ex = executor_with(opts);
+  support::Rng rng(5);
+  const auto res = ex.execute(wf, ones(2), 1.0, rng);
+  // Both functions straggle to 10x and hit the timeout (40 s, 60 s > 20 s).
+  EXPECT_TRUE(res.failed);
+  EXPECT_EQ(res.timed_out_invocations(), 2u);
+}
+
+TEST(ExecutorFaults, RetriesAreDeterministicUnderSeed) {
+  const Workflow wf = chain();
+  ExecutorOptions opts;  // default 3% noise
+  FaultRates r;
+  r.transient_crash = 0.5;
+  opts.faults = FaultModel{r};
+  opts.retry.max_attempts = 4;
+  const Executor ex = executor_with(opts);
+  support::Rng a(99);
+  support::Rng b(99);
+  const auto ra = ex.execute(wf, ones(2), 1.0, a);
+  const auto rb = ex.execute(wf, ones(2), 1.0, b);
+  ASSERT_EQ(ra.invocations.size(), rb.invocations.size());
+  for (std::size_t i = 0; i < ra.invocations.size(); ++i) {
+    const auto& ia = ra.invocations[i];
+    const auto& ib = rb.invocations[i];
+    EXPECT_EQ(ia.attempts, ib.attempts);
+    EXPECT_EQ(ia.transient_failures, ib.transient_failures);
+    EXPECT_EQ(ia.timed_out, ib.timed_out);
+    EXPECT_EQ(ia.failed, ib.failed);
+    EXPECT_DOUBLE_EQ(ia.runtime, ib.runtime);
+    EXPECT_DOUBLE_EQ(ia.billed_seconds, ib.billed_seconds);
+    EXPECT_DOUBLE_EQ(ia.billed_cost, ib.billed_cost);
+  }
+  EXPECT_DOUBLE_EQ(ra.makespan, rb.makespan);
+  EXPECT_DOUBLE_EQ(ra.total_cost, rb.total_cost);
+}
+
+TEST(ExecutorFaults, RetriesRecoverFromTransientCrashes) {
+  const Workflow wf = chain();
+  ExecutorOptions opts;
+  FaultRates r;
+  r.transient_crash = 0.4;
+  opts.faults = FaultModel{r};
+  opts.retry.max_attempts = 8;  // enough budget to virtually always recover
+  const Executor ex = executor_with(opts);
+  std::size_t crashes_seen = 0;
+  std::size_t failures = 0;
+  support::Rng rng(2024);
+  for (int i = 0; i < 50; ++i) {
+    const auto res = ex.execute(wf, ones(2), 1.0, rng);
+    crashes_seen += res.transient_failures();
+    if (res.failed) ++failures;
+  }
+  EXPECT_GT(crashes_seen, 0u);  // faults actually fired...
+  EXPECT_EQ(failures, 0u);      // ...and retries absorbed every one of them
+}
+
+TEST(ExecutorFaults, FailedAttemptsAreBilledAndDelaySuccessors) {
+  const Workflow wf = chain();
+  ExecutorOptions opts;
+  FaultRates r;
+  r.transient_crash = 0.6;
+  opts.faults = FaultModel{r};
+  opts.retry.max_attempts = 10;
+  opts.retry.backoff_initial_seconds = 1.0;
+  const Executor ex = executor_with(opts);
+  // Find a seeded run that retried at least once, then check billing.
+  support::Rng rng(31);
+  for (int i = 0; i < 20; ++i) {
+    const auto res = ex.execute(wf, ones(2), 1.0, rng);
+    if (res.failed || res.total_attempts() == 2) continue;
+    for (const auto& inv : res.invocations) {
+      if (inv.attempts == 1) continue;
+      // Multiple attempts: billed cost covers them all, and the elapsed
+      // runtime includes the failed attempts plus backoff waits.
+      EXPECT_GT(inv.billed_seconds, 0.0);
+      EXPECT_DOUBLE_EQ(inv.cost, inv.billed_cost);
+      EXPECT_GT(inv.runtime, inv.billed_seconds);  // backoff adds wall time
+      EXPECT_DOUBLE_EQ(inv.finish, inv.start + inv.runtime);
+    }
+    return;  // one retried run is enough
+  }
+  FAIL() << "no seeded run with retries found";
+}
+
+TEST(ExecutorFaults, OomIsNeverRetried) {
+  const Workflow wf = chain();
+  ExecutorOptions opts = noiseless();
+  opts.retry.max_attempts = 5;
+  const Executor ex = executor_with(opts);
+  WorkflowConfig cfg = ones(2);
+  cfg[0].memory_mb = 100.0;  // below the 128 MB floor
+  support::Rng rng(3);
+  const auto res = ex.execute(wf, cfg, 1.0, rng);
+  EXPECT_TRUE(res.failed);
+  EXPECT_TRUE(res.oom_failure());
+  EXPECT_FALSE(res.transient_failure());
+  EXPECT_EQ(res.invocations[0].attempts, 1u);
+  EXPECT_EQ(res.invocations[0].transient_failures, 0u);
+  EXPECT_TRUE(std::isinf(res.makespan));
+  EXPECT_TRUE(std::isinf(res.total_cost));
+}
+
+TEST(ExecutorFaults, MeanExecutionIgnoresFaults) {
+  const Workflow wf = chain();
+  ExecutorOptions opts = noiseless();
+  FaultRates r;
+  r.transient_crash = 1.0;
+  opts.faults = FaultModel{r};
+  opts.retry.max_attempts = 2;
+  const Executor ex = executor_with(opts);
+  const auto res = ex.execute_mean(wf, ones(2));
+  EXPECT_FALSE(res.failed);
+  EXPECT_DOUBLE_EQ(res.makespan, 10.0);
+}
+
+}  // namespace
+}  // namespace aarc::platform

@@ -102,6 +102,84 @@ TEST(Evaluator, RejectsBadConstruction) {
   EXPECT_THROW(Evaluator(wf, ex, 10.0, 0.0, 1), support::ContractViolation);
 }
 
+platform::Executor flaky_executor(double crash_rate) {
+  platform::ExecutorOptions opts;
+  platform::FaultRates rates;
+  rates.transient_crash = crash_rate;
+  opts.faults = platform::FaultModel{rates};
+  return platform::Executor(std::make_unique<platform::DecoupledLinearPricing>(), opts);
+}
+
+TEST(Evaluator, ResamplingRecoversTransientProbeFailures) {
+  const platform::Workflow wf = chain();
+  const platform::Executor ex = flaky_executor(0.3);
+  ResampleOptions resample;
+  resample.max_resamples = 12;
+  Evaluator hardened(wf, ex, 100.0, 1.0, 42, resample);
+  Evaluator naive(wf, ex, 100.0, 1.0, 42);
+  const auto cfg = platform::uniform_config(2, {1.0, 512.0});
+  std::size_t naive_failures = 0;
+  std::size_t hardened_failures = 0;
+  for (int i = 0; i < 30; ++i) {
+    if (naive.evaluate(cfg).sample.failed) ++naive_failures;
+    if (hardened.evaluate(cfg).sample.failed) ++hardened_failures;
+  }
+  EXPECT_GT(naive_failures, 0u);  // the fault rate actually bites
+  EXPECT_EQ(hardened_failures, 0u);
+  // Re-sampling consumed extra executions and the trace recorded them.
+  EXPECT_GT(hardened.executions_used(), hardened.samples_used());
+  EXPECT_GT(hardened.trace().resampled_probes(), 0u);
+}
+
+TEST(Evaluator, ResampledProbeAccumulatesWallCharges) {
+  const platform::Workflow wf = chain();
+  const platform::Executor ex = flaky_executor(1.0);  // every run crashes
+  ResampleOptions resample;
+  resample.max_resamples = 3;
+  Evaluator ev(wf, ex, 100.0, 1.0, 7, resample);
+  const auto cfg = platform::uniform_config(2, {1.0, 512.0});
+  const auto eval = ev.evaluate(cfg);
+  EXPECT_TRUE(eval.sample.failed);
+  EXPECT_TRUE(eval.sample.transient);
+  EXPECT_EQ(eval.sample.probe_attempts, 4u);  // 1 initial + 3 re-samples
+  // Wall charges cover every execution, so the probe is ~4x a single run.
+  Evaluator single(wf, ex, 100.0, 1.0, 7);
+  const auto one = single.evaluate(cfg);
+  EXPECT_GT(eval.sample.wall_cost, 2.0 * one.sample.wall_cost);
+}
+
+TEST(Evaluator, OomProbeIsNeverResampled) {
+  const platform::Workflow wf = chain();
+  const platform::Executor ex;
+  ResampleOptions resample;
+  resample.max_resamples = 5;
+  Evaluator ev(wf, ex, 100.0, 1.0, 42, resample);
+  auto cfg = platform::uniform_config(2, {1.0, 512.0});
+  cfg[1].memory_mb = 100.0;  // deterministic OOM: re-running cannot help
+  const auto eval = ev.evaluate(cfg);
+  EXPECT_TRUE(eval.sample.failed);
+  EXPECT_FALSE(eval.sample.transient);
+  EXPECT_EQ(eval.sample.probe_attempts, 1u);
+}
+
+TEST(Evaluator, ResamplingIsDeterministicForSeed) {
+  const platform::Workflow wf = chain();
+  const platform::Executor ex = flaky_executor(0.4);
+  ResampleOptions resample;
+  resample.max_resamples = 4;
+  resample.outlier_factor = 1.5;
+  Evaluator a(wf, ex, 100.0, 1.0, 11, resample);
+  Evaluator b(wf, ex, 100.0, 1.0, 11, resample);
+  const auto cfg = platform::uniform_config(2, {1.0, 512.0});
+  for (int i = 0; i < 10; ++i) {
+    const auto ea = a.evaluate(cfg);
+    const auto eb = b.evaluate(cfg);
+    EXPECT_DOUBLE_EQ(ea.sample.makespan, eb.sample.makespan);
+    EXPECT_DOUBLE_EQ(ea.sample.wall_cost, eb.sample.wall_cost);
+    EXPECT_EQ(ea.sample.probe_attempts, eb.sample.probe_attempts);
+  }
+}
+
 TEST(Evaluator, InputScalePropagates) {
   const platform::Workflow wf = chain();
   const platform::Executor ex;

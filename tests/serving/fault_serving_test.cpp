@@ -1,0 +1,189 @@
+// Fault-injection behavior of the serving simulator: retries, timeouts,
+// failure accounting, and byte-identical determinism under a fixed seed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "perf/analytic.h"
+#include "platform/executor.h"
+#include "serving/simulator.h"
+
+namespace aarc::serving {
+namespace {
+
+std::unique_ptr<perf::PerfModel> fn(double serial) {
+  perf::AnalyticParams p;
+  p.serial_seconds = serial;
+  p.working_set_mb = 256.0;
+  p.min_memory_mb = 128.0;
+  p.pressure_coeff = 0.0;
+  return std::make_unique<perf::AnalyticModel>(p);
+}
+
+platform::Workflow chain() {
+  platform::Workflow wf("chain");
+  wf.add_function("a", fn(4.0));
+  wf.add_function("b", fn(6.0));
+  wf.add_edge("a", "b");
+  return wf;
+}
+
+ServingOptions clean_options() {
+  ServingOptions opts;
+  opts.noise = perf::NoiseModel(0.0);
+  opts.cold_start_min_seconds = 1.0;
+  opts.cold_start_max_seconds = 1.0;
+  return opts;
+}
+
+Request request_at(double t) {
+  Request r;
+  r.arrival_seconds = t;
+  r.input_scale = 1.0;
+  r.config = platform::uniform_config(2, {1.0, 512.0});
+  return r;
+}
+
+const platform::DecoupledLinearPricing kPricing;
+
+platform::FaultRates crash_rate(double p) {
+  platform::FaultRates r;
+  r.transient_crash = p;
+  return r;
+}
+
+TEST(ServingFaults, CertainCrashWithoutRetriesFailsEveryRequest) {
+  const platform::Workflow wf = chain();
+  ServingOptions opts = clean_options();
+  opts.faults = platform::FaultModel{crash_rate(1.0)};
+  const ServingSimulator sim(wf, kPricing, opts);
+  const auto report = sim.serve({request_at(0.0), request_at(30.0)});
+  EXPECT_EQ(report.failed_requests, 2u);
+  EXPECT_EQ(report.failed_after_retries, 2u);
+  EXPECT_EQ(report.retries, 0u);
+  EXPECT_DOUBLE_EQ(report.request_failure_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(report.slo_violation_rate(60.0), 1.0);
+  // Crashed attempts are still billed for the time they burned.
+  EXPECT_GT(report.total_cost, 0.0);
+}
+
+TEST(ServingFaults, RetriesRecoverCrashedRequests) {
+  const platform::Workflow wf = chain();
+  ServingOptions opts = clean_options();
+  opts.faults = platform::FaultModel{crash_rate(0.3)};
+  opts.retry.max_attempts = 6;
+  opts.seed = 17;
+  const ServingSimulator sim(wf, kPricing, opts);
+  std::vector<Request> stream;
+  for (int i = 0; i < 40; ++i) stream.push_back(request_at(40.0 * i));
+  const auto report = sim.serve(stream);
+  EXPECT_GT(report.retries, 0u);  // faults fired and were retried
+  EXPECT_EQ(report.failed_requests, 0u);
+  EXPECT_EQ(report.failed_after_retries, 0u);
+  // Every retry is an extra attempt on some request.
+  std::size_t attempts = 0;
+  for (const auto& r : report.requests) attempts += r.invocations;
+  EXPECT_EQ(attempts, 2 * stream.size() + report.retries);
+}
+
+TEST(ServingFaults, RetriesReduceFailureRateVersusNoRetries) {
+  const platform::Workflow wf = chain();
+  std::vector<Request> stream;
+  for (int i = 0; i < 60; ++i) stream.push_back(request_at(40.0 * i));
+
+  ServingOptions no_retry = clean_options();
+  no_retry.faults = platform::FaultModel{crash_rate(0.2)};
+  no_retry.seed = 5;
+  ServingOptions with_retry = no_retry;
+  with_retry.retry.max_attempts = 4;
+
+  const auto base = ServingSimulator(wf, kPricing, no_retry).serve(stream);
+  const auto hardened = ServingSimulator(wf, kPricing, with_retry).serve(stream);
+  EXPECT_GT(base.failed_requests, 0u);
+  EXPECT_LT(hardened.failed_requests, base.failed_requests);
+  EXPECT_LT(hardened.slo_violation_rate(60.0), base.slo_violation_rate(60.0));
+}
+
+TEST(ServingFaults, TimeoutCutsRunawayAttempts) {
+  const platform::Workflow wf = chain();
+  ServingOptions opts = clean_options();
+  platform::FaultRates r;
+  r.straggler = 1.0;
+  r.straggler_multiplier = 10.0;  // every attempt runs 10x: 40 s and 60 s
+  opts.faults = platform::FaultModel{r};
+  opts.retry.timeout_seconds = 8.0;
+  opts.retry.max_attempts = 2;
+  opts.retry.backoff_initial_seconds = 0.0;
+  opts.retry.backoff_jitter_fraction = 0.0;
+  const ServingSimulator sim(wf, kPricing, opts);
+  const auto report = sim.serve({request_at(0.0)});
+  EXPECT_EQ(report.failed_requests, 1u);
+  EXPECT_EQ(report.timeouts, 2u);  // both attempts of "a" timed out
+  EXPECT_EQ(report.requests[0].timeouts, 2u);
+  // Billed exactly the timeout (plus the 1 s cold start) per attempt.
+  const double expected = 2 * kPricing.invocation_cost({1.0, 512.0}, 8.0 + 1.0);
+  EXPECT_NEAR(report.requests[0].cost, expected, 1e-9);
+}
+
+TEST(ServingFaults, DeterministicByteIdenticalReportsUnderSeed) {
+  const platform::Workflow wf = chain();
+  ServingOptions opts;  // default 3% noise, random cold starts
+  platform::FaultRates r = crash_rate(0.15);
+  r.straggler = 0.1;
+  r.cold_spike = 0.1;
+  r.throttle = 0.1;
+  opts.faults = platform::FaultModel{r};
+  opts.retry.max_attempts = 3;
+  opts.retry.timeout_seconds = 90.0;
+  opts.seed = 31;
+  const ServingSimulator sim(wf, kPricing, opts);
+  const auto stream = poisson_stream(
+      50, 0.05, 0.5, 1.5, platform::uniform_config(2, {1.0, 512.0}), 7);
+  const auto a = sim.serve(stream);
+  const auto b = sim.serve(stream);
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    const auto& ra = a.requests[i];
+    const auto& rb = b.requests[i];
+    EXPECT_DOUBLE_EQ(ra.completion, rb.completion);
+    EXPECT_DOUBLE_EQ(ra.cost, rb.cost);
+    EXPECT_EQ(ra.cold_starts, rb.cold_starts);
+    EXPECT_EQ(ra.invocations, rb.invocations);
+    EXPECT_EQ(ra.retries, rb.retries);
+    EXPECT_EQ(ra.timeouts, rb.timeouts);
+    EXPECT_EQ(ra.failed, rb.failed);
+  }
+  EXPECT_DOUBLE_EQ(a.total_cost, b.total_cost);
+  EXPECT_EQ(a.cold_starts, b.cold_starts);
+  EXPECT_EQ(a.warm_starts, b.warm_starts);
+  EXPECT_EQ(a.failed_requests, b.failed_requests);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.timeouts, b.timeouts);
+  EXPECT_EQ(a.failed_after_retries, b.failed_after_retries);
+  EXPECT_EQ(a.peak_containers, b.peak_containers);
+  EXPECT_DOUBLE_EQ(a.latency.mean, b.latency.mean);
+}
+
+TEST(ServingFaults, FaultsOffMatchesLegacyStreamExactly) {
+  // A fault model with all-zero rates must not consume randomness: reports
+  // are bit-identical with and without the (disabled) fault layer.
+  const platform::Workflow wf = chain();
+  ServingOptions plain;
+  plain.seed = 77;
+  ServingOptions layered = plain;
+  layered.faults = platform::FaultModel{platform::FaultRates{}};
+  layered.retry = platform::RetryPolicy{};
+  const auto stream = poisson_stream(
+      25, 0.1, 0.8, 1.2, platform::uniform_config(2, {1.0, 512.0}), 3);
+  const auto a = ServingSimulator(wf, kPricing, plain).serve(stream);
+  const auto b = ServingSimulator(wf, kPricing, layered).serve(stream);
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.requests[i].completion, b.requests[i].completion);
+    EXPECT_DOUBLE_EQ(a.requests[i].cost, b.requests[i].cost);
+  }
+  EXPECT_DOUBLE_EQ(a.total_cost, b.total_cost);
+}
+
+}  // namespace
+}  // namespace aarc::serving

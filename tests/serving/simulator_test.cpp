@@ -182,7 +182,7 @@ TEST(Serving, RejectsUnsortedOrMalformedRequests) {
   EXPECT_THROW(sim.serve({zero_scale}), support::ContractViolation);
 }
 
-TEST(Serving, SloViolationRate) {
+TEST(Serving, SloViolationRateCountsFailuresAsViolations) {
   ServingReport report;
   RequestOutcome ok;
   ok.arrival = 0.0;
@@ -193,8 +193,24 @@ TEST(Serving, SloViolationRate) {
   RequestOutcome failed;
   failed.failed = true;
   report.requests = {ok, slow, failed};
-  EXPECT_DOUBLE_EQ(report.slo_violation_rate(10.0), 0.5);
+  report.failed_requests = 1;
+  // Failure-aware accounting over ALL requests: slow and failed violate.
+  EXPECT_DOUBLE_EQ(report.slo_violation_rate(10.0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(report.request_failure_rate(), 1.0 / 3.0);
   EXPECT_THROW(report.slo_violation_rate(0.0), support::ContractViolation);
+}
+
+TEST(Serving, AllFailedReportsFullViolationNotZero) {
+  ServingReport report;
+  RequestOutcome failed;
+  failed.failed = true;
+  report.requests = {failed, failed};
+  report.failed_requests = 2;
+  // The old semantics reported 0 here ("no successful request violated") —
+  // dashboards must not mistake "all failures" for "no violations".
+  EXPECT_DOUBLE_EQ(report.slo_violation_rate(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(report.request_failure_rate(), 1.0);
+  EXPECT_EQ(report.latency.count, 0u);
 }
 
 TEST(PoissonStream, PropertiesHold) {

@@ -77,6 +77,29 @@ double option_number(const Args& args, const std::string& key, double fallback) 
   return it == args.options.end() ? fallback : std::stod(it->second);
 }
 
+/// Fault-injection flags shared by schedule/simulate/serve: --fault-rate,
+/// --straggler-rate, --retry-attempts, --retry-backoff, --invocation-timeout.
+platform::ExecutorOptions fault_executor_options(const Args& args) {
+  platform::ExecutorOptions opts;
+  platform::FaultRates rates;
+  rates.transient_crash = option_number(args, "fault-rate", 0.0);
+  rates.straggler = option_number(args, "straggler-rate", 0.0);
+  rates.validate();
+  opts.faults = platform::FaultModel{rates};
+  opts.retry.max_attempts =
+      static_cast<std::size_t>(option_number(args, "retry-attempts", 1));
+  opts.retry.backoff_initial_seconds = option_number(args, "retry-backoff", 0.5);
+  opts.retry.timeout_seconds = option_number(args, "invocation-timeout", 0.0);
+  opts.retry.validate();
+  return opts;
+}
+
+bool faults_requested(const Args& args) {
+  return args.options.count("fault-rate") || args.options.count("straggler-rate") ||
+         args.options.count("retry-attempts") || args.options.count("retry-backoff") ||
+         args.options.count("invocation-timeout");
+}
+
 int cmd_export(const Args& args) {
   const auto w = load_workload(args.workload);
   const std::string text = io::workload_to_string(w);
@@ -124,9 +147,16 @@ int cmd_describe(const Args& args) {
 int cmd_schedule(const Args& args) {
   const auto w = load_workload(args.workload);
   const double scale = option_number(args, "scale", 1.0);
-  const platform::Executor ex;
+  const platform::Executor ex(std::make_unique<platform::DecoupledLinearPricing>(),
+                              fault_executor_options(args));
   const platform::ConfigGrid grid;
-  const core::GraphCentricScheduler scheduler(ex, grid);
+  core::SchedulerOptions sched_opts;
+  if (faults_requested(args)) {
+    // On a faulty platform, let the evaluator absorb transient probe noise.
+    sched_opts.probe_resamples =
+        static_cast<std::size_t>(option_number(args, "probe-resamples", 2));
+  }
+  const core::GraphCentricScheduler scheduler(ex, grid, sched_opts);
   const auto report = scheduler.schedule(w.workflow, w.slo_seconds, scale);
 
   std::cout << "samples: " << report.result.samples() << ", feasible: "
@@ -160,7 +190,8 @@ int cmd_simulate(const Args& args) {
   const auto runs = static_cast<std::size_t>(option_number(args, "runs", 100));
   const double scale = option_number(args, "scale", 1.0);
 
-  const platform::Executor ex;
+  const platform::Executor ex(std::make_unique<platform::DecoupledLinearPricing>(),
+                              fault_executor_options(args));
   const platform::Profiler profiler(ex);
   support::Rng rng(static_cast<std::uint64_t>(option_number(args, "seed", 4242)));
   const auto report = profiler.profile(w.workflow, config, runs, rng, scale);
@@ -233,20 +264,31 @@ int cmd_serve(const Args& args) {
   const platform::DecoupledLinearPricing pricing;
   serving::ServingOptions sopts;
   sopts.keep_alive_seconds = option_number(args, "keep-alive", 600.0);
+  const auto fault_opts = fault_executor_options(args);
+  sopts.faults = fault_opts.faults;
+  sopts.retry = fault_opts.retry;
   const serving::ServingSimulator sim(w.workflow, pricing, sopts);
   const auto report = sim.serve(stream);
 
   std::cout << "served " << report.requests.size() << " requests ("
             << report.failed_requests << " failed)\n";
+  if (faults_requested(args)) {
+    std::cout << "retries: " << report.retries << ", timeouts: " << report.timeouts
+              << ", failed after retries: " << report.failed_after_retries
+              << ", failure rate: "
+              << support::format_percent(report.request_failure_rate(), 1) << "\n";
+  }
   if (report.latency.count > 0) {
     std::cout << "latency: "
               << support::format_mean_std(report.latency.mean, report.latency.stddev, 1)
               << " s (min " << support::format_double(report.latency.min, 1) << ", max "
               << support::format_double(report.latency.max, 1) << ")\n";
-    std::cout << "SLO violation rate: "
-              << support::format_percent(report.slo_violation_rate(w.slo_seconds), 1)
-              << " (SLO " << support::format_double(w.slo_seconds, 0) << " s)\n";
   }
+  // Failure-aware: failed requests count as violations, so print this even
+  // when no request completed.
+  std::cout << "SLO violation rate: "
+            << support::format_percent(report.slo_violation_rate(w.slo_seconds), 1)
+            << " (SLO " << support::format_double(w.slo_seconds, 0) << " s)\n";
   std::cout << "total cost: " << support::format_double(report.total_cost, 1)
             << ", cold starts: " << report.cold_starts << " of "
             << report.cold_starts + report.warm_starts << " invocations, peak containers: "
@@ -315,7 +357,15 @@ int usage() {
                "  schedule <workload> [--scale S] [--out file] [--trace file.csv]\n"
                "  simulate <workload> --config file [--runs N] [--scale S] [--seed K]\n"
                "  advise   <workload> [--config file] [--scale S]\n"
+               "  serve    <workload> [--requests N] [--rate R] [--keep-alive S]\n"
                "  compare  <workload>\n"
+               "fault injection (schedule | simulate | serve):\n"
+               "  --fault-rate P          transient crash probability per invocation\n"
+               "  --straggler-rate P      straggler (slowdown) probability\n"
+               "  --retry-attempts N      attempts per invocation (default 1 = off)\n"
+               "  --retry-backoff S       initial retry backoff seconds (default 0.5)\n"
+               "  --invocation-timeout S  per-attempt timeout seconds (0 = none)\n"
+               "  --probe-resamples N     schedule only: probe re-runs on failure\n"
                "workload: chatbot | ml_pipeline | video_analysis | data_analytics |\n"
                "          path/to/workload.json\n";
   return 2;
