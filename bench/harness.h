@@ -28,26 +28,44 @@ struct ExperimentSeeds {
   std::uint64_t validation = 4242;
 };
 
+/// Evaluation-engine knobs shared by every method in a sweep.  The defaults
+/// reproduce the serial, cache-less setup of the original benches; the
+/// determinism guarantee makes `threads` a pure wall-clock knob.
+struct HarnessOptions {
+  std::size_t threads = 1;        ///< evaluator worker threads
+  bool probe_cache = false;       ///< memoize repeated configurations
+  std::size_t bo_batch_size = 1;  ///< BO acquisition probes per round
+};
+
 /// Run one method by name ("AARC", "BO", "MAFF") at the given input scale.
 inline search::SearchResult run_method(const std::string& method,
                                        const workloads::Workload& w,
                                        const platform::Executor& executor,
                                        const platform::ConfigGrid& grid,
                                        const ExperimentSeeds& seeds,
-                                       double input_scale = 1.0) {
+                                       double input_scale = 1.0,
+                                       const HarnessOptions& harness = {}) {
+  search::EvaluatorOptions eval_opts;
+  eval_opts.threads = harness.threads;
+  eval_opts.probe_cache = harness.probe_cache;
   if (method == "AARC") {
     core::SchedulerOptions opts;
     opts.seed = seeds.aarc;
+    opts.evaluator_threads = harness.threads;
+    opts.probe_cache = harness.probe_cache;
     const core::GraphCentricScheduler scheduler(executor, grid, opts);
     return scheduler.schedule(w.workflow, w.slo_seconds, input_scale).result;
   }
   if (method == "BO") {
-    search::Evaluator ev(w.workflow, executor, w.slo_seconds, input_scale, seeds.bo);
+    search::Evaluator ev(w.workflow, executor, w.slo_seconds, input_scale, seeds.bo,
+                         eval_opts);
     baselines::BoOptions opts;
     opts.seed = seeds.bo;
+    opts.batch_size = harness.bo_batch_size;
     return baselines::bayesian_optimization(ev, grid, opts);
   }
-  search::Evaluator ev(w.workflow, executor, w.slo_seconds, input_scale, seeds.maff);
+  search::Evaluator ev(w.workflow, executor, w.slo_seconds, input_scale, seeds.maff,
+                       eval_opts);
   return baselines::maff_gradient_descent(ev, grid);
 }
 
@@ -57,13 +75,14 @@ inline std::vector<MethodResult> run_all_methods(const workloads::Workload& w,
                                                  const platform::Executor& executor,
                                                  const platform::ConfigGrid& grid,
                                                  const ExperimentSeeds& seeds = {},
-                                                 double input_scale = 1.0) {
+                                                 double input_scale = 1.0,
+                                                 const HarnessOptions& harness = {}) {
   std::vector<MethodResult> out;
   const platform::Profiler profiler(executor);
   for (const std::string& method : {"AARC", "BO", "MAFF"}) {
     MethodResult mr;
     mr.method = method;
-    mr.search = run_method(method, w, executor, grid, seeds, input_scale);
+    mr.search = run_method(method, w, executor, grid, seeds, input_scale, harness);
     if (mr.search.found_feasible) {
       support::Rng rng(seeds.validation);
       mr.validation =

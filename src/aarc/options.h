@@ -94,6 +94,17 @@ struct SchedulerOptions {
   /// Outlier threshold for probe re-sampling (0 disables the outlier check).
   double probe_outlier_factor = 0.0;
 
+  /// Worker threads for the probe evaluator (search::EvaluatorOptions).
+  /// Algorithm 2's queue is inherently sequential, so AARC itself gains
+  /// little from > 1, but the setting also drives the input-aware engine's
+  /// concurrent per-class searches and keeps one knob across the stack.
+  /// Results are identical for every value.
+  std::size_t evaluator_threads = 1;
+  /// Probe memoization (search::EvaluatorOptions::probe_cache): revisited
+  /// configurations — revert/halving loops re-probing an earlier state —
+  /// are served from cache instead of billed again.
+  bool probe_cache = false;
+
   /// When true, nodes covered by neither the critical path nor any detour
   /// (possible with multiple sources/sinks) are configured as single-node
   /// paths with their schedule slack as budget; when false they keep the

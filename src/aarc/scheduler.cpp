@@ -39,11 +39,13 @@ ScheduleReport GraphCentricScheduler::schedule(const platform::Workflow& workflo
   wf.validate();
   const std::size_t n = wf.function_count();
 
-  search::ResampleOptions resample;
-  resample.max_resamples = options_.probe_resamples;
-  resample.outlier_factor = options_.probe_outlier_factor;
+  search::EvaluatorOptions eval_options;
+  eval_options.resample.max_resamples = options_.probe_resamples;
+  eval_options.resample.outlier_factor = options_.probe_outlier_factor;
+  eval_options.threads = options_.evaluator_threads;
+  eval_options.probe_cache = options_.probe_cache;
   search::Evaluator evaluator(wf, *executor_, slo_seconds, input_scale, options_.seed,
-                              resample);
+                              eval_options);
   const PriorityConfigurator configurator(grid_, options_.configurator);
 
   ScheduleReport report;

@@ -108,6 +108,7 @@ search::SearchResult bayesian_optimization(search::Evaluator& evaluator,
           "max_samples must cover the initial design");
   expects(options.init_samples >= 2, "need at least two initial samples");
   expects(options.candidate_pool > 0, "candidate pool must be non-empty");
+  expects(options.batch_size >= 1, "batch size must be >= 1");
 
   const std::size_t functions = evaluator.workflow().function_count();
   const SpaceCodec codec(grid, functions);
@@ -118,23 +119,39 @@ search::SearchResult bayesian_optimization(search::Evaluator& evaluator,
   xs.reserve(options.max_samples);
   objectives.reserve(options.max_samples);
 
-  auto probe = [&](const std::vector<double>& x) {
-    const auto snapped = codec.snap(x);
-    const auto eval = evaluator.evaluate(codec.decode(snapped));
-    xs.push_back(snapped);
-    objectives.push_back(objective_of(eval.sample, evaluator.slo_seconds(), options));
+  // Submit a batch of normalized points through the probe gateway; results
+  // come back in request order, so (xs, objectives) grow deterministically
+  // for any evaluator thread count.
+  auto probe_batch = [&](const std::vector<std::vector<double>>& points) {
+    std::vector<search::ProbeRequest> requests;
+    requests.reserve(points.size());
+    std::vector<std::vector<double>> snapped;
+    snapped.reserve(points.size());
+    for (const auto& x : points) {
+      snapped.push_back(codec.snap(x));
+      requests.emplace_back(codec.decode(snapped.back()));
+    }
+    const auto results = evaluator.evaluate_batch(requests);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      xs.push_back(snapped[i]);
+      objectives.push_back(
+          objective_of(results[i].evaluation.sample, evaluator.slo_seconds(), options));
+    }
   };
 
   // Initial design: the over-provisioned provider default first (a known
-  // safe anchor, as in Bilal et al.'s setup), then a Latin hypercube.
+  // safe anchor, as in Bilal et al.'s setup), then a Latin hypercube — all
+  // submitted as one batch, since none depends on another's outcome.
+  std::vector<std::vector<double>> init;
   std::size_t lhs_count = options.init_samples;
   if (options.warm_start_with_base) {
-    probe(codec.encode(platform::uniform_config(functions, grid.max_config())));
+    init.push_back(codec.encode(platform::uniform_config(functions, grid.max_config())));
     lhs_count -= 1;
   }
-  for (const auto& x : latin_hypercube(lhs_count, codec.dims(), rng)) {
-    probe(x);
+  for (auto& x : latin_hypercube(lhs_count, codec.dims(), rng)) {
+    init.push_back(std::move(x));
   }
+  probe_batch(init);
 
   GaussianProcess gp(make_kernel(options), options.noise_variance);
 
@@ -164,16 +181,32 @@ search::SearchResult bayesian_optimization(search::Evaluator& evaluator,
       candidates.push_back(codec.snap(x));
     }
 
-    double best_ei = -1.0;
-    const std::vector<double>* best_candidate = &candidates.front();
-    for (const auto& c : candidates) {
-      const double ei = expected_improvement(gp.predict(c), best_objective, options.xi);
-      if (ei > best_ei) {
-        best_ei = ei;
-        best_candidate = &c;
-      }
+    // Rank candidates by expected improvement (ties broken by pool index so
+    // the pick is deterministic), then submit the top-k distinct configs as
+    // one batch.  The last round is truncated to the remaining budget.
+    std::vector<std::size_t> order(candidates.size());
+    std::vector<double> ei(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      order[i] = i;
+      ei[i] = expected_improvement(gp.predict(candidates[i]), best_objective, options.xi);
     }
-    probe(*best_candidate);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) { return ei[a] > ei[b]; });
+
+    const std::size_t budget_left = options.max_samples - xs.size();
+    const std::size_t want = std::min(options.batch_size, budget_left);
+    std::vector<std::vector<double>> picked;
+    picked.reserve(want);
+    for (std::size_t idx : order) {
+      if (picked.size() == want) break;
+      // Snapping collapses nearby points; probing the same config twice in
+      // one round wastes budget without informing the GP.
+      if (std::find(picked.begin(), picked.end(), candidates[idx]) != picked.end()) {
+        continue;
+      }
+      picked.push_back(candidates[idx]);
+    }
+    probe_batch(picked);
   }
 
   search::SearchResult result;

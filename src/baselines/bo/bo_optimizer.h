@@ -24,6 +24,12 @@ enum class KernelChoice { Matern52, Rbf };
 struct BoOptions {
   std::size_t max_samples = 100;       ///< total evaluations incl. init
   std::size_t init_samples = 10;       ///< warm start + Latin hypercube
+  /// Probes evaluated per acquisition round: the top-k expected-improvement
+  /// candidates are submitted as one batch (Bilal et al. exploit exactly
+  /// this parallelism).  1 reproduces classic sequential BO; the sample
+  /// budget is respected for any value (the last batch is truncated).  The
+  /// initial design is always submitted as a single batch.
+  std::size_t batch_size = 1;
   std::size_t candidate_pool = 512;    ///< random grid candidates per round
   std::size_t local_candidates = 64;   ///< perturbations of the incumbent
   double slo_penalty_per_second = 50.0;///< objective penalty per second over SLO

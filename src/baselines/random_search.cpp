@@ -20,17 +20,23 @@ search::SearchResult random_search(search::Evaluator& evaluator,
   const std::size_t n = evaluator.workflow().function_count();
   support::Rng rng(options.seed);
 
-  if (options.warm_start_with_base) {
-    (void)evaluator.evaluate(platform::uniform_config(n, grid.max_config()));
+  // No draw depends on a previous probe's outcome, so the whole design is
+  // known upfront: submit it as one batch and let the evaluator fan out.
+  // The rng draw order matches the old one-probe-at-a-time loop exactly.
+  std::vector<search::ProbeRequest> requests;
+  requests.reserve(options.max_samples);
+  if (options.warm_start_with_base && evaluator.samples_used() < options.max_samples) {
+    requests.emplace_back(platform::uniform_config(n, grid.max_config()));
   }
-  while (evaluator.samples_used() < options.max_samples) {
+  while (evaluator.samples_used() + requests.size() < options.max_samples) {
     platform::WorkflowConfig config(n);
     for (auto& rc : config) {
       rc.vcpu = grid.cpu().value(rng.index(grid.cpu().size()));
       rc.memory_mb = grid.memory().value(rng.index(grid.memory().size()));
     }
-    (void)evaluator.evaluate(config);
+    requests.emplace_back(std::move(config));
   }
+  (void)evaluator.evaluate_batch(requests);
 
   search::SearchResult result;
   result.trace = evaluator.trace();

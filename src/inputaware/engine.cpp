@@ -1,6 +1,10 @@
 #include "inputaware/engine.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "support/contracts.h"
+#include "support/thread_pool.h"
 
 namespace aarc::inputaware {
 
@@ -22,16 +26,45 @@ InputAwareEngine::InputAwareEngine(const workloads::Workload& workload,
 }
 
 std::size_t InputAwareEngine::build() {
-  const core::GraphCentricScheduler scheduler(*executor_, grid_, scheduler_options_);
-  std::size_t total_samples = 0;
   table_.clear();
-  for (const auto& entry : workload_->input_classes) {
+  const auto& classes = workload_->input_classes;
+  std::vector<ClassConfiguration> configs(classes.size());
+
+  // Per-class searches are fully independent (each owns its evaluator and a
+  // cloned executor), so they can run concurrently.  Class-level concurrency
+  // replaces probe-level concurrency here: the inner evaluator stays serial
+  // so k classes cost k workers, not k * threads.  Either way each class's
+  // search is deterministic, so the table is identical for any thread count.
+  const std::size_t threads = std::min<std::size_t>(
+      std::max<std::size_t>(scheduler_options_.evaluator_threads, 1), classes.size());
+
+  auto build_class = [&](std::size_t i, const platform::Executor& executor) {
+    core::SchedulerOptions options = scheduler_options_;
+    if (threads > 1) options.evaluator_threads = 1;
+    const core::GraphCentricScheduler scheduler(executor, grid_, options);
     ClassConfiguration cc;
-    cc.input_class = entry.input_class;
-    cc.scale = entry.scale;
-    cc.report = scheduler.schedule(workload_->workflow, workload_->slo_seconds, entry.scale);
+    cc.input_class = classes[i].input_class;
+    cc.scale = classes[i].scale;
+    cc.report =
+        scheduler.schedule(workload_->workflow, workload_->slo_seconds, classes[i].scale);
+    configs[i] = std::move(cc);
+  };
+
+  if (threads > 1) {
+    support::ThreadPool pool(threads);
+    pool.parallel_for(classes.size(), [&](std::size_t i, std::size_t /*worker*/) {
+      const platform::Executor local = executor_->clone();
+      build_class(i, local);
+    });
+  } else {
+    for (std::size_t i = 0; i < classes.size(); ++i) build_class(i, *executor_);
+  }
+
+  // Commit in workload order once every class has finished.
+  std::size_t total_samples = 0;
+  for (auto& cc : configs) {
     total_samples += cc.report.result.samples();
-    table_.emplace(entry.input_class, std::move(cc));
+    table_.emplace(cc.input_class, std::move(cc));
   }
   return total_samples;
 }

@@ -13,14 +13,14 @@ using support::format_double;
 
 std::string trace_to_csv(const search::SearchTrace& trace) {
   support::Table table({"index", "makespan", "cost", "wall_seconds", "wall_cost",
-                        "failed", "feasible", "attempts"});
+                        "failed", "feasible", "attempts", "cache_hit"});
   for (const auto& s : trace.samples()) {
     table.add_row({std::to_string(s.index),
                    std::isfinite(s.makespan) ? format_double(s.makespan, 4) : "inf",
                    std::isfinite(s.cost) ? format_double(s.cost, 4) : "inf",
                    format_double(s.wall_seconds, 4), format_double(s.wall_cost, 4),
                    s.failed ? "1" : "0", s.feasible ? "1" : "0",
-                   std::to_string(s.probe_attempts)});
+                   std::to_string(s.probe_attempts), s.cache_hit ? "1" : "0"});
   }
   return table.to_csv();
 }

@@ -1,7 +1,9 @@
 #include "platform/executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <thread>
 
 #include "support/contracts.h"
 
@@ -77,8 +79,14 @@ Executor::Executor(std::unique_ptr<PricingModel> pricing, ExecutorOptions option
   options_.retry.validate();
 }
 
+Executor Executor::clone() const { return Executor(pricing_->clone(), options_); }
+
 ExecutionResult Executor::execute(const Workflow& workflow, const WorkflowConfig& config,
                                   double input_scale, support::Rng& rng) const {
+  if (options_.emulated_probe_latency_seconds > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        options_.emulated_probe_latency_seconds));
+  }
   return run(workflow, config, input_scale, &rng);
 }
 

@@ -90,6 +90,13 @@ struct ExecutorOptions {
   ColdStartModel cold_start{};   ///< disabled by default
   FaultModel faults{};           ///< disabled by default
   RetryPolicy retry{};           ///< no retries, no timeout by default
+  /// When > 0, every noisy execute() blocks the calling thread for this many
+  /// real seconds before returning.  On the real platform a probe occupies
+  /// the submitter for the workflow's wall time; the simulator answers in
+  /// microseconds, which would make any concurrency measurement vacuous.
+  /// The concurrency benches set a few milliseconds here so thread-scaling
+  /// numbers mean something.  Simulated results are unaffected.
+  double emulated_probe_latency_seconds = 0.0;
 };
 
 class Executor {
@@ -101,6 +108,12 @@ class Executor {
 
   Executor(Executor&&) noexcept = default;
   Executor& operator=(Executor&&) noexcept = default;
+
+  /// Deep copy (clones the pricing model).  A cloned executor is fully
+  /// independent of the original, so per-thread clones can execute
+  /// concurrently without sharing any state (search::BatchEvaluator relies
+  /// on this for its worker pool).
+  Executor clone() const;
 
   const PricingModel& pricing() const { return *pricing_; }
   const ExecutorOptions& options() const { return options_; }

@@ -1,0 +1,84 @@
+#include "search/batch_evaluator.h"
+
+#include <algorithm>
+
+#include "support/contracts.h"
+#include "support/rng.h"
+
+namespace aarc::search {
+
+using support::expects;
+
+BatchEvaluator::BatchEvaluator(const platform::Workflow& workflow,
+                               const platform::Executor& executor, double input_scale,
+                               ResampleOptions resample, std::size_t threads)
+    : workflow_(&workflow), input_scale_(input_scale), resample_(resample) {
+  expects(threads >= 1, "batch evaluator needs at least one thread");
+  executors_.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) executors_.push_back(executor.clone());
+  if (threads > 1) pool_ = std::make_unique<support::ThreadPool>(threads);
+}
+
+std::vector<ProbeOutcome> BatchEvaluator::run(const std::vector<ProbeJob>& jobs) {
+  std::vector<ProbeOutcome> outcomes(jobs.size());
+  if (pool_ == nullptr || jobs.size() <= 1) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      outcomes[i] = run_one(executors_.front(), jobs[i]);
+    }
+    return outcomes;
+  }
+  pool_->parallel_for(jobs.size(), [&](std::size_t item, std::size_t worker) {
+    outcomes[item] = run_one(executors_[worker], jobs[item]);
+  });
+  return outcomes;
+}
+
+ProbeOutcome BatchEvaluator::run_one(const platform::Executor& executor,
+                                     const ProbeJob& job) const {
+  expects(job.config != nullptr, "probe job without a configuration");
+  support::Rng rng(job.rng_seed);
+
+  std::vector<platform::ExecutionResult> runs;
+  runs.push_back(executor.execute(*workflow_, *job.config, input_scale_, rng));
+
+  auto needs_rerun = [&](const platform::ExecutionResult& r) {
+    // OOM is deterministic: re-running reproduces it, so don't waste probes.
+    if (r.failed) return !r.oom_failure();
+    return resample_.outlier_factor > 0.0 && job.have_median &&
+           r.makespan > resample_.outlier_factor * job.median_makespan;
+  };
+
+  std::size_t budget = resample_.max_resamples;
+  while (budget > 0 && needs_rerun(runs.back())) {
+    runs.push_back(executor.execute(*workflow_, *job.config, input_scale_, rng));
+    --budget;
+  }
+
+  // Aggregate: the run with the median makespan among successful runs; when
+  // every run failed, the last run represents the probe.
+  std::vector<std::size_t> ok;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (!runs[i].failed) ok.push_back(i);
+  }
+  std::size_t chosen = runs.size() - 1;
+  if (!ok.empty()) {
+    std::sort(ok.begin(), ok.end(), [&](std::size_t a, std::size_t b) {
+      if (runs[a].makespan != runs[b].makespan) {
+        return runs[a].makespan < runs[b].makespan;
+      }
+      return a < b;
+    });
+    chosen = ok[(ok.size() - 1) / 2];
+  }
+
+  ProbeOutcome outcome;
+  outcome.attempts = runs.size();
+  for (const auto& run : runs) {
+    outcome.wall_seconds += run.observed_wall_seconds();
+    outcome.wall_cost += run.observed_cost();
+  }
+  outcome.representative = std::move(runs[chosen]);
+  return outcome;
+}
+
+}  // namespace aarc::search

@@ -1,0 +1,72 @@
+// The concurrent probe-execution engine underneath search::Evaluator.
+//
+// A batch of probe jobs fans out across a pool of per-worker Executor
+// clones; results come back indexed by job, so the outcome is a pure
+// function of the job list and never of thread scheduling.  Determinism
+// rests on two rules:
+//
+//   1. every job carries its own RNG seed, derived by the evaluator as
+//      derive_seed(evaluator_seed, probe_stream) — no worker ever draws
+//      from a shared stream, so a run at N threads is bit-identical to the
+//      same run at 1 thread;
+//   2. the outlier-median snapshot a job compares against is frozen at
+//      batch assembly (by the evaluator), not read from mutable state, so
+//      completion order cannot leak into any decision.
+//
+// The engine is intentionally ignorant of traces, caches and billing —
+// those are the evaluator's sequential commit step.  It clones the executor
+// once per worker (pricing models are deep-copied) and shares the workflow
+// read-only, which Workflow's const interface guarantees is safe.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "platform/executor.h"
+#include "search/evaluator_options.h"
+#include "support/thread_pool.h"
+
+namespace aarc::search {
+
+/// One unit of work: probe `config` with a private RNG stream.
+struct ProbeJob {
+  const platform::WorkflowConfig* config = nullptr;
+  std::uint64_t rng_seed = 0;      ///< private stream for every execution of this probe
+  double median_makespan = 0.0;    ///< outlier baseline snapshot (batch assembly time)
+  bool have_median = false;
+};
+
+/// What one probe's executions produced, before billing/trace bookkeeping.
+struct ProbeOutcome {
+  platform::ExecutionResult representative;  ///< median successful run (or last run)
+  double wall_seconds = 0.0;                 ///< summed over all executions
+  double wall_cost = 0.0;                    ///< summed over all executions
+  std::size_t attempts = 0;                  ///< executions consumed (>= 1)
+};
+
+class BatchEvaluator {
+ public:
+  /// Clones `executor` once per worker.  `threads == 1` runs jobs inline on
+  /// the calling thread (no pool, no clones beyond the first).
+  BatchEvaluator(const platform::Workflow& workflow, const platform::Executor& executor,
+                 double input_scale, ResampleOptions resample, std::size_t threads);
+
+  /// Execute every job (re-sampling failures/outliers per ResampleOptions)
+  /// and return outcomes indexed like `jobs`.  Deterministic for any thread
+  /// count.
+  std::vector<ProbeOutcome> run(const std::vector<ProbeJob>& jobs);
+
+  std::size_t threads() const { return executors_.size(); }
+
+ private:
+  ProbeOutcome run_one(const platform::Executor& executor, const ProbeJob& job) const;
+
+  const platform::Workflow* workflow_;
+  double input_scale_;
+  ResampleOptions resample_;
+  std::vector<platform::Executor> executors_;  ///< one clone per worker
+  std::unique_ptr<support::ThreadPool> pool_;  ///< null when threads() == 1
+};
+
+}  // namespace aarc::search

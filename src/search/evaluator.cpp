@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "support/contracts.h"
+#include "support/rng.h"
 
 namespace aarc::search {
 
@@ -23,79 +24,102 @@ double lower_median(std::vector<double> values) {
 
 Evaluator::Evaluator(const platform::Workflow& workflow, const platform::Executor& executor,
                      double slo_seconds, double input_scale, std::uint64_t seed,
-                     ResampleOptions resample)
+                     EvaluatorOptions options)
     : workflow_(&workflow),
       executor_(&executor),
       slo_(slo_seconds),
       input_scale_(input_scale),
-      rng_(seed),
-      resample_(resample) {
+      seed_(seed),
+      options_(options),
+      engine_(workflow, executor, input_scale, options.resample,
+              std::max<std::size_t>(1, options.threads)) {
+  expects(workflow_ != nullptr && executor_ != nullptr,
+          "evaluator requires a workflow and an executor");
   expects(slo_seconds > 0.0, "SLO must be positive");
   expects(input_scale > 0.0, "input scale must be positive");
-  expects(resample.outlier_factor >= 0.0, "outlier factor must be non-negative");
+  expects(options.resample.outlier_factor >= 0.0, "outlier factor must be non-negative");
   workflow.validate();
 }
 
-Evaluation Evaluator::evaluate(const platform::WorkflowConfig& config) {
-  std::vector<platform::ExecutionResult> runs;
-  runs.push_back(executor_->execute(*workflow_, config, input_scale_, rng_));
-
+std::vector<ProbeResult> Evaluator::evaluate_batch(const std::vector<ProbeRequest>& requests) {
+  // --- Assembly (sequential): freeze every decision the workers must not
+  // race on — cache answers, RNG stream ids, the outlier-median snapshot.
   const bool have_median = !success_makespans_.empty();
-  const double median_so_far = have_median ? lower_median(success_makespans_) : 0.0;
-  auto needs_rerun = [&](const platform::ExecutionResult& r) {
-    // OOM is deterministic: re-running reproduces it, so don't waste probes.
-    if (r.failed) return !r.oom_failure();
-    return resample_.outlier_factor > 0.0 && have_median &&
-           r.makespan > resample_.outlier_factor * median_so_far;
-  };
+  const double median_snapshot = have_median ? lower_median(success_makespans_) : 0.0;
 
-  std::size_t budget = resample_.max_resamples;
-  while (budget > 0 && needs_rerun(runs.back())) {
-    runs.push_back(executor_->execute(*workflow_, config, input_scale_, rng_));
-    --budget;
+  std::vector<const Evaluation*> cached(requests.size(), nullptr);
+  std::vector<ProbeJob> jobs;
+  std::vector<std::size_t> job_of_request(requests.size(), 0);
+  jobs.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    expects(requests[i].config.size() == workflow_->function_count(),
+            "probe config must have one entry per function");
+    if (options_.probe_cache) {
+      cached[i] = cache_.find(ProbeCacheKey{requests[i].config, input_scale_, seed_});
+      if (cached[i] != nullptr) continue;
+    }
+    ProbeJob job;
+    job.config = &requests[i].config;
+    job.rng_seed = support::derive_seed(seed_, next_stream_++);
+    job.median_makespan = median_snapshot;
+    job.have_median = have_median;
+    job_of_request[i] = jobs.size();
+    jobs.push_back(job);
   }
 
-  // Aggregate: the run with the median makespan among successful runs; when
-  // every run failed, the last run represents the probe.
-  std::vector<std::size_t> ok;
-  for (std::size_t i = 0; i < runs.size(); ++i) {
-    if (!runs[i].failed) ok.push_back(i);
-  }
-  std::size_t chosen = runs.size() - 1;
-  if (!ok.empty()) {
-    std::sort(ok.begin(), ok.end(), [&](std::size_t a, std::size_t b) {
-      if (runs[a].makespan != runs[b].makespan) {
-        return runs[a].makespan < runs[b].makespan;
-      }
-      return a < b;
-    });
-    chosen = ok[(ok.size() - 1) / 2];
-  }
-  const platform::ExecutionResult& result = runs[chosen];
+  // --- Execution: concurrent, deterministic (see batch_evaluator.h).
+  const std::vector<ProbeOutcome> outcomes = engine_.run(jobs);
 
-  Evaluation eval;
-  eval.sample.index = trace_.size();
-  eval.sample.config = config;
-  eval.sample.makespan = result.makespan;
-  eval.sample.cost = result.total_cost;
-  for (const auto& run : runs) {
-    eval.sample.wall_seconds += run.observed_wall_seconds();
-    eval.sample.wall_cost += run.observed_cost();
-  }
-  eval.sample.failed = result.failed;
-  eval.sample.transient = result.transient_failure();
-  eval.sample.feasible = !result.failed && result.makespan <= slo_;
-  eval.sample.probe_attempts = runs.size();
-  eval.function_runtimes = result.runtimes();
-  eval.function_costs.reserve(result.invocations.size());
-  for (const auto& inv : result.invocations) eval.function_costs.push_back(inv.cost);
+  // --- Commit (sequential, request order): billing, trace, cache inserts,
+  // outlier history.
+  std::vector<ProbeResult> results(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    ProbeResult& pr = results[i];
+    pr.tag = requests[i].tag;
+    pr.sample_index = trace_.size();
+    if (cached[i] != nullptr) {
+      pr.cache_hit = true;
+      pr.evaluation = *cached[i];
+      Sample& s = pr.evaluation.sample;
+      s.index = pr.sample_index;
+      s.cache_hit = true;
+      s.wall_seconds = 0.0;  // served from memory: nothing billed,
+      s.wall_cost = 0.0;     // no platform execution consumed
+      s.probe_attempts = 0;
+      trace_.add(s);
+      continue;
+    }
 
-  if (!result.failed && std::isfinite(result.makespan)) {
-    success_makespans_.push_back(result.makespan);
-  }
+    const ProbeOutcome& outcome = outcomes[job_of_request[i]];
+    const platform::ExecutionResult& result = outcome.representative;
 
-  trace_.add(eval.sample);
-  return eval;
+    Evaluation& eval = pr.evaluation;
+    eval.sample.index = pr.sample_index;
+    eval.sample.config = requests[i].config;
+    eval.sample.makespan = result.makespan;
+    eval.sample.cost = result.total_cost;
+    eval.sample.wall_seconds = outcome.wall_seconds;
+    eval.sample.wall_cost = outcome.wall_cost;
+    eval.sample.failed = result.failed;
+    eval.sample.transient = result.transient_failure();
+    eval.sample.feasible = !result.failed && result.makespan <= slo_;
+    eval.sample.probe_attempts = outcome.attempts;
+    eval.function_runtimes = result.runtimes();
+    eval.function_costs.reserve(result.invocations.size());
+    for (const auto& inv : result.invocations) eval.function_costs.push_back(inv.cost);
+
+    if (!result.failed && std::isfinite(result.makespan)) {
+      success_makespans_.push_back(result.makespan);
+    }
+    // Transient failures are weather, not configuration: caching one would
+    // replay the hiccup forever.  Successes and deterministic OOMs memoize.
+    if (options_.probe_cache && !eval.sample.transient) {
+      cache_.insert(ProbeCacheKey{requests[i].config, input_scale_, seed_}, eval);
+    }
+
+    trace_.add(eval.sample);
+  }
+  return results;
 }
 
 }  // namespace aarc::search

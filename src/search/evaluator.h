@@ -1,75 +1,104 @@
 // The evaluator: the single gateway through which every search algorithm
 // probes the platform.
 //
-// One evaluate() call = one probe of a configuration = one "sample" in the
-// paper's terminology.  The evaluator owns the trace, so sampling totals and
+// One probe = one configuration question = one "sample" in the paper's
+// terminology.  The evaluator owns the trace, so sampling totals and
 // convergence series are recorded uniformly no matter which algorithm is
 // searching.
 //
+// The API is batch-first: evaluate_batch() takes any number of
+// ProbeRequests, fans them out across the BatchEvaluator's worker pool
+// (per-thread Executor clones, one private RNG stream per probe) and
+// returns ProbeResults in request order.  evaluate() is a thin wrapper over
+// a batch of one, kept for the sequential algorithms (AARC's priority
+// queue, MAFF's coordinate descent) whose next probe depends on the last.
+//
+// Determinism guarantee: probe i draws from Rng(derive_seed(seed, i)),
+// where i counts executed probes in submission order, and every batch
+// decision (cache lookup, outlier median) is frozen at batch assembly.  A
+// run with threads = N is therefore bit-identical to threads = 1.
+//
 // On a hostile platform (see platform/faults.h) a single execution is an
-// unreliable measurement: a transient crash or a straggler would make the
-// search abandon a perfectly good configuration.  The evaluator therefore
-// supports optional probe re-sampling: a failed (or outlier) execution is
-// re-run up to a bounded number of times and the probe is aggregated by the
+// unreliable measurement; optional probe re-sampling re-runs failed (or
+// outlier) executions a bounded number of times and aggregates by the
 // median successful run.  Every execution is billed — wall time and cost
 // accumulate over re-samples — and the count is recorded in the trace.
+//
+// With the probe cache enabled, a configuration already answered under this
+// (input_scale, seed-epoch) is served from memory: the trace records the
+// sample as a cache hit with zero wall charges and zero executions, so
+// repeated configurations — priority-configurator revert loops, BO
+// re-visits — stop being billed.
 #pragma once
 
 #include <cstdint>
 
 #include "platform/executor.h"
+#include "search/batch_evaluator.h"
+#include "search/evaluator_options.h"
+#include "search/probe.h"
+#include "search/probe_cache.h"
 #include "search/trace.h"
-#include "support/rng.h"
 
 namespace aarc::search {
-
-/// Also carries the per-function observed runtimes of the latest probe,
-/// which AARC's Algorithm 1/2 needs (path runtime sums).
-struct Evaluation {
-  Sample sample;
-  std::vector<double> function_runtimes;  ///< by NodeId; inf where failed
-  std::vector<double> function_costs;     ///< by NodeId; inf where failed
-};
-
-/// Probe re-sampling knobs (disabled by default: one execution per probe).
-struct ResampleOptions {
-  /// Extra executions allowed per probe (0 disables re-sampling).
-  std::size_t max_resamples = 0;
-  /// When > 0, a successful execution whose makespan exceeds this factor
-  /// times the median successful makespan seen so far also triggers a
-  /// re-run (straggler smoothing).  0 disables the outlier check.
-  double outlier_factor = 0.0;
-};
 
 class Evaluator {
  public:
   /// The evaluator keeps references; workflow and executor must outlive it.
+  /// Construction asserts a well-formed workflow via contracts and the
+  /// evaluator is non-copyable, so a dangling or aliased gateway fails
+  /// loudly instead of silently probing the wrong platform.
   Evaluator(const platform::Workflow& workflow, const platform::Executor& executor,
             double slo_seconds, double input_scale, std::uint64_t seed,
-            ResampleOptions resample = {});
+            EvaluatorOptions options = {});
 
-  /// Probe `config`: execute once, re-sample on failure/outlier if enabled,
-  /// aggregate by the median successful run, record and return the sample.
-  Evaluation evaluate(const platform::WorkflowConfig& config);
+  /// Deprecated forwarding overload (pre-batch API): resample knobs only.
+  /// Prefer the EvaluatorOptions constructor.
+  inline Evaluator(const platform::Workflow& workflow, const platform::Executor& executor,
+                   double slo_seconds, double input_scale, std::uint64_t seed,
+                   ResampleOptions resample)
+      : Evaluator(workflow, executor, slo_seconds, input_scale, seed,
+                  EvaluatorOptions{resample, 1, false}) {}
+
+  Evaluator(const Evaluator&) = delete;
+  Evaluator& operator=(const Evaluator&) = delete;
+
+  /// Probe every request and return results in request order.  Requests in
+  /// one batch are independent: they share the outlier-median snapshot and
+  /// cache view taken at submission, and execute concurrently when the
+  /// evaluator was built with threads > 1.
+  std::vector<ProbeResult> evaluate_batch(const std::vector<ProbeRequest>& requests);
+
+  /// Probe one configuration — a batch of one, for sequential algorithms.
+  Evaluation evaluate(const platform::WorkflowConfig& config) {
+    return evaluate_batch({ProbeRequest(config)}).front().evaluation;
+  }
 
   const platform::Workflow& workflow() const { return *workflow_; }
   const platform::Executor& executor() const { return *executor_; }
   double slo_seconds() const { return slo_; }
   double input_scale() const { return input_scale_; }
-  const ResampleOptions& resample_options() const { return resample_; }
+  const EvaluatorOptions& options() const { return options_; }
+  const ResampleOptions& resample_options() const { return options_.resample; }
 
   const SearchTrace& trace() const { return trace_; }
   std::size_t samples_used() const { return trace_.size(); }
-  /// Platform executions consumed, re-samples included (>= samples_used()).
+  /// Platform executions consumed, re-samples included; cache hits consume
+  /// none, so this can trail samples_used() when the cache is on.
   std::size_t executions_used() const { return trace_.total_probe_attempts(); }
+  /// Probes answered from the memoization cache.
+  std::size_t cache_hits() const { return trace_.cache_hits(); }
 
  private:
   const platform::Workflow* workflow_;
   const platform::Executor* executor_;
   double slo_;
   double input_scale_;
-  support::Rng rng_;
-  ResampleOptions resample_;
+  std::uint64_t seed_;
+  EvaluatorOptions options_;
+  BatchEvaluator engine_;
+  ProbeCache cache_;
+  std::uint64_t next_stream_ = 0;          ///< streams consumed by executed probes
   std::vector<double> success_makespans_;  ///< for the outlier median
   SearchTrace trace_;
 };

@@ -1,0 +1,35 @@
+// Knobs of the probe evaluation gateway (search::Evaluator).
+#pragma once
+
+#include <cstddef>
+
+namespace aarc::search {
+
+/// Probe re-sampling knobs (disabled by default: one execution per probe).
+struct ResampleOptions {
+  /// Extra executions allowed per probe (0 disables re-sampling).
+  std::size_t max_resamples = 0;
+  /// When > 0, a successful execution whose makespan exceeds this factor
+  /// times the median successful makespan seen so far also triggers a
+  /// re-run (straggler smoothing).  0 disables the outlier check.
+  double outlier_factor = 0.0;
+};
+
+/// Evaluator construction knobs.
+struct EvaluatorOptions {
+  ResampleOptions resample{};
+
+  /// Worker threads for batched probes.  1 (the default) evaluates batches
+  /// inline on the calling thread; N > 1 fans a batch across N per-thread
+  /// executor clones.  Results are identical for every value — see
+  /// DESIGN.md "Concurrent evaluation & probe cache".
+  std::size_t threads = 1;
+
+  /// Probe memoization: a probe whose (config, input_scale, seed-epoch) was
+  /// already answered is served from cache — recorded in the trace as a
+  /// cache hit, billed zero wall time/cost.  Off by default (the paper's
+  /// protocol re-executes every sample).
+  bool probe_cache = false;
+};
+
+}  // namespace aarc::search

@@ -1,0 +1,49 @@
+// The probe API: the one vocabulary every search algorithm speaks.
+//
+// A probe is one paid question to the platform — "what does this
+// configuration cost and how fast is it?" — a "sample" in the paper's
+// terminology.  Algorithms submit ProbeRequests (alone or in batches) to the
+// search::Evaluator, the only gateway to the platform::Executor, and get
+// ProbeResults back in request order.  Nothing in aarc/, baselines/ or
+// inputaware/ touches the executor directly; that is what makes batching,
+// concurrency and memoization transparent to every algorithm at once.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "platform/resource.h"
+#include "search/trace.h"
+
+namespace aarc::search {
+
+/// Per-function observations of one probe, which AARC's Algorithms 1/2 need
+/// (path runtime sums, per-function cost deltas).
+struct Evaluation {
+  Sample sample;
+  std::vector<double> function_runtimes;  ///< by NodeId; inf where failed
+  std::vector<double> function_costs;     ///< by NodeId; inf where failed
+};
+
+/// One configuration to probe.  `tag` is an opaque caller token carried
+/// through to the matching ProbeResult — handy for batch submitters that
+/// fan results back out (e.g. BO mapping results onto candidate indices).
+struct ProbeRequest {
+  platform::WorkflowConfig config;
+  std::size_t tag = 0;
+
+  ProbeRequest() = default;
+  explicit ProbeRequest(platform::WorkflowConfig c, std::size_t t = 0)
+      : config(std::move(c)), tag(t) {}
+};
+
+/// The answer to one ProbeRequest.  Results always come back in request
+/// order; `sample_index` is the probe's position in the evaluator's trace.
+struct ProbeResult {
+  Evaluation evaluation;
+  std::size_t sample_index = 0;
+  std::size_t tag = 0;
+  bool cache_hit = false;  ///< served from the probe cache, not executed
+};
+
+}  // namespace aarc::search

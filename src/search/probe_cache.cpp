@@ -1,0 +1,46 @@
+#include "search/probe_cache.h"
+
+#include <bit>
+
+namespace aarc::search {
+
+namespace {
+
+/// SplitMix64-style avalanche, applied per 64-bit word.
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  h *= 0xBF58476D1CE4E5B9ULL;
+  return h ^ (h >> 31);
+}
+
+std::uint64_t double_bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+}  // namespace
+
+std::size_t ProbeCacheKeyHash::operator()(const ProbeCacheKey& key) const {
+  std::uint64_t h = 0x51'7C'C1'B7'27'22'0A'95ULL;
+  h = mix(h, key.seed_epoch);
+  h = mix(h, double_bits(key.input_scale));
+  h = mix(h, key.config.size());
+  for (const auto& rc : key.config) {
+    h = mix(h, double_bits(rc.vcpu));
+    h = mix(h, double_bits(rc.memory_mb));
+  }
+  return static_cast<std::size_t>(h);
+}
+
+const Evaluation* ProbeCache::find(const ProbeCacheKey& key) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return &it->second;
+}
+
+void ProbeCache::insert(const ProbeCacheKey& key, const Evaluation& eval) {
+  entries_.emplace(key, eval);
+}
+
+}  // namespace aarc::search

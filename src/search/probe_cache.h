@@ -1,0 +1,60 @@
+// Probe memoization: serve repeated configurations from memory.
+//
+// Priority-configurator revert/halving loops and BO acquisition re-visits
+// probe the same WorkflowConfig many times.  On the real platform each
+// re-visit is a paid execution; under a fixed seed epoch it is also a
+// deterministic function of (config, input scale), so the evaluator can
+// answer it from cache — recorded in the trace as a hit, billed nothing.
+//
+// The key is (WorkflowConfig, input_scale, seed-epoch).  The seed epoch ties
+// cached draws to the RNG regime that produced them: entries from one seed
+// must never answer probes of another (e.g. when a long-lived cache outlives
+// one evaluator, or an adaptive controller re-seeds between rounds).
+//
+// Thread-safety: none needed by design.  The evaluator looks up at batch
+// assembly and inserts at batch commit, both on the submitting thread; the
+// worker pool never touches the cache.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+#include "platform/resource.h"
+#include "search/probe.h"
+
+namespace aarc::search {
+
+struct ProbeCacheKey {
+  platform::WorkflowConfig config;
+  double input_scale = 1.0;
+  std::uint64_t seed_epoch = 0;
+
+  friend bool operator==(const ProbeCacheKey&, const ProbeCacheKey&) = default;
+};
+
+struct ProbeCacheKeyHash {
+  std::size_t operator()(const ProbeCacheKey& key) const;
+};
+
+class ProbeCache {
+ public:
+  /// The cached evaluation for `key`, or nullptr on a miss.  Counts the
+  /// lookup toward hits()/misses().
+  const Evaluation* find(const ProbeCacheKey& key);
+
+  /// Memoize `eval` under `key` (first write wins; re-inserting an existing
+  /// key keeps the original so cached history never mutates).
+  void insert(const ProbeCacheKey& key, const Evaluation& eval);
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t hits() const { return hits_; }
+  std::size_t misses() const { return misses_; }
+
+ private:
+  std::unordered_map<ProbeCacheKey, Evaluation, ProbeCacheKeyHash> entries_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace aarc::search

@@ -14,7 +14,10 @@ void SearchTrace::add(Sample sample) {
   expects(std::isfinite(sample.wall_seconds) && sample.wall_seconds >= 0.0 &&
               std::isfinite(sample.wall_cost) && sample.wall_cost >= 0.0,
           "sampling wall time/cost must be finite and non-negative");
-  expects(sample.probe_attempts >= 1, "a sample consumes at least one execution");
+  expects(sample.cache_hit ? sample.probe_attempts == 0 : sample.probe_attempts >= 1,
+          "a sample consumes at least one execution unless served from cache");
+  expects(!sample.cache_hit || (sample.wall_seconds == 0.0 && sample.wall_cost == 0.0),
+          "a cache hit must not be billed");
   samples_.push_back(std::move(sample));
 }
 
@@ -48,6 +51,14 @@ std::size_t SearchTrace::transient_failures() const {
   std::size_t total = 0;
   for (const auto& s : samples_) {
     if (s.failed && s.transient) ++total;
+  }
+  return total;
+}
+
+std::size_t SearchTrace::cache_hits() const {
+  std::size_t total = 0;
+  for (const auto& s : samples_) {
+    if (s.cache_hit) ++total;
   }
   return total;
 }

@@ -30,7 +30,10 @@ struct Sample {
                                         ///< a retry of the probe may succeed
   bool feasible = false;                ///< !failed && makespan <= SLO
   std::size_t probe_attempts = 1;       ///< platform executions this sample consumed
-                                        ///< (> 1 when the evaluator re-sampled)
+                                        ///< (> 1 when the evaluator re-sampled,
+                                        ///< 0 when served from the probe cache)
+  bool cache_hit = false;               ///< served from the probe memoization cache:
+                                        ///< zero executions, zero wall charges
 };
 
 class SearchTrace {
@@ -52,6 +55,8 @@ class SearchTrace {
   std::size_t resampled_probes() const;
   /// Samples that ended in a transient (retryable) failure.
   std::size_t transient_failures() const;
+  /// Samples served from the probe memoization cache (not billed).
+  std::size_t cache_hits() const;
 
   /// Index of the cheapest feasible sample so far (the incumbent), or
   /// nullopt if no feasible sample exists.

@@ -1,0 +1,72 @@
+#include "support/thread_pool.h"
+
+#include "support/contracts.h"
+
+namespace aarc::support {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  expects(workers >= 1, "thread pool needs at least one worker");
+  threads_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_workers_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::parallel_for(
+    std::size_t count, const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (count == 0) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  expects(job_ == nullptr, "parallel_for is not reentrant");
+  job_ = &fn;
+  job_count_ = count;
+  next_item_ = 0;
+  in_flight_ = 0;
+  first_error_ = nullptr;
+  ++generation_;
+  wake_workers_.notify_all();
+  batch_done_.wait(lock, [this] { return next_item_ >= job_count_ && in_flight_ == 0; });
+  job_ = nullptr;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void ThreadPool::worker_loop(std::size_t worker) {
+  std::uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    wake_workers_.wait(lock, [&] { return stopping_ || generation_ != seen_generation; });
+    if (stopping_) return;
+    seen_generation = generation_;
+    while (next_item_ < job_count_) {
+      const std::size_t item = next_item_++;
+      ++in_flight_;
+      const auto* fn = job_;
+      lock.unlock();
+      std::exception_ptr error;
+      try {
+        (*fn)(item, worker);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      lock.lock();
+      if (error && !first_error_) first_error_ = error;
+      --in_flight_;
+    }
+    if (in_flight_ == 0) batch_done_.notify_one();
+  }
+}
+
+std::size_t ThreadPool::default_workers() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+}  // namespace aarc::support

@@ -1,0 +1,66 @@
+// A small fixed-size worker pool for deterministic fan-out.
+//
+// The pool exists for one pattern: run N independent tasks, indexed 0..N-1,
+// across W persistent workers and block until all are done.  Each task is
+// handed its item index and the id of the worker running it, so callers can
+// route work to per-worker resources (e.g. per-thread Executor clones in
+// search::BatchEvaluator) without any locking of their own.
+//
+// Determinism contract: the pool never reorders results — callers index a
+// pre-sized output slot by item, so the outcome of a parallel_for is a pure
+// function of the task list, independent of scheduling.  Workers pull items
+// from an atomic counter (work stealing by increment), which balances load
+// without a queue.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include <condition_variable>
+#include <mutex>
+
+namespace aarc::support {
+
+class ThreadPool {
+ public:
+  /// Spawn `workers` persistent threads (>= 1).
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return threads_.size(); }
+
+  /// Run fn(item, worker) for every item in [0, count) across the pool and
+  /// block until all items completed.  `worker` is in [0, size()).  The first
+  /// exception thrown by any task is rethrown here after the batch drains;
+  /// remaining items still run (tasks must be exception-safe individually).
+  /// Not reentrant: only one parallel_for may be active at a time.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t item, std::size_t worker)>& fn);
+
+  /// Hardware concurrency with a sane floor (>= 1).
+  static std::size_t default_workers();
+
+ private:
+  void worker_loop(std::size_t worker);
+
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_workers_;
+  std::condition_variable batch_done_;
+  const std::function<void(std::size_t, std::size_t)>* job_ = nullptr;
+  std::size_t job_count_ = 0;
+  std::size_t next_item_ = 0;    ///< next unclaimed item (under mutex_)
+  std::size_t in_flight_ = 0;    ///< items claimed but not finished
+  std::uint64_t generation_ = 0; ///< bumps once per parallel_for
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace aarc::support

@@ -64,7 +64,9 @@ TEST(TraceCsv, OneRowPerSampleWithHeader) {
 
 TEST(TraceCsv, EmptyTraceIsJustHeader) {
   const std::string csv = trace_to_csv(search::SearchTrace{});
-  EXPECT_EQ(csv, "index,makespan,cost,wall_seconds,wall_cost,failed,feasible,attempts\n");
+  EXPECT_EQ(csv,
+            "index,makespan,cost,wall_seconds,wall_cost,failed,feasible,attempts,"
+            "cache_hit\n");
 }
 
 TEST(ExecutionCsv, ReportsPerInvocationRows) {

@@ -1,0 +1,171 @@
+// Batch probe API and memoization cache: batches must commit in request
+// order with thread-count-independent results, and a cache hit must return
+// the exact cached Evaluation without billing a second execution.
+#include "search/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "perf/analytic.h"
+
+namespace aarc::search {
+namespace {
+
+std::unique_ptr<perf::PerfModel> model(double serial) {
+  perf::AnalyticParams p;
+  p.serial_seconds = serial;
+  p.working_set_mb = 256.0;
+  p.min_memory_mb = 128.0;
+  p.pressure_coeff = 0.0;
+  return std::make_unique<perf::AnalyticModel>(p);
+}
+
+platform::Workflow chain() {
+  platform::Workflow wf("chain");
+  wf.add_function("a", model(4.0));
+  wf.add_function("b", model(6.0));
+  wf.add_edge("a", "b");
+  return wf;
+}
+
+std::vector<ProbeRequest> some_requests(std::size_t count) {
+  std::vector<ProbeRequest> requests;
+  for (std::size_t i = 0; i < count; ++i) {
+    auto cfg = platform::uniform_config(2, {1.0, 512.0});
+    cfg[0].memory_mb = 512.0 + 128.0 * static_cast<double>(i % 5);
+    requests.emplace_back(std::move(cfg), i);
+  }
+  return requests;
+}
+
+EvaluatorOptions with_threads(std::size_t threads) {
+  EvaluatorOptions opts;
+  opts.threads = threads;
+  return opts;
+}
+
+TEST(BatchEvaluator, ResultsComeBackInRequestOrder) {
+  const platform::Workflow wf = chain();
+  const platform::Executor ex;
+  Evaluator ev(wf, ex, 100.0, 1.0, 42, with_threads(4));
+  const auto results = ev.evaluate_batch(some_requests(10));
+  ASSERT_EQ(results.size(), 10u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].tag, i);
+    EXPECT_EQ(results[i].sample_index, i);
+    EXPECT_EQ(ev.trace().samples()[i].index, i);
+  }
+}
+
+TEST(BatchEvaluator, ThreadCountDoesNotChangeResults) {
+  const platform::Workflow wf = chain();
+  const platform::Executor ex;
+  Evaluator serial(wf, ex, 100.0, 1.0, 42, with_threads(1));
+  Evaluator parallel(wf, ex, 100.0, 1.0, 42, with_threads(8));
+  const auto a = serial.evaluate_batch(some_requests(16));
+  const auto b = parallel.evaluate_batch(some_requests(16));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].evaluation.sample.makespan, b[i].evaluation.sample.makespan);
+    EXPECT_DOUBLE_EQ(a[i].evaluation.sample.cost, b[i].evaluation.sample.cost);
+  }
+}
+
+TEST(BatchEvaluator, BatchAndOneByOneAgree) {
+  const platform::Workflow wf = chain();
+  const platform::Executor ex;
+  Evaluator batched(wf, ex, 100.0, 1.0, 7, with_threads(4));
+  Evaluator sequential(wf, ex, 100.0, 1.0, 7, with_threads(1));
+  const auto requests = some_requests(6);
+  const auto results = batched.evaluate_batch(requests);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const auto eval = sequential.evaluate(requests[i].config);
+    EXPECT_DOUBLE_EQ(results[i].evaluation.sample.makespan, eval.sample.makespan);
+  }
+}
+
+EvaluatorOptions with_cache() {
+  EvaluatorOptions opts;
+  opts.probe_cache = true;
+  return opts;
+}
+
+TEST(ProbeCache, HitReturnsTheCachedEvaluationUnbilled) {
+  const platform::Workflow wf = chain();
+  const platform::Executor ex;
+  Evaluator ev(wf, ex, 100.0, 1.0, 42, with_cache());
+  const auto cfg = platform::uniform_config(2, {1.0, 512.0});
+  const auto first = ev.evaluate(cfg);
+  const std::size_t executions_after_first = ev.executions_used();
+  const auto second = ev.evaluate(cfg);
+
+  // Bit-identical payload, served from memory.
+  EXPECT_DOUBLE_EQ(second.sample.makespan, first.sample.makespan);
+  EXPECT_DOUBLE_EQ(second.sample.cost, first.sample.cost);
+  EXPECT_EQ(second.function_runtimes, first.function_runtimes);
+
+  // The hit is a trace sample but not a platform execution or wall charge.
+  EXPECT_EQ(ev.samples_used(), 2u);
+  EXPECT_EQ(ev.cache_hits(), 1u);
+  EXPECT_EQ(ev.executions_used(), executions_after_first);
+  const auto& hit = ev.trace().samples()[1];
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_EQ(hit.probe_attempts, 0u);
+  EXPECT_DOUBLE_EQ(hit.wall_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(hit.wall_cost, 0.0);
+}
+
+TEST(ProbeCache, OffByDefault) {
+  const platform::Workflow wf = chain();
+  const platform::Executor ex;
+  Evaluator ev(wf, ex, 100.0, 1.0, 42);
+  const auto cfg = platform::uniform_config(2, {1.0, 512.0});
+  ev.evaluate(cfg);
+  ev.evaluate(cfg);
+  EXPECT_EQ(ev.cache_hits(), 0u);
+  EXPECT_EQ(ev.executions_used(), 2u);
+}
+
+TEST(ProbeCache, DeterministicOomIsCached) {
+  const platform::Workflow wf = chain();
+  const platform::Executor ex;
+  Evaluator ev(wf, ex, 100.0, 1.0, 42, with_cache());
+  auto cfg = platform::uniform_config(2, {1.0, 512.0});
+  cfg[1].memory_mb = 100.0;  // below the OOM floor: a property of the config
+  EXPECT_TRUE(ev.evaluate(cfg).sample.failed);
+  EXPECT_TRUE(ev.evaluate(cfg).sample.failed);
+  EXPECT_EQ(ev.cache_hits(), 1u);
+}
+
+TEST(ProbeCache, TransientFailuresAreNeverCached) {
+  const platform::Workflow wf = chain();
+  platform::ExecutorOptions opts;
+  platform::FaultRates rates;
+  rates.transient_crash = 1.0;  // every execution crashes
+  opts.faults = platform::FaultModel{rates};
+  const platform::Executor ex(std::make_unique<platform::DecoupledLinearPricing>(), opts);
+  Evaluator ev(wf, ex, 100.0, 1.0, 42, with_cache());
+  const auto cfg = platform::uniform_config(2, {1.0, 512.0});
+  EXPECT_TRUE(ev.evaluate(cfg).sample.transient);
+  EXPECT_TRUE(ev.evaluate(cfg).sample.transient);
+  // A crash is platform noise, not an answer about the configuration.
+  EXPECT_EQ(ev.cache_hits(), 0u);
+  EXPECT_EQ(ev.executions_used(), 2u);
+}
+
+TEST(ProbeCache, DuplicatesInsideOneBatchEachExecute) {
+  const platform::Workflow wf = chain();
+  const platform::Executor ex;
+  Evaluator ev(wf, ex, 100.0, 1.0, 42, with_cache());
+  const auto cfg = platform::uniform_config(2, {1.0, 512.0});
+  // The cache view is frozen at batch assembly, so neither request sees the
+  // other's (not yet committed) result — deterministic for any thread count.
+  const auto results = ev.evaluate_batch({ProbeRequest(cfg), ProbeRequest(cfg)});
+  EXPECT_FALSE(results[0].cache_hit);
+  EXPECT_FALSE(results[1].cache_hit);
+  EXPECT_EQ(ev.executions_used(), 2u);
+  // A later probe of the same config hits the committed entry.
+  EXPECT_EQ(ev.evaluate_batch({ProbeRequest(cfg)}).front().cache_hit, true);
+}
+
+}  // namespace
+}  // namespace aarc::search

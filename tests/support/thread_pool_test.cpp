@@ -1,0 +1,65 @@
+#include "support/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+namespace aarc::support {
+namespace {
+
+TEST(ThreadPool, RunsEveryItemExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(hits.size(), [&](std::size_t item, std::size_t) {
+    hits[item].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, WorkerIdsStayInRange) {
+  const std::size_t workers = 3;
+  ThreadPool pool(workers);
+  std::atomic<bool> in_range{true};
+  pool.parallel_for(64, [&](std::size_t, std::size_t worker) {
+    if (worker >= workers) in_range = false;
+  });
+  EXPECT_TRUE(in_range.load());
+}
+
+TEST(ThreadPool, EmptyBatchIsANoop) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, PropagatesTheFirstException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(8,
+                                 [&](std::size_t item, std::size_t) {
+                                   if (item == 3) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // The pool survives a throwing batch and runs the next one normally.
+  std::atomic<int> calls{0};
+  pool.parallel_for(8, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 8);
+}
+
+TEST(ThreadPool, ReusableAcrossManyBatches) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 20; ++round) {
+    pool.parallel_for(16, [&](std::size_t, std::size_t) { ++total; });
+  }
+  EXPECT_EQ(total.load(), 20 * 16);
+}
+
+TEST(ThreadPool, DefaultWorkersIsPositive) {
+  EXPECT_GE(ThreadPool::default_workers(), 1u);
+}
+
+}  // namespace
+}  // namespace aarc::support

@@ -48,12 +48,24 @@ struct Args {
 };
 
 Args parse_args(int argc, char** argv) {
+  // Old flag spellings keep working as hidden aliases of the canonical
+  // names, with a one-line nudge on stderr.
+  static const std::map<std::string, std::string> kAliases = {
+      {"retry-attempts", "retries"},
+      {"invocation-timeout", "timeout"},
+  };
   Args args;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string token = argv[i];
     if (support::starts_with(token, "--")) {
-      const std::string key = token.substr(2);
+      std::string key = token.substr(2);
+      const auto alias = kAliases.find(key);
+      if (alias != kAliases.end()) {
+        std::cerr << "note: --" << key << " is deprecated; use --" << alias->second
+                  << "\n";
+        key = alias->second;
+      }
       if (i + 1 >= argc) throw std::runtime_error("missing value for --" + key);
       args.options[key] = argv[++i];
     } else {
@@ -77,8 +89,25 @@ double option_number(const Args& args, const std::string& key, double fallback) 
   return it == args.options.end() ? fallback : std::stod(it->second);
 }
 
+bool option_switch(const Args& args, const std::string& key, bool fallback) {
+  const auto it = args.options.find(key);
+  if (it == args.options.end()) return fallback;
+  if (it->second == "on") return true;
+  if (it->second == "off") return false;
+  throw std::runtime_error("--" + key + " expects on|off");
+}
+
+/// Search-engine flags shared by schedule/compare: --threads, --probe-cache.
+search::EvaluatorOptions search_evaluator_options(const Args& args) {
+  search::EvaluatorOptions opts;
+  opts.threads = static_cast<std::size_t>(option_number(args, "threads", 1));
+  if (opts.threads == 0) throw std::runtime_error("--threads must be >= 1");
+  opts.probe_cache = option_switch(args, "probe-cache", false);
+  return opts;
+}
+
 /// Fault-injection flags shared by schedule/simulate/serve: --fault-rate,
-/// --straggler-rate, --retry-attempts, --retry-backoff, --invocation-timeout.
+/// --straggler-rate, --retries, --retry-backoff, --timeout.
 platform::ExecutorOptions fault_executor_options(const Args& args) {
   platform::ExecutorOptions opts;
   platform::FaultRates rates;
@@ -86,18 +115,17 @@ platform::ExecutorOptions fault_executor_options(const Args& args) {
   rates.straggler = option_number(args, "straggler-rate", 0.0);
   rates.validate();
   opts.faults = platform::FaultModel{rates};
-  opts.retry.max_attempts =
-      static_cast<std::size_t>(option_number(args, "retry-attempts", 1));
+  opts.retry.max_attempts = static_cast<std::size_t>(option_number(args, "retries", 1));
   opts.retry.backoff_initial_seconds = option_number(args, "retry-backoff", 0.5);
-  opts.retry.timeout_seconds = option_number(args, "invocation-timeout", 0.0);
+  opts.retry.timeout_seconds = option_number(args, "timeout", 0.0);
   opts.retry.validate();
   return opts;
 }
 
 bool faults_requested(const Args& args) {
   return args.options.count("fault-rate") || args.options.count("straggler-rate") ||
-         args.options.count("retry-attempts") || args.options.count("retry-backoff") ||
-         args.options.count("invocation-timeout");
+         args.options.count("retries") || args.options.count("retry-backoff") ||
+         args.options.count("timeout");
 }
 
 int cmd_export(const Args& args) {
@@ -151,6 +179,9 @@ int cmd_schedule(const Args& args) {
                               fault_executor_options(args));
   const platform::ConfigGrid grid;
   core::SchedulerOptions sched_opts;
+  const auto eval_opts = search_evaluator_options(args);
+  sched_opts.evaluator_threads = eval_opts.threads;
+  sched_opts.probe_cache = eval_opts.probe_cache;
   if (faults_requested(args)) {
     // On a faulty platform, let the evaluator absorb transient probe noise.
     sched_opts.probe_resamples =
@@ -301,6 +332,7 @@ int cmd_compare(const Args& args) {
   const platform::Executor ex;
   const platform::ConfigGrid grid;
   const platform::Profiler profiler(ex);
+  const search::EvaluatorOptions eval_opts = search_evaluator_options(args);
 
   std::vector<report::MethodRun> runs;
   std::vector<report::ValidationRun> validations;
@@ -318,19 +350,24 @@ int cmd_compare(const Args& args) {
   };
 
   {
-    const core::GraphCentricScheduler scheduler(ex, grid);
+    core::SchedulerOptions sched_opts;
+    sched_opts.evaluator_threads = eval_opts.threads;
+    sched_opts.probe_cache = eval_opts.probe_cache;
+    const core::GraphCentricScheduler scheduler(ex, grid, sched_opts);
     record("AARC", scheduler.schedule(w.workflow, w.slo_seconds).result);
   }
   {
-    search::Evaluator ev(w.workflow, ex, w.slo_seconds, 1.0, 3101);
-    record("BO", baselines::bayesian_optimization(ev, grid));
+    search::Evaluator ev(w.workflow, ex, w.slo_seconds, 1.0, 3101, eval_opts);
+    baselines::BoOptions bo;
+    bo.batch_size = eval_opts.threads;  // one acquisition batch per worker set
+    record("BO", baselines::bayesian_optimization(ev, grid, bo));
   }
   {
-    search::Evaluator ev(w.workflow, ex, w.slo_seconds, 1.0, 3202);
+    search::Evaluator ev(w.workflow, ex, w.slo_seconds, 1.0, 3202, eval_opts);
     record("MAFF", baselines::maff_gradient_descent(ev, grid));
   }
   {
-    search::Evaluator ev(w.workflow, ex, w.slo_seconds, 1.0, 3303);
+    search::Evaluator ev(w.workflow, ex, w.slo_seconds, 1.0, 3303, eval_opts);
     record("random", baselines::random_search(ev, grid));
   }
 
@@ -352,20 +389,35 @@ int cmd_compare(const Args& args) {
 int usage() {
   std::cout << "usage: aarc_cli <command> <workload> [options]\n"
                "commands:\n"
-               "  export   <workload> [--out file]\n"
-               "  describe <workload>\n"
-               "  schedule <workload> [--scale S] [--out file] [--trace file.csv]\n"
-               "  simulate <workload> --config file [--runs N] [--scale S] [--seed K]\n"
-               "  advise   <workload> [--config file] [--scale S]\n"
-               "  serve    <workload> [--requests N] [--rate R] [--keep-alive S]\n"
-               "  compare  <workload>\n"
-               "fault injection (schedule | simulate | serve):\n"
-               "  --fault-rate P          transient crash probability per invocation\n"
-               "  --straggler-rate P      straggler (slowdown) probability\n"
-               "  --retry-attempts N      attempts per invocation (default 1 = off)\n"
-               "  --retry-backoff S       initial retry backoff seconds (default 0.5)\n"
-               "  --invocation-timeout S  per-attempt timeout seconds (0 = none)\n"
-               "  --probe-resamples N     schedule only: probe re-runs on failure\n"
+               "  export   <workload>                 dump the workload as JSON\n"
+               "  describe <workload>                 topology, critical path, DOT\n"
+               "  schedule <workload>                 run AARC, print/write the config\n"
+               "  simulate <workload> --config file   validate a config (Table II)\n"
+               "  advise   <workload>                 per-function affinity report\n"
+               "  serve    <workload>                 run a request stream on the DES\n"
+               "  compare  <workload>                 AARC vs BO vs MAFF vs random\n"
+               "platform (simulate | serve):\n"
+               "  --scale S            input scale multiplier (default 1)\n"
+               "  --runs N             simulate: validation executions (default 100)\n"
+               "  --requests N         serve: request count (default 50)\n"
+               "  --rate R             serve: Poisson arrival rate (default 0.01)\n"
+               "  --keep-alive S       serve: container keep-alive seconds\n"
+               "  --seed K             rng seed for validation / the stream\n"
+               "faults (schedule | simulate | serve):\n"
+               "  --fault-rate P       transient crash probability per invocation\n"
+               "  --straggler-rate P   straggler (slowdown) probability\n"
+               "  --retries N          attempts per invocation (default 1 = off)\n"
+               "  --retry-backoff S    initial retry backoff seconds (default 0.5)\n"
+               "  --timeout S          per-attempt timeout seconds (0 = none)\n"
+               "  --probe-resamples N  schedule only: probe re-runs on failure\n"
+               "search (schedule | compare):\n"
+               "  --threads N          evaluator worker threads; results are\n"
+               "                       identical for every value (default 1)\n"
+               "  --probe-cache on|off memoize repeated probe configurations\n"
+               "output:\n"
+               "  --out file           export | schedule: write instead of print\n"
+               "  --trace file.csv     schedule: write the probe trace as CSV\n"
+               "  --config file        simulate | advise | serve: config to use\n"
                "workload: chatbot | ml_pipeline | video_analysis | data_analytics |\n"
                "          path/to/workload.json\n";
   return 2;
