@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "aarc/operation.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "support/contracts.h"
 #include "support/log.h"
 
@@ -56,9 +58,27 @@ std::size_t PriorityConfigurator::initial_step_units(double current_value,
 namespace {
 
 struct RoundState {
-  std::size_t count = 0;  // probes spent across all rounds (vs MAX_TRAIL)
+  std::size_t count = 0;  // billed probes spent across all rounds (vs MAX_TRAIL)
   std::vector<double> accepted_cost;
 };
+
+struct ConfiguratorMetrics {
+  obs::Counter& paths_configured;
+  obs::Counter& ops_accepted;
+  obs::Counter& ops_reverted;
+  obs::Counter& transient_retries;
+};
+
+ConfiguratorMetrics& configurator_metrics() {
+  auto& reg = obs::MetricsRegistry::global();
+  static ConfiguratorMetrics m{
+      reg.counter(obs::metric::kAarcPathsConfigured),
+      reg.counter(obs::metric::kAarcOpsAccepted),
+      reg.counter(obs::metric::kAarcOpsReverted),
+      reg.counter(obs::metric::kAarcTransientRetries),
+  };
+  return m;
+}
 
 }  // namespace
 
@@ -72,6 +92,11 @@ PathConfigOutcome PriorityConfigurator::configure_path(
           "config size must match the workflow");
   expects(baseline.function_runtimes.size() == config.size(),
           "baseline must evaluate the same workflow");
+
+  ConfiguratorMetrics& metrics = configurator_metrics();
+  metrics.paths_configured.inc();
+  obs::Span path_span("aarc.configure_path", "aarc");
+  path_span.arg("path_nodes", static_cast<std::uint64_t>(path_nodes.size()));
 
   const double effective_slo = path_slo * (1.0 - options_.slo_safety_margin);
   const double effective_e2e_slo =
@@ -120,9 +145,12 @@ PathConfigOutcome PriorityConfigurator::configure_path(
         continue;
       }
       value = proposed;
-      ++state.count;
 
+      // MAX_TRAIL is denominated in billed samples: a probe answered from
+      // the memoization cache consumed no platform execution and must not
+      // burn budget, so the count moves only on executed probes.
       search::Evaluation eval = evaluator.evaluate(config);
+      if (!eval.sample.cache_hit) ++state.count;
       ++outcome.samples_used;
 
       // Distinguish "the platform hiccuped" from "this move was bad": a
@@ -134,10 +162,11 @@ PathConfigOutcome PriorityConfigurator::configure_path(
            left > 0 && eval.sample.failed && eval.sample.transient &&
            state.count < options_.max_trail;
            --left) {
-        ++state.count;
         eval = evaluator.evaluate(config);
+        if (!eval.sample.cache_hit) ++state.count;
         ++outcome.samples_used;
         ++outcome.transient_retries;
+        metrics.transient_retries.inc();
       }
 
       const double new_path_runtime = path_runtime(eval.function_runtimes, path_nodes);
@@ -156,6 +185,7 @@ PathConfigOutcome PriorityConfigurator::configure_path(
         // dropped.
         value = previous;
         ++outcome.ops_reverted;
+        metrics.ops_reverted.inc();
         expects(op.trail >= 1, "reverted op must have had a trial left");
         op.trail = op.step == 1 ? 0 : op.trail - 1;
         op.step = std::max<std::size_t>(1, op.step / 2);
@@ -169,6 +199,7 @@ PathConfigOutcome PriorityConfigurator::configure_path(
       outcome.accepted_runtimes = eval.function_runtimes;
       outcome.accepted_path_runtime = new_path_runtime;
       ++outcome.ops_accepted;
+      metrics.ops_accepted.inc();
       const double reduced_cost = previous_cost - new_cost;
       if (reduced_cost < options_.min_gain_fraction * previous_cost) continue;
       if (options_.halve_step_on_accept) op.step = std::max<std::size_t>(1, op.step / 2);
@@ -186,6 +217,9 @@ PathConfigOutcome PriorityConfigurator::configure_path(
   }
 
   outcome.accepted_costs = std::move(state.accepted_cost);
+  path_span.arg("samples", static_cast<std::uint64_t>(outcome.samples_used));
+  path_span.arg("ops_accepted", static_cast<std::uint64_t>(outcome.ops_accepted));
+  path_span.arg("ops_reverted", static_cast<std::uint64_t>(outcome.ops_reverted));
   return outcome;
 }
 

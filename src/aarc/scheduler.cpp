@@ -4,6 +4,8 @@
 
 #include "dag/critical_path.h"
 #include "dag/detour.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "support/contracts.h"
 #include "support/log.h"
 
@@ -35,6 +37,9 @@ ScheduleReport GraphCentricScheduler::schedule(const platform::Workflow& workflo
                                                double input_scale) const {
   expects(slo_seconds > 0.0, "SLO must be positive");
 
+  obs::MetricsRegistry::global().counter(obs::metric::kAarcSchedules).inc();
+  obs::Span schedule_span("aarc.schedule", "aarc");
+
   platform::Workflow wf = workflow.clone();
   wf.validate();
   const std::size_t n = wf.function_count();
@@ -56,11 +61,13 @@ ScheduleReport GraphCentricScheduler::schedule(const platform::Workflow& workflo
   // Line 5: execute G once to weight the DAG.  A transient platform fault
   // here says nothing about the configuration — re-probe before concluding
   // the workflow cannot run fully provisioned.
+  obs::Span profile_span("aarc.profile_base", "aarc");
   search::Evaluation baseline = evaluator.evaluate(config);
   for (std::size_t left = options_.configurator.transient_probe_retries;
        left > 0 && baseline.sample.failed && baseline.sample.transient; --left) {
     baseline = evaluator.evaluate(config);
   }
+  profile_span.finish();
   if (baseline.sample.failed) {
     // The workflow cannot run even fully provisioned: no feasible config.
     report.result.trace = evaluator.trace();
@@ -145,11 +152,13 @@ ScheduleReport GraphCentricScheduler::schedule(const platform::Workflow& workflo
 
   // Finalization (step 7 in Fig. 4): verify the configuration once; a
   // transient fault must not reject an otherwise feasible configuration.
+  obs::Span finalize_span("aarc.finalize", "aarc");
   search::Evaluation final_eval = evaluator.evaluate(config);
   for (std::size_t left = options_.configurator.transient_probe_retries;
        left > 0 && final_eval.sample.failed && final_eval.sample.transient; --left) {
     final_eval = evaluator.evaluate(config);
   }
+  finalize_span.finish();
   report.result.best_config = config;
   report.result.found_feasible = final_eval.sample.feasible;
   report.result.trace = evaluator.trace();

@@ -8,6 +8,8 @@
 #include "baselines/bo/acquisition.h"
 #include "baselines/bo/gp.h"
 #include "baselines/bo/lhs.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "support/contracts.h"
 
 namespace aarc::baselines {
@@ -110,6 +112,11 @@ search::SearchResult bayesian_optimization(search::Evaluator& evaluator,
   expects(options.candidate_pool > 0, "candidate pool must be non-empty");
   expects(options.batch_size >= 1, "batch size must be >= 1");
 
+  obs::MetricsRegistry::global().counter(obs::metric::kBoRuns).inc();
+  obs::Counter& iterations_metric =
+      obs::MetricsRegistry::global().counter(obs::metric::kBoIterations);
+  obs::Span run_span("bo.run", "baselines");
+
   const std::size_t functions = evaluator.workflow().function_count();
   const SpaceCodec codec(grid, functions);
   support::Rng rng(options.seed);
@@ -118,6 +125,10 @@ search::SearchResult bayesian_optimization(search::Evaluator& evaluator,
   std::vector<double> objectives;
   xs.reserve(options.max_samples);
   objectives.reserve(options.max_samples);
+  // The budget is spent in billed samples: probes answered from the
+  // memoization cache still inform the GP (they join xs/objectives) but
+  // consumed no platform execution, so they don't count against max_samples.
+  std::size_t billed = 0;
 
   // Submit a batch of normalized points through the probe gateway; results
   // come back in request order, so (xs, objectives) grow deterministically
@@ -136,6 +147,7 @@ search::SearchResult bayesian_optimization(search::Evaluator& evaluator,
       xs.push_back(snapped[i]);
       objectives.push_back(
           objective_of(results[i].evaluation.sample, evaluator.slo_seconds(), options));
+      if (!results[i].cache_hit) ++billed;
     }
   };
 
@@ -155,11 +167,24 @@ search::SearchResult bayesian_optimization(search::Evaluator& evaluator,
 
   GaussianProcess gp(make_kernel(options), options.noise_variance);
 
-  while (xs.size() < options.max_samples) {
-    gp.fit(xs, objectives);
-    if (options.lengthscale_every > 0 && xs.size() % options.lengthscale_every == 0) {
-      gp.select_lengthscale({0.05, 0.1, 0.2, 0.4, 0.8});
+  // When the probe cache keeps answering every candidate, billed stops
+  // advancing; a few consecutive rounds that bill nothing end the search
+  // rather than re-ranking the same cached space forever.  With the cache
+  // off, billed == xs.size() and the loop behaves exactly as before.
+  std::size_t stale_rounds = 0;
+  while (billed < options.max_samples && stale_rounds < 8) {
+    iterations_metric.inc();
+    obs::Span iteration_span("bo.iteration", "baselines");
+    const std::size_t billed_before = billed;
+    {
+      obs::Span fit_span("bo.fit", "baselines");
+      fit_span.arg("observations", static_cast<std::uint64_t>(xs.size()));
+      gp.fit(xs, objectives);
+      if (options.lengthscale_every > 0 && xs.size() % options.lengthscale_every == 0) {
+        gp.select_lengthscale({0.05, 0.1, 0.2, 0.4, 0.8});
+      }
     }
+    obs::Span acquire_span("bo.acquire", "baselines");
 
     const double best_objective = *std::min_element(objectives.begin(), objectives.end());
     const std::size_t best_index = static_cast<std::size_t>(
@@ -193,7 +218,7 @@ search::SearchResult bayesian_optimization(search::Evaluator& evaluator,
     std::stable_sort(order.begin(), order.end(),
                      [&](std::size_t a, std::size_t b) { return ei[a] > ei[b]; });
 
-    const std::size_t budget_left = options.max_samples - xs.size();
+    const std::size_t budget_left = options.max_samples - billed;
     const std::size_t want = std::min(options.batch_size, budget_left);
     std::vector<std::vector<double>> picked;
     picked.reserve(want);
@@ -206,7 +231,9 @@ search::SearchResult bayesian_optimization(search::Evaluator& evaluator,
       }
       picked.push_back(candidates[idx]);
     }
+    acquire_span.finish();
     probe_batch(picked);
+    stale_rounds = billed == billed_before ? stale_rounds + 1 : 0;
   }
 
   search::SearchResult result;

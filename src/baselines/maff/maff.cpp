@@ -6,6 +6,8 @@
 #include <optional>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "support/contracts.h"
 
 namespace aarc::baselines {
@@ -32,6 +34,11 @@ search::SearchResult maff_gradient_descent(search::Evaluator& evaluator,
           "initial step must be >= min step");
   expects(options.max_samples >= 1, "max_samples must be >= 1");
 
+  obs::MetricsRegistry::global().counter(obs::metric::kMaffRuns).inc();
+  obs::Counter& rounds_metric =
+      obs::MetricsRegistry::global().counter(obs::metric::kMaffRounds);
+  obs::Span run_span("maff.run", "baselines");
+
   const std::size_t n = evaluator.workflow().function_count();
   const double safe_slo = evaluator.slo_seconds() * (1.0 - options.slo_margin);
 
@@ -52,13 +59,17 @@ search::SearchResult maff_gradient_descent(search::Evaluator& evaluator,
   std::vector<double> step(n, options.initial_step_mb);
   std::vector<bool> done(n, !start_feasible);  // infeasible start: nothing to do
 
+  // max_samples is a billed-sample budget: probes served from the memoization
+  // cache are free and must not end the descent early.
   for (std::size_t round = 0;
-       round < options.max_rounds && evaluator.samples_used() < options.max_samples;
+       round < options.max_rounds && evaluator.billed_samples() < options.max_samples;
        ++round) {
+    obs::Span round_span("maff.round", "baselines");
+    rounds_metric.inc();
     bool any_progress = false;
     for (std::size_t f = 0; f < n; ++f) {
       if (done[f]) continue;
-      if (evaluator.samples_used() >= options.max_samples) break;
+      if (evaluator.billed_samples() >= options.max_samples) break;
 
       const double proposed_memory = grid.memory().snap(memory[f] - step[f]);
       if (proposed_memory >= memory[f]) {

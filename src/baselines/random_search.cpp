@@ -3,6 +3,7 @@
 #include <limits>
 #include <optional>
 
+#include "obs/span.h"
 #include "support/contracts.h"
 #include "support/rng.h"
 
@@ -17,26 +18,38 @@ search::SearchResult random_search(search::Evaluator& evaluator,
   expects(options.slo_margin >= 0.0 && options.slo_margin < 1.0,
           "slo_margin must be in [0, 1)");
 
+  obs::Span run_span("random.run", "baselines");
   const std::size_t n = evaluator.workflow().function_count();
   support::Rng rng(options.seed);
 
-  // No draw depends on a previous probe's outcome, so the whole design is
-  // known upfront: submit it as one batch and let the evaluator fan out.
-  // The rng draw order matches the old one-probe-at-a-time loop exactly.
-  std::vector<search::ProbeRequest> requests;
-  requests.reserve(options.max_samples);
-  if (options.warm_start_with_base && evaluator.samples_used() < options.max_samples) {
-    requests.emplace_back(platform::uniform_config(n, grid.max_config()));
-  }
-  while (evaluator.samples_used() + requests.size() < options.max_samples) {
-    platform::WorkflowConfig config(n);
-    for (auto& rc : config) {
-      rc.vcpu = grid.cpu().value(rng.index(grid.cpu().size()));
-      rc.memory_mb = grid.memory().value(rng.index(grid.memory().size()));
+  // No draw depends on a previous probe's outcome, so a whole round is known
+  // upfront: submit it as one batch and let the evaluator fan out.  The rng
+  // draw order matches the old one-probe-at-a-time loop exactly.  The budget
+  // is denominated in billed samples — probes answered from the memoization
+  // cache are free — so top-up rounds follow until the budget is spent or
+  // rounds stop billing anything new (every fresh draw already cached).
+  bool warm_start = options.warm_start_with_base;
+  std::size_t stale_rounds = 0;
+  while (evaluator.billed_samples() < options.max_samples && stale_rounds < 4) {
+    const std::size_t billed_before = evaluator.billed_samples();
+    std::vector<search::ProbeRequest> requests;
+    requests.reserve(options.max_samples - billed_before);
+    if (warm_start) {
+      requests.emplace_back(platform::uniform_config(n, grid.max_config()));
+      warm_start = false;
     }
-    requests.emplace_back(std::move(config));
+    while (billed_before + requests.size() < options.max_samples) {
+      platform::WorkflowConfig config(n);
+      for (auto& rc : config) {
+        rc.vcpu = grid.cpu().value(rng.index(grid.cpu().size()));
+        rc.memory_mb = grid.memory().value(rng.index(grid.memory().size()));
+      }
+      requests.emplace_back(std::move(config));
+    }
+    if (requests.empty()) break;
+    (void)evaluator.evaluate_batch(requests);
+    stale_rounds = evaluator.billed_samples() == billed_before ? stale_rounds + 1 : 0;
   }
-  (void)evaluator.evaluate_batch(requests);
 
   search::SearchResult result;
   result.trace = evaluator.trace();

@@ -1,0 +1,49 @@
+#include "obs/manifest.h"
+
+namespace aarc::obs {
+
+std::string git_describe() {
+#ifdef AARC_GIT_DESCRIBE
+  return AARC_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+std::string RunManifest::to_json(const MetricsSnapshot& snapshot) const {
+  std::string out = "{\n";
+  const auto field = [&out](std::string_view key, std::string_view value,
+                            bool trailing_comma = true) {
+    out += "  ";
+    append_json_string(out, key);
+    out += ": ";
+    append_json_string(out, value);
+    if (trailing_comma) out += ",";
+    out += "\n";
+  };
+  field("tool", tool);
+  field("version", version);
+  field("command", command);
+  field("workload", workload);
+  out += "  \"seed\": " + std::to_string(seed) + ",\n";
+  out += "  \"options\": {";
+  for (std::size_t i = 0; i < options.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\n    ";
+    append_json_string(out, options[i].first);
+    out += ": ";
+    append_json_string(out, options[i].second);
+  }
+  out += options.empty() ? "},\n" : "\n  },\n";
+  out += "  \"metrics\": ";
+  // Indent the nested snapshot object to keep the document readable.
+  const std::string nested = snapshot.to_json(2);
+  for (std::size_t i = 0; i < nested.size(); ++i) {
+    out.push_back(nested[i]);
+    if (nested[i] == '\n' && i + 1 < nested.size()) out += "  ";
+  }
+  out += "\n}\n";
+  return out;
+}
+
+}  // namespace aarc::obs

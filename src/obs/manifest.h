@@ -1,0 +1,47 @@
+// Run manifests: one JSON document per run that answers "what exactly ran".
+//
+// A manifest captures the reproducibility envelope of a CLI invocation —
+// binary version (git describe), command, workload, seed, every option that
+// influenced the run — together with the final metrics snapshot.  Written by
+// `aarc_cli --metrics-out <file>`; schema documented in doc/OBSERVABILITY.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace aarc::obs {
+
+/// The version stamp baked into the binary at configure time
+/// (`git describe --always --dirty`), or "unknown" outside a git checkout.
+std::string git_describe();
+
+/// Everything needed to say "this is the run that produced these numbers".
+struct RunManifest {
+  std::string tool = "aarc_cli";
+  std::string version = git_describe();
+  std::string command;   ///< CLI subcommand, e.g. "schedule"
+  std::string workload;  ///< workload name, empty if not applicable
+  std::uint64_t seed = 0;
+  /// Flat key/value list of the options that shaped the run, in the order
+  /// they were added (stable for a given CLI version).
+  std::vector<std::pair<std::string, std::string>> options;
+
+  void add_option(std::string key, std::string value) {
+    options.emplace_back(std::move(key), std::move(value));
+  }
+  void add_option(std::string key, std::uint64_t value) {
+    options.emplace_back(std::move(key), std::to_string(value));
+  }
+  void add_option(std::string key, double value) {
+    options.emplace_back(std::move(key), json_number(value));
+  }
+
+  /// The manifest document: run header + "metrics" object from `snapshot`.
+  std::string to_json(const MetricsSnapshot& snapshot) const;
+};
+
+}  // namespace aarc::obs

@@ -1,0 +1,89 @@
+#include "obs/metric_names.h"
+
+#include <algorithm>
+
+namespace aarc::obs {
+
+const std::vector<MetricInfo>& metric_catalog() {
+  using K = MetricKind;
+  static const std::vector<MetricInfo> catalog = {
+      {"aarc.ops_accepted_total", K::Counter, "1", "",
+       "Algorithm 2 operations whose resource move was kept"},
+      {"aarc.ops_reverted_total", K::Counter, "1", "",
+       "Algorithm 2 operations reverted (error, SLO violation, or cost increase)"},
+      {"aarc.paths_configured_total", K::Counter, "1", "",
+       "paths handed to the Priority Configurator (critical path, detours, "
+       "uncovered nodes)"},
+      {"aarc.schedules_total", K::Counter, "1", "",
+       "Graph-Centric Scheduler runs (Algorithm 1)"},
+      {"aarc.transient_retries_total", K::Counter, "1", "",
+       "same-configuration re-probes after a transient probe failure"},
+      {"bo.iterations_total", K::Counter, "1", "",
+       "Bayesian-optimization fit/acquire rounds"},
+      {"bo.runs_total", K::Counter, "1", "", "Bayesian-optimization searches"},
+      {"maff.rounds_total", K::Counter, "1", "",
+       "MAFF coordinate-descent sweeps over the functions"},
+      {"maff.runs_total", K::Counter, "1", "", "MAFF gradient-descent searches"},
+      {"platform.cold_starts_total", K::Counter, "1", "",
+       "invocation attempts that paid a nonzero cold-start delay"},
+      {"platform.executions_total", K::Counter, "1", "",
+       "end-to-end workflow executions (noisy and noise-free)"},
+      {"platform.invocation_attempts_total", K::Counter, "1", "",
+       "function invocation attempts started (retries included)"},
+      {"platform.oom_failures_total", K::Counter, "1", "",
+       "invocations that failed deterministically on out-of-memory"},
+      {"platform.retries_total", K::Counter, "1", "",
+       "failed attempts that were retried under the retry policy"},
+      {"platform.timeouts_total", K::Counter, "1", "",
+       "attempts cut off by the per-attempt invocation timeout"},
+      {"platform.transient_faults_total", K::Counter, "1", "",
+       "attempts that crashed on an injected transient fault"},
+      {"search.batch_size", K::Histogram, "1", "",
+       "executed (non-cached) jobs per probe batch"},
+      {"search.batches_total", K::Counter, "1", "",
+       "probe batches submitted to the evaluation engine"},
+      {"search.cache_hits_total", K::Counter, "1", "",
+       "probes answered from the probe memoization cache"},
+      {"search.cache_misses_total", K::Counter, "1", "",
+       "cache lookups that missed (probe executed on the platform)"},
+      {"search.probe_executions_total", K::Counter, "1", "",
+       "platform executions consumed by probes (re-samples included)"},
+      {"search.probe_wall_seconds", K::Histogram, "seconds", "",
+       "billed wall time per executed probe (re-samples summed)"},
+      {"search.probes_executed_total", K::Counter, "1", "",
+       "probes that consumed at least one platform execution (billed samples)"},
+      {"search.probes_total", K::Counter, "1", "",
+       "probes committed to search traces (cache hits included)"},
+      {"search.queue_depth", K::Gauge, "1", "",
+       "jobs of the probe batch currently being executed (0 when idle)"},
+      {"search.worker_busy_seconds_total", K::Gauge, "seconds", "worker",
+       "wall time each evaluation worker spent executing probes"},
+      {"search.worker_probes_total", K::Counter, "1", "worker",
+       "probes executed by each evaluation worker"},
+      {"serving.cold_starts_total", K::Counter, "1", "",
+       "serving invocations that provisioned a fresh container"},
+      {"serving.request_failures_total", K::Counter, "1", "",
+       "served requests that failed (OOM or retries exhausted)"},
+      {"serving.request_latency_seconds", K::Histogram, "seconds", "",
+       "end-to-end latency of successfully served requests"},
+      {"serving.requests_total", K::Counter, "1", "",
+       "workflow requests entering the serving simulator"},
+      {"serving.retries_total", K::Counter, "1", "",
+       "failed serving attempts that were retried"},
+      {"serving.timeouts_total", K::Counter, "1", "",
+       "serving attempts cut off by the invocation timeout"},
+      {"serving.warm_starts_total", K::Counter, "1", "",
+       "serving invocations that reused a warm container"},
+  };
+  return catalog;
+}
+
+bool is_catalogued_metric(std::string_view name) {
+  const std::size_t brace = name.find('{');
+  if (brace != std::string_view::npos) name = name.substr(0, brace);
+  const auto& catalog = metric_catalog();
+  return std::any_of(catalog.begin(), catalog.end(),
+                     [&](const MetricInfo& m) { return name == m.name; });
+}
+
+}  // namespace aarc::obs

@@ -1,0 +1,90 @@
+// The metric name catalog: every stable metric name the framework emits.
+//
+// Names are the contract between the instrumented code, the exported run
+// manifests, and doc/OBSERVABILITY.md.  All three must agree, so the names
+// live here exactly once: instrumentation sites reference the constants,
+// and the `check_docs` tool (wired as a CTest) verifies the documentation
+// against `metric_catalog()` in both directions — an undocumented metric or
+// a documented-but-removed metric fails the build's test stage.
+//
+// Naming convention: `<layer>.<noun>[_<unit>]_total` for counters,
+// `<layer>.<noun>[_<unit>]` for gauges and histograms.  Labeled series
+// append `{key=value}` to the base name (see obs::labeled); only base names
+// are catalogued.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+namespace aarc::obs {
+
+/// How a catalogued metric behaves (mirrors the registry's metric classes).
+enum class MetricKind { Counter, Gauge, Histogram };
+
+struct MetricInfo {
+  const char* name;   ///< stable base name (no labels)
+  MetricKind kind;
+  const char* unit;   ///< "1" for dimensionless counts
+  const char* labels; ///< comma-separated label keys, "" when unlabeled
+  const char* help;
+};
+
+/// Every metric the framework can emit, name-sorted.  The single source of
+/// truth for doc/OBSERVABILITY.md (enforced by tools/check_docs).
+const std::vector<MetricInfo>& metric_catalog();
+
+/// True when `name` (labels stripped) is in the catalog.
+bool is_catalogued_metric(std::string_view name);
+
+// -- platform: the simulated serverless executor ---------------------------
+namespace metric {
+inline constexpr const char* kPlatformExecutions = "platform.executions_total";
+inline constexpr const char* kPlatformInvocationAttempts =
+    "platform.invocation_attempts_total";
+inline constexpr const char* kPlatformRetries = "platform.retries_total";
+inline constexpr const char* kPlatformTimeouts = "platform.timeouts_total";
+inline constexpr const char* kPlatformTransientFaults =
+    "platform.transient_faults_total";
+inline constexpr const char* kPlatformOomFailures = "platform.oom_failures_total";
+inline constexpr const char* kPlatformColdStarts = "platform.cold_starts_total";
+
+// -- search: the probe gateway, batch engine and probe cache ----------------
+inline constexpr const char* kSearchProbes = "search.probes_total";
+inline constexpr const char* kSearchProbesExecuted = "search.probes_executed_total";
+inline constexpr const char* kSearchCacheHits = "search.cache_hits_total";
+inline constexpr const char* kSearchCacheMisses = "search.cache_misses_total";
+inline constexpr const char* kSearchProbeExecutions = "search.probe_executions_total";
+inline constexpr const char* kSearchProbeWallSeconds = "search.probe_wall_seconds";
+inline constexpr const char* kSearchBatches = "search.batches_total";
+inline constexpr const char* kSearchBatchSize = "search.batch_size";
+inline constexpr const char* kSearchQueueDepth = "search.queue_depth";
+inline constexpr const char* kSearchWorkerProbes = "search.worker_probes_total";
+inline constexpr const char* kSearchWorkerBusySeconds =
+    "search.worker_busy_seconds_total";
+
+// -- serving: the discrete-event request-stream simulator -------------------
+inline constexpr const char* kServingRequests = "serving.requests_total";
+inline constexpr const char* kServingRequestFailures =
+    "serving.request_failures_total";
+inline constexpr const char* kServingRequestLatencySeconds =
+    "serving.request_latency_seconds";
+inline constexpr const char* kServingColdStarts = "serving.cold_starts_total";
+inline constexpr const char* kServingWarmStarts = "serving.warm_starts_total";
+inline constexpr const char* kServingRetries = "serving.retries_total";
+inline constexpr const char* kServingTimeouts = "serving.timeouts_total";
+
+// -- aarc: Graph-Centric Scheduler + Priority Configurator ------------------
+inline constexpr const char* kAarcSchedules = "aarc.schedules_total";
+inline constexpr const char* kAarcPathsConfigured = "aarc.paths_configured_total";
+inline constexpr const char* kAarcOpsAccepted = "aarc.ops_accepted_total";
+inline constexpr const char* kAarcOpsReverted = "aarc.ops_reverted_total";
+inline constexpr const char* kAarcTransientRetries = "aarc.transient_retries_total";
+
+// -- baselines --------------------------------------------------------------
+inline constexpr const char* kBoRuns = "bo.runs_total";
+inline constexpr const char* kBoIterations = "bo.iterations_total";
+inline constexpr const char* kMaffRuns = "maff.runs_total";
+inline constexpr const char* kMaffRounds = "maff.rounds_total";
+}  // namespace metric
+
+}  // namespace aarc::obs

@@ -1,0 +1,305 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "support/contracts.h"
+
+namespace aarc::obs {
+
+using support::expects;
+
+namespace {
+std::atomic<bool> g_metrics_enabled{true};
+}  // namespace
+
+bool metrics_enabled() { return g_metrics_enabled.load(std::memory_order_relaxed); }
+void set_metrics_enabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void Gauge::add(double delta) {
+  if (!metrics_enabled()) return;
+  double current = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void Gauge::record_max(double v) {
+  if (!metrics_enabled()) return;
+  double current = value_.load(std::memory_order_relaxed);
+  while (current < v &&
+         !value_.compare_exchange_weak(current, v, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  expects(!bounds_.empty(), "histogram needs at least one bucket bound");
+  expects(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+              std::adjacent_find(bounds_.begin(), bounds_.end()) == bounds_.end(),
+          "histogram bounds must be strictly ascending");
+  expects(std::isfinite(bounds_.front()) && std::isfinite(bounds_.back()),
+          "histogram bounds must be finite");
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double value) {
+  if (!metrics_enabled()) return;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto index = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double current = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(current, current + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::quantile(double q) const {
+  expects(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    const double in_bucket =
+        static_cast<double>(buckets_[i].load(std::memory_order_relaxed));
+    if (in_bucket == 0.0) continue;
+    if (cumulative + in_bucket >= target) {
+      if (i == bounds_.size()) return bounds_.back();  // overflow bucket
+      const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+      const double fraction =
+          std::clamp((target - cumulative) / in_bucket, 0.0, 1.0);
+      return lower + fraction * (bounds_[i] - lower);
+    }
+    cumulative += in_bucket;
+  }
+  return bounds_.back();
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+  count_.store(0);
+  sum_.store(0.0);
+}
+
+std::vector<double> default_latency_buckets() {
+  std::vector<double> bounds;
+  bounds.reserve(24);
+  double edge = 0.001;
+  for (int i = 0; i < 24; ++i) {
+    bounds.push_back(edge);
+    edge *= 1.8;
+  }
+  return bounds;
+}
+
+std::vector<double> default_size_buckets() {
+  std::vector<double> bounds;
+  for (double edge = 1.0; edge <= 4096.0; edge *= 2.0) bounds.push_back(edge);
+  return bounds;
+}
+
+std::string labeled(std::string_view base, std::string_view key,
+                    std::string_view value) {
+  std::string out;
+  out.reserve(base.size() + key.size() + value.size() + 3);
+  out.append(base);
+  out.push_back('{');
+  out.append(key);
+  out.push_back('=');
+  out.append(value);
+  out.push_back('}');
+  return out;
+}
+
+const MetricSample* MetricsSnapshot::find(std::string_view name) const {
+  for (const auto& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+double MetricsSnapshot::value_or(std::string_view name, double fallback) const {
+  const MetricSample* m = find(name);
+  return m == nullptr ? fallback : m->value;
+}
+
+void append_json_string(std::string& out, std::string_view text) {
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+std::string json_number(double v) {
+  expects(std::isfinite(v), "JSON numbers must be finite");
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+std::string MetricsSnapshot::to_json(int indent) const {
+  const std::string pad(static_cast<std::size_t>(std::max(indent, 0)), ' ');
+  const std::string pad2 = pad + pad;
+  const char* nl = indent > 0 ? "\n" : "";
+  std::string out = "{";
+  out += nl;
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    const MetricSample& m = metrics[i];
+    out += pad;
+    append_json_string(out, m.name);
+    out += ": ";
+    if (m.kind == MetricKind::Histogram) {
+      out += "{";
+      out += nl;
+      out += pad2 + "\"count\": " + json_number(m.value) + "," + nl;
+      out += pad2 + "\"sum\": " + json_number(m.sum) + "," + nl;
+      out += pad2 + "\"p50\": " + json_number(m.p50) + "," + nl;
+      out += pad2 + "\"p95\": " + json_number(m.p95) + "," + nl;
+      out += pad2 + "\"p99\": " + json_number(m.p99) + "," + nl;
+      out += pad2 + "\"bounds\": [";
+      for (std::size_t b = 0; b < m.bounds.size(); ++b) {
+        if (b > 0) out += ", ";
+        out += json_number(m.bounds[b]);
+      }
+      out += "],";
+      out += nl;
+      out += pad2 + "\"buckets\": [";
+      for (std::size_t b = 0; b < m.bucket_counts.size(); ++b) {
+        if (b > 0) out += ", ";
+        out += json_number(static_cast<double>(m.bucket_counts[b]));
+      }
+      out += "]";
+      out += nl;
+      out += pad + "}";
+    } else {
+      out += json_number(m.value);
+    }
+    if (i + 1 < metrics.size()) out += ",";
+    out += nl;
+  }
+  out += "}";
+  return out;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  expects(gauges_.count(name) == 0 && histograms_.count(name) == 0,
+          "metric name already registered with a different kind");
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  expects(counters_.count(name) == 0 && histograms_.count(name) == 0,
+          "metric name already registered with a different kind");
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  expects(counters_.count(name) == 0 && gauges_.count(name) == 0,
+          "metric name already registered with a different kind");
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.metrics.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    MetricSample m;
+    m.name = name;
+    m.kind = MetricKind::Counter;
+    m.value = static_cast<double>(c->value());
+    snap.metrics.push_back(std::move(m));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricSample m;
+    m.name = name;
+    m.kind = MetricKind::Gauge;
+    m.value = g->value();
+    snap.metrics.push_back(std::move(m));
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricSample m;
+    m.name = name;
+    m.kind = MetricKind::Histogram;
+    m.value = static_cast<double>(h->count());
+    m.sum = h->sum();
+    m.p50 = h->quantile(0.50);
+    m.p95 = h->quantile(0.95);
+    m.p99 = h->quantile(0.99);
+    m.bounds = h->bounds();
+    m.bucket_counts = h->bucket_counts();
+    snap.metrics.push_back(std::move(m));
+  }
+  std::sort(snap.metrics.begin(), snap.metrics.end(),
+            [](const MetricSample& a, const MetricSample& b) { return a.name < b.name; });
+  return snap;
+}
+
+std::vector<std::string> MetricsRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) out.push_back(name);
+  for (const auto& [name, g] : gauges_) out.push_back(name);
+  for (const auto& [name, h] : histograms_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed:
+  return *registry;  // instrumented statics may outlive function-local statics
+}
+
+}  // namespace aarc::obs

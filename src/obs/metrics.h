@@ -1,0 +1,166 @@
+// The metrics registry: counters, gauges and fixed-bucket histograms.
+//
+// Design constraints, in priority order:
+//
+//   1. Write-only.  Nothing in the framework ever reads a metric to make a
+//      decision, so instrumentation cannot perturb search results — a run
+//      with metrics disabled is bit-identical to one with metrics enabled
+//      (tested by tests/obs/instrumentation_test.cpp).
+//   2. Cheap enough for the BatchEvaluator hot path.  Counter::inc is one
+//      relaxed atomic fetch-add behind one relaxed flag load — no locks, no
+//      allocation (asserted by a release-mode micro-bench guard in
+//      tests/obs/metrics_test.cpp).  Name lookup takes a mutex, so hot
+//      paths resolve their handles once and keep the references; metric
+//      objects have stable addresses for the registry's lifetime.
+//   3. Thread-safe.  Counters/gauges/histogram buckets are atomics; the
+//      registry map is mutex-protected; concurrent increments from the
+//      ThreadPool workers never lose updates.
+//
+// The process-wide default registry (MetricsRegistry::global()) aggregates
+// every instrumented component; `aarc_cli --metrics-out` snapshots it into
+// the run manifest.  Metric names are catalogued in obs/metric_names.h —
+// use the constants there, not ad-hoc strings.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metric_names.h"
+
+namespace aarc::obs {
+
+/// Global metrics switch (default on).  When off, increments and observes
+/// are dropped at the instrumentation site; registration and reads still
+/// work.  Purely an overhead knob — results never depend on it.
+bool metrics_enabled();
+void set_metrics_enabled(bool enabled);
+
+/// Monotone event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    if (metrics_enabled()) value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A double-valued level: last-set value, accumulated sum, or running max.
+class Gauge {
+ public:
+  void set(double v) {
+    if (metrics_enabled()) value_.store(v, std::memory_order_relaxed);
+  }
+  /// Atomic add (CAS loop; contention on gauges is rare by construction).
+  void add(double delta);
+  /// Raise to `v` if larger.
+  void record_max(double v);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram with lock-free observation.
+///
+/// `upper_bounds` are the ascending, finite inclusive upper edges; one
+/// overflow bucket is implicit.  Quantiles interpolate linearly inside the
+/// containing bucket (lower edge of the first bucket is 0 — every observed
+/// quantity here is non-negative); a quantile landing in the overflow
+/// bucket reports the largest finite bound.  Resolution is therefore the
+/// bucket width — pick bounds to match (see default_latency_buckets).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double value);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// q in [0, 1]; 0 when the histogram is empty.
+  double quantile(double q) const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts, bounds().size() + 1 entries (overflow last).
+  std::vector<std::uint64_t> bucket_counts() const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  ///< bounds_+1 slots
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// 24 exponential bounds from 1 ms to ~2400 s — wide enough for both probe
+/// wall times and serving latencies across every built-in workload.
+std::vector<double> default_latency_buckets();
+/// 1, 2, 4, ..., 4096: batch/queue size style counts.
+std::vector<double> default_size_buckets();
+
+/// Full name of one labeled series: "base{key=value}".
+std::string labeled(std::string_view base, std::string_view key,
+                    std::string_view value);
+
+/// Point-in-time copy of one metric.
+struct MetricSample {
+  std::string name;
+  MetricKind kind = MetricKind::Counter;
+  double value = 0.0;  ///< counter / gauge value; histogram count
+  // Histogram-only detail:
+  double sum = 0.0;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> bucket_counts;
+};
+
+/// Name-sorted snapshot of a whole registry.
+struct MetricsSnapshot {
+  std::vector<MetricSample> metrics;
+
+  const MetricSample* find(std::string_view name) const;
+  double value_or(std::string_view name, double fallback) const;
+  /// Stable JSON object: {"metric.name": value | {histogram object}, ...}.
+  std::string to_json(int indent = 2) const;
+};
+
+class MetricsRegistry {
+ public:
+  /// Find-or-create by name.  Registering one name as two different kinds
+  /// is a contract violation.  Returned references stay valid for the
+  /// registry's lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `upper_bounds` applies on first registration only.
+  Histogram& histogram(const std::string& name, std::vector<double> upper_bounds);
+
+  MetricsSnapshot snapshot() const;
+  std::vector<std::string> names() const;
+  /// Zero every value, keep registrations (tests and benches between runs).
+  void reset();
+
+  /// The process-wide registry every instrumented component writes to.
+  static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Append `text` to `out` as a quoted JSON string (standard escapes).
+void append_json_string(std::string& out, std::string_view text);
+/// Format a double as a JSON number (finite; integers print without ".0").
+std::string json_number(double v);
+
+}  // namespace aarc::obs

@@ -1,0 +1,144 @@
+#include "obs/span.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"  // append_json_string
+
+namespace aarc::obs {
+
+std::uint32_t logical_thread_id() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+std::uint64_t Tracer::now_us() const {
+  const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count());
+}
+
+void Tracer::record(TraceEvent event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+std::size_t Tracer::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+void Tracer::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+namespace {
+
+std::vector<TraceEvent> sorted_events(std::vector<TraceEvent> events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.start_us != b.start_us) return a.start_us < b.start_us;
+                     return a.tid < b.tid;
+                   });
+  return events;
+}
+
+void append_args(std::string& out, const TraceEvent& e) {
+  out += "\"args\": {";
+  for (std::size_t i = 0; i < e.args.size(); ++i) {
+    if (i > 0) out += ", ";
+    append_json_string(out, e.args[i].first);
+    out += ": ";
+    append_json_string(out, e.args[i].second);
+  }
+  out += "}";
+}
+
+void append_event(std::string& out, const TraceEvent& e, bool chrome_format) {
+  out += "{\"name\": ";
+  append_json_string(out, e.name);
+  out += ", \"cat\": ";
+  append_json_string(out, e.category);
+  if (chrome_format) {
+    out += ", \"ph\": \"X\", \"pid\": 1";
+    out += ", \"tid\": " + std::to_string(e.tid);
+    out += ", \"ts\": " + std::to_string(e.start_us);
+    out += ", \"dur\": " + std::to_string(e.duration_us);
+  } else {
+    out += ", \"tid\": " + std::to_string(e.tid);
+    out += ", \"ts_us\": " + std::to_string(e.start_us);
+    out += ", \"dur_us\": " + std::to_string(e.duration_us);
+  }
+  out += ", ";
+  append_args(out, e);
+  out += "}";
+}
+
+}  // namespace
+
+std::string Tracer::to_trace_event_json() const {
+  const std::vector<TraceEvent> events = sorted_events(this->events());
+  std::string out = "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    append_event(out, events[i], /*chrome_format=*/true);
+    if (i + 1 < events.size()) out += ",";
+    out += "\n";
+  }
+  out += "]\n}\n";
+  return out;
+}
+
+std::string Tracer::to_jsonl() const {
+  const std::vector<TraceEvent> events = sorted_events(this->events());
+  std::string out;
+  for (const TraceEvent& e : events) {
+    append_event(out, e, /*chrome_format=*/false);
+    out += "\n";
+  }
+  return out;
+}
+
+Tracer& Tracer::global() {
+  static Tracer* tracer = new Tracer();  // never destroyed (see registry note)
+  return *tracer;
+}
+
+Span::Span(Tracer& tracer, std::string_view name, std::string_view category) {
+  if (!tracer.enabled()) return;
+  tracer_ = &tracer;
+  event_.name = name;
+  event_.category = category;
+  event_.tid = logical_thread_id();
+  event_.start_us = tracer.now_us();
+}
+
+void Span::arg(std::string_view key, std::string_view value) {
+  if (tracer_ == nullptr) return;
+  event_.args.emplace_back(std::string(key), std::string(value));
+}
+
+void Span::arg(std::string_view key, std::uint64_t value) {
+  arg(key, std::string_view(std::to_string(value)));
+}
+
+void Span::arg(std::string_view key, double value) {
+  arg(key, std::string_view(json_number(value)));
+}
+
+void Span::finish() {
+  if (tracer_ == nullptr) return;
+  const std::uint64_t end_us = tracer_->now_us();
+  event_.duration_us = end_us > event_.start_us ? end_us - event_.start_us : 0;
+  tracer_->record(std::move(event_));
+  tracer_ = nullptr;
+}
+
+}  // namespace aarc::obs

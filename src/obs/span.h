@@ -1,0 +1,118 @@
+// Scoped tracing: RAII spans that nest into a lightweight trace.
+//
+// A Span measures the wall time of one scope (a scheduling phase, a GP fit,
+// a probe batch) and records a complete event into a Tracer when the scope
+// exits.  Spans on the same thread nest naturally — the Chrome trace_event
+// model reconstructs the hierarchy from (tid, ts, dur) containment — so the
+// exported trace shows e.g.
+//
+//   aarc.schedule
+//   ├── aarc.profile_base
+//   ├── aarc.configure_path            (critical path)
+//   │     └── search.batch ×N
+//   │           └── search.probe       (per worker track)
+//   └── aarc.finalize
+//
+// Two export formats, both documented in doc/OBSERVABILITY.md:
+//   * Chrome trace_event JSON ("X" complete events) — load the file in
+//     https://ui.perfetto.dev or chrome://tracing;
+//   * JSONL — one event object per line, for ad-hoc jq/pandas analysis.
+//
+// Cost model: when the tracer is disabled (the default) constructing a Span
+// is one relaxed atomic load and the destructor does nothing, so spans can
+// stay compiled into hot paths.  When enabled, each span takes two
+// steady_clock reads and one mutex-protected vector push.  Timestamps are
+// wall-clock and therefore NOT deterministic — traces are for humans;
+// nothing in the framework reads them back.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace aarc::obs {
+
+/// One completed span ("X" phase in the trace_event format).
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  std::uint32_t tid = 0;        ///< logical thread id (see logical_thread_id)
+  std::uint64_t start_us = 0;   ///< microseconds since the tracer epoch
+  std::uint64_t duration_us = 0;
+  std::vector<std::pair<std::string, std::string>> args;  ///< string key/values
+};
+
+/// Small sequential id for the calling thread, stable for its lifetime.
+/// Gives traces compact per-worker tracks instead of opaque OS thread ids.
+std::uint32_t logical_thread_id();
+
+/// An append-only event sink with a steady-clock epoch.
+class Tracer {
+ public:
+  Tracer();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// Microseconds since this tracer's construction.
+  std::uint64_t now_us() const;
+
+  /// Append one event (thread-safe).  Unconditional — Span checks enabled();
+  /// direct callers (tests, manual exports) record regardless of the flag.
+  void record(TraceEvent event);
+
+  std::size_t size() const;
+  std::vector<TraceEvent> events() const;
+  void clear();
+
+  /// Chrome trace_event JSON: {"displayTimeUnit": "ms", "traceEvents": [...]}.
+  /// Events are sorted by (start, tid) for stable output.
+  std::string to_trace_event_json() const;
+  /// One event per line: {"name", "cat", "tid", "ts_us", "dur_us", "args"}.
+  std::string to_jsonl() const;
+
+  /// The process-wide tracer `aarc_cli --trace-out` enables and exports.
+  static Tracer& global();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII scoped timer; records into the tracer at scope exit.
+class Span {
+ public:
+  explicit Span(std::string_view name, std::string_view category = "aarc")
+      : Span(Tracer::global(), name, category) {}
+  Span(Tracer& tracer, std::string_view name, std::string_view category = "aarc");
+  ~Span() { finish(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attach a key/value annotation (dropped when the tracer is disabled).
+  void arg(std::string_view key, std::string_view value);
+  void arg(std::string_view key, std::uint64_t value);
+  void arg(std::string_view key, double value);
+
+  /// Record the event now instead of at destruction (idempotent).
+  void finish();
+
+  /// False when the tracer was disabled at construction: the span is free.
+  bool active() const { return tracer_ != nullptr; }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  TraceEvent event_;
+};
+
+}  // namespace aarc::obs

@@ -5,11 +5,42 @@
 #include <cmath>
 #include <thread>
 
+#include "obs/metrics.h"
 #include "support/contracts.h"
 
 namespace aarc::platform {
 
 using support::expects;
+
+namespace {
+
+// Handles resolved once; run() is the hottest loop in the repo and must not
+// take the registry mutex per execution.
+struct ExecutorMetrics {
+  obs::Counter& executions;
+  obs::Counter& attempts;
+  obs::Counter& retries;
+  obs::Counter& timeouts;
+  obs::Counter& transient_faults;
+  obs::Counter& oom_failures;
+  obs::Counter& cold_starts;
+};
+
+ExecutorMetrics& executor_metrics() {
+  auto& reg = obs::MetricsRegistry::global();
+  static ExecutorMetrics m{
+      reg.counter(obs::metric::kPlatformExecutions),
+      reg.counter(obs::metric::kPlatformInvocationAttempts),
+      reg.counter(obs::metric::kPlatformRetries),
+      reg.counter(obs::metric::kPlatformTimeouts),
+      reg.counter(obs::metric::kPlatformTransientFaults),
+      reg.counter(obs::metric::kPlatformOomFailures),
+      reg.counter(obs::metric::kPlatformColdStarts),
+  };
+  return m;
+}
+
+}  // namespace
 
 std::vector<double> ExecutionResult::runtimes() const {
   std::vector<double> out;
@@ -112,6 +143,8 @@ ExecutionResult Executor::run(const Workflow& workflow, const WorkflowConfig& co
   result.invocations.resize(g.node_count());
 
   const RetryPolicy& retry = options_.retry;
+  ExecutorMetrics& metrics = executor_metrics();
+  metrics.executions.inc();
 
   for (dag::NodeId id : order) {
     InvocationRecord rec;
@@ -132,6 +165,7 @@ ExecutionResult Executor::run(const Workflow& workflow, const WorkflowConfig& co
       rec.finish = kInfiniteTime;
       rec.cost = kInfiniteTime;
       result.failed = true;
+      metrics.oom_failures.inc();
     } else {
       // Faults and retries are stochastic; the noise-free mean execution
       // runs exactly one clean attempt (the timeout, being deterministic,
@@ -142,6 +176,7 @@ ExecutionResult Executor::run(const Workflow& workflow, const WorkflowConfig& co
       bool success = false;
       for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
         rec.attempts = attempt;
+        metrics.attempts.inc();
         double duration =
             model.mean_runtime(config[id].vcpu, config[id].memory_mb, input_scale);
         double cold = 0.0;
@@ -151,13 +186,16 @@ ExecutionResult Executor::run(const Workflow& workflow, const WorkflowConfig& co
           cold = options_.cold_start.sample_delay(*rng);
           fault = options_.faults.sample(id, *rng);
         }
+        if (cold > 0.0) metrics.cold_starts.inc();
         duration = duration * fault.runtime_multiplier + cold + fault.extra_delay_seconds;
         bool attempt_timed_out = false;
         if (fault.crashed) {
           duration *= fault.crash_fraction;
+          metrics.transient_faults.inc();
         } else if (retry.timeout_enabled() && duration > retry.timeout_seconds) {
           duration = retry.timeout_seconds;
           attempt_timed_out = true;
+          metrics.timeouts.inc();
         }
         rec.billed_seconds += duration;
         rec.billed_cost += pricing_->invocation_cost(config[id], duration);
@@ -171,6 +209,7 @@ ExecutionResult Executor::run(const Workflow& workflow, const WorkflowConfig& co
         ++rec.transient_failures;
         rec.timed_out = attempt_timed_out;
         if (attempt < max_attempts && rng != nullptr) {
+          metrics.retries.inc();
           elapsed += retry.backoff_seconds(attempt, *rng);
         }
       }

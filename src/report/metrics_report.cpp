@@ -1,0 +1,44 @@
+#include "report/metrics_report.h"
+
+namespace aarc::report {
+
+namespace {
+
+const char* kind_name(obs::MetricKind kind) {
+  switch (kind) {
+    case obs::MetricKind::Counter: return "counter";
+    case obs::MetricKind::Gauge: return "gauge";
+    case obs::MetricKind::Histogram: return "histogram";
+  }
+  return "?";
+}
+
+std::string value_cell(const obs::MetricSample& m) {
+  // Counters are integral; gauges and histogram sums keep decimals.
+  if (m.kind == obs::MetricKind::Counter || m.kind == obs::MetricKind::Histogram) {
+    return support::format_double(m.value, 0);
+  }
+  return support::format_double(m.value, 3);
+}
+
+}  // namespace
+
+support::Table metrics_summary(const obs::MetricsSnapshot& snapshot,
+                               bool include_zero) {
+  support::Table table({"metric", "kind", "value", "p50", "p95", "p99"});
+  for (const auto& m : snapshot.metrics) {
+    if (!include_zero && m.value == 0.0) continue;
+    std::vector<std::string> row{m.name, kind_name(m.kind), value_cell(m)};
+    if (m.kind == obs::MetricKind::Histogram) {
+      row.push_back(support::format_double(m.p50, 4));
+      row.push_back(support::format_double(m.p95, 4));
+      row.push_back(support::format_double(m.p99, 4));
+    } else {
+      row.insert(row.end(), {"-", "-", "-"});
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace aarc::report

@@ -1,0 +1,15 @@
+// ASCII rendering of a metrics snapshot: the `aarc_cli` run-summary table.
+#pragma once
+
+#include "obs/metrics.h"
+#include "support/table.h"
+
+namespace aarc::report {
+
+/// One row per metric: name, kind, value (count for histograms) and the
+/// p50/p95/p99 columns histograms fill in.  Zero-valued metrics are skipped
+/// unless `include_zero` — an idle subsystem contributes noise, not signal.
+support::Table metrics_summary(const obs::MetricsSnapshot& snapshot,
+                               bool include_zero = false);
+
+}  // namespace aarc::report

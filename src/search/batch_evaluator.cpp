@@ -1,7 +1,9 @@
 #include "search/batch_evaluator.h"
 
 #include <algorithm>
+#include <chrono>
 
+#include "obs/span.h"
 #include "support/contracts.h"
 #include "support/rng.h"
 
@@ -12,30 +14,55 @@ using support::expects;
 BatchEvaluator::BatchEvaluator(const platform::Workflow& workflow,
                                const platform::Executor& executor, double input_scale,
                                ResampleOptions resample, std::size_t threads)
-    : workflow_(&workflow), input_scale_(input_scale), resample_(resample) {
+    : workflow_(&workflow),
+      input_scale_(input_scale),
+      resample_(resample),
+      batches_metric_(obs::MetricsRegistry::global().counter(obs::metric::kSearchBatches)),
+      batch_size_metric_(obs::MetricsRegistry::global().histogram(
+          obs::metric::kSearchBatchSize, obs::default_size_buckets())),
+      queue_depth_metric_(
+          obs::MetricsRegistry::global().gauge(obs::metric::kSearchQueueDepth)) {
   expects(threads >= 1, "batch evaluator needs at least one thread");
   executors_.reserve(threads);
   for (std::size_t t = 0; t < threads; ++t) executors_.push_back(executor.clone());
   if (threads > 1) pool_ = std::make_unique<support::ThreadPool>(threads);
+  worker_probes_metric_.reserve(threads);
+  worker_busy_seconds_metric_.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    const std::string id = std::to_string(t);
+    worker_probes_metric_.push_back(&obs::MetricsRegistry::global().counter(
+        obs::labeled(obs::metric::kSearchWorkerProbes, "worker", id)));
+    worker_busy_seconds_metric_.push_back(&obs::MetricsRegistry::global().gauge(
+        obs::labeled(obs::metric::kSearchWorkerBusySeconds, "worker", id)));
+  }
 }
 
 std::vector<ProbeOutcome> BatchEvaluator::run(const std::vector<ProbeJob>& jobs) {
+  batches_metric_.inc();
+  batch_size_metric_.observe(static_cast<double>(jobs.size()));
+  obs::Span span("search.batch", "search");
+  span.arg("jobs", static_cast<std::uint64_t>(jobs.size()));
+
   std::vector<ProbeOutcome> outcomes(jobs.size());
   if (pool_ == nullptr || jobs.size() <= 1) {
     for (std::size_t i = 0; i < jobs.size(); ++i) {
-      outcomes[i] = run_one(executors_.front(), jobs[i]);
+      outcomes[i] = run_one(0, jobs[i]);
     }
     return outcomes;
   }
   pool_->parallel_for(jobs.size(), [&](std::size_t item, std::size_t worker) {
-    outcomes[item] = run_one(executors_[worker], jobs[item]);
+    outcomes[item] = run_one(worker, jobs[item]);
   });
   return outcomes;
 }
 
-ProbeOutcome BatchEvaluator::run_one(const platform::Executor& executor,
-                                     const ProbeJob& job) const {
+ProbeOutcome BatchEvaluator::run_one(std::size_t worker, const ProbeJob& job) const {
   expects(job.config != nullptr, "probe job without a configuration");
+  expects(worker < executors_.size(), "worker index out of range");
+  const platform::Executor& executor = executors_[worker];
+  queue_depth_metric_.add(1.0);
+  const auto started = std::chrono::steady_clock::now();
+  obs::Span span("search.probe", "search");
   support::Rng rng(job.rng_seed);
 
   std::vector<platform::ExecutionResult> runs;
@@ -78,6 +105,12 @@ ProbeOutcome BatchEvaluator::run_one(const platform::Executor& executor,
     outcome.wall_cost += run.observed_cost();
   }
   outcome.representative = std::move(runs[chosen]);
+
+  span.arg("executions", static_cast<std::uint64_t>(outcome.attempts));
+  worker_probes_metric_[worker]->inc();
+  worker_busy_seconds_metric_[worker]->add(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count());
+  queue_depth_metric_.add(-1.0);
   return outcome;
 }
 

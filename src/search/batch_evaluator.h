@@ -23,6 +23,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "platform/executor.h"
 #include "search/evaluator_options.h"
 #include "support/thread_pool.h"
@@ -60,13 +61,21 @@ class BatchEvaluator {
   std::size_t threads() const { return executors_.size(); }
 
  private:
-  ProbeOutcome run_one(const platform::Executor& executor, const ProbeJob& job) const;
+  ProbeOutcome run_one(std::size_t worker, const ProbeJob& job) const;
 
   const platform::Workflow* workflow_;
   double input_scale_;
   ResampleOptions resample_;
   std::vector<platform::Executor> executors_;  ///< one clone per worker
   std::unique_ptr<support::ThreadPool> pool_;  ///< null when threads() == 1
+
+  // Metric handles, resolved once at construction so the per-probe cost is a
+  // handful of relaxed atomic ops (write-only: results never read these).
+  obs::Counter& batches_metric_;
+  obs::Histogram& batch_size_metric_;
+  obs::Gauge& queue_depth_metric_;
+  std::vector<obs::Counter*> worker_probes_metric_;      ///< one per worker
+  std::vector<obs::Gauge*> worker_busy_seconds_metric_;  ///< one per worker
 };
 
 }  // namespace aarc::search

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 
+#include "obs/metrics.h"
 #include "support/contracts.h"
 #include "support/rng.h"
 
@@ -18,6 +20,30 @@ double lower_median(std::vector<double> values) {
   std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid),
                    values.end());
   return values[mid];
+}
+
+// Commit-phase handles (sequential path — contention-free by construction).
+struct EvaluatorMetrics {
+  obs::Counter& probes;
+  obs::Counter& probes_executed;
+  obs::Counter& cache_hits;
+  obs::Counter& cache_misses;
+  obs::Counter& probe_executions;
+  obs::Histogram& probe_wall_seconds;
+};
+
+EvaluatorMetrics& evaluator_metrics() {
+  auto& reg = obs::MetricsRegistry::global();
+  static EvaluatorMetrics m{
+      reg.counter(obs::metric::kSearchProbes),
+      reg.counter(obs::metric::kSearchProbesExecuted),
+      reg.counter(obs::metric::kSearchCacheHits),
+      reg.counter(obs::metric::kSearchCacheMisses),
+      reg.counter(obs::metric::kSearchProbeExecutions),
+      reg.histogram(obs::metric::kSearchProbeWallSeconds,
+                    obs::default_latency_buckets()),
+  };
+  return m;
 }
 
 }  // namespace
@@ -47,16 +73,28 @@ std::vector<ProbeResult> Evaluator::evaluate_batch(const std::vector<ProbeReques
   const bool have_median = !success_makespans_.empty();
   const double median_snapshot = have_median ? lower_median(success_makespans_) : 0.0;
 
+  constexpr std::size_t kNotDup = static_cast<std::size_t>(-1);
   std::vector<const Evaluation*> cached(requests.size(), nullptr);
+  std::vector<std::size_t> dup_of(requests.size(), kNotDup);
   std::vector<ProbeJob> jobs;
   std::vector<std::size_t> job_of_request(requests.size(), 0);
   jobs.reserve(requests.size());
+  // First pending occurrence of each key within this batch: a later duplicate
+  // is the same deterministic question, so it is served from the first
+  // occurrence's answer and billed nothing (cache semantics, batch-local).
+  std::unordered_map<ProbeCacheKey, std::size_t, ProbeCacheKeyHash> pending;
   for (std::size_t i = 0; i < requests.size(); ++i) {
     expects(requests[i].config.size() == workflow_->function_count(),
             "probe config must have one entry per function");
     if (options_.probe_cache) {
-      cached[i] = cache_.find(ProbeCacheKey{requests[i].config, input_scale_, seed_});
+      const ProbeCacheKey key{requests[i].config, input_scale_, seed_};
+      cached[i] = cache_.find(key);
       if (cached[i] != nullptr) continue;
+      const auto [first, inserted] = pending.try_emplace(key, i);
+      if (!inserted) {
+        dup_of[i] = first->second;
+        continue;
+      }
     }
     ProbeJob job;
     job.config = &requests[i].config;
@@ -73,13 +111,20 @@ std::vector<ProbeResult> Evaluator::evaluate_batch(const std::vector<ProbeReques
   // --- Commit (sequential, request order): billing, trace, cache inserts,
   // outlier history.
   std::vector<ProbeResult> results(requests.size());
+  EvaluatorMetrics& metrics = evaluator_metrics();
   for (std::size_t i = 0; i < requests.size(); ++i) {
     ProbeResult& pr = results[i];
     pr.tag = requests[i].tag;
     pr.sample_index = trace_.size();
-    if (cached[i] != nullptr) {
+    metrics.probes.inc();
+    if (cached[i] != nullptr || dup_of[i] != kNotDup) {
+      metrics.cache_hits.inc();
       pr.cache_hit = true;
-      pr.evaluation = *cached[i];
+      // A within-batch duplicate copies the first occurrence's committed
+      // result (identical to what the cache would return; dup_of[i] < i, so
+      // results[dup_of[i]] is final by now).
+      pr.evaluation =
+          cached[i] != nullptr ? *cached[i] : results[dup_of[i]].evaluation;
       Sample& s = pr.evaluation.sample;
       s.index = pr.sample_index;
       s.cache_hit = true;
@@ -92,6 +137,10 @@ std::vector<ProbeResult> Evaluator::evaluate_batch(const std::vector<ProbeReques
 
     const ProbeOutcome& outcome = outcomes[job_of_request[i]];
     const platform::ExecutionResult& result = outcome.representative;
+    if (options_.probe_cache) metrics.cache_misses.inc();
+    metrics.probes_executed.inc();
+    metrics.probe_executions.inc(outcome.attempts);
+    metrics.probe_wall_seconds.observe(outcome.wall_seconds);
 
     Evaluation& eval = pr.evaluation;
     eval.sample.index = pr.sample_index;

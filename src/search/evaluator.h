@@ -83,6 +83,11 @@ class Evaluator {
 
   const SearchTrace& trace() const { return trace_; }
   std::size_t samples_used() const { return trace_.size(); }
+  /// Probes that consumed at least one platform execution — the currency
+  /// sample budgets (MAX_TRAIL, max_samples) are denominated in.  Equals
+  /// samples_used() when the probe cache is off; trails it otherwise,
+  /// because cached answers are free.
+  std::size_t billed_samples() const { return trace_.billed_samples(); }
   /// Platform executions consumed, re-samples included; cache hits consume
   /// none, so this can trail samples_used() when the cache is on.
   std::size_t executions_used() const { return trace_.total_probe_attempts(); }
@@ -109,7 +114,10 @@ struct SearchResult {
   bool found_feasible = false;
   SearchTrace trace;
 
-  std::size_t samples() const { return trace.size(); }
+  /// Billed samples — probes that consumed a platform execution.  Cache hits
+  /// appear in the trace but are free; identical to trace.size() when the
+  /// probe cache is off.
+  std::size_t samples() const { return trace.billed_samples(); }
 };
 
 }  // namespace aarc::search

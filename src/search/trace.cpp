@@ -63,6 +63,10 @@ std::size_t SearchTrace::cache_hits() const {
   return total;
 }
 
+std::size_t SearchTrace::billed_samples() const {
+  return samples_.size() - cache_hits();
+}
+
 std::optional<std::size_t> SearchTrace::best_feasible_index() const {
   std::optional<std::size_t> best;
   double best_cost = std::numeric_limits<double>::infinity();

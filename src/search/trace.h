@@ -57,6 +57,10 @@ class SearchTrace {
   std::size_t transient_failures() const;
   /// Samples served from the probe memoization cache (not billed).
   std::size_t cache_hits() const;
+  /// Samples that consumed at least one platform execution — the budget
+  /// currency every search algorithm spends.  size() minus cache_hits():
+  /// cached answers are free, so they must not burn MAX_TRAIL-style budgets.
+  std::size_t billed_samples() const;
 
   /// Index of the cheapest feasible sample so far (the incumbent), or
   /// nullopt if no feasible sample exists.

@@ -5,6 +5,8 @@
 #include <deque>
 #include <queue>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "support/contracts.h"
 
 namespace aarc::serving {
@@ -76,6 +78,7 @@ struct RequestState {
 }  // namespace
 
 ServingReport ServingSimulator::serve(const std::vector<Request>& requests) const {
+  obs::Span serve_span("serving.serve", "serving");
   const dag::Graph& g = workflow_->graph();
   const std::size_t n = g.node_count();
   for (std::size_t i = 0; i + 1 < requests.size(); ++i) {
@@ -272,6 +275,9 @@ ServingReport ServingSimulator::serve(const std::vector<Request>& requests) cons
   }
 
   support::Accumulator latency;
+  auto& reg = obs::MetricsRegistry::global();
+  obs::Histogram& latency_hist = reg.histogram(
+      obs::metric::kServingRequestLatencySeconds, obs::default_latency_buckets());
   for (std::size_t i = 0; i < report.requests.size(); ++i) {
     const auto& r = report.requests[i];
     report.total_cost += r.cost;
@@ -280,9 +286,19 @@ ServingReport ServingSimulator::serve(const std::vector<Request>& requests) cons
       if (state[i].transient_fail) ++report.failed_after_retries;
     } else {
       latency.add(r.latency());
+      latency_hist.observe(r.latency());
     }
   }
   report.latency = latency.summary();
+
+  reg.counter(obs::metric::kServingRequests).inc(report.requests.size());
+  reg.counter(obs::metric::kServingRequestFailures).inc(report.failed_requests);
+  reg.counter(obs::metric::kServingColdStarts).inc(report.cold_starts);
+  reg.counter(obs::metric::kServingWarmStarts).inc(report.warm_starts);
+  reg.counter(obs::metric::kServingRetries).inc(report.retries);
+  reg.counter(obs::metric::kServingTimeouts).inc(report.timeouts);
+  serve_span.arg("requests", static_cast<std::uint64_t>(report.requests.size()));
+  serve_span.arg("failed", static_cast<std::uint64_t>(report.failed_requests));
   return report;
 }
 

@@ -40,6 +40,11 @@ bool starts_with(std::string_view text, std::string_view prefix) {
   return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
 }
 
+bool ends_with(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
 std::string to_lower(std::string_view text) {
   std::string out(text);
   for (char& ch : out) ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));

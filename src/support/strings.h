@@ -19,6 +19,9 @@ std::string_view trim(std::string_view text);
 /// True if `text` starts with `prefix`.
 bool starts_with(std::string_view text, std::string_view prefix);
 
+/// True if `text` ends with `suffix`.
+bool ends_with(std::string_view text, std::string_view suffix);
+
 /// Lower-case ASCII copy.
 std::string to_lower(std::string_view text);
 

@@ -1,0 +1,128 @@
+// End-to-end checks on the instrumentation itself:
+//
+//   * reconciliation — the global registry's search counters agree with the
+//     search trace the run returned (the invariants documented in
+//     doc/OBSERVABILITY.md);
+//   * neutrality — metrics and tracing are write-only, so toggling them
+//     cannot change a search result, and neither can the thread count.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "aarc/scheduler.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "platform/executor.h"
+#include "search/evaluator.h"
+#include "workloads/catalog.h"
+
+namespace aarc {
+namespace {
+
+search::SearchResult run_schedule(std::size_t threads, bool probe_cache) {
+  const workloads::Workload w = workloads::make_by_name("ml_pipeline");
+  const platform::Executor ex;
+  const platform::ConfigGrid grid;
+  core::SchedulerOptions opts;
+  opts.evaluator_threads = threads;
+  opts.probe_cache = probe_cache;
+  const core::GraphCentricScheduler scheduler(ex, grid, opts);
+  return scheduler.schedule(w.workflow, w.slo_seconds).result;
+}
+
+std::vector<double> makespans(const search::SearchResult& r) {
+  std::vector<double> out;
+  for (const auto& s : r.trace.samples()) out.push_back(s.makespan);
+  return out;
+}
+
+double global_value(const char* name) {
+  return obs::MetricsRegistry::global().snapshot().value_or(name, -1.0);
+}
+
+TEST(Reconciliation, RegistryCountersMatchTheSearchTrace) {
+  obs::MetricsRegistry::global().reset();
+  const search::SearchResult result = run_schedule(/*threads=*/2, /*cache=*/true);
+
+  // The documented invariants, against this run's deltas.
+  const double probes = global_value(obs::metric::kSearchProbes);
+  const double executed = global_value(obs::metric::kSearchProbesExecuted);
+  const double hits = global_value(obs::metric::kSearchCacheHits);
+  EXPECT_EQ(probes, static_cast<double>(result.trace.size()));
+  EXPECT_EQ(hits, static_cast<double>(result.trace.cache_hits()));
+  EXPECT_EQ(executed, static_cast<double>(result.trace.billed_samples()));
+  EXPECT_EQ(probes, executed + hits);
+
+  // The scheduler ran exactly once and produced a feasible configuration.
+  EXPECT_EQ(global_value(obs::metric::kAarcSchedules), 1.0);
+  EXPECT_TRUE(result.found_feasible);
+  EXPECT_GT(global_value(obs::metric::kAarcPathsConfigured), 0.0);
+}
+
+TEST(Reconciliation, PlatformExecutionsCoverEveryBilledProbe) {
+  obs::MetricsRegistry::global().reset();
+  const search::SearchResult result = run_schedule(/*threads=*/1, /*cache=*/false);
+  const double platform_runs = global_value(obs::metric::kPlatformExecutions);
+  // Every billed probe is at least one platform execution (re-samples and
+  // the profiling run add more, never fewer).
+  EXPECT_GE(platform_runs, static_cast<double>(result.trace.billed_samples()));
+}
+
+TEST(Neutrality, MetricsOnOffIsBitIdentical) {
+  const search::SearchResult on = run_schedule(2, true);
+  obs::set_metrics_enabled(false);
+  const search::SearchResult off = run_schedule(2, true);
+  obs::set_metrics_enabled(true);
+  EXPECT_EQ(on.found_feasible, off.found_feasible);
+  EXPECT_EQ(on.best_config, off.best_config);
+  EXPECT_EQ(on.samples(), off.samples());
+  EXPECT_EQ(makespans(on), makespans(off));
+}
+
+TEST(Neutrality, TracingOnOffIsBitIdentical) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  const bool was_enabled = tracer.enabled();
+  tracer.set_enabled(true);
+  const search::SearchResult traced = run_schedule(2, true);
+  tracer.set_enabled(false);
+  const search::SearchResult plain = run_schedule(2, true);
+  tracer.set_enabled(was_enabled);
+  EXPECT_EQ(traced.best_config, plain.best_config);
+  EXPECT_EQ(makespans(traced), makespans(plain));
+}
+
+TEST(Neutrality, ThreadCountWithMetricsIsBitIdentical) {
+  const search::SearchResult serial = run_schedule(1, true);
+  const search::SearchResult parallel = run_schedule(8, true);
+  EXPECT_EQ(serial.best_config, parallel.best_config);
+  EXPECT_EQ(serial.samples(), parallel.samples());
+  EXPECT_EQ(makespans(serial), makespans(parallel));
+}
+
+TEST(Spans, ScheduleEmitsTheDocumentedHierarchyRoots) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.clear();
+  tracer.set_enabled(true);
+  run_schedule(2, true);
+  tracer.set_enabled(false);
+
+  bool saw_schedule = false, saw_profile = false, saw_path = false,
+       saw_batch = false, saw_finalize = false;
+  for (const auto& e : tracer.events()) {
+    if (e.name == "aarc.schedule") saw_schedule = true;
+    if (e.name == "aarc.profile_base") saw_profile = true;
+    if (e.name == "aarc.configure_path") saw_path = true;
+    if (e.name == "search.batch") saw_batch = true;
+    if (e.name == "aarc.finalize") saw_finalize = true;
+  }
+  EXPECT_TRUE(saw_schedule);
+  EXPECT_TRUE(saw_profile);
+  EXPECT_TRUE(saw_path);
+  EXPECT_TRUE(saw_batch);
+  EXPECT_TRUE(saw_finalize);
+  tracer.clear();
+}
+
+}  // namespace
+}  // namespace aarc

@@ -1,0 +1,56 @@
+#include "obs/manifest.h"
+
+#include <gtest/gtest.h>
+
+#include "io/json.h"
+
+namespace aarc {
+namespace {
+
+TEST(RunManifest, JsonCarriesHeaderOptionsAndMetrics) {
+  obs::MetricsRegistry reg;
+  reg.counter("test.runs_total").inc(1);
+  reg.gauge("test.level").set(1.5);
+
+  obs::RunManifest manifest;
+  manifest.command = "schedule";
+  manifest.workload = "ml_pipeline";
+  manifest.seed = 2025;
+  manifest.add_option("threads", std::uint64_t{4});
+  manifest.add_option("slo-factor", 1.2);
+  manifest.add_option("trace", "probe.csv");
+
+  const io::Json doc = io::parse_json(manifest.to_json(reg.snapshot()));
+  EXPECT_EQ(doc.at("tool").as_string(), "aarc_cli");
+  EXPECT_FALSE(doc.at("version").as_string().empty());
+  EXPECT_EQ(doc.at("command").as_string(), "schedule");
+  EXPECT_EQ(doc.at("workload").as_string(), "ml_pipeline");
+  EXPECT_DOUBLE_EQ(doc.at("seed").as_number(), 2025.0);
+
+  const io::Json& options = doc.at("options");
+  EXPECT_EQ(options.at("threads").as_string(), "4");
+  EXPECT_EQ(options.at("slo-factor").as_string(), "1.2");
+  EXPECT_EQ(options.at("trace").as_string(), "probe.csv");
+
+  const io::Json& metrics = doc.at("metrics");
+  EXPECT_DOUBLE_EQ(metrics.at("test.runs_total").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(metrics.at("test.level").as_number(), 1.5);
+}
+
+TEST(RunManifest, EmptyRegistrySnapshotStillParses) {
+  obs::MetricsRegistry reg;
+  obs::RunManifest manifest;
+  manifest.command = "simulate";
+  const io::Json doc = io::parse_json(manifest.to_json(reg.snapshot()));
+  EXPECT_EQ(doc.at("command").as_string(), "simulate");
+  EXPECT_EQ(doc.at("workload").as_string(), "");
+  EXPECT_TRUE(doc.at("metrics").is_object());
+  EXPECT_TRUE(doc.at("metrics").as_object().empty());
+}
+
+TEST(GitDescribe, NeverEmpty) {
+  EXPECT_FALSE(obs::git_describe().empty());
+}
+
+}  // namespace
+}  // namespace aarc

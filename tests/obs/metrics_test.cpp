@@ -1,0 +1,264 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <limits>
+#include <new>
+
+#include "io/json.h"
+#include "support/contracts.h"
+#include "support/thread_pool.h"
+
+namespace aarc {
+namespace {
+
+// Global allocation counter for the zero-allocation hot-path guard.  The
+// override is per-binary, so it only affects obs_tests.
+std::atomic<std::uint64_t> g_allocations{0};
+
+}  // namespace
+}  // namespace aarc
+
+void* operator new(std::size_t size) {
+  aarc::g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace aarc {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, DisabledMetricsDropIncrements) {
+  obs::Counter c;
+  obs::set_metrics_enabled(false);
+  c.inc(100);
+  obs::set_metrics_enabled(true);
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(Counter, HotPathDoesNotAllocate) {
+  obs::Counter c;
+  const std::uint64_t before = g_allocations.load();
+  for (int i = 0; i < 100000; ++i) c.inc();
+  EXPECT_EQ(g_allocations.load(), before) << "Counter::inc must not allocate";
+  EXPECT_EQ(c.value(), 100000u);
+}
+
+#ifdef NDEBUG
+TEST(Counter, HotPathIsCheap) {
+  // Release-mode micro-bench guard: 10M relaxed increments should take well
+  // under a second on any machine; the bound is generous to stay green on
+  // loaded CI boxes while still catching an accidental lock or allocation.
+  obs::Counter c;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 10'000'000; ++i) c.inc();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  EXPECT_EQ(c.value(), 10'000'000u);
+  EXPECT_LT(elapsed, 2.0) << "Counter::inc hot path regressed";
+}
+#endif
+
+TEST(Counter, ConcurrentIncrementsNeverLoseUpdates) {
+  obs::Counter c;
+  support::ThreadPool pool(4);
+  constexpr std::size_t kItems = 1000;
+  constexpr std::uint64_t kPerItem = 100;
+  pool.parallel_for(kItems, [&](std::size_t, std::size_t) {
+    for (std::uint64_t i = 0; i < kPerItem; ++i) c.inc();
+  });
+  EXPECT_EQ(c.value(), kItems * kPerItem);
+}
+
+TEST(Gauge, SetAddAndRecordMax) {
+  obs::Gauge g;
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+  g.record_max(3.0);  // below current: no change
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+  g.record_max(7.0);
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+}
+
+TEST(Gauge, ConcurrentAddIsExact) {
+  obs::Gauge g;
+  support::ThreadPool pool(4);
+  pool.parallel_for(1000, [&](std::size_t, std::size_t) { g.add(1.0); });
+  EXPECT_DOUBLE_EQ(g.value(), 1000.0);
+}
+
+TEST(Histogram, CountsSumAndBuckets) {
+  obs::Histogram h({1.0, 2.0, 4.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(3.0);
+  h.observe(100.0);  // overflow
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 105.0);
+  const auto buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 1u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[3], 1u);
+}
+
+TEST(Histogram, QuantilesInterpolateWithinBuckets) {
+  obs::Histogram h({10.0, 20.0});
+  // 100 observations uniformly inside the first bucket.
+  for (int i = 0; i < 100; ++i) h.observe(5.0);
+  // p50 targets the 50th of 100 values, all in (0, 10]: interpolates to 5.
+  EXPECT_NEAR(h.quantile(0.5), 5.0, 1e-9);
+  EXPECT_NEAR(h.quantile(1.0), 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+}
+
+TEST(Histogram, QuantileOfEmptyIsZeroAndOverflowClampsToLastBound) {
+  obs::Histogram h({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  h.observe(50.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);  // overflow reports the last bound
+}
+
+TEST(Histogram, ExactQuantileOnKnownDistribution) {
+  // 0..99 observed once each with unit-wide buckets: p95 must land in the
+  // bucket holding 95 and interpolate inside it.
+  std::vector<double> bounds;
+  for (double b = 1.0; b <= 100.0; b += 1.0) bounds.push_back(b);
+  obs::Histogram h(bounds);
+  for (int i = 0; i < 100; ++i) h.observe(static_cast<double>(i) + 0.5);
+  EXPECT_NEAR(h.quantile(0.95), 95.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.50), 50.0, 1.0);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(obs::Histogram({}), support::ContractViolation);
+  EXPECT_THROW(obs::Histogram({2.0, 1.0}), support::ContractViolation);
+  EXPECT_THROW(obs::Histogram({1.0, 1.0}), support::ContractViolation);
+}
+
+TEST(Histogram, ConcurrentObserveKeepsTotals) {
+  obs::Histogram h(obs::default_latency_buckets());
+  support::ThreadPool pool(4);
+  pool.parallel_for(1000, [&](std::size_t item, std::size_t) {
+    h.observe(0.001 * static_cast<double>(item + 1));
+  });
+  EXPECT_EQ(h.count(), 1000u);
+  std::uint64_t bucket_total = 0;
+  for (const auto b : h.bucket_counts()) bucket_total += b;
+  EXPECT_EQ(bucket_total, 1000u);
+}
+
+TEST(Registry, FindOrCreateReturnsStableReferences) {
+  obs::MetricsRegistry reg;
+  obs::Counter& a = reg.counter("test.a_total");
+  obs::Counter& b = reg.counter("test.a_total");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST(Registry, KindCollisionIsAContractViolation) {
+  obs::MetricsRegistry reg;
+  reg.counter("test.mixed");
+  EXPECT_THROW(reg.gauge("test.mixed"), support::ContractViolation);
+  EXPECT_THROW(reg.histogram("test.mixed", {1.0}), support::ContractViolation);
+}
+
+TEST(Registry, SnapshotIsNameSortedAndComplete) {
+  obs::MetricsRegistry reg;
+  reg.counter("test.z_total").inc(3);
+  reg.gauge("test.a_gauge").set(1.5);
+  reg.histogram("test.m_hist", {1.0, 2.0}).observe(0.5);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.metrics.size(), 3u);
+  EXPECT_EQ(snap.metrics[0].name, "test.a_gauge");
+  EXPECT_EQ(snap.metrics[1].name, "test.m_hist");
+  EXPECT_EQ(snap.metrics[2].name, "test.z_total");
+  EXPECT_DOUBLE_EQ(snap.value_or("test.z_total", -1.0), 3.0);
+  EXPECT_DOUBLE_EQ(snap.value_or("test.absent", -1.0), -1.0);
+  ASSERT_NE(snap.find("test.m_hist"), nullptr);
+  EXPECT_EQ(snap.find("test.m_hist")->kind, obs::MetricKind::Histogram);
+}
+
+TEST(Registry, ResetZeroesValuesButKeepsRegistrations) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("test.c_total");
+  c.inc(5);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(reg.names().size(), 1u);
+}
+
+TEST(Registry, SnapshotJsonIsValidAndRoundTrips) {
+  obs::MetricsRegistry reg;
+  reg.counter("test.count_total").inc(7);
+  reg.gauge("test.level").set(2.25);
+  obs::Histogram& h = reg.histogram("test.lat_seconds", {1.0, 2.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  const std::string json = reg.snapshot().to_json();
+  const io::Json doc = io::parse_json(json);
+  EXPECT_DOUBLE_EQ(doc.at("test.count_total").as_number(), 7.0);
+  EXPECT_DOUBLE_EQ(doc.at("test.level").as_number(), 2.25);
+  const io::Json& hist = doc.at("test.lat_seconds");
+  EXPECT_DOUBLE_EQ(hist.at("count").as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(hist.at("sum").as_number(), 2.0);
+  ASSERT_EQ(hist.at("bounds").as_array().size(), 2u);
+  ASSERT_EQ(hist.at("buckets").as_array().size(), 3u);  // + overflow
+}
+
+TEST(Labels, LabeledComposesSeriesNames) {
+  EXPECT_EQ(obs::labeled("search.worker_probes_total", "worker", "3"),
+            "search.worker_probes_total{worker=3}");
+}
+
+TEST(Catalog, EveryNameIsCataloguedAndLabelsStrip) {
+  for (const auto& info : obs::metric_catalog()) {
+    EXPECT_TRUE(obs::is_catalogued_metric(info.name)) << info.name;
+  }
+  EXPECT_TRUE(obs::is_catalogued_metric("search.worker_probes_total{worker=7}"));
+  EXPECT_FALSE(obs::is_catalogued_metric("search.not_a_metric_total"));
+}
+
+TEST(Catalog, GlobalRegistryOnlyEverSeesCataloguedBaseNames) {
+  // The process-wide registry aggregates whatever instrumented code ran
+  // before this test; every name must trace back to the catalog.
+  for (const auto& name : obs::MetricsRegistry::global().names()) {
+    EXPECT_TRUE(obs::is_catalogued_metric(name)) << name;
+  }
+}
+
+TEST(JsonHelpers, StringEscapingAndNumbers) {
+  std::string out;
+  obs::append_json_string(out, "a\"b\\c\nd");
+  EXPECT_EQ(out, "\"a\\\"b\\\\c\\nd\"");
+  EXPECT_EQ(obs::json_number(3.0), "3");
+  EXPECT_EQ(obs::json_number(0.5), "0.5");
+  EXPECT_THROW(obs::json_number(std::numeric_limits<double>::infinity()),
+               support::ContractViolation);
+}
+
+}  // namespace
+}  // namespace aarc

@@ -1,0 +1,167 @@
+#include "obs/span.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "io/json.h"
+
+namespace aarc {
+namespace {
+
+obs::TraceEvent make_event(std::string name, std::string category,
+                           std::uint32_t tid, std::uint64_t start_us,
+                           std::uint64_t duration_us,
+                           std::vector<std::pair<std::string, std::string>> args = {}) {
+  obs::TraceEvent e;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.tid = tid;
+  e.start_us = start_us;
+  e.duration_us = duration_us;
+  e.args = std::move(args);
+  return e;
+}
+
+// Golden-file test: the Chrome trace_event export is byte-stable for a fixed
+// event list.  Tracer::record is unconditional, so fixed timestamps can be
+// injected without enabling the tracer.
+TEST(TracerExport, TraceEventJsonGolden) {
+  obs::Tracer tracer;
+  tracer.record(make_event("search.probe", "search", 1, 904, 512,
+                           {{"executions", "1"}}));
+  tracer.record(make_event("aarc.schedule", "aarc", 0, 12, 88211));
+  const std::string expected =
+      "{\n"
+      "\"displayTimeUnit\": \"ms\",\n"
+      "\"traceEvents\": [\n"
+      "{\"name\": \"aarc.schedule\", \"cat\": \"aarc\", \"ph\": \"X\", "
+      "\"pid\": 1, \"tid\": 0, \"ts\": 12, \"dur\": 88211, \"args\": {}},\n"
+      "{\"name\": \"search.probe\", \"cat\": \"search\", \"ph\": \"X\", "
+      "\"pid\": 1, \"tid\": 1, \"ts\": 904, \"dur\": 512, "
+      "\"args\": {\"executions\": \"1\"}}\n"
+      "]\n"
+      "}\n";
+  EXPECT_EQ(tracer.to_trace_event_json(), expected);
+}
+
+TEST(TracerExport, JsonlGolden) {
+  obs::Tracer tracer;
+  tracer.record(make_event("bo.fit", "bo", 2, 100, 50, {{"observations", "8"}}));
+  tracer.record(make_event("bo.run", "bo", 0, 0, 900));
+  const std::string expected =
+      "{\"name\": \"bo.run\", \"cat\": \"bo\", \"tid\": 0, \"ts_us\": 0, "
+      "\"dur_us\": 900, \"args\": {}}\n"
+      "{\"name\": \"bo.fit\", \"cat\": \"bo\", \"tid\": 2, \"ts_us\": 100, "
+      "\"dur_us\": 50, \"args\": {\"observations\": \"8\"}}\n";
+  EXPECT_EQ(tracer.to_jsonl(), expected);
+}
+
+TEST(TracerExport, TraceEventJsonParsesAndEscapes) {
+  obs::Tracer tracer;
+  tracer.record(make_event("weird \"name\"\n", "cat\\egory", 0, 1, 2,
+                           {{"key", "va\"lue"}}));
+  const io::Json doc = io::parse_json(tracer.to_trace_event_json());
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ms");
+  const auto& events = doc.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].at("name").as_string(), "weird \"name\"\n");
+  EXPECT_EQ(events[0].at("cat").as_string(), "cat\\egory");
+  EXPECT_EQ(events[0].at("ph").as_string(), "X");
+  EXPECT_DOUBLE_EQ(events[0].at("pid").as_number(), 1.0);
+  EXPECT_EQ(events[0].at("args").at("key").as_string(), "va\"lue");
+}
+
+TEST(TracerExport, EventsSortedByStartThenTid) {
+  obs::Tracer tracer;
+  tracer.record(make_event("b", "t", 5, 10, 1));
+  tracer.record(make_event("c", "t", 1, 20, 1));
+  tracer.record(make_event("a", "t", 2, 10, 1));
+  const io::Json doc = io::parse_json(tracer.to_trace_event_json());
+  const auto& events = doc.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].at("name").as_string(), "a");  // ts 10, tid 2
+  EXPECT_EQ(events[1].at("name").as_string(), "b");  // ts 10, tid 5
+  EXPECT_EQ(events[2].at("name").as_string(), "c");  // ts 20
+}
+
+TEST(Span, DisabledTracerMakesSpansFree) {
+  obs::Tracer tracer;  // enabled_ defaults to false
+  {
+    obs::Span span(tracer, "test.noop", "test");
+    EXPECT_FALSE(span.active());
+    span.arg("ignored", std::uint64_t{1});
+  }
+  EXPECT_EQ(tracer.size(), 0u);
+}
+
+TEST(Span, EnabledTracerRecordsOnScopeExit) {
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    obs::Span span(tracer, "test.work", "test");
+    EXPECT_TRUE(span.active());
+    span.arg("items", std::uint64_t{42});
+    span.arg("score", 0.5);
+    span.arg("mode", "batch");
+    EXPECT_EQ(tracer.size(), 0u);  // not yet recorded
+  }
+  ASSERT_EQ(tracer.size(), 1u);
+  const obs::TraceEvent e = tracer.events()[0];
+  EXPECT_EQ(e.name, "test.work");
+  EXPECT_EQ(e.category, "test");
+  ASSERT_EQ(e.args.size(), 3u);
+  EXPECT_EQ(e.args[0].first, "items");
+  EXPECT_EQ(e.args[0].second, "42");
+  EXPECT_EQ(e.args[1].first, "score");
+  EXPECT_EQ(e.args[2].second, "batch");
+}
+
+TEST(Span, FinishIsIdempotent) {
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  obs::Span span(tracer, "test.once", "test");
+  span.finish();
+  span.finish();
+  EXPECT_EQ(tracer.size(), 1u);
+}
+
+TEST(Span, NestedSpansShareThreadAndContain) {
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    obs::Span outer(tracer, "test.outer", "test");
+    obs::Span inner(tracer, "test.inner", "test");
+  }
+  ASSERT_EQ(tracer.size(), 2u);
+  const auto events = tracer.events();
+  // Destruction order records inner first.
+  const obs::TraceEvent& inner = events[0];
+  const obs::TraceEvent& outer = events[1];
+  EXPECT_EQ(inner.name, "test.inner");
+  EXPECT_EQ(outer.name, "test.outer");
+  EXPECT_EQ(inner.tid, outer.tid);
+  EXPECT_GE(inner.start_us, outer.start_us);
+  EXPECT_LE(inner.start_us + inner.duration_us,
+            outer.start_us + outer.duration_us);
+}
+
+TEST(Tracer, ClearEmptiesTheBuffer) {
+  obs::Tracer tracer;
+  tracer.record(make_event("x", "t", 0, 0, 1));
+  EXPECT_EQ(tracer.size(), 1u);
+  tracer.clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.to_jsonl(), "");
+}
+
+TEST(Tracer, LogicalThreadIdsAreSmallAndStable) {
+  const std::uint32_t mine = obs::logical_thread_id();
+  EXPECT_EQ(obs::logical_thread_id(), mine);  // stable within a thread
+  std::uint32_t other = mine;
+  std::thread([&other] { other = obs::logical_thread_id(); }).join();
+  EXPECT_NE(other, mine);
+}
+
+}  // namespace
+}  // namespace aarc

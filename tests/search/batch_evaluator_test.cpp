@@ -152,17 +152,20 @@ TEST(ProbeCache, TransientFailuresAreNeverCached) {
   EXPECT_EQ(ev.executions_used(), 2u);
 }
 
-TEST(ProbeCache, DuplicatesInsideOneBatchEachExecute) {
+TEST(ProbeCache, DuplicatesInsideOneBatchExecuteOnce) {
   const platform::Workflow wf = chain();
   const platform::Executor ex;
   Evaluator ev(wf, ex, 100.0, 1.0, 42, with_cache());
   const auto cfg = platform::uniform_config(2, {1.0, 512.0});
-  // The cache view is frozen at batch assembly, so neither request sees the
-  // other's (not yet committed) result — deterministic for any thread count.
+  // Duplicate requests in one batch are the same deterministic question:
+  // the first occurrence executes, later ones are served from its answer
+  // and recorded as free cache hits — a batch bills each config once.
   const auto results = ev.evaluate_batch({ProbeRequest(cfg), ProbeRequest(cfg)});
   EXPECT_FALSE(results[0].cache_hit);
-  EXPECT_FALSE(results[1].cache_hit);
-  EXPECT_EQ(ev.executions_used(), 2u);
+  EXPECT_TRUE(results[1].cache_hit);
+  EXPECT_EQ(results[1].evaluation.sample.makespan,
+            results[0].evaluation.sample.makespan);
+  EXPECT_EQ(ev.executions_used(), 1u);
   // A later probe of the same config hits the committed entry.
   EXPECT_EQ(ev.evaluate_batch({ProbeRequest(cfg)}).front().cache_hit, true);
 }

@@ -1,0 +1,149 @@
+// Budget accounting: every search budget (MAX_TRAIL, max_samples) is
+// denominated in *billed* samples — probes that consumed a platform
+// execution.  A probe-cache hit appears in the trace but burns no budget, so
+// enabling the cache can only widen the explored space, never shrink it.
+#include <gtest/gtest.h>
+
+#include "aarc/scheduler.h"
+#include "baselines/maff/maff.h"
+#include "baselines/random_search.h"
+#include "perf/analytic.h"
+#include "search/evaluator.h"
+#include "support/grid.h"
+#include "workloads/catalog.h"
+
+namespace aarc {
+namespace {
+
+std::unique_ptr<perf::PerfModel> model(double serial) {
+  perf::AnalyticParams p;
+  p.serial_seconds = serial;
+  p.working_set_mb = 256.0;
+  p.min_memory_mb = 128.0;
+  p.pressure_coeff = 0.0;
+  return std::make_unique<perf::AnalyticModel>(p);
+}
+
+platform::Workflow chain() {
+  platform::Workflow wf("chain");
+  wf.add_function("a", model(4.0));
+  wf.add_function("b", model(6.0));
+  wf.add_edge("a", "b");
+  return wf;
+}
+
+search::Evaluator cached_evaluator(const platform::Workflow& wf,
+                                   const platform::Executor& ex) {
+  search::EvaluatorOptions opts;
+  opts.probe_cache = true;
+  return search::Evaluator(wf, ex, 100.0, 1.0, 42, opts);
+}
+
+TEST(BilledSamples, CacheHitsAreFree) {
+  const platform::Workflow wf = chain();
+  const platform::Executor ex;
+  search::Evaluator ev = cached_evaluator(wf, ex);
+  const auto cfg = platform::uniform_config(2, {1.0, 512.0});
+  ev.evaluate(cfg);
+  ev.evaluate(cfg);  // served from cache
+  EXPECT_EQ(ev.trace().size(), 2u);
+  EXPECT_EQ(ev.trace().cache_hits(), 1u);
+  EXPECT_EQ(ev.trace().billed_samples(), 1u);
+  EXPECT_EQ(ev.billed_samples(), 1u);
+}
+
+TEST(BilledSamples, EqualTraceSizeWhenCacheOff) {
+  const platform::Workflow wf = chain();
+  const platform::Executor ex;
+  search::Evaluator ev(wf, ex, 100.0, 1.0, 42);
+  const auto cfg = platform::uniform_config(2, {1.0, 512.0});
+  ev.evaluate(cfg);
+  ev.evaluate(cfg);  // re-executed: no cache
+  EXPECT_EQ(ev.trace().billed_samples(), ev.trace().size());
+}
+
+TEST(BilledSamples, SearchResultSamplesReportsBilledOnly) {
+  const platform::Workflow wf = chain();
+  const platform::Executor ex;
+  search::Evaluator ev = cached_evaluator(wf, ex);
+  const auto cfg = platform::uniform_config(2, {1.0, 512.0});
+  ev.evaluate(cfg);
+  ev.evaluate(cfg);
+  search::SearchResult result;
+  result.trace = ev.trace();
+  EXPECT_EQ(result.samples(), 1u);
+}
+
+TEST(RandomSearch, CacheOffSpendsTheExactBudget) {
+  const platform::Workflow wf = chain();
+  const platform::Executor ex;
+  search::Evaluator ev(wf, ex, 100.0, 1.0, 42);
+  baselines::RandomSearchOptions opts;
+  opts.max_samples = 25;
+  const auto result = baselines::random_search(ev, platform::ConfigGrid{}, opts);
+  EXPECT_EQ(result.samples(), 25u);
+  EXPECT_EQ(result.trace.size(), 25u);
+}
+
+TEST(RandomSearch, CacheHitsDoNotBurnTheBudget) {
+  // 4 grid points per function, 2 functions: 16 distinct workflow configs,
+  // fewer than the 20-sample budget.  Random draws collide almost
+  // immediately, so with the cache on the search keeps drawing until every
+  // distinct configuration is billed, then terminates via the stale-round
+  // guard instead of spinning forever on free cache hits.
+  const platform::ConfigGrid tiny(support::ValueGrid(1.0, 2.0, 1.0),
+                                  support::ValueGrid(512.0, 1024.0, 512.0));
+  const platform::Workflow wf = chain();
+  const platform::Executor ex;
+  search::Evaluator ev = cached_evaluator(wf, ex);
+  baselines::RandomSearchOptions opts;
+  opts.max_samples = 20;
+  const auto result = baselines::random_search(ev, tiny, opts);
+  EXPECT_EQ(result.samples(), 16u);  // every joint grid point billed once
+  EXPECT_GT(result.trace.size(), result.samples());  // further hits are free
+  EXPECT_EQ(result.trace.size() - result.trace.cache_hits(), result.samples());
+}
+
+TEST(Maff, BudgetIsDenominatedInBilledSamples) {
+  const workloads::Workload w = workloads::make_by_name("ml_pipeline");
+  const platform::Executor ex;
+  search::EvaluatorOptions eopts;
+  eopts.probe_cache = true;
+  search::Evaluator ev(w.workflow, ex, w.slo_seconds, 1.0, 42, eopts);
+  baselines::MaffOptions opts;
+  opts.max_samples = 30;
+  const auto result = baselines::maff_gradient_descent(ev, platform::ConfigGrid{}, opts);
+  EXPECT_LE(result.samples(), 30u);
+  EXPECT_EQ(result.trace.size() - result.trace.cache_hits(), result.samples());
+}
+
+TEST(Scheduler, CacheOnlyAddsFreeProbes) {
+  // Same workload, same options, cache on vs off.  With the cache on,
+  // revisited configurations are free, so MAX_TRAIL binds later (or never):
+  // the cached run pops at least as many operations — its trace is at least
+  // as long — while billing at most as many samples as probes popped.
+  const workloads::Workload w = workloads::make_by_name("video_analysis");
+  const platform::Executor ex;
+  const platform::ConfigGrid grid;
+
+  core::SchedulerOptions off;
+  off.probe_cache = false;
+  const auto r_off =
+      core::GraphCentricScheduler(ex, grid, off).schedule(w.workflow, w.slo_seconds);
+
+  core::SchedulerOptions on;
+  on.probe_cache = true;
+  const auto r_on =
+      core::GraphCentricScheduler(ex, grid, on).schedule(w.workflow, w.slo_seconds);
+
+  EXPECT_EQ(r_off.result.trace.cache_hits(), 0u);
+  EXPECT_EQ(r_off.result.samples(), r_off.result.trace.size());
+  EXPECT_GE(r_on.result.trace.size(), r_off.result.trace.size());
+  EXPECT_LE(r_on.result.samples(), r_on.result.trace.size());
+  EXPECT_EQ(r_on.result.trace.size() - r_on.result.trace.cache_hits(),
+            r_on.result.samples());
+  EXPECT_TRUE(r_on.result.found_feasible);
+}
+
+}  // namespace
+}  // namespace aarc

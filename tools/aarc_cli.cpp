@@ -30,10 +30,14 @@
 #include "dag/dot.h"
 #include "io/trace_io.h"
 #include "io/workflow_io.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "platform/profiler.h"
 #include "serving/simulator.h"
 #include "report/advisory.h"
 #include "report/comparison.h"
+#include "report/metrics_report.h"
 #include "support/strings.h"
 #include "workloads/catalog.h"
 
@@ -386,6 +390,50 @@ int cmd_compare(const Args& args) {
   return 0;
 }
 
+/// The run's primary seed for the manifest: --seed when given, else the
+/// default the dispatched command actually uses.
+std::uint64_t manifest_seed(const Args& args) {
+  double fallback = 0.0;
+  if (args.command == "schedule" || args.command == "compare" ||
+      args.command == "advise") {
+    fallback = static_cast<double>(core::SchedulerOptions{}.seed);
+  } else if (args.command == "simulate") {
+    fallback = 4242.0;
+  } else if (args.command == "serve") {
+    fallback = 77.0;
+  }
+  return static_cast<std::uint64_t>(option_number(args, "seed", fallback));
+}
+
+/// --metrics-out: snapshot the global registry into a run-manifest JSON and
+/// print the summary table.  --trace-out: export the span trace (Chrome
+/// trace_event JSON, or JSONL when the file ends in .jsonl).  Both document
+/// the run that just happened, so they run after the command, pass or fail.
+void write_observability_artifacts(const Args& args) {
+  const auto metrics_out = args.options.find("metrics-out");
+  if (metrics_out != args.options.end()) {
+    obs::RunManifest manifest;
+    manifest.command = args.command;
+    manifest.workload = args.workload;
+    manifest.seed = manifest_seed(args);
+    for (const auto& [key, value] : args.options) manifest.add_option(key, value);
+    const auto snapshot = obs::MetricsRegistry::global().snapshot();
+    io::write_text_file(metrics_out->second, manifest.to_json(snapshot));
+    std::cout << "wrote " << metrics_out->second << "\n";
+    std::cout << "== metrics ==\n"
+              << report::metrics_summary(snapshot).to_markdown();
+  }
+  const auto trace_out = args.options.find("trace-out");
+  if (trace_out != args.options.end()) {
+    const obs::Tracer& tracer = obs::Tracer::global();
+    const bool jsonl = support::ends_with(trace_out->second, ".jsonl");
+    io::write_text_file(trace_out->second,
+                        jsonl ? tracer.to_jsonl() : tracer.to_trace_event_json());
+    std::cout << "wrote " << trace_out->second << " (" << tracer.size()
+              << " spans)\n";
+  }
+}
+
 int usage() {
   std::cout << "usage: aarc_cli <command> <workload> [options]\n"
                "commands:\n"
@@ -418,6 +466,12 @@ int usage() {
                "  --out file           export | schedule: write instead of print\n"
                "  --trace file.csv     schedule: write the probe trace as CSV\n"
                "  --config file        simulate | advise | serve: config to use\n"
+               "observability (all commands; see doc/OBSERVABILITY.md):\n"
+               "  --metrics-out file   write the run manifest (options + metrics\n"
+               "                       snapshot) as JSON; prints a summary table\n"
+               "  --trace-out file     record spans; write Chrome trace_event JSON\n"
+               "                       (open in ui.perfetto.dev), or JSONL when\n"
+               "                       the file ends in .jsonl\n"
                "workload: chatbot | ml_pipeline | video_analysis | data_analytics |\n"
                "          path/to/workload.json\n";
   return 2;
@@ -425,18 +479,30 @@ int usage() {
 
 }  // namespace
 
+int run_command(const Args& args) {
+  if (args.command == "export") return cmd_export(args);
+  if (args.command == "describe") return cmd_describe(args);
+  if (args.command == "schedule") return cmd_schedule(args);
+  if (args.command == "simulate") return cmd_simulate(args);
+  if (args.command == "advise") return cmd_advise(args);
+  if (args.command == "serve") return cmd_serve(args);
+  if (args.command == "compare") return cmd_compare(args);
+  return usage();
+}
+
 int main(int argc, char** argv) {
   try {
     const Args args = parse_args(argc, argv);
     if (args.command.empty() || args.workload.empty()) return usage();
-    if (args.command == "export") return cmd_export(args);
-    if (args.command == "describe") return cmd_describe(args);
-    if (args.command == "schedule") return cmd_schedule(args);
-    if (args.command == "simulate") return cmd_simulate(args);
-    if (args.command == "advise") return cmd_advise(args);
-    if (args.command == "serve") return cmd_serve(args);
-    if (args.command == "compare") return cmd_compare(args);
-    return usage();
+    // Span recording is opt-in (timestamps cost a little and are only useful
+    // when exported); metrics are always on — they're cheaper than the
+    // platform work they count.
+    if (args.options.count("trace-out") != 0) {
+      obs::Tracer::global().set_enabled(true);
+    }
+    const int rc = run_command(args);
+    write_observability_artifacts(args);
+    return rc;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

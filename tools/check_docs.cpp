@@ -1,0 +1,172 @@
+// check_docs — documentation consistency checker, wired as a CTest.
+//
+// Two guarantees, both against the code as built:
+//
+//   1. Metric catalog <-> doc/OBSERVABILITY.md agree in both directions.
+//      Every metric row in the doc's catalog tables (a table row whose kind
+//      cell is counter/gauge/histogram) must name a metric in
+//      obs::metric_catalog(), and every catalogued metric must appear
+//      somewhere in the doc.  Renaming or adding a metric without updating
+//      the doc fails `ctest`.
+//
+//   2. Relative markdown links resolve.  Every [text](path.md) style link in
+//      README.md, DESIGN.md, ROADMAP.md and doc/*.md must point at a file
+//      that exists (anchors are stripped; absolute URLs are ignored).
+//
+// Usage: check_docs <repo_root>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metric_names.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot read " + path.string());
+  }
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string trim(const std::string& text) {
+  std::size_t begin = 0, end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+  return text.substr(begin, end - begin);
+}
+
+std::vector<std::string> split_cells(const std::string& row) {
+  std::vector<std::string> cells;
+  std::string cell;
+  // Skip the leading '|'; every '|' afterwards closes a cell.
+  for (std::size_t i = 1; i < row.size(); ++i) {
+    if (row[i] == '|') {
+      cells.push_back(trim(cell));
+      cell.clear();
+    } else {
+      cell += row[i];
+    }
+  }
+  return cells;
+}
+
+/// First `backticked` token of a string, or "" when none.
+std::string first_backticked(const std::string& text) {
+  const std::size_t open = text.find('`');
+  if (open == std::string::npos) return "";
+  const std::size_t close = text.find('`', open + 1);
+  if (close == std::string::npos) return "";
+  return text.substr(open + 1, close - open - 1);
+}
+
+/// Metric names claimed by the doc: table rows whose kind cell is a metric
+/// kind.  Span tables (kind-less) and prose mentions don't count as claims.
+std::set<std::string> documented_metrics(const std::string& doc) {
+  std::set<std::string> names;
+  std::istringstream lines(doc);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] != '|') continue;
+    const auto cells = split_cells(line);
+    bool is_metric_row = false;
+    for (const auto& cell : cells) {
+      if (cell == "counter" || cell == "gauge" || cell == "histogram") {
+        is_metric_row = true;
+        break;
+      }
+    }
+    if (!is_metric_row || cells.empty()) continue;
+    const std::string name = first_backticked(cells.front());
+    if (!name.empty()) names.insert(name);
+  }
+  return names;
+}
+
+/// Relative markdown link targets: [text](target), minus URLs and anchors.
+std::vector<std::string> relative_links(const std::string& doc) {
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i + 1 < doc.size(); ++i) {
+    if (doc[i] != ']' || doc[i + 1] != '(') continue;
+    const std::size_t close = doc.find(')', i + 2);
+    if (close == std::string::npos) continue;
+    std::string target = doc.substr(i + 2, close - i - 2);
+    if (target.find("://") != std::string::npos) continue;  // absolute URL
+    const std::size_t anchor = target.find('#');
+    if (anchor != std::string::npos) target = target.substr(0, anchor);
+    if (!target.empty()) out.push_back(target);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: check_docs <repo_root>\n";
+    return 2;
+  }
+  const fs::path root = argv[1];
+  int failures = 0;
+  const auto fail = [&failures](const std::string& message) {
+    std::cerr << "FAIL: " << message << "\n";
+    ++failures;
+  };
+
+  try {
+    // --- 1. metric catalog vs doc/OBSERVABILITY.md, both directions.
+    const fs::path obs_doc = root / "doc" / "OBSERVABILITY.md";
+    const std::string doc = read_file(obs_doc);
+
+    for (const std::string& name : documented_metrics(doc)) {
+      if (!aarc::obs::is_catalogued_metric(name)) {
+        fail("doc/OBSERVABILITY.md documents `" + name +
+             "`, which is not in obs::metric_catalog()");
+      }
+    }
+    for (const auto& info : aarc::obs::metric_catalog()) {
+      if (doc.find(info.name) == std::string::npos) {
+        fail(std::string("metric `") + info.name +
+             "` is in obs::metric_catalog() but missing from doc/OBSERVABILITY.md");
+      }
+    }
+
+    // --- 2. relative links across the documentation set.
+    std::vector<fs::path> docs = {root / "README.md", root / "DESIGN.md",
+                                  root / "ROADMAP.md"};
+    for (const auto& entry : fs::directory_iterator(root / "doc")) {
+      if (entry.path().extension() == ".md") docs.push_back(entry.path());
+    }
+    for (const auto& path : docs) {
+      if (!fs::exists(path)) continue;  // optional top-level docs
+      const std::string text = read_file(path);
+      for (const std::string& target : relative_links(text)) {
+        const fs::path resolved = path.parent_path() / target;
+        if (!fs::exists(resolved)) {
+          fail(path.lexically_relative(root).string() + " links to " + target +
+               ", which does not exist");
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+
+  if (failures > 0) {
+    std::cerr << failures << " documentation check(s) failed\n";
+    return 1;
+  }
+  std::cout << "documentation checks passed\n";
+  return 0;
+}
