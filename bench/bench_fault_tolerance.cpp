@@ -109,8 +109,8 @@ void serving_sweep(const std::vector<double>& rates, std::size_t request_count) 
                                               schedule.result.best_config, 77);
   const platform::DecoupledLinearPricing pricing;
 
-  support::Table table({"crash rate", "retries", "SLO viol.", "failure rate",
-                        "retried", "timeouts", "lost", "cost"});
+  support::Table table({"crash rate", "retries", "SLO viol.", "p95 (s)", "p99 (s)",
+                        "failure rate", "retried", "timeouts", "lost", "cost"});
   for (const double rate : rates) {
     for (const bool resilient : {false, true}) {
       serving::ServingOptions sopts;
@@ -125,6 +125,8 @@ void serving_sweep(const std::vector<double>& rates, std::size_t request_count) 
       const auto report = sim.serve(stream);
       table.add_row({support::format_percent(rate, 0), resilient ? "on" : "off",
                      support::format_percent(report.slo_violation_rate(w.slo_seconds), 1),
+                     support::format_double(report.latency_p95(), 1),
+                     support::format_double(report.latency_p99(), 1),
                      support::format_percent(report.request_failure_rate(), 1),
                      std::to_string(report.retries), std::to_string(report.timeouts),
                      std::to_string(report.failed_after_retries),

@@ -71,20 +71,17 @@ int main() {
   results.push_back(serve_policy("MAFF fixed (middle)",
                                  [&](double) { return maff.best_config; }));
 
-  support::Table table({"policy", "p50 latency (s)", "mean latency (s)",
-                        "SLO violations", "total cost", "cold-start share",
-                        "peak containers"});
+  support::Table table({"policy", "p50 latency (s)", "p95 latency (s)",
+                        "mean latency (s)", "SLO attainment", "total cost",
+                        "cold-start share", "peak containers"});
   for (const auto& [name, report] : results) {
-    std::vector<double> latencies;
-    for (const auto& r : report.requests) {
-      if (!r.failed) latencies.push_back(r.latency());
-    }
     const double total_starts =
         static_cast<double>(report.cold_starts + report.warm_starts);
     table.add_row(
-        {name, support::format_double(support::percentile(latencies, 50.0), 1),
+        {name, support::format_double(report.latency_p50(), 1),
+         support::format_double(report.latency_p95(), 1),
          support::format_double(report.latency.mean, 1),
-         support::format_percent(report.slo_violation_rate(w.slo_seconds), 1),
+         support::format_percent(report.slo_attainment(w.slo_seconds), 1),
          support::format_double(report.total_cost, 0),
          support::format_percent(static_cast<double>(report.cold_starts) / total_starts,
                                  1),

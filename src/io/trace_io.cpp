@@ -81,4 +81,67 @@ std::string execution_gantt(const platform::Workflow& workflow,
   return out;
 }
 
+std::string serving_timeline_to_csv(const serving::StreamingReport& report) {
+  support::Table table({"index", "arrival", "completion", "latency", "cost",
+                        "cold_starts", "invocations", "retries", "timeouts", "failed",
+                        "rejected"});
+  for (const auto& r : report.outcomes) {
+    table.add_row({std::to_string(r.index), format_double(r.arrival, 4),
+                   format_double(r.completion, 4), format_double(r.latency(), 4),
+                   format_double(r.cost, 6), std::to_string(r.cold_starts),
+                   std::to_string(r.invocations), std::to_string(r.retries),
+                   std::to_string(r.timeouts), r.failed ? "1" : "0",
+                   r.rejected ? "1" : "0"});
+  }
+  return table.to_csv();
+}
+
+std::string serving_windows_to_csv(const serving::StreamingReport& report) {
+  support::Table table({"start", "width", "arrivals", "completed", "failed",
+                        "rejected", "slo_violations", "throughput_rps", "mean_latency",
+                        "max_latency", "slo_attainment"});
+  for (const auto& w : report.windows) {
+    table.add_row({format_double(w.start, 4), format_double(w.width, 4),
+                   std::to_string(w.arrivals), std::to_string(w.completed),
+                   std::to_string(w.failed), std::to_string(w.rejected),
+                   std::to_string(w.slo_violations), format_double(w.throughput_rps(), 4),
+                   format_double(w.mean_latency(), 4), format_double(w.max_latency, 4),
+                   format_double(w.slo_attainment(), 4)});
+  }
+  return table.to_csv();
+}
+
+std::vector<serving::Arrival> arrival_trace_from_json(const Json& json) {
+  expects(json.is_object() && json.contains("arrivals"),
+          "arrival trace needs a top-level \"arrivals\" array");
+  const JsonArray& entries = json.at("arrivals").as_array();
+  std::vector<serving::Arrival> out;
+  out.reserve(entries.size());
+  for (const Json& entry : entries) {
+    serving::Arrival a;
+    a.time = entry.at("t").as_number();
+    a.input_scale = entry.number_or("scale", 1.0);
+    expects(a.time >= 0.0, "arrival trace times must be non-negative");
+    expects(a.input_scale > 0.0, "arrival trace scales must be positive");
+    expects(out.empty() || out.back().time <= a.time,
+            "arrival trace must be sorted by time");
+    out.push_back(a);
+  }
+  return out;
+}
+
+Json arrival_trace_to_json(const std::vector<serving::Arrival>& arrivals) {
+  JsonArray entries;
+  entries.reserve(arrivals.size());
+  for (const auto& a : arrivals) {
+    JsonObject entry;
+    entry["t"] = Json(a.time);
+    entry["scale"] = Json(a.input_scale);
+    entries.push_back(Json(std::move(entry)));
+  }
+  JsonObject root;
+  root["arrivals"] = Json(std::move(entries));
+  return Json(std::move(root));
+}
+
 }  // namespace aarc::io

@@ -5,13 +5,20 @@
 //   * a SearchTrace as CSV (one row per sample, the exact series behind
 //     Figs. 3, 6 and 7);
 //   * an ExecutionResult as CSV (one row per invocation) and as a textual
-//     Gantt chart for quick terminal inspection of workflow schedules.
+//     Gantt chart for quick terminal inspection of workflow schedules;
+//   * a serving StreamingReport as two CSVs — the per-request timeline
+//     (needs EngineOptions::retain_outcomes) and the windowed
+//     throughput/SLO-attainment series — plus the JSON arrival-trace
+//     format replayed by TraceReplayProcess.
 #pragma once
 
 #include <string>
 
+#include "io/json.h"
 #include "platform/executor.h"
 #include "search/trace.h"
+#include "serving/arrivals.h"
+#include "serving/report.h"
 
 namespace aarc::io {
 
@@ -29,5 +36,23 @@ std::string execution_to_csv(const platform::Workflow& workflow,
 std::string execution_gantt(const platform::Workflow& workflow,
                             const platform::ExecutionResult& result,
                             std::size_t width = 60);
+
+/// Per-request serving timeline as CSV with columns: index, arrival,
+/// completion, latency, cost, cold_starts, invocations, retries, timeouts,
+/// failed, rejected.  Rows come from report.outcomes (emission order), so
+/// the run must have been made with EngineOptions::retain_outcomes.
+std::string serving_timeline_to_csv(const serving::StreamingReport& report);
+
+/// Windowed serving series as CSV with columns: start, width, arrivals,
+/// completed, failed, rejected, slo_violations, throughput_rps,
+/// mean_latency, max_latency, slo_attainment.  One row per window
+/// (EngineOptions::window_seconds), contiguous from t=0.
+std::string serving_windows_to_csv(const serving::StreamingReport& report);
+
+/// JSON arrival trace (doc/SERVING.md):
+///   {"arrivals": [{"t": <seconds>, "scale": <input scale, default 1>}, ...]}
+/// Arrivals must be sorted by "t".  The inverse of arrival_trace_to_json.
+std::vector<serving::Arrival> arrival_trace_from_json(const Json& json);
+Json arrival_trace_to_json(const std::vector<serving::Arrival>& arrivals);
 
 }  // namespace aarc::io

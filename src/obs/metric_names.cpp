@@ -38,6 +38,16 @@ const std::vector<MetricInfo>& metric_catalog() {
        "attempts cut off by the per-attempt invocation timeout"},
       {"platform.transient_faults_total", K::Counter, "1", "",
        "attempts that crashed on an injected transient fault"},
+      {"reconfig.lag_seconds", K::Histogram, "seconds", "",
+       "simulated delay between a reconfiguration trigger and its hot-swap"},
+      {"reconfig.post_slo_attainment", K::Gauge, "1", "",
+       "SLO attainment over the window right after the latest hot-swap"},
+      {"reconfig.pre_slo_attainment", K::Gauge, "1", "",
+       "SLO attainment over the window right before the latest trigger"},
+      {"reconfig.reconfigurations_total", K::Counter, "1", "",
+       "online reconfigurations activated (configs hot-swapped under traffic)"},
+      {"reconfig.samples_total", K::Counter, "1", "",
+       "billed probe samples consumed by online reconfiguration runs"},
       {"search.batch_size", K::Histogram, "1", "",
        "executed (non-cached) jobs per probe batch"},
       {"search.batches_total", K::Counter, "1", "",
@@ -60,8 +70,16 @@ const std::vector<MetricInfo>& metric_catalog() {
        "wall time each evaluation worker spent executing probes"},
       {"search.worker_probes_total", K::Counter, "1", "worker",
        "probes executed by each evaluation worker"},
+      {"serving.autoscale_down_total", K::Counter, "1", "",
+       "autoscaler ticks that retired idle capacity"},
+      {"serving.autoscale_up_total", K::Counter, "1", "",
+       "autoscaler ticks that pre-warmed capacity"},
       {"serving.cold_starts_total", K::Counter, "1", "",
        "serving invocations that provisioned a fresh container"},
+      {"serving.engine_events_total", K::Counter, "1", "",
+       "discrete events processed by the serving engine's calendar queue"},
+      {"serving.rejected_requests_total", K::Counter, "1", "",
+       "requests refused by admission control (bounded per-function queue)"},
       {"serving.request_failures_total", K::Counter, "1", "",
        "served requests that failed (OOM or retries exhausted)"},
       {"serving.request_latency_seconds", K::Histogram, "seconds", "",

@@ -72,6 +72,21 @@ inline constexpr const char* kServingColdStarts = "serving.cold_starts_total";
 inline constexpr const char* kServingWarmStarts = "serving.warm_starts_total";
 inline constexpr const char* kServingRetries = "serving.retries_total";
 inline constexpr const char* kServingTimeouts = "serving.timeouts_total";
+inline constexpr const char* kServingRejectedRequests =
+    "serving.rejected_requests_total";
+inline constexpr const char* kServingAutoscaleUp = "serving.autoscale_up_total";
+inline constexpr const char* kServingAutoscaleDown = "serving.autoscale_down_total";
+inline constexpr const char* kServingEngineEvents = "serving.engine_events_total";
+
+// -- reconfig: the online reconfiguration control plane ---------------------
+inline constexpr const char* kReconfigReconfigurations =
+    "reconfig.reconfigurations_total";
+inline constexpr const char* kReconfigSamples = "reconfig.samples_total";
+inline constexpr const char* kReconfigLagSeconds = "reconfig.lag_seconds";
+inline constexpr const char* kReconfigPreSloAttainment =
+    "reconfig.pre_slo_attainment";
+inline constexpr const char* kReconfigPostSloAttainment =
+    "reconfig.post_slo_attainment";
 
 // -- aarc: Graph-Centric Scheduler + Priority Configurator ------------------
 inline constexpr const char* kAarcSchedules = "aarc.schedules_total";

@@ -1,0 +1,226 @@
+#include "serving/arrivals.h"
+
+#include <cmath>
+
+#include "support/contracts.h"
+
+namespace aarc::serving {
+
+using support::expects;
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+/// Exponential inter-arrival draw; matches the legacy poisson_stream
+/// expression exactly so Poisson streams stay bit-identical across engines.
+double exponential_gap(support::Rng& rng, double rate) {
+  return -std::log(1.0 - rng.uniform(0.0, 1.0)) / rate;
+}
+
+/// A generated process needs some bound, or the engine never terminates.
+void expect_bounded(const ArrivalLimits& limits) {
+  expects(limits.max_requests != 0 || limits.horizon_seconds != 0.0,
+          "generated arrival processes need max_requests or horizon_seconds");
+}
+
+}  // namespace
+
+void ArrivalLimits::validate() const {
+  expects(horizon_seconds >= 0.0, "arrival horizon must be non-negative");
+}
+
+bool ArrivalLimits::exhausted(std::size_t produced, double time) const {
+  if (max_requests != 0 && produced >= max_requests) return true;
+  if (horizon_seconds != 0.0 && time > horizon_seconds) return true;
+  return false;
+}
+
+void ScaleSpec::validate() const {
+  expects(scale_min > 0.0 && scale_max >= scale_min,
+          "scale range must be ordered and positive");
+  expects(drift_factor > 0.0, "drift factor must be positive");
+  expects(drift_time >= 0.0, "drift time must be non-negative");
+}
+
+double ScaleSpec::apply_drift(double scale, double time) const {
+  if (drift_factor != 1.0 && time >= drift_time) return scale * drift_factor;
+  return scale;
+}
+
+// -- Poisson ----------------------------------------------------------------
+
+PoissonProcess::PoissonProcess(double arrivals_per_second, ScaleSpec scales,
+                               ArrivalLimits limits, std::uint64_t seed)
+    : rate_(arrivals_per_second),
+      scales_(scales),
+      limits_(limits),
+      seed_(seed),
+      rng_(seed) {
+  expects(rate_ > 0.0, "arrival rate must be positive");
+  scales_.validate();
+  limits_.validate();
+  expect_bounded(limits_);
+}
+
+std::optional<Arrival> PoissonProcess::next() {
+  if (limits_.exhausted(produced_, time_)) return std::nullopt;
+  // Same draw order as the legacy poisson_stream: gap first, scale second.
+  const double t = time_ + exponential_gap(rng_, rate_);
+  const double scale = rng_.uniform(scales_.scale_min, scales_.scale_max);
+  if (limits_.horizon_seconds != 0.0 && t > limits_.horizon_seconds) {
+    time_ = t;
+    return std::nullopt;
+  }
+  time_ = t;
+  ++produced_;
+  return Arrival{t, scales_.apply_drift(scale, t)};
+}
+
+void PoissonProcess::reset() {
+  rng_ = support::Rng(seed_);
+  time_ = 0.0;
+  produced_ = 0;
+}
+
+// -- MMPP -------------------------------------------------------------------
+
+void MmppParams::validate() const {
+  expects(base_rate > 0.0 && burst_rate > 0.0, "MMPP rates must be positive");
+  expects(mean_base_seconds > 0.0 && mean_burst_seconds > 0.0,
+          "MMPP sojourn means must be positive");
+}
+
+MmppProcess::MmppProcess(MmppParams params, ScaleSpec scales, ArrivalLimits limits,
+                         std::uint64_t seed)
+    : params_(params), scales_(scales), limits_(limits), seed_(seed), rng_(seed) {
+  params_.validate();
+  scales_.validate();
+  limits_.validate();
+  expect_bounded(limits_);
+  restart();
+}
+
+void MmppProcess::restart() {
+  rng_ = support::Rng(seed_);
+  time_ = 0.0;
+  produced_ = 0;
+  bursting_ = false;
+  state_end_ = exponential_gap(rng_, 1.0 / params_.mean_base_seconds);
+}
+
+std::optional<Arrival> MmppProcess::next() {
+  if (limits_.exhausted(produced_, time_)) return std::nullopt;
+  double t = time_;
+  for (;;) {
+    const double rate = bursting_ ? params_.burst_rate : params_.base_rate;
+    const double candidate = t + exponential_gap(rng_, rate);
+    if (candidate <= state_end_) {
+      t = candidate;
+      break;
+    }
+    // The state flips before the candidate arrival: restart the exponential
+    // clock in the new state (memorylessness makes the discard exact).
+    t = state_end_;
+    bursting_ = !bursting_;
+    const double mean =
+        bursting_ ? params_.mean_burst_seconds : params_.mean_base_seconds;
+    state_end_ = t + exponential_gap(rng_, 1.0 / mean);
+  }
+  const double scale = rng_.uniform(scales_.scale_min, scales_.scale_max);
+  if (limits_.horizon_seconds != 0.0 && t > limits_.horizon_seconds) {
+    time_ = t;
+    return std::nullopt;
+  }
+  time_ = t;
+  ++produced_;
+  return Arrival{t, scales_.apply_drift(scale, t)};
+}
+
+void MmppProcess::reset() { restart(); }
+
+// -- Diurnal ----------------------------------------------------------------
+
+void DiurnalParams::validate() const {
+  expects(base_rate > 0.0, "diurnal base rate must be positive");
+  expects(amplitude >= 0.0 && amplitude < 1.0, "diurnal amplitude must be in [0, 1)");
+  expects(period_seconds > 0.0, "diurnal period must be positive");
+}
+
+DiurnalProcess::DiurnalProcess(DiurnalParams params, ScaleSpec scales,
+                               ArrivalLimits limits, std::uint64_t seed)
+    : params_(params), scales_(scales), limits_(limits), seed_(seed), rng_(seed) {
+  params_.validate();
+  scales_.validate();
+  limits_.validate();
+  expect_bounded(limits_);
+}
+
+std::optional<Arrival> DiurnalProcess::next() {
+  if (limits_.exhausted(produced_, time_)) return std::nullopt;
+  const double max_rate = params_.base_rate * (1.0 + params_.amplitude);
+  double t = time_;
+  for (;;) {
+    t += exponential_gap(rng_, max_rate);
+    const double rate =
+        params_.base_rate *
+        (1.0 + params_.amplitude * std::sin(kTwoPi * t / params_.period_seconds));
+    // Lewis-Shedler thinning: accept with probability rate(t) / max_rate.
+    if (rng_.uniform(0.0, 1.0) * max_rate <= rate) break;
+  }
+  const double scale = rng_.uniform(scales_.scale_min, scales_.scale_max);
+  if (limits_.horizon_seconds != 0.0 && t > limits_.horizon_seconds) {
+    time_ = t;
+    return std::nullopt;
+  }
+  time_ = t;
+  ++produced_;
+  return Arrival{t, scales_.apply_drift(scale, t)};
+}
+
+void DiurnalProcess::reset() {
+  rng_ = support::Rng(seed_);
+  time_ = 0.0;
+  produced_ = 0;
+}
+
+// -- Trace replay -----------------------------------------------------------
+
+TraceReplayProcess::TraceReplayProcess(std::vector<Arrival> trace, ArrivalLimits limits,
+                                       ScaleSpec scales)
+    : trace_(std::move(trace)), limits_(limits), scales_(scales) {
+  limits_.validate();
+  scales_.validate();
+  for (std::size_t i = 0; i < trace_.size(); ++i) {
+    expects(trace_[i].time >= 0.0 && trace_[i].input_scale > 0.0,
+            "trace arrivals need non-negative times and positive scales");
+    expects(i == 0 || trace_[i - 1].time <= trace_[i].time,
+            "trace arrivals must be sorted by time");
+  }
+}
+
+std::optional<Arrival> TraceReplayProcess::next() {
+  if (index_ >= trace_.size()) return std::nullopt;
+  Arrival a = trace_[index_];
+  if (limits_.exhausted(index_, a.time)) return std::nullopt;
+  if (limits_.horizon_seconds != 0.0 && a.time > limits_.horizon_seconds) {
+    return std::nullopt;
+  }
+  ++index_;
+  a.input_scale = scales_.apply_drift(a.input_scale, a.time);
+  return a;
+}
+
+void TraceReplayProcess::reset() { index_ = 0; }
+
+std::vector<Arrival> materialize(ArrivalProcess& process, std::size_t max_count) {
+  std::vector<Arrival> out;
+  while (out.size() < max_count) {
+    const auto a = process.next();
+    if (!a) break;
+    out.push_back(*a);
+  }
+  return out;
+}
+
+}  // namespace aarc::serving

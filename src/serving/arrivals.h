@@ -1,0 +1,182 @@
+// Open-loop arrival processes for the serving engine.
+//
+// The legacy simulator took a pre-materialized std::vector<Request>; at a
+// million requests that vector (one WorkflowConfig copy per request) *is*
+// the memory bound.  The engine instead pulls arrivals one at a time from a
+// generator, so a run's footprint is the in-flight state, not the stream
+// length.  Four processes cover the workloads the serving experiments need:
+//
+//   * Poisson        — exponential inter-arrivals at a constant rate (the
+//                      memoryless baseline; identical draws to the legacy
+//                      poisson_stream helper);
+//   * MMPP           — two-state Markov-modulated Poisson: a baseline state
+//                      and a burst state with independent rates and
+//                      exponential sojourn times (bursty production traffic);
+//   * Diurnal        — sinusoidally rate-modulated Poisson via thinning
+//                      (day/night load curves);
+//   * TraceReplay    — replays recorded (time, scale) pairs, loaded from the
+//                      JSON schema in io/trace_io.h.
+//
+// Every process is seeded and deterministic; reset() restarts the exact
+// stream.  Input-scale drift can be injected mid-stream (scales multiply by
+// `drift_factor` from `drift_time` on) to exercise the drift monitor and the
+// online reconfigurator without touching the generator's random stream.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace aarc::serving {
+
+/// One request entering the system: when, and how big its input is.
+struct Arrival {
+  double time = 0.0;
+  double input_scale = 1.0;
+};
+
+/// How long a generated stream runs.  Zero means "unlimited" for either
+/// field, but at least one bound must be set (an open-loop process with no
+/// bound never terminates the engine).
+struct ArrivalLimits {
+  std::size_t max_requests = 0;
+  double horizon_seconds = 0.0;
+
+  void validate() const;
+  bool exhausted(std::size_t produced, double time) const;
+};
+
+/// Input-scale distribution shared by the generated processes, with optional
+/// mid-stream drift: scales drawn after `drift_time` are multiplied by
+/// `drift_factor` (1 = no drift; the multiplication consumes no randomness,
+/// so a drifting stream has the same arrival times as a clean one).
+struct ScaleSpec {
+  double scale_min = 1.0;
+  double scale_max = 1.0;
+  double drift_time = 0.0;
+  double drift_factor = 1.0;
+
+  void validate() const;
+  double apply_drift(double scale, double time) const;
+};
+
+/// A seeded stream of arrivals with non-decreasing times.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  /// The next arrival, or nullopt when the stream's limits are exhausted.
+  virtual std::optional<Arrival> next() = 0;
+
+  /// Restart the stream from the beginning (same seed, same arrivals).
+  virtual void reset() = 0;
+};
+
+/// Constant-rate Poisson arrivals.  Draw-for-draw identical to the legacy
+/// poisson_stream helper under the same seed.
+class PoissonProcess final : public ArrivalProcess {
+ public:
+  PoissonProcess(double arrivals_per_second, ScaleSpec scales, ArrivalLimits limits,
+                 std::uint64_t seed);
+
+  std::optional<Arrival> next() override;
+  void reset() override;
+
+ private:
+  double rate_;
+  ScaleSpec scales_;
+  ArrivalLimits limits_;
+  std::uint64_t seed_;
+  support::Rng rng_;
+  double time_ = 0.0;
+  std::size_t produced_ = 0;
+};
+
+/// Two-state Markov-modulated Poisson process: exponential sojourns in a
+/// baseline state (rate `base_rate`) and a burst state (rate `burst_rate`).
+struct MmppParams {
+  double base_rate = 1.0;            ///< arrivals/s in the baseline state
+  double burst_rate = 5.0;           ///< arrivals/s in the burst state
+  double mean_base_seconds = 60.0;   ///< mean sojourn in the baseline state
+  double mean_burst_seconds = 10.0;  ///< mean sojourn in the burst state
+
+  void validate() const;
+};
+
+class MmppProcess final : public ArrivalProcess {
+ public:
+  MmppProcess(MmppParams params, ScaleSpec scales, ArrivalLimits limits,
+              std::uint64_t seed);
+
+  std::optional<Arrival> next() override;
+  void reset() override;
+
+ private:
+  void restart();
+
+  MmppParams params_;
+  ScaleSpec scales_;
+  ArrivalLimits limits_;
+  std::uint64_t seed_;
+  support::Rng rng_;
+  double time_ = 0.0;
+  double state_end_ = 0.0;
+  bool bursting_ = false;
+  std::size_t produced_ = 0;
+};
+
+/// Sinusoidally rate-modulated Poisson via Lewis-Shedler thinning:
+/// rate(t) = base_rate * (1 + amplitude * sin(2 pi t / period_seconds)).
+struct DiurnalParams {
+  double base_rate = 1.0;
+  double amplitude = 0.5;           ///< in [0, 1): peak/trough swing
+  double period_seconds = 86400.0;  ///< one "day"
+
+  void validate() const;
+};
+
+class DiurnalProcess final : public ArrivalProcess {
+ public:
+  DiurnalProcess(DiurnalParams params, ScaleSpec scales, ArrivalLimits limits,
+                 std::uint64_t seed);
+
+  std::optional<Arrival> next() override;
+  void reset() override;
+
+ private:
+  DiurnalParams params_;
+  ScaleSpec scales_;
+  ArrivalLimits limits_;
+  std::uint64_t seed_;
+  support::Rng rng_;
+  double time_ = 0.0;
+  std::size_t produced_ = 0;
+};
+
+/// Replays a recorded trace (times must be non-decreasing).  The optional
+/// ScaleSpec drift applies on top of the recorded scales, so a recorded
+/// trace can still be used for drift experiments.
+class TraceReplayProcess final : public ArrivalProcess {
+ public:
+  TraceReplayProcess(std::vector<Arrival> trace, ArrivalLimits limits = {},
+                     ScaleSpec scales = {});
+
+  std::optional<Arrival> next() override;
+  void reset() override;
+
+  std::size_t size() const { return trace_.size(); }
+
+ private:
+  std::vector<Arrival> trace_;
+  ArrivalLimits limits_;
+  ScaleSpec scales_;
+  std::size_t index_ = 0;
+};
+
+/// Materialize up to `max_count` arrivals (testing and trace export).
+std::vector<Arrival> materialize(ArrivalProcess& process, std::size_t max_count);
+
+}  // namespace aarc::serving

@@ -1,0 +1,578 @@
+#include "serving/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <deque>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "serving/calendar_queue.h"
+#include "support/contracts.h"
+#include "support/rng.h"
+
+namespace aarc::serving {
+
+using support::expects;
+
+void AutoscalerOptions::validate() const {
+  expects(interval_seconds > 0.0, "autoscaler interval must be positive");
+  expects(target_utilization > 0.0 && target_utilization <= 1.0,
+          "autoscaler target utilization must be in (0, 1]");
+}
+
+ServingEngine::ServingEngine(const platform::Workflow& workflow,
+                             const platform::PricingModel& pricing,
+                             EngineOptions options)
+    : workflow_(&workflow), pricing_(&pricing), options_(std::move(options)) {
+  workflow.validate();
+  expects(options_.keep_alive_seconds >= 0.0, "keep-alive must be non-negative");
+  expects(options_.cold_start_min_seconds >= 0.0 &&
+              options_.cold_start_max_seconds >= options_.cold_start_min_seconds,
+          "cold-start range must be ordered and non-negative");
+  expects(options_.slo_seconds >= 0.0, "SLO must be non-negative");
+  expects(options_.window_seconds >= 0.0, "window width must be non-negative");
+  options_.retry.validate();
+  options_.autoscaler.validate();
+}
+
+namespace {
+
+enum class EventKind : std::uint8_t { Arrival, Completion, Retry, AutoscaleTick };
+
+/// 32 bytes: the calendar queue copies events in and out of buckets, so
+/// the node id is narrowed to 32 bits (slot count is already capped there).
+struct Event {
+  double time = 0.0;
+  std::uint64_t sequence = 0;  ///< deterministic tie-break, push order
+  std::uint32_t slot = 0;
+  std::uint32_t node = 0;
+  EventKind kind = EventKind::Arrival;
+  bool failed_attempt = false;  ///< completion of a crashed/timed-out attempt
+  bool timed_out = false;       ///< the failure was the invocation timeout
+};
+
+struct FunctionPool {
+  std::size_t busy = 0;
+  /// Warm containers keyed by release time, kept sorted ascending.
+  /// Completions release at the event clock, which never goes backwards, so
+  /// the common append is O(1) at the back; expiry purges and coldest-first
+  /// retirement pop the front; the hottest ready container is the back.
+  /// Only autoscaler pre-warms (future release times, reusable once the
+  /// clock passes them) can force a mid-deque insert, and scale-from-zero
+  /// runs never contain them.  This is what keeps warm-pool maintenance
+  /// O(1) per invocation where the legacy simulator scans the whole pool.
+  std::deque<double> idle_release_times;
+  std::deque<std::pair<std::uint32_t, dag::NodeId>> waiting;
+};
+
+/// Pooled per-request state.  The per-node arrays live in flat slabs owned
+/// by the run (indexed slot * n + node), so recycling a slot allocates
+/// nothing: millions of requests reuse the few hundred slots that are ever
+/// simultaneously in flight.
+struct Slot {
+  RequestOutcome outcome;
+  const platform::WorkflowConfig* config = nullptr;
+  double input_scale = 1.0;
+  std::uint32_t refs = 0;  ///< queue events + waiting entries naming this slot
+  std::uint32_t nodes_done = 0;
+  bool failed = false;
+  bool transient_fail = false;  ///< failed on faults, not OOM/rejection
+  bool live = false;
+};
+
+}  // namespace
+
+StreamingReport ServingEngine::run(ArrivalProcess& arrivals,
+                                   const platform::WorkflowConfig& config) const {
+  FixedConfigSource source(config);
+  return run(arrivals, source);
+}
+
+StreamingReport ServingEngine::run(ArrivalProcess& arrivals,
+                                   ConfigSource& configs) const {
+  obs::Span run_span("serving.engine_run", "serving");
+  const dag::Graph& g = workflow_->graph();
+  const std::size_t n = g.node_count();
+
+  std::vector<std::uint32_t> pred_counts(n);
+  for (dag::NodeId id = 0; id < n; ++id) {
+    pred_counts[id] = static_cast<std::uint32_t>(g.predecessors(id).size());
+  }
+  const std::vector<dag::NodeId> source_nodes = g.sources();  // loop-invariant
+
+  support::Rng rng(options_.seed);
+  StreamingReport report;
+  report.slo_seconds = options_.slo_seconds;
+  report.window_seconds = options_.window_seconds;
+  support::Accumulator latency_acc;
+
+  auto& reg = obs::MetricsRegistry::global();
+  obs::Histogram& latency_hist = reg.histogram(
+      obs::metric::kServingRequestLatencySeconds, obs::default_latency_buckets());
+
+  std::vector<FunctionPool> pools(n);
+  std::size_t alive_containers = 0;
+
+  // Slot pool + flat per-node slabs (remaining predecessors / attempts).
+  std::vector<Slot> slots;
+  std::vector<std::uint32_t> remaining_preds;
+  std::vector<std::uint32_t> attempts;
+  std::vector<std::uint32_t> free_slots;
+  std::size_t live_slot_count = 0;
+  std::size_t next_request_index = 0;
+
+  // Config validation is cached by pointer: sources hand out long-lived
+  // configurations, so each distinct one is validated exactly once no
+  // matter how many requests it serves.
+  std::vector<const platform::WorkflowConfig*> seen_configs;
+  auto validate_config = [&](const platform::WorkflowConfig& cfg) {
+    for (const auto* seen : seen_configs) {
+      if (seen == &cfg) return;
+    }
+    expects(cfg.size() == n, "request config must cover every function");
+    for (const auto& rc : cfg) {
+      expects(rc.vcpu > 0.0 && rc.memory_mb > 0.0, "allocations must be positive");
+    }
+    seen_configs.push_back(&cfg);
+  };
+
+  auto alloc_slot = [&](const Arrival& arrival,
+                        const platform::WorkflowConfig& cfg) -> std::uint32_t {
+    std::uint32_t s;
+    if (!free_slots.empty()) {
+      s = free_slots.back();
+      free_slots.pop_back();
+    } else {
+      s = static_cast<std::uint32_t>(slots.size());
+      slots.emplace_back();
+      remaining_preds.resize(slots.size() * n);
+      attempts.resize(slots.size() * n);
+    }
+    Slot& slot = slots[s];
+    slot.outcome = RequestOutcome{};
+    slot.outcome.index = next_request_index++;
+    slot.outcome.arrival = arrival.time;
+    slot.outcome.completion = arrival.time;
+    slot.config = &cfg;
+    slot.input_scale = arrival.input_scale;
+    slot.refs = 0;
+    slot.nodes_done = 0;
+    slot.failed = false;
+    slot.transient_fail = false;
+    slot.live = true;
+    std::copy(pred_counts.begin(), pred_counts.end(),
+              remaining_preds.begin() + static_cast<std::ptrdiff_t>(s * n));
+    std::fill_n(attempts.begin() + static_cast<std::ptrdiff_t>(s * n), n, 0u);
+    ++live_slot_count;
+    return s;
+  };
+
+  // Window series: completed/failed land in the completion-time window,
+  // arrivals in the arrival-time window; gaps are filled so the series is
+  // contiguous from t=0.
+  auto window_at = [&](double t) -> WindowStat& {
+    const double w = options_.window_seconds;
+    const auto idx = static_cast<std::size_t>(t / w);
+    while (report.windows.size() <= idx) {
+      WindowStat ws;
+      ws.start = static_cast<double>(report.windows.size()) * w;
+      ws.width = w;
+      report.windows.push_back(ws);
+    }
+    return report.windows[idx];
+  };
+
+  // A finished request leaves the system: fold its outcome into the
+  // streaming aggregates and recycle the slot.
+  auto emit = [&](std::uint32_t s, ConfigSource& source) {
+    Slot& slot = slots[s];
+    const RequestOutcome& out = slot.outcome;
+    ++report.requests;
+    report.total_cost += out.cost;
+    bool violated = false;
+    if (out.failed) {
+      ++report.failed_requests;
+      if (out.rejected) ++report.rejected_requests;
+      if (slot.transient_fail) ++report.failed_after_retries;
+      violated = true;  // failure-aware SLO: a failed request is always late
+    } else {
+      ++report.completed;
+      const double l = out.latency();
+      latency_acc.add(l);
+      report.latency_quantiles.add(l);
+      latency_hist.observe(l);
+      violated = options_.slo_seconds > 0.0 && l > options_.slo_seconds;
+    }
+    if (options_.slo_seconds > 0.0 && violated) ++report.slo_violations;
+    if (options_.window_seconds > 0.0) {
+      WindowStat& ws = window_at(out.completion);
+      if (out.failed) {
+        ++ws.failed;
+        if (out.rejected) ++ws.rejected;
+      } else {
+        ++ws.completed;
+        ws.latency_sum += out.latency();
+        ws.max_latency = std::max(ws.max_latency, out.latency());
+      }
+      if (violated) ++ws.slo_violations;
+    }
+    source.on_outcome(out, out.completion);
+    if (options_.retain_outcomes &&
+        report.outcomes.size() < options_.max_retained_outcomes) {
+      report.outcomes.push_back(out);
+    }
+    slot.live = false;
+    free_slots.push_back(s);
+    --live_slot_count;
+  };
+
+  auto maybe_emit = [&](std::uint32_t s, ConfigSource& source) {
+    Slot& slot = slots[s];
+    if (!slot.live || slot.refs != 0) return;
+    if (slot.failed || slot.nodes_done == n) emit(s, source);
+  };
+
+  CalendarQueue<Event> events;
+  std::uint64_t sequence = 0;
+  auto push = [&](Event ev) {
+    ev.sequence = sequence++;
+    events.push(ev);
+  };
+
+  // Release a container into the warm pool, preserving the sorted order.
+  auto insert_idle = [&](FunctionPool& pool, double release) {
+    auto& idle = pool.idle_release_times;
+    if (idle.empty() || idle.back() <= release) {
+      idle.push_back(release);
+    } else {
+      idle.insert(std::upper_bound(idle.begin(), idle.end(), release), release);
+    }
+  };
+
+  auto purge_expired = [&](FunctionPool& pool, double now) {
+    auto& idle = pool.idle_release_times;
+    while (!idle.empty() && idle.front() + options_.keep_alive_seconds < now) {
+      idle.pop_front();
+      --alive_containers;
+    }
+  };
+
+  // Start one invocation attempt now (the caller has checked capacity).
+  // Semantics and RNG draw order are the legacy simulator's, verbatim:
+  // cold-delay uniform (cold only) -> runtime noise -> fault sample.
+  auto start_invocation = [&](std::uint32_t s, dag::NodeId node, double now) {
+    Slot& slot = slots[s];
+    FunctionPool& pool = pools[node];
+    purge_expired(pool, now);
+
+    double cold_delay = 0.0;
+    auto& idle = pool.idle_release_times;
+    // Reuse the most recently released *ready* container (LIFO keeps pools
+    // small); autoscaler pre-warms still provisioning (release > now) don't
+    // qualify yet.  Ready entries are a sorted prefix, so the hottest is
+    // the last one <= now — the back, unless future pre-warms sit above it.
+    bool warm = false;
+    if (!idle.empty()) {
+      if (idle.back() <= now) {
+        idle.pop_back();
+        warm = true;
+      } else {
+        const auto ub = std::upper_bound(idle.begin(), idle.end(), now);
+        if (ub != idle.begin()) {
+          idle.erase(ub - 1);
+          warm = true;
+        }
+      }
+    }
+    if (warm) {
+      ++report.warm_starts;
+    } else {
+      cold_delay =
+          rng.uniform(options_.cold_start_min_seconds, options_.cold_start_max_seconds);
+      ++report.cold_starts;
+      ++slot.outcome.cold_starts;
+      ++alive_containers;
+      report.peak_containers = std::max(report.peak_containers, alive_containers);
+    }
+    ++pool.busy;
+
+    double billed = cold_delay;
+    bool attempt_failed = false;
+    bool attempt_timed_out = false;
+    const auto& model = workflow_->model(node);
+    const auto& rc = (*slot.config)[node];
+    if (!model.fits_memory(rc.memory_mb, slot.input_scale)) {
+      // OOM: deterministic, never retried — the request fails; the container
+      // is charged for the cold start only and frees immediately.
+      slot.failed = true;
+      slot.outcome.failed = true;
+    } else {
+      double duration = options_.noise.noisy_runtime(
+          model.mean_runtime(rc.vcpu, rc.memory_mb, slot.input_scale), rng);
+      const platform::FaultOutcome fault = options_.faults.sample(node, rng);
+      duration = duration * fault.runtime_multiplier + fault.extra_delay_seconds;
+      if (fault.crashed) {
+        duration *= fault.crash_fraction;
+        attempt_failed = true;
+      } else if (options_.retry.timeout_enabled() &&
+                 duration > options_.retry.timeout_seconds) {
+        duration = options_.retry.timeout_seconds;
+        attempt_failed = true;
+        attempt_timed_out = true;
+      }
+      billed += duration;
+    }
+    // Every attempt is billed, failed or not: it occupied provisioned time.
+    slot.outcome.cost += pricing_->invocation_cost(rc, billed);
+    ++slot.outcome.invocations;
+    ++attempts[s * n + node];
+    Event done;
+    done.time = now + billed;
+    done.kind = EventKind::Completion;
+    done.slot = s;
+    done.node = static_cast<std::uint32_t>(node);
+    done.failed_attempt = attempt_failed;
+    done.timed_out = attempt_timed_out;
+    ++slot.refs;
+    push(done);
+  };
+
+  // Admit an invocation: start it, queue it at capacity, or — with
+  // admission control on — reject the whole request when the queue is full.
+  auto admit = [&](std::uint32_t s, dag::NodeId node, double now) {
+    FunctionPool& pool = pools[node];
+    if (options_.max_containers_per_function != 0 &&
+        pool.busy >= options_.max_containers_per_function) {
+      if (options_.admission.max_queue_per_function != 0 &&
+          pool.waiting.size() >= options_.admission.max_queue_per_function) {
+        Slot& slot = slots[s];
+        if (!slot.failed) {
+          slot.failed = true;
+          slot.outcome.failed = true;
+          slot.outcome.rejected = true;
+          slot.outcome.completion = std::max(slot.outcome.completion, now);
+        }
+        return;
+      }
+      pool.waiting.emplace_back(s, node);
+      ++slots[s].refs;
+      report.peak_queue_depth = std::max(report.peak_queue_depth, pool.waiting.size());
+      return;
+    }
+    start_invocation(s, node, now);
+  };
+
+  // Feed a queued invocation of this function, if any.  Entries abandoned
+  // by failed requests are skipped — and dropping their reference may be
+  // the last thing keeping the request alive, so check for emission.
+  auto feed_waiting = [&](FunctionPool& pool, double now, ConfigSource& source) {
+    while (!pool.waiting.empty()) {
+      const auto [ws, wn] = pool.waiting.front();
+      pool.waiting.pop_front();
+      --slots[ws].refs;
+      if (slots[ws].failed) {
+        maybe_emit(ws, source);
+        continue;
+      }
+      start_invocation(ws, wn, now);
+      maybe_emit(ws, source);
+      break;
+    }
+  };
+
+  // One autoscaler control tick: pre-warm toward the demand target, retire
+  // ready idle capacity above it (coldest first).
+  auto autoscale_tick = [&](double now) {
+    bool any_up = false;
+    bool any_down = false;
+    for (auto& pool : pools) {
+      purge_expired(pool, now);
+      const std::size_t demand = pool.busy + pool.waiting.size();
+      auto desired = static_cast<std::size_t>(std::ceil(
+          static_cast<double>(demand) / options_.autoscaler.target_utilization));
+      desired = std::max(desired, options_.autoscaler.min_warm);
+      if (options_.max_containers_per_function != 0) {
+        desired = std::min(desired, options_.max_containers_per_function);
+      }
+      const std::size_t capacity = pool.busy + pool.idle_release_times.size();
+      if (capacity < desired) {
+        for (std::size_t i = capacity; i < desired; ++i) {
+          // A pre-warm pays the cold start now so a later request doesn't:
+          // it becomes reusable once its provisioning delay elapses.  Its
+          // startup is platform overhead, billed to no request.
+          const double delay = rng.uniform(options_.cold_start_min_seconds,
+                                           options_.cold_start_max_seconds);
+          insert_idle(pool, now + delay);
+          ++alive_containers;
+          ++report.prewarmed_containers;
+          report.peak_containers = std::max(report.peak_containers, alive_containers);
+        }
+        any_up = true;
+      } else if (capacity > desired) {
+        auto& idle = pool.idle_release_times;
+        std::size_t excess = capacity - desired;
+        while (excess > 0 && !idle.empty() && idle.front() <= now) {
+          idle.pop_front();  // coldest ready container; future = provisioning
+          --alive_containers;
+          ++report.retired_containers;
+          --excess;
+        }
+        if (excess < capacity - desired) any_down = true;
+      }
+    }
+    if (any_up) ++report.autoscale_ups;
+    if (any_down) ++report.autoscale_downs;
+  };
+
+  const std::size_t max_attempts = std::max<std::size_t>(1, options_.retry.max_attempts);
+
+  // Prime the loop: one pending arrival in the queue at a time (the next is
+  // pulled when it pops), plus the first autoscaler tick.
+  Arrival pending_arrival{};
+  bool arrivals_done = true;
+  if (auto first = arrivals.next()) {
+    expects(first->time >= 0.0, "arrivals must have non-negative times");
+    expects(first->input_scale > 0.0, "input scale must be positive");
+    pending_arrival = *first;
+    arrivals_done = false;
+    Event ev;
+    ev.time = first->time;
+    ev.kind = EventKind::Arrival;
+    push(ev);
+  }
+  if (options_.autoscaler.enabled) {
+    Event tick;
+    tick.time = options_.autoscaler.interval_seconds;
+    tick.kind = EventKind::AutoscaleTick;
+    push(tick);
+  }
+
+  double last_event_time = 0.0;
+  while (!events.empty()) {
+    const Event ev = events.pop();
+    ++report.events_processed;
+    last_event_time = std::max(last_event_time, ev.time);
+
+    if (ev.kind == EventKind::AutoscaleTick) {
+      autoscale_tick(ev.time);
+      // Keep ticking only while the system still has (or can get) work, so
+      // an idle tail doesn't spin the clock forever.
+      if (live_slot_count > 0 || !arrivals_done) {
+        Event next_tick;
+        next_tick.time = ev.time + options_.autoscaler.interval_seconds;
+        next_tick.kind = EventKind::AutoscaleTick;
+        push(next_tick);
+      }
+      continue;
+    }
+
+    if (ev.kind == EventKind::Arrival) {
+      const Arrival arrival = pending_arrival;
+      configs.advance_to(arrival.time);
+      const platform::WorkflowConfig& cfg = configs.config_for(arrival);
+      validate_config(cfg);
+      const std::uint32_t s = alloc_slot(arrival, cfg);
+      if (options_.window_seconds > 0.0) ++window_at(arrival.time).arrivals;
+      for (dag::NodeId src : source_nodes) admit(s, src, arrival.time);
+      maybe_emit(s, configs);  // full rejection finishes on the spot
+      if (auto next = arrivals.next()) {
+        expects(next->time >= arrival.time, "arrivals must be sorted by time");
+        expects(next->input_scale > 0.0, "input scale must be positive");
+        pending_arrival = *next;
+        Event nev;
+        nev.time = next->time;
+        nev.kind = EventKind::Arrival;
+        push(nev);
+      } else {
+        arrivals_done = true;
+      }
+      continue;
+    }
+
+    Slot& slot = slots[ev.slot];
+    --slot.refs;
+
+    if (ev.kind == EventKind::Retry) {
+      // Backoff elapsed: re-admit unless the request failed meanwhile (e.g.
+      // a parallel branch OOMed).  Retries queue like any other invocation.
+      if (!slot.failed) admit(ev.slot, ev.node, ev.time);
+      maybe_emit(ev.slot, configs);
+      continue;
+    }
+
+    // Completion of one attempt of (slot, node).
+    FunctionPool& pool = pools[ev.node];
+    --pool.busy;
+
+    if (ev.failed_attempt) {
+      // A crashed or timed-out attempt destroys its container (the sandbox
+      // was killed); the concurrency slot frees for queued work either way.
+      --alive_containers;
+      feed_waiting(pool, ev.time, configs);
+      if (ev.timed_out) {
+        ++report.timeouts;
+        ++slot.outcome.timeouts;
+      }
+      slot.outcome.completion = ev.time;
+      if (slot.failed) {
+        // The request already failed elsewhere; just drain.
+      } else if (attempts[ev.slot * n + ev.node] < max_attempts) {
+        ++report.retries;
+        ++slot.outcome.retries;
+        const double backoff =
+            options_.retry.backoff_seconds(attempts[ev.slot * n + ev.node], rng);
+        Event retry;
+        retry.time = ev.time + backoff;
+        retry.kind = EventKind::Retry;
+        retry.slot = ev.slot;
+        retry.node = ev.node;
+        ++slot.refs;
+        push(retry);
+      } else {
+        slot.failed = true;
+        slot.transient_fail = true;
+        slot.outcome.failed = true;
+      }
+      maybe_emit(ev.slot, configs);
+      continue;
+    }
+
+    insert_idle(pool, ev.time);
+    feed_waiting(pool, ev.time, configs);
+
+    slot.outcome.completion = ev.time;
+    ++slot.nodes_done;
+    if (!slot.failed) {
+      for (dag::NodeId next : g.successors(ev.node)) {
+        if (--remaining_preds[ev.slot * n + next] == 0) admit(ev.slot, next, ev.time);
+      }
+    }
+    // Failed requests drain their in-flight work but spawn nothing new.
+    maybe_emit(ev.slot, configs);
+  }
+
+  expects(live_slot_count == 0, "engine drained with live requests");
+  report.duration_seconds = last_event_time;
+  report.latency = latency_acc.summary();
+
+  reg.counter(obs::metric::kServingRequests).inc(report.requests);
+  reg.counter(obs::metric::kServingRequestFailures).inc(report.failed_requests);
+  reg.counter(obs::metric::kServingRejectedRequests).inc(report.rejected_requests);
+  reg.counter(obs::metric::kServingColdStarts).inc(report.cold_starts);
+  reg.counter(obs::metric::kServingWarmStarts).inc(report.warm_starts);
+  reg.counter(obs::metric::kServingRetries).inc(report.retries);
+  reg.counter(obs::metric::kServingTimeouts).inc(report.timeouts);
+  reg.counter(obs::metric::kServingAutoscaleUp).inc(report.autoscale_ups);
+  reg.counter(obs::metric::kServingAutoscaleDown).inc(report.autoscale_downs);
+  reg.counter(obs::metric::kServingEngineEvents).inc(report.events_processed);
+  run_span.arg("requests", static_cast<std::uint64_t>(report.requests));
+  run_span.arg("failed", static_cast<std::uint64_t>(report.failed_requests));
+  run_span.arg("events", report.events_processed);
+  return report;
+}
+
+}  // namespace aarc::serving

@@ -1,0 +1,163 @@
+// High-throughput serving engine: the platform's request-stream core.
+//
+// The legacy ServingSimulator (simulator.h) is a faithful but smoke-test
+// scale DES: it materializes the whole request vector up front, allocates
+// per-request bookkeeping vectors, retains one RequestOutcome per request
+// and pops events from a binary heap.  This engine keeps the identical
+// platform semantics — warm container reuse within keep-alive, seeded cold
+// starts, per-function concurrency caps, fault injection with retry/backoff
+// and timeouts, failure-aware SLO accounting — but is built to serve
+// millions of simulated requests in seconds within bounded memory:
+//
+//   * arrivals stream from an ArrivalProcess generator (arrivals.h), never
+//     a materialized vector;
+//   * events live in a calendar queue (calendar_queue.h) instead of a heap;
+//   * per-request state is pooled: a free-list of fixed-size slots plus two
+//     flat per-node slabs, reused across requests, zero steady-state
+//     allocation;
+//   * outcomes aggregate online into a StreamingReport (report.h):
+//     QuantileSketch percentiles, counter-based SLO attainment, optional
+//     bounded per-window series — per-request retention is opt-in.
+//
+// On top of the legacy semantics it adds the two overload-era controls the
+// ROADMAP's serving item calls for:
+//
+//   * admission control — a bounded per-function queue; a request that
+//     would overflow it is rejected on the spot (counted as a failure and
+//     an SLO violation), so overload degrades gracefully instead of
+//     queueing unboundedly;
+//   * reactive autoscaling — a periodic control tick compares per-function
+//     demand (busy + queued) against ready capacity and pre-warms or
+//     retires containers toward a target utilization, Knative-style.
+//
+// Determinism: one seeded RNG consumed in event order.  With autoscaling
+// and admission control off, the engine consumes the RNG in exactly the
+// legacy simulator's order and pops events in the same (time, sequence)
+// order, so runs are bit-identical to the heap engine on the same stream
+// (tests/serving/engine_vs_heap_test.cpp).  Sequence numbers are assigned
+// lazily, so the tie-break between events at *exactly* equal timestamps can
+// differ from the legacy engine; continuous arrival processes never
+// produce such ties.
+//
+// Online reconfiguration plugs in through ConfigSource: the engine asks it
+// for a configuration per request and feeds every outcome back, which is
+// all an OnlineReconfigurator (reconfigurator.h) needs to hot-swap configs
+// under live traffic.
+#pragma once
+
+#include <cstdint>
+
+#include "perf/noise.h"
+#include "platform/faults.h"
+#include "platform/pricing.h"
+#include "platform/resource.h"
+#include "platform/workflow.h"
+#include "serving/arrivals.h"
+#include "serving/report.h"
+
+namespace aarc::serving {
+
+/// Reactive autoscaler knobs (disabled by default: pure scale-from-zero).
+struct AutoscalerOptions {
+  bool enabled = false;
+  /// Control-loop period in simulated seconds.
+  double interval_seconds = 5.0;
+  /// Desired busy fraction of ready containers; the tick pre-warms toward
+  /// ceil(demand / target_utilization) and retires idle capacity above it.
+  double target_utilization = 0.7;
+  /// Warm-container floor per function (kept alive regardless of demand).
+  std::size_t min_warm = 0;
+
+  void validate() const;
+};
+
+/// Admission control: 0 keeps the legacy unbounded FIFO; otherwise a
+/// request whose invocation would exceed this many waiters on one function
+/// is rejected immediately (failure + SLO violation, no retry).
+struct AdmissionOptions {
+  std::size_t max_queue_per_function = 0;
+};
+
+struct EngineOptions {
+  // Container model — identical meaning to ServingOptions (simulator.h).
+  double keep_alive_seconds = 600.0;
+  double cold_start_min_seconds = 0.5;
+  double cold_start_max_seconds = 2.0;
+  std::size_t max_containers_per_function = 0;  ///< 0 = unlimited
+  perf::NoiseModel noise{0.03};
+  platform::FaultModel faults{};
+  platform::RetryPolicy retry{};
+  std::uint64_t seed = 2026;
+
+  AutoscalerOptions autoscaler{};
+  AdmissionOptions admission{};
+
+  /// End-to-end SLO for online attainment accounting (0 = off).
+  double slo_seconds = 0.0;
+  /// Width of the throughput/attainment time series (0 = no series).
+  double window_seconds = 0.0;
+  /// Keep one RequestOutcome per request (timeline export; bounded by
+  /// max_retained_outcomes — the engine stops retaining beyond the cap).
+  bool retain_outcomes = false;
+  std::size_t max_retained_outcomes = 1u << 21;
+};
+
+/// Where each request's configuration comes from, and where outcomes go.
+/// The default implementations make a fixed-config source trivial; the
+/// OnlineReconfigurator overrides all three.
+class ConfigSource {
+ public:
+  virtual ~ConfigSource() = default;
+
+  /// Configuration for one admitted request.  The returned reference must
+  /// stay valid until the run ends (hot-swapping sources keep old versions
+  /// alive for in-flight requests).
+  virtual const platform::WorkflowConfig& config_for(const Arrival& arrival) = 0;
+
+  /// Called once per finished request (success, failure or rejection).
+  virtual void on_outcome(const RequestOutcome& outcome, double now) {
+    (void)outcome;
+    (void)now;
+  }
+
+  /// Simulated-clock advance, called as events are processed; lets a
+  /// control plane activate pending changes at the right time.
+  virtual void advance_to(double now) { (void)now; }
+};
+
+/// Serves every request with one fixed configuration.
+class FixedConfigSource final : public ConfigSource {
+ public:
+  explicit FixedConfigSource(platform::WorkflowConfig config)
+      : config_(std::move(config)) {}
+
+  const platform::WorkflowConfig& config_for(const Arrival&) override {
+    return config_;
+  }
+
+ private:
+  platform::WorkflowConfig config_;
+};
+
+class ServingEngine {
+ public:
+  /// The workflow and pricing model must outlive the engine.
+  ServingEngine(const platform::Workflow& workflow,
+                const platform::PricingModel& pricing, EngineOptions options = {});
+
+  /// Serve the stream, pulling configurations from `configs`.
+  StreamingReport run(ArrivalProcess& arrivals, ConfigSource& configs) const;
+
+  /// Serve the stream with one fixed configuration.
+  StreamingReport run(ArrivalProcess& arrivals,
+                      const platform::WorkflowConfig& config) const;
+
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  const platform::Workflow* workflow_;
+  const platform::PricingModel* pricing_;
+  EngineOptions options_;
+};
+
+}  // namespace aarc::serving

@@ -1,0 +1,254 @@
+#include "serving/reconfigurator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "aarc/priority_configurator.h"
+#include "aarc/scheduler.h"
+#include "dag/critical_path.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "search/evaluator.h"
+#include "support/contracts.h"
+#include "support/log.h"
+
+namespace aarc::serving {
+
+using support::expects;
+
+void ReconfigOptions::validate() const {
+  expects(min_outcomes_between_reconfigs >= 1,
+          "reconfiguration cooldown must be at least one outcome");
+  expects(lag_base_seconds >= 0.0 && lag_per_sample_seconds >= 0.0,
+          "scheduling lag must be non-negative");
+  expects(attainment_window >= 1, "attainment window must be at least one outcome");
+}
+
+OnlineReconfigurator::OnlineReconfigurator(const workloads::Workload& workload,
+                                           const platform::Executor& executor,
+                                           platform::ConfigGrid grid,
+                                           platform::WorkflowConfig initial_config,
+                                           double expected_makespan,
+                                           ReconfigOptions options)
+    : workload_(&workload),
+      executor_(&executor),
+      grid_(grid),
+      options_(std::move(options)),
+      monitor_(expected_makespan, workload.slo_seconds, options_.monitor) {
+  options_.validate();
+  expects(workload.slo_seconds > 0.0, "online reconfiguration needs a workload SLO");
+  expects(initial_config.size() == workload.workflow.function_count(),
+          "initial config must cover every function");
+  expects(expected_makespan > 0.0, "expected makespan must be positive");
+  versions_.push_back(
+      std::make_unique<platform::WorkflowConfig>(std::move(initial_config)));
+  active_ = versions_.back().get();
+}
+
+const platform::WorkflowConfig& OnlineReconfigurator::config_for(const Arrival&) {
+  return *active_;
+}
+
+void OnlineReconfigurator::advance_to(double now) {
+  if (pending_ == nullptr || now < pending_activation_time_) return;
+  // The re-run finished its simulated lag: hot-swap.  Requests already in
+  // flight keep their old version (versions_ owns every one ever deployed).
+  active_ = pending_;
+  pending_ = nullptr;
+  ++reconfigurations_;
+  outcomes_since_reconfig_ = 0;
+  post_window_event_ = pending_event_;
+  post_window_remaining_ = options_.attainment_window;
+  post_window_met_ = 0;
+  post_window_size_ = 0;
+  obs::MetricsRegistry::global()
+      .counter(obs::metric::kReconfigReconfigurations)
+      .inc();
+}
+
+void OnlineReconfigurator::on_outcome(const RequestOutcome& outcome, double now) {
+  if (outcome.failed) {
+    monitor_.observe_failure();
+  } else {
+    monitor_.observe(outcome.latency());
+  }
+
+  const bool met = !outcome.failed && outcome.latency() <= workload_->slo_seconds;
+  recent_met_.push_back(met);
+  if (recent_met_.size() > options_.attainment_window) recent_met_.pop_front();
+
+  if (post_window_remaining_ > 0) {
+    ++post_window_size_;
+    if (met) ++post_window_met_;
+    --post_window_remaining_;
+    if (post_window_remaining_ == 0 && post_window_event_ < events_.size()) {
+      ReconfigEvent& ev = events_[post_window_event_];
+      ev.post_slo_attainment = static_cast<double>(post_window_met_) /
+                               static_cast<double>(post_window_size_);
+      ev.post_window_complete = true;
+      obs::MetricsRegistry::global()
+          .gauge(obs::metric::kReconfigPostSloAttainment)
+          .set(ev.post_slo_attainment);
+    }
+  }
+
+  ++outcomes_since_reconfig_;
+  maybe_trigger(now);
+}
+
+double OnlineReconfigurator::rolling_attainment() const {
+  if (recent_met_.empty()) return 1.0;
+  const auto met = static_cast<std::size_t>(
+      std::count(recent_met_.begin(), recent_met_.end(), true));
+  return static_cast<double>(met) / static_cast<double>(recent_met_.size());
+}
+
+void OnlineReconfigurator::maybe_trigger(double now) {
+  if (pending_ != nullptr) return;  // a re-run is already in flight
+  if (outcomes_since_reconfig_ < options_.min_outcomes_between_reconfigs) return;
+  if (!monitor_.should_reconfigure()) return;
+
+  obs::Span reschedule_span("reconfig.reschedule", "reconfig");
+  const double new_scale =
+      std::max(0.05, scale_estimate_ * monitor_.estimated_drift_ratio());
+  support::log_info("online reconfigurator: ", adaptive::to_string(monitor_.verdict()),
+                    " at t=", now, "; rescheduling at scale ", new_scale);
+
+  bool feasible = false;
+  std::size_t samples = 0;
+  bool used_incremental = false;
+  platform::WorkflowConfig candidate;
+  if (options_.incremental) {
+    candidate = incremental_reschedule(new_scale, feasible, samples);
+    used_incremental = feasible;
+  }
+  if (!feasible) {
+    std::size_t full_samples = 0;
+    candidate = full_reschedule(new_scale, feasible, full_samples);
+    samples += full_samples;
+  }
+  scheduling_samples_ += samples;
+
+  ReconfigEvent event;
+  event.trigger_time = now;
+  event.new_scale = new_scale;
+  event.samples_used = samples;
+  event.incremental = used_incremental;
+  event.pre_slo_attainment = rolling_attainment();
+  event.lag_seconds =
+      options_.lag_base_seconds +
+      static_cast<double>(samples) * options_.lag_per_sample_seconds;
+  event.activation_time = now + event.lag_seconds;
+
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter(obs::metric::kReconfigSamples).inc(samples);
+  reg.gauge(obs::metric::kReconfigPreSloAttainment).set(event.pre_slo_attainment);
+
+  if (!feasible) {
+    // Even full Algorithm 1 found nothing feasible at the new scale: keep
+    // serving with the current configuration and re-arm the monitor at the
+    // observed level so the trigger doesn't fire every outcome.
+    support::log_warn(
+        "online reconfigurator: no feasible config at scale ", new_scale,
+        "; keeping the deployed configuration");
+    event.activated = false;
+    events_.push_back(event);
+    monitor_.reset(std::max(monitor_.ewma(), 1e-9));
+    outcomes_since_reconfig_ = 0;
+    return;
+  }
+
+  versions_.push_back(
+      std::make_unique<platform::WorkflowConfig>(std::move(candidate)));
+  pending_ = versions_.back().get();
+  pending_activation_time_ = event.activation_time;
+  event.activated = true;
+  events_.push_back(event);
+  pending_event_ = events_.size() - 1;
+  reg.histogram(obs::metric::kReconfigLagSeconds, obs::default_latency_buckets())
+      .observe(event.lag_seconds);
+
+  reset_monitor_for(*pending_, new_scale);
+  scale_estimate_ = new_scale;
+}
+
+void OnlineReconfigurator::reset_monitor_for(const platform::WorkflowConfig& config,
+                                             double scale) {
+  const auto expectation =
+      executor_->execute_mean(workload_->workflow, config, scale);
+  monitor_.reset(expectation.failed ? workload_->slo_seconds : expectation.makespan);
+}
+
+platform::WorkflowConfig OnlineReconfigurator::incremental_reschedule(
+    double scale, bool& feasible, std::size_t& samples) const {
+  obs::Span span("reconfig.incremental", "reconfig");
+  feasible = false;
+  samples = 0;
+  const double slo = workload_->slo_seconds;
+
+  platform::Workflow wf = workload_->workflow.clone();
+
+  search::EvaluatorOptions eval_options;
+  eval_options.resample.max_resamples = options_.scheduler.probe_resamples;
+  eval_options.resample.outlier_factor = options_.scheduler.probe_outlier_factor;
+  eval_options.threads = options_.scheduler.evaluator_threads;
+  eval_options.probe_cache = options_.scheduler.probe_cache;
+  search::Evaluator evaluator(wf, *executor_, slo, scale, options_.scheduler.seed,
+                              eval_options);
+
+  // Start from the deployed configuration: off-path functions keep their
+  // tuned allocation, so only the critical path is re-searched.
+  platform::WorkflowConfig config = *active_;
+
+  // Weight the DAG at the new scale under the deployed configuration — one
+  // probe tells us the new critical path and whether the deployed
+  // allocation can run at this scale at all.
+  search::Evaluation baseline = evaluator.evaluate(config);
+  for (std::size_t left = options_.scheduler.configurator.transient_probe_retries;
+       left > 0 && baseline.sample.failed && baseline.sample.transient; --left) {
+    baseline = evaluator.evaluate(config);
+  }
+  if (baseline.sample.failed) {
+    samples = evaluator.billed_samples();
+    return config;
+  }
+  wf.mutable_graph().set_weights(baseline.function_runtimes);
+  const dag::Path critical_path = dag::find_critical_path(wf.graph());
+
+  // Re-provision the (new) critical path to the grid maximum, then let the
+  // Priority Configurator walk it back down against the full SLO — the
+  // Algorithm 2 inner loop without re-running detours or stray nodes.
+  for (dag::NodeId id : critical_path.nodes()) config[id] = grid_.max_config();
+  search::Evaluation reprov = evaluator.evaluate(config);
+  for (std::size_t left = options_.scheduler.configurator.transient_probe_retries;
+       left > 0 && reprov.sample.failed && reprov.sample.transient; --left) {
+    reprov = evaluator.evaluate(config);
+  }
+  if (!reprov.sample.failed) {
+    const core::PriorityConfigurator configurator(grid_,
+                                                  options_.scheduler.configurator);
+    configurator.configure_path(evaluator, critical_path.nodes(), slo, config, reprov);
+
+    search::Evaluation final_eval = evaluator.evaluate(config);
+    for (std::size_t left = options_.scheduler.configurator.transient_probe_retries;
+         left > 0 && final_eval.sample.failed && final_eval.sample.transient; --left) {
+      final_eval = evaluator.evaluate(config);
+    }
+    feasible = final_eval.sample.feasible;
+  }
+  samples = evaluator.billed_samples();
+  return config;
+}
+
+platform::WorkflowConfig OnlineReconfigurator::full_reschedule(
+    double scale, bool& feasible, std::size_t& samples) const {
+  obs::Span span("reconfig.full", "reconfig");
+  core::GraphCentricScheduler scheduler(*executor_, grid_, options_.scheduler);
+  const core::ScheduleReport report =
+      scheduler.schedule(workload_->workflow, workload_->slo_seconds, scale);
+  feasible = report.result.found_feasible;
+  samples = report.result.samples();
+  return report.result.best_config;
+}
+
+}  // namespace aarc::serving

@@ -1,0 +1,134 @@
+// Online reconfiguration under live traffic.
+//
+// The adaptive layer's AdaptiveController closes the drift loop for an
+// offline request-by-request harness: observe, reschedule, swap — with the
+// reschedule assumed instantaneous.  Under a live stream that assumption is
+// the interesting part: an AARC re-run consumes profiling samples and wall
+// time, and until it finishes the old configuration keeps serving.  The
+// OnlineReconfigurator models exactly that as a ConfigSource plugged into
+// the serving engine:
+//
+//   * every request outcome feeds the adaptive::DriftMonitor (latencies for
+//     successes, failure marks otherwise);
+//   * when the monitor flags drift or SLO risk (past a cooldown), a
+//     reconfiguration *triggers*: AARC re-runs at the estimated new input
+//     scale — incrementally by default (critical-path-only re-run seeded
+//     from the deployed configuration; full Algorithm 1 as fallback) — and
+//     the resulting configuration becomes *pending*;
+//   * the swap *activates* only after a simulated scheduling lag
+//     (base + per-sample cost of the re-run), driven by the engine's clock
+//     through advance_to().  In-flight requests keep their old
+//     configuration: every version ever deployed stays alive for the run;
+//   * SLO attainment is tracked in a rolling window before each trigger and
+//     a fixed-size window after each activation, so a run quantifies what
+//     the swap bought (ReconfigEvent, also exported through obs as
+//     reconfig.* metrics).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "aarc/options.h"
+#include "adaptive/monitor.h"
+#include "platform/executor.h"
+#include "platform/resource.h"
+#include "serving/engine.h"
+#include "workloads/workload.h"
+
+namespace aarc::serving {
+
+struct ReconfigOptions {
+  adaptive::MonitorOptions monitor;
+  core::SchedulerOptions scheduler;
+  /// Cooldown: outcomes that must accrue between a swap (or run start) and
+  /// the next trigger.
+  std::size_t min_outcomes_between_reconfigs = 50;
+  /// Simulated scheduling lag: trigger-to-swap delay is
+  /// lag_base_seconds + samples_used * lag_per_sample_seconds.
+  double lag_base_seconds = 5.0;
+  double lag_per_sample_seconds = 0.05;
+  /// Critical-path-only incremental re-run (full Algorithm 1 on fallback).
+  bool incremental = true;
+  /// Outcomes per pre-trigger / post-swap SLO attainment window.
+  std::size_t attainment_window = 200;
+
+  void validate() const;
+};
+
+/// One trigger->swap cycle, for experiment reporting.
+struct ReconfigEvent {
+  double trigger_time = 0.0;
+  double activation_time = 0.0;   ///< trigger_time + lag
+  double lag_seconds = 0.0;
+  double new_scale = 0.0;         ///< input-scale estimate the re-run used
+  std::size_t samples_used = 0;   ///< billed probe samples of the re-run
+  bool activated = false;         ///< swap went live (re-run was feasible)
+  bool incremental = false;       ///< critical-path-only re-run sufficed
+  double pre_slo_attainment = 1.0;   ///< rolling window before the trigger
+  double post_slo_attainment = 1.0;  ///< fixed window after the swap
+  bool post_window_complete = false;
+};
+
+class OnlineReconfigurator final : public ConfigSource {
+ public:
+  /// `initial_config` is the currently deployed configuration and
+  /// `expected_makespan` the level it was validated at (the drift monitor's
+  /// baseline).  The workload and executor must outlive the reconfigurator.
+  OnlineReconfigurator(const workloads::Workload& workload,
+                       const platform::Executor& executor, platform::ConfigGrid grid,
+                       platform::WorkflowConfig initial_config,
+                       double expected_makespan, ReconfigOptions options = {});
+
+  // ConfigSource:
+  const platform::WorkflowConfig& config_for(const Arrival& arrival) override;
+  void on_outcome(const RequestOutcome& outcome, double now) override;
+  void advance_to(double now) override;
+
+  const platform::WorkflowConfig& active_config() const { return *active_; }
+  std::size_t reconfigurations() const { return reconfigurations_; }
+  std::size_t scheduling_samples() const { return scheduling_samples_; }
+  const std::vector<ReconfigEvent>& events() const { return events_; }
+  const adaptive::DriftMonitor& monitor() const { return monitor_; }
+
+ private:
+  void maybe_trigger(double now);
+  /// Critical-path-only AARC re-run from the deployed configuration; falls
+  /// back to nothing (feasible=false) when the path cannot meet the SLO.
+  platform::WorkflowConfig incremental_reschedule(double scale, bool& feasible,
+                                                  std::size_t& samples) const;
+  platform::WorkflowConfig full_reschedule(double scale, bool& feasible,
+                                           std::size_t& samples) const;
+  double rolling_attainment() const;
+  void reset_monitor_for(const platform::WorkflowConfig& config, double scale);
+
+  const workloads::Workload* workload_;
+  const platform::Executor* executor_;
+  platform::ConfigGrid grid_;
+  ReconfigOptions options_;
+
+  /// Every configuration version ever deployed, kept alive for in-flight
+  /// requests that still point at an older one.
+  std::deque<std::unique_ptr<platform::WorkflowConfig>> versions_;
+  const platform::WorkflowConfig* active_ = nullptr;
+  const platform::WorkflowConfig* pending_ = nullptr;
+  double pending_activation_time_ = 0.0;
+  std::size_t pending_event_ = 0;      ///< events_ index of the pending swap
+  std::size_t post_window_event_ = 0;  ///< events_ index the open window fills
+
+  adaptive::DriftMonitor monitor_;
+  double scale_estimate_ = 1.0;
+  std::size_t outcomes_since_reconfig_ = 0;
+  std::size_t reconfigurations_ = 0;
+  std::size_t scheduling_samples_ = 0;
+
+  std::deque<bool> recent_met_;         ///< rolling SLO window (pre-trigger)
+  std::size_t post_window_remaining_ = 0;
+  std::size_t post_window_met_ = 0;
+  std::size_t post_window_size_ = 0;
+
+  std::vector<ReconfigEvent> events_;
+};
+
+}  // namespace aarc::serving

@@ -1,0 +1,26 @@
+#include "serving/report.h"
+
+#include "support/contracts.h"
+
+namespace aarc::serving {
+
+using support::expects;
+
+double StreamingReport::slo_violation_rate() const {
+  expects(slo_seconds > 0.0,
+          "SLO accounting needs EngineOptions::slo_seconds set before the run");
+  if (requests == 0) return 0.0;
+  return static_cast<double>(slo_violations) / static_cast<double>(requests);
+}
+
+double StreamingReport::request_failure_rate() const {
+  if (requests == 0) return 0.0;
+  return static_cast<double>(failed_requests) / static_cast<double>(requests);
+}
+
+double StreamingReport::simulated_rps() const {
+  if (duration_seconds <= 0.0) return 0.0;
+  return static_cast<double>(completed + failed_requests) / duration_seconds;
+}
+
+}  // namespace aarc::serving

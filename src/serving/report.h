@@ -1,0 +1,121 @@
+// Serving outcome aggregation.
+//
+// Two consumers with opposite needs share these types:
+//
+//   * the legacy simulator and small experiments keep one RequestOutcome per
+//     request (timeline exports, exact percentiles over a few thousand
+//     requests);
+//   * the high-throughput engine serves millions of requests and must
+//     aggregate *online*: latency percentiles come from a bounded
+//     QuantileSketch, SLO attainment and cost from counters, and the
+//     optional per-window series is bounded by duration / window, never by
+//     the request count.  Retaining per-request outcomes is opt-in
+//     (EngineOptions::retain_outcomes) and meant for timeline exports of
+//     moderate streams.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/statistics.h"
+
+namespace aarc::serving {
+
+/// Outcome of one served request.
+struct RequestOutcome {
+  std::size_t index = 0;
+  double arrival = 0.0;
+  double completion = 0.0;       ///< absolute time the last function finished
+  double cost = 0.0;             ///< billed cost of all invocations/attempts
+  std::size_t cold_starts = 0;   ///< invocations that provisioned a container
+  std::size_t invocations = 0;   ///< attempts started (retries included)
+  std::size_t retries = 0;       ///< failed attempts that were retried
+  std::size_t timeouts = 0;      ///< attempts cut off by the invocation timeout
+  bool failed = false;           ///< OOM, faults exhausted retries, or rejected
+  bool rejected = false;         ///< refused by admission control on arrival
+
+  double latency() const { return completion - arrival; }
+};
+
+/// One aggregation window of the engine's time series (throughput and SLO
+/// attainment over time — the plottable drift/reconfiguration signal).
+struct WindowStat {
+  double start = 0.0;
+  double width = 0.0;
+  std::size_t arrivals = 0;
+  std::size_t completed = 0;        ///< successful completions in the window
+  std::size_t failed = 0;           ///< failures (rejections included)
+  std::size_t rejected = 0;
+  std::size_t slo_violations = 0;   ///< late completions + failures
+  double latency_sum = 0.0;         ///< over successful completions
+  double max_latency = 0.0;
+
+  std::size_t finished() const { return completed + failed; }
+  double throughput_rps() const {
+    return width > 0.0 ? static_cast<double>(finished()) / width : 0.0;
+  }
+  double mean_latency() const {
+    return completed > 0 ? latency_sum / static_cast<double>(completed) : 0.0;
+  }
+  /// Fraction of finished requests that met the SLO (1 when none finished).
+  double slo_attainment() const {
+    const std::size_t n = finished();
+    return n > 0 ? 1.0 - static_cast<double>(slo_violations) / static_cast<double>(n)
+                 : 1.0;
+  }
+};
+
+/// Streaming aggregate of one engine run.  All percentile/attainment math
+/// lives here (support::statistics), not in each bench/caller.
+struct StreamingReport {
+  // Volume.
+  std::size_t requests = 0;            ///< arrivals admitted or rejected
+  std::size_t completed = 0;           ///< finished successfully
+  std::size_t failed_requests = 0;     ///< OOM, retries exhausted, or rejected
+  std::size_t rejected_requests = 0;   ///< refused by admission control
+  std::size_t failed_after_retries = 0;
+
+  // Container economics.
+  std::size_t cold_starts = 0;
+  std::size_t warm_starts = 0;
+  std::size_t retries = 0;
+  std::size_t timeouts = 0;
+  std::size_t peak_containers = 0;
+  std::size_t peak_queue_depth = 0;    ///< max invocations waiting on one function
+  std::size_t prewarmed_containers = 0;  ///< containers the autoscaler provisioned
+  std::size_t retired_containers = 0;    ///< idle containers the autoscaler retired
+  std::size_t autoscale_ups = 0;
+  std::size_t autoscale_downs = 0;
+  double total_cost = 0.0;
+
+  // Latency and SLO, aggregated online.
+  double slo_seconds = 0.0;            ///< 0 = no SLO accounting requested
+  std::size_t slo_violations = 0;      ///< failures + late completions
+  support::Summary latency;            ///< successful requests only
+  support::QuantileSketch latency_quantiles;
+
+  // Run shape.
+  double duration_seconds = 0.0;       ///< last event time
+  std::uint64_t events_processed = 0;
+  double window_seconds = 0.0;
+  std::vector<WindowStat> windows;
+
+  /// Per-request detail; filled only when EngineOptions::retain_outcomes.
+  std::vector<RequestOutcome> outcomes;
+
+  double latency_p50() const { return latency_quantiles.p50(); }
+  double latency_p95() const { return latency_quantiles.p95(); }
+  double latency_p99() const { return latency_quantiles.p99(); }
+
+  /// Failure-aware SLO accounting over ALL requests: a failed or rejected
+  /// request never met its deadline.  Requires slo_seconds to have been set.
+  double slo_violation_rate() const;
+  /// 1 - slo_violation_rate(): the SLAM-style attainment headline.
+  double slo_attainment() const { return 1.0 - slo_violation_rate(); }
+  double request_failure_rate() const;
+  /// Simulated requests finished per simulated second.
+  double simulated_rps() const;
+};
+
+}  // namespace aarc::serving

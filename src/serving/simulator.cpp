@@ -7,7 +7,9 @@
 
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "serving/arrivals.h"
 #include "support/contracts.h"
+#include "support/statistics.h"
 
 namespace aarc::serving {
 
@@ -27,6 +29,16 @@ double ServingReport::slo_violation_rate(double slo_seconds) const {
 double ServingReport::request_failure_rate() const {
   if (requests.empty()) return 0.0;
   return static_cast<double>(failed_requests) / static_cast<double>(requests.size());
+}
+
+double ServingReport::latency_percentile(double p) const {
+  std::vector<double> latencies;
+  latencies.reserve(requests.size());
+  for (const auto& r : requests) {
+    if (!r.failed) latencies.push_back(r.latency());
+  }
+  if (latencies.empty()) return 0.0;
+  return support::percentile(latencies, p);
 }
 
 ServingSimulator::ServingSimulator(const platform::Workflow& workflow,
@@ -306,17 +318,21 @@ std::vector<Request> poisson_stream(std::size_t count, double arrivals_per_secon
                                     double scale_min, double scale_max,
                                     const platform::WorkflowConfig& config,
                                     std::uint64_t seed) {
-  expects(arrivals_per_second > 0.0, "arrival rate must be positive");
-  expects(scale_min > 0.0 && scale_max >= scale_min, "scale range must be ordered");
-  support::Rng rng(seed);
+  // Delegates to the engine's PoissonProcess, whose draws match this
+  // function's historical expression exactly — both engines see the same
+  // stream from the same seed.
+  ScaleSpec scales;
+  scales.scale_min = scale_min;
+  scales.scale_max = scale_max;
+  ArrivalLimits limits;
+  limits.max_requests = count;
+  PoissonProcess process(arrivals_per_second, scales, limits, seed);
   std::vector<Request> out;
   out.reserve(count);
-  double t = 0.0;
-  for (std::size_t i = 0; i < count; ++i) {
-    t += -std::log(1.0 - rng.uniform(0.0, 1.0)) / arrivals_per_second;
+  while (auto a = process.next()) {
     Request r;
-    r.arrival_seconds = t;
-    r.input_scale = rng.uniform(scale_min, scale_max);
+    r.arrival_seconds = a->time;
+    r.input_scale = a->input_scale;
     r.config = config;
     out.push_back(std::move(r));
   }

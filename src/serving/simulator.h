@@ -31,6 +31,7 @@
 #include "platform/pricing.h"
 #include "platform/resource.h"
 #include "platform/workflow.h"
+#include "serving/report.h"
 #include "support/rng.h"
 #include "support/statistics.h"
 
@@ -54,20 +55,7 @@ struct Request {
   platform::WorkflowConfig config;  ///< allocation for this request
 };
 
-/// Outcome of one served request.
-struct RequestOutcome {
-  std::size_t index = 0;
-  double arrival = 0.0;
-  double completion = 0.0;       ///< absolute time the last function finished
-  double cost = 0.0;             ///< billed cost of all invocations/attempts
-  std::size_t cold_starts = 0;   ///< invocations that provisioned a container
-  std::size_t invocations = 0;   ///< attempts started (retries included)
-  std::size_t retries = 0;       ///< failed attempts that were retried
-  std::size_t timeouts = 0;      ///< attempts cut off by the invocation timeout
-  bool failed = false;           ///< OOM, or transient faults exhausted retries
-
-  double latency() const { return completion - arrival; }
-};
+// RequestOutcome lives in serving/report.h, shared with the streaming engine.
 
 struct ServingReport {
   std::vector<RequestOutcome> requests;
@@ -91,8 +79,21 @@ struct ServingReport {
   /// violation rate 1, not 0.
   double slo_violation_rate(double slo_seconds) const;
 
+  /// 1 - slo_violation_rate: fraction of requests that met the SLO.
+  double slo_attainment(double slo_seconds) const {
+    return 1.0 - slo_violation_rate(slo_seconds);
+  }
+
   /// Fraction of requests that failed outright (OOM or retries exhausted).
   double request_failure_rate() const;
+
+  /// Exact latency percentiles over successful requests (p in [0, 100]);
+  /// 0 when none succeeded.  Small-scale runs only — the streaming engine's
+  /// StreamingReport answers the same questions in bounded memory.
+  double latency_percentile(double p) const;
+  double latency_p50() const { return latency_percentile(50.0); }
+  double latency_p95() const { return latency_percentile(95.0); }
+  double latency_p99() const { return latency_percentile(99.0); }
 };
 
 class ServingSimulator {

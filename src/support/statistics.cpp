@@ -68,6 +68,65 @@ Summary Accumulator::summary() const {
   return s;
 }
 
+QuantileSketch::QuantileSketch(double min_value, double max_value, double growth)
+    : min_value_(min_value),
+      log_min_(std::log(min_value)),
+      log_growth_(std::log(growth)) {
+  expects(min_value > 0.0 && max_value > min_value, "sketch range must be ordered");
+  expects(growth > 1.0, "sketch growth must exceed 1");
+  bucket_count_ = static_cast<std::size_t>(
+                      std::ceil((std::log(max_value) - log_min_) / log_growth_)) +
+                  1;
+  buckets_.assign(bucket_count_ + 1, 0);  // + overflow
+}
+
+std::size_t QuantileSketch::bucket_of(double value) const {
+  if (!(value > min_value_)) return 0;
+  const auto i =
+      static_cast<std::size_t>(std::floor((std::log(value) - log_min_) / log_growth_));
+  return std::min(i + 1, bucket_count_);  // bucket 0 is [0, min_value_]
+}
+
+double QuantileSketch::bucket_lower(std::size_t i) const {
+  if (i == 0) return 0.0;
+  return std::exp(log_min_ + static_cast<double>(i - 1) * log_growth_);
+}
+
+void QuantileSketch::add(double value) {
+  expects(value >= 0.0, "QuantileSketch values must be non-negative");
+  ++buckets_[bucket_of(value)];
+  ++count_;
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  expects(buckets_.size() == other.buckets_.size() && min_value_ == other.min_value_ &&
+              log_growth_ == other.log_growth_,
+          "QuantileSketch::merge requires identical bucket layouts");
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+}
+
+double QuantileSketch::quantile(double q) const {
+  expects(q >= 0.0 && q <= 1.0, "quantile q must be in [0, 1]");
+  if (count_ == 0) return 0.0;
+  const double rank = q * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    const double before = static_cast<double>(seen);
+    seen += buckets_[i];
+    if (static_cast<double>(seen) < rank) continue;
+    if (i >= bucket_count_) return bucket_lower(bucket_count_);  // overflow
+    const double lo = bucket_lower(i);
+    const double hi = bucket_lower(i + 1);
+    const double frac =
+        std::clamp((rank - before) / static_cast<double>(buckets_[i]), 0.0, 1.0);
+    // Geometric interpolation matches the bucket spacing.
+    return lo <= 0.0 ? hi * frac : lo * std::exp(frac * std::log(hi / lo));
+  }
+  return bucket_lower(bucket_count_);
+}
+
 Summary summarize(std::span<const double> values) {
   Accumulator acc;
   for (double v : values) acc.add(v);

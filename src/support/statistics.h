@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -45,6 +46,43 @@ class Accumulator {
   double min_ = 0.0;
   double max_ = 0.0;
   double sum_ = 0.0;
+};
+
+/// Streaming quantile estimator over non-negative values, O(1) memory.
+///
+/// Values land in geometrically spaced buckets between `min_value` and
+/// `max_value` (each bucket spans a factor of `growth`), so the relative
+/// error of a reported quantile is bounded by `growth - 1` (~2% at the
+/// default).  Values below `min_value` collapse into the first bucket,
+/// values above `max_value` into one overflow bucket whose quantiles
+/// report `max_value`.  Built for million-request serving runs where
+/// retaining every latency for support::percentile would not be bounded.
+class QuantileSketch {
+ public:
+  explicit QuantileSketch(double min_value = 1e-3, double max_value = 3.6e6,
+                          double growth = 1.02);
+
+  void add(double value);
+  /// Merge another sketch (must share min/max/growth).
+  void merge(const QuantileSketch& other);
+
+  std::size_t count() const { return count_; }
+  /// q in [0, 1]; 0 when empty.  Interpolates geometrically in-bucket.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
+ private:
+  std::size_t bucket_of(double value) const;
+  double bucket_lower(std::size_t i) const;
+
+  double min_value_;
+  double log_min_;
+  double log_growth_;
+  std::size_t bucket_count_;  ///< regular buckets; one overflow bucket appended
+  std::vector<std::uint64_t> buckets_;
+  std::size_t count_ = 0;
 };
 
 /// One-shot summary of a span of values.

@@ -93,6 +93,83 @@ TEST(ExecutionCsv, RejectsMismatchedWorkflow) {
   EXPECT_THROW(execution_to_csv(wf, wrong), support::ContractViolation);
 }
 
+TEST(ServingCsv, TimelineExportsOneRowPerRetainedOutcome) {
+  serving::StreamingReport report;
+  serving::RequestOutcome ok;
+  ok.index = 0;
+  ok.arrival = 1.0;
+  ok.completion = 3.5;
+  ok.cost = 0.25;
+  ok.cold_starts = 1;
+  ok.invocations = 2;
+  serving::RequestOutcome bad;
+  bad.index = 1;
+  bad.arrival = 2.0;
+  bad.completion = 2.0;
+  bad.failed = true;
+  bad.rejected = true;
+  report.outcomes = {ok, bad};
+  const std::string csv = serving_timeline_to_csv(report);
+  EXPECT_NE(csv.find("index,arrival,completion,latency,cost"), std::string::npos);
+  EXPECT_NE(csv.find("2.5000"), std::string::npos);  // ok's latency
+  EXPECT_NE(csv.find(",1,1"), std::string::npos);    // bad: failed=1, rejected=1
+  // Header plus one line per outcome.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+}
+
+TEST(ServingCsv, WindowSeriesExportsDerivedColumns) {
+  serving::StreamingReport report;
+  serving::WindowStat w;
+  w.start = 0.0;
+  w.width = 10.0;
+  w.arrivals = 5;
+  w.completed = 4;
+  w.failed = 1;
+  w.slo_violations = 2;
+  w.latency_sum = 8.0;
+  w.max_latency = 4.0;
+  report.windows = {w};
+  const std::string csv = serving_windows_to_csv(report);
+  EXPECT_NE(csv.find("start,width,arrivals,completed,failed"), std::string::npos);
+  EXPECT_NE(csv.find("0.5000"), std::string::npos);  // throughput: 5 / 10 s
+  EXPECT_NE(csv.find("2.0000"), std::string::npos);  // mean latency: 8 / 4
+  EXPECT_NE(csv.find("0.6000"), std::string::npos);  // attainment: 1 - 2/5
+}
+
+TEST(ArrivalTrace, JsonRoundTripPreservesTheStream) {
+  const std::vector<serving::Arrival> trace{{0.5, 1.0}, {1.25, 2.0}, {9.0, 0.75}};
+  const auto round = arrival_trace_from_json(arrival_trace_to_json(trace));
+  ASSERT_EQ(round.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_DOUBLE_EQ(round[i].time, trace[i].time);
+    EXPECT_DOUBLE_EQ(round[i].input_scale, trace[i].input_scale);
+  }
+}
+
+TEST(ArrivalTrace, ScaleDefaultsToOneWhenOmitted) {
+  JsonObject entry;
+  entry["t"] = Json(2.0);
+  JsonArray arr;
+  arr.push_back(Json(std::move(entry)));
+  JsonObject root;
+  root["arrivals"] = Json(std::move(arr));
+  const auto trace = arrival_trace_from_json(Json(std::move(root)));
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_DOUBLE_EQ(trace[0].input_scale, 1.0);
+}
+
+TEST(ArrivalTrace, RejectsUnsortedAndNegativeInputs) {
+  EXPECT_THROW(
+      arrival_trace_from_json(arrival_trace_to_json({{5.0, 1.0}, {1.0, 1.0}})),
+      support::ContractViolation);
+  EXPECT_THROW(
+      arrival_trace_from_json(arrival_trace_to_json({{-1.0, 1.0}})),
+      support::ContractViolation);
+  EXPECT_THROW(
+      arrival_trace_from_json(arrival_trace_to_json({{1.0, -2.0}})),
+      support::ContractViolation);
+}
+
 TEST(Gantt, BarsSpanTheTimeline) {
   const platform::Workflow wf = chain();
   const auto res = noiseless().execute_mean(wf, platform::uniform_config(2, {1.0, 512.0}));

@@ -1,0 +1,176 @@
+// Arrival processes: determinism, reset, limits, drift, and draw-for-draw
+// equivalence between PoissonProcess and the legacy poisson_stream helper.
+#include "serving/arrivals.h"
+
+#include <gtest/gtest.h>
+
+#include "platform/resource.h"
+#include "serving/simulator.h"
+#include "support/contracts.h"
+
+namespace aarc::serving {
+namespace {
+
+TEST(PoissonProcess, MatchesLegacyPoissonStreamDrawForDraw) {
+  const platform::WorkflowConfig config =
+      platform::uniform_config(3, {2.0, 1024.0});
+  const auto legacy = poisson_stream(200, 0.8, 0.5, 1.5, config, 42);
+
+  ScaleSpec scales;
+  scales.scale_min = 0.5;
+  scales.scale_max = 1.5;
+  ArrivalLimits limits;
+  limits.max_requests = 200;
+  PoissonProcess process(0.8, scales, limits, 42);
+
+  for (const auto& request : legacy) {
+    const auto arrival = process.next();
+    ASSERT_TRUE(arrival.has_value());
+    EXPECT_EQ(arrival->time, request.arrival_seconds);
+    EXPECT_EQ(arrival->input_scale, request.input_scale);
+  }
+  EXPECT_FALSE(process.next().has_value());
+}
+
+TEST(PoissonProcess, ResetReplaysTheExactStream) {
+  ArrivalLimits limits;
+  limits.max_requests = 50;
+  PoissonProcess process(2.0, {0.8, 1.2}, limits, 7);
+  const auto first = materialize(process, 50);
+  process.reset();
+  const auto second = materialize(process, 50);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].time, second[i].time);
+    EXPECT_EQ(first[i].input_scale, second[i].input_scale);
+  }
+}
+
+TEST(PoissonProcess, HorizonBoundsTheStream) {
+  ArrivalLimits limits;
+  limits.horizon_seconds = 10.0;
+  PoissonProcess process(5.0, {}, limits, 7);
+  const auto arrivals = materialize(process, 1000);
+  ASSERT_FALSE(arrivals.empty());
+  for (const auto& a : arrivals) EXPECT_LE(a.time, 10.0);
+  EXPECT_FALSE(process.next().has_value());
+}
+
+TEST(ArrivalLimits, UnboundedGeneratedStreamIsRejected) {
+  // A generated process with neither a request cap nor a horizon would keep
+  // the engine running forever; the constructor refuses it outright.
+  EXPECT_THROW(PoissonProcess(1.0, {}, ArrivalLimits{}, 1),
+               support::ContractViolation);
+}
+
+TEST(ScaleSpec, DriftMultipliesOnlyAfterTheDriftTime) {
+  ScaleSpec spec;
+  spec.scale_min = 1.0;
+  spec.scale_max = 1.0;
+  spec.drift_time = 100.0;
+  spec.drift_factor = 1.5;
+  EXPECT_DOUBLE_EQ(spec.apply_drift(1.0, 99.9), 1.0);
+  EXPECT_DOUBLE_EQ(spec.apply_drift(1.0, 100.0), 1.5);
+  EXPECT_DOUBLE_EQ(spec.apply_drift(2.0, 500.0), 3.0);
+}
+
+TEST(ScaleSpec, DriftDoesNotChangeArrivalTimes) {
+  ArrivalLimits limits;
+  limits.max_requests = 100;
+  PoissonProcess clean(1.0, {0.5, 1.5, 0.0, 1.0}, limits, 9);
+  PoissonProcess drifted(1.0, {0.5, 1.5, 20.0, 2.0}, limits, 9);
+  const auto a = materialize(clean, 100);
+  const auto b = materialize(drifted, 100);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time);
+    if (a[i].time >= 20.0) {
+      EXPECT_DOUBLE_EQ(b[i].input_scale, a[i].input_scale * 2.0);
+    } else {
+      EXPECT_EQ(b[i].input_scale, a[i].input_scale);
+    }
+  }
+}
+
+TEST(MmppProcess, DeterministicSortedAndBounded) {
+  MmppParams params;
+  params.base_rate = 1.0;
+  params.burst_rate = 20.0;
+  params.mean_base_seconds = 30.0;
+  params.mean_burst_seconds = 5.0;
+  ArrivalLimits limits;
+  limits.max_requests = 300;
+  MmppProcess process(params, {0.9, 1.1}, limits, 17);
+  const auto first = materialize(process, 300);
+  ASSERT_EQ(first.size(), 300u);
+  for (std::size_t i = 1; i < first.size(); ++i) {
+    EXPECT_LE(first[i - 1].time, first[i].time);
+  }
+  process.reset();
+  const auto second = materialize(process, 300);
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].time, second[i].time);
+  }
+}
+
+TEST(MmppProcess, BurstsArriveFasterThanBaseline) {
+  // With an extreme burst rate, the mean inter-arrival gap must sit far
+  // below the pure-baseline gap.
+  MmppParams params;
+  params.base_rate = 0.1;
+  params.burst_rate = 100.0;
+  params.mean_base_seconds = 10.0;
+  params.mean_burst_seconds = 10.0;
+  ArrivalLimits limits;
+  limits.max_requests = 2000;
+  MmppProcess process(params, {}, limits, 23);
+  const auto arrivals = materialize(process, 2000);
+  const double span = arrivals.back().time - arrivals.front().time;
+  const double mean_gap = span / static_cast<double>(arrivals.size() - 1);
+  EXPECT_LT(mean_gap, 1.0 / 0.1);  // far denser than baseline-only traffic
+}
+
+TEST(DiurnalProcess, DeterministicAndSorted) {
+  DiurnalParams params;
+  params.base_rate = 2.0;
+  params.amplitude = 0.8;
+  params.period_seconds = 100.0;
+  ArrivalLimits limits;
+  limits.max_requests = 500;
+  DiurnalProcess process(params, {}, limits, 5);
+  const auto first = materialize(process, 500);
+  ASSERT_EQ(first.size(), 500u);
+  for (std::size_t i = 1; i < first.size(); ++i) {
+    EXPECT_LE(first[i - 1].time, first[i].time);
+  }
+  process.reset();
+  const auto second = materialize(process, 500);
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].time, second[i].time);
+  }
+}
+
+TEST(TraceReplayProcess, ReplaysTheTraceWithOptionalDrift) {
+  std::vector<Arrival> trace{{1.0, 1.0}, {2.0, 2.0}, {30.0, 1.0}};
+  TraceReplayProcess process(trace);
+  const auto plain = materialize(process, 10);
+  ASSERT_EQ(plain.size(), 3u);
+  EXPECT_EQ(plain[1].input_scale, 2.0);
+
+  ScaleSpec drift;
+  drift.drift_time = 10.0;
+  drift.drift_factor = 3.0;
+  TraceReplayProcess drifted(trace, {}, drift);
+  const auto out = materialize(drifted, 10);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0].input_scale, 1.0);
+  EXPECT_DOUBLE_EQ(out[2].input_scale, 3.0);
+}
+
+TEST(TraceReplayProcess, UnsortedTraceViolatesContract) {
+  std::vector<Arrival> trace{{5.0, 1.0}, {1.0, 1.0}};
+  EXPECT_THROW(TraceReplayProcess{trace}, support::ContractViolation);
+}
+
+}  // namespace
+}  // namespace aarc::serving

@@ -1,0 +1,168 @@
+// The two overload-era controls of the serving engine: reactive autoscaling
+// (pre-warm toward demand, retire idle capacity, hold a warm floor) and
+// admission control (bounded per-function queues => bounded latency, with
+// rejections counted as failures and SLO violations).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "perf/analytic.h"
+#include "platform/pricing.h"
+#include "serving/engine.h"
+
+namespace aarc::serving {
+namespace {
+
+std::unique_ptr<perf::PerfModel> fn(double serial) {
+  perf::AnalyticParams p;
+  p.serial_seconds = serial;
+  p.working_set_mb = 256.0;
+  p.min_memory_mb = 128.0;
+  p.pressure_coeff = 0.0;
+  return std::make_unique<perf::AnalyticModel>(p);
+}
+
+platform::Workflow chain() {
+  platform::Workflow wf("chain");
+  wf.add_function("a", fn(4.0));
+  wf.add_function("b", fn(6.0));
+  wf.add_edge("a", "b");
+  return wf;
+}
+
+const platform::DecoupledLinearPricing kPricing;
+const platform::WorkflowConfig kConfig = platform::uniform_config(2, {1.0, 512.0});
+
+EngineOptions quiet_options() {
+  EngineOptions opts;
+  opts.noise = perf::NoiseModel(0.0);
+  opts.cold_start_min_seconds = 1.0;
+  opts.cold_start_max_seconds = 1.0;
+  return opts;
+}
+
+StreamingReport run(const platform::Workflow& wf, const EngineOptions& opts,
+                    ArrivalProcess& arrivals) {
+  arrivals.reset();
+  const ServingEngine engine(wf, kPricing, opts);
+  return engine.run(arrivals, kConfig);
+}
+
+TEST(Autoscaler, ScaleUpPrewarmsAndCutsRequestColdStarts) {
+  const platform::Workflow wf = chain();
+  // Bursts spaced beyond keep-alive: without the autoscaler every burst
+  // re-provisions its containers from scratch and the requests pay for it.
+  std::vector<Arrival> trace;
+  for (int burst = 0; burst < 5; ++burst) {
+    for (int i = 0; i < 30; ++i) trace.push_back({120.0 * burst + 0.2 * i, 1.0});
+  }
+  TraceReplayProcess arrivals(trace);
+
+  EngineOptions off = quiet_options();
+  off.keep_alive_seconds = 60.0;
+  const StreamingReport base = run(wf, off, arrivals);
+
+  EngineOptions on = off;
+  on.autoscaler.enabled = true;
+  on.autoscaler.interval_seconds = 5.0;
+  on.autoscaler.min_warm = 30;  // the floor re-provisions between bursts
+  const StreamingReport scaled = run(wf, on, arrivals);
+
+  EXPECT_GT(scaled.prewarmed_containers, 0u);
+  EXPECT_GT(scaled.autoscale_ups, 0u);
+  // Pre-warms pay the platform's cold starts so requests don't: only the
+  // very first burst (before the first control tick) still pays its own.
+  EXPECT_LT(scaled.cold_starts, base.cold_starts / 2);
+  EXPECT_EQ(scaled.completed, base.completed);
+  EXPECT_EQ(scaled.failed_requests, 0u);
+}
+
+TEST(Autoscaler, ScaleDownRetiresIdleCapacityAfterABurst) {
+  const platform::Workflow wf = chain();
+  // A tight burst strands warm containers, then sparse stragglers keep the
+  // clock (and the control loop) running long after demand has collapsed.
+  std::vector<Arrival> trace;
+  for (int i = 0; i < 40; ++i) trace.push_back({0.1 * i, 1.0});
+  for (int i = 0; i < 10; ++i) trace.push_back({100.0 + 30.0 * i, 1.0});
+  TraceReplayProcess arrivals(trace);
+
+  EngineOptions opts = quiet_options();
+  opts.keep_alive_seconds = 10'000.0;  // keep-alive alone would never drain
+  opts.autoscaler.enabled = true;
+  opts.autoscaler.interval_seconds = 5.0;
+  const StreamingReport report = run(wf, opts, arrivals);
+
+  EXPECT_GT(report.retired_containers, 0u);
+  EXPECT_GT(report.autoscale_downs, 0u);
+  EXPECT_EQ(report.failed_requests, 0u);
+}
+
+TEST(Autoscaler, MinWarmHoldsAFloorOfWarmContainers) {
+  const platform::Workflow wf = chain();
+  std::vector<Arrival> trace{{0.0, 1.0}, {60.0, 1.0}};
+  TraceReplayProcess arrivals(trace);
+
+  EngineOptions opts = quiet_options();
+  opts.autoscaler.enabled = true;
+  opts.autoscaler.interval_seconds = 5.0;
+  opts.autoscaler.min_warm = 4;
+  const StreamingReport report = run(wf, opts, arrivals);
+
+  // Two near-idle requests can never need 8 containers; the floor does.
+  // (The first request's own cold start covers one of the 4-per-function.)
+  EXPECT_GE(report.prewarmed_containers, 7u);
+  EXPECT_GE(report.peak_containers, 8u);
+}
+
+TEST(Admission, OverloadRejectsInsteadOfQueueingUnboundedly) {
+  const platform::Workflow wf = chain();
+  ArrivalLimits limits;
+  limits.max_requests = 120;
+  PoissonProcess arrivals(2.0, {}, limits, 33);
+
+  EngineOptions opts = quiet_options();
+  opts.max_containers_per_function = 1;
+  opts.admission.max_queue_per_function = 2;
+  opts.slo_seconds = 30.0;
+  const StreamingReport report = run(wf, opts, arrivals);
+
+  EXPECT_GT(report.rejected_requests, 0u);
+  EXPECT_LE(report.peak_queue_depth, 2u);
+  // Every rejection is a failure and an SLO violation.
+  EXPECT_GE(report.failed_requests, report.rejected_requests);
+  EXPECT_GE(report.slo_violations, report.rejected_requests);
+}
+
+TEST(Admission, BoundedQueueBoundsSuccessfulLatency) {
+  const platform::Workflow wf = chain();
+  ArrivalLimits limits;
+  limits.max_requests = 120;
+  PoissonProcess arrivals(2.0, {}, limits, 33);
+
+  EngineOptions unbounded = quiet_options();
+  unbounded.max_containers_per_function = 1;
+  unbounded.retain_outcomes = true;
+  const StreamingReport base = run(wf, unbounded, arrivals);
+
+  EngineOptions bounded = unbounded;
+  bounded.admission.max_queue_per_function = 2;
+  const StreamingReport capped = run(wf, bounded, arrivals);
+
+  auto max_latency = [](const StreamingReport& report) {
+    double worst = 0.0;
+    for (const auto& out : report.outcomes) {
+      if (!out.failed) worst = std::max(worst, out.latency());
+    }
+    return worst;
+  };
+  // Unbounded FIFO latency grows with the backlog; a 2-deep queue caps the
+  // wait at a few service times.
+  EXPECT_GT(max_latency(base), 10.0 * max_latency(capped));
+  EXPECT_EQ(base.rejected_requests, 0u);
+  EXPECT_GT(capped.rejected_requests, 0u);
+}
+
+}  // namespace
+}  // namespace aarc::serving

@@ -1,0 +1,113 @@
+// CalendarQueue vs a reference binary heap: identical (time, sequence) pop
+// order under DES-shaped workloads (monotone "now", events pushed into the
+// future), across resizes, sparse far-future jumps and full drains.
+#include "serving/calendar_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace aarc::serving {
+namespace {
+
+struct Ev {
+  double time = 0.0;
+  std::uint64_t sequence = 0;
+};
+
+struct Later {
+  bool operator()(const Ev& a, const Ev& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.sequence > b.sequence;
+  }
+};
+
+using ReferenceHeap = std::priority_queue<Ev, std::vector<Ev>, Later>;
+
+/// Interleaved pushes and pops mimicking a simulation loop: seed events
+/// arrive in time order (like a sorted arrival stream), then each popped
+/// event may schedule a few more at now + positive offset.  This is the
+/// queue's contract — a resize re-anchors the current day at the earliest
+/// live event, so pushes must never go behind it.
+void run_des_workload(double mean_offset, std::size_t initial, std::uint64_t seed) {
+  CalendarQueue<Ev> queue;
+  ReferenceHeap heap;
+  support::Rng rng(seed);
+  std::uint64_t sequence = 0;
+
+  std::vector<double> seed_times;
+  for (std::size_t i = 0; i < initial; ++i) {
+    seed_times.push_back(rng.uniform(0.0, mean_offset));
+  }
+  std::sort(seed_times.begin(), seed_times.end());
+  for (double t : seed_times) {
+    Ev ev{t, sequence++};
+    queue.push(ev);
+    heap.push(ev);
+  }
+
+  std::size_t popped = 0;
+  while (!queue.empty()) {
+    ASSERT_FALSE(heap.empty());
+    const Ev expected = heap.top();
+    heap.pop();
+    const Ev got = queue.pop();
+    ASSERT_EQ(expected.time, got.time) << "pop #" << popped;
+    ASSERT_EQ(expected.sequence, got.sequence) << "pop #" << popped;
+    ++popped;
+
+    // Schedule follow-ups while the stream is young, like completions do.
+    if (popped < initial * 3 && rng.uniform(0.0, 1.0) < 0.6) {
+      const std::size_t fanout = rng.uniform(0.0, 1.0) < 0.2 ? 2 : 1;
+      for (std::size_t j = 0; j < fanout; ++j) {
+        Ev ev{got.time + rng.uniform(1e-6, mean_offset), sequence++};
+        queue.push(ev);
+        heap.push(ev);
+      }
+    }
+  }
+  EXPECT_TRUE(heap.empty());
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(CalendarQueue, MatchesHeapOnDenseTraffic) { run_des_workload(2.0, 500, 11); }
+
+TEST(CalendarQueue, MatchesHeapOnSparseTraffic) {
+  // Offsets far beyond the initial day width force the empty-year jump.
+  run_des_workload(5000.0, 200, 12);
+}
+
+TEST(CalendarQueue, MatchesHeapAcrossResizes) {
+  // Enough simultaneous events to trigger several growth resizes, then a
+  // full drain through the shrink path.
+  run_des_workload(50.0, 5000, 13);
+}
+
+TEST(CalendarQueue, TieBreaksBySequence) {
+  CalendarQueue<Ev> queue;
+  queue.push({1.0, 2});
+  queue.push({1.0, 0});
+  queue.push({1.0, 1});
+  EXPECT_EQ(queue.pop().sequence, 0u);
+  EXPECT_EQ(queue.pop().sequence, 1u);
+  EXPECT_EQ(queue.pop().sequence, 2u);
+}
+
+TEST(CalendarQueue, PopOnEmptyViolatesContract) {
+  CalendarQueue<Ev> queue;
+  EXPECT_THROW(queue.pop(), support::ContractViolation);
+}
+
+TEST(CalendarQueue, PushIntoThePastViolatesContract) {
+  CalendarQueue<Ev> queue(1.0, 16);
+  queue.push({100.0, 0});
+  (void)queue.pop();  // the current day has advanced well past zero
+  EXPECT_THROW(queue.push({0.5, 1}), support::ContractViolation);
+}
+
+}  // namespace
+}  // namespace aarc::serving

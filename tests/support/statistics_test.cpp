@@ -152,6 +152,70 @@ TEST(RunningMax, IsMonotoneNonDecreasing) {
 
 TEST(RunningMin, EmptyInput) { EXPECT_TRUE(running_min(std::vector<double>{}).empty()); }
 
+TEST(QuantileSketch, EmptySketchReportsZero) {
+  const QuantileSketch sketch;
+  EXPECT_EQ(sketch.count(), 0u);
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.p99(), 0.0);
+}
+
+TEST(QuantileSketch, TracksExactPercentileWithinGrowthBound) {
+  // The sketch's documented relative error is growth - 1 (2% by default).
+  QuantileSketch sketch;
+  std::vector<double> values;
+  for (int i = 0; i < 5000; ++i) {
+    // A spread of latencies over three decades: 0.01 s .. 20 s.
+    const double v = 0.01 * std::pow(10.0, 3.3 * (std::sin(i * 0.37) + 1.0) / 2.0);
+    values.push_back(v);
+    sketch.add(v);
+  }
+  EXPECT_EQ(sketch.count(), values.size());
+  for (double q : {0.50, 0.95, 0.99}) {
+    const double exact = percentile(values, q * 100.0);
+    const double approx = sketch.quantile(q);
+    EXPECT_NEAR(approx, exact, exact * 0.03) << "q=" << q;
+  }
+}
+
+TEST(QuantileSketch, QuantilesAreMonotoneInQ) {
+  QuantileSketch sketch;
+  for (int i = 1; i <= 1000; ++i) sketch.add(0.002 * i);
+  double prev = 0.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double v = sketch.quantile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(QuantileSketch, MergeMatchesSequentialFeed) {
+  QuantileSketch all;
+  QuantileSketch left;
+  QuantileSketch right;
+  for (int i = 0; i < 2000; ++i) {
+    const double v = 0.05 + 0.01 * i;
+    all.add(v);
+    (i % 2 == 0 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  for (double q : {0.5, 0.95, 0.99}) {
+    EXPECT_DOUBLE_EQ(left.quantile(q), all.quantile(q));
+  }
+}
+
+TEST(QuantileSketch, OutOfRangeValuesClampToTheEdges) {
+  QuantileSketch sketch(0.1, 100.0, 1.05);
+  sketch.add(1e-9);   // below min_value: first bucket
+  sketch.add(1e9);    // above max_value: overflow bucket
+  EXPECT_EQ(sketch.count(), 2u);
+  EXPECT_LE(sketch.quantile(0.0), 0.1 * 1.05);
+  // The overflow bucket reports max_value up to grid rounding (one growth
+  // step), never the actual out-of-range magnitude.
+  EXPECT_GE(sketch.quantile(1.0), 100.0);
+  EXPECT_LE(sketch.quantile(1.0), 100.0 * 1.05);
+}
+
 /// Property: for any sample, stddev >= 0 and min <= mean <= max.
 class SummaryProperty : public ::testing::TestWithParam<int> {};
 

@@ -16,6 +16,7 @@
 
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,9 @@
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "platform/profiler.h"
+#include "serving/arrivals.h"
+#include "serving/engine.h"
+#include "serving/reconfigurator.h"
 #include "serving/simulator.h"
 #include "report/advisory.h"
 #include "report/comparison.h"
@@ -57,6 +61,7 @@ Args parse_args(int argc, char** argv) {
   static const std::map<std::string, std::string> kAliases = {
       {"retry-attempts", "retries"},
       {"invocation-timeout", "timeout"},
+      {"rate", "target-rps"},
   };
   Args args;
   std::vector<std::string> positional;
@@ -270,6 +275,55 @@ int cmd_advise(const Args& args) {
   return 0;
 }
 
+/// Build the arrival process for `serve` from --arrivals and its knobs.
+/// Forms: poisson (default) | mmpp | diurnal | trace:<file>.
+std::unique_ptr<serving::ArrivalProcess> make_arrivals(const Args& args) {
+  serving::ScaleSpec scales;
+  scales.scale_min = option_number(args, "scale-min", 1.0);
+  scales.scale_max = option_number(args, "scale-max", scales.scale_min);
+  scales.drift_time = option_number(args, "drift-time", 0.0);
+  scales.drift_factor = option_number(args, "drift-factor", 1.0);
+
+  serving::ArrivalLimits limits;
+  limits.max_requests = static_cast<std::size_t>(option_number(args, "requests", 50));
+  limits.horizon_seconds = option_number(args, "duration", 0.0);
+  if (args.options.count("duration")) limits.max_requests = static_cast<std::size_t>(
+      option_number(args, "requests", 0));
+
+  const double rps = option_number(args, "target-rps", 0.01);
+  const auto seed = static_cast<std::uint64_t>(option_number(args, "seed", 77));
+
+  const auto it = args.options.find("arrivals");
+  const std::string kind = it == args.options.end() ? "poisson" : it->second;
+  if (kind == "poisson") {
+    return std::make_unique<serving::PoissonProcess>(rps, scales, limits, seed);
+  }
+  if (kind == "mmpp") {
+    serving::MmppParams params;
+    params.base_rate = rps;
+    params.burst_rate = option_number(args, "burst-rps", 5.0 * rps);
+    params.mean_base_seconds = option_number(args, "mean-base", 60.0 / rps);
+    params.mean_burst_seconds = option_number(args, "mean-burst", 10.0 / rps);
+    return std::make_unique<serving::MmppProcess>(params, scales, limits, seed);
+  }
+  if (kind == "diurnal") {
+    serving::DiurnalParams params;
+    params.base_rate = rps;
+    params.amplitude = option_number(args, "amplitude", 0.5);
+    params.period_seconds = option_number(args, "period", 3600.0);
+    return std::make_unique<serving::DiurnalProcess>(params, scales, limits, seed);
+  }
+  if (support::starts_with(kind, "trace:")) {
+    const std::string path = kind.substr(6);
+    auto trace = io::arrival_trace_from_json(io::parse_json(io::read_text_file(path)));
+    // The trace bounds itself; --requests/--duration only truncate it.
+    limits.max_requests = static_cast<std::size_t>(option_number(args, "requests", 0));
+    return std::make_unique<serving::TraceReplayProcess>(std::move(trace), limits,
+                                                         scales);
+  }
+  throw std::runtime_error("--arrivals expects poisson|mmpp|diurnal|trace:<file>");
+}
+
 int cmd_serve(const Args& args) {
   const auto w = load_workload(args.workload);
   const platform::Executor ex;
@@ -291,22 +345,52 @@ int cmd_serve(const Args& args) {
     config = std::move(report.result.best_config);
   }
 
-  const auto count = static_cast<std::size_t>(option_number(args, "requests", 50));
-  const double rate = option_number(args, "rate", 0.01);
-  const auto seed = static_cast<std::uint64_t>(option_number(args, "seed", 77));
-  const auto stream = serving::poisson_stream(count, rate, 1.0, 1.0, config, seed);
-
   const platform::DecoupledLinearPricing pricing;
-  serving::ServingOptions sopts;
-  sopts.keep_alive_seconds = option_number(args, "keep-alive", 600.0);
+  serving::EngineOptions eopts;
+  eopts.keep_alive_seconds = option_number(args, "keep-alive", 600.0);
+  eopts.max_containers_per_function =
+      static_cast<std::size_t>(option_number(args, "max-containers", 0));
+  eopts.admission.max_queue_per_function =
+      static_cast<std::size_t>(option_number(args, "queue-cap", 0));
+  eopts.autoscaler.enabled = option_switch(args, "autoscale", false);
+  eopts.autoscaler.min_warm =
+      static_cast<std::size_t>(option_number(args, "min-warm", 0));
+  eopts.slo_seconds = w.slo_seconds;
+  eopts.window_seconds = option_number(args, "window", 0.0);
+  eopts.retain_outcomes = args.options.count("timeline") != 0;
   const auto fault_opts = fault_executor_options(args);
-  sopts.faults = fault_opts.faults;
-  sopts.retry = fault_opts.retry;
-  const serving::ServingSimulator sim(w.workflow, pricing, sopts);
-  const auto report = sim.serve(stream);
+  eopts.faults = fault_opts.faults;
+  eopts.retry = fault_opts.retry;
 
-  std::cout << "served " << report.requests.size() << " requests ("
-            << report.failed_requests << " failed)\n";
+  auto arrivals = make_arrivals(args);
+  const serving::ServingEngine engine(w.workflow, pricing, eopts);
+
+  // --online-reconfig: wrap the config in the drift-triggered control plane.
+  serving::StreamingReport report;
+  std::unique_ptr<serving::OnlineReconfigurator> reconfigurator;
+  if (option_switch(args, "online-reconfig", false)) {
+    const auto expectation = ex.execute_mean(w.workflow, config);
+    const double expected =
+        expectation.failed ? w.slo_seconds : expectation.makespan;
+    serving::ReconfigOptions ropts;
+    ropts.min_outcomes_between_reconfigs =
+        static_cast<std::size_t>(option_number(args, "reconfig-cooldown", 50));
+    // Attainment windows that outlast the trigger cadence never fill; match
+    // them to the cooldown by default.
+    ropts.attainment_window = static_cast<std::size_t>(option_number(
+        args, "reconfig-window",
+        static_cast<double>(ropts.min_outcomes_between_reconfigs)));
+    reconfigurator = std::make_unique<serving::OnlineReconfigurator>(
+        w, ex, grid, std::move(config), expected, ropts);
+    report = engine.run(*arrivals, *reconfigurator);
+  } else {
+    report = engine.run(*arrivals, config);
+  }
+
+  std::cout << "served " << report.requests << " requests ("
+            << report.failed_requests << " failed, " << report.rejected_requests
+            << " rejected) over " << support::format_double(report.duration_seconds, 1)
+            << " s\n";
   if (faults_requested(args)) {
     std::cout << "retries: " << report.retries << ", timeouts: " << report.timeouts
               << ", failed after retries: " << report.failed_after_retries
@@ -316,18 +400,56 @@ int cmd_serve(const Args& args) {
   if (report.latency.count > 0) {
     std::cout << "latency: "
               << support::format_mean_std(report.latency.mean, report.latency.stddev, 1)
-              << " s (min " << support::format_double(report.latency.min, 1) << ", max "
+              << " s (p50 " << support::format_double(report.latency_p50(), 1)
+              << ", p95 " << support::format_double(report.latency_p95(), 1) << ", p99 "
+              << support::format_double(report.latency_p99(), 1) << ", max "
               << support::format_double(report.latency.max, 1) << ")\n";
   }
   // Failure-aware: failed requests count as violations, so print this even
   // when no request completed.
   std::cout << "SLO violation rate: "
-            << support::format_percent(report.slo_violation_rate(w.slo_seconds), 1)
-            << " (SLO " << support::format_double(w.slo_seconds, 0) << " s)\n";
+            << support::format_percent(report.slo_violation_rate(), 1)
+            << " (SLO " << support::format_double(w.slo_seconds, 0)
+            << " s, attainment "
+            << support::format_percent(report.slo_attainment(), 1) << ")\n";
   std::cout << "total cost: " << support::format_double(report.total_cost, 1)
             << ", cold starts: " << report.cold_starts << " of "
-            << report.cold_starts + report.warm_starts << " invocations, peak containers: "
-            << report.peak_containers << "\n";
+            << report.cold_starts + report.warm_starts
+            << " invocations, peak containers: " << report.peak_containers << "\n";
+  if (eopts.autoscaler.enabled) {
+    std::cout << "autoscaler: " << report.prewarmed_containers << " pre-warmed, "
+              << report.retired_containers << " retired (" << report.autoscale_ups
+              << " up / " << report.autoscale_downs << " down ticks)\n";
+  }
+  if (reconfigurator != nullptr) {
+    std::cout << "reconfigurations: " << reconfigurator->reconfigurations() << " ("
+              << reconfigurator->scheduling_samples() << " samples)\n";
+    for (const auto& ev : reconfigurator->events()) {
+      std::cout << "  trigger t=" << support::format_double(ev.trigger_time, 1)
+                << " s, lag " << support::format_double(ev.lag_seconds, 1)
+                << " s, scale " << support::format_double(ev.new_scale, 2)
+                << (ev.activated ? "" : " (not activated)") << ", attainment "
+                << support::format_percent(ev.pre_slo_attainment, 1) << " -> "
+                << (ev.post_window_complete
+                        ? support::format_percent(ev.post_slo_attainment, 1)
+                        : std::string("n/a"))
+                << "\n";
+    }
+  }
+
+  const auto timeline = args.options.find("timeline");
+  if (timeline != args.options.end()) {
+    io::write_text_file(timeline->second, io::serving_timeline_to_csv(report));
+    std::cout << "wrote " << timeline->second << "\n";
+  }
+  const auto windows = args.options.find("windows");
+  if (windows != args.options.end()) {
+    if (report.windows.empty()) {
+      std::cerr << "note: --windows needs --window <seconds> to aggregate\n";
+    }
+    io::write_text_file(windows->second, io::serving_windows_to_csv(report));
+    std::cout << "wrote " << windows->second << "\n";
+  }
   return 0;
 }
 
@@ -447,10 +569,34 @@ int usage() {
                "platform (simulate | serve):\n"
                "  --scale S            input scale multiplier (default 1)\n"
                "  --runs N             simulate: validation executions (default 100)\n"
-               "  --requests N         serve: request count (default 50)\n"
-               "  --rate R             serve: Poisson arrival rate (default 0.01)\n"
                "  --keep-alive S       serve: container keep-alive seconds\n"
                "  --seed K             rng seed for validation / the stream\n"
+               "arrivals (serve; see doc/SERVING.md):\n"
+               "  --arrivals KIND      poisson (default) | mmpp | diurnal |\n"
+               "                       trace:<file> (JSON arrival trace)\n"
+               "  --requests N         stop after N requests (default 50;\n"
+               "                       0 = unbounded when --duration is set)\n"
+               "  --duration S         stop generating after S simulated seconds\n"
+               "  --target-rps R       mean arrival rate (default 0.01)\n"
+               "  --scale-min/-max S   input-scale range per request (default 1)\n"
+               "  --drift-time S       inject input drift at this time...\n"
+               "  --drift-factor F     ...multiplying scales by F (default 1)\n"
+               "  --burst-rps R        mmpp: burst-state rate (default 5x base)\n"
+               "  --amplitude A        diurnal: relative amplitude in [0,1)\n"
+               "  --period S           diurnal: period seconds (default 3600)\n"
+               "serving engine (serve):\n"
+               "  --max-containers N   per-function concurrency cap (0 = off)\n"
+               "  --queue-cap N        admission control: max waiting invocations\n"
+               "                       per function; excess requests are rejected\n"
+               "  --autoscale on|off   reactive autoscaler (default off)\n"
+               "  --min-warm N         autoscaler warm-container floor\n"
+               "  --online-reconfig on|off\n"
+               "                       drift-triggered AARC re-run + hot-swap\n"
+               "  --reconfig-cooldown N\n"
+               "                       outcomes between reconfigurations (50)\n"
+               "  --window S           aggregate a throughput/SLO time series\n"
+               "  --timeline file.csv  write the per-request timeline\n"
+               "  --windows file.csv   write the windowed series (needs --window)\n"
                "faults (schedule | simulate | serve):\n"
                "  --fault-rate P       transient crash probability per invocation\n"
                "  --straggler-rate P   straggler (slowdown) probability\n"
