@@ -25,6 +25,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_json.h"
 #include "harness.h"
 #include "serving/simulator.h"
 
@@ -95,7 +96,8 @@ ArmSummary run_search_arm(const std::vector<std::string>& workload_names,
   return summary;
 }
 
-void serving_sweep(const std::vector<double>& rates, std::size_t request_count) {
+void serving_sweep(const std::vector<double>& rates, std::size_t request_count,
+                   bench::BenchJson& out) {
   const workloads::Workload w = workloads::make_by_name("chatbot");
   const platform::ConfigGrid grid;
   const platform::Executor clean;
@@ -111,6 +113,7 @@ void serving_sweep(const std::vector<double>& rates, std::size_t request_count) 
 
   support::Table table({"crash rate", "retries", "SLO viol.", "p95 (s)", "p99 (s)",
                         "failure rate", "retried", "timeouts", "lost", "cost"});
+  io::JsonArray rows;
   for (const double rate : rates) {
     for (const bool resilient : {false, true}) {
       serving::ServingOptions sopts;
@@ -131,8 +134,21 @@ void serving_sweep(const std::vector<double>& rates, std::size_t request_count) 
                      std::to_string(report.retries), std::to_string(report.timeouts),
                      std::to_string(report.failed_after_retries),
                      support::format_double(report.total_cost, 0)});
+      io::JsonObject row;
+      row["crash_rate"] = rate;
+      row["retries_enabled"] = resilient;
+      row["slo_violation_rate"] = report.slo_violation_rate(w.slo_seconds);
+      row["latency_p95"] = report.latency_p95();
+      row["latency_p99"] = report.latency_p99();
+      row["request_failure_rate"] = report.request_failure_rate();
+      row["retries"] = report.retries;
+      row["timeouts"] = report.timeouts;
+      row["failed_after_retries"] = report.failed_after_retries;
+      row["total_cost"] = report.total_cost;
+      rows.emplace_back(std::move(row));
     }
   }
+  out.set("serving", io::Json(std::move(rows)));
   std::cout << table.to_markdown();
 }
 
@@ -155,6 +171,8 @@ int main(int argc, char** argv) {
             << "Infeasible runs are charged the base-configuration cost (the\n"
             << "fallback a deployment actually pays).\n\n";
   support::Table table({"crash rate", "retries", "feasible", "mean cost"});
+  bench::BenchJson out("fault_tolerance");
+  io::JsonArray search_rows;
   ArmSummary at5_off, at5_on;
   for (const double rate : rates) {
     for (const bool resilient : {false, true}) {
@@ -163,24 +181,37 @@ int main(int argc, char** argv) {
       table.add_row({support::format_percent(rate, 0), resilient ? "on" : "off",
                      support::format_percent(s.feasible_rate(), 0),
                      support::format_double(s.mean_cost(), 1)});
+      io::JsonObject row;
+      row["crash_rate"] = rate;
+      row["resilient"] = resilient;
+      row["runs"] = s.runs;
+      row["feasible_rate"] = s.feasible_rate();
+      row["mean_cost"] = s.mean_cost();
+      search_rows.emplace_back(std::move(row));
     }
   }
+  out.set("smoke", smoke);
+  out.set("search", io::Json(std::move(search_rows)));
   std::cout << table.to_markdown() << "\n";
 
   std::cout << "## Serving: request stream under faults (chatbot)\n\n";
-  serving_sweep(rates, smoke ? 60 : 200);
+  serving_sweep(rates, smoke ? 60 : 200, out);
 
   // Headline acceptance property at the 5% tier.
+  bool pass = true;
   if (at5_off.runs > 0 && at5_on.runs > 0) {
     const bool better_feasibility = at5_on.feasible_rate() > at5_off.feasible_rate();
     const bool better_cost = at5_on.mean_cost() < at5_off.mean_cost();
+    pass = better_feasibility && better_cost;
     std::cout << "\nacceptance at 5% crash rate: feasible "
               << support::format_percent(at5_off.feasible_rate(), 0) << " -> "
               << support::format_percent(at5_on.feasible_rate(), 0) << ", cost "
               << support::format_double(at5_off.mean_cost(), 1) << " -> "
               << support::format_double(at5_on.mean_cost(), 1) << " : "
-              << (better_feasibility && better_cost ? "PASS" : "FAIL") << "\n";
-    if (!(better_feasibility && better_cost)) return 1;
+              << (pass ? "PASS" : "FAIL") << "\n";
   }
-  return 0;
+  out.set("acceptance_pass", pass);
+  out.write();
+  std::cout << "wrote " << out.path() << "\n";
+  return pass ? 0 : 1;
 }

@@ -1,0 +1,40 @@
+// Machine-readable bench results.
+//
+// Every bench binary prints markdown tables for humans; campaigns that feed
+// CI gates or notebooks also mirror their headline numbers into a
+// `BENCH_<name>.json` file in the working directory.  One flat JSON object
+// per bench, written through io::Json so the output round-trips through the
+// same parser the rest of the platform uses.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "io/json.h"
+#include "io/workflow_io.h"
+
+namespace aarc::bench {
+
+/// Accumulates one bench run's results and writes `BENCH_<name>.json`.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  /// Top-level field; overwrites an existing key of the same name.
+  void set(const std::string& key, io::Json value) {
+    root_[key] = std::move(value);
+  }
+
+  std::string path() const { return "BENCH_" + name_ + ".json"; }
+
+  /// Serialize (2-space indent, trailing newline) to path().
+  void write() const {
+    io::write_text_file(path(), io::Json(root_).dump(2) + "\n");
+  }
+
+ private:
+  std::string name_;
+  io::JsonObject root_;
+};
+
+}  // namespace aarc::bench

@@ -1,0 +1,300 @@
+// Resilience campaign (robustness extension): chaos incidents against the
+// serving path's graceful-degradation stack.
+//
+// Serves the chatbot workload (AARC-scheduled configuration) through the
+// streaming engine under the three reference incident profiles that also
+// ship under data/chaos/ — a targeted outage, a platform-wide brownout and a
+// throttle storm with a correlated two-function outage — with the
+// resilience stack (circuit breakers, hedged requests, priority shedding)
+// off and on.  Every profile is round-tripped through the chaos JSON codec
+// first, so the campaign exercises exactly what `aarc_cli serve --chaos`
+// loads.
+//
+// Reported per arm, from the engine's windowed time series: SLO attainment
+// during the incident, time-to-recovery — the delay from incident end until
+// the first window whose attainment is back within 5% of a no-incident
+// baseline run of the same seeded stream — and the post-recovery steady
+// state (attainment from that window onward; the recovery transient itself
+// is what the TTR measures).
+//
+// The headline property (checked, nonzero exit on regression): under the
+// reference outage with resilience on, time-to-recovery is finite and
+// post-recovery attainment lands within 5% of the no-incident baseline —
+// and a second identical run reproduces every counter bit-for-bit from the
+// seed.  Results also land in BENCH_resilience.json and in the obs gauges
+// resilience.time_to_recovery_seconds / resilience.post_incident_slo_attainment.
+//
+// `--smoke` compresses simulated time 4x for CTest.
+
+#include <cstring>
+#include <iostream>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "aarc/scheduler.h"
+#include "bench_json.h"
+#include "chaos/incident.h"
+#include "io/chaos_io.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "platform/executor.h"
+#include "platform/pricing.h"
+#include "serving/engine.h"
+#include "support/table.h"
+#include "workloads/catalog.h"
+
+using namespace aarc;
+
+namespace {
+
+struct Profile {
+  std::string name;
+  chaos::IncidentSchedule schedule;
+};
+
+chaos::Incident incident(chaos::IncidentKind kind, double start, double end,
+                         double ramp, double severity,
+                         std::vector<dag::NodeId> targets = {}) {
+  chaos::Incident i;
+  i.kind = kind;
+  i.start_seconds = start;
+  i.end_seconds = end;
+  i.ramp_seconds = ramp;
+  i.severity = severity;
+  i.targets = std::move(targets);
+  return i;
+}
+
+/// The three reference profiles (mirrors of data/chaos/*.json), with all
+/// times scaled by `t` so --smoke compresses the campaign.
+std::vector<Profile> reference_profiles(const platform::Workflow& wf, double t) {
+  const dag::NodeId svm = wf.function_id("train_svm");
+  const dag::NodeId nb = wf.function_id("train_nb");
+  const dag::NodeId lr = wf.function_id("train_lr");
+
+  std::vector<Profile> profiles;
+  Profile outage{"outage", {}};
+  outage.schedule.add(incident(chaos::IncidentKind::Outage, 600 * t, 1200 * t,
+                               0.0, 0.95, {svm}));
+  profiles.push_back(std::move(outage));
+
+  Profile brownout{"brownout", {}};
+  brownout.schedule.add(
+      incident(chaos::IncidentKind::Brownout, 300 * t, 1500 * t, 240 * t, 0.6));
+  profiles.push_back(std::move(brownout));
+
+  Profile storm{"throttle_storm", {}};
+  storm.schedule.add(
+      incident(chaos::IncidentKind::ThrottleStorm, 400 * t, 1000 * t, 60 * t, 0.8));
+  storm.schedule.add(
+      incident(chaos::IncidentKind::Outage, 700 * t, 900 * t, 0.0, 0.9, {nb, lr}));
+  profiles.push_back(std::move(storm));
+
+  // Round-trip through the JSON codec: the campaign must measure exactly
+  // what `aarc_cli serve --chaos` would load from a profile file.
+  for (Profile& p : profiles) {
+    p.schedule = io::chaos_profile_from_json(
+        wf, io::chaos_profile_to_json(wf, p.schedule, p.name));
+  }
+  return profiles;
+}
+
+serving::ResilienceOptions resilience_stack() {
+  serving::ResilienceOptions r;
+  r.breaker.enabled = true;
+  r.breaker.window = 20;
+  r.breaker.min_attempts = 10;
+  r.breaker.failure_threshold = 0.5;
+  r.breaker.open_seconds = 30.0;
+  // Above the slowest clean attempt (~40 s for train_svm incl. cold start)
+  // but below a 4x straggler: only genuinely stuck attempts hedge.
+  r.hedge.delay_seconds = 60.0;
+  r.shed.queue_high_watermark = 50;
+  return r;
+}
+
+struct ArmResult {
+  serving::StreamingReport report;
+  double attainment_during = 1.0;
+  /// From incident end — includes the recovery transient the TTR measures.
+  double attainment_post_incident = 1.0;
+  /// From the first recovered window — the restored steady state.
+  double attainment_post_recovery = 1.0;
+  std::optional<double> time_to_recovery;  ///< nullopt = never recovered
+};
+
+/// Attainment of the windows overlapping [begin, end).
+double windowed_attainment(const serving::StreamingReport& report, double begin,
+                           double end) {
+  std::size_t finished = 0;
+  std::size_t violations = 0;
+  for (const serving::WindowStat& w : report.windows) {
+    if (w.start + w.width <= begin || w.start >= end) continue;
+    finished += w.finished();
+    violations += w.slo_violations;
+  }
+  return finished > 0
+             ? 1.0 - static_cast<double>(violations) / static_cast<double>(finished)
+             : 1.0;
+}
+
+ArmResult run_arm(const serving::ServingEngine& engine,
+                  const platform::WorkflowConfig& config, std::size_t requests,
+                  double rate, const chaos::IncidentSchedule& chaos_schedule,
+                  double baseline_attainment) {
+  serving::ArrivalLimits limits;
+  limits.max_requests = requests;
+  serving::PoissonProcess arrivals(rate, serving::ScaleSpec{}, limits, 404);
+  ArmResult arm;
+  arm.report = engine.run(arrivals, config);
+  if (chaos_schedule.empty()) return arm;
+
+  const double begin = chaos_schedule.first_start();
+  const double end = chaos_schedule.last_end();
+  const double inf = std::numeric_limits<double>::infinity();
+  arm.attainment_during = windowed_attainment(arm.report, begin, end);
+  arm.attainment_post_incident = windowed_attainment(arm.report, end, inf);
+  arm.attainment_post_recovery = arm.attainment_post_incident;
+  for (const serving::WindowStat& w : arm.report.windows) {
+    if (w.start < end || w.finished() == 0) continue;
+    if (w.slo_attainment() >= baseline_attainment - 0.05) {
+      arm.time_to_recovery = (w.start + w.width) - end;
+      // Steady state: everything from the recovered window onward, so a
+      // later relapse still drags this below the acceptance bar.
+      arm.attainment_post_recovery = windowed_attainment(arm.report, w.start, inf);
+      break;
+    }
+  }
+  return arm;
+}
+
+std::string format_ttr(const std::optional<double>& ttr) {
+  return ttr ? support::format_double(*ttr, 0) + " s" : "never";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const double t = smoke ? 0.25 : 1.0;  // simulated-time compression
+  const std::size_t requests = smoke ? 300 : 1200;
+  const double rate = 0.5;
+
+  std::cout << "# Resilience: chaos incidents vs the graceful-degradation stack\n\n";
+
+  const workloads::Workload w = workloads::make_by_name("chatbot");
+  const platform::ConfigGrid grid;
+  const platform::Executor executor;
+  const core::GraphCentricScheduler scheduler(executor, grid);
+  const auto schedule = scheduler.schedule(w.workflow, w.slo_seconds);
+  const platform::WorkflowConfig config =
+      schedule.result.found_feasible
+          ? schedule.result.best_config
+          : platform::uniform_config(w.workflow.function_count(), grid.max_config());
+
+  serving::EngineOptions base;
+  base.seed = 2026;
+  base.slo_seconds = w.slo_seconds;
+  base.window_seconds = 30.0;
+  const platform::DecoupledLinearPricing pricing;
+
+  // No-incident baseline of the same seeded stream: the recovery target.
+  const serving::ServingEngine baseline_engine(w.workflow, pricing, base);
+  const ArmResult baseline =
+      run_arm(baseline_engine, config, requests, rate, {}, 1.0);
+  const double baseline_attainment = baseline.report.slo_attainment();
+  std::cout << "no-incident baseline attainment: "
+            << support::format_percent(baseline_attainment, 1) << " over "
+            << requests << " requests\n\n";
+
+  support::Table table({"profile", "resilience", "during", "post-recovery",
+                        "recovery", "fast-failed", "shed", "hedges",
+                        "breaker opens"});
+  bench::BenchJson out("resilience");
+  io::JsonArray rows;
+  bool outage_pass = false;
+  double outage_ttr = -1.0;
+  double outage_post = 0.0;
+
+  for (const Profile& profile : reference_profiles(w.workflow, t)) {
+    for (const bool resilient : {false, true}) {
+      serving::EngineOptions opts = base;
+      opts.chaos = profile.schedule;
+      if (resilient) opts.resilience = resilience_stack();
+      const serving::ServingEngine engine(w.workflow, pricing, opts);
+      const ArmResult arm = run_arm(engine, config, requests, rate,
+                                    profile.schedule, baseline_attainment);
+
+      table.add_row({profile.name, resilient ? "on" : "off",
+                     support::format_percent(arm.attainment_during, 1),
+                     support::format_percent(arm.attainment_post_recovery, 1),
+                     format_ttr(arm.time_to_recovery),
+                     std::to_string(arm.report.breaker_fastfail_requests),
+                     std::to_string(arm.report.shed_requests),
+                     std::to_string(arm.report.hedges),
+                     std::to_string(arm.report.breaker_opens)});
+
+      io::JsonObject row;
+      row["profile"] = profile.name;
+      row["resilient"] = resilient;
+      row["attainment_during_incident"] = arm.attainment_during;
+      row["attainment_post_incident"] = arm.attainment_post_incident;
+      row["attainment_post_recovery"] = arm.attainment_post_recovery;
+      row["time_to_recovery_seconds"] =
+          arm.time_to_recovery ? io::Json(*arm.time_to_recovery) : io::Json(nullptr);
+      row["chaos_modulated_attempts"] = arm.report.chaos_modulated_attempts;
+      row["breaker_opens"] = arm.report.breaker_opens;
+      row["breaker_fastfail_requests"] = arm.report.breaker_fastfail_requests;
+      row["shed_requests"] = arm.report.shed_requests;
+      row["hedges"] = arm.report.hedges;
+      row["hedge_wins"] = arm.report.hedge_wins;
+      row["failed_requests"] = arm.report.failed_requests;
+      row["total_cost"] = arm.report.total_cost;
+      rows.emplace_back(std::move(row));
+
+      if (profile.name == "outage" && resilient) {
+        // Reproducibility leg of the acceptance property: an identical run
+        // must match bit-for-bit from the seed.
+        const ArmResult again = run_arm(engine, config, requests, rate,
+                                        profile.schedule, baseline_attainment);
+        const bool reproducible =
+            again.report.total_cost == arm.report.total_cost &&
+            again.report.breaker_fastfail_requests ==
+                arm.report.breaker_fastfail_requests &&
+            again.report.completed == arm.report.completed;
+        outage_post = arm.attainment_post_recovery;
+        outage_ttr = arm.time_to_recovery.value_or(-1.0);
+        outage_pass = reproducible && arm.time_to_recovery.has_value() &&
+                      arm.attainment_post_recovery >= baseline_attainment - 0.05;
+
+        auto& reg = obs::MetricsRegistry::global();
+        if (arm.time_to_recovery) {
+          reg.gauge(obs::metric::kResilienceTimeToRecoverySeconds)
+              .set(*arm.time_to_recovery);
+        }
+        reg.gauge(obs::metric::kResiliencePostIncidentAttainment)
+            .set(arm.attainment_post_recovery);
+      }
+    }
+  }
+  std::cout << table.to_markdown() << "\n";
+
+  out.set("smoke", smoke);
+  out.set("requests", requests);
+  out.set("baseline_attainment", baseline_attainment);
+  out.set("profiles", io::Json(std::move(rows)));
+  out.set("acceptance_pass", outage_pass);
+  out.write();
+  std::cout << "wrote " << out.path() << "\n";
+
+  std::cout << "\nresilience acceptance (reference outage): recovery "
+            << (outage_ttr >= 0.0 ? support::format_double(outage_ttr, 0) + " s"
+                                  : std::string("never"))
+            << ", post-incident attainment "
+            << support::format_percent(outage_post, 1) << " vs baseline "
+            << support::format_percent(baseline_attainment, 1) << " : "
+            << (outage_pass ? "PASS" : "FAIL") << "\n";
+  return outage_pass ? 0 : 1;
+}

@@ -1,0 +1,129 @@
+#include "chaos/incident.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "support/contracts.h"
+
+namespace aarc::chaos {
+
+using support::expects;
+
+std::string to_string(IncidentKind kind) {
+  switch (kind) {
+    case IncidentKind::Outage:
+      return "outage";
+    case IncidentKind::Brownout:
+      return "brownout";
+    case IncidentKind::ThrottleStorm:
+      return "throttle_storm";
+  }
+  return "unknown";
+}
+
+IncidentKind incident_kind_from_string(const std::string& name) {
+  if (name == "outage") return IncidentKind::Outage;
+  if (name == "brownout") return IncidentKind::Brownout;
+  if (name == "throttle_storm") return IncidentKind::ThrottleStorm;
+  expects(false, "unknown incident kind '" + name +
+                     "' (expected outage | brownout | throttle_storm)");
+  return IncidentKind::Outage;  // unreachable
+}
+
+bool Incident::applies_to(dag::NodeId node) const {
+  if (targets.empty()) return true;
+  return std::find(targets.begin(), targets.end(), node) != targets.end();
+}
+
+double Incident::intensity_at(double t) const {
+  if (t < start_seconds || t >= end_seconds) return 0.0;
+  if (ramp_seconds <= 0.0) return 1.0;
+  const double up = (t - start_seconds) / ramp_seconds;
+  const double down = (end_seconds - t) / ramp_seconds;
+  return std::clamp(std::min(up, down), 0.0, 1.0);
+}
+
+void Incident::validate() const {
+  expects(start_seconds >= 0.0, "incident start must be non-negative (got " +
+                                    std::to_string(start_seconds) + ")");
+  expects(end_seconds > start_seconds,
+          "incident window must be non-empty: end " + std::to_string(end_seconds) +
+              " must exceed start " + std::to_string(start_seconds));
+  expects(ramp_seconds >= 0.0, "incident ramp must be non-negative (got " +
+                                   std::to_string(ramp_seconds) + ")");
+  expects(ramp_seconds <= (end_seconds - start_seconds) / 2.0,
+          "incident ramp " + std::to_string(ramp_seconds) +
+              " must fit twice into the window (" +
+              std::to_string(end_seconds - start_seconds) + " s)");
+  expects(severity >= 0.0 && severity <= 1.0,
+          "incident severity must be in [0, 1] (got " + std::to_string(severity) + ")");
+}
+
+IncidentSchedule::IncidentSchedule(std::vector<Incident> incidents)
+    : incidents_(std::move(incidents)) {
+  validate();
+}
+
+void IncidentSchedule::add(Incident incident) {
+  incident.validate();
+  incidents_.push_back(std::move(incident));
+}
+
+void IncidentSchedule::validate() const {
+  for (const Incident& incident : incidents_) incident.validate();
+}
+
+bool IncidentSchedule::any_active(double t) const {
+  return std::any_of(incidents_.begin(), incidents_.end(),
+                     [&](const Incident& i) { return i.intensity_at(t) > 0.0; });
+}
+
+bool IncidentSchedule::active_for(dag::NodeId node, double t) const {
+  return std::any_of(incidents_.begin(), incidents_.end(), [&](const Incident& i) {
+    return i.applies_to(node) && i.intensity_at(t) > 0.0;
+  });
+}
+
+double IncidentSchedule::first_start() const {
+  double first = 0.0;
+  bool any = false;
+  for (const Incident& i : incidents_) {
+    if (!any || i.start_seconds < first) first = i.start_seconds;
+    any = true;
+  }
+  return first;
+}
+
+double IncidentSchedule::last_end() const {
+  double last = 0.0;
+  for (const Incident& i : incidents_) last = std::max(last, i.end_seconds);
+  return last;
+}
+
+platform::FaultRates IncidentSchedule::modulate(const platform::FaultRates& base,
+                                                dag::NodeId node, double t) const {
+  platform::FaultRates out = base;
+  auto saturate = [](double p) { return std::min(p, 1.0); };
+  for (const Incident& incident : incidents_) {
+    if (!incident.applies_to(node)) continue;
+    const double w = incident.intensity_at(t);
+    if (w <= 0.0) continue;
+    const double injected = w * incident.severity;
+    switch (incident.kind) {
+      case IncidentKind::Outage:
+        out.transient_crash = saturate(out.transient_crash + injected);
+        break;
+      case IncidentKind::Brownout:
+        out.straggler = saturate(out.straggler + injected);
+        out.cold_spike = saturate(out.cold_spike + 0.5 * injected);
+        break;
+      case IncidentKind::ThrottleStorm:
+        out.throttle = saturate(out.throttle + injected);
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace aarc::chaos

@@ -1,0 +1,119 @@
+// Chaos incident engine: seeded, time-windowed fault episodes.
+//
+// The fault layer in platform/faults.h models faults that are *stationary
+// and independent* per invocation — the right null model for search-time
+// robustness, but not how production serverless platforms actually fail.
+// Real platforms fail in correlated episodes: a zone goes down and one
+// function's crash rate jumps to ~1 for minutes; a noisy-neighbour brownout
+// ramps straggler and cold-spike rates up and back down; a concurrency
+// limiter melts into a throttling storm; a shared dependency takes several
+// functions out at once.
+//
+// This module makes those episodes first-class and *deterministic in
+// simulated time*:
+//
+//   * Incident — one time-windowed episode (outage | brownout |
+//     throttle_storm) with an optional linear ramp-up/down and an optional
+//     target set of functions (empty = platform-wide; several targets =
+//     a correlated multi-function failure);
+//   * IncidentSchedule — an ordered set of incidents plus the modulation
+//     rule: given the base FaultRates of a function and a simulated time,
+//     produce the *effective* rates at that instant.
+//
+// The schedule holds no RNG.  All randomness stays in the consuming
+// engine's seeded stream (the fault sampler draws exactly as before, just
+// against time-varying rates), so a chaos run is reproducible bit-for-bit
+// from the engine seed, and an empty schedule leaves every consumer
+// bit-identical to a run without chaos compiled in at all.
+//
+// Profiles are data, not code: io/chaos_io.h loads a schedule from JSON
+// (the first concrete slice of the ROADMAP's scenario-engine item).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dag/graph.h"
+#include "platform/faults.h"
+
+namespace aarc::chaos {
+
+enum class IncidentKind {
+  /// A function (or correlated set) hard-fails: crash probability is driven
+  /// to `severity` (default ~1) for the window.  Retries mostly burn out;
+  /// this is the episode circuit breakers exist for.
+  Outage,
+  /// A capacity brownout: straggler and cold-spike probabilities ramp up to
+  /// `severity` (cold spikes at half weight) and back down.  Latency
+  /// inflates without outright failures; hedged requests earn their keep.
+  Brownout,
+  /// A throttling storm: admission delay probability ramps to `severity`.
+  ThrottleStorm,
+};
+
+std::string to_string(IncidentKind kind);
+/// Inverse of to_string; throws ContractViolation on an unknown name.
+IncidentKind incident_kind_from_string(const std::string& name);
+
+/// One time-windowed fault episode.
+struct Incident {
+  IncidentKind kind = IncidentKind::Outage;
+  std::string name;             ///< label for reports and logs ("" = unnamed)
+  double start_seconds = 0.0;
+  double end_seconds = 0.0;     ///< exclusive; must be > start_seconds
+  /// Linear ramp: intensity climbs 0 -> 1 over the first `ramp_seconds` and
+  /// falls 1 -> 0 over the last `ramp_seconds` of the window (0 = a square
+  /// step, the outage default).
+  double ramp_seconds = 0.0;
+  /// Peak fault probability injected at full intensity, in [0, 1].
+  double severity = 1.0;
+  /// Affected functions; empty = every function (platform-wide episode).
+  /// Two or more entries model a correlated multi-function failure.
+  std::vector<dag::NodeId> targets;
+
+  bool applies_to(dag::NodeId node) const;
+  /// Trapezoidal intensity in [0, 1] at time `t` (0 outside the window).
+  double intensity_at(double t) const;
+  /// Throws ContractViolation on an ill-formed window, ramp or severity.
+  void validate() const;
+};
+
+/// A deterministic incident calendar and the fault-rate modulation rule.
+class IncidentSchedule {
+ public:
+  IncidentSchedule() = default;  ///< empty: modulation is the identity
+  explicit IncidentSchedule(std::vector<Incident> incidents);
+
+  void add(Incident incident);
+
+  bool empty() const { return incidents_.empty(); }
+  std::size_t size() const { return incidents_.size(); }
+  const std::vector<Incident>& incidents() const { return incidents_; }
+
+  /// Throws ContractViolation when any incident is ill-formed.
+  void validate() const;
+
+  /// True when at least one incident is active (nonzero intensity) at `t`.
+  bool any_active(double t) const;
+  /// True when an incident affecting `node` is active at `t`.
+  bool active_for(dag::NodeId node, double t) const;
+
+  /// Earliest incident start and latest incident end (0/0 when empty).
+  double first_start() const;
+  double last_end() const;
+
+  /// The modulation rule: effective fault rates for `node` at time `t`,
+  /// layered over the function's base rates.  Probabilities add per active
+  /// incident (weighted by intensity) and saturate at 1; magnitudes
+  /// (straggler multiplier, delay ranges) stay the base model's.  With no
+  /// active incident the base rates are returned unchanged, so sampling
+  /// against the result consumes the RNG exactly as the unmodulated model.
+  platform::FaultRates modulate(const platform::FaultRates& base, dag::NodeId node,
+                                double t) const;
+
+ private:
+  std::vector<Incident> incidents_;
+};
+
+}  // namespace aarc::chaos

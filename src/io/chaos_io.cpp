@@ -1,0 +1,116 @@
+#include "io/chaos_io.h"
+
+#include <utility>
+
+#include "support/contracts.h"
+
+namespace aarc::io {
+
+namespace {
+
+using support::expects;
+
+/// A finite number field, with the field name in every error message.
+double number_field(const Json& obj, const std::string& key, bool required,
+                    double fallback) {
+  if (!obj.contains(key)) {
+    if (required) throw JsonError("chaos incident is missing required field '" + key + "'");
+    return fallback;
+  }
+  const Json& value = obj.at(key);
+  if (!value.is_number()) {
+    throw JsonError("chaos incident field '" + key + "' must be a number");
+  }
+  return value.as_number();
+}
+
+chaos::Incident incident_from_json(const platform::Workflow& workflow, const Json& json,
+                                   std::size_t index) {
+  if (!json.is_object()) {
+    throw JsonError("chaos incident #" + std::to_string(index) +
+                    " must be a JSON object");
+  }
+  chaos::Incident incident;
+  if (json.contains("kind")) {
+    if (!json.at("kind").is_string()) {
+      throw JsonError("chaos incident field 'kind' must be a string");
+    }
+    incident.kind = chaos::incident_kind_from_string(json.at("kind").as_string());
+  } else {
+    throw JsonError("chaos incident is missing required field 'kind' "
+                    "(outage | brownout | throttle_storm)");
+  }
+  incident.name = json.string_or("name", "");
+  incident.start_seconds = number_field(json, "start_seconds", true, 0.0);
+  incident.end_seconds = number_field(json, "end_seconds", true, 0.0);
+  incident.ramp_seconds = number_field(json, "ramp_seconds", false, 0.0);
+  incident.severity = number_field(json, "severity", false, 1.0);
+  if (json.contains("targets")) {
+    const Json& targets = json.at("targets");
+    if (!targets.is_array()) {
+      throw JsonError("chaos incident field 'targets' must be an array of "
+                      "function names");
+    }
+    for (const Json& target : targets.as_array()) {
+      if (!target.is_string()) {
+        throw JsonError("chaos incident targets must be strings (function names)");
+      }
+      const std::string& name = target.as_string();
+      incident.targets.push_back(workflow.function_id(name));
+    }
+  }
+  incident.validate();
+  return incident;
+}
+
+}  // namespace
+
+chaos::IncidentSchedule chaos_profile_from_json(const platform::Workflow& workflow,
+                                                const Json& json) {
+  if (!json.is_object()) {
+    throw JsonError("chaos profile must be a JSON object with an 'incidents' array");
+  }
+  if (!json.contains("incidents")) {
+    throw JsonError("chaos profile is missing required field 'incidents'");
+  }
+  const Json& incidents = json.at("incidents");
+  if (!incidents.is_array()) {
+    throw JsonError("chaos profile field 'incidents' must be an array");
+  }
+  chaos::IncidentSchedule schedule;
+  std::size_t index = 0;
+  for (const Json& entry : incidents.as_array()) {
+    schedule.add(incident_from_json(workflow, entry, index));
+    ++index;
+  }
+  return schedule;
+}
+
+Json chaos_profile_to_json(const platform::Workflow& workflow,
+                           const chaos::IncidentSchedule& schedule,
+                           const std::string& profile_name) {
+  JsonArray incidents;
+  for (const chaos::Incident& incident : schedule.incidents()) {
+    JsonObject obj;
+    obj["kind"] = chaos::to_string(incident.kind);
+    if (!incident.name.empty()) obj["name"] = incident.name;
+    obj["start_seconds"] = incident.start_seconds;
+    obj["end_seconds"] = incident.end_seconds;
+    if (incident.ramp_seconds > 0.0) obj["ramp_seconds"] = incident.ramp_seconds;
+    obj["severity"] = incident.severity;
+    if (!incident.targets.empty()) {
+      JsonArray targets;
+      for (dag::NodeId id : incident.targets) {
+        targets.emplace_back(workflow.function_name(id));
+      }
+      obj["targets"] = std::move(targets);
+    }
+    incidents.emplace_back(std::move(obj));
+  }
+  JsonObject profile;
+  if (!profile_name.empty()) profile["name"] = profile_name;
+  profile["incidents"] = std::move(incidents);
+  return Json(std::move(profile));
+}
+
+}  // namespace aarc::io

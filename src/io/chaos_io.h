@@ -1,0 +1,45 @@
+// Chaos incident profiles as JSON (chaos/incident.h <-> io/json.h).
+//
+// The first concrete slice of the ROADMAP's scenario-engine item: fault
+// *episodes* are data, not code.  A profile is one JSON object:
+//
+//   {
+//     "name": "zonal-outage",            // optional profile label
+//     "incidents": [
+//       {
+//         "kind": "outage",              // outage | brownout | throttle_storm
+//         "name": "zone-a down",         // optional
+//         "start_seconds": 600,
+//         "end_seconds": 1200,
+//         "ramp_seconds": 60,            // optional, default 0 (square step)
+//         "severity": 0.95,              // optional, default 1.0, in [0, 1]
+//         "targets": ["detect", "track"] // optional function names; absent or
+//       }                                //   [] = platform-wide episode
+//     ]
+//   }
+//
+// Loading validates against a workflow so target names resolve to node ids;
+// malformed documents throw io::JsonError and semantically invalid ones
+// throw support::ContractViolation — both with messages naming the field
+// and the offending value, so the CLI can surface them verbatim.
+#pragma once
+
+#include <string>
+
+#include "chaos/incident.h"
+#include "io/json.h"
+#include "platform/workflow.h"
+
+namespace aarc::io {
+
+/// Parse a chaos profile against `workflow` (targets resolve by function
+/// name).  Throws JsonError / ContractViolation with actionable messages.
+chaos::IncidentSchedule chaos_profile_from_json(const platform::Workflow& workflow,
+                                                const Json& json);
+
+/// Serialize a schedule back to the profile schema (round-trip stable).
+Json chaos_profile_to_json(const platform::Workflow& workflow,
+                           const chaos::IncidentSchedule& schedule,
+                           const std::string& profile_name = "");
+
+}  // namespace aarc::io

@@ -247,6 +247,16 @@ class Parser {
   }
 
   Json parse_value() {
+    // Nesting cap: a hostile document of thousands of open brackets must
+    // fail with a JsonError, not overflow the parse stack.
+    if (depth_ >= kMaxDepth) fail("document nesting exceeds the depth limit");
+    ++depth_;
+    Json value = parse_value_inner();
+    --depth_;
+    return value;
+  }
+
+  Json parse_value_inner() {
     skip_whitespace();
     switch (peek()) {
       case '{':
@@ -403,8 +413,11 @@ class Parser {
     }
   }
 
+  static constexpr std::size_t kMaxDepth = 256;
+
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace

@@ -78,9 +78,30 @@ inline constexpr const char* kServingAutoscaleUp = "serving.autoscale_up_total";
 inline constexpr const char* kServingAutoscaleDown = "serving.autoscale_down_total";
 inline constexpr const char* kServingEngineEvents = "serving.engine_events_total";
 
+// -- chaos: the incident engine (time-windowed fault episodes) --------------
+inline constexpr const char* kChaosIncidents = "chaos.incidents_total";
+inline constexpr const char* kChaosModulatedAttempts =
+    "chaos.modulated_attempts_total";
+
+// -- resilience: graceful degradation in the serving path -------------------
+inline constexpr const char* kResilienceBreakerOpens =
+    "resilience.breaker_opens_total";
+inline constexpr const char* kResilienceBreakerFastfails =
+    "resilience.breaker_fastfail_requests_total";
+inline constexpr const char* kResilienceHedges = "resilience.hedges_total";
+inline constexpr const char* kResilienceHedgeWins = "resilience.hedge_wins_total";
+inline constexpr const char* kResilienceShedRequests =
+    "resilience.shed_requests_total";
+inline constexpr const char* kResilienceTimeToRecoverySeconds =
+    "resilience.time_to_recovery_seconds";
+inline constexpr const char* kResiliencePostIncidentAttainment =
+    "resilience.post_incident_slo_attainment";
+
 // -- reconfig: the online reconfiguration control plane ---------------------
 inline constexpr const char* kReconfigReconfigurations =
     "reconfig.reconfigurations_total";
+inline constexpr const char* kReconfigDegradedFallbacks =
+    "reconfig.degraded_fallbacks_total";
 inline constexpr const char* kReconfigSamples = "reconfig.samples_total";
 inline constexpr const char* kReconfigLagSeconds = "reconfig.lag_seconds";
 inline constexpr const char* kReconfigPreSloAttainment =

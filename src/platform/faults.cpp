@@ -20,10 +20,17 @@ bool FaultRates::any() const {
 }
 
 void FaultRates::validate() const {
-  expects(is_probability(transient_crash) && is_probability(straggler) &&
-              is_probability(cold_spike) && is_probability(throttle),
-          "fault probabilities must be in [0, 1]");
-  expects(straggler_multiplier >= 1.0, "straggler multiplier must be >= 1");
+  const auto check_probability = [](double p, const char* field) {
+    expects(is_probability(p), std::string(field) + " must be in [0, 1] (got " +
+                                   std::to_string(p) + ")");
+  };
+  check_probability(transient_crash, "transient-crash probability");
+  check_probability(straggler, "straggler probability");
+  check_probability(cold_spike, "cold-spike probability");
+  check_probability(throttle, "throttle probability");
+  expects(straggler_multiplier >= 1.0,
+          "straggler multiplier must be >= 1 (got " +
+              std::to_string(straggler_multiplier) + ")");
   expects(cold_spike_min_seconds >= 0.0 &&
               cold_spike_max_seconds >= cold_spike_min_seconds,
           "cold-spike range must be ordered and non-negative");
@@ -54,8 +61,11 @@ bool FaultModel::enabled() const {
 }
 
 FaultOutcome FaultModel::sample(dag::NodeId node, support::Rng& rng) const {
+  return sample_fault(rates(node), rng);
+}
+
+FaultOutcome sample_fault(const FaultRates& r, support::Rng& rng) {
   FaultOutcome out;
-  const FaultRates& r = rates(node);
   if (!r.any()) return out;  // no draws: faults off stays bit-identical
 
   if (r.straggler > 0.0 && rng.bernoulli(r.straggler)) {

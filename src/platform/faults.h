@@ -62,6 +62,12 @@ struct FaultOutcome {
   double extra_delay_seconds = 0.0;  ///< cold spike + throttle delay
 };
 
+/// Sample one attempt against explicit rates.  Consumes randomness only when
+/// `rates.any()`; FaultModel::sample delegates here, so sampling against a
+/// function's base rates and sampling against externally modulated rates
+/// (chaos/incident.h) draw from the stream in exactly the same order.
+FaultOutcome sample_fault(const FaultRates& rates, support::Rng& rng);
+
 /// Seeded, deterministic fault sampler.  A default-constructed model is
 /// disabled and consumes no randomness, so executions with faults off are
 /// bit-identical to executions without a FaultModel at all.

@@ -37,6 +37,8 @@ ServingEngine::ServingEngine(const platform::Workflow& workflow,
   expects(options_.window_seconds >= 0.0, "window width must be non-negative");
   options_.retry.validate();
   options_.autoscaler.validate();
+  options_.chaos.validate();
+  options_.resilience.validate();
 }
 
 namespace {
@@ -53,6 +55,7 @@ struct Event {
   EventKind kind = EventKind::Arrival;
   bool failed_attempt = false;  ///< completion of a crashed/timed-out attempt
   bool timed_out = false;       ///< the failure was the invocation timeout
+  bool oomed = false;           ///< deterministic OOM (not breaker feedback)
 };
 
 struct FunctionPool {
@@ -116,6 +119,30 @@ StreamingReport ServingEngine::run(ArrivalProcess& arrivals,
 
   std::vector<FunctionPool> pools(n);
   std::size_t alive_containers = 0;
+
+  // Resilience state (serving/resilience.h).  Breakers exist only when
+  // enabled; shedding hysteresis tracks the total queue depth across all
+  // functions incrementally (updated where pool.waiting changes).
+  const ResilienceOptions& resilience = options_.resilience;
+  std::vector<CircuitBreaker> breakers;
+  if (resilience.breaker.enabled) {
+    breakers.assign(n, CircuitBreaker(resilience.breaker));
+  }
+  std::size_t total_queued = 0;
+  bool shedding_active = false;
+
+  // Fault sampling, chaos-modulated when a schedule is present.  The empty
+  // schedule short-circuits to the stationary model: same rates, same draw
+  // order, bit-identical stream (see platform::sample_fault).
+  auto sample_faults = [&](dag::NodeId node, double t) -> platform::FaultOutcome {
+    if (options_.chaos.empty()) return options_.faults.sample(node, rng);
+    if (options_.chaos.active_for(node, t)) {
+      ++report.chaos_modulated_attempts;
+      return platform::sample_fault(
+          options_.chaos.modulate(options_.faults.rates(node), node, t), rng);
+    }
+    return options_.faults.sample(node, rng);
+  };
 
   // Slot pool + flat per-node slabs (remaining predecessors / attempts).
   std::vector<Slot> slots;
@@ -197,6 +224,8 @@ StreamingReport ServingEngine::run(ArrivalProcess& arrivals,
     if (out.failed) {
       ++report.failed_requests;
       if (out.rejected) ++report.rejected_requests;
+      if (out.shed) ++report.shed_requests;
+      if (out.breaker_fastfail) ++report.breaker_fastfail_requests;
       if (slot.transient_fail) ++report.failed_after_retries;
       violated = true;  // failure-aware SLO: a failed request is always late
     } else {
@@ -303,17 +332,21 @@ StreamingReport ServingEngine::run(ArrivalProcess& arrivals,
     double billed = cold_delay;
     bool attempt_failed = false;
     bool attempt_timed_out = false;
+    bool attempt_oomed = false;
     const auto& model = workflow_->model(node);
     const auto& rc = (*slot.config)[node];
     if (!model.fits_memory(rc.memory_mb, slot.input_scale)) {
       // OOM: deterministic, never retried — the request fails; the container
-      // is charged for the cold start only and frees immediately.
+      // is charged for the cold start only and frees immediately.  OOM is a
+      // property of the configuration, so it is invisible to the breaker.
       slot.failed = true;
       slot.outcome.failed = true;
+      attempt_oomed = true;
     } else {
+      if (!breakers.empty()) breakers[node].on_attempt_start();
       double duration = options_.noise.noisy_runtime(
           model.mean_runtime(rc.vcpu, rc.memory_mb, slot.input_scale), rng);
-      const platform::FaultOutcome fault = options_.faults.sample(node, rng);
+      const platform::FaultOutcome fault = sample_faults(node, now);
       duration = duration * fault.runtime_multiplier + fault.extra_delay_seconds;
       if (fault.crashed) {
         duration *= fault.crash_fraction;
@@ -325,6 +358,49 @@ StreamingReport ServingEngine::run(ArrivalProcess& arrivals,
         attempt_timed_out = true;
       }
       billed += duration;
+      if (!attempt_failed && resilience.hedge.enabled() &&
+          duration > resilience.hedge.delay_seconds) {
+        // Hedged straggler cut-off: a second attempt of this invocation
+        // launches hedge-delay seconds into the primary's execution, always
+        // on a fresh (cold) container; the faster one completes the node
+        // and the loser is cancelled — and billed — at the winner's finish.
+        // The hedge resolves inline (cold start, runtime noise and fault
+        // sample draw from the same stream right here), so the composite
+        // stays one completion event and the run stays deterministic.  The
+        // hedge container is ephemeral burst capacity: it never joins the
+        // warm pool and holds no concurrency slot, but counts in the peak.
+        const double p_rel = billed;  // primary completes this far from now
+        const double h_launch = cold_delay + resilience.hedge.delay_seconds;
+        const double h_cold = rng.uniform(options_.cold_start_min_seconds,
+                                          options_.cold_start_max_seconds);
+        double h_duration = options_.noise.noisy_runtime(
+            model.mean_runtime(rc.vcpu, rc.memory_mb, slot.input_scale), rng);
+        const platform::FaultOutcome h_fault = sample_faults(node, now + h_launch);
+        h_duration =
+            h_duration * h_fault.runtime_multiplier + h_fault.extra_delay_seconds;
+        bool hedge_ok = true;
+        if (h_fault.crashed) {
+          h_duration *= h_fault.crash_fraction;
+          hedge_ok = false;
+        } else if (options_.retry.timeout_enabled() &&
+                   h_duration > options_.retry.timeout_seconds) {
+          h_duration = options_.retry.timeout_seconds;
+          hedge_ok = false;
+        }
+        const double h_rel = h_launch + h_cold + h_duration;
+        const bool hedge_won = hedge_ok && h_rel < p_rel;
+        const double winner_rel = hedge_won ? h_rel : p_rel;
+        billed = winner_rel;  // primary runs (at most) to the winner's finish
+        slot.outcome.cost +=
+            pricing_->invocation_cost(rc, std::min(h_rel, winner_rel) - h_launch);
+        ++slot.outcome.invocations;
+        ++slot.outcome.cold_starts;
+        ++report.cold_starts;
+        ++report.hedges;
+        if (hedge_won) ++report.hedge_wins;
+        report.peak_containers =
+            std::max(report.peak_containers, alive_containers + 1);
+      }
     }
     // Every attempt is billed, failed or not: it occupied provisioned time.
     slot.outcome.cost += pricing_->invocation_cost(rc, billed);
@@ -337,13 +413,27 @@ StreamingReport ServingEngine::run(ArrivalProcess& arrivals,
     done.node = static_cast<std::uint32_t>(node);
     done.failed_attempt = attempt_failed;
     done.timed_out = attempt_timed_out;
+    done.oomed = attempt_oomed;
     ++slot.refs;
     push(done);
   };
 
   // Admit an invocation: start it, queue it at capacity, or — with
   // admission control on — reject the whole request when the queue is full.
+  // An open circuit breaker fails the request fast before any of that: no
+  // container, no queue slot, no retries against a function known to be
+  // down.
   auto admit = [&](std::uint32_t s, dag::NodeId node, double now) {
+    if (!breakers.empty() && !breakers[node].allow(now)) {
+      Slot& slot = slots[s];
+      if (!slot.failed) {
+        slot.failed = true;
+        slot.outcome.failed = true;
+        slot.outcome.breaker_fastfail = true;
+        slot.outcome.completion = std::max(slot.outcome.completion, now);
+      }
+      return;
+    }
     FunctionPool& pool = pools[node];
     if (options_.max_containers_per_function != 0 &&
         pool.busy >= options_.max_containers_per_function) {
@@ -360,6 +450,7 @@ StreamingReport ServingEngine::run(ArrivalProcess& arrivals,
       }
       pool.waiting.emplace_back(s, node);
       ++slots[s].refs;
+      ++total_queued;
       report.peak_queue_depth = std::max(report.peak_queue_depth, pool.waiting.size());
       return;
     }
@@ -373,6 +464,7 @@ StreamingReport ServingEngine::run(ArrivalProcess& arrivals,
     while (!pool.waiting.empty()) {
       const auto [ws, wn] = pool.waiting.front();
       pool.waiting.pop_front();
+      --total_queued;
       --slots[ws].refs;
       if (slots[ws].failed) {
         maybe_emit(ws, source);
@@ -456,6 +548,10 @@ StreamingReport ServingEngine::run(ArrivalProcess& arrivals,
     const Event ev = events.pop();
     ++report.events_processed;
     last_event_time = std::max(last_event_time, ev.time);
+    // Drive the control plane's clock from every event, not just arrivals:
+    // a swap whose scheduling lag elapses in the completion tail (after the
+    // last arrival) must still activate and be counted as deployed.
+    configs.advance_to(ev.time);
 
     if (ev.kind == EventKind::AutoscaleTick) {
       autoscale_tick(ev.time);
@@ -472,13 +568,34 @@ StreamingReport ServingEngine::run(ArrivalProcess& arrivals,
 
     if (ev.kind == EventKind::Arrival) {
       const Arrival arrival = pending_arrival;
-      configs.advance_to(arrival.time);
       const platform::WorkflowConfig& cfg = configs.config_for(arrival);
       validate_config(cfg);
       const std::uint32_t s = alloc_slot(arrival, cfg);
       if (options_.window_seconds > 0.0) ++window_at(arrival.time).arrivals;
-      for (dag::NodeId src : source_nodes) admit(s, src, arrival.time);
-      maybe_emit(s, configs);  // full rejection finishes on the spot
+      // Priority load shedding: under sustained overload (hysteresis on the
+      // total queue depth), low-priority arrivals are dropped at the door at
+      // zero cost instead of queueing everyone into SLO collapse.
+      bool shed_now = false;
+      if (resilience.shed.enabled()) {
+        if (!shedding_active &&
+            total_queued >= resilience.shed.queue_high_watermark) {
+          shedding_active = true;
+        } else if (shedding_active &&
+                   total_queued <= resilience.shed.effective_low_watermark()) {
+          shedding_active = false;
+        }
+        shed_now =
+            shedding_active && resilience.shed.sheddable(slots[s].outcome.index);
+      }
+      if (shed_now) {
+        Slot& slot = slots[s];
+        slot.failed = true;
+        slot.outcome.failed = true;
+        slot.outcome.shed = true;
+      } else {
+        for (dag::NodeId src : source_nodes) admit(s, src, arrival.time);
+      }
+      maybe_emit(s, configs);  // shed or fully rejected: finishes on the spot
       if (auto next = arrivals.next()) {
         expects(next->time >= arrival.time, "arrivals must be sorted by time");
         expects(next->input_scale > 0.0, "input scale must be positive");
@@ -513,6 +630,7 @@ StreamingReport ServingEngine::run(ArrivalProcess& arrivals,
       // was killed); the concurrency slot frees for queued work either way.
       --alive_containers;
       feed_waiting(pool, ev.time, configs);
+      if (!breakers.empty()) breakers[ev.node].record_failure(ev.time);
       if (ev.timed_out) {
         ++report.timeouts;
         ++slot.outcome.timeouts;
@@ -543,6 +661,7 @@ StreamingReport ServingEngine::run(ArrivalProcess& arrivals,
 
     insert_idle(pool, ev.time);
     feed_waiting(pool, ev.time, configs);
+    if (!breakers.empty() && !ev.oomed) breakers[ev.node].record_success(ev.time);
 
     slot.outcome.completion = ev.time;
     ++slot.nodes_done;
@@ -558,6 +677,9 @@ StreamingReport ServingEngine::run(ArrivalProcess& arrivals,
   expects(live_slot_count == 0, "engine drained with live requests");
   report.duration_seconds = last_event_time;
   report.latency = latency_acc.summary();
+  for (const CircuitBreaker& breaker : breakers) {
+    report.breaker_opens += breaker.times_opened();
+  }
 
   reg.counter(obs::metric::kServingRequests).inc(report.requests);
   reg.counter(obs::metric::kServingRequestFailures).inc(report.failed_requests);
@@ -569,6 +691,25 @@ StreamingReport ServingEngine::run(ArrivalProcess& arrivals,
   reg.counter(obs::metric::kServingAutoscaleUp).inc(report.autoscale_ups);
   reg.counter(obs::metric::kServingAutoscaleDown).inc(report.autoscale_downs);
   reg.counter(obs::metric::kServingEngineEvents).inc(report.events_processed);
+  // Chaos/resilience metrics register only when the machinery is on, so a
+  // disabled run leaves the metrics dump byte-identical to a pre-chaos one.
+  if (!options_.chaos.empty()) {
+    reg.counter(obs::metric::kChaosIncidents).inc(options_.chaos.size());
+    reg.counter(obs::metric::kChaosModulatedAttempts)
+        .inc(report.chaos_modulated_attempts);
+  }
+  if (resilience.breaker.enabled) {
+    reg.counter(obs::metric::kResilienceBreakerOpens).inc(report.breaker_opens);
+    reg.counter(obs::metric::kResilienceBreakerFastfails)
+        .inc(report.breaker_fastfail_requests);
+  }
+  if (resilience.hedge.enabled()) {
+    reg.counter(obs::metric::kResilienceHedges).inc(report.hedges);
+    reg.counter(obs::metric::kResilienceHedgeWins).inc(report.hedge_wins);
+  }
+  if (resilience.shed.enabled()) {
+    reg.counter(obs::metric::kResilienceShedRequests).inc(report.shed_requests);
+  }
   run_span.arg("requests", static_cast<std::uint64_t>(report.requests));
   run_span.arg("failed", static_cast<std::uint64_t>(report.failed_requests));
   run_span.arg("events", report.events_processed);

@@ -47,6 +47,7 @@
 
 #include <cstdint>
 
+#include "chaos/incident.h"
 #include "perf/noise.h"
 #include "platform/faults.h"
 #include "platform/pricing.h"
@@ -54,6 +55,7 @@
 #include "platform/workflow.h"
 #include "serving/arrivals.h"
 #include "serving/report.h"
+#include "serving/resilience.h"
 
 namespace aarc::serving {
 
@@ -91,6 +93,15 @@ struct EngineOptions {
 
   AutoscalerOptions autoscaler{};
   AdmissionOptions admission{};
+
+  /// Incident calendar modulating the fault rates over simulated time
+  /// (chaos/incident.h).  Empty = no chaos; runs are bit-identical to a
+  /// build without the chaos engine at all.
+  chaos::IncidentSchedule chaos{};
+  /// Graceful-degradation stack: circuit breakers, hedged requests,
+  /// priority load shedding (serving/resilience.h).  All off by default;
+  /// disabled controls consume no randomness and change no behavior.
+  ResilienceOptions resilience{};
 
   /// End-to-end SLO for online attainment accounting (0 = off).
   double slo_seconds = 0.0;

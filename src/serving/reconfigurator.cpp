@@ -22,6 +22,11 @@ void ReconfigOptions::validate() const {
   expects(lag_base_seconds >= 0.0 && lag_per_sample_seconds >= 0.0,
           "scheduling lag must be non-negative");
   expects(attainment_window >= 1, "attainment window must be at least one outcome");
+  if (fallback_degraded) {
+    expects(degraded_slo_factor >= 1.0,
+            "degraded SLO factor must be >= 1 (got " +
+                std::to_string(degraded_slo_factor) + ")");
+  }
 }
 
 OnlineReconfigurator::OnlineReconfigurator(const workloads::Workload& workload,
@@ -55,6 +60,7 @@ void OnlineReconfigurator::advance_to(double now) {
   // flight keep their old version (versions_ owns every one ever deployed).
   active_ = pending_;
   pending_ = nullptr;
+  degraded_ = pending_degraded_;
   ++reconfigurations_;
   outcomes_since_reconfig_ = 0;
   post_window_event_ = pending_event_;
@@ -106,13 +112,24 @@ double OnlineReconfigurator::rolling_attainment() const {
 void OnlineReconfigurator::maybe_trigger(double now) {
   if (pending_ != nullptr) return;  // a re-run is already in flight
   if (outcomes_since_reconfig_ < options_.min_outcomes_between_reconfigs) return;
-  if (!monitor_.should_reconfigure()) return;
+  // While serving on a degraded fallback, every cooldown expiry is a
+  // recovery attempt at the original SLO, whatever the monitor thinks — the
+  // deployed config meets a *relaxed* target, so the monitor alone would
+  // happily stay degraded forever.
+  const bool recovery_attempt = degraded_ && options_.fallback_degraded;
+  if (!recovery_attempt && !monitor_.should_reconfigure()) return;
 
   obs::Span reschedule_span("reconfig.reschedule", "reconfig");
   const double new_scale =
       std::max(0.05, scale_estimate_ * monitor_.estimated_drift_ratio());
-  support::log_info("online reconfigurator: ", adaptive::to_string(monitor_.verdict()),
-                    " at t=", now, "; rescheduling at scale ", new_scale);
+  if (recovery_attempt) {
+    support::log_info("online reconfigurator: degraded, attempting recovery at t=",
+                      now, "; rescheduling at scale ", new_scale);
+  } else {
+    support::log_info("online reconfigurator: ",
+                      adaptive::to_string(monitor_.verdict()), " at t=", now,
+                      "; rescheduling at scale ", new_scale);
+  }
 
   bool feasible = false;
   std::size_t samples = 0;
@@ -124,8 +141,32 @@ void OnlineReconfigurator::maybe_trigger(double now) {
   }
   if (!feasible) {
     std::size_t full_samples = 0;
-    candidate = full_reschedule(new_scale, feasible, full_samples);
+    candidate = full_reschedule(new_scale, workload_->slo_seconds, feasible,
+                                full_samples);
     samples += full_samples;
+  }
+  // Degraded fallback: rather than keep serving a configuration the drift
+  // already invalidated, reschedule against a relaxed SLO; if even that is
+  // infeasible, deploy the grid maximum uniformly — the least-bad config
+  // the platform can express.  Never re-deploy a fallback over a fallback:
+  // a failed *recovery* keeps the current degraded config.
+  bool deploy_degraded = false;
+  if (!feasible && options_.fallback_degraded && !degraded_) {
+    std::size_t relaxed_samples = 0;
+    bool relaxed_feasible = false;
+    candidate =
+        full_reschedule(new_scale, workload_->slo_seconds * options_.degraded_slo_factor,
+                        relaxed_feasible, relaxed_samples);
+    samples += relaxed_samples;
+    if (!relaxed_feasible) {
+      candidate.assign(workload_->workflow.function_count(), grid_.max_config());
+    }
+    deploy_degraded = true;
+    feasible = true;
+    ++degraded_fallbacks_;
+    support::log_warn("online reconfigurator: no feasible config at scale ",
+                      new_scale, "; deploying degraded fallback (",
+                      relaxed_feasible ? "relaxed SLO" : "grid max", ")");
   }
   scheduling_samples_ += samples;
 
@@ -134,6 +175,7 @@ void OnlineReconfigurator::maybe_trigger(double now) {
   event.new_scale = new_scale;
   event.samples_used = samples;
   event.incremental = used_incremental;
+  event.degraded = deploy_degraded;
   event.pre_slo_attainment = rolling_attainment();
   event.lag_seconds =
       options_.lag_base_seconds +
@@ -145,9 +187,10 @@ void OnlineReconfigurator::maybe_trigger(double now) {
   reg.gauge(obs::metric::kReconfigPreSloAttainment).set(event.pre_slo_attainment);
 
   if (!feasible) {
-    // Even full Algorithm 1 found nothing feasible at the new scale: keep
-    // serving with the current configuration and re-arm the monitor at the
-    // observed level so the trigger doesn't fire every outcome.
+    // Nothing deployable (no-fallback mode, or a failed recovery while
+    // already degraded): keep serving with the current configuration and
+    // re-arm the monitor at the observed level so the trigger doesn't fire
+    // every outcome.
     support::log_warn(
         "online reconfigurator: no feasible config at scale ", new_scale,
         "; keeping the deployed configuration");
@@ -162,6 +205,12 @@ void OnlineReconfigurator::maybe_trigger(double now) {
       std::make_unique<platform::WorkflowConfig>(std::move(candidate)));
   pending_ = versions_.back().get();
   pending_activation_time_ = event.activation_time;
+  pending_degraded_ = deploy_degraded;
+  if (deploy_degraded) {
+    obs::MetricsRegistry::global()
+        .counter(obs::metric::kReconfigDegradedFallbacks)
+        .inc();
+  }
   event.activated = true;
   events_.push_back(event);
   pending_event_ = events_.size() - 1;
@@ -241,11 +290,11 @@ platform::WorkflowConfig OnlineReconfigurator::incremental_reschedule(
 }
 
 platform::WorkflowConfig OnlineReconfigurator::full_reschedule(
-    double scale, bool& feasible, std::size_t& samples) const {
+    double scale, double slo_seconds, bool& feasible, std::size_t& samples) const {
   obs::Span span("reconfig.full", "reconfig");
   core::GraphCentricScheduler scheduler(*executor_, grid_, options_.scheduler);
   const core::ScheduleReport report =
-      scheduler.schedule(workload_->workflow, workload_->slo_seconds, scale);
+      scheduler.schedule(workload_->workflow, slo_seconds, scale);
   feasible = report.result.found_feasible;
   samples = report.result.samples();
   return report.result.best_config;

@@ -54,6 +54,15 @@ struct ReconfigOptions {
   /// Outcomes per pre-trigger / post-swap SLO attainment window.
   std::size_t attainment_window = 200;
 
+  /// Graceful degradation: when even full Algorithm 1 finds nothing feasible
+  /// at the new scale, deploy a *degraded* fallback instead of keeping the
+  /// drifted configuration — a reschedule at a relaxed SLO
+  /// (degraded_slo_factor x the workload SLO), or the grid-max uniform
+  /// configuration as last resort.  While degraded, every cooldown expiry
+  /// retries the original SLO and recovers as soon as it is feasible again.
+  bool fallback_degraded = false;
+  double degraded_slo_factor = 1.5;
+
   void validate() const;
 };
 
@@ -66,6 +75,7 @@ struct ReconfigEvent {
   std::size_t samples_used = 0;   ///< billed probe samples of the re-run
   bool activated = false;         ///< swap went live (re-run was feasible)
   bool incremental = false;       ///< critical-path-only re-run sufficed
+  bool degraded = false;          ///< swap deployed a degraded fallback config
   double pre_slo_attainment = 1.0;   ///< rolling window before the trigger
   double post_slo_attainment = 1.0;  ///< fixed window after the swap
   bool post_window_complete = false;
@@ -91,6 +101,9 @@ class OnlineReconfigurator final : public ConfigSource {
   std::size_t scheduling_samples() const { return scheduling_samples_; }
   const std::vector<ReconfigEvent>& events() const { return events_; }
   const adaptive::DriftMonitor& monitor() const { return monitor_; }
+  /// True while the *active* configuration is a degraded fallback.
+  bool degraded() const { return degraded_; }
+  std::size_t degraded_fallbacks() const { return degraded_fallbacks_; }
 
  private:
   void maybe_trigger(double now);
@@ -98,7 +111,10 @@ class OnlineReconfigurator final : public ConfigSource {
   /// back to nothing (feasible=false) when the path cannot meet the SLO.
   platform::WorkflowConfig incremental_reschedule(double scale, bool& feasible,
                                                   std::size_t& samples) const;
-  platform::WorkflowConfig full_reschedule(double scale, bool& feasible,
+  /// Full Algorithm 1 re-run against an explicit SLO (the workload SLO for
+  /// normal triggers, a relaxed one for degraded fallbacks).
+  platform::WorkflowConfig full_reschedule(double scale, double slo_seconds,
+                                           bool& feasible,
                                            std::size_t& samples) const;
   double rolling_attainment() const;
   void reset_monitor_for(const platform::WorkflowConfig& config, double scale);
@@ -114,6 +130,9 @@ class OnlineReconfigurator final : public ConfigSource {
   const platform::WorkflowConfig* active_ = nullptr;
   const platform::WorkflowConfig* pending_ = nullptr;
   double pending_activation_time_ = 0.0;
+  bool pending_degraded_ = false;
+  bool degraded_ = false;
+  std::size_t degraded_fallbacks_ = 0;
   std::size_t pending_event_ = 0;      ///< events_ index of the pending swap
   std::size_t post_window_event_ = 0;  ///< events_ index the open window fills
 

@@ -34,6 +34,8 @@ struct RequestOutcome {
   std::size_t timeouts = 0;      ///< attempts cut off by the invocation timeout
   bool failed = false;           ///< OOM, faults exhausted retries, or rejected
   bool rejected = false;         ///< refused by admission control on arrival
+  bool shed = false;             ///< dropped by priority load shedding
+  bool breaker_fastfail = false; ///< failed fast on an open circuit breaker
 
   double latency() const { return completion - arrival; }
 };
@@ -76,6 +78,15 @@ struct StreamingReport {
   std::size_t rejected_requests = 0;   ///< refused by admission control
   std::size_t failed_after_retries = 0;
 
+  // Resilience and chaos (serving/resilience.h, chaos/incident.h); all zero
+  // when the corresponding machinery is disabled.
+  std::size_t shed_requests = 0;          ///< dropped by priority load shedding
+  std::size_t breaker_fastfail_requests = 0;  ///< failed fast on open breakers
+  std::size_t breaker_opens = 0;          ///< breaker trips across all functions
+  std::size_t hedges = 0;                 ///< hedge attempts launched
+  std::size_t hedge_wins = 0;             ///< hedges that beat their primary
+  std::size_t chaos_modulated_attempts = 0;  ///< attempts sampled under an incident
+
   // Container economics.
   std::size_t cold_starts = 0;
   std::size_t warm_starts = 0;
@@ -116,6 +127,11 @@ struct StreamingReport {
   double request_failure_rate() const;
   /// Simulated requests finished per simulated second.
   double simulated_rps() const;
+  /// Fraction of hedge attempts that beat their primary (0 with no hedges).
+  double hedge_win_rate() const {
+    return hedges > 0 ? static_cast<double>(hedge_wins) / static_cast<double>(hedges)
+                      : 0.0;
+  }
 };
 
 }  // namespace aarc::serving

@@ -1,0 +1,142 @@
+#include "serving/resilience.h"
+
+#include <string>
+
+#include "support/contracts.h"
+
+namespace aarc::serving {
+
+using support::expects;
+
+void BreakerOptions::validate() const {
+  if (!enabled) return;
+  expects(window >= 1, "breaker window must be >= 1");
+  expects(min_attempts >= 1, "breaker min-attempts must be >= 1");
+  expects(min_attempts <= window,
+          "breaker min-attempts must be <= window (got " +
+              std::to_string(min_attempts) + " > " + std::to_string(window) + ")");
+  expects(failure_threshold > 0.0 && failure_threshold <= 1.0,
+          "breaker failure threshold must be in (0, 1] (got " +
+              std::to_string(failure_threshold) + ")");
+  expects(open_seconds >= 0.0, "breaker open hold-off must be non-negative (got " +
+                                   std::to_string(open_seconds) + ")");
+  expects(half_open_probes >= 1, "breaker half-open probes must be >= 1");
+}
+
+void HedgeOptions::validate() const {
+  expects(delay_seconds >= 0.0, "hedge delay must be non-negative (got " +
+                                    std::to_string(delay_seconds) + ")");
+}
+
+std::size_t ShedOptions::effective_low_watermark() const {
+  return queue_low_watermark > 0 ? queue_low_watermark : queue_high_watermark / 2;
+}
+
+bool ShedOptions::sheddable(std::size_t index) const {
+  if (sheddable_fraction >= 1.0) return true;
+  if (sheddable_fraction <= 0.0) return false;
+  // Knuth multiplicative hash of the request index: a fixed, seed-independent
+  // priority lottery, so shed runs replay exactly and priorities do not move
+  // when unrelated knobs shift the RNG stream.
+  const std::uint64_t mixed = (static_cast<std::uint64_t>(index) * 2654435761ull) >> 16;
+  return static_cast<double>(mixed % 10000u) < sheddable_fraction * 10000.0;
+}
+
+void ShedOptions::validate() const {
+  if (!enabled()) return;
+  expects(effective_low_watermark() <= queue_high_watermark,
+          "shed low watermark must be <= high watermark (got " +
+              std::to_string(effective_low_watermark()) + " > " +
+              std::to_string(queue_high_watermark) + ")");
+  expects(sheddable_fraction >= 0.0 && sheddable_fraction <= 1.0,
+          "sheddable fraction must be in [0, 1] (got " +
+              std::to_string(sheddable_fraction) + ")");
+}
+
+void ResilienceOptions::validate() const {
+  breaker.validate();
+  hedge.validate();
+  shed.validate();
+}
+
+CircuitBreaker::CircuitBreaker(const BreakerOptions& options) : options_(options) {
+  options_.validate();
+  ring_.assign(options_.enabled ? options_.window : std::size_t{1}, false);
+}
+
+bool CircuitBreaker::allow(double now) {
+  if (!options_.enabled) return true;
+  switch (state_) {
+    case State::Closed:
+      return true;
+    case State::Open:
+      if (now - opened_at_ < options_.open_seconds) return false;
+      state_ = State::HalfOpen;
+      half_open_in_flight_ = 0;
+      [[fallthrough]];
+    case State::HalfOpen:
+      return half_open_in_flight_ < options_.half_open_probes;
+  }
+  return true;
+}
+
+void CircuitBreaker::on_attempt_start() {
+  if (state_ == State::HalfOpen) ++half_open_in_flight_;
+}
+
+void CircuitBreaker::record_success(double now) {
+  (void)now;
+  if (!options_.enabled) return;
+  if (state_ == State::HalfOpen) {
+    // One healthy probe is evidence enough: close on a fresh window.
+    state_ = State::Closed;
+    half_open_in_flight_ = 0;
+    reset_window();
+    return;
+  }
+  if (state_ == State::Open) return;  // stale completion from before the trip
+  push(false);
+}
+
+void CircuitBreaker::record_failure(double now) {
+  if (!options_.enabled) return;
+  if (state_ == State::HalfOpen) {
+    trip(now);  // a failed probe re-opens immediately
+    return;
+  }
+  if (state_ == State::Open) return;  // stale completion from before the trip
+  push(true);
+  if (ring_count_ >= options_.min_attempts &&
+      static_cast<double>(ring_failures_) >=
+          options_.failure_threshold * static_cast<double>(ring_count_)) {
+    trip(now);
+  }
+}
+
+void CircuitBreaker::push(bool failure) {
+  if (ring_count_ == ring_.size()) {
+    if (ring_[ring_next_]) --ring_failures_;
+  } else {
+    ++ring_count_;
+  }
+  ring_[ring_next_] = failure;
+  if (failure) ++ring_failures_;
+  ring_next_ = (ring_next_ + 1) % ring_.size();
+}
+
+void CircuitBreaker::trip(double now) {
+  state_ = State::Open;
+  opened_at_ = now;
+  half_open_in_flight_ = 0;
+  ++times_opened_;
+  reset_window();
+}
+
+void CircuitBreaker::reset_window() {
+  ring_.assign(ring_.size(), false);
+  ring_next_ = 0;
+  ring_count_ = 0;
+  ring_failures_ = 0;
+}
+
+}  // namespace aarc::serving

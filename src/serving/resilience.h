@@ -1,0 +1,140 @@
+// Graceful-degradation machinery for the serving path.
+//
+// The chaos engine (chaos/incident.h) makes the simulated platform fail in
+// correlated episodes; this module is the serving engine's reaction side.
+// Three controls, all disabled by default so the engine stays bit-identical
+// to its pre-resilience behavior even with everything compiled in:
+//
+//   * CircuitBreaker — per-function closed/open/half-open state machine.
+//     A function whose recent attempts mostly fail trips open; requests
+//     needing it fail fast instead of burning containers, retries and
+//     backoff on a dead dependency.  After a hold-off the breaker admits a
+//     bounded number of half-open probe attempts; the first success closes
+//     it, a failure re-opens it.  The state machine is driven purely by the
+//     engine's deterministic event order — no randomness of its own.
+//
+//   * Hedged requests (HedgeOptions) — straggler cut-off.  When a clean
+//     attempt's sampled runtime exceeds the hedge delay, a second attempt
+//     of the same invocation launches after the delay; the faster one wins
+//     and the loser is cancelled (and billed) at the winner's completion.
+//
+//   * Priority load shedding (ShedOptions) — under sustained overload
+//     (total queued invocations past a high watermark), low-priority
+//     arrivals are dropped at the door for the cost of nothing instead of
+//     queueing everyone into SLO collapse.  Priority tiers are derived
+//     deterministically from the request index, so a shed run is
+//     reproducible from the seed.
+//
+// Semantics, metrics, and tuning guidance: doc/RESILIENCE.md.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace aarc::serving {
+
+/// Per-function circuit-breaker knobs (disabled by default).
+struct BreakerOptions {
+  bool enabled = false;
+  /// Sliding window of recent attempt outcomes the trip decision sees.
+  std::size_t window = 20;
+  /// Attempts that must accrue in the window before the breaker may trip.
+  std::size_t min_attempts = 10;
+  /// Trip when the windowed failure fraction reaches this threshold.
+  double failure_threshold = 0.5;
+  /// Hold-off in the open state before half-open probes are admitted.
+  double open_seconds = 30.0;
+  /// Concurrent trial attempts admitted while half-open.
+  std::size_t half_open_probes = 1;
+
+  void validate() const;
+};
+
+/// Hedged-request knobs; delay_seconds == 0 disables hedging.
+struct HedgeOptions {
+  /// Launch a hedge when a clean attempt runs longer than this (seconds).
+  double delay_seconds = 0.0;
+
+  bool enabled() const { return delay_seconds > 0.0; }
+  void validate() const;
+};
+
+/// Priority load shedding; queue_high_watermark == 0 disables shedding.
+struct ShedOptions {
+  /// Shedding turns on when the total number of queued invocations across
+  /// all functions reaches this level...
+  std::size_t queue_high_watermark = 0;
+  /// ...and off again when it drains to this level (default: half the high
+  /// watermark; must be <= the high watermark).
+  std::size_t queue_low_watermark = 0;
+  /// Fraction of requests tagged low-priority (sheddable), assigned
+  /// deterministically by request index.
+  double sheddable_fraction = 0.5;
+
+  bool enabled() const { return queue_high_watermark > 0; }
+  std::size_t effective_low_watermark() const;
+  /// Deterministic priority tag: true when request `index` is sheddable.
+  bool sheddable(std::size_t index) const;
+  void validate() const;
+};
+
+/// The serving engine's reaction stack, grouped (see EngineOptions).
+struct ResilienceOptions {
+  BreakerOptions breaker{};
+  HedgeOptions hedge{};
+  ShedOptions shed{};
+
+  bool any_enabled() const {
+    return breaker.enabled || hedge.enabled() || shed.enabled();
+  }
+  void validate() const;
+};
+
+/// Closed/open/half-open breaker over one function's attempt outcomes.
+class CircuitBreaker {
+ public:
+  enum class State : std::uint8_t { Closed, Open, HalfOpen };
+
+  explicit CircuitBreaker(const BreakerOptions& options);
+
+  /// May work for this function be admitted at `now`?  Closed: always.
+  /// Open: not until the hold-off elapses (the query itself then turns the
+  /// breaker half-open).  Half-open: only while fewer than
+  /// `half_open_probes` probe attempts are in flight.  Pure admission
+  /// query — probe slots are reserved by on_attempt_start(), so an admitted
+  /// request that is later abandoned in a queue cannot leak one.
+  bool allow(double now);
+
+  /// An attempt of this function actually started (occupies a probe slot
+  /// while half-open).
+  void on_attempt_start();
+
+  /// Outcome feedback for one attempt of this function.  Callers must not
+  /// report deterministic OOM failures here: OOM is a property of the
+  /// configuration, not of platform health, and must not trip the breaker.
+  void record_success(double now);
+  void record_failure(double now);
+
+  State state() const { return state_; }
+  std::size_t times_opened() const { return times_opened_; }
+
+ private:
+  void push(bool failure);
+  void trip(double now);
+  void reset_window();
+
+  BreakerOptions options_;
+  State state_ = State::Closed;
+  double opened_at_ = 0.0;
+  std::size_t half_open_in_flight_ = 0;
+  std::size_t times_opened_ = 0;
+
+  // Sliding outcome window as a ring of booleans (true = failure).
+  std::vector<bool> ring_;
+  std::size_t ring_next_ = 0;
+  std::size_t ring_count_ = 0;
+  std::size_t ring_failures_ = 0;
+};
+
+}  // namespace aarc::serving

@@ -51,6 +51,7 @@ ServingSimulator::ServingSimulator(const platform::Workflow& workflow,
               options_.cold_start_max_seconds >= options_.cold_start_min_seconds,
           "cold-start range must be ordered and non-negative");
   options_.retry.validate();
+  options_.chaos.validate();
 }
 
 namespace {
@@ -172,7 +173,14 @@ ServingReport ServingSimulator::serve(const std::vector<Request>& requests) cons
     } else {
       double duration = options_.noise.noisy_runtime(
           model.mean_runtime(rc.vcpu, rc.memory_mb, requests[r].input_scale), rng);
-      const platform::FaultOutcome fault = options_.faults.sample(node, rng);
+      // Chaos-modulated faults: with an empty schedule this is exactly
+      // options_.faults.sample — same rates, same draw order (bit-identical).
+      const platform::FaultOutcome fault =
+          options_.chaos.empty()
+              ? options_.faults.sample(node, rng)
+              : platform::sample_fault(
+                    options_.chaos.modulate(options_.faults.rates(node), node, now),
+                    rng);
       duration = duration * fault.runtime_multiplier + fault.extra_delay_seconds;
       if (fault.crashed) {
         duration *= fault.crash_fraction;

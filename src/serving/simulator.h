@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "chaos/incident.h"
 #include "perf/noise.h"
 #include "platform/faults.h"
 #include "platform/pricing.h"
@@ -45,6 +46,9 @@ struct ServingOptions {
   perf::NoiseModel noise{0.03};
   platform::FaultModel faults{};  ///< disabled by default
   platform::RetryPolicy retry{};  ///< no retries, no timeout by default
+  /// Incident calendar modulating the fault rates over simulated time
+  /// (chaos/incident.h); empty = stationary faults, bit-identical behavior.
+  chaos::IncidentSchedule chaos{};
   std::uint64_t seed = 2026;
 };
 

@@ -1,0 +1,186 @@
+// Unit coverage of the chaos incident engine: trapezoidal intensity,
+// targeting, validation, and the fault-rate modulation rule (probabilities
+// add and saturate; magnitudes stay the base model's; empty schedule is the
+// identity).
+#include <gtest/gtest.h>
+
+#include "chaos/incident.h"
+#include "support/contracts.h"
+
+namespace aarc::chaos {
+namespace {
+
+Incident make(IncidentKind kind, double start, double end, double ramp = 0.0,
+              double severity = 1.0, std::vector<dag::NodeId> targets = {}) {
+  Incident incident;
+  incident.kind = kind;
+  incident.start_seconds = start;
+  incident.end_seconds = end;
+  incident.ramp_seconds = ramp;
+  incident.severity = severity;
+  incident.targets = std::move(targets);
+  return incident;
+}
+
+TEST(Incident, SquareStepIntensity) {
+  const Incident i = make(IncidentKind::Outage, 100.0, 200.0);
+  EXPECT_DOUBLE_EQ(i.intensity_at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(i.intensity_at(99.999), 0.0);
+  EXPECT_DOUBLE_EQ(i.intensity_at(100.0), 1.0);  // start is inclusive
+  EXPECT_DOUBLE_EQ(i.intensity_at(150.0), 1.0);
+  EXPECT_DOUBLE_EQ(i.intensity_at(199.999), 1.0);
+  EXPECT_DOUBLE_EQ(i.intensity_at(200.0), 0.0);  // end is exclusive
+  EXPECT_DOUBLE_EQ(i.intensity_at(1e9), 0.0);
+}
+
+TEST(Incident, TrapezoidalRampIntensity) {
+  const Incident i = make(IncidentKind::Brownout, 100.0, 200.0, 25.0);
+  EXPECT_DOUBLE_EQ(i.intensity_at(100.0), 0.0);   // ramp starts from zero
+  EXPECT_DOUBLE_EQ(i.intensity_at(112.5), 0.5);   // halfway up
+  EXPECT_DOUBLE_EQ(i.intensity_at(125.0), 1.0);   // plateau begins
+  EXPECT_DOUBLE_EQ(i.intensity_at(150.0), 1.0);
+  EXPECT_DOUBLE_EQ(i.intensity_at(175.0), 1.0);   // plateau ends
+  EXPECT_DOUBLE_EQ(i.intensity_at(187.5), 0.5);   // halfway down
+  EXPECT_NEAR(i.intensity_at(199.999), 0.0, 1e-4);
+}
+
+TEST(Incident, FullWindowRampIsATriangle) {
+  // ramp == window / 2: no plateau, peak exactly at the midpoint.
+  const Incident i = make(IncidentKind::Brownout, 0.0, 100.0, 50.0);
+  EXPECT_DOUBLE_EQ(i.intensity_at(25.0), 0.5);
+  EXPECT_DOUBLE_EQ(i.intensity_at(50.0), 1.0);
+  EXPECT_DOUBLE_EQ(i.intensity_at(75.0), 0.5);
+}
+
+TEST(Incident, EmptyTargetsMeansPlatformWide) {
+  const Incident wide = make(IncidentKind::Outage, 0.0, 10.0);
+  EXPECT_TRUE(wide.applies_to(0));
+  EXPECT_TRUE(wide.applies_to(7));
+
+  const Incident correlated = make(IncidentKind::Outage, 0.0, 10.0, 0.0, 1.0, {1, 3});
+  EXPECT_FALSE(correlated.applies_to(0));
+  EXPECT_TRUE(correlated.applies_to(1));
+  EXPECT_FALSE(correlated.applies_to(2));
+  EXPECT_TRUE(correlated.applies_to(3));
+}
+
+TEST(Incident, ValidateRejectsIllFormedEpisodes) {
+  EXPECT_THROW(make(IncidentKind::Outage, -1.0, 10.0).validate(),
+               support::ContractViolation);
+  EXPECT_THROW(make(IncidentKind::Outage, 10.0, 10.0).validate(),
+               support::ContractViolation);  // empty window
+  EXPECT_THROW(make(IncidentKind::Outage, 10.0, 5.0).validate(),
+               support::ContractViolation);  // inverted window
+  EXPECT_THROW(make(IncidentKind::Outage, 0.0, 10.0, -1.0).validate(),
+               support::ContractViolation);  // negative ramp
+  EXPECT_THROW(make(IncidentKind::Outage, 0.0, 10.0, 6.0).validate(),
+               support::ContractViolation);  // ramp doesn't fit twice
+  EXPECT_THROW(make(IncidentKind::Outage, 0.0, 10.0, 0.0, 1.5).validate(),
+               support::ContractViolation);  // severity out of [0, 1]
+  EXPECT_NO_THROW(make(IncidentKind::Outage, 0.0, 10.0, 5.0, 1.0).validate());
+}
+
+TEST(Incident, ValidationErrorsNameTheOffendingValue) {
+  try {
+    make(IncidentKind::Outage, 0.0, 10.0, 0.0, 1.5).validate();
+    FAIL() << "expected ContractViolation";
+  } catch (const support::ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("1.5"), std::string::npos) << e.what();
+  }
+}
+
+TEST(IncidentKind, RoundTripsThroughStrings) {
+  for (const IncidentKind kind : {IncidentKind::Outage, IncidentKind::Brownout,
+                                  IncidentKind::ThrottleStorm}) {
+    EXPECT_EQ(incident_kind_from_string(to_string(kind)), kind);
+  }
+  EXPECT_THROW(incident_kind_from_string("meteor_strike"), support::ContractViolation);
+}
+
+TEST(IncidentSchedule, EmptyScheduleIsTheIdentity) {
+  const IncidentSchedule schedule;
+  EXPECT_TRUE(schedule.empty());
+  EXPECT_FALSE(schedule.any_active(0.0));
+  EXPECT_FALSE(schedule.active_for(0, 123.0));
+
+  platform::FaultRates base;
+  base.transient_crash = 0.2;
+  base.straggler = 0.1;
+  base.straggler_multiplier = 6.0;
+  const platform::FaultRates out = schedule.modulate(base, 0, 500.0);
+  EXPECT_DOUBLE_EQ(out.transient_crash, base.transient_crash);
+  EXPECT_DOUBLE_EQ(out.straggler, base.straggler);
+  EXPECT_DOUBLE_EQ(out.straggler_multiplier, base.straggler_multiplier);
+}
+
+TEST(IncidentSchedule, OutageDrivesCrashRateAndSaturates) {
+  IncidentSchedule schedule;
+  schedule.add(make(IncidentKind::Outage, 100.0, 200.0, 0.0, 0.95));
+
+  platform::FaultRates base;
+  base.transient_crash = 0.2;
+  // Inside the window: 0.2 + 0.95 saturates at 1.
+  EXPECT_DOUBLE_EQ(schedule.modulate(base, 0, 150.0).transient_crash, 1.0);
+  // Outside: untouched.
+  EXPECT_DOUBLE_EQ(schedule.modulate(base, 0, 50.0).transient_crash, 0.2);
+  EXPECT_DOUBLE_EQ(schedule.modulate(base, 0, 250.0).transient_crash, 0.2);
+}
+
+TEST(IncidentSchedule, BrownoutRampScalesStragglerAndColdSpike) {
+  IncidentSchedule schedule;
+  schedule.add(make(IncidentKind::Brownout, 0.0, 100.0, 50.0, 0.8));
+
+  const platform::FaultRates base;  // all-zero probabilities
+  const platform::FaultRates mid = schedule.modulate(base, 2, 25.0);  // w = 0.5
+  EXPECT_DOUBLE_EQ(mid.straggler, 0.5 * 0.8);
+  EXPECT_DOUBLE_EQ(mid.cold_spike, 0.5 * 0.5 * 0.8);  // cold spikes at half weight
+  EXPECT_DOUBLE_EQ(mid.transient_crash, 0.0);
+  EXPECT_DOUBLE_EQ(mid.throttle, 0.0);
+  // Magnitudes stay the base model's.
+  EXPECT_DOUBLE_EQ(mid.straggler_multiplier, base.straggler_multiplier);
+  EXPECT_DOUBLE_EQ(mid.cold_spike_max_seconds, base.cold_spike_max_seconds);
+}
+
+TEST(IncidentSchedule, ThrottleStormOnlyTouchesThrottle) {
+  IncidentSchedule schedule;
+  schedule.add(make(IncidentKind::ThrottleStorm, 0.0, 10.0, 0.0, 0.7));
+  const platform::FaultRates out = schedule.modulate({}, 0, 5.0);
+  EXPECT_DOUBLE_EQ(out.throttle, 0.7);
+  EXPECT_DOUBLE_EQ(out.transient_crash, 0.0);
+  EXPECT_DOUBLE_EQ(out.straggler, 0.0);
+  EXPECT_DOUBLE_EQ(out.cold_spike, 0.0);
+}
+
+TEST(IncidentSchedule, OverlappingIncidentsAddPerTarget) {
+  // A platform-wide storm plus a correlated outage on nodes 1 and 2.
+  IncidentSchedule schedule;
+  schedule.add(make(IncidentKind::ThrottleStorm, 0.0, 1000.0, 0.0, 0.3));
+  schedule.add(make(IncidentKind::Outage, 100.0, 200.0, 0.0, 0.9, {1, 2}));
+
+  EXPECT_TRUE(schedule.active_for(0, 150.0));   // storm hits everyone
+  EXPECT_TRUE(schedule.active_for(1, 150.0));
+  EXPECT_FALSE(schedule.active_for(0, 1500.0));  // nothing active after last_end
+
+  const platform::FaultRates node0 = schedule.modulate({}, 0, 150.0);
+  EXPECT_DOUBLE_EQ(node0.throttle, 0.3);
+  EXPECT_DOUBLE_EQ(node0.transient_crash, 0.0);  // outage targets 1 and 2 only
+
+  const platform::FaultRates node1 = schedule.modulate({}, 1, 150.0);
+  EXPECT_DOUBLE_EQ(node1.throttle, 0.3);
+  EXPECT_DOUBLE_EQ(node1.transient_crash, 0.9);
+
+  EXPECT_DOUBLE_EQ(schedule.first_start(), 0.0);
+  EXPECT_DOUBLE_EQ(schedule.last_end(), 1000.0);
+}
+
+TEST(IncidentSchedule, AddAndConstructorValidate) {
+  IncidentSchedule schedule;
+  EXPECT_THROW(schedule.add(make(IncidentKind::Outage, 5.0, 5.0)),
+               support::ContractViolation);
+  EXPECT_THROW(IncidentSchedule({make(IncidentKind::Outage, 5.0, 5.0)}),
+               support::ContractViolation);
+  EXPECT_EQ(schedule.size(), 0u);  // the rejected incident was not added
+}
+
+}  // namespace
+}  // namespace aarc::chaos

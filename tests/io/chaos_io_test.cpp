@@ -1,0 +1,146 @@
+// Chaos profile IO: the committed reference profiles under data/chaos/ must
+// stay loadable against the workload they reference, round-trips must be
+// stable, and a corpus of malformed documents must fail with JsonError /
+// ContractViolation messages naming the field — never crash or throw
+// anything else.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "io/chaos_io.h"
+#include "io/json.h"
+#include "io/workflow_io.h"
+#include "support/contracts.h"
+#include "workloads/catalog.h"
+
+namespace aarc::io {
+namespace {
+
+/// data/ lives two levels above this source file (tests/io/ -> repo root).
+std::string chaos_path(const std::string& name) {
+  const std::string self = __FILE__;
+  const auto pos = self.rfind("/tests/");
+  return self.substr(0, pos) + "/data/chaos/" + name + ".json";
+}
+
+const platform::Workflow& chatbot() {
+  static const workloads::Workload workload = workloads::make_by_name("chatbot");
+  return workload.workflow;
+}
+
+class ReferenceProfiles : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ReferenceProfiles, LoadAndRoundTripStably) {
+  const Json doc = parse_json(read_text_file(chaos_path(GetParam())));
+  const chaos::IncidentSchedule schedule = chaos_profile_from_json(chatbot(), doc);
+  ASSERT_FALSE(schedule.empty());
+  EXPECT_NO_THROW(schedule.validate());
+  EXPECT_GT(schedule.last_end(), schedule.first_start());
+
+  // Serialize -> parse -> serialize must be a fixed point.
+  const Json once = chaos_profile_to_json(chatbot(), schedule, GetParam());
+  const chaos::IncidentSchedule reloaded = chaos_profile_from_json(chatbot(), once);
+  const Json twice = chaos_profile_to_json(chatbot(), reloaded, GetParam());
+  EXPECT_EQ(once.dump(), twice.dump());
+  ASSERT_EQ(reloaded.size(), schedule.size());
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    const chaos::Incident& a = schedule.incidents()[i];
+    const chaos::Incident& b = reloaded.incidents()[i];
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_DOUBLE_EQ(a.start_seconds, b.start_seconds);
+    EXPECT_DOUBLE_EQ(a.end_seconds, b.end_seconds);
+    EXPECT_DOUBLE_EQ(a.ramp_seconds, b.ramp_seconds);
+    EXPECT_DOUBLE_EQ(a.severity, b.severity);
+    EXPECT_EQ(a.targets, b.targets);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fixtures, ReferenceProfiles,
+                         ::testing::Values("outage", "brownout", "throttle_storm"));
+
+/// Load a profile string, demanding graceful rejection: JsonError or
+/// ContractViolation only, with `needle` somewhere in the message.
+void expect_rejected(const std::string& text, const std::string& needle) {
+  try {
+    (void)chaos_profile_from_json(chatbot(), parse_json(text));
+    FAIL() << "expected rejection of: " << text;
+  } catch (const JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "JsonError message '" << e.what() << "' lacks '" << needle << "'";
+  } catch (const support::ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "ContractViolation message '" << e.what() << "' lacks '" << needle << "'";
+  } catch (const std::exception& e) {
+    FAIL() << "wrong exception type for: " << text << " (" << e.what() << ")";
+  }
+}
+
+TEST(ChaosProfileCorpus, MalformedDocumentsFailGracefully) {
+  // Structurally broken JSON.
+  EXPECT_THROW(parse_json(R"({"incidents": [)"), JsonError);
+  EXPECT_THROW(parse_json(R"({"incidents": [], "incidents": []})"), JsonError);
+  EXPECT_THROW(parse_json(R"({"incidents": [{"severity": 1e999}]})"), JsonError);
+
+  // Wrong shapes and types, each named in the error.
+  expect_rejected(R"([1, 2, 3])", "must be a JSON object");
+  expect_rejected(R"({"name": "p"})", "incidents");
+  expect_rejected(R"({"incidents": {}})", "'incidents' must be an array");
+  expect_rejected(R"({"incidents": [42]})", "must be a JSON object");
+  expect_rejected(R"({"incidents": [{}]})", "kind");
+  expect_rejected(R"({"incidents": [{"kind": 3}]})", "'kind' must be a string");
+  expect_rejected(
+      R"({"incidents": [{"kind": "meteor", "start_seconds": 0, "end_seconds": 1}]})",
+      "meteor");
+  expect_rejected(R"({"incidents": [{"kind": "outage", "end_seconds": 1}]})",
+                  "start_seconds");
+  expect_rejected(R"({"incidents": [{"kind": "outage", "start_seconds": 0}]})",
+                  "end_seconds");
+  expect_rejected(
+      R"({"incidents": [{"kind": "outage", "start_seconds": "soon", "end_seconds": 9}]})",
+      "'start_seconds' must be a number");
+  expect_rejected(
+      R"({"incidents": [{"kind": "outage", "start_seconds": 0, "end_seconds": 9,
+          "targets": "all"}]})",
+      "'targets' must be an array");
+  expect_rejected(
+      R"({"incidents": [{"kind": "outage", "start_seconds": 0, "end_seconds": 9,
+          "targets": [7]}]})",
+      "targets must be strings");
+
+  // Semantically invalid values and unknown target functions.
+  expect_rejected(
+      R"({"incidents": [{"kind": "outage", "start_seconds": 9, "end_seconds": 9}]})",
+      "window");
+  expect_rejected(
+      R"({"incidents": [{"kind": "outage", "start_seconds": 0, "end_seconds": 9,
+          "severity": 2.5}]})",
+      "severity");
+  expect_rejected(
+      R"({"incidents": [{"kind": "outage", "start_seconds": 0, "end_seconds": 9,
+          "targets": ["no_such_fn"]}]})",
+      "no_such_fn");
+}
+
+TEST(ChaosProfileCorpus, HostileNestingHitsTheDepthCapNotTheStack) {
+  std::string bomb = R"({"incidents": )";
+  bomb.append(5000, '[');
+  bomb.append(5000, ']');
+  bomb += "}";
+  try {
+    (void)parse_json(bomb);
+    FAIL() << "expected the depth cap to reject the document";
+  } catch (const JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("depth limit"), std::string::npos) << e.what();
+  }
+}
+
+TEST(ChaosProfileCorpus, EmptyIncidentListIsAValidNoOpProfile) {
+  const chaos::IncidentSchedule schedule =
+      chaos_profile_from_json(chatbot(), parse_json(R"({"incidents": []})"));
+  EXPECT_TRUE(schedule.empty());
+}
+
+}  // namespace
+}  // namespace aarc::io

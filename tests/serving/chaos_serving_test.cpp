@@ -1,0 +1,204 @@
+// The serving engine under chaos incidents and the graceful-degradation
+// stack: an inactive schedule changes nothing bit-for-bit, an outage trips
+// circuit breakers into fast-fails and the function recovers after the
+// window, shedding bounds the queue under overload, and hedging cuts the
+// straggler tail — all deterministic from the engine seed.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "chaos/incident.h"
+#include "perf/analytic.h"
+#include "platform/pricing.h"
+#include "serving/engine.h"
+
+namespace aarc::serving {
+namespace {
+
+std::unique_ptr<perf::PerfModel> fn(double serial) {
+  perf::AnalyticParams p;
+  p.serial_seconds = serial;
+  p.working_set_mb = 256.0;
+  p.min_memory_mb = 128.0;
+  p.pressure_coeff = 0.0;
+  return std::make_unique<perf::AnalyticModel>(p);
+}
+
+platform::Workflow solo(double serial = 1.0) {
+  platform::Workflow wf("solo");
+  wf.add_function("only", fn(serial));
+  return wf;
+}
+
+const platform::DecoupledLinearPricing kPricing;
+
+chaos::Incident outage(double start, double end, double severity = 1.0) {
+  chaos::Incident incident;
+  incident.kind = chaos::IncidentKind::Outage;
+  incident.start_seconds = start;
+  incident.end_seconds = end;
+  incident.severity = severity;
+  return incident;
+}
+
+StreamingReport run_poisson(const platform::Workflow& wf, const EngineOptions& opts,
+                            std::size_t count, double rate,
+                            std::uint64_t arrival_seed) {
+  ArrivalLimits limits;
+  limits.max_requests = count;
+  PoissonProcess arrivals(rate, ScaleSpec{}, limits, arrival_seed);
+  const ServingEngine engine(wf, kPricing, opts);
+  return engine.run(arrivals,
+                    platform::uniform_config(wf.function_count(), {1.0, 512.0}));
+}
+
+TEST(ChaosServing, InactiveScheduleIsBitIdenticalToNoChaos) {
+  // A schedule whose only incident lies far beyond the traffic horizon must
+  // not change a single bit of the run: same RNG consumption, same outcomes.
+  const platform::Workflow wf = solo();
+  EngineOptions base;
+  base.seed = 404;
+  base.retain_outcomes = true;
+  platform::FaultRates rates;
+  rates.transient_crash = 0.1;
+  rates.straggler = 0.1;
+  base.faults = platform::FaultModel{rates};
+  base.retry.max_attempts = 2;
+
+  EngineOptions with_chaos = base;
+  with_chaos.chaos.add(outage(1e7, 1e7 + 100.0));
+
+  const StreamingReport a = run_poisson(wf, base, 300, 0.3, 99);
+  const StreamingReport b = run_poisson(wf, with_chaos, 300, 0.3, 99);
+
+  EXPECT_EQ(b.chaos_modulated_attempts, 0u);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.failed_requests, b.failed_requests);
+  EXPECT_EQ(a.cold_starts, b.cold_starts);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.total_cost, b.total_cost);  // exact: identical event order
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_EQ(a.outcomes[i].completion, b.outcomes[i].completion) << "request " << i;
+    EXPECT_EQ(a.outcomes[i].cost, b.outcomes[i].cost) << "request " << i;
+  }
+}
+
+TEST(ChaosServing, OutageTripsBreakersFastFailsAndRecovers) {
+  const platform::Workflow wf = solo();
+  EngineOptions opts;
+  opts.seed = 7;
+  opts.retain_outcomes = true;
+  opts.chaos.add(outage(100.0, 400.0));  // severity 1: every attempt crashes
+  opts.resilience.breaker.enabled = true;
+  opts.resilience.breaker.window = 10;
+  opts.resilience.breaker.min_attempts = 5;
+  opts.resilience.breaker.failure_threshold = 0.6;
+  opts.resilience.breaker.open_seconds = 50.0;
+
+  const StreamingReport report = run_poisson(wf, opts, 400, 0.5, 21);
+
+  EXPECT_GT(report.chaos_modulated_attempts, 0u);
+  EXPECT_GE(report.breaker_opens, 1u);
+  EXPECT_GT(report.breaker_fastfail_requests, 0u);
+  EXPECT_GT(report.completed, 0u);
+
+  bool recovered = false;
+  for (const RequestOutcome& out : report.outcomes) {
+    if (out.breaker_fastfail) {
+      // Fast-fails never touch the platform: no attempts, no bill.
+      EXPECT_TRUE(out.failed);
+      EXPECT_EQ(out.invocations, 0u);
+      EXPECT_DOUBLE_EQ(out.cost, 0.0);
+    }
+    // Past the incident plus one hold-off, the half-open probe has closed
+    // the breaker and traffic flows again.
+    if (!out.failed && out.arrival > 500.0) recovered = true;
+  }
+  EXPECT_TRUE(recovered);
+
+  // Deterministic from the seed: an identical run reproduces every counter.
+  const StreamingReport again = run_poisson(wf, opts, 400, 0.5, 21);
+  EXPECT_EQ(again.breaker_fastfail_requests, report.breaker_fastfail_requests);
+  EXPECT_EQ(again.breaker_opens, report.breaker_opens);
+  EXPECT_EQ(again.completed, report.completed);
+  EXPECT_EQ(again.total_cost, report.total_cost);
+}
+
+TEST(ChaosServing, WithoutBreakersTheOutageBurnsAttemptsInstead) {
+  // Control run for the breaker test: same outage, breakers off — every
+  // in-window request burns real (billed) attempts and there are no
+  // fast-fails.  This is the cost the breaker exists to avoid.
+  const platform::Workflow wf = solo();
+  EngineOptions opts;
+  opts.seed = 7;
+  opts.chaos.add(outage(100.0, 400.0));
+  opts.retry.max_attempts = 3;
+
+  const StreamingReport report = run_poisson(wf, opts, 400, 0.5, 21);
+  EXPECT_EQ(report.breaker_fastfail_requests, 0u);
+  EXPECT_EQ(report.breaker_opens, 0u);
+  EXPECT_GT(report.failed_after_retries, 0u);
+  EXPECT_GT(report.retries, 0u);
+}
+
+TEST(ChaosServing, SheddingBoundsTheQueueUnderOverload) {
+  // One container serving 2 s work against 2 rps arrivals: the queue grows
+  // without bound unless shedding drops the low-priority half at the door.
+  const platform::Workflow wf = solo(2.0);
+  EngineOptions base;
+  base.seed = 11;
+  base.retain_outcomes = true;
+  base.max_containers_per_function = 1;
+
+  EngineOptions shedding = base;
+  shedding.resilience.shed.queue_high_watermark = 20;
+  shedding.resilience.shed.sheddable_fraction = 0.5;
+
+  const StreamingReport unshed = run_poisson(wf, base, 300, 2.0, 5);
+  const StreamingReport shed = run_poisson(wf, shedding, 300, 2.0, 5);
+
+  EXPECT_EQ(unshed.shed_requests, 0u);
+  EXPECT_GT(shed.shed_requests, 0u);
+  EXPECT_LT(shed.shed_requests, shed.requests);  // high-priority half survives
+  EXPECT_LE(shed.peak_queue_depth, unshed.peak_queue_depth);
+
+  for (const RequestOutcome& out : shed.outcomes) {
+    if (!out.shed) continue;
+    // Dropped at the door: failed, never invoked, never billed.
+    EXPECT_TRUE(out.failed);
+    EXPECT_EQ(out.invocations, 0u);
+    EXPECT_DOUBLE_EQ(out.cost, 0.0);
+  }
+}
+
+TEST(ChaosServing, HedgingCutsTheStragglerTail) {
+  // 20% stragglers at 10x runtime; a hedge fires once a clean attempt's
+  // sampled duration exceeds 2 s, so only stragglers hedge.  A request stays
+  // slow only when primary AND hedge both straggle (4%), so the p95 falls
+  // from the ~10 s straggler plateau to the hedge's cold start + runtime.
+  const platform::Workflow wf = solo();
+  EngineOptions base;
+  base.seed = 31;
+  platform::FaultRates rates;
+  rates.straggler = 0.2;
+  rates.straggler_multiplier = 10.0;
+  base.faults = platform::FaultModel{rates};
+
+  EngineOptions hedged = base;
+  hedged.resilience.hedge.delay_seconds = 2.0;
+
+  const StreamingReport plain = run_poisson(wf, base, 500, 0.05, 77);
+  const StreamingReport fast = run_poisson(wf, hedged, 500, 0.05, 77);
+
+  EXPECT_EQ(plain.hedges, 0u);
+  EXPECT_GT(fast.hedges, 0u);
+  EXPECT_GT(fast.hedge_wins, 0u);
+  EXPECT_GT(fast.hedge_win_rate(), 0.5);  // most hedges beat a 10x straggler
+  EXPECT_EQ(fast.completed, fast.requests);  // hedging never fails a request
+  EXPECT_LT(fast.latency_p95(), 0.7 * plain.latency_p95());
+  EXPECT_LT(fast.latency.mean, plain.latency.mean);
+}
+
+}  // namespace
+}  // namespace aarc::serving

@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "chaos/incident.h"
 #include "perf/analytic.h"
 #include "platform/pricing.h"
 #include "serving/engine.h"
@@ -52,6 +53,7 @@ EngineOptions mirror(const ServingOptions& legacy) {
   opts.faults = legacy.faults;
   opts.retry = legacy.retry;
   opts.seed = legacy.seed;
+  opts.chaos = legacy.chaos;
   opts.retain_outcomes = true;
   return opts;
 }
@@ -144,6 +146,38 @@ TEST(EngineVsHeap, FaultyTrafficWithRetriesAndTimeouts) {
   opts.retry.timeout_seconds = 60.0;
   expect_bit_identical(diamond(), opts, platform::uniform_config(4, {1.0, 512.0}),
                        300, 0.15, 57);
+}
+
+TEST(EngineVsHeap, ChaosIncidentsModulateBothEnginesIdentically) {
+  // Time-varying fault rates on top of base faults and retries: both engines
+  // must sample the modulated rates at the same instants and stay exact.
+  ServingOptions opts;
+  opts.seed = 77;
+  platform::FaultRates rates;
+  rates.transient_crash = 0.05;
+  rates.straggler = 0.05;
+  opts.faults = platform::FaultModel{rates};
+  opts.retry.max_attempts = 3;
+  opts.retry.timeout_seconds = 90.0;
+
+  chaos::Incident brownout;
+  brownout.kind = chaos::IncidentKind::Brownout;
+  brownout.start_seconds = 200.0;
+  brownout.end_seconds = 1200.0;
+  brownout.ramp_seconds = 100.0;
+  brownout.severity = 0.5;
+  opts.chaos.add(brownout);
+
+  chaos::Incident outage;
+  outage.kind = chaos::IncidentKind::Outage;
+  outage.start_seconds = 500.0;
+  outage.end_seconds = 800.0;
+  outage.severity = 0.7;
+  outage.targets = {1, 2};  // correlated failure of the diamond's middle pair
+  opts.chaos.add(outage);
+
+  expect_bit_identical(diamond(), opts, platform::uniform_config(4, {1.0, 512.0}),
+                       300, 0.2, 43);
 }
 
 TEST(EngineVsHeap, OutOfMemoryConfigurations) {

@@ -13,6 +13,7 @@
 #include "platform/pricing.h"
 #include "serving/engine.h"
 #include "serving/reconfigurator.h"
+#include "support/contracts.h"
 #include "support/statistics.h"
 #include "workloads/catalog.h"
 
@@ -62,8 +63,9 @@ struct Harness {
 
 TEST(OnlineReconfig, DriftTriggersLaggedActivatedSwaps) {
   const Harness h;
-  const ServingEngine engine(h.workload.workflow, platform::DecoupledLinearPricing{},
-                             h.engine_options());
+  // The engine keeps a pointer to the pricing model: it must outlive the run.
+  const platform::DecoupledLinearPricing pricing;
+  const ServingEngine engine(h.workload.workflow, pricing, h.engine_options());
   OnlineReconfigurator reconfigurator(h.workload, h.executor, h.grid, h.config,
                                       h.expected_makespan, h.reconfig_options());
   auto arrivals = h.drifting_arrivals();
@@ -91,8 +93,8 @@ TEST(OnlineReconfig, DriftTriggersLaggedActivatedSwaps) {
 
 TEST(OnlineReconfig, SwapRecoversSloAttainmentAfterDrift) {
   const Harness h;
-  const ServingEngine engine(h.workload.workflow, platform::DecoupledLinearPricing{},
-                             h.engine_options());
+  const platform::DecoupledLinearPricing pricing;
+  const ServingEngine engine(h.workload.workflow, pricing, h.engine_options());
   OnlineReconfigurator reconfigurator(h.workload, h.executor, h.grid, h.config,
                                       h.expected_makespan, h.reconfig_options());
   auto arrivals = h.drifting_arrivals();
@@ -149,6 +151,64 @@ TEST(OnlineReconfig, ReconfigurationBeatsFixedConfigOnPostDriftTail) {
   EXPECT_LT(swapped_p95, fixed_p95);
   // And the headline attainment moves the same way.
   EXPECT_GT(swapped_report.slo_attainment(), fixed_report.slo_attainment());
+}
+
+TEST(OnlineReconfig, InfeasibleDriftDeploysDegradedFallback) {
+  // A 40x input-scale drift makes the SLO unreachable at any configuration.
+  // Without the fallback the reconfigurator keeps the drifted config; with it
+  // a degraded configuration (relaxed SLO or grid-max) is deployed instead.
+  Harness h;
+  ScaleSpec drift;
+  drift.drift_time = 100.0;
+  drift.drift_factor = 40.0;
+  ArrivalLimits limits;
+  limits.max_requests = 400;
+
+  const platform::DecoupledLinearPricing pricing;
+  const ServingEngine engine(h.workload.workflow, pricing, h.engine_options());
+
+  ReconfigOptions opts = h.reconfig_options();
+  opts.fallback_degraded = true;
+  // The infeasible re-runs burn thousands of probes; a per-sample lag would
+  // push activation past the end of the stream.  This test is about the
+  // fallback logic, not lag modeling.
+  opts.lag_per_sample_seconds = 0.0;
+  OnlineReconfigurator reconfigurator(h.workload, h.executor, h.grid, h.config,
+                                      h.expected_makespan, opts);
+  PoissonProcess arrivals(0.5, drift, limits, 77);
+  (void)engine.run(arrivals, reconfigurator);
+
+  ASSERT_GE(reconfigurator.reconfigurations(), 1u);
+  EXPECT_GE(reconfigurator.degraded_fallbacks(), 1u);
+  // The drift never reverts, so recovery attempts keep failing and the run
+  // ends still serving the degraded fallback.
+  EXPECT_TRUE(reconfigurator.degraded());
+
+  bool saw_degraded_swap = false;
+  for (const ReconfigEvent& ev : reconfigurator.events()) {
+    if (ev.degraded) {
+      saw_degraded_swap = true;
+      EXPECT_TRUE(ev.activated);  // the fallback really went live
+    }
+  }
+  EXPECT_TRUE(saw_degraded_swap);
+
+  // Same stream without the fallback: nothing degraded is ever deployed.
+  OnlineReconfigurator keeper(h.workload, h.executor, h.grid, h.config,
+                              h.expected_makespan, h.reconfig_options());
+  arrivals.reset();
+  (void)engine.run(arrivals, keeper);
+  EXPECT_EQ(keeper.degraded_fallbacks(), 0u);
+  EXPECT_FALSE(keeper.degraded());
+}
+
+TEST(OnlineReconfig, DegradedOptionsValidate) {
+  ReconfigOptions opts;
+  opts.fallback_degraded = true;
+  opts.degraded_slo_factor = 0.9;  // a "relaxed" SLO tighter than the real one
+  EXPECT_THROW(opts.validate(), support::ContractViolation);
+  opts.degraded_slo_factor = 1.0;
+  EXPECT_NO_THROW(opts.validate());
 }
 
 }  // namespace

@@ -1,0 +1,199 @@
+// Unit coverage of the graceful-degradation primitives: the circuit-breaker
+// state machine (trip threshold, hold-off, half-open probe accounting, stale
+// completions), the deterministic shed lottery, and option validation.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "serving/resilience.h"
+#include "support/contracts.h"
+
+namespace aarc::serving {
+namespace {
+
+BreakerOptions small_breaker() {
+  BreakerOptions opts;
+  opts.enabled = true;
+  opts.window = 8;
+  opts.min_attempts = 4;
+  opts.failure_threshold = 0.5;
+  opts.open_seconds = 30.0;
+  opts.half_open_probes = 1;
+  return opts;
+}
+
+TEST(CircuitBreaker, DisabledBreakerAlwaysAllowsAndNeverTrips) {
+  CircuitBreaker breaker{BreakerOptions{}};
+  for (int i = 0; i < 100; ++i) breaker.record_failure(static_cast<double>(i));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::Closed);
+  EXPECT_TRUE(breaker.allow(1000.0));
+  EXPECT_EQ(breaker.times_opened(), 0u);
+}
+
+TEST(CircuitBreaker, StaysClosedBelowMinAttempts) {
+  CircuitBreaker breaker{small_breaker()};
+  breaker.record_failure(1.0);
+  breaker.record_failure(2.0);
+  breaker.record_failure(3.0);  // 3 failures < min_attempts = 4
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::Closed);
+  EXPECT_TRUE(breaker.allow(4.0));
+}
+
+TEST(CircuitBreaker, TripsAtTheWindowedFailureThreshold) {
+  CircuitBreaker breaker{small_breaker()};
+  breaker.record_success(1.0);
+  breaker.record_success(2.0);
+  breaker.record_failure(3.0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::Closed);  // 1/3, below min
+  breaker.record_failure(4.0);  // 2/4 failures >= threshold 0.5 at min attempts
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::Open);
+  EXPECT_EQ(breaker.times_opened(), 1u);
+  EXPECT_FALSE(breaker.allow(4.0));
+}
+
+TEST(CircuitBreaker, SlidingWindowForgetsOldOutcomes) {
+  BreakerOptions opts = small_breaker();
+  opts.window = 2;
+  opts.min_attempts = 2;
+  opts.failure_threshold = 1.0;  // trip only on an all-failure window
+  CircuitBreaker breaker{opts};
+  breaker.record_failure(1.0);
+  breaker.record_success(2.0);
+  breaker.record_success(3.0);
+  breaker.record_failure(4.0);  // window is now {success, failure}: no trip
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::Closed);
+  breaker.record_failure(5.0);  // window {failure, failure}: trips
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::Open);
+}
+
+TEST(CircuitBreaker, HoldOffThenHalfOpenProbeBudget) {
+  CircuitBreaker breaker{small_breaker()};
+  for (int i = 0; i < 4; ++i) breaker.record_failure(100.0);
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::Open);
+
+  EXPECT_FALSE(breaker.allow(129.9));  // hold-off (30 s) not yet elapsed
+  // allow() is a pure admission query: repeated calls do not burn probes.
+  EXPECT_TRUE(breaker.allow(130.0));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::HalfOpen);
+  EXPECT_TRUE(breaker.allow(130.5));
+
+  breaker.on_attempt_start();          // the probe actually launches
+  EXPECT_FALSE(breaker.allow(131.0));  // probe budget (1) exhausted
+}
+
+TEST(CircuitBreaker, HealthyProbeClosesOnAFreshWindow) {
+  CircuitBreaker breaker{small_breaker()};
+  for (int i = 0; i < 4; ++i) breaker.record_failure(100.0);
+  ASSERT_TRUE(breaker.allow(130.0));
+  breaker.on_attempt_start();
+  breaker.record_success(131.0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::Closed);
+  EXPECT_TRUE(breaker.allow(131.0));
+  // The window restarted: it takes a full min_attempts of failures to
+  // re-trip, not a leftover from before the outage.
+  breaker.record_failure(132.0);
+  breaker.record_failure(133.0);
+  breaker.record_failure(134.0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::Closed);
+  breaker.record_failure(135.0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::Open);
+  EXPECT_EQ(breaker.times_opened(), 2u);
+}
+
+TEST(CircuitBreaker, FailedProbeReopensImmediately) {
+  CircuitBreaker breaker{small_breaker()};
+  for (int i = 0; i < 4; ++i) breaker.record_failure(100.0);
+  ASSERT_TRUE(breaker.allow(130.0));
+  breaker.on_attempt_start();
+  breaker.record_failure(140.0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::Open);
+  EXPECT_EQ(breaker.times_opened(), 2u);
+  EXPECT_FALSE(breaker.allow(169.9));  // hold-off restarts from the re-open
+  EXPECT_TRUE(breaker.allow(170.0));
+}
+
+TEST(CircuitBreaker, StaleCompletionsWhileOpenAreIgnored) {
+  CircuitBreaker breaker{small_breaker()};
+  for (int i = 0; i < 4; ++i) breaker.record_failure(100.0);
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::Open);
+  // In-flight attempts from before the trip finish while the breaker is
+  // open; they must not pollute the post-recovery window or close anything.
+  breaker.record_success(101.0);
+  breaker.record_failure(102.0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::Open);
+  EXPECT_EQ(breaker.times_opened(), 1u);
+}
+
+TEST(BreakerOptions, ValidateRejectsBadKnobsWithValues) {
+  BreakerOptions opts = small_breaker();
+  opts.failure_threshold = 0.0;
+  EXPECT_THROW(opts.validate(), support::ContractViolation);
+  opts = small_breaker();
+  opts.failure_threshold = 1.5;
+  try {
+    opts.validate();
+    FAIL() << "expected ContractViolation";
+  } catch (const support::ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("1.5"), std::string::npos) << e.what();
+  }
+  opts = small_breaker();
+  opts.min_attempts = 20;  // > window
+  EXPECT_THROW(opts.validate(), support::ContractViolation);
+  opts = small_breaker();
+  opts.half_open_probes = 0;
+  EXPECT_THROW(opts.validate(), support::ContractViolation);
+  // Disabled options skip validation entirely (nothing can fire).
+  opts = BreakerOptions{};
+  opts.failure_threshold = -3.0;
+  EXPECT_NO_THROW(opts.validate());
+}
+
+TEST(ShedOptions, LotteryIsDeterministicAndSeedIndependent) {
+  ShedOptions opts;
+  opts.queue_high_watermark = 100;
+  opts.sheddable_fraction = 0.5;
+  std::size_t shed = 0;
+  for (std::size_t index = 0; index < 10000; ++index) {
+    const bool first = opts.sheddable(index);
+    EXPECT_EQ(first, opts.sheddable(index));  // pure function of the index
+    if (first) ++shed;
+  }
+  // The Knuth hash spreads the lottery near the requested fraction.
+  EXPECT_NEAR(static_cast<double>(shed) / 10000.0, 0.5, 0.05);
+
+  opts.sheddable_fraction = 0.0;
+  EXPECT_FALSE(opts.sheddable(7));
+  opts.sheddable_fraction = 1.0;
+  EXPECT_TRUE(opts.sheddable(7));
+}
+
+TEST(ShedOptions, WatermarksDefaultAndValidate) {
+  ShedOptions opts;
+  opts.queue_high_watermark = 64;
+  EXPECT_EQ(opts.effective_low_watermark(), 32u);  // default: half the high
+  opts.queue_low_watermark = 8;
+  EXPECT_EQ(opts.effective_low_watermark(), 8u);
+  EXPECT_NO_THROW(opts.validate());
+  opts.queue_low_watermark = 65;
+  EXPECT_THROW(opts.validate(), support::ContractViolation);
+  opts.queue_low_watermark = 0;
+  opts.sheddable_fraction = 1.2;
+  EXPECT_THROW(opts.validate(), support::ContractViolation);
+}
+
+TEST(ResilienceOptions, DefaultIsFullyDisabled) {
+  const ResilienceOptions opts;
+  EXPECT_FALSE(opts.any_enabled());
+  EXPECT_FALSE(opts.hedge.enabled());
+  EXPECT_FALSE(opts.shed.enabled());
+  EXPECT_NO_THROW(opts.validate());
+
+  ResilienceOptions hedged;
+  hedged.hedge.delay_seconds = 12.0;
+  EXPECT_TRUE(hedged.any_enabled());
+  hedged.hedge.delay_seconds = -1.0;
+  EXPECT_THROW(hedged.validate(), support::ContractViolation);
+}
+
+}  // namespace
+}  // namespace aarc::serving

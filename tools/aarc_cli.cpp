@@ -29,6 +29,7 @@
 #include "baselines/random_search.h"
 #include "dag/critical_path.h"
 #include "dag/dot.h"
+#include "io/chaos_io.h"
 #include "io/trace_io.h"
 #include "io/workflow_io.h"
 #include "obs/manifest.h"
@@ -116,17 +117,43 @@ search::EvaluatorOptions search_evaluator_options(const Args& args) {
 }
 
 /// Fault-injection flags shared by schedule/simulate/serve: --fault-rate,
-/// --straggler-rate, --retries, --retry-backoff, --timeout.
+/// --straggler-rate, --retries, --retry-backoff, --timeout.  Out-of-range
+/// values fail with the flag name, the offending value and the valid range,
+/// so the fix is obvious from the message alone.
 platform::ExecutorOptions fault_executor_options(const Args& args) {
+  const auto require_probability = [&](const char* flag, double value) {
+    if (value < 0.0 || value > 1.0) {
+      throw std::runtime_error("--" + std::string(flag) + " must be in [0, 1] (got " +
+                               support::format_double(value, 3) + ")");
+    }
+    return value;
+  };
+  const auto require_non_negative = [&](const char* flag, double value) {
+    if (value < 0.0) {
+      throw std::runtime_error("--" + std::string(flag) +
+                               " must be non-negative (got " +
+                               support::format_double(value, 3) + ")");
+    }
+    return value;
+  };
   platform::ExecutorOptions opts;
   platform::FaultRates rates;
-  rates.transient_crash = option_number(args, "fault-rate", 0.0);
-  rates.straggler = option_number(args, "straggler-rate", 0.0);
+  rates.transient_crash =
+      require_probability("fault-rate", option_number(args, "fault-rate", 0.0));
+  rates.straggler =
+      require_probability("straggler-rate", option_number(args, "straggler-rate", 0.0));
   rates.validate();
   opts.faults = platform::FaultModel{rates};
-  opts.retry.max_attempts = static_cast<std::size_t>(option_number(args, "retries", 1));
-  opts.retry.backoff_initial_seconds = option_number(args, "retry-backoff", 0.5);
-  opts.retry.timeout_seconds = option_number(args, "timeout", 0.0);
+  const double retries = option_number(args, "retries", 1);
+  if (retries < 1.0) {
+    throw std::runtime_error("--retries must be >= 1 (got " +
+                             support::format_double(retries, 0) + ")");
+  }
+  opts.retry.max_attempts = static_cast<std::size_t>(retries);
+  opts.retry.backoff_initial_seconds =
+      require_non_negative("retry-backoff", option_number(args, "retry-backoff", 0.5));
+  opts.retry.timeout_seconds =
+      require_non_negative("timeout", option_number(args, "timeout", 0.0));
   opts.retry.validate();
   return opts;
 }
@@ -362,6 +389,26 @@ int cmd_serve(const Args& args) {
   eopts.faults = fault_opts.faults;
   eopts.retry = fault_opts.retry;
 
+  // --chaos: a JSON incident profile layered over the fault rates
+  // (doc/RESILIENCE.md).  Errors carry the file name so a bad profile is
+  // diagnosable from the message alone.
+  const auto chaos_path = args.options.find("chaos");
+  if (chaos_path != args.options.end()) {
+    try {
+      eopts.chaos = io::chaos_profile_from_json(
+          w.workflow, io::parse_json(io::read_text_file(chaos_path->second)));
+    } catch (const std::exception& e) {
+      throw std::runtime_error("chaos profile " + chaos_path->second + ": " +
+                               e.what());
+    }
+  }
+  eopts.resilience.breaker.enabled = option_switch(args, "breaker", false);
+  eopts.resilience.hedge.delay_seconds = option_number(args, "hedge-delay", 0.0);
+  eopts.resilience.shed.queue_high_watermark =
+      static_cast<std::size_t>(option_number(args, "shed-watermark", 0));
+  eopts.resilience.shed.sheddable_fraction =
+      option_number(args, "shed-fraction", 0.5);
+
   auto arrivals = make_arrivals(args);
   const serving::ServingEngine engine(w.workflow, pricing, eopts);
 
@@ -380,6 +427,7 @@ int cmd_serve(const Args& args) {
     ropts.attainment_window = static_cast<std::size_t>(option_number(
         args, "reconfig-window",
         static_cast<double>(ropts.min_outcomes_between_reconfigs)));
+    ropts.fallback_degraded = option_switch(args, "degraded-fallback", false);
     reconfigurator = std::make_unique<serving::OnlineReconfigurator>(
         w, ex, grid, std::move(config), expected, ropts);
     report = engine.run(*arrivals, *reconfigurator);
@@ -421,6 +469,16 @@ int cmd_serve(const Args& args) {
               << report.retired_containers << " retired (" << report.autoscale_ups
               << " up / " << report.autoscale_downs << " down ticks)\n";
   }
+  if (!eopts.chaos.empty()) {
+    std::cout << "chaos: " << eopts.chaos.size() << " incidents, "
+              << report.chaos_modulated_attempts << " attempts modulated\n";
+  }
+  if (eopts.resilience.any_enabled()) {
+    std::cout << "resilience: " << report.breaker_opens << " breaker opens, "
+              << report.breaker_fastfail_requests << " fast-failed, "
+              << report.shed_requests << " shed, " << report.hedges << " hedges ("
+              << report.hedge_wins << " won)\n";
+  }
   if (reconfigurator != nullptr) {
     std::cout << "reconfigurations: " << reconfigurator->reconfigurations() << " ("
               << reconfigurator->scheduling_samples() << " samples)\n";
@@ -428,7 +486,8 @@ int cmd_serve(const Args& args) {
       std::cout << "  trigger t=" << support::format_double(ev.trigger_time, 1)
                 << " s, lag " << support::format_double(ev.lag_seconds, 1)
                 << " s, scale " << support::format_double(ev.new_scale, 2)
-                << (ev.activated ? "" : " (not activated)") << ", attainment "
+                << (ev.activated ? "" : " (not activated)")
+                << (ev.degraded ? " (degraded fallback)" : "") << ", attainment "
                 << support::format_percent(ev.pre_slo_attainment, 1) << " -> "
                 << (ev.post_window_complete
                         ? support::format_percent(ev.post_slo_attainment, 1)
@@ -597,6 +656,19 @@ int usage() {
                "  --window S           aggregate a throughput/SLO time series\n"
                "  --timeline file.csv  write the per-request timeline\n"
                "  --windows file.csv   write the windowed series (needs --window)\n"
+               "chaos + resilience (serve; see doc/RESILIENCE.md):\n"
+               "  --chaos file.json    incident profile (outages, brownouts,\n"
+               "                       throttle storms) over simulated time\n"
+               "  --breaker on|off     per-function circuit breakers (default off)\n"
+               "  --hedge-delay S      hedge straggling attempts after S seconds\n"
+               "                       (0 = off)\n"
+               "  --shed-watermark N   shed low-priority arrivals while more than\n"
+               "                       N invocations queue (0 = off)\n"
+               "  --shed-fraction F    fraction of requests sheddable (default 0.5)\n"
+               "  --degraded-fallback on|off\n"
+               "                       online-reconfig: deploy a relaxed-SLO or\n"
+               "                       grid-max config when rescheduling is\n"
+               "                       infeasible; recover when feasible again\n"
                "faults (schedule | simulate | serve):\n"
                "  --fault-rate P       transient crash probability per invocation\n"
                "  --straggler-rate P   straggler (slowdown) probability\n"
