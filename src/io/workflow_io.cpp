@@ -162,13 +162,48 @@ Json workload_to_json(const workloads::Workload& workload) {
 
 workloads::Workload workload_from_json(const Json& doc) {
   platform::Workflow wf(doc.at("name").as_string());
-  for (const auto& f : doc.at("functions").as_array()) {
-    wf.add_function(f.at("name").as_string(), model_from_json(f.at("model")));
+
+  // Schema-level validation up front, with messages that name the offending
+  // entry: duplicate function names, edges referencing unknown functions,
+  // self-loops and cycles would otherwise surface as bare contract
+  // violations from the DAG layer.
+  std::map<std::string, std::size_t> names;
+  const auto& functions = doc.at("functions").as_array();
+  if (functions.empty()) {
+    throw JsonError("workflow '" + wf.name() + "' declares no functions");
   }
+  for (const auto& f : functions) {
+    const std::string& name = f.at("name").as_string();
+    if (name.empty()) {
+      throw JsonError("workflow '" + wf.name() + "' has a function with an empty name");
+    }
+    if (!names.emplace(name, names.size()).second) {
+      throw JsonError("duplicate function name '" + name + "' in workflow '" +
+                      wf.name() + "'");
+    }
+    wf.add_function(name, model_from_json(f.at("model")));
+  }
+
   for (const auto& e : doc.at("edges").as_array()) {
     const auto& pair = e.as_array();
     if (pair.size() != 2) throw JsonError("edges must be [from, to] pairs");
-    wf.add_edge(pair[0].as_string(), pair[1].as_string());
+    const std::string& from = pair[0].as_string();
+    const std::string& to = pair[1].as_string();
+    for (const std::string& endpoint : {from, to}) {
+      if (names.find(endpoint) == names.end()) {
+        throw JsonError("edge [\"" + from + "\", \"" + to +
+                        "\"] references unknown function '" + endpoint + "'");
+      }
+    }
+    if (from == to) {
+      throw JsonError("edge [\"" + from + "\", \"" + to +
+                      "\"] is a self-loop; a function cannot depend on itself");
+    }
+    wf.add_edge(from, to);
+  }
+  if (!wf.graph().is_acyclic()) {
+    throw JsonError("workflow '" + wf.name() +
+                    "' has cyclic edges; dependencies must form a DAG");
   }
   wf.validate();
 

@@ -1,0 +1,277 @@
+#include "scenario/audit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "aarc/scheduler.h"
+#include "platform/pricing.h"
+#include "scenario/scenario_io.h"
+#include "serving/engine.h"
+#include "serving/simulator.h"
+
+namespace aarc::scenario {
+
+namespace {
+
+void add(std::vector<AuditViolation>& out, const Scenario& scenario,
+         std::string invariant, std::string detail) {
+  out.push_back(AuditViolation{scenario.name, std::move(invariant), std::move(detail)});
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string to_string(const AuditViolation& violation) {
+  return violation.scenario + " [" + violation.invariant + "] " + violation.detail;
+}
+
+void audit_roundtrip(const Scenario& scenario, std::vector<AuditViolation>& out) {
+  const std::string first = scenario_to_string(scenario);
+  Scenario reparsed = scenario_from_string(first);
+  const std::string second = scenario_to_string(reparsed);
+  if (first != second) {
+    add(out, scenario, "roundtrip",
+        "serialize -> parse -> serialize is not byte-identical");
+    return;
+  }
+  if (reparsed.workload.workflow.function_count() !=
+      scenario.workload.workflow.function_count()) {
+    add(out, scenario, "roundtrip", "reparsed workflow lost functions");
+  }
+  if (reparsed.workload.slo_seconds != scenario.workload.slo_seconds) {
+    add(out, scenario, "roundtrip", "reparsed SLO differs");
+  }
+  if (reparsed.chaos.size() != scenario.chaos.size()) {
+    add(out, scenario, "roundtrip", "reparsed chaos schedule lost incidents");
+  }
+}
+
+void audit_search_result(const Scenario& scenario, const std::string& method,
+                         const search::SearchResult& result,
+                         std::size_t billed_budget_cap,
+                         const platform::ConfigGrid& grid,
+                         const platform::Executor& executor,
+                         const AuditOptions& options,
+                         std::vector<AuditViolation>& out) {
+  const std::size_t n = scenario.workload.workflow.function_count();
+  const double slo = scenario.workload.slo_seconds;
+
+  // Budget: billed samples are the currency every cap is denominated in.
+  if (result.samples() > billed_budget_cap) {
+    add(out, scenario, "budget",
+        method + " billed " + std::to_string(result.samples()) +
+            " samples, budget cap " + std::to_string(billed_budget_cap));
+  }
+
+  // Trace bookkeeping, sample by sample.
+  bool any_feasible_sample = false;
+  for (const search::Sample& s : result.trace.samples()) {
+    const bool expect_feasible = !s.failed && s.makespan <= slo;
+    if (s.feasible != expect_feasible) {
+      add(out, scenario, "trace",
+          method + " sample " + std::to_string(s.index) +
+              ": feasible flag inconsistent with failed/makespan/SLO");
+    }
+    if (s.cache_hit &&
+        (s.probe_attempts != 0 || s.wall_seconds != 0.0 || s.wall_cost != 0.0)) {
+      add(out, scenario, "trace",
+          method + " sample " + std::to_string(s.index) +
+              ": cache hit carries executions or wall charges");
+    }
+    if (!s.cache_hit && s.probe_attempts == 0) {
+      add(out, scenario, "trace",
+          method + " sample " + std::to_string(s.index) +
+              ": billed sample consumed no platform execution");
+    }
+    any_feasible_sample = any_feasible_sample || s.feasible;
+  }
+  if (result.found_feasible && !any_feasible_sample) {
+    add(out, scenario, "trace",
+        method + " claims a feasible config but no trace sample was feasible");
+  }
+
+  if (!result.found_feasible) {
+    return;  // nothing further to audit without a config
+  }
+
+  // Grid feasibility of the returned configuration.
+  if (result.best_config.size() != n) {
+    add(out, scenario, "grid",
+        method + " best_config has " + std::to_string(result.best_config.size()) +
+            " entries for " + std::to_string(n) + " functions");
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!grid.contains(result.best_config[i])) {
+      add(out, scenario, "grid",
+          method + " best_config[" + std::to_string(i) + "] = " +
+              platform::to_string(result.best_config[i]) + " is off the grid");
+    }
+  }
+
+  // SLO accounting: the accepted config must reproduce within the SLO under
+  // the noise-free executor (feasibility was judged on a ~3% noisy sample,
+  // hence the tolerance).
+  const auto mean = executor.execute_mean(scenario.workload.workflow,
+                                          result.best_config);
+  if (mean.failed) {
+    add(out, scenario, "trace",
+        method + " accepted config fails (OOM) under the noise-free executor");
+  } else if (mean.makespan > slo * (1.0 + options.slo_mean_tolerance)) {
+    add(out, scenario, "trace",
+        method + " accepted config mean makespan " + fmt(mean.makespan) +
+            " exceeds SLO " + fmt(slo) + " beyond tolerance");
+  }
+}
+
+void audit_profile_report(const Scenario& scenario, const std::string& method,
+                          const platform::ProfileReport& report, double slo_seconds,
+                          std::vector<AuditViolation>& out) {
+  if (report.runs != report.makespans.size() + report.failures) {
+    add(out, scenario, "report",
+        method + " profile runs != successful series + failures");
+  }
+  if (report.makespan.count != report.makespans.size() ||
+      report.cost.count != report.costs.size()) {
+    add(out, scenario, "report", method + " summary counts mismatch raw series");
+  }
+  if (!report.makespans.empty()) {
+    double sum = 0.0;
+    std::size_t violations = 0;
+    for (double m : report.makespans) {
+      sum += m;
+      if (m > slo_seconds) ++violations;
+    }
+    const double mean = sum / static_cast<double>(report.makespans.size());
+    if (std::abs(mean - report.makespan.mean) >
+        1e-9 * (1.0 + std::abs(report.makespan.mean))) {
+      add(out, scenario, "report",
+          method + " summary mean diverges from raw makespan series");
+    }
+    const double want_rate = static_cast<double>(violations) /
+                             static_cast<double>(report.makespans.size());
+    const double got_rate = report.slo_violation_rate(slo_seconds);
+    if (std::abs(want_rate - got_rate) > 1e-12) {
+      add(out, scenario, "report",
+          method + " slo_violation_rate " + fmt(got_rate) +
+              " != recomputed rate " + fmt(want_rate));
+    }
+  }
+}
+
+void audit_serving_bit_identity(const Scenario& scenario,
+                                const platform::WorkflowConfig& config,
+                                const AuditOptions& options,
+                                std::vector<AuditViolation>& out) {
+  const platform::Workflow& wf = scenario.workload.workflow;
+  const platform::DecoupledLinearPricing pricing;
+  const std::uint64_t arrival_seed =
+      support::derive_seed(scenario.corpus_seed, scenario.index);
+
+  serving::ServingOptions legacy_opts;
+  legacy_opts.seed = support::derive_seed(arrival_seed, 1);
+  legacy_opts.chaos = scenario.chaos;
+
+  const auto stream = serving::poisson_stream(options.serving_requests,
+                                              options.serving_rate, 0.7, 1.4, config,
+                                              arrival_seed);
+  const serving::ServingSimulator legacy(wf, pricing, legacy_opts);
+  const serving::ServingReport want = legacy.serve(stream);
+
+  serving::EngineOptions engine_opts;
+  engine_opts.keep_alive_seconds = legacy_opts.keep_alive_seconds;
+  engine_opts.cold_start_min_seconds = legacy_opts.cold_start_min_seconds;
+  engine_opts.cold_start_max_seconds = legacy_opts.cold_start_max_seconds;
+  engine_opts.max_containers_per_function = legacy_opts.max_containers_per_function;
+  engine_opts.noise = legacy_opts.noise;
+  engine_opts.faults = legacy_opts.faults;
+  engine_opts.retry = legacy_opts.retry;
+  engine_opts.seed = legacy_opts.seed;
+  engine_opts.chaos = legacy_opts.chaos;
+
+  serving::ScaleSpec scales;
+  scales.scale_min = 0.7;
+  scales.scale_max = 1.4;
+  serving::ArrivalLimits limits;
+  limits.max_requests = options.serving_requests;
+  serving::PoissonProcess arrivals(options.serving_rate, scales, limits, arrival_seed);
+  const serving::ServingEngine engine(wf, pricing, engine_opts);
+  const serving::StreamingReport got = engine.run(arrivals, config);
+
+  const auto check_count = [&](const char* what, std::size_t a, std::size_t b) {
+    if (a != b) {
+      add(out, scenario, "serving",
+          std::string("engine vs heap ") + what + ": " + std::to_string(a) +
+              " != " + std::to_string(b));
+    }
+  };
+  check_count("requests", got.requests, stream.size());
+  check_count("cold_starts", got.cold_starts, want.cold_starts);
+  check_count("warm_starts", got.warm_starts, want.warm_starts);
+  check_count("failed_requests", got.failed_requests, want.failed_requests);
+  check_count("failed_after_retries", got.failed_after_retries,
+              want.failed_after_retries);
+  check_count("retries", got.retries, want.retries);
+  check_count("timeouts", got.timeouts, want.timeouts);
+  check_count("peak_containers", got.peak_containers, want.peak_containers);
+  // Aggregate sums accumulate in completion order, which may differ between
+  // the engines; per-request values are exact, so only ULPs differ here.
+  if (std::abs(got.total_cost - want.total_cost) >
+      1e-9 * (1.0 + std::abs(want.total_cost))) {
+    add(out, scenario, "serving",
+        "engine vs heap total_cost: " + fmt(got.total_cost) + " != " +
+            fmt(want.total_cost));
+  }
+  if (std::abs(got.latency.mean - want.latency.mean) > 1e-9) {
+    add(out, scenario, "serving",
+        "engine vs heap mean latency: " + fmt(got.latency.mean) + " != " +
+            fmt(want.latency.mean));
+  }
+}
+
+void audit_thread_determinism(const Scenario& scenario,
+                              const platform::Executor& executor,
+                              const platform::ConfigGrid& grid, std::uint64_t seed,
+                              std::vector<AuditViolation>& out) {
+  const auto run = [&](std::size_t threads) {
+    core::SchedulerOptions opts;
+    opts.seed = seed;
+    opts.evaluator_threads = threads;
+    const core::GraphCentricScheduler scheduler(executor, grid, opts);
+    return scheduler.schedule(scenario.workload.workflow,
+                              scenario.workload.slo_seconds);
+  };
+  const core::ScheduleReport one = run(1);
+  const core::ScheduleReport eight = run(8);
+
+  if (one.result.found_feasible != eight.result.found_feasible) {
+    add(out, scenario, "threads", "threads=8 feasibility differs from threads=1");
+    return;
+  }
+  if (one.result.best_config != eight.result.best_config) {
+    add(out, scenario, "threads", "threads=8 best_config differs from threads=1");
+  }
+  if (one.result.trace.size() != eight.result.trace.size() ||
+      one.result.samples() != eight.result.samples()) {
+    add(out, scenario, "threads", "threads=8 trace shape differs from threads=1");
+    return;
+  }
+  const auto& a = one.result.trace.samples();
+  const auto& b = eight.result.trace.samples();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].makespan != b[i].makespan || a[i].cost != b[i].cost ||
+        a[i].config != b[i].config) {
+      add(out, scenario, "threads",
+          "threads=8 sample " + std::to_string(i) + " differs from threads=1");
+      return;
+    }
+  }
+}
+
+}  // namespace aarc::scenario

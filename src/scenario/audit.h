@@ -1,0 +1,96 @@
+// Invariant auditor: the trust layer of the robustness sweep.
+//
+// A sweep over generated scenarios is only evidence if every run it
+// aggregates obeyed the system's contracts.  The auditor re-checks, per
+// scenario, the invariants the rest of the codebase promises:
+//
+//   roundtrip        — scenario JSON serialization is byte-stable and
+//                      parse(print(s)) == print-identical;
+//   grid             — a returned best_config has one entry per function and
+//                      every entry sits exactly on the discrete grid;
+//   budget           — billed samples respect the method's budget cap (cache
+//                      hits are free and must not be charged);
+//   trace            — per-sample bookkeeping is consistent: feasible ==
+//                      !failed && makespan <= SLO, cache hits carry zero
+//                      executions and zero wall charges, found_feasible
+//                      configs reproduce within the SLO under the noise-free
+//                      executor;
+//   report           — the report layer's SLO accounting (Profiler) matches
+//                      a manual recomputation from the raw makespan series;
+//   serving          — the streaming ServingEngine is bit-identical to the
+//                      legacy heap DES on the scenario (chaos overlay
+//                      included);
+//   threads          — AARC at threads=8 returns bit-identical results to
+//                      threads=1.
+//
+// Checks append AuditViolation records instead of throwing, so one broken
+// invariant does not mask the others and the sweep can report all of them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "platform/executor.h"
+#include "platform/profiler.h"
+#include "platform/resource.h"
+#include "scenario/generator.h"
+#include "search/evaluator.h"
+
+namespace aarc::scenario {
+
+/// One broken invariant on one scenario.
+struct AuditViolation {
+  std::string scenario;   ///< scenario name
+  std::string invariant;  ///< "roundtrip" | "grid" | "budget" | "trace" | ...
+  std::string detail;     ///< human-readable description of the breach
+};
+
+std::string to_string(const AuditViolation& violation);
+
+/// Auditor knobs.
+struct AuditOptions {
+  /// Tolerance on the noise-free makespan of an accepted config vs the SLO:
+  /// search feasibility is judged on a noisy sample (~3% noise), so the mean
+  /// may legitimately sit slightly above a just-met SLO.
+  double slo_mean_tolerance = 0.10;
+  /// Requests per serving bit-identity check.
+  std::size_t serving_requests = 200;
+  /// Arrival rate for the serving bit-identity check.
+  double serving_rate = 0.2;
+};
+
+/// Serialization determinism: print -> parse -> print must reproduce the
+/// exact bytes, and the reparsed scenario must describe the same workload.
+void audit_roundtrip(const Scenario& scenario, std::vector<AuditViolation>& out);
+
+/// Search-result invariants for one method run on one scenario: grid
+/// feasibility of best_config, billed-sample budget, per-sample trace
+/// consistency, and noise-free SLO compliance of the accepted config.
+void audit_search_result(const Scenario& scenario, const std::string& method,
+                         const search::SearchResult& result,
+                         std::size_t billed_budget_cap,
+                         const platform::ConfigGrid& grid,
+                         const platform::Executor& executor,
+                         const AuditOptions& options,
+                         std::vector<AuditViolation>& out);
+
+/// Report-layer consistency: the Profiler's aggregate and SLO-violation rate
+/// must match a manual recomputation from its raw series.
+void audit_profile_report(const Scenario& scenario, const std::string& method,
+                          const platform::ProfileReport& report, double slo_seconds,
+                          std::vector<AuditViolation>& out);
+
+/// Streaming-engine vs legacy heap DES bit-identity on this scenario (with
+/// its chaos overlay active in both engines).
+void audit_serving_bit_identity(const Scenario& scenario,
+                                const platform::WorkflowConfig& config,
+                                const AuditOptions& options,
+                                std::vector<AuditViolation>& out);
+
+/// AARC threads=8 must be bit-identical to threads=1 on this scenario.
+void audit_thread_determinism(const Scenario& scenario,
+                              const platform::Executor& executor,
+                              const platform::ConfigGrid& grid, std::uint64_t seed,
+                              std::vector<AuditViolation>& out);
+
+}  // namespace aarc::scenario

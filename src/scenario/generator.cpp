@@ -1,0 +1,368 @@
+#include "scenario/generator.h"
+
+#include <algorithm>
+#include <string>
+
+#include "perf/analytic.h"
+#include "perf/composite.h"
+#include "perf/profile_table.h"
+#include "platform/executor.h"
+#include "support/contracts.h"
+#include "support/rng.h"
+
+namespace aarc::scenario {
+
+using support::expects;
+
+std::string to_string(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::Chain:
+      return "chain";
+    case TopologyKind::FanOut:
+      return "fan_out";
+    case TopologyKind::FanIn:
+      return "fan_in";
+    case TopologyKind::Diamond:
+      return "diamond";
+    case TopologyKind::LayeredMixed:
+      return "layered_mixed";
+  }
+  return "?";
+}
+
+TopologyKind topology_kind_from_string(std::string_view name) {
+  for (TopologyKind kind : all_topology_kinds()) {
+    if (to_string(kind) == name) return kind;
+  }
+  expects(false, "unknown topology kind: " + std::string(name) +
+                     " (chain | fan_out | fan_in | diamond | layered_mixed)");
+  throw support::ContractViolation("unreachable");
+}
+
+const std::vector<TopologyKind>& all_topology_kinds() {
+  static const std::vector<TopologyKind> kinds = {
+      TopologyKind::Chain, TopologyKind::FanOut, TopologyKind::FanIn,
+      TopologyKind::Diamond, TopologyKind::LayeredMixed};
+  return kinds;
+}
+
+void GeneratorOptions::validate() const {
+  expects(min_depth >= 1 && min_depth <= max_depth,
+          "generator depth range must satisfy 1 <= min_depth <= max_depth");
+  expects(min_width >= 2 && min_width <= max_width,
+          "generator width range must satisfy 2 <= min_width <= max_width");
+  expects(edge_density >= 0.0 && edge_density <= 1.0,
+          "edge_density must be in [0, 1]");
+  expects(slo_headroom_min > 1.0 && slo_headroom_min <= slo_headroom_max,
+          "SLO headroom range must satisfy 1 < min <= max");
+  expects(input_sensitive_probability >= 0.0 && input_sensitive_probability <= 1.0,
+          "input_sensitive_probability must be in [0, 1]");
+  expects(chaos_probability >= 0.0 && chaos_probability <= 1.0,
+          "chaos_probability must be in [0, 1]");
+  expects(chaos_horizon_seconds > 0.0, "chaos_horizon_seconds must be positive");
+}
+
+namespace {
+
+/// Zero-padded function names keep generated JSON stable and diff-friendly.
+std::string fn_name(std::size_t i) {
+  std::string digits = std::to_string(i);
+  return "f" + std::string(digits.size() < 2 ? 2 - digits.size() : 0, '0') + digits;
+}
+
+perf::AnalyticParams random_analytic_params(support::Rng& rng) {
+  perf::AnalyticParams p;
+  // Function archetype: CPU-bound, memory-bound, or IO-bound — the affinity
+  // mix the paper's Fig. 2 decoupling argument rests on.
+  switch (rng.uniform_int(0, 2)) {
+    case 0:  // CPU-bound
+      p.io_seconds = rng.uniform(0.5, 3.0);
+      p.serial_seconds = rng.uniform(2.0, 8.0);
+      p.parallel_seconds = rng.uniform(20.0, 80.0);
+      p.max_parallelism = rng.uniform(2.0, 8.0);
+      p.working_set_mb = rng.uniform(256.0, 1024.0);
+      break;
+    case 1:  // memory-bound
+      p.io_seconds = rng.uniform(1.0, 5.0);
+      p.serial_seconds = rng.uniform(5.0, 15.0);
+      p.parallel_seconds = rng.uniform(5.0, 30.0);
+      p.max_parallelism = rng.uniform(1.0, 4.0);
+      p.working_set_mb = rng.uniform(2048.0, 8192.0);
+      break;
+    default:  // IO-bound
+      p.io_seconds = rng.uniform(5.0, 20.0);
+      p.serial_seconds = rng.uniform(2.0, 10.0);
+      p.parallel_seconds = rng.uniform(0.5, 5.0);
+      p.max_parallelism = rng.uniform(1.0, 2.0);
+      p.working_set_mb = rng.uniform(192.0, 768.0);
+      break;
+  }
+  p.min_memory_mb = p.working_set_mb * rng.uniform(0.3, 0.6);
+  p.pressure_coeff = rng.uniform(1.0, 6.0);
+  p.input_work_exp = 1.0;
+  p.input_memory_exp = 0.0;
+  return p;
+}
+
+/// Tabulate an analytic surface on a small cpu x mem grid: the shape of a
+/// measured function, with the same affinities the analytic family covers.
+std::unique_ptr<perf::PerfModel> random_profile_table(support::Rng& rng) {
+  const perf::AnalyticParams p = random_analytic_params(rng);
+  const perf::AnalyticModel surface(p);
+  const std::vector<double> cpu_points = {0.5, 2.0, 6.0, 10.0};
+  // Keep the whole table above the OOM floor so every entry is finite.
+  const double mem_floor = std::max(256.0, p.min_memory_mb * 1.05);
+  std::vector<double> mem_points = {mem_floor, mem_floor * 2.0, mem_floor * 4.0,
+                                    10240.0};
+  // Strictly increasing even when the floor is near the grid top.
+  for (std::size_t i = 1; i < mem_points.size(); ++i) {
+    mem_points[i] = std::max(mem_points[i], mem_points[i - 1] * 1.25);
+  }
+  std::vector<double> runtimes;
+  runtimes.reserve(cpu_points.size() * mem_points.size());
+  for (double cpu : cpu_points) {
+    for (double mem : mem_points) {
+      runtimes.push_back(surface.mean_runtime(cpu, mem, 1.0));
+    }
+  }
+  return std::make_unique<perf::ProfileTableModel>(cpu_points, mem_points,
+                                                   std::move(runtimes), 1.0);
+}
+
+/// Sample one per-function model: mostly analytic, with composite and
+/// profile-table functions mixed in so every workflow_io model codec path is
+/// exercised by generated corpora.
+std::unique_ptr<perf::PerfModel> random_model(support::Rng& rng) {
+  const auto kind = rng.uniform_int(0, 9);
+  if (kind < 6) {
+    return std::make_unique<perf::AnalyticModel>(random_analytic_params(rng));
+  }
+  if (kind < 8) {
+    std::vector<std::unique_ptr<perf::PerfModel>> stages;
+    const std::size_t count = 2 + (rng.bernoulli(0.4) ? 1 : 0);
+    for (std::size_t i = 0; i < count; ++i) {
+      stages.push_back(
+          std::make_unique<perf::AnalyticModel>(random_analytic_params(rng)));
+    }
+    return std::make_unique<perf::CompositeModel>(std::move(stages));
+  }
+  return random_profile_table(rng);
+}
+
+std::size_t sample_in(support::Rng& rng, std::size_t lo, std::size_t hi) {
+  return static_cast<std::size_t>(
+      rng.uniform_int(static_cast<std::int64_t>(lo), static_cast<std::int64_t>(hi)));
+}
+
+platform::Workflow build_topology(const std::string& name, TopologyKind kind,
+                                  const GeneratorOptions& o, support::Rng& rng) {
+  platform::Workflow wf(name);
+  std::size_t next = 0;
+  const auto add = [&] { return wf.add_function(fn_name(next++), random_model(rng)); };
+
+  switch (kind) {
+    case TopologyKind::Chain: {
+      const std::size_t depth = sample_in(rng, o.min_depth + 1, o.max_depth + 2);
+      dag::NodeId prev = add();
+      for (std::size_t i = 1; i < depth; ++i) {
+        const dag::NodeId node = add();
+        wf.add_edge(prev, node);
+        prev = node;
+      }
+      break;
+    }
+    case TopologyKind::FanOut: {
+      const std::size_t width = sample_in(rng, o.min_width, o.max_width);
+      const dag::NodeId source = add();
+      std::vector<dag::NodeId> branches;
+      for (std::size_t b = 0; b < width; ++b) {
+        dag::NodeId node = add();
+        wf.add_edge(source, node);
+        // Some branches are two functions deep, so branch runtimes diverge.
+        if (rng.bernoulli(0.4)) {
+          const dag::NodeId tail = add();
+          wf.add_edge(node, tail);
+          node = tail;
+        }
+        branches.push_back(node);
+      }
+      const dag::NodeId sink = add();
+      for (dag::NodeId b : branches) wf.add_edge(b, sink);
+      break;
+    }
+    case TopologyKind::FanIn: {
+      const std::size_t width = sample_in(rng, o.min_width, o.max_width);
+      std::vector<dag::NodeId> sources;
+      for (std::size_t b = 0; b < width; ++b) sources.push_back(add());
+      const dag::NodeId join = add();
+      for (dag::NodeId s : sources) wf.add_edge(s, join);
+      dag::NodeId prev = join;
+      const std::size_t tail = sample_in(rng, 1, o.max_depth);
+      for (std::size_t i = 0; i < tail; ++i) {
+        const dag::NodeId node = add();
+        wf.add_edge(prev, node);
+        prev = node;
+      }
+      break;
+    }
+    case TopologyKind::Diamond: {
+      // k stacked diamonds: split -> two branches -> join, chained.
+      const std::size_t diamonds = sample_in(rng, 1, std::max<std::size_t>(1, o.max_depth / 2));
+      dag::NodeId prev = add();
+      for (std::size_t d = 0; d < diamonds; ++d) {
+        const dag::NodeId left = add();
+        const dag::NodeId right = add();
+        const dag::NodeId join = add();
+        wf.add_edge(prev, left);
+        wf.add_edge(prev, right);
+        wf.add_edge(left, join);
+        wf.add_edge(right, join);
+        prev = join;
+      }
+      break;
+    }
+    case TopologyKind::LayeredMixed: {
+      const std::size_t depth = sample_in(rng, o.min_depth, o.max_depth);
+      std::vector<dag::NodeId> previous{add()};
+      std::vector<dag::NodeId> earlier;  // all nodes before the previous layer
+      for (std::size_t l = 0; l < depth; ++l) {
+        const std::size_t width = sample_in(rng, 1, o.max_width);
+        std::vector<dag::NodeId> current;
+        for (std::size_t b = 0; b < width; ++b) {
+          const dag::NodeId node = add();
+          // Guaranteed predecessor in the previous layer keeps levels honest.
+          wf.add_edge(previous[rng.index(previous.size())], node);
+          // Extra cross edges from the previous layer...
+          for (dag::NodeId p : previous) {
+            if (!wf.graph().has_edge(p, node) && rng.bernoulli(o.edge_density)) {
+              wf.add_edge(p, node);
+            }
+          }
+          // ...plus skip edges from any earlier layer (sparser).
+          for (dag::NodeId p : earlier) {
+            if (rng.bernoulli(o.edge_density * 0.3)) wf.add_edge(p, node);
+          }
+          current.push_back(node);
+        }
+        // Every previous-layer node must reach somewhere (no stranded sinks
+        // mid-graph; keeps the DAG connected with a single terminal layer).
+        for (dag::NodeId p : previous) {
+          if (wf.graph().successors(p).empty()) {
+            wf.add_edge(p, current[rng.index(current.size())]);
+          }
+        }
+        earlier.insert(earlier.end(), previous.begin(), previous.end());
+        previous = std::move(current);
+      }
+      if (previous.size() > 1) {
+        const dag::NodeId sink = add();
+        for (dag::NodeId p : previous) wf.add_edge(p, sink);
+      }
+      break;
+    }
+  }
+  return wf;
+}
+
+chaos::IncidentSchedule sample_chaos(const platform::Workflow& wf,
+                                     const GeneratorOptions& o, support::Rng& rng) {
+  chaos::IncidentSchedule schedule;
+  const std::size_t count = 1 + (rng.bernoulli(0.35) ? 1 : 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    chaos::Incident incident;
+    switch (rng.uniform_int(0, 2)) {
+      case 0:
+        incident.kind = chaos::IncidentKind::Outage;
+        break;
+      case 1:
+        incident.kind = chaos::IncidentKind::Brownout;
+        break;
+      default:
+        incident.kind = chaos::IncidentKind::ThrottleStorm;
+        break;
+    }
+    const double horizon = o.chaos_horizon_seconds;
+    const double start = rng.uniform(0.1 * horizon, 0.6 * horizon);
+    const double duration = rng.uniform(0.1 * horizon, 0.3 * horizon);
+    incident.start_seconds = start;
+    incident.end_seconds = start + duration;
+    incident.ramp_seconds = rng.bernoulli(0.5) ? rng.uniform(0.0, duration * 0.25) : 0.0;
+    incident.severity = rng.uniform(0.3, 0.95);
+    // Targeted with probability 1/2: a correlated subset of 1-2 functions.
+    if (rng.bernoulli(0.5)) {
+      const std::size_t targets =
+          std::min<std::size_t>(wf.function_count(), 1 + (rng.bernoulli(0.4) ? 1 : 0));
+      const auto perm = rng.permutation(wf.function_count());
+      for (std::size_t t = 0; t < targets; ++t) incident.targets.push_back(perm[t]);
+      std::sort(incident.targets.begin(), incident.targets.end());
+    }
+    incident.validate();
+    schedule.add(std::move(incident));
+  }
+  return schedule;
+}
+
+}  // namespace
+
+Scenario generate_scenario(std::uint64_t corpus_seed, std::size_t index,
+                           const GeneratorOptions& options) {
+  options.validate();
+  // One decorrelated stream per (corpus, index): scenario i is independent of
+  // whether scenarios 0..i-1 were generated in the same process.
+  support::Rng rng(support::derive_seed(support::derive_seed(corpus_seed, 0x5CE9A210),
+                                        static_cast<std::uint64_t>(index)));
+
+  const TopologyKind kind = all_topology_kinds()[rng.index(kTopologyKindCount)];
+  const std::string name = "s" + std::to_string(corpus_seed) + "-" +
+                           std::to_string(index) + "-" + to_string(kind);
+
+  Scenario scenario(workloads::Workload(build_topology(name, kind, options, rng)));
+  scenario.name = name;
+  scenario.corpus_seed = corpus_seed;
+  scenario.index = index;
+  scenario.topology = kind;
+  scenario.workload.workflow.validate();
+
+  // SLO as a multiple of the critical path at the reference (grid max)
+  // configuration: the noise-free base-config makespan IS the critical-path
+  // length of the weighted DAG, so headroom > 1 guarantees feasibility at
+  // the base configuration by construction.
+  const platform::Executor executor;
+  const platform::ConfigGrid grid;
+  const auto base = platform::uniform_config(scenario.workload.workflow.function_count(),
+                                             grid.max_config());
+  const auto reference = executor.execute_mean(scenario.workload.workflow, base);
+  expects(!reference.failed, "generated workflow must run under the base config");
+  const double headroom =
+      rng.uniform(options.slo_headroom_min, options.slo_headroom_max);
+  scenario.workload.slo_seconds = reference.makespan * headroom;
+
+  // Input classes: always present (the serialized schema keeps them), with
+  // non-unit scales only for input-sensitive scenarios.
+  scenario.workload.input_sensitive = rng.bernoulli(options.input_sensitive_probability);
+  double light = 1.0, heavy = 1.0;
+  if (scenario.workload.input_sensitive) {
+    light = rng.uniform(0.4, 0.9);
+    heavy = rng.uniform(1.1, 2.0);
+  }
+  scenario.workload.input_classes = {{workloads::InputClass::Light, light},
+                                     {workloads::InputClass::Middle, 1.0},
+                                     {workloads::InputClass::Heavy, heavy}};
+
+  if (rng.bernoulli(options.chaos_probability)) {
+    scenario.chaos = sample_chaos(scenario.workload.workflow, options, rng);
+  }
+  return scenario;
+}
+
+std::vector<Scenario> generate_corpus(std::uint64_t corpus_seed, std::size_t count,
+                                      const GeneratorOptions& options) {
+  std::vector<Scenario> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(generate_scenario(corpus_seed, i, options));
+  }
+  return out;
+}
+
+}  // namespace aarc::scenario

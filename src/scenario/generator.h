@@ -1,0 +1,95 @@
+// Seeded random-scenario generation: the evaluation-breadth engine.
+//
+// AARC's claims are demonstrated on three hand-written workflows; the
+// robustness question ("does the win over BO/MAFF hold on workloads nobody
+// hand-wrote?") needs a *population*.  This module samples complete
+// scenarios — DAG topology from the structure taxonomy, per-function
+// performance models, an SLO derived as a multiple of the base-config
+// critical path, input classes, and an optional chaos overlay — fully
+// deterministically from (corpus_seed, index): the same pair always yields
+// the same scenario, byte-for-byte after serialization (scenario_io.h), on
+// every machine and for every --threads setting.
+//
+// Topology taxonomy (cf. the dynamic-configuration survey in PAPERS.md):
+//   * Chain        — a single path, depth d;
+//   * FanOut       — one source scatters into w parallel branches that join
+//                    a sink (the map/reduce shape);
+//   * FanIn        — w independent sources merge into one aggregation
+//                    function followed by a tail chain;
+//   * Diamond      — k stacked diamonds (split -> two branches -> join);
+//   * LayeredMixed — d layers of sampled width, chained predecessors plus
+//                    extra skip edges with probability `edge_density`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/incident.h"
+#include "workloads/workload.h"
+
+namespace aarc::scenario {
+
+/// The structure-taxonomy class a scenario's DAG was sampled from.
+enum class TopologyKind { Chain, FanOut, FanIn, Diamond, LayeredMixed };
+
+inline constexpr std::size_t kTopologyKindCount = 5;
+
+std::string to_string(TopologyKind kind);
+/// Inverse of to_string; throws support::ContractViolation on unknown names.
+TopologyKind topology_kind_from_string(std::string_view name);
+
+/// All taxonomy classes, in declaration order (sweep/coverage iteration).
+const std::vector<TopologyKind>& all_topology_kinds();
+
+/// Generator knobs.  Defaults produce small scenarios (3-13 functions) so a
+/// 100-scenario sweep with three search methods finishes in CI time.
+struct GeneratorOptions {
+  std::size_t min_depth = 2;   ///< interior depth (chain length, layer count)
+  std::size_t max_depth = 4;
+  std::size_t min_width = 2;   ///< parallel branches per parallel section
+  std::size_t max_width = 4;
+  /// LayeredMixed: probability of each optional skip/cross edge.
+  double edge_density = 0.35;
+  /// SLO = headroom x base-config (grid max) critical-path makespan, with
+  /// headroom drawn uniformly from this range.  > 1 keeps scenarios feasible
+  /// by construction at the base configuration.
+  double slo_headroom_min = 1.4;
+  double slo_headroom_max = 2.4;
+  /// Probability that a scenario is input-sensitive (gets non-unit class
+  /// scales).
+  double input_sensitive_probability = 0.25;
+  /// Probability that a scenario carries a chaos overlay (1-2 seeded
+  /// incidents over the serving horizon).
+  double chaos_probability = 0.0;
+  /// Simulated-time horizon chaos incidents are placed in.
+  double chaos_horizon_seconds = 1800.0;
+
+  /// Throws support::ContractViolation on out-of-range knobs.
+  void validate() const;
+};
+
+/// One generated scenario: a workload plus its provenance and overlays.
+struct Scenario {
+  std::string name;                   ///< "s<seed>-<index>-<topology>"
+  std::uint64_t corpus_seed = 0;      ///< seed of the corpus this came from
+  std::size_t index = 0;              ///< position within the corpus
+  TopologyKind topology = TopologyKind::Chain;
+  workloads::Workload workload;
+  /// Optional chaos overlay for serving-path legs; empty = none.
+  chaos::IncidentSchedule chaos;
+
+  explicit Scenario(workloads::Workload w) : workload(std::move(w)) {}
+};
+
+/// Generate scenario `index` of the corpus rooted at `corpus_seed`.
+/// Deterministic and order-independent: scenario (seed, i) is the same
+/// whether generated alone or as part of a full corpus.
+Scenario generate_scenario(std::uint64_t corpus_seed, std::size_t index,
+                           const GeneratorOptions& options = {});
+
+/// Generate scenarios 0..count-1 of the corpus.
+std::vector<Scenario> generate_corpus(std::uint64_t corpus_seed, std::size_t count,
+                                      const GeneratorOptions& options = {});
+
+}  // namespace aarc::scenario

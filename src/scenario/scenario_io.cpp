@@ -1,0 +1,63 @@
+#include "scenario/scenario_io.h"
+
+#include <cmath>
+
+#include "io/chaos_io.h"
+#include "io/workflow_io.h"
+
+namespace aarc::scenario {
+
+io::Json scenario_to_json(const Scenario& scenario) {
+  io::JsonObject doc;
+  doc["schema"] = std::string(kScenarioSchema);
+  doc["name"] = scenario.name;
+  doc["seed"] = static_cast<double>(scenario.corpus_seed);
+  doc["index"] = scenario.index;
+  doc["topology"] = to_string(scenario.topology);
+  doc["workload"] = io::workload_to_json(scenario.workload);
+  if (!scenario.chaos.empty()) {
+    doc["chaos"] = io::chaos_profile_to_json(scenario.workload.workflow,
+                                             scenario.chaos, scenario.name);
+  }
+  return io::Json(std::move(doc));
+}
+
+Scenario scenario_from_json(const io::Json& doc) {
+  if (!doc.is_object()) throw io::JsonError("scenario document must be an object");
+  const std::string schema = doc.string_or("schema", "");
+  if (schema != kScenarioSchema) {
+    throw io::JsonError("scenario document has schema tag '" + schema +
+                        "'; expected '" + std::string(kScenarioSchema) + "'");
+  }
+  if (!doc.contains("workload")) {
+    throw io::JsonError("scenario document is missing the 'workload' object");
+  }
+  Scenario scenario(io::workload_from_json(doc.at("workload")));
+  scenario.name = doc.string_or("name", scenario.workload.workflow.name());
+  const double seed = doc.number_or("seed", 0.0);
+  if (seed < 0.0 || std::floor(seed) != seed) {
+    throw io::JsonError("scenario field 'seed' must be a non-negative integer");
+  }
+  scenario.corpus_seed = static_cast<std::uint64_t>(seed);
+  const double index = doc.number_or("index", 0.0);
+  if (index < 0.0 || std::floor(index) != index) {
+    throw io::JsonError("scenario field 'index' must be a non-negative integer");
+  }
+  scenario.index = static_cast<std::size_t>(index);
+  scenario.topology = topology_kind_from_string(doc.string_or("topology", "chain"));
+  if (doc.contains("chaos")) {
+    scenario.chaos =
+        io::chaos_profile_from_json(scenario.workload.workflow, doc.at("chaos"));
+  }
+  return scenario;
+}
+
+std::string scenario_to_string(const Scenario& scenario, int indent) {
+  return scenario_to_json(scenario).dump(indent) + "\n";
+}
+
+Scenario scenario_from_string(std::string_view text) {
+  return scenario_from_json(io::parse_json(text));
+}
+
+}  // namespace aarc::scenario

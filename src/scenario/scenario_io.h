@@ -1,0 +1,43 @@
+// Scenario serialization: generated corpora are data on disk.
+//
+// A scenario document wraps the existing workload and chaos-profile schemas
+// with provenance, so a checked-in corpus file is self-describing and can be
+// re-derived (and diffed) from its (seed, index) alone:
+//
+//   {
+//     "schema": "aarc-scenario-v1",
+//     "name": "s42-7-fan_out",
+//     "seed": 42,
+//     "index": 7,
+//     "topology": "fan_out",
+//     "workload": { <io/workflow_io.h workload schema> },
+//     "chaos": { <io/chaos_io.h profile schema> }   // optional; absent = none
+//   }
+//
+// Serialization is byte-stable: io::Json objects are std::map-backed, so the
+// same Scenario always prints the same bytes — the determinism contract the
+// generator tests pin down.
+#pragma once
+
+#include <string>
+
+#include "io/json.h"
+#include "scenario/generator.h"
+
+namespace aarc::scenario {
+
+inline constexpr std::string_view kScenarioSchema = "aarc-scenario-v1";
+
+/// Serialize a scenario (workload via workflow_io, chaos via chaos_io).
+io::Json scenario_to_json(const Scenario& scenario);
+
+/// Parse a scenario document.  Throws io::JsonError on schema violations
+/// (wrong "schema" tag, missing fields, type mismatches) and
+/// support::ContractViolation on semantic ones.
+Scenario scenario_from_json(const io::Json& doc);
+
+/// Text round-trips.
+std::string scenario_to_string(const Scenario& scenario, int indent = 2);
+Scenario scenario_from_string(std::string_view text);
+
+}  // namespace aarc::scenario

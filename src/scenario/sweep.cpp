@@ -1,0 +1,297 @@
+#include "scenario/sweep.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "aarc/scheduler.h"
+#include "baselines/bo/bo_optimizer.h"
+#include "baselines/maff/maff.h"
+#include "platform/profiler.h"
+#include "support/contracts.h"
+#include "support/statistics.h"
+
+namespace aarc::scenario {
+
+using support::expects;
+
+namespace {
+
+/// The harness seeds every bench uses (bench/harness.h): fixed per method so
+/// a sweep is reproducible independent of scenario order.
+constexpr std::uint64_t kAarcSeed = 2025;
+constexpr std::uint64_t kBoSeed = 3101;
+constexpr std::uint64_t kMaffSeed = 3202;
+constexpr std::uint64_t kValidationSeed = 4242;
+
+struct MethodRun {
+  search::SearchResult result;
+  std::size_t budget_cap = 0;
+};
+
+MethodRun run_aarc(const Scenario& scenario, const platform::Executor& executor,
+                   const platform::ConfigGrid& grid, const SweepOptions& options) {
+  core::SchedulerOptions opts;
+  opts.seed = kAarcSeed;
+  opts.evaluator_threads = options.threads;
+  opts.probe_cache = options.probe_cache;
+  const core::GraphCentricScheduler scheduler(executor, grid, opts);
+  const core::ScheduleReport report =
+      scheduler.schedule(scenario.workload.workflow, scenario.workload.slo_seconds);
+  MethodRun run;
+  run.result = report.result;
+  // MAX_TRAIL billed probes per configured path, plus the base profiling and
+  // final verification probes (each retried on transient failures).
+  const std::size_t paths = 1 + report.subpath_count + report.uncovered_count;
+  run.budget_cap = paths * opts.configurator.max_trail +
+                   2 * (1 + opts.configurator.transient_probe_retries);
+  return run;
+}
+
+MethodRun run_bo(const Scenario& scenario, const platform::Executor& executor,
+                 const platform::ConfigGrid& grid, const SweepOptions& options) {
+  search::EvaluatorOptions eval_opts;
+  eval_opts.threads = options.threads;
+  eval_opts.probe_cache = options.probe_cache;
+  search::Evaluator evaluator(scenario.workload.workflow, executor,
+                              scenario.workload.slo_seconds, 1.0, kBoSeed, eval_opts);
+  baselines::BoOptions opts;
+  opts.seed = kBoSeed;
+  opts.max_samples = options.bo_max_samples;
+  opts.init_samples = std::min<std::size_t>(10, options.bo_max_samples);
+  MethodRun run;
+  run.result = baselines::bayesian_optimization(evaluator, grid, opts);
+  run.budget_cap = options.bo_max_samples;
+  return run;
+}
+
+MethodRun run_maff(const Scenario& scenario, const platform::Executor& executor,
+                   const platform::ConfigGrid& grid, const SweepOptions& options) {
+  search::EvaluatorOptions eval_opts;
+  eval_opts.threads = options.threads;
+  eval_opts.probe_cache = options.probe_cache;
+  search::Evaluator evaluator(scenario.workload.workflow, executor,
+                              scenario.workload.slo_seconds, 1.0, kMaffSeed,
+                              eval_opts);
+  baselines::MaffOptions opts;
+  opts.max_samples = options.maff_max_samples;
+  MethodRun run;
+  run.result = baselines::maff_gradient_descent(evaluator, grid, opts);
+  run.budget_cap = options.maff_max_samples;
+  return run;
+}
+
+MethodOutcome validate_method(const Scenario& scenario, const std::string& method,
+                              const MethodRun& run,
+                              const platform::Executor& executor,
+                              const SweepOptions& options,
+                              std::vector<AuditViolation>& violations) {
+  MethodOutcome outcome;
+  outcome.feasible = run.result.found_feasible;
+  outcome.billed_samples = run.result.samples();
+  outcome.search_cost = run.result.trace.total_sampling_cost();
+  if (!outcome.feasible) return outcome;
+
+  const platform::Profiler profiler(executor);
+  support::Rng rng(kValidationSeed);
+  const platform::ProfileReport report =
+      profiler.profile(scenario.workload.workflow, run.result.best_config,
+                       options.validation_runs, rng);
+  audit_profile_report(scenario, method, report, scenario.workload.slo_seconds,
+                       violations);
+  outcome.mean_makespan = report.makespan.mean;
+  outcome.mean_cost = report.cost.mean;
+  // Failure-aware attainment over ALL validation runs: an OOM-failed run
+  // never met the deadline.
+  const double within =
+      static_cast<double>(report.makespans.size()) *
+      (1.0 - report.slo_violation_rate(scenario.workload.slo_seconds));
+  outcome.slo_attainment =
+      report.runs > 0 ? within / static_cast<double>(report.runs) : 0.0;
+  return outcome;
+}
+
+bool beats(const MethodOutcome& aarc, const MethodOutcome& baseline, double slack) {
+  if (!aarc.feasible) return false;
+  if (!baseline.feasible) return true;
+  return aarc.mean_cost <= baseline.mean_cost * slack;
+}
+
+io::Json summary_json(const support::Summary& s) {
+  io::JsonObject o;
+  o["count"] = s.count;
+  o["mean"] = s.mean;
+  o["stddev"] = s.stddev;
+  o["min"] = s.min;
+  o["max"] = s.max;
+  return io::Json(std::move(o));
+}
+
+io::Json method_json(const MethodOutcome& m) {
+  io::JsonObject o;
+  o["feasible"] = m.feasible;
+  o["billed_samples"] = m.billed_samples;
+  o["search_cost"] = m.search_cost;
+  o["mean_makespan"] = m.mean_makespan;
+  o["mean_cost"] = m.mean_cost;
+  o["slo_attainment"] = m.slo_attainment;
+  return io::Json(std::move(o));
+}
+
+/// Aggregate distributions of one method across the sweep.
+io::Json method_aggregate_json(const std::vector<ScenarioOutcome>& scenarios,
+                               const MethodOutcome ScenarioOutcome::* member) {
+  support::Accumulator cost, attainment, samples;
+  std::size_t feasible = 0;
+  for (const ScenarioOutcome& s : scenarios) {
+    const MethodOutcome& m = s.*member;
+    samples.add(static_cast<double>(m.billed_samples));
+    if (!m.feasible) continue;
+    ++feasible;
+    cost.add(m.mean_cost);
+    attainment.add(m.slo_attainment);
+  }
+  io::JsonObject o;
+  o["feasible_scenarios"] = feasible;
+  o["cost"] = summary_json(cost.summary());
+  o["slo_attainment"] = summary_json(attainment.summary());
+  o["billed_samples"] = summary_json(samples.summary());
+  return io::Json(std::move(o));
+}
+
+}  // namespace
+
+void SweepOptions::validate() const {
+  expects(scenario_count >= 1, "sweep needs at least one scenario");
+  expects(bo_max_samples >= 1 && maff_max_samples >= 1,
+          "baseline sample budgets must be >= 1");
+  expects(validation_runs >= 1, "validation_runs must be >= 1");
+  expects(win_cost_slack >= 1.0, "win_cost_slack must be >= 1");
+  generator.validate();
+}
+
+std::size_t SweepResult::wins() const {
+  return static_cast<std::size_t>(
+      std::count_if(scenarios.begin(), scenarios.end(),
+                    [](const ScenarioOutcome& s) { return s.aarc_win; }));
+}
+
+double SweepResult::aarc_win_rate() const {
+  return scenarios.empty()
+             ? 0.0
+             : static_cast<double>(wins()) / static_cast<double>(scenarios.size());
+}
+
+SweepResult run_sweep(const SweepOptions& options, const SweepProgress& progress) {
+  options.validate();
+  const platform::Executor executor;
+  const platform::ConfigGrid grid;
+
+  SweepResult result;
+  result.scenarios.reserve(options.scenario_count);
+
+  for (std::size_t index = 0; index < options.scenario_count; ++index) {
+    const Scenario scenario =
+        generate_scenario(options.seed, index, options.generator);
+    const std::size_t violations_before = result.violations.size();
+
+    audit_roundtrip(scenario, result.violations);
+
+    const MethodRun aarc = run_aarc(scenario, executor, grid, options);
+    const MethodRun bo = run_bo(scenario, executor, grid, options);
+    const MethodRun maff = run_maff(scenario, executor, grid, options);
+    audit_search_result(scenario, "AARC", aarc.result, aarc.budget_cap, grid,
+                        executor, options.audit, result.violations);
+    audit_search_result(scenario, "BO", bo.result, bo.budget_cap, grid, executor,
+                        options.audit, result.violations);
+    audit_search_result(scenario, "MAFF", maff.result, maff.budget_cap, grid,
+                        executor, options.audit, result.violations);
+
+    ScenarioOutcome outcome;
+    outcome.name = scenario.name;
+    outcome.topology = scenario.topology;
+    outcome.function_count = scenario.workload.workflow.function_count();
+    outcome.slo_seconds = scenario.workload.slo_seconds;
+    outcome.has_chaos = !scenario.chaos.empty();
+    outcome.aarc =
+        validate_method(scenario, "AARC", aarc, executor, options, result.violations);
+    outcome.bo =
+        validate_method(scenario, "BO", bo, executor, options, result.violations);
+    outcome.maff =
+        validate_method(scenario, "MAFF", maff, executor, options, result.violations);
+    outcome.aarc_win = beats(outcome.aarc, outcome.bo, options.win_cost_slack) &&
+                       beats(outcome.aarc, outcome.maff, options.win_cost_slack);
+
+    if (options.deep_audit_stride > 0 && index % options.deep_audit_stride == 0) {
+      const platform::WorkflowConfig serving_config =
+          aarc.result.found_feasible
+              ? aarc.result.best_config
+              : platform::uniform_config(outcome.function_count, grid.max_config());
+      audit_serving_bit_identity(scenario, serving_config, options.audit,
+                                 result.violations);
+      audit_thread_determinism(scenario, executor, grid, kAarcSeed,
+                               result.violations);
+    }
+
+    outcome.violations = result.violations.size() - violations_before;
+    result.scenarios.push_back(outcome);
+    if (progress) progress(result.scenarios.back());
+  }
+  return result;
+}
+
+io::Json sweep_to_json(const SweepOptions& options, const SweepResult& result) {
+  io::JsonObject doc;
+
+  io::JsonObject opts;
+  opts["scenario_count"] = options.scenario_count;
+  opts["seed"] = static_cast<double>(options.seed);
+  opts["threads"] = options.threads;
+  opts["probe_cache"] = options.probe_cache;
+  opts["bo_max_samples"] = options.bo_max_samples;
+  opts["maff_max_samples"] = options.maff_max_samples;
+  opts["validation_runs"] = options.validation_runs;
+  opts["deep_audit_stride"] = options.deep_audit_stride;
+  opts["win_cost_slack"] = options.win_cost_slack;
+  opts["chaos_probability"] = options.generator.chaos_probability;
+  doc["options"] = io::Json(std::move(opts));
+
+  io::JsonArray rows;
+  io::JsonObject topology_counts;
+  for (const ScenarioOutcome& s : result.scenarios) {
+    io::JsonObject row;
+    row["name"] = s.name;
+    row["topology"] = to_string(s.topology);
+    row["functions"] = s.function_count;
+    row["slo_seconds"] = s.slo_seconds;
+    row["chaos"] = s.has_chaos;
+    row["aarc"] = method_json(s.aarc);
+    row["bo"] = method_json(s.bo);
+    row["maff"] = method_json(s.maff);
+    row["aarc_win"] = s.aarc_win;
+    row["violations"] = s.violations;
+    rows.push_back(io::Json(std::move(row)));
+
+    const std::string key = to_string(s.topology);
+    auto it = topology_counts.find(key);
+    topology_counts[key] =
+        it == topology_counts.end() ? 1.0 : it->second.as_number() + 1.0;
+  }
+  doc["scenarios"] = io::Json(std::move(rows));
+  doc["topology_counts"] = io::Json(std::move(topology_counts));
+
+  doc["aarc"] = method_aggregate_json(result.scenarios, &ScenarioOutcome::aarc);
+  doc["bo"] = method_aggregate_json(result.scenarios, &ScenarioOutcome::bo);
+  doc["maff"] = method_aggregate_json(result.scenarios, &ScenarioOutcome::maff);
+  doc["aarc_wins"] = result.wins();
+  doc["aarc_win_rate"] = result.aarc_win_rate();
+
+  io::JsonArray violations;
+  for (const AuditViolation& v : result.violations) {
+    violations.push_back(io::Json(to_string(v)));
+  }
+  doc["audit_violations"] = io::Json(std::move(violations));
+  doc["audit_violation_count"] = result.violations.size();
+  return io::Json(std::move(doc));
+}
+
+}  // namespace aarc::scenario

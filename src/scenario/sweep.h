@@ -1,0 +1,93 @@
+// Robustness sweep: AARC vs BO vs MAFF across a generated scenario corpus.
+//
+// The paper's evaluation is three hand-written workflows; the sweep asks the
+// robustness question — does the win hold on workloads nobody hand-wrote? —
+// by running all three methods on every scenario of a seeded corpus,
+// validating accepted configurations with noisy executions, and auditing the
+// invariants (scenario/audit.h) as it goes.  Everything is deterministic
+// under (seed, scenario_count): reruns produce byte-identical JSON.
+//
+// Win rule: AARC wins a scenario iff it found a feasible configuration and,
+// for each baseline, the baseline either failed to or AARC's validated mean
+// cost is within `win_cost_slack` of the baseline's.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "io/json.h"
+#include "scenario/audit.h"
+#include "scenario/generator.h"
+
+namespace aarc::scenario {
+
+struct SweepOptions {
+  std::size_t scenario_count = 100;
+  std::uint64_t seed = 42;
+  GeneratorOptions generator{};
+  /// Evaluator worker threads (results identical for every value).
+  std::size_t threads = 1;
+  /// Probe memoization for every method (cache hits are free).
+  bool probe_cache = true;
+  /// Baseline budgets, billed samples.  Smaller than the paper's 100 keeps a
+  /// 100-scenario sweep in CI time; the same cap applies to both baselines.
+  std::size_t bo_max_samples = 60;
+  std::size_t maff_max_samples = 60;
+  /// Noisy validation executions per accepted configuration.
+  std::size_t validation_runs = 40;
+  /// Expensive audits (serving bit-identity, thread determinism) run on
+  /// every `deep_audit_stride`-th scenario; 0 disables them.
+  std::size_t deep_audit_stride = 10;
+  /// AARC wins against a baseline when its validated mean cost is within
+  /// this factor of the baseline's.
+  double win_cost_slack = 1.02;
+  AuditOptions audit{};
+
+  void validate() const;
+};
+
+/// One method's outcome on one scenario.
+struct MethodOutcome {
+  bool feasible = false;
+  std::size_t billed_samples = 0;
+  double search_cost = 0.0;     ///< total cost billed while sampling
+  double mean_makespan = 0.0;   ///< validated noisy mean (0 when infeasible)
+  double mean_cost = 0.0;       ///< validated noisy mean (0 when infeasible)
+  double slo_attainment = 0.0;  ///< fraction of validation runs within SLO
+                                ///< (failed runs count as violations)
+};
+
+struct ScenarioOutcome {
+  std::string name;
+  TopologyKind topology = TopologyKind::Chain;
+  std::size_t function_count = 0;
+  double slo_seconds = 0.0;
+  bool has_chaos = false;
+  MethodOutcome aarc;
+  MethodOutcome bo;
+  MethodOutcome maff;
+  bool aarc_win = false;
+  std::size_t violations = 0;  ///< audit violations contributed by this scenario
+};
+
+struct SweepResult {
+  std::vector<ScenarioOutcome> scenarios;
+  std::vector<AuditViolation> violations;
+
+  std::size_t wins() const;
+  double aarc_win_rate() const;
+};
+
+/// Per-scenario progress callback (sequential, called after each scenario).
+using SweepProgress = std::function<void(const ScenarioOutcome&)>;
+
+/// Run the sweep.  Fully deterministic: no wall-clock anywhere in the result.
+SweepResult run_sweep(const SweepOptions& options, const SweepProgress& progress = {});
+
+/// Deterministic JSON rendering (options echo, per-scenario rows, per-method
+/// aggregate distributions, win-rate, violations).
+io::Json sweep_to_json(const SweepOptions& options, const SweepResult& result);
+
+}  // namespace aarc::scenario

@@ -1,5 +1,8 @@
 #include "workloads/catalog.h"
 
+#include <algorithm>
+#include <map>
+
 #include "support/contracts.h"
 #include "workloads/chatbot.h"
 #include "workloads/data_analytics.h"
@@ -9,6 +12,31 @@
 namespace aarc::workloads {
 
 using support::expects;
+
+namespace {
+
+/// Runtime registrations (e.g. generated scenarios loaded from disk), keyed
+/// by name.  A std::map keeps all_workload_names deterministic.
+std::map<std::string, Workload>& registry() {
+  static std::map<std::string, Workload> entries;
+  return entries;
+}
+
+/// Deep-copy a workload (Workflow is move-only but clonable).
+Workload clone_workload(const Workload& original) {
+  Workload copy(original.workflow.clone());
+  copy.slo_seconds = original.slo_seconds;
+  copy.input_sensitive = original.input_sensitive;
+  copy.input_classes = original.input_classes;
+  return copy;
+}
+
+bool is_builtin(std::string_view name) {
+  return name == "chatbot" || name == "ml_pipeline" || name == "video_analysis" ||
+         name == "data_analytics";
+}
+
+}  // namespace
 
 std::string to_string(InputClass c) {
   switch (c) {
@@ -38,6 +66,8 @@ Workload make_by_name(std::string_view name) {
   if (name == "ml_pipeline") return make_ml_pipeline();
   if (name == "video_analysis") return make_video_analysis();
   if (name == "data_analytics") return make_data_analytics();
+  const auto it = registry().find(std::string(name));
+  if (it != registry().end()) return clone_workload(it->second);
   expects(false, std::string("unknown workload: ") + std::string(name));
   // Unreachable; expects() always throws on false.
   throw support::ContractViolation("unreachable");
@@ -52,7 +82,16 @@ std::vector<Workload> make_paper_workloads() {
 std::vector<std::string> all_workload_names() {
   auto names = paper_workload_names();
   names.push_back("data_analytics");
+  for (const auto& [name, workload] : registry()) names.push_back(name);
   return names;
 }
+
+void register_workload(const std::string& name, Workload workload) {
+  expects(!name.empty(), "workload registration needs a name");
+  expects(!is_builtin(name), "cannot shadow built-in workload: " + name);
+  registry().insert_or_assign(name, std::move(workload));
+}
+
+void unregister_workload(const std::string& name) { registry().erase(name); }
 
 }  // namespace aarc::workloads

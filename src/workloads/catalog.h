@@ -19,7 +19,16 @@ Workload make_by_name(std::string_view name);
 std::vector<Workload> make_paper_workloads();
 
 /// Names of every built-in workload: the paper's three plus the extension
-/// workloads (currently "data_analytics").
+/// workloads (currently "data_analytics") plus any registered at runtime.
 std::vector<std::string> all_workload_names();
+
+/// Register `workload` under `name` so make_by_name / all_workload_names see
+/// it — the hook that lets generated scenarios loaded from disk participate
+/// in every catalog-driven code path (CLI, benches, sweeps).  Built-in names
+/// cannot be shadowed; re-registering a runtime name replaces the entry.
+void register_workload(const std::string& name, Workload workload);
+
+/// Forget a runtime registration (no-op when absent).  Built-ins stay.
+void unregister_workload(const std::string& name);
 
 }  // namespace aarc::workloads

@@ -1,12 +1,18 @@
-// Robustness fuzzing of the JSON parser: seeded random byte strings and
-// random mutations of valid documents must either parse or throw JsonError —
-// never crash, hang, or throw anything else.
+// Robustness fuzzing of the JSON parser and the typed loaders built on it:
+// seeded random byte strings, random mutations of valid documents,
+// truncations, type swaps and depth bombs must either load or throw
+// JsonError / ContractViolation — never crash, hang, or throw anything else.
 #include <gtest/gtest.h>
 
 #include <string>
 
+#include "io/chaos_io.h"
 #include "io/json.h"
+#include "io/trace_io.h"
+#include "io/workflow_io.h"
+#include "support/contracts.h"
 #include "support/rng.h"
+#include "workloads/catalog.h"
 
 namespace aarc::io {
 namespace {
@@ -93,6 +99,128 @@ TEST_P(JsonFuzz, DeepNestingParsesOrRejectsWithoutOverflow) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, JsonFuzz, ::testing::Range<std::uint64_t>(1, 6));
+
+// --- End-to-end loader fuzzing -----------------------------------------------
+//
+// The typed loaders (workload, chaos profile, arrival trace) sit on top of
+// the parser and add schema/semantic validation.  Mutated inputs must be
+// loaded or rejected with JsonError / ContractViolation only; any other
+// exception (or a crash under ASan/UBSan) is a bug in the loader, not the
+// document.
+
+/// Feed `text` to `load`; returns true when the loader accepted it.
+template <typename LoadFn>
+bool load_gracefully(const LoadFn& load, const std::string& text) {
+  try {
+    load(text);
+    return true;
+  } catch (const JsonError&) {
+    return false;
+  } catch (const support::ContractViolation&) {
+    return false;
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << "loader threw unexpected " << typeid(e).name() << ": "
+                  << e.what() << "\n  input: " << text;
+    return false;
+  }
+}
+
+/// Mutate `text` in place with one random edit: byte flip, erase, insert,
+/// truncation, or a type swap (replace a literal with one of another type).
+void mutate(std::string& text, support::Rng& rng) {
+  static const char* kSwaps[] = {"null", "true", "-1", "1e308", "\"\"",
+                                 "[]",   "{}",   "[[[[[[[[[[1]]]]]]]]]]"};
+  if (text.empty()) return;
+  const std::size_t pos = rng.index(text.size());
+  switch (rng.index(5)) {
+    case 0:
+      text[pos] = static_cast<char>(rng.uniform_int(32, 126));
+      break;
+    case 1:
+      text.erase(pos, 1);
+      break;
+    case 2:
+      text.insert(pos, 1, static_cast<char>(rng.uniform_int(32, 126)));
+      break;
+    case 3:  // truncation: keep a prefix
+      text.resize(pos);
+      break;
+    default:  // type swap / depth bomb at a random position
+      text.insert(pos, kSwaps[rng.index(std::size(kSwaps))]);
+      break;
+  }
+}
+
+template <typename LoadFn>
+void fuzz_loader(const LoadFn& load, const std::string& valid,
+                 std::uint64_t seed) {
+  ASSERT_TRUE(load_gracefully(load, valid)) << "seed document must load";
+  support::Rng rng(seed);
+  for (int doc = 0; doc < 150; ++doc) {
+    std::string text = valid;
+    const std::size_t edits = 1 + rng.index(5);
+    for (std::size_t e = 0; e < edits && !text.empty(); ++e) mutate(text, rng);
+    (void)load_gracefully(load, text);
+  }
+  // Pure truncation sweep: every prefix of the valid document.
+  for (std::size_t len = 0; len < valid.size(); ++len) {
+    (void)load_gracefully(load, valid.substr(0, len));
+  }
+}
+
+class LoaderFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LoaderFuzz, WorkloadLoaderNeverCrashes) {
+  const std::string valid =
+      workload_to_string(workloads::make_by_name("chatbot"));
+  fuzz_loader([](const std::string& t) { (void)workload_from_string(t); },
+              valid, GetParam() + 4000);
+}
+
+TEST_P(LoaderFuzz, ChaosProfileLoaderNeverCrashes) {
+  const workloads::Workload w = workloads::make_by_name("chatbot");
+  const std::string valid = R"({
+    "name": "fuzz-profile",
+    "incidents": [
+      {"kind": "outage", "name": "zone down", "start_seconds": 600,
+       "end_seconds": 1200, "ramp_seconds": 60, "severity": 0.95,
+       "targets": ["preprocess", "aggregate"]},
+      {"kind": "brownout", "start_seconds": 100, "end_seconds": 400},
+      {"kind": "throttle_storm", "start_seconds": 50, "end_seconds": 80,
+       "severity": 0.4}
+    ]})";
+  fuzz_loader(
+      [&w](const std::string& t) {
+        (void)chaos_profile_from_json(w.workflow, parse_json(t));
+      },
+      valid, GetParam() + 5000);
+}
+
+TEST_P(LoaderFuzz, ArrivalTraceLoaderNeverCrashes) {
+  const std::string valid = R"({"arrivals": [
+    {"t": 0.0, "scale": 1.0}, {"t": 0.5}, {"t": 1.25, "scale": 0.7},
+    {"t": 2.0, "scale": 1.4}, {"t": 9.75}]})";
+  fuzz_loader(
+      [](const std::string& t) { (void)arrival_trace_from_json(parse_json(t)); },
+      valid, GetParam() + 6000);
+}
+
+TEST(LoaderFuzz, DepthBombRejectedNotOverflowed) {
+  // A pathological 20k-deep nesting wrapped in each loader's outer schema:
+  // loaders must reject (or survive) without exhausting the stack.
+  std::string bomb(20000, '[');
+  bomb += "1";
+  bomb.append(20000, ']');
+  (void)load_gracefully(
+      [](const std::string& t) { (void)workload_from_string(t); },
+      R"({"name": "bomb", "slo_seconds": 10, "functions": )" + bomb +
+          R"(, "edges": []})");
+  (void)load_gracefully(
+      [](const std::string& t) { (void)arrival_trace_from_json(parse_json(t)); },
+      R"({"arrivals": )" + bomb + "}");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LoaderFuzz, ::testing::Range<std::uint64_t>(1, 6));
 
 }  // namespace
 }  // namespace aarc::io

@@ -97,22 +97,20 @@ TEST_P(WorkloadRoundTrip, PreservesStructureAndBehaviour) {
 INSTANTIATE_TEST_SUITE_P(PaperWorkloads, WorkloadRoundTrip,
                          ::testing::Values("chatbot", "ml_pipeline", "video_analysis"));
 
+/// Run the loader on a bad document and return the JsonError message (the
+/// loader must throw; anything else fails the test).
+std::string load_error(const std::string& text) {
+  try {
+    workload_from_string(text);
+  } catch (const JsonError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "document was accepted: " << text;
+  return "";
+}
+
 TEST(WorkloadIo, RejectsBadDocuments) {
   EXPECT_THROW(workload_from_string("{}"), JsonError);
-  // Cycle.
-  EXPECT_THROW(workload_from_string(R"({
-    "name": "bad", "slo_seconds": 10,
-    "functions": [
-      {"name": "a", "model": {"type": "analytic", "serial_seconds": 1}},
-      {"name": "b", "model": {"type": "analytic", "serial_seconds": 1}}],
-    "edges": [["a", "b"], ["b", "a"]]})"),
-               support::ContractViolation);
-  // Unknown edge endpoint.
-  EXPECT_THROW(workload_from_string(R"({
-    "name": "bad", "slo_seconds": 10,
-    "functions": [{"name": "a", "model": {"type": "analytic", "serial_seconds": 1}}],
-    "edges": [["a", "ghost"]]})"),
-               support::ContractViolation);
   // Non-positive SLO.
   EXPECT_THROW(workload_from_string(R"({
     "name": "bad", "slo_seconds": 0,
@@ -125,6 +123,75 @@ TEST(WorkloadIo, RejectsBadDocuments) {
     "functions": [{"name": "a", "model": {"type": "analytic", "serial_seconds": 1}}],
     "edges": [], "input_classes": [{"class": "gigantic", "scale": 2}]})"),
                JsonError);
+}
+
+TEST(WorkloadIo, RejectsSchemaViolationsWithActionableMessages) {
+  // Cyclic edges: named as such, not a bare DAG-layer contract failure.
+  EXPECT_NE(load_error(R"({
+    "name": "bad", "slo_seconds": 10,
+    "functions": [
+      {"name": "a", "model": {"type": "analytic", "serial_seconds": 1}},
+      {"name": "b", "model": {"type": "analytic", "serial_seconds": 1}}],
+    "edges": [["a", "b"], ["b", "a"]]})")
+                .find("cyclic"),
+            std::string::npos);
+  // Unknown edge endpoint: the message names the offending function.
+  EXPECT_NE(load_error(R"({
+    "name": "bad", "slo_seconds": 10,
+    "functions": [{"name": "a", "model": {"type": "analytic", "serial_seconds": 1}}],
+    "edges": [["a", "ghost"]]})")
+                .find("unknown function 'ghost'"),
+            std::string::npos);
+  // Duplicate function name.
+  EXPECT_NE(load_error(R"({
+    "name": "bad", "slo_seconds": 10,
+    "functions": [
+      {"name": "a", "model": {"type": "analytic", "serial_seconds": 1}},
+      {"name": "a", "model": {"type": "analytic", "serial_seconds": 2}}],
+    "edges": []})")
+                .find("duplicate function name 'a'"),
+            std::string::npos);
+  // Self-loop.
+  EXPECT_NE(load_error(R"({
+    "name": "bad", "slo_seconds": 10,
+    "functions": [{"name": "a", "model": {"type": "analytic", "serial_seconds": 1}}],
+    "edges": [["a", "a"]]})")
+                .find("self-loop"),
+            std::string::npos);
+  // Empty function list.
+  EXPECT_NE(load_error(R"({
+    "name": "bad", "slo_seconds": 10, "functions": [], "edges": []})")
+                .find("no functions"),
+            std::string::npos);
+  // Empty function name.
+  EXPECT_NE(load_error(R"({
+    "name": "bad", "slo_seconds": 10,
+    "functions": [{"name": "", "model": {"type": "analytic", "serial_seconds": 1}}],
+    "edges": []})")
+                .find("empty name"),
+            std::string::npos);
+}
+
+/// The committed bad-workflow fixtures (mirroring bad_chaos_profile.json)
+/// must keep failing for their intended reason.
+std::string bad_fixture_path(const std::string& name) {
+  const std::string self = __FILE__;
+  const auto pos = self.rfind("/io/");
+  return self.substr(0, pos) + "/data/" + name + ".json";
+}
+
+TEST(WorkloadIo, BadWorkflowFixturesFailForTheirIntendedReason) {
+  EXPECT_NE(load_error(read_text_file(bad_fixture_path("bad_workflow_cycle")))
+                .find("cyclic"),
+            std::string::npos);
+  EXPECT_NE(
+      load_error(read_text_file(bad_fixture_path("bad_workflow_unknown_edge")))
+          .find("unknown function"),
+      std::string::npos);
+  EXPECT_NE(
+      load_error(read_text_file(bad_fixture_path("bad_workflow_duplicate_function")))
+          .find("duplicate function name"),
+      std::string::npos);
 }
 
 TEST(ConfigIo, RoundTrip) {

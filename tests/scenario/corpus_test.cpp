@@ -1,0 +1,57 @@
+// The checked-in corpus (data/scenarios/) must stay byte-identical to what
+// the generator produces for its recorded (seed, index) provenance — the
+// on-disk proof of the determinism contract, and a tripwire for accidental
+// generator changes (which must regenerate the corpus, see doc/SCENARIOS.md).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "io/workflow_io.h"
+#include "scenario/generator.h"
+#include "scenario/scenario_io.h"
+
+namespace aarc::scenario {
+namespace {
+
+std::string repo_root() {
+  const std::string self = __FILE__;
+  return self.substr(0, self.rfind("/tests/"));
+}
+
+/// Options data/scenarios was generated with:
+///   aarc_cli gen-scenarios data/scenarios --count 10 --seed 42 --chaos-prob 0.2
+GeneratorOptions corpus_options() {
+  GeneratorOptions options;
+  options.chaos_probability = 0.2;
+  return options;
+}
+
+TEST(Corpus, CheckedInScenariosMatchTheirProvenance) {
+  const std::string dir = repo_root() + "/data/scenarios/";
+  std::size_t verified = 0;
+  for (std::size_t index = 0; index < 10; ++index) {
+    const Scenario expected = generate_scenario(42, index, corpus_options());
+    const std::string path = dir + expected.name + ".json";
+    const std::string on_disk = io::read_text_file(path);  // throws if missing
+    EXPECT_EQ(on_disk, scenario_to_string(expected))
+        << path << " drifted from generate_scenario(42, " << index << ")";
+    ++verified;
+  }
+  EXPECT_EQ(verified, 10u);
+}
+
+TEST(Corpus, CheckedInScenariosParse) {
+  const std::string dir = repo_root() + "/data/scenarios/";
+  for (std::size_t index = 0; index < 10; ++index) {
+    const Scenario expected = generate_scenario(42, index, corpus_options());
+    const Scenario loaded =
+        scenario_from_string(io::read_text_file(dir + expected.name + ".json"));
+    EXPECT_EQ(loaded.name, expected.name);
+    EXPECT_EQ(loaded.index, index);
+    EXPECT_EQ(loaded.corpus_seed, 42u);
+    EXPECT_GT(loaded.workload.workflow.function_count(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace aarc::scenario

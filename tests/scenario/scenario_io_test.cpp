@@ -1,0 +1,57 @@
+// Scenario document schema: round trips, provenance, and error paths.
+#include "scenario/scenario_io.h"
+
+#include <gtest/gtest.h>
+
+#include "scenario/generator.h"
+
+namespace aarc::scenario {
+namespace {
+
+TEST(ScenarioIo, RoundTripPreservesEverything) {
+  GeneratorOptions options;
+  options.chaos_probability = 1.0;
+  const Scenario original = generate_scenario(42, 2, options);
+  const Scenario restored = scenario_from_string(scenario_to_string(original));
+
+  EXPECT_EQ(restored.name, original.name);
+  EXPECT_EQ(restored.corpus_seed, original.corpus_seed);
+  EXPECT_EQ(restored.index, original.index);
+  EXPECT_EQ(restored.topology, original.topology);
+  EXPECT_EQ(restored.workload.workflow.function_count(),
+            original.workload.workflow.function_count());
+  EXPECT_DOUBLE_EQ(restored.workload.slo_seconds, original.workload.slo_seconds);
+  EXPECT_EQ(restored.chaos.size(), original.chaos.size());
+  // Byte-stability: print(parse(print(s))) == print(s).
+  EXPECT_EQ(scenario_to_string(restored), scenario_to_string(original));
+}
+
+TEST(ScenarioIo, OmitsChaosKeyWhenEmpty) {
+  const Scenario s = generate_scenario(42, 0);  // chaos_probability defaults to 0
+  ASSERT_TRUE(s.chaos.empty());
+  EXPECT_FALSE(scenario_to_json(s).contains("chaos"));
+}
+
+TEST(ScenarioIo, RejectsWrongOrMissingSchemaTag) {
+  const Scenario s = generate_scenario(42, 0);
+  io::Json doc = scenario_to_json(s);
+  doc.as_object()["schema"] = "aarc-scenario-v999";
+  EXPECT_THROW(scenario_from_json(doc), io::JsonError);
+  doc.as_object().erase("schema");
+  EXPECT_THROW(scenario_from_json(doc), io::JsonError);
+}
+
+TEST(ScenarioIo, RejectsMissingWorkload) {
+  io::Json doc = scenario_to_json(generate_scenario(42, 0));
+  doc.as_object().erase("workload");
+  EXPECT_THROW(scenario_from_json(doc), io::JsonError);
+}
+
+TEST(ScenarioIo, RejectsMalformedProvenance) {
+  io::Json doc = scenario_to_json(generate_scenario(42, 0));
+  doc.as_object()["seed"] = "not-a-number";
+  EXPECT_THROW(scenario_from_json(doc), io::JsonError);
+}
+
+}  // namespace
+}  // namespace aarc::scenario

@@ -1,0 +1,86 @@
+// Robustness-sweep harness contracts: clean audits, determinism across runs
+// and thread counts, and a sane win rule on a small corpus.
+#include "scenario/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include "support/contracts.h"
+
+namespace aarc::scenario {
+namespace {
+
+SweepOptions small_sweep() {
+  SweepOptions opts;
+  opts.scenario_count = 3;
+  opts.seed = 42;
+  opts.bo_max_samples = 30;
+  opts.maff_max_samples = 30;
+  opts.validation_runs = 10;
+  opts.deep_audit_stride = 2;  // scenario 0 and 2 get the expensive audits
+  opts.generator.chaos_probability = 0.5;
+  return opts;
+}
+
+TEST(Sweep, SmallSweepAuditsCleanAndReproducesByteIdentically) {
+  const SweepOptions opts = small_sweep();
+  const SweepResult first = run_sweep(opts);
+  const SweepResult second = run_sweep(opts);
+
+  ASSERT_EQ(first.scenarios.size(), opts.scenario_count);
+  for (const auto& v : first.violations) ADD_FAILURE() << to_string(v);
+  EXPECT_EQ(sweep_to_json(opts, first).dump(2), sweep_to_json(opts, second).dump(2));
+}
+
+TEST(Sweep, ThreadCountDoesNotChangeResults) {
+  SweepOptions opts = small_sweep();
+  opts.scenario_count = 2;
+  opts.deep_audit_stride = 0;  // thread determinism is the property under test
+  const std::string single = sweep_to_json(opts, run_sweep(opts)).dump(2);
+  opts.threads = 4;
+  SweepOptions reference = opts;
+  reference.threads = 1;
+  // The options echo includes the thread count, so compare scenario rows via
+  // the result of the 4-thread run rendered with the 1-thread options echo.
+  const std::string parallel = sweep_to_json(reference, run_sweep(opts)).dump(2);
+  EXPECT_EQ(single, parallel);
+}
+
+TEST(Sweep, ProgressCallbackSeesEveryScenarioInOrder) {
+  const SweepOptions opts = small_sweep();
+  std::vector<std::string> names;
+  const SweepResult result = run_sweep(
+      opts, [&names](const ScenarioOutcome& o) { names.push_back(o.name); });
+  ASSERT_EQ(names.size(), result.scenarios.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(names[i], result.scenarios[i].name);
+  }
+}
+
+TEST(Sweep, WinAccountingIsConsistent) {
+  const SweepResult result = run_sweep(small_sweep());
+  EXPECT_LE(result.wins(), result.scenarios.size());
+  EXPECT_GE(result.aarc_win_rate(), 0.0);
+  EXPECT_LE(result.aarc_win_rate(), 1.0);
+  std::size_t wins = 0;
+  for (const auto& o : result.scenarios) {
+    if (o.aarc_win) ++wins;
+    // A win requires AARC feasibility by definition.
+    if (o.aarc_win) EXPECT_TRUE(o.aarc.feasible);
+  }
+  EXPECT_EQ(wins, result.wins());
+}
+
+TEST(Sweep, OptionsValidate) {
+  SweepOptions opts;
+  opts.scenario_count = 0;
+  EXPECT_THROW(opts.validate(), support::ContractViolation);
+  opts = {};
+  opts.win_cost_slack = 0.5;
+  EXPECT_THROW(opts.validate(), support::ContractViolation);
+  opts = {};
+  opts.validation_runs = 0;
+  EXPECT_THROW(opts.validate(), support::ContractViolation);
+}
+
+}  // namespace
+}  // namespace aarc::scenario

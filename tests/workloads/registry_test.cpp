@@ -1,0 +1,60 @@
+// Runtime workload registration: loaded scenarios join the catalog.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "support/contracts.h"
+#include "workloads/catalog.h"
+
+namespace aarc::workloads {
+namespace {
+
+Workload sample_workload(double slo) {
+  Workload w = make_by_name("chatbot");
+  w.slo_seconds = slo;
+  return w;
+}
+
+TEST(Registry, RegisterLookupAndUnregister) {
+  register_workload("registry_test_wl", sample_workload(123.0));
+
+  const auto names = all_workload_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "registry_test_wl"), names.end());
+
+  const Workload loaded = make_by_name("registry_test_wl");
+  EXPECT_DOUBLE_EQ(loaded.slo_seconds, 123.0);
+  EXPECT_GT(loaded.workflow.function_count(), 0u);
+
+  // Lookups hand out independent deep copies.
+  Workload a = make_by_name("registry_test_wl");
+  a.slo_seconds = 1.0;
+  EXPECT_DOUBLE_EQ(make_by_name("registry_test_wl").slo_seconds, 123.0);
+
+  unregister_workload("registry_test_wl");
+  EXPECT_THROW(make_by_name("registry_test_wl"), support::ContractViolation);
+  const auto after = all_workload_names();
+  EXPECT_EQ(std::find(after.begin(), after.end(), "registry_test_wl"), after.end());
+}
+
+TEST(Registry, ReRegisteringReplaces) {
+  register_workload("registry_test_replace", sample_workload(10.0));
+  register_workload("registry_test_replace", sample_workload(20.0));
+  EXPECT_DOUBLE_EQ(make_by_name("registry_test_replace").slo_seconds, 20.0);
+  unregister_workload("registry_test_replace");
+}
+
+TEST(Registry, BuiltinsCannotBeShadowed) {
+  EXPECT_THROW(register_workload("chatbot", sample_workload(1.0)),
+               support::ContractViolation);
+  EXPECT_THROW(register_workload("", sample_workload(1.0)),
+               support::ContractViolation);
+}
+
+TEST(Registry, UnregisterUnknownIsANoOp) {
+  unregister_workload("never_registered");  // must not throw
+  const auto names = all_workload_names();
+  EXPECT_GE(names.size(), 4u);  // built-ins intact
+}
+
+}  // namespace
+}  // namespace aarc::workloads

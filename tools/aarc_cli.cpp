@@ -10,9 +10,15 @@
 //   advise <workload> [--config <file>]    per-function affinity/cost report
 //   serve <workload> [--requests N]        run a request stream on the DES
 //   compare <workload>                     AARC vs BO vs MAFF vs random vs oracle
+//   gen-scenarios <dir> [--count N] [--seed K]
+//                                          write a seeded scenario corpus
+//   sweep [--scenarios N] [--seed K]       robustness sweep: AARC vs BO vs MAFF
+//                                          on generated scenarios + invariant audit
 //
 // <workload> is a built-in name (chatbot | ml_pipeline | video_analysis) or a
-// path to a workload JSON file (see src/io/workflow_io.h for the schema).
+// path to a workload JSON file (see src/io/workflow_io.h for the schema) or a
+// scenario file (see src/scenario/scenario_io.h; the embedded workload is
+// registered in the catalog under the scenario name).
 
 #include <iostream>
 #include <map>
@@ -43,8 +49,13 @@
 #include "report/advisory.h"
 #include "report/comparison.h"
 #include "report/metrics_report.h"
+#include "scenario/generator.h"
+#include "scenario/scenario_io.h"
+#include "scenario/sweep.h"
 #include "support/strings.h"
 #include "workloads/catalog.h"
+
+#include <filesystem>
 
 using namespace aarc;
 
@@ -91,7 +102,16 @@ workloads::Workload load_workload(const std::string& name_or_path) {
   for (const auto& name : workloads::all_workload_names()) {
     if (name == name_or_path) return workloads::make_by_name(name);
   }
-  return io::workload_from_string(io::read_text_file(name_or_path));
+  const io::Json doc = io::parse_json(io::read_text_file(name_or_path));
+  if (doc.is_object() && doc.contains("schema") && doc.at("schema").is_string() &&
+      doc.at("schema").as_string() == scenario::kScenarioSchema) {
+    // Scenario file: register the embedded workload so the rest of this run
+    // (and any catalog-driven code path) can find it by name.
+    scenario::Scenario s = scenario::scenario_from_json(doc);
+    workloads::register_workload(s.name, std::move(s.workload));
+    return workloads::make_by_name(s.name);
+  }
+  return io::workload_from_json(doc);
 }
 
 double option_number(const Args& args, const std::string& key, double fallback) {
@@ -571,6 +591,82 @@ int cmd_compare(const Args& args) {
   return 0;
 }
 
+/// Generator knobs shared by gen-scenarios and sweep: --chaos-prob plus the
+/// taxonomy size bounds (defaults from GeneratorOptions).
+scenario::GeneratorOptions generator_options(const Args& args) {
+  scenario::GeneratorOptions gen;
+  gen.chaos_probability = option_number(args, "chaos-prob", gen.chaos_probability);
+  gen.max_depth = static_cast<std::size_t>(
+      option_number(args, "max-depth", static_cast<double>(gen.max_depth)));
+  gen.max_width = static_cast<std::size_t>(
+      option_number(args, "max-width", static_cast<double>(gen.max_width)));
+  gen.validate();
+  return gen;
+}
+
+int cmd_gen_scenarios(const Args& args) {
+  // The workload positional doubles as the output directory.
+  const std::string dir = args.workload;
+  const auto count = static_cast<std::size_t>(option_number(args, "count", 25));
+  const auto seed = static_cast<std::uint64_t>(option_number(args, "seed", 42));
+  const auto corpus = scenario::generate_corpus(seed, count, generator_options(args));
+  std::filesystem::create_directories(dir);
+  for (const auto& s : corpus) {
+    const std::string path = dir + "/" + s.name + ".json";
+    io::write_text_file(path, scenario::scenario_to_string(s));
+    std::cout << path << "  (" << s.workload.workflow.function_count()
+              << " functions, SLO " << support::format_double(s.workload.slo_seconds, 1)
+              << " s" << (s.chaos.empty() ? "" : ", chaos") << ")\n";
+  }
+  std::cout << "wrote " << corpus.size() << " scenarios to " << dir << "\n";
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  scenario::SweepOptions opts;
+  opts.scenario_count = static_cast<std::size_t>(option_number(args, "scenarios", 25));
+  opts.seed = static_cast<std::uint64_t>(option_number(args, "seed", 42));
+  opts.generator = generator_options(args);
+  opts.threads = static_cast<std::size_t>(option_number(args, "threads", 1));
+  opts.probe_cache = option_switch(args, "probe-cache", true);
+  opts.bo_max_samples = static_cast<std::size_t>(
+      option_number(args, "bo-samples", static_cast<double>(opts.bo_max_samples)));
+  opts.maff_max_samples = static_cast<std::size_t>(option_number(
+      args, "maff-samples", static_cast<double>(opts.maff_max_samples)));
+  opts.validation_runs = static_cast<std::size_t>(option_number(
+      args, "validation-runs", static_cast<double>(opts.validation_runs)));
+  opts.deep_audit_stride = static_cast<std::size_t>(option_number(
+      args, "deep-audit-stride", static_cast<double>(opts.deep_audit_stride)));
+  opts.validate();
+
+  const auto result = scenario::run_sweep(opts, [](const scenario::ScenarioOutcome& o) {
+    std::cout << o.name << ": aarc "
+              << (o.aarc.feasible ? support::format_double(o.aarc.mean_cost, 1)
+                                  : std::string("infeasible"))
+              << " | bo "
+              << (o.bo.feasible ? support::format_double(o.bo.mean_cost, 1)
+                                : std::string("infeasible"))
+              << " | maff "
+              << (o.maff.feasible ? support::format_double(o.maff.mean_cost, 1)
+                                  : std::string("infeasible"))
+              << (o.aarc_win ? "  -> win" : "")
+              << (o.violations != 0 ? "  !! AUDIT" : "") << "\n";
+  });
+
+  std::cout << "\nscenarios: " << result.scenarios.size() << ", AARC wins: "
+            << result.wins() << " ("
+            << support::format_percent(result.aarc_win_rate(), 1) << ")\n";
+  std::cout << "audit violations: " << result.violations.size() << "\n";
+  for (const auto& v : result.violations) std::cout << "  " << to_string(v) << "\n";
+
+  const auto out = args.options.find("out");
+  if (out != args.options.end()) {
+    io::write_text_file(out->second, scenario::sweep_to_json(opts, result).dump(2) + "\n");
+    std::cout << "wrote " << out->second << "\n";
+  }
+  return result.violations.empty() ? 0 : 1;
+}
+
 /// The run's primary seed for the manifest: --seed when given, else the
 /// default the dispatched command actually uses.
 std::uint64_t manifest_seed(const Args& args) {
@@ -582,6 +678,8 @@ std::uint64_t manifest_seed(const Args& args) {
     fallback = 4242.0;
   } else if (args.command == "serve") {
     fallback = 77.0;
+  } else if (args.command == "sweep" || args.command == "gen-scenarios") {
+    fallback = 42.0;
   }
   return static_cast<std::uint64_t>(option_number(args, "seed", fallback));
 }
@@ -625,6 +723,9 @@ int usage() {
                "  advise   <workload>                 per-function affinity report\n"
                "  serve    <workload>                 run a request stream on the DES\n"
                "  compare  <workload>                 AARC vs BO vs MAFF vs random\n"
+               "  gen-scenarios <dir>                 write a seeded scenario corpus\n"
+               "  sweep                               robustness sweep + invariant audit\n"
+               "                                      (see doc/SCENARIOS.md)\n"
                "platform (simulate | serve):\n"
                "  --scale S            input scale multiplier (default 1)\n"
                "  --runs N             simulate: validation executions (default 100)\n"
@@ -676,12 +777,26 @@ int usage() {
                "  --retry-backoff S    initial retry backoff seconds (default 0.5)\n"
                "  --timeout S          per-attempt timeout seconds (0 = none)\n"
                "  --probe-resamples N  schedule only: probe re-runs on failure\n"
+               "scenarios (gen-scenarios | sweep; see doc/SCENARIOS.md):\n"
+               "  --count N            gen-scenarios: corpus size (default 25)\n"
+               "  --scenarios N        sweep: scenario count (default 25)\n"
+               "  --seed K             corpus seed (default 42); same seed =>\n"
+               "                       byte-identical scenarios and sweep results\n"
+               "  --chaos-prob P       probability of a chaos overlay (default 0)\n"
+               "  --max-depth/-width N taxonomy size bounds\n"
+               "  --bo-samples N       sweep: BO billed-sample budget (default 60)\n"
+               "  --maff-samples N     sweep: MAFF billed-sample budget (default 60)\n"
+               "  --validation-runs N  sweep: noisy validations per config (40)\n"
+               "  --deep-audit-stride N\n"
+               "                       sweep: serving/threads audits every Nth\n"
+               "                       scenario (default 10, 0 = off)\n"
                "search (schedule | compare):\n"
                "  --threads N          evaluator worker threads; results are\n"
                "                       identical for every value (default 1)\n"
                "  --probe-cache on|off memoize repeated probe configurations\n"
                "output:\n"
-               "  --out file           export | schedule: write instead of print\n"
+               "  --out file           export | schedule: write instead of print;\n"
+               "                       sweep: write the aggregate JSON report\n"
                "  --trace file.csv     schedule: write the probe trace as CSV\n"
                "  --config file        simulate | advise | serve: config to use\n"
                "observability (all commands; see doc/OBSERVABILITY.md):\n"
@@ -705,13 +820,19 @@ int run_command(const Args& args) {
   if (args.command == "advise") return cmd_advise(args);
   if (args.command == "serve") return cmd_serve(args);
   if (args.command == "compare") return cmd_compare(args);
+  if (args.command == "gen-scenarios") return cmd_gen_scenarios(args);
+  if (args.command == "sweep") return cmd_sweep(args);
   return usage();
 }
 
 int main(int argc, char** argv) {
   try {
     const Args args = parse_args(argc, argv);
-    if (args.command.empty() || args.workload.empty()) return usage();
+    // sweep runs on generated scenarios; it takes no workload positional.
+    const bool needs_workload = args.command != "sweep";
+    if (args.command.empty() || (needs_workload && args.workload.empty())) {
+      return usage();
+    }
     // Span recording is opt-in (timestamps cost a little and are only useful
     // when exported); metrics are always on — they're cheaper than the
     // platform work they count.
