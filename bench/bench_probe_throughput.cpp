@@ -1,0 +1,319 @@
+// Vectorized probe hot path: single-thread throughput of the SoA kernel.
+//
+// The batch-first evaluator routes noise-free/noisy (but fault-free) probes
+// through platform::Executor::execute_lanes — one blocked pass over the DAG
+// that evaluates every lane of a batch against each function's performance
+// model with hoisted per-node constants and no per-probe allocation.  The
+// headline here compares that kernel directly against the legacy per-probe
+// engine it replaced: one execute() per probe, a fresh rng and span per
+// probe, and an Evaluation materialized through two heap vectors per probe
+// (replicated inline below, faithful to the deleted scalar engine).
+//
+// A secondary table reports the same ratio measured end to end through
+// search::Evaluator::evaluate_batch, which adds the shared commit costs both
+// the old and new evaluators pay per probe (trace sample, config snapshot);
+// it is informational, with no bar of its own.
+//
+// Bit-identity is checked, not assumed: the kernel must reproduce the
+// scalar makespans, costs, and per-invocation lanes exactly or the bench
+// exits nonzero.  The acceptance property — >= 10x single-thread kernel
+// speedup on the analytic model (>= 6x under the --smoke budget, where
+// timing jitter matters) plus a conservative absolute throughput floor —
+// is printed as PASS/FAIL for CTest, and the headline numbers land in
+// BENCH_probe_throughput.json.
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "bench_json.h"
+#include "dag/lane_schedule.h"
+#include "obs/span.h"
+#include "platform/executor.h"
+#include "platform/lanes.h"
+#include "search/evaluator.h"
+#include "support/rng.h"
+#include "support/table.h"
+#include "workloads/catalog.h"
+
+using namespace aarc;
+
+namespace {
+
+/// What the pre-SoA evaluator kept per probe: the sample plus two owned
+/// per-function vectors.
+struct LegacyEvaluation {
+  double makespan = 0.0;
+  double cost = 0.0;
+  bool failed = false;
+  double wall_seconds = 0.0;
+  double wall_cost = 0.0;
+  std::vector<double> function_runtimes;
+  std::vector<double> function_costs;
+};
+
+std::vector<platform::WorkflowConfig> config_spread(std::size_t functions,
+                                                    std::size_t count) {
+  const double cpus[] = {0.5, 1.0, 2.0, 4.0};
+  const double mems[] = {512.0, 768.0, 1024.0, 2048.0};
+  std::vector<platform::WorkflowConfig> configs;
+  configs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    platform::WorkflowConfig cfg(functions);
+    for (std::size_t f = 0; f < functions; ++f) {
+      cfg[f].vcpu = cpus[(i + f) % 4];
+      cfg[f].memory_mb = mems[(i * 3 + f) % 4];
+    }
+    configs.push_back(std::move(cfg));
+  }
+  return configs;
+}
+
+/// The deleted per-probe engine, faithfully: per-probe span, per-probe rng
+/// at the derived stream, one execute(), and an Evaluation materialized
+/// through ExecutionResult::runtimes() plus a cost-copy loop.
+std::vector<LegacyEvaluation> run_legacy(const platform::Workflow& wf,
+                                         const platform::Executor& ex,
+                                         const std::vector<platform::WorkflowConfig>& cfgs,
+                                         double input_scale, std::uint64_t seed,
+                                         double& seconds) {
+  std::vector<LegacyEvaluation> out;
+  out.reserve(cfgs.size());
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    obs::Span span("search.probe", "search");
+    support::Rng rng(support::derive_seed(seed, i));
+    const platform::ExecutionResult result = ex.execute(wf, cfgs[i], input_scale, rng);
+    LegacyEvaluation eval;
+    eval.makespan = result.makespan;
+    eval.cost = result.total_cost;
+    eval.failed = result.failed;
+    eval.wall_seconds = result.observed_wall_seconds();
+    eval.wall_cost = result.observed_cost();
+    eval.function_runtimes = result.runtimes();
+    eval.function_costs.reserve(result.invocations.size());
+    for (const auto& inv : result.invocations) eval.function_costs.push_back(inv.cost);
+    out.push_back(std::move(eval));
+  }
+  seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                .count();
+  return out;
+}
+
+/// The SoA kernel, raw: one function-major lane buffer, per-lane stream
+/// seeds at the same derivations, one execute_lanes() call.  Seed
+/// derivation is timed — the legacy loop pays for its per-probe rngs too.
+void run_kernel(const platform::Workflow& wf, const platform::Executor& ex,
+                const std::vector<platform::WorkflowConfig>& cfgs,
+                double input_scale, std::uint64_t seed,
+                platform::ExecutionLanes& lanes, double& seconds) {
+  const dag::LaneSchedule schedule(wf.graph());
+  const std::size_t fns = wf.function_count();
+  const std::size_t n = cfgs.size();
+  const bool noisy = ex.options().noise.sigma() > 0.0;
+  const auto start = std::chrono::steady_clock::now();
+  lanes.resize(fns, n);
+  // Function-major fill: writes stream sequentially through each lane row.
+  for (std::size_t f = 0; f < fns; ++f) {
+    double* vcpu = lanes.vcpu.data() + f * n;
+    double* mem = lanes.memory_mb.data() + f * n;
+    for (std::size_t i = 0; i < n; ++i) {
+      vcpu[i] = cfgs[i][f].vcpu;
+      mem[i] = cfgs[i][f].memory_mb;
+    }
+  }
+  std::vector<std::uint64_t> seeds;
+  if (noisy) {
+    seeds.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      seeds.push_back(support::derive_seed(seed, i));
+    }
+  }
+  ex.execute_lanes(wf, schedule, input_scale, lanes, 0, n,
+                   noisy ? seeds.data() : nullptr);
+  seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                .count();
+}
+
+std::vector<search::ProbeResult> run_evaluator(const platform::Workflow& wf,
+                                               const platform::Executor& ex,
+                                               const std::vector<platform::WorkflowConfig>& cfgs,
+                                               double input_scale, std::uint64_t seed,
+                                               double slo, double& seconds) {
+  search::Evaluator evaluator(wf, ex, slo, input_scale, seed);
+  search::ProbeBatch batch = evaluator.make_batch();
+  batch.reserve(cfgs.size());
+  for (const auto& cfg : cfgs) batch.add(cfg);
+  const auto start = std::chrono::steady_clock::now();
+  auto results = evaluator.evaluate_batch(batch, search::ExecutionPolicy::serial());
+  seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                .count();
+  return results;
+}
+
+bool lanes_identical(const std::vector<LegacyEvaluation>& legacy,
+                     const platform::ExecutionLanes& lanes) {
+  if (legacy.size() != lanes.lane_count) return false;
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    if (legacy[i].makespan != lanes.makespan[i]) return false;
+    if (legacy[i].cost != lanes.total_cost[i]) return false;
+    if (legacy[i].failed != (lanes.failed[i] != 0)) return false;
+    if (legacy[i].wall_seconds != lanes.wall_seconds[i]) return false;
+    if (legacy[i].wall_cost != lanes.wall_cost[i]) return false;
+    for (std::size_t f = 0; f < legacy[i].function_runtimes.size(); ++f) {
+      if (legacy[i].function_runtimes[f] != lanes.runtime[lanes.at(f, i)]) return false;
+      if (legacy[i].function_costs[f] != lanes.cost[lanes.at(f, i)]) return false;
+    }
+  }
+  return true;
+}
+
+bool results_identical(const std::vector<LegacyEvaluation>& legacy,
+                       const std::vector<search::ProbeResult>& batch) {
+  if (legacy.size() != batch.size()) return false;
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    if (legacy[i].makespan != batch[i].sample.makespan) return false;
+    if (legacy[i].cost != batch[i].sample.cost) return false;
+    if (legacy[i].failed != batch[i].sample.failed) return false;
+    if (legacy[i].function_runtimes.size() != batch[i].function_runtimes.size()) {
+      return false;
+    }
+    for (std::size_t f = 0; f < legacy[i].function_runtimes.size(); ++f) {
+      if (legacy[i].function_runtimes[f] != batch[i].function_runtimes[f]) return false;
+      if (legacy[i].function_costs[f] != batch[i].function_costs[f]) return false;
+    }
+  }
+  return true;
+}
+
+struct Measurement {
+  double legacy_per_sec = 0.0;
+  double kernel_per_sec = 0.0;
+  double evaluator_per_sec = 0.0;
+  double kernel_speedup = 0.0;
+  double evaluator_speedup = 0.0;
+  bool identical = false;
+};
+
+Measurement measure(const platform::Workflow& wf, double sigma, std::size_t probes,
+                    double input_scale, double slo) {
+  platform::ExecutorOptions opts;
+  opts.noise = perf::NoiseModel{sigma};
+  const platform::Executor ex(std::make_unique<platform::DecoupledLinearPricing>(),
+                              opts);
+  const std::uint64_t seed = 3101;
+  const auto configs = config_spread(wf.function_count(), probes);
+
+  // Warm all three paths once (page in code and buffers), then take the
+  // best of several timed repetitions: a single kernel pass over the smoke
+  // batch runs in about a millisecond, well inside scheduler jitter.  The
+  // lane buffer is reused across repetitions, as the evaluator reuses its
+  // own across batches.
+  double warm = 0.0;
+  platform::ExecutionLanes lanes;
+  const auto warm_configs = config_spread(wf.function_count(), 64);
+  (void)run_legacy(wf, ex, warm_configs, input_scale, seed, warm);
+  run_kernel(wf, ex, warm_configs, input_scale, seed, lanes, warm);
+  (void)run_evaluator(wf, ex, warm_configs, input_scale, seed, slo, warm);
+
+  constexpr int kReps = 5;
+  Measurement m;
+  double legacy_seconds = 0.0;
+  double kernel_seconds = 0.0;
+  double evaluator_seconds = 0.0;
+  std::vector<LegacyEvaluation> legacy;
+  std::vector<search::ProbeResult> batch;
+  for (int rep = 0; rep < kReps; ++rep) {
+    double s = 0.0;
+    legacy = run_legacy(wf, ex, configs, input_scale, seed, s);
+    legacy_seconds = rep == 0 ? s : std::min(legacy_seconds, s);
+    run_kernel(wf, ex, configs, input_scale, seed, lanes, s);
+    kernel_seconds = rep == 0 ? s : std::min(kernel_seconds, s);
+    batch = run_evaluator(wf, ex, configs, input_scale, seed, slo, s);
+    evaluator_seconds = rep == 0 ? s : std::min(evaluator_seconds, s);
+  }
+  m.identical = lanes_identical(legacy, lanes) && results_identical(legacy, batch);
+  const double n = static_cast<double>(probes);
+  m.legacy_per_sec = legacy_seconds > 0.0 ? n / legacy_seconds : 0.0;
+  m.kernel_per_sec = kernel_seconds > 0.0 ? n / kernel_seconds : 0.0;
+  m.evaluator_per_sec = evaluator_seconds > 0.0 ? n / evaluator_seconds : 0.0;
+  m.kernel_speedup = legacy_seconds > 0.0 && kernel_seconds > 0.0
+                         ? legacy_seconds / kernel_seconds
+                         : 0.0;
+  m.evaluator_speedup = legacy_seconds > 0.0 && evaluator_seconds > 0.0
+                            ? legacy_seconds / evaluator_seconds
+                            : 0.0;
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+
+  std::cout << "# Vectorized probe hot path: single-thread throughput\n\n";
+
+  const workloads::Workload w = workloads::make_by_name("ml_pipeline");
+  const std::size_t probes = smoke ? 4000 : 40000;
+  const double input_scale = 1.5;  // non-trivial scale: the kernel hoists pow()
+
+  // Headline: the noise-free analytic model (pure arithmetic, no rng).
+  const Measurement clean = measure(w.workflow, 0.0, probes, input_scale,
+                                    w.slo_seconds);
+  // Secondary: with multiplicative noise the kernel draws per active node,
+  // exactly like the scalar path — the win narrows but must persist.
+  const Measurement noisy = measure(w.workflow, 0.03, probes, input_scale,
+                                    w.slo_seconds);
+
+  support::Table table({"noise sigma", "legacy probes/s", "kernel probes/s",
+                        "kernel speedup", "evaluator probes/s",
+                        "evaluator speedup", "bit-identical"});
+  const auto row = [&](const char* label, const Measurement& m) {
+    table.add_row({label, support::format_double(m.legacy_per_sec, 0),
+                   support::format_double(m.kernel_per_sec, 0),
+                   support::format_double(m.kernel_speedup, 2) + "x",
+                   support::format_double(m.evaluator_per_sec, 0),
+                   support::format_double(m.evaluator_speedup, 2) + "x",
+                   m.identical ? "yes" : "NO"});
+  };
+  row("0.00", clean);
+  row("0.03", noisy);
+  std::cout << table.to_markdown() << "\n";
+
+  bench::BenchJson out("probe_throughput");
+  out.set("probes", io::Json(static_cast<double>(probes)));
+  out.set("legacy_probes_per_sec", io::Json(clean.legacy_per_sec));
+  out.set("kernel_probes_per_sec", io::Json(clean.kernel_per_sec));
+  out.set("evaluator_probes_per_sec", io::Json(clean.evaluator_per_sec));
+  out.set("speedup", io::Json(clean.kernel_speedup));
+  out.set("noisy_speedup", io::Json(noisy.kernel_speedup));
+  out.set("evaluator_speedup", io::Json(clean.evaluator_speedup));
+  out.set("bit_identical", io::Json(clean.identical && noisy.identical));
+  out.write();
+  std::cout << "wrote " << out.path() << "\n";
+
+  // Acceptance: bit-identity on both noise settings, the headline kernel
+  // speedup, near-parity on the noisy case, and a conservative absolute
+  // floor so CI catches throughput regressions even if the legacy replica
+  // also got slower.  The noisy case is structurally bound by per-stream
+  // mt19937_64 setup (seeding plus the first twist, ~3us of ~3.5us per
+  // probe) that bit-identity forces both paths to pay, so the kernel can
+  // only reach parity there; the gate guards against a real regression
+  // while tolerating timing jitter around 1.0x.
+  const double speedup_bar = smoke ? 6.0 : 10.0;
+  const double noisy_parity_bar = 0.85;
+  const double floor_probes_per_sec = 100000.0;
+  const bool pass = clean.identical && noisy.identical &&
+                    clean.kernel_speedup >= speedup_bar &&
+                    noisy.kernel_speedup >= noisy_parity_bar &&
+                    clean.kernel_per_sec >= floor_probes_per_sec;
+  std::cout << "probe throughput acceptance: "
+            << support::format_double(clean.kernel_speedup, 2) << "x (bar "
+            << support::format_double(speedup_bar, 1) << "x), "
+            << support::format_double(clean.kernel_per_sec, 0) << " probes/s (floor "
+            << support::format_double(floor_probes_per_sec, 0) << ") : "
+            << (pass ? "PASS" : "FAIL") << "\n";
+  return pass ? 0 : 1;
+}

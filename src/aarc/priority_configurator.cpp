@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <span>
 
 #include "aarc/operation.h"
 #include "obs/metrics.h"
@@ -16,7 +17,7 @@ using support::expects;
 
 namespace {
 
-double path_runtime(const std::vector<double>& function_runtimes,
+double path_runtime(std::span<const double> function_runtimes,
                     const std::vector<dag::NodeId>& path_nodes) {
   double total = 0.0;
   for (dag::NodeId id : path_nodes) total += function_runtimes[id];
@@ -85,7 +86,7 @@ ConfiguratorMetrics& configurator_metrics() {
 PathConfigOutcome PriorityConfigurator::configure_path(
     search::Evaluator& evaluator, const std::vector<dag::NodeId>& path_nodes,
     double path_slo, platform::WorkflowConfig& config,
-    const search::Evaluation& baseline) const {
+    const search::ProbeResult& baseline) const {
   expects(!path_nodes.empty(), "cannot configure an empty path");
   expects(path_slo > 0.0, "path SLO must be positive");
   expects(config.size() == evaluator.workflow().function_count(),
@@ -103,13 +104,15 @@ PathConfigOutcome PriorityConfigurator::configure_path(
       evaluator.slo_seconds() * (1.0 - options_.slo_safety_margin);
 
   PathConfigOutcome outcome;
-  outcome.accepted_runtimes = baseline.function_runtimes;
+  outcome.accepted_runtimes.assign(baseline.function_runtimes.begin(),
+                                   baseline.function_runtimes.end());
   outcome.accepted_path_runtime = path_runtime(baseline.function_runtimes, path_nodes);
 
   RoundState state;
   // Last observed (accepted) cost per function, used for the "cost
   // increases" check of line 14 and for priorities.
-  state.accepted_cost = baseline.function_costs;
+  state.accepted_cost.assign(baseline.function_costs.begin(),
+                             baseline.function_costs.end());
 
   auto run_round = [&](Direction direction, std::size_t forced_step) {
     // Line 3-10: seed the queue with a cpu and a memory op per function.
@@ -149,7 +152,7 @@ PathConfigOutcome PriorityConfigurator::configure_path(
       // MAX_TRAIL is denominated in billed samples: a probe answered from
       // the memoization cache consumed no platform execution and must not
       // burn budget, so the count moves only on executed probes.
-      search::Evaluation eval = evaluator.evaluate(config);
+      search::ProbeResult eval = evaluator.probe(config);
       if (!eval.sample.cache_hit) ++state.count;
       ++outcome.samples_used;
 
@@ -162,7 +165,7 @@ PathConfigOutcome PriorityConfigurator::configure_path(
            left > 0 && eval.sample.failed && eval.sample.transient &&
            state.count < options_.max_trail;
            --left) {
-        eval = evaluator.evaluate(config);
+        eval = evaluator.probe(config);
         if (!eval.sample.cache_hit) ++state.count;
         ++outcome.samples_used;
         ++outcome.transient_retries;
@@ -195,8 +198,9 @@ PathConfigOutcome PriorityConfigurator::configure_path(
 
       // Line 19-22: keep the move; the priority is the achieved cost
       // reduction (FIFO ablation flattens it to a constant).
-      state.accepted_cost = eval.function_costs;
-      outcome.accepted_runtimes = eval.function_runtimes;
+      state.accepted_cost.assign(eval.function_costs.begin(), eval.function_costs.end());
+      outcome.accepted_runtimes.assign(eval.function_runtimes.begin(),
+                                       eval.function_runtimes.end());
       outcome.accepted_path_runtime = new_path_runtime;
       ++outcome.ops_accepted;
       metrics.ops_accepted.inc();

@@ -58,7 +58,7 @@ class PriorityConfigurator {
   PathConfigOutcome configure_path(search::Evaluator& evaluator,
                                    const std::vector<dag::NodeId>& path_nodes,
                                    double path_slo, platform::WorkflowConfig& config,
-                                   const search::Evaluation& baseline) const;
+                                   const search::ProbeResult& baseline) const;
 
   const ConfiguratorOptions& options() const { return options_; }
   const platform::ConfigGrid& grid() const { return grid_; }

@@ -15,14 +15,11 @@ using support::expects;
 
 namespace {
 
-/// Build a baseline Evaluation for configure_path from the last accepted
-/// state of a previous path (only the per-function vectors are consumed).
-search::Evaluation baseline_from(const std::vector<double>& runtimes,
-                                 const std::vector<double>& costs) {
-  search::Evaluation eval;
-  eval.function_runtimes = runtimes;
-  eval.function_costs = costs;
-  return eval;
+/// Build a baseline ProbeResult for configure_path from the last accepted
+/// state of a previous path (only the per-function columns are consumed).
+search::ProbeResult baseline_from(const std::vector<double>& runtimes,
+                                  const std::vector<double>& costs) {
+  return search::ProbeResult::owning(runtimes, costs);
 }
 
 }  // namespace
@@ -62,10 +59,10 @@ ScheduleReport GraphCentricScheduler::schedule(const platform::Workflow& workflo
   // here says nothing about the configuration — re-probe before concluding
   // the workflow cannot run fully provisioned.
   obs::Span profile_span("aarc.profile_base", "aarc");
-  search::Evaluation baseline = evaluator.evaluate(config);
+  search::ProbeResult baseline = evaluator.probe(config);
   for (std::size_t left = options_.configurator.transient_probe_retries;
        left > 0 && baseline.sample.failed && baseline.sample.transient; --left) {
-    baseline = evaluator.evaluate(config);
+    baseline = evaluator.probe(config);
   }
   profile_span.finish();
   if (baseline.sample.failed) {
@@ -153,10 +150,10 @@ ScheduleReport GraphCentricScheduler::schedule(const platform::Workflow& workflo
   // Finalization (step 7 in Fig. 4): verify the configuration once; a
   // transient fault must not reject an otherwise feasible configuration.
   obs::Span finalize_span("aarc.finalize", "aarc");
-  search::Evaluation final_eval = evaluator.evaluate(config);
+  search::ProbeResult final_eval = evaluator.probe(config);
   for (std::size_t left = options_.configurator.transient_probe_retries;
        left > 0 && final_eval.sample.failed && final_eval.sample.transient; --left) {
-    final_eval = evaluator.evaluate(config);
+    final_eval = evaluator.probe(config);
   }
   finalize_span.finish();
   report.result.best_config = config;

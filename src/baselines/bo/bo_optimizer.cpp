@@ -146,7 +146,7 @@ search::SearchResult bayesian_optimization(search::Evaluator& evaluator,
     for (std::size_t i = 0; i < results.size(); ++i) {
       xs.push_back(snapped[i]);
       objectives.push_back(
-          objective_of(results[i].evaluation.sample, evaluator.slo_seconds(), options));
+          objective_of(results[i].sample, evaluator.slo_seconds(), options));
       if (!results[i].cache_hit) ++billed;
     }
   };

@@ -49,10 +49,10 @@ search::SearchResult maff_gradient_descent(search::Evaluator& evaluator,
     config[f] = coupled(grid, memory[f], options.mb_per_vcpu);
   }
 
-  auto evaluate = [&]() { return evaluator.evaluate(config); };
+  auto evaluate = [&]() { return evaluator.probe(config); };
 
   // Baseline probe: establishes cost under the starting configuration.
-  search::Evaluation current = evaluate();
+  search::ProbeResult current = evaluate();
   double current_cost = current.sample.cost;
   const bool start_feasible = !current.sample.failed && current.sample.makespan <= safe_slo;
 
@@ -81,7 +81,7 @@ search::SearchResult maff_gradient_descent(search::Evaluator& evaluator,
 
       const platform::ResourceConfig previous = config[f];
       config[f] = coupled(grid, proposed_memory, options.mb_per_vcpu);
-      const search::Evaluation probe = evaluate();
+      const search::ProbeResult probe = evaluate();
 
       if (probe.sample.failed || probe.sample.makespan > safe_slo) {
         // SLO violated: revert and terminate this function's descent.

@@ -100,10 +100,10 @@ void Graph::set_weight(NodeId id, double weight) {
   weights_[id] = weight;
 }
 
-void Graph::set_weights(const std::vector<double>& weights) {
+void Graph::set_weights(std::span<const double> weights) {
   expects(weights.size() == node_count(), "weights size must equal node count");
   for (double w : weights) expects(w >= 0.0, "node weight must be non-negative");
-  weights_ = weights;
+  weights_.assign(weights.begin(), weights.end());
 }
 
 std::vector<double> Graph::weights() const { return weights_; }

@@ -9,7 +9,9 @@
 
 #include <atomic>
 #include <cstddef>
+#include <initializer_list>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -56,8 +58,12 @@ class Graph {
 
   double weight(NodeId id) const;
   void set_weight(NodeId id, double weight);
-  /// Replace all weights at once; size must equal node_count().
-  void set_weights(const std::vector<double>& weights);
+  /// Replace all weights at once; size must equal node_count().  Accepts any
+  /// contiguous double range (vector, span, arena-backed probe columns).
+  void set_weights(std::span<const double> weights);
+  void set_weights(std::initializer_list<double> weights) {
+    set_weights(std::span<const double>(weights.begin(), weights.size()));
+  }
   /// All node weights, indexed by NodeId.
   std::vector<double> weights() const;
 

@@ -1,0 +1,23 @@
+#include "dag/lane_schedule.h"
+
+namespace aarc::dag {
+
+LaneSchedule::LaneSchedule(const Graph& graph) {
+  graph.validate();
+  order_ = graph.topological_order();
+  const std::size_t n = graph.node_count();
+  pred_offset_.resize(n + 1, 0);
+  std::size_t total = 0;
+  for (NodeId id = 0; id < n; ++id) {
+    pred_offset_[id] = total;
+    total += graph.predecessors(id).size();
+  }
+  pred_offset_[n] = total;
+  pred_flat_.reserve(total);
+  for (NodeId id = 0; id < n; ++id) {
+    const auto& preds = graph.predecessors(id);
+    pred_flat_.insert(pred_flat_.end(), preds.begin(), preds.end());
+  }
+}
+
+}  // namespace aarc::dag

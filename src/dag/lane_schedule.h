@@ -1,0 +1,47 @@
+// Flattened DAG schedule for the SoA probe kernel.
+//
+// Graph::topological_order() runs Kahn's algorithm and allocates a fresh
+// order vector on every call — fine for one simulated execution, wasteful
+// when the batch kernel walks the same DAG for millions of probe lanes.
+// LaneSchedule snapshots the structure once: the topological order plus the
+// predecessor lists in CSR form (one flat id array + offsets), so the
+// critical-path recurrence `start[v] = max over preds p of finish[p]` is two
+// contiguous array walks with no per-node indirection.
+//
+// The snapshot is structural only; it stays valid as long as no nodes/edges
+// are added to the source graph (weights may change freely).  Holders check
+// node_count() against the live graph to catch stale snapshots.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dag/graph.h"
+
+namespace aarc::dag {
+
+class LaneSchedule {
+ public:
+  /// Validates the graph (non-empty, connected DAG) and snapshots its
+  /// topological order and predecessor structure.
+  explicit LaneSchedule(const Graph& graph);
+
+  std::size_t node_count() const { return order_.size(); }
+
+  /// Nodes in dependency order; identical to graph.topological_order().
+  const std::vector<NodeId>& order() const { return order_; }
+
+  /// Predecessors of `id`, in the same order Graph::predecessors returns.
+  std::span<const NodeId> predecessors(NodeId id) const {
+    return std::span<const NodeId>(pred_flat_.data() + pred_offset_[id],
+                                   pred_offset_[id + 1] - pred_offset_[id]);
+  }
+
+ private:
+  std::vector<NodeId> order_;
+  std::vector<NodeId> pred_flat_;
+  std::vector<std::size_t> pred_offset_;  // node_count()+1 entries
+};
+
+}  // namespace aarc::dag

@@ -61,6 +61,11 @@ inline constexpr const char* kSearchQueueDepth = "search.queue_depth";
 inline constexpr const char* kSearchWorkerProbes = "search.worker_probes_total";
 inline constexpr const char* kSearchWorkerBusySeconds =
     "search.worker_busy_seconds_total";
+inline constexpr const char* kProbeBatchLanes = "probe.batch.lanes_total";
+inline constexpr const char* kProbeBatchKernelCalls =
+    "probe.batch.kernel_calls_total";
+inline constexpr const char* kProbeBatchScalarFallbacks =
+    "probe.batch.scalar_fallbacks_total";
 
 // -- serving: the discrete-event request-stream simulator -------------------
 inline constexpr const char* kServingRequests = "serving.requests_total";

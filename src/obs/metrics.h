@@ -6,7 +6,7 @@
 //      decision, so instrumentation cannot perturb search results — a run
 //      with metrics disabled is bit-identical to one with metrics enabled
 //      (tested by tests/obs/instrumentation_test.cpp).
-//   2. Cheap enough for the BatchEvaluator hot path.  Counter::inc is one
+//   2. Cheap enough for the probe-batch hot path.  Counter::inc is one
 //      relaxed atomic fetch-add behind one relaxed flag load — no locks, no
 //      allocation (asserted by a release-mode micro-bench guard in
 //      tests/obs/metrics_test.cpp).  Name lookup takes a mutex, so hot

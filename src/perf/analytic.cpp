@@ -49,6 +49,32 @@ double AnalyticModel::mean_runtime(double vcpu, double memory_mb, double input_s
   return t;
 }
 
+void AnalyticModel::mean_runtime_lanes(const double* vcpu,
+                                       const double* memory_mb,
+                                       double input_scale,
+                                       const unsigned char* active, double* out,
+                                       std::size_t lanes) const {
+  expects(input_scale > 0.0, "input_scale must be positive");
+  // Lane-invariant terms hoisted; the per-lane body mirrors mean_runtime()
+  // operation for operation so results stay bit-identical.
+  const double work_scale = std::pow(input_scale, params_.input_work_exp);
+  const double ws = params_.working_set_mb * std::pow(input_scale, params_.input_memory_exp);
+  const double io = params_.io_seconds;
+  const double serial = params_.serial_seconds;
+  const double parallel = params_.parallel_seconds;
+  const double max_parallelism = params_.max_parallelism;
+  const double coeff = params_.pressure_coeff;
+  for (std::size_t l = 0; l < lanes; ++l) {
+    if (active[l] == 0) continue;
+    const double serial_rate = std::min(vcpu[l], 1.0);
+    const double parallel_rate = std::min(vcpu[l], max_parallelism);
+    const double compute =
+        serial / serial_rate + (parallel > 0.0 ? parallel / parallel_rate : 0.0);
+    const double pressure = 1.0 + coeff * std::max(0.0, ws / memory_mb[l] - 1.0);
+    out[l] = work_scale * (io + compute * pressure);
+  }
+}
+
 double AnalyticModel::min_memory_mb(double input_scale) const {
   expects(input_scale > 0.0, "input_scale must be positive");
   return params_.min_memory_mb * std::pow(input_scale, params_.input_memory_exp);

@@ -35,6 +35,11 @@ class AnalyticModel final : public PerfModel {
   explicit AnalyticModel(AnalyticParams params);
 
   double mean_runtime(double vcpu, double memory_mb, double input_scale) const override;
+  /// SoA override: hoists the two input-scale powers once and streams the
+  /// Amdahl + pressure arithmetic over lanes; bit-identical to the scalar.
+  void mean_runtime_lanes(const double* vcpu, const double* memory_mb,
+                          double input_scale, const unsigned char* active,
+                          double* out, std::size_t lanes) const override;
   double min_memory_mb(double input_scale) const override;
   std::unique_ptr<PerfModel> clone() const override;
 

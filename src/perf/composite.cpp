@@ -20,6 +20,24 @@ double CompositeModel::mean_runtime(double vcpu, double memory_mb, double input_
   return total;
 }
 
+void CompositeModel::mean_runtime_lanes(const double* vcpu,
+                                        const double* memory_mb,
+                                        double input_scale,
+                                        const unsigned char* active,
+                                        double* out, std::size_t lanes) const {
+  std::vector<double> stage_out(lanes, 0.0);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    if (active[l] != 0) out[l] = 0.0;
+  }
+  for (const auto& s : stages_) {
+    s->mean_runtime_lanes(vcpu, memory_mb, input_scale, active, stage_out.data(),
+                          lanes);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      if (active[l] != 0) out[l] += stage_out[l];
+    }
+  }
+}
+
 double CompositeModel::min_memory_mb(double input_scale) const {
   double floor = 0.0;
   for (const auto& s : stages_) floor = std::max(floor, s->min_memory_mb(input_scale));

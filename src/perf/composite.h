@@ -17,6 +17,11 @@ class CompositeModel final : public PerfModel {
   explicit CompositeModel(std::vector<std::unique_ptr<PerfModel>> stages);
 
   double mean_runtime(double vcpu, double memory_mb, double input_scale) const override;
+  /// SoA override: accumulates stage lane-kernels in stage order, matching
+  /// the scalar summation order bit for bit.
+  void mean_runtime_lanes(const double* vcpu, const double* memory_mb,
+                          double input_scale, const unsigned char* active,
+                          double* out, std::size_t lanes) const override;
   double min_memory_mb(double input_scale) const override;
   std::unique_ptr<PerfModel> clone() const override;
 

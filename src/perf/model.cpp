@@ -1,0 +1,14 @@
+#include "perf/model.h"
+
+namespace aarc::perf {
+
+void PerfModel::mean_runtime_lanes(const double* vcpu, const double* memory_mb,
+                                   double input_scale,
+                                   const unsigned char* active, double* out,
+                                   std::size_t lanes) const {
+  for (std::size_t l = 0; l < lanes; ++l) {
+    if (active[l] != 0) out[l] = mean_runtime(vcpu[l], memory_mb[l], input_scale);
+  }
+}
+
+}  // namespace aarc::perf

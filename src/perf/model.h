@@ -9,6 +9,7 @@
 // layer adds seeded multiplicative noise per invocation.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 
 namespace aarc::perf {
@@ -30,6 +31,18 @@ class PerfModel {
 
   /// Minimum memory below which the function OOMs for this input scale.
   virtual double min_memory_mb(double input_scale) const = 0;
+
+  /// Batched mean_runtime over `lanes` parallel probe lanes of this
+  /// function.  `vcpu`, `memory_mb` and `out` are contiguous arrays of
+  /// `lanes` doubles; `active[l]` masks lanes whose allocation fits memory.
+  /// `out[l]` is written only for active lanes and must be bit-identical to
+  /// mean_runtime(vcpu[l], memory_mb[l], input_scale).  The default loops
+  /// the scalar virtual; models override it with tight loops that hoist
+  /// lane-invariant work (input-scale powers) so the compiler can vectorize.
+  virtual void mean_runtime_lanes(const double* vcpu, const double* memory_mb,
+                                  double input_scale,
+                                  const unsigned char* active, double* out,
+                                  std::size_t lanes) const;
 
   /// Deep copy (models are owned per workflow instance).
   virtual std::unique_ptr<PerfModel> clone() const = 0;

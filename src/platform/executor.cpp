@@ -126,6 +126,169 @@ ExecutionResult Executor::execute_mean(const Workflow& workflow, const WorkflowC
   return run(workflow, config, input_scale, nullptr);
 }
 
+bool Executor::supports_lane_execution() const {
+  return !options_.faults.enabled() && !options_.cold_start.enabled() &&
+         !options_.retry.retries_enabled() && !options_.retry.timeout_enabled();
+}
+
+void Executor::execute_lanes(const Workflow& workflow,
+                             const dag::LaneSchedule& schedule,
+                             double input_scale, ExecutionLanes& lanes,
+                             std::size_t lane_begin, std::size_t lane_end,
+                             const std::uint64_t* lane_seeds) const {
+  expects(supports_lane_execution(),
+          "execute_lanes requires a fault/cold-start/retry-free executor");
+  workflow.validate();
+  const std::size_t nodes = workflow.function_count();
+  expects(schedule.node_count() == nodes,
+          "lane schedule does not match the workflow");
+  expects(lanes.node_count == nodes, "lane buffer does not match the workflow");
+  expects(lane_begin <= lane_end && lane_end <= lanes.lane_count,
+          "lane range out of bounds");
+  expects(input_scale > 0.0, "input_scale must be positive");
+  const std::size_t width = lane_end - lane_begin;
+  if (width == 0) return;
+  const bool noisy = options_.noise.sigma() > 0.0;
+  expects(!noisy || lane_seeds != nullptr, "noisy lanes need per-lane stream seeds");
+
+  if (options_.emulated_probe_latency_seconds > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        options_.emulated_probe_latency_seconds * static_cast<double>(width)));
+  }
+
+  ExecutorMetrics& metrics = executor_metrics();
+  metrics.executions.inc(width);
+
+  // Lanes are processed in cache-sized blocks: one full node sweep per block
+  // keeps the block's scratch rows — and, on noisy runs, its per-lane rng
+  // states (~2.5 KB of mt19937_64 state each) — resident instead of cycling
+  // every lane's state through cache once per node.  Blocking is invisible
+  // to results: each lane's draws still happen in topological node order on
+  // its own stream, and all per-lane FP operations are unchanged.
+  // Noisy runs use a narrower block: every node pass walks one mt19937_64
+  // state per lane, so the block must be small enough for those states to
+  // sit in L1 alongside the scratch rows.
+  const std::size_t lane_block = noisy ? 16 : 128;
+  const std::size_t stride = lanes.lane_count;
+  std::vector<double> start(std::min(width, lane_block));
+  std::vector<double> mean(std::min(width, lane_block));
+  std::vector<unsigned char> active(std::min(width, lane_block));
+  // Per-block noise engines, seeded fresh each block and discarded at its
+  // end: states are born, drawn from, and die cache-hot instead of being
+  // materialized for every lane up front.
+  std::vector<support::Rng> block_rngs;
+  if (noisy) block_rngs.reserve(std::min(width, lane_block));
+
+  std::uint64_t attempt_count = 0;
+  std::uint64_t oom_count = 0;
+  for (std::size_t block_begin = lane_begin; block_begin < lane_end;
+       block_begin += lane_block) {
+    const std::size_t block_end = std::min(block_begin + lane_block, lane_end);
+    const std::size_t block = block_end - block_begin;
+    if (noisy) {
+      block_rngs.clear();
+      for (std::size_t l = block_begin; l < block_end; ++l) {
+        block_rngs.emplace_back(lane_seeds[l]);
+      }
+    }
+    for (std::size_t l = block_begin; l < block_end; ++l) {
+      lanes.makespan[l] = 0.0;
+      lanes.total_cost[l] = 0.0;
+      lanes.wall_seconds[l] = 0.0;
+      lanes.wall_cost[l] = 0.0;
+      lanes.failed[l] = 0;
+      lanes.oom[l] = 0;
+    }
+
+    for (dag::NodeId id : schedule.order()) {
+      const std::size_t row = id * stride + block_begin;
+      std::fill(start.begin(), start.begin() + static_cast<std::ptrdiff_t>(block),
+                0.0);
+      for (dag::NodeId p : schedule.predecessors(id)) {
+        const double* pred_finish = lanes.finish.data() + p * stride + block_begin;
+        for (std::size_t k = 0; k < block; ++k) {
+          start[k] = std::max(start[k], pred_finish[k]);
+        }
+      }
+
+      const perf::PerfModel& model = workflow.model(id);
+      const double floor = model.min_memory_mb(input_scale);
+      const double* cpu = lanes.vcpu.data() + row;
+      const double* mem = lanes.memory_mb.data() + row;
+      for (std::size_t k = 0; k < block; ++k) {
+        active[k] = mem[k] >= floor ? 1 : 0;
+      }
+      model.mean_runtime_lanes(cpu, mem, input_scale, active.data(), mean.data(),
+                               block);
+      if (noisy) {
+        // Each lane advances its own seed-derived stream; draws happen in
+        // topological node order, exactly as the scalar attempt loop does.
+        for (std::size_t k = 0; k < block; ++k) {
+          if (active[k] != 0) {
+            mean[k] = options_.noise.noisy_runtime(mean[k], block_rngs[k]);
+          }
+        }
+      }
+      double* cost = lanes.cost.data() + row;
+      pricing_->invocation_cost_lanes(cpu, mem, mean.data(), active.data(), cost,
+                                      block);
+      double* runtime = lanes.runtime.data() + row;
+      double* finish = lanes.finish.data() + row;
+      for (std::size_t k = 0; k < block; ++k) {
+        if (active[k] != 0) {
+          ++attempt_count;
+          runtime[k] = mean[k];
+          finish[k] = start[k] + mean[k];
+        } else {
+          // OOM: deterministic, never billed; matches the scalar OOM branch.
+          ++oom_count;
+          runtime[k] = kInfiniteTime;
+          finish[k] = kInfiniteTime;
+          cost[k] = kInfiniteTime;
+          const std::size_t l = block_begin + k;
+          lanes.oom[l] = 1;
+          lanes.failed[l] = 1;
+          if (std::isfinite(start[k])) {
+            // The failed invocation occupied [start, start + 0): wall charge
+            // is its start time, as in observed_wall_seconds().
+            lanes.wall_seconds[l] = std::max(lanes.wall_seconds[l], start[k]);
+          }
+        }
+      }
+    }
+
+    // Reductions run in NodeId order so floating-point sums match the scalar
+    // path (which accumulates over invocations indexed by NodeId) bit for
+    // bit; the maxima are order-independent.
+    for (std::size_t id = 0; id < nodes; ++id) {
+      const std::size_t row = id * stride + block_begin;
+      const double* cost = lanes.cost.data() + row;
+      const double* finish = lanes.finish.data() + row;
+      for (std::size_t k = 0; k < block; ++k) {
+        const std::size_t l = block_begin + k;
+        lanes.makespan[l] = std::max(lanes.makespan[l], finish[k]);
+        lanes.total_cost[l] += cost[k];
+        if (std::isfinite(finish[k])) {
+          lanes.wall_seconds[l] = std::max(lanes.wall_seconds[l], finish[k]);
+        }
+        if (std::isfinite(cost[k])) {
+          // billed_cost of an OOM invocation is exactly 0; skipping the +inf
+          // sentinel reproduces the scalar observed_cost() sum.
+          lanes.wall_cost[l] += cost[k];
+        }
+      }
+    }
+    for (std::size_t l = block_begin; l < block_end; ++l) {
+      if (lanes.failed[l] != 0) {
+        lanes.makespan[l] = kInfiniteTime;
+        lanes.total_cost[l] = kInfiniteTime;
+      }
+    }
+  }
+  metrics.attempts.inc(attempt_count);
+  metrics.oom_failures.inc(oom_count);
+}
+
 ExecutionResult Executor::run(const Workflow& workflow, const WorkflowConfig& config,
                               double input_scale, support::Rng* rng) const {
   workflow.validate();

@@ -14,9 +14,11 @@
 #include <vector>
 
 #include "dag/graph.h"
+#include "dag/lane_schedule.h"
 #include "perf/noise.h"
 #include "platform/coldstart.h"
 #include "platform/faults.h"
+#include "platform/lanes.h"
 #include "platform/pricing.h"
 #include "platform/resource.h"
 #include "platform/workflow.h"
@@ -111,7 +113,7 @@ class Executor {
 
   /// Deep copy (clones the pricing model).  A cloned executor is fully
   /// independent of the original, so per-thread clones can execute
-  /// concurrently without sharing any state (search::BatchEvaluator relies
+  /// concurrently without sharing any state (search::Evaluator relies
   /// on this for its worker pool).
   Executor clone() const;
 
@@ -131,6 +133,30 @@ class Executor {
   /// Noise-free analytic execution (used to seed weights and by tests).
   ExecutionResult execute_mean(const Workflow& workflow, const WorkflowConfig& config,
                                double input_scale = 1.0) const;
+
+  /// True when execute_lanes covers this option set: no fault injection,
+  /// cold starts, retries or timeouts (multiplicative noise is fine).  The
+  /// batch evaluator falls back to per-probe execute() otherwise.
+  bool supports_lane_execution() const;
+
+  /// SoA batch execution: evaluate lanes [lane_begin, lane_end) of `lanes`
+  /// in one pass over the DAG, bit-identical to calling execute() per lane
+  /// with an rng seeded at the matching per-lane seed.  `schedule` must be
+  /// a snapshot of `workflow`'s graph.  `lane_seeds` points at per-lane
+  /// stream seeds indexed by absolute lane id; the kernel constructs each
+  /// lane's engine on the stack for the duration of its cache block, so the
+  /// ~2.5 KB mt19937_64 states never round-trip through a heap array.  It
+  /// may be null when the noise model is disabled (sigma == 0), in which
+  /// case no randomness is consumed — exactly like the scalar path.
+  /// Requires supports_lane_execution().
+  ///
+  /// Emulated probe latency blocks once for the whole range ((lane_end -
+  /// lane_begin) * latency), matching the per-probe sleeps of the scalar
+  /// path in aggregate.
+  void execute_lanes(const Workflow& workflow, const dag::LaneSchedule& schedule,
+                     double input_scale, ExecutionLanes& lanes,
+                     std::size_t lane_begin, std::size_t lane_end,
+                     const std::uint64_t* lane_seeds) const;
 
  private:
   ExecutionResult run(const Workflow& workflow, const WorkflowConfig& config,

@@ -1,0 +1,62 @@
+// SoA buffers for batched workflow execution.
+//
+// ExecutionLanes holds the inputs and outputs of Executor::execute_lanes for
+// a whole probe batch: per-(function, lane) columns laid out function-major
+// (`[node * lane_count + lane]`) so the kernel streams contiguous lanes of
+// each function, plus per-lane summary columns.  One buffer is reused across
+// batches (resize() only grows capacity); with worker threads, each worker
+// writes a disjoint contiguous lane range of the shared buffer, so no
+// synchronization is needed.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace aarc::platform {
+
+struct ExecutionLanes {
+  std::size_t node_count = 0;
+  std::size_t lane_count = 0;
+
+  // Inputs, function-major `[node * lane_count + lane]`.
+  std::vector<double> vcpu;
+  std::vector<double> memory_mb;
+
+  // Per-(function, lane) outputs, same layout.  Mirror InvocationRecord's
+  // runtime/cost/finish: +inf on OOM, finite otherwise (finish is +inf for
+  // any node downstream of a failure).
+  std::vector<double> runtime;
+  std::vector<double> cost;
+  std::vector<double> finish;
+
+  // Per-lane outputs, mirroring ExecutionResult and its observed_* charges.
+  std::vector<double> makespan;      ///< +inf when the lane failed
+  std::vector<double> total_cost;    ///< +inf when the lane failed
+  std::vector<double> wall_seconds;  ///< observed_wall_seconds equivalent
+  std::vector<double> wall_cost;     ///< observed_cost equivalent
+  std::vector<unsigned char> failed;
+  std::vector<unsigned char> oom;
+
+  void resize(std::size_t nodes, std::size_t lanes) {
+    node_count = nodes;
+    lane_count = lanes;
+    const std::size_t cells = nodes * lanes;
+    vcpu.resize(cells);
+    memory_mb.resize(cells);
+    runtime.resize(cells);
+    cost.resize(cells);
+    finish.resize(cells);
+    makespan.resize(lanes);
+    total_cost.resize(lanes);
+    wall_seconds.resize(lanes);
+    wall_cost.resize(lanes);
+    failed.resize(lanes);
+    oom.resize(lanes);
+  }
+
+  std::size_t at(std::size_t node, std::size_t lane) const {
+    return node * lane_count + lane;
+  }
+};
+
+}  // namespace aarc::platform

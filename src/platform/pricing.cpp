@@ -6,6 +6,18 @@ namespace aarc::platform {
 
 using support::expects;
 
+void PricingModel::invocation_cost_lanes(const double* vcpu,
+                                         const double* memory_mb,
+                                         const double* seconds,
+                                         const unsigned char* active,
+                                         double* out, std::size_t lanes) const {
+  for (std::size_t l = 0; l < lanes; ++l) {
+    if (active[l] != 0) {
+      out[l] = invocation_cost(ResourceConfig{vcpu[l], memory_mb[l]}, seconds[l]);
+    }
+  }
+}
+
 DecoupledLinearPricing::DecoupledLinearPricing(double mu0_per_vcpu_second,
                                                double mu1_per_mb_second,
                                                double mu2_per_request)
@@ -19,6 +31,15 @@ double DecoupledLinearPricing::invocation_cost(const ResourceConfig& config,
   expects(seconds >= 0.0, "duration must be non-negative");
   expects(config.vcpu > 0.0 && config.memory_mb > 0.0, "allocation must be positive");
   return seconds * (mu0_ * config.vcpu + mu1_ * config.memory_mb) + mu2_;
+}
+
+void DecoupledLinearPricing::invocation_cost_lanes(
+    const double* vcpu, const double* memory_mb, const double* seconds,
+    const unsigned char* active, double* out, std::size_t lanes) const {
+  for (std::size_t l = 0; l < lanes; ++l) {
+    if (active[l] == 0) continue;
+    out[l] = seconds[l] * (mu0_ * vcpu[l] + mu1_ * memory_mb[l]) + mu2_;
+  }
 }
 
 std::unique_ptr<PricingModel> DecoupledLinearPricing::clone() const {
@@ -37,6 +58,16 @@ double CoupledMemoryPricing::invocation_cost(const ResourceConfig& config,
   expects(seconds >= 0.0, "duration must be non-negative");
   expects(config.memory_mb > 0.0, "memory must be positive");
   return seconds * per_mb_second_ * config.memory_mb + per_request_;
+}
+
+void CoupledMemoryPricing::invocation_cost_lanes(
+    const double* vcpu, const double* memory_mb, const double* seconds,
+    const unsigned char* active, double* out, std::size_t lanes) const {
+  (void)vcpu;
+  for (std::size_t l = 0; l < lanes; ++l) {
+    if (active[l] == 0) continue;
+    out[l] = seconds[l] * per_mb_second_ * memory_mb[l] + per_request_;
+  }
 }
 
 std::unique_ptr<PricingModel> CoupledMemoryPricing::clone() const {

@@ -7,6 +7,7 @@
 // as AWS Lambda bills, for the motivation experiment's baseline.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 
 #include "platform/resource.h"
@@ -20,6 +21,16 @@ class PricingModel {
 
   /// Cost of running `config` for `seconds`.  seconds >= 0.
   virtual double invocation_cost(const ResourceConfig& config, double seconds) const = 0;
+
+  /// Batched invocation_cost over probe lanes: `vcpu`, `memory_mb`,
+  /// `seconds` and `out` are arrays of `lanes` doubles; `out[l]` is written
+  /// only where `active[l]` is set and must be bit-identical to the scalar
+  /// call.  The default loops the scalar virtual; linear models override it.
+  virtual void invocation_cost_lanes(const double* vcpu,
+                                     const double* memory_mb,
+                                     const double* seconds,
+                                     const unsigned char* active, double* out,
+                                     std::size_t lanes) const;
 
   virtual std::unique_ptr<PricingModel> clone() const = 0;
 
@@ -38,6 +49,9 @@ class DecoupledLinearPricing final : public PricingModel {
                                   double mu2_per_request = 0.0);
 
   double invocation_cost(const ResourceConfig& config, double seconds) const override;
+  void invocation_cost_lanes(const double* vcpu, const double* memory_mb,
+                             const double* seconds, const unsigned char* active,
+                             double* out, std::size_t lanes) const override;
   std::unique_ptr<PricingModel> clone() const override;
 
   double mu0() const { return mu0_; }
@@ -58,6 +72,9 @@ class CoupledMemoryPricing final : public PricingModel {
                                 double price_per_request = 0.0);
 
   double invocation_cost(const ResourceConfig& config, double seconds) const override;
+  void invocation_cost_lanes(const double* vcpu, const double* memory_mb,
+                             const double* seconds, const unsigned char* active,
+                             double* out, std::size_t lanes) const override;
   std::unique_ptr<PricingModel> clone() const override;
 
  private:

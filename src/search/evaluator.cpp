@@ -1,10 +1,14 @@
 #include "search/evaluator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <optional>
+#include <string>
 #include <unordered_map>
+#include <utility>
 
-#include "obs/metrics.h"
+#include "obs/span.h"
 #include "support/contracts.h"
 #include "support/rng.h"
 
@@ -46,6 +50,16 @@ EvaluatorMetrics& evaluator_metrics() {
   return m;
 }
 
+/// Balanced contiguous partition: chunk `chunk` of `parts` over `count`.
+std::pair<std::size_t, std::size_t> chunk_range(std::size_t chunk,
+                                                std::size_t parts,
+                                                std::size_t count) {
+  const std::size_t base = count / parts;
+  const std::size_t rem = count % parts;
+  const std::size_t begin = chunk * base + std::min(chunk, rem);
+  return {begin, begin + base + (chunk < rem ? 1 : 0)};
+}
+
 }  // namespace
 
 Evaluator::Evaluator(const platform::Workflow& workflow, const platform::Executor& executor,
@@ -57,116 +71,385 @@ Evaluator::Evaluator(const platform::Workflow& workflow, const platform::Executo
       input_scale_(input_scale),
       seed_(seed),
       options_(options),
-      engine_(workflow, executor, input_scale, options.resample,
-              std::max<std::size_t>(1, options.threads)) {
-  expects(workflow_ != nullptr && executor_ != nullptr,
-          "evaluator requires a workflow and an executor");
+      schedule_(workflow.graph()),
+      batches_metric_(obs::MetricsRegistry::global().counter(obs::metric::kSearchBatches)),
+      batch_size_metric_(obs::MetricsRegistry::global().histogram(
+          obs::metric::kSearchBatchSize, obs::default_size_buckets())),
+      queue_depth_metric_(
+          obs::MetricsRegistry::global().gauge(obs::metric::kSearchQueueDepth)),
+      batch_lanes_metric_(
+          obs::MetricsRegistry::global().counter(obs::metric::kProbeBatchLanes)),
+      batch_kernel_calls_metric_(obs::MetricsRegistry::global().counter(
+          obs::metric::kProbeBatchKernelCalls)),
+      batch_scalar_fallbacks_metric_(obs::MetricsRegistry::global().counter(
+          obs::metric::kProbeBatchScalarFallbacks)) {
   expects(slo_seconds > 0.0, "SLO must be positive");
   expects(input_scale > 0.0, "input scale must be positive");
   expects(options.resample.outlier_factor >= 0.0, "outlier factor must be non-negative");
   workflow.validate();
+  ensure_workers(std::max<std::size_t>(1, options_.threads));
+}
+
+void Evaluator::ensure_workers(std::size_t n) {
+  if (n < 1) n = 1;
+  while (executors_.size() < n) executors_.push_back(executor_->clone());
+  while (worker_probes_metric_.size() < n) {
+    const std::string id = std::to_string(worker_probes_metric_.size());
+    worker_probes_metric_.push_back(&obs::MetricsRegistry::global().counter(
+        obs::labeled(obs::metric::kSearchWorkerProbes, "worker", id)));
+    worker_busy_seconds_metric_.push_back(&obs::MetricsRegistry::global().gauge(
+        obs::labeled(obs::metric::kSearchWorkerBusySeconds, "worker", id)));
+  }
+  if (n > 1 && (pool_ == nullptr || pool_->size() < n)) {
+    pool_ = std::make_unique<support::ThreadPool>(n);
+  }
 }
 
 std::vector<ProbeResult> Evaluator::evaluate_batch(const std::vector<ProbeRequest>& requests) {
+  ProbeBatch batch = make_batch();
+  batch.reserve(requests.size());
+  for (const ProbeRequest& request : requests) batch.add(request.config, request.tag);
+  return evaluate_batch(
+      batch, ExecutionPolicy::threads(std::max<std::size_t>(1, options_.threads)));
+}
+
+ProbeResult Evaluator::probe(const platform::WorkflowConfig& config) {
+  ProbeBatch batch = make_batch();
+  batch.add(config);
+  std::vector<ProbeResult> results = evaluate_batch(batch, ExecutionPolicy::serial());
+  return std::move(results.front());
+}
+
+std::vector<ProbeResult> Evaluator::evaluate_batch(const ProbeBatch& batch,
+                                                   ExecutionPolicy policy) {
+  expects(batch.function_count() == workflow_->function_count(),
+          "probe batch must be shaped for this workflow");
+  expects(batch.input_scale() == input_scale_,
+          "probe batch input scale must match the evaluator");
+  expects(schedule_.node_count() == workflow_->function_count(),
+          "workflow topology changed after evaluator construction");
+  const std::size_t count = batch.size();
+  const std::size_t fns = workflow_->function_count();
+
   // --- Assembly (sequential): freeze every decision the workers must not
   // race on — cache answers, RNG stream ids, the outlier-median snapshot.
   const bool have_median = !success_makespans_.empty();
   const double median_snapshot = have_median ? lower_median(success_makespans_) : 0.0;
 
   constexpr std::size_t kNotDup = static_cast<std::size_t>(-1);
-  std::vector<const Evaluation*> cached(requests.size(), nullptr);
-  std::vector<std::size_t> dup_of(requests.size(), kNotDup);
-  std::vector<ProbeJob> jobs;
-  std::vector<std::size_t> job_of_request(requests.size(), 0);
-  jobs.reserve(requests.size());
+  std::vector<const ProbeResult*> cached(count, nullptr);
+  std::vector<std::size_t> dup_of(count, kNotDup);
+  std::vector<std::size_t> exec_of(count, 0);  ///< request -> executed index
+  std::vector<std::size_t> exec_request;       ///< executed index -> request
+  std::vector<std::uint64_t> exec_seed;        ///< per executed lane rng stream
+  exec_request.reserve(count);
+  exec_seed.reserve(count);
   // First pending occurrence of each key within this batch: a later duplicate
   // is the same deterministic question, so it is served from the first
   // occurrence's answer and billed nothing (cache semantics, batch-local).
   std::unordered_map<ProbeCacheKey, std::size_t, ProbeCacheKeyHash> pending;
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    expects(requests[i].config.size() == workflow_->function_count(),
-            "probe config must have one entry per function");
+  for (std::size_t i = 0; i < count; ++i) {
     if (options_.probe_cache) {
-      const ProbeCacheKey key{requests[i].config, input_scale_, seed_};
+      ProbeCacheKey key{batch.config(i), input_scale_, seed_};
       cached[i] = cache_.find(key);
       if (cached[i] != nullptr) continue;
-      const auto [first, inserted] = pending.try_emplace(key, i);
+      const auto [first, inserted] = pending.try_emplace(std::move(key), i);
       if (!inserted) {
         dup_of[i] = first->second;
         continue;
       }
     }
-    ProbeJob job;
-    job.config = &requests[i].config;
-    job.rng_seed = support::derive_seed(seed_, next_stream_++);
-    job.median_makespan = median_snapshot;
-    job.have_median = have_median;
-    job_of_request[i] = jobs.size();
-    jobs.push_back(job);
+    exec_of[i] = exec_request.size();
+    exec_request.push_back(i);
+    exec_seed.push_back(support::derive_seed(seed_, next_stream_++));
+  }
+  const std::size_t exec_count = exec_request.size();
+
+  // --- Execution: concurrent, deterministic (chunked SoA kernel or
+  // work-stealing scalar fallback — both pure functions of the lane list).
+  batches_metric_.inc();
+  batch_size_metric_.observe(static_cast<double>(exec_count));
+  obs::Span batch_span("search.batch", "search");
+  batch_span.arg("jobs", static_cast<std::uint64_t>(exec_count));
+
+  const ResampleOptions& resample = options_.resample;
+  struct Outcome {
+    platform::ExecutionResult rep;  ///< representative run when !rep_is_lane
+    bool rep_is_lane = false;       ///< representative is the lane's column
+    double wall_seconds = 0.0;      ///< summed over all executions
+    double wall_cost = 0.0;         ///< summed over all executions
+    std::size_t attempts = 1;       ///< executions consumed (>= 1)
+  };
+  std::vector<Outcome> outcomes(exec_count);
+  const std::size_t workers = std::max<std::size_t>(
+      1, std::min(policy.thread_count, std::max<std::size_t>(exec_count, 1)));
+  ensure_workers(workers);
+
+  const bool use_kernel = executor_->supports_lane_execution();
+  if (exec_count > 0 && use_kernel) {
+    batch_lanes_metric_.inc(exec_count);
+    // Transpose the executed lanes (only) into the function-major buffer,
+    // function-outer so writes stream sequentially through each lane row.
+    lanes_.resize(fns, exec_count);
+    const std::vector<double>& cpu_src = batch.vcpu_lanes();
+    const std::vector<double>& mem_src = batch.memory_lanes();
+    for (std::size_t fn = 0; fn < fns; ++fn) {
+      double* cpu_dst = lanes_.vcpu.data() + fn * exec_count;
+      double* mem_dst = lanes_.memory_mb.data() + fn * exec_count;
+      for (std::size_t k = 0; k < exec_count; ++k) {
+        cpu_dst[k] = cpu_src[exec_request[k] * fns + fn];
+        mem_dst[k] = mem_src[exec_request[k] * fns + fn];
+      }
+    }
+    const bool noisy = executor_->options().noise.sigma() > 0.0;
+    auto run_chunk = [&](std::size_t worker, std::size_t begin, std::size_t end) {
+      if (begin == end) return;
+      queue_depth_metric_.add(static_cast<double>(end - begin));
+      const auto started = std::chrono::steady_clock::now();
+      batch_kernel_calls_metric_.inc();
+      executors_[worker].execute_lanes(*workflow_, schedule_, input_scale_, lanes_,
+                                       begin, end,
+                                       noisy ? exec_seed.data() : nullptr);
+      worker_probes_metric_[worker]->inc(end - begin);
+      worker_busy_seconds_metric_[worker]->add(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+              .count());
+      queue_depth_metric_.add(-static_cast<double>(end - begin));
+    };
+    if (workers <= 1 || exec_count <= 1) {
+      run_chunk(0, 0, exec_count);
+    } else {
+      pool_->parallel_for(workers, [&](std::size_t chunk, std::size_t worker) {
+        const auto [begin, end] = chunk_range(chunk, workers, exec_count);
+        run_chunk(worker, begin, end);
+      });
+    }
+
+    // Sequential pass: seed the outcome charges from the lane columns and
+    // run any scalar re-samples (transient failures or outliers) on the
+    // lane's own rng stream, continuing it exactly where the kernel left it.
+    for (std::size_t k = 0; k < exec_count; ++k) {
+      Outcome& oc = outcomes[k];
+      oc.rep_is_lane = true;
+      oc.wall_seconds = lanes_.wall_seconds[k];
+      oc.wall_cost = lanes_.wall_cost[k];
+      oc.attempts = 1;
+      const bool failed0 = lanes_.failed[k] != 0;
+      const bool oom0 = lanes_.oom[k] != 0;
+      const double makespan0 = lanes_.makespan[k];
+      auto needs_rerun = [&](bool failed, bool oom, double makespan) {
+        // OOM is deterministic: re-running reproduces it, so don't waste
+        // probes.
+        if (failed) return !oom;
+        return resample.outlier_factor > 0.0 && have_median &&
+               makespan > resample.outlier_factor * median_snapshot;
+      };
+      if (resample.max_resamples == 0 || !needs_rerun(failed0, oom0, makespan0)) {
+        continue;
+      }
+      const platform::WorkflowConfig config = batch.config(exec_request[k]);
+      // Rebuild the lane's stream where the kernel left it.  Noise-free, the
+      // kernel consumed no randomness, so a fresh stream at the lane's seed
+      // is exactly the state the scalar path would carry.  Noisy, the kernel
+      // drew one lognormal factor per node (rerun lanes never OOMed, so
+      // every node was active) in topological order — replaying those draws
+      // advances a fresh engine to the identical state, and keeps the kernel
+      // free to scope its engines to a cache block.
+      support::Rng rerun_rng(exec_seed[k]);
+      if (noisy) {
+        const double sigma = executor_->options().noise.sigma();
+        for (std::size_t fn = 0; fn < fns; ++fn) {
+          (void)rerun_rng.lognormal_unit_mean(sigma);
+        }
+      }
+      support::Rng* rng = &rerun_rng;
+      std::vector<platform::ExecutionResult> extra;
+      std::size_t budget = resample.max_resamples;
+      bool last_failed = failed0;
+      bool last_oom = oom0;
+      double last_makespan = makespan0;
+      while (budget > 0 && needs_rerun(last_failed, last_oom, last_makespan)) {
+        extra.push_back(executors_[0].execute(*workflow_, config, input_scale_, *rng));
+        const platform::ExecutionResult& run = extra.back();
+        last_failed = run.failed;
+        last_oom = run.oom_failure();
+        last_makespan = run.makespan;
+        oc.wall_seconds += run.observed_wall_seconds();
+        oc.wall_cost += run.observed_cost();
+        --budget;
+      }
+      oc.attempts = 1 + extra.size();
+      // Aggregate: the run with the median makespan among successful runs
+      // (run 0 is the kernel lane); when every run failed, the last run.
+      auto makespan_of = [&](std::size_t run) {
+        return run == 0 ? makespan0 : extra[run - 1].makespan;
+      };
+      std::vector<std::size_t> ok;
+      for (std::size_t run = 0; run <= extra.size(); ++run) {
+        const bool failed = run == 0 ? failed0 : extra[run - 1].failed;
+        if (!failed) ok.push_back(run);
+      }
+      std::size_t chosen = extra.size();
+      if (!ok.empty()) {
+        std::sort(ok.begin(), ok.end(), [&](std::size_t a, std::size_t b) {
+          if (makespan_of(a) != makespan_of(b)) return makespan_of(a) < makespan_of(b);
+          return a < b;
+        });
+        chosen = ok[(ok.size() - 1) / 2];
+      }
+      if (chosen != 0) {
+        oc.rep_is_lane = false;
+        oc.rep = std::move(extra[chosen - 1]);
+      }
+    }
+  } else if (exec_count > 0) {
+    // Scalar fallback: stochastic fault machinery is enabled, so each probe
+    // runs the classic per-probe attempt/re-sample loop on a worker clone.
+    batch_scalar_fallbacks_metric_.inc(exec_count);
+    auto run_one = [&](std::size_t worker, std::size_t k) {
+      const platform::WorkflowConfig config = batch.config(exec_request[k]);
+      const platform::Executor& executor = executors_[worker];
+      queue_depth_metric_.add(1.0);
+      const auto started = std::chrono::steady_clock::now();
+      obs::Span span("search.probe", "search");
+      support::Rng rng(exec_seed[k]);
+
+      std::vector<platform::ExecutionResult> runs;
+      runs.push_back(executor.execute(*workflow_, config, input_scale_, rng));
+      auto needs_rerun = [&](const platform::ExecutionResult& r) {
+        if (r.failed) return !r.oom_failure();
+        return resample.outlier_factor > 0.0 && have_median &&
+               r.makespan > resample.outlier_factor * median_snapshot;
+      };
+      std::size_t budget = resample.max_resamples;
+      while (budget > 0 && needs_rerun(runs.back())) {
+        runs.push_back(executor.execute(*workflow_, config, input_scale_, rng));
+        --budget;
+      }
+      std::vector<std::size_t> ok;
+      for (std::size_t r = 0; r < runs.size(); ++r) {
+        if (!runs[r].failed) ok.push_back(r);
+      }
+      std::size_t chosen = runs.size() - 1;
+      if (!ok.empty()) {
+        std::sort(ok.begin(), ok.end(), [&](std::size_t a, std::size_t b) {
+          if (runs[a].makespan != runs[b].makespan) {
+            return runs[a].makespan < runs[b].makespan;
+          }
+          return a < b;
+        });
+        chosen = ok[(ok.size() - 1) / 2];
+      }
+      Outcome& oc = outcomes[k];
+      oc.attempts = runs.size();
+      for (const auto& run : runs) {
+        oc.wall_seconds += run.observed_wall_seconds();
+        oc.wall_cost += run.observed_cost();
+      }
+      oc.rep = std::move(runs[chosen]);
+      oc.rep_is_lane = false;
+      span.arg("executions", static_cast<std::uint64_t>(oc.attempts));
+      worker_probes_metric_[worker]->inc();
+      worker_busy_seconds_metric_[worker]->add(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+              .count());
+      queue_depth_metric_.add(-1.0);
+    };
+    if (workers <= 1 || exec_count <= 1) {
+      for (std::size_t k = 0; k < exec_count; ++k) run_one(0, k);
+    } else {
+      pool_->parallel_for(exec_count, [&](std::size_t item, std::size_t worker) {
+        run_one(worker, item);
+      });
+    }
   }
 
-  // --- Execution: concurrent, deterministic (see batch_evaluator.h).
-  const std::vector<ProbeOutcome> outcomes = engine_.run(jobs);
-
   // --- Commit (sequential, request order): billing, trace, cache inserts,
-  // outlier history.
-  std::vector<ProbeResult> results(requests.size());
+  // outlier history.  One arena holds every executed probe's columns; the
+  // results (and any cache entries) share it by reference count.
+  auto arena = std::make_shared<ProbeResultArena>();
+  arena->values.resize(2 * fns * exec_count);
+  std::vector<ProbeResult> results(count);
   EvaluatorMetrics& metrics = evaluator_metrics();
-  for (std::size_t i = 0; i < requests.size(); ++i) {
+  for (std::size_t i = 0; i < count; ++i) {
     ProbeResult& pr = results[i];
-    pr.tag = requests[i].tag;
+    pr.tag = batch.tag(i);
     pr.sample_index = trace_.size();
     metrics.probes.inc();
     if (cached[i] != nullptr || dup_of[i] != kNotDup) {
       metrics.cache_hits.inc();
-      pr.cache_hit = true;
       // A within-batch duplicate copies the first occurrence's committed
       // result (identical to what the cache would return; dup_of[i] < i, so
       // results[dup_of[i]] is final by now).
-      pr.evaluation =
-          cached[i] != nullptr ? *cached[i] : results[dup_of[i]].evaluation;
-      Sample& s = pr.evaluation.sample;
-      s.index = pr.sample_index;
-      s.cache_hit = true;
-      s.wall_seconds = 0.0;  // served from memory: nothing billed,
-      s.wall_cost = 0.0;     // no platform execution consumed
-      s.probe_attempts = 0;
-      trace_.add(s);
+      const ProbeResult& src = cached[i] != nullptr ? *cached[i] : results[dup_of[i]];
+      pr.sample = src.sample;
+      pr.function_runtimes = src.function_runtimes;
+      pr.function_costs = src.function_costs;
+      pr.arena = src.arena;
+      pr.cache_hit = true;
+      pr.sample.index = pr.sample_index;
+      pr.sample.cache_hit = true;
+      pr.sample.wall_seconds = 0.0;  // served from memory: nothing billed,
+      pr.sample.wall_cost = 0.0;     // no platform execution consumed
+      pr.sample.probe_attempts = 0;
+      trace_.add(pr.sample);
       continue;
     }
 
-    const ProbeOutcome& outcome = outcomes[job_of_request[i]];
-    const platform::ExecutionResult& result = outcome.representative;
+    const std::size_t k = exec_of[i];
+    const Outcome& oc = outcomes[k];
     if (options_.probe_cache) metrics.cache_misses.inc();
     metrics.probes_executed.inc();
-    metrics.probe_executions.inc(outcome.attempts);
-    metrics.probe_wall_seconds.observe(outcome.wall_seconds);
+    metrics.probe_executions.inc(oc.attempts);
+    metrics.probe_wall_seconds.observe(oc.wall_seconds);
 
-    Evaluation& eval = pr.evaluation;
-    eval.sample.index = pr.sample_index;
-    eval.sample.config = requests[i].config;
-    eval.sample.makespan = result.makespan;
-    eval.sample.cost = result.total_cost;
-    eval.sample.wall_seconds = outcome.wall_seconds;
-    eval.sample.wall_cost = outcome.wall_cost;
-    eval.sample.failed = result.failed;
-    eval.sample.transient = result.transient_failure();
-    eval.sample.feasible = !result.failed && result.makespan <= slo_;
-    eval.sample.probe_attempts = outcome.attempts;
-    eval.function_runtimes = result.runtimes();
-    eval.function_costs.reserve(result.invocations.size());
-    for (const auto& inv : result.invocations) eval.function_costs.push_back(inv.cost);
-
-    if (!result.failed && std::isfinite(result.makespan)) {
-      success_makespans_.push_back(result.makespan);
+    double* runtimes = arena->values.data() + 2 * fns * k;
+    double* costs = runtimes + fns;
+    double makespan = 0.0;
+    double total_cost = 0.0;
+    bool failed = false;
+    bool transient = false;
+    if (oc.rep_is_lane) {
+      for (std::size_t fn = 0; fn < fns; ++fn) {
+        runtimes[fn] = lanes_.runtime[fn * exec_count + k];
+        costs[fn] = lanes_.cost[fn * exec_count + k];
+      }
+      makespan = lanes_.makespan[k];
+      total_cost = lanes_.total_cost[k];
+      failed = lanes_.failed[k] != 0;
+      transient = failed && lanes_.oom[k] == 0;
+    } else {
+      const platform::ExecutionResult& rep = oc.rep;
+      for (std::size_t fn = 0; fn < fns; ++fn) {
+        runtimes[fn] = rep.invocations[fn].runtime;
+        costs[fn] = rep.invocations[fn].cost;
+      }
+      makespan = rep.makespan;
+      total_cost = rep.total_cost;
+      failed = rep.failed;
+      transient = rep.transient_failure();
     }
+    pr.function_runtimes = std::span<const double>(runtimes, fns);
+    pr.function_costs = std::span<const double>(costs, fns);
+    pr.arena = arena;
+    pr.sample.index = pr.sample_index;
+    pr.sample.config = batch.config(i);
+    pr.sample.makespan = makespan;
+    pr.sample.cost = total_cost;
+    pr.sample.wall_seconds = oc.wall_seconds;
+    pr.sample.wall_cost = oc.wall_cost;
+    pr.sample.failed = failed;
+    pr.sample.transient = transient;
+    pr.sample.feasible = !failed && makespan <= slo_;
+    pr.sample.probe_attempts = oc.attempts;
+
+    if (!failed && std::isfinite(makespan)) success_makespans_.push_back(makespan);
     // Transient failures are weather, not configuration: caching one would
     // replay the hiccup forever.  Successes and deterministic OOMs memoize.
-    if (options_.probe_cache && !eval.sample.transient) {
-      cache_.insert(ProbeCacheKey{requests[i].config, input_scale_, seed_}, eval);
+    if (options_.probe_cache && !transient) {
+      cache_.insert(ProbeCacheKey{pr.sample.config, input_scale_, seed_}, pr);
     }
-
-    trace_.add(eval.sample);
+    trace_.add(pr.sample);
   }
   return results;
 }

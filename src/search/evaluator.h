@@ -6,17 +6,31 @@
 // convergence series are recorded uniformly no matter which algorithm is
 // searching.
 //
-// The API is batch-first: evaluate_batch() takes any number of
-// ProbeRequests, fans them out across the BatchEvaluator's worker pool
-// (per-thread Executor clones, one private RNG stream per probe) and
-// returns ProbeResults in request order.  evaluate() is a thin wrapper over
-// a batch of one, kept for the sequential algorithms (AARC's priority
-// queue, MAFF's coordinate descent) whose next probe depends on the last.
+// The API is batch-first: evaluate_batch() takes a SoA search::ProbeBatch
+// (or a vector of ProbeRequests, which is converted) plus an
+// ExecutionPolicy, and returns ProbeResults in request order.  probe() is a
+// thin wrapper over a batch of one, kept for the sequential algorithms
+// (AARC's priority queue, MAFF's coordinate descent) whose next probe
+// depends on the last.
 //
-// Determinism guarantee: probe i draws from Rng(derive_seed(seed, i)),
-// where i counts executed probes in submission order, and every batch
-// decision (cache lookup, outlier median) is frozen at batch assembly.  A
-// run with threads = N is therefore bit-identical to threads = 1.
+// Execution takes one of two paths behind the same accounting gateway:
+//
+//   * SoA kernel (the default): when the executor has no stochastic fault
+//     machinery enabled (faults / cold starts / retries / timeouts — plain
+//     noise is fine), executed lanes are transposed function-major and
+//     evaluated by platform::Executor::execute_lanes — the vectorized
+//     per-function model + DAG recurrence loop.  With an ExecutionPolicy of
+//     N threads the lane range is split into N contiguous chunks, one per
+//     worker clone.
+//   * scalar fallback: with fault machinery enabled, each probe runs the
+//     classic per-probe attempt loop on a worker clone (work-stealing pool).
+//
+// Both paths are bit-identical to each other and to every earlier release:
+// probe i draws from Rng(derive_seed(seed, i)), where i counts executed
+// probes in submission order, and every batch decision (cache lookup,
+// outlier median) is frozen at batch assembly.  A run with threads = N is
+// therefore bit-identical to threads = 1, and the kernel path reproduces
+// the scalar arithmetic operation for operation.
 //
 // On a hostile platform (see platform/faults.h) a single execution is an
 // unreliable measurement; optional probe re-sampling re-runs failed (or
@@ -28,17 +42,23 @@
 // (input_scale, seed-epoch) is served from memory: the trace records the
 // sample as a cache hit with zero wall charges and zero executions, so
 // repeated configurations — priority-configurator revert loops, BO
-// re-visits — stop being billed.
+// re-visits, duplicates within one batch — stop being billed.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <vector>
 
+#include "dag/lane_schedule.h"
+#include "obs/metrics.h"
 #include "platform/executor.h"
-#include "search/batch_evaluator.h"
+#include "platform/lanes.h"
 #include "search/evaluator_options.h"
 #include "search/probe.h"
+#include "search/probe_batch.h"
 #include "search/probe_cache.h"
 #include "search/trace.h"
+#include "support/thread_pool.h"
 
 namespace aarc::search {
 
@@ -47,7 +67,9 @@ class Evaluator {
   /// The evaluator keeps references; workflow and executor must outlive it.
   /// Construction asserts a well-formed workflow via contracts and the
   /// evaluator is non-copyable, so a dangling or aliased gateway fails
-  /// loudly instead of silently probing the wrong platform.
+  /// loudly instead of silently probing the wrong platform.  The DAG
+  /// structure is snapshotted here; the workflow's topology must not grow
+  /// while the evaluator lives (weights may change freely).
   Evaluator(const platform::Workflow& workflow, const platform::Executor& executor,
             double slo_seconds, double input_scale, std::uint64_t seed,
             EvaluatorOptions options = {});
@@ -63,15 +85,31 @@ class Evaluator {
   Evaluator(const Evaluator&) = delete;
   Evaluator& operator=(const Evaluator&) = delete;
 
-  /// Probe every request and return results in request order.  Requests in
-  /// one batch are independent: they share the outlier-median snapshot and
-  /// cache view taken at submission, and execute concurrently when the
-  /// evaluator was built with threads > 1.
+  /// An empty batch shaped for this evaluator's workflow and input scale.
+  ProbeBatch make_batch() const {
+    return ProbeBatch(workflow_->function_count(), input_scale_);
+  }
+
+  /// Probe every lane of `batch` and return results in request (append)
+  /// order.  Lanes in one batch are independent: they share the
+  /// outlier-median snapshot and cache view taken at submission, and
+  /// execute concurrently per `policy`.  Results are bit-identical for
+  /// every policy.
+  std::vector<ProbeResult> evaluate_batch(const ProbeBatch& batch,
+                                          ExecutionPolicy policy);
+
+  /// Convenience: convert `requests` into a ProbeBatch (preserving tags)
+  /// and evaluate it under the evaluator's default thread count.
   std::vector<ProbeResult> evaluate_batch(const std::vector<ProbeRequest>& requests);
 
   /// Probe one configuration — a batch of one, for sequential algorithms.
-  Evaluation evaluate(const platform::WorkflowConfig& config) {
-    return evaluate_batch({ProbeRequest(config)}).front().evaluation;
+  ProbeResult probe(const platform::WorkflowConfig& config);
+
+  /// Pre-batch scalar entry point; routes through probe() so memoization
+  /// and budget accounting still flow through the one batch gateway.
+  [[deprecated("use probe() or evaluate_batch()")]]
+  ProbeResult evaluate(const platform::WorkflowConfig& config) {
+    return probe(config);
   }
 
   const platform::Workflow& workflow() const { return *workflow_; }
@@ -95,17 +133,37 @@ class Evaluator {
   std::size_t cache_hits() const { return trace_.cache_hits(); }
 
  private:
+  /// Grow the worker-clone pool (and its labeled metric handles) to `n`.
+  void ensure_workers(std::size_t n);
+
   const platform::Workflow* workflow_;
   const platform::Executor* executor_;
   double slo_;
   double input_scale_;
   std::uint64_t seed_;
   EvaluatorOptions options_;
-  BatchEvaluator engine_;
+  dag::LaneSchedule schedule_;  ///< DAG structure snapshot for the kernel
   ProbeCache cache_;
   std::uint64_t next_stream_ = 0;          ///< streams consumed by executed probes
   std::vector<double> success_makespans_;  ///< for the outlier median
   SearchTrace trace_;
+
+  // Execution engine state (formerly BatchEvaluator), folded in so billing,
+  // memoization and execution share exactly one gateway.
+  std::vector<platform::Executor> executors_;  ///< one clone per worker
+  std::unique_ptr<support::ThreadPool> pool_;  ///< null until threads > 1 used
+  platform::ExecutionLanes lanes_;             ///< reused SoA buffer
+
+  // Metric handles, resolved once so the per-probe cost is a handful of
+  // relaxed atomic ops (write-only: results never read these).
+  obs::Counter& batches_metric_;
+  obs::Histogram& batch_size_metric_;
+  obs::Gauge& queue_depth_metric_;
+  obs::Counter& batch_lanes_metric_;
+  obs::Counter& batch_kernel_calls_metric_;
+  obs::Counter& batch_scalar_fallbacks_metric_;
+  std::vector<obs::Counter*> worker_probes_metric_;      ///< one per worker
+  std::vector<obs::Gauge*> worker_busy_seconds_metric_;  ///< one per worker
 };
 
 /// The outcome every search algorithm returns.

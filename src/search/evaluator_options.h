@@ -15,14 +15,28 @@ struct ResampleOptions {
   double outlier_factor = 0.0;
 };
 
+/// Per-call execution policy for Evaluator::evaluate_batch: run the batch
+/// serially on the calling thread, or fan executed lanes across N worker
+/// threads.  Results are bit-identical for every thread count; the policy
+/// only trades wall clock.
+struct ExecutionPolicy {
+  std::size_t thread_count = 1;
+
+  static ExecutionPolicy serial() { return ExecutionPolicy{1}; }
+  static ExecutionPolicy threads(std::size_t n) {
+    return ExecutionPolicy{n == 0 ? 1 : n};
+  }
+};
+
 /// Evaluator construction knobs.
 struct EvaluatorOptions {
   ResampleOptions resample{};
 
-  /// Worker threads for batched probes.  1 (the default) evaluates batches
-  /// inline on the calling thread; N > 1 fans a batch across N per-thread
-  /// executor clones.  Results are identical for every value — see
-  /// DESIGN.md "Concurrent evaluation & probe cache".
+  /// Default ExecutionPolicy thread count for batched probes.  1 (the
+  /// default) evaluates batches inline on the calling thread; N > 1 fans a
+  /// batch across N per-thread executor clones.  Results are identical for
+  /// every value — see DESIGN.md "Concurrent evaluation & probe cache".
+  /// Callers can override per call via evaluate_batch's policy argument.
   std::size_t threads = 1;
 
   /// Probe memoization: a probe whose (config, input_scale, seed-epoch) was

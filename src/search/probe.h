@@ -2,14 +2,29 @@
 //
 // A probe is one paid question to the platform — "what does this
 // configuration cost and how fast is it?" — a "sample" in the paper's
-// terminology.  Algorithms submit ProbeRequests (alone or in batches) to the
-// search::Evaluator, the only gateway to the platform::Executor, and get
-// ProbeResults back in request order.  Nothing in aarc/, baselines/ or
-// inputaware/ touches the executor directly; that is what makes batching,
+// terminology.  Algorithms submit probes (a vector of ProbeRequest or a SoA
+// search::ProbeBatch) to the search::Evaluator, the only gateway to the
+// platform::Executor, and get ProbeResults back **in request order**:
+// `results[i]` answers the i-th request and `results[i].tag` echoes the tag
+// supplied with it, so batch submitters that interleave probes from several
+// logical streams (e.g. BO mapping results onto candidate indices) can
+// demultiplex without positional bookkeeping.  Nothing in aarc/, baselines/
+// or inputaware/ touches the executor directly; that is what makes batching,
 // concurrency and memoization transparent to every algorithm at once.
+//
+// Result storage is arena-backed: the per-function runtime/cost columns of a
+// whole batch live in one shared ProbeResultArena and each ProbeResult holds
+// `std::span<const double>` views into it.  Copying a ProbeResult copies two
+// spans and a shared_ptr — never the payload — which removes the
+// two-vectors-per-probe allocation churn of the old `Evaluation` type.  The
+// arena is reference-counted, so results outlive the Evaluator that produced
+// them.
 #pragma once
 
 #include <cstddef>
+#include <memory>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "platform/resource.h"
@@ -17,17 +32,14 @@
 
 namespace aarc::search {
 
-/// Per-function observations of one probe, which AARC's Algorithms 1/2 need
-/// (path runtime sums, per-function cost deltas).
-struct Evaluation {
-  Sample sample;
-  std::vector<double> function_runtimes;  ///< by NodeId; inf where failed
-  std::vector<double> function_costs;     ///< by NodeId; inf where failed
+/// Backing storage for the per-function columns of one or more ProbeResults.
+/// Plain contiguous doubles; results hold spans into `values`.
+struct ProbeResultArena {
+  std::vector<double> values;
 };
 
 /// One configuration to probe.  `tag` is an opaque caller token carried
-/// through to the matching ProbeResult — handy for batch submitters that
-/// fan results back out (e.g. BO mapping results onto candidate indices).
+/// through to the matching ProbeResult.
 struct ProbeRequest {
   platform::WorkflowConfig config;
   std::size_t tag = 0;
@@ -37,13 +49,47 @@ struct ProbeRequest {
       : config(std::move(c)), tag(t) {}
 };
 
-/// The answer to one ProbeRequest.  Results always come back in request
-/// order; `sample_index` is the probe's position in the evaluator's trace.
+/// The answer to one probe.
+///
+/// `sample` carries the trace-level view (makespan, cost, wall charges,
+/// feasibility); `function_runtimes` / `function_costs` are indexed by
+/// dag::NodeId and hold +inf for functions that failed (OOM or exhausted
+/// retries) — the per-function observations AARC's Algorithms 1/2 need
+/// (path runtime sums, per-function cost deltas).  Both spans point into
+/// `arena` and stay valid for the lifetime of this result object.
 struct ProbeResult {
-  Evaluation evaluation;
+  Sample sample;
+  std::span<const double> function_runtimes;  ///< by NodeId; inf where failed
+  std::span<const double> function_costs;     ///< by NodeId; inf where failed
+  /// The probe's position in the evaluator's trace (== sample.index).
   std::size_t sample_index = 0;
+  /// Echo of ProbeRequest::tag / ProbeBatch lane tag.
   std::size_t tag = 0;
-  bool cache_hit = false;  ///< served from the probe cache, not executed
+  /// Served from the probe cache or deduplicated within its batch — billed
+  /// nothing.
+  bool cache_hit = false;
+  /// Keep-alive for the spans above.  Never null for results produced by the
+  /// evaluator; may be null for default-constructed results.
+  std::shared_ptr<const ProbeResultArena> arena;
+
+  /// Build a self-owning result from explicit per-function columns.  Used by
+  /// callers that synthesize baselines (e.g. the AARC scheduler's mean-run
+  /// baseline) rather than probing.
+  static ProbeResult owning(std::vector<double> runtimes,
+                            std::vector<double> costs) {
+    auto backing = std::make_shared<ProbeResultArena>();
+    backing->values.reserve(runtimes.size() + costs.size());
+    backing->values.insert(backing->values.end(), runtimes.begin(),
+                           runtimes.end());
+    backing->values.insert(backing->values.end(), costs.begin(), costs.end());
+    ProbeResult result;
+    result.function_runtimes =
+        std::span<const double>(backing->values.data(), runtimes.size());
+    result.function_costs = std::span<const double>(
+        backing->values.data() + runtimes.size(), costs.size());
+    result.arena = std::move(backing);
+    return result;
+  }
 };
 
 }  // namespace aarc::search

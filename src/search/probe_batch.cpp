@@ -1,0 +1,56 @@
+#include "search/probe_batch.h"
+
+#include "support/contracts.h"
+
+namespace aarc::search {
+
+using support::expects;
+
+ProbeBatch::ProbeBatch(std::size_t function_count, double input_scale)
+    : function_count_(function_count), input_scale_(input_scale) {
+  expects(function_count > 0, "ProbeBatch needs at least one function");
+  expects(input_scale > 0.0, "ProbeBatch input_scale must be positive");
+}
+
+std::size_t ProbeBatch::add(const platform::WorkflowConfig& config,
+                            std::size_t tag) {
+  expects(config.size() == function_count_,
+          "ProbeBatch::add config size must match the batch function count");
+  const std::size_t lane = tags_.size();
+  vcpu_.resize(vcpu_.size() + function_count_);
+  memory_mb_.resize(memory_mb_.size() + function_count_);
+  double* cpu = vcpu_.data() + lane * function_count_;
+  double* mem = memory_mb_.data() + lane * function_count_;
+  for (std::size_t fn = 0; fn < function_count_; ++fn) {
+    cpu[fn] = config[fn].vcpu;
+    mem[fn] = config[fn].memory_mb;
+  }
+  tags_.push_back(tag);
+  return lane;
+}
+
+platform::WorkflowConfig ProbeBatch::config(std::size_t lane) const {
+  expects(lane < size(), "ProbeBatch lane out of range");
+  platform::WorkflowConfig out(function_count_);
+  const double* cpu = vcpu_.data() + lane * function_count_;
+  const double* mem = memory_mb_.data() + lane * function_count_;
+  for (std::size_t fn = 0; fn < function_count_; ++fn) {
+    out[fn].vcpu = cpu[fn];
+    out[fn].memory_mb = mem[fn];
+  }
+  return out;
+}
+
+void ProbeBatch::reserve(std::size_t lanes) {
+  vcpu_.reserve(lanes * function_count_);
+  memory_mb_.reserve(lanes * function_count_);
+  tags_.reserve(lanes);
+}
+
+void ProbeBatch::clear() {
+  vcpu_.clear();
+  memory_mb_.clear();
+  tags_.clear();
+}
+
+}  // namespace aarc::search

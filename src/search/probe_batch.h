@@ -1,0 +1,63 @@
+// Structure-of-arrays probe batch: the zero-copy input side of the batch
+// probe API.
+//
+// A ProbeBatch collects N probe "lanes" over a workflow with F functions.
+// Instead of N WorkflowConfig vectors it stores two flat lane-major arrays
+// (`vcpu`, `memory_mb`, laid out `[lane * F + fn]`) plus per-lane input
+// scale and tag columns.  Appending a lane is two memcpy-sized writes; the
+// evaluator transposes the columns it needs into function-major form once
+// per batch so the SoA execution kernel can stream over contiguous lanes of
+// each function.  Lanes are evaluated in append order, which is the request
+// order ProbeResults come back in.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "platform/resource.h"
+
+namespace aarc::search {
+
+class ProbeBatch {
+ public:
+  /// A batch is fixed to one workflow shape (function count) and one input
+  /// scale; every lane added must match.
+  explicit ProbeBatch(std::size_t function_count, double input_scale = 1.0);
+
+  /// Append one probe lane; returns its lane index.  `config.size()` must
+  /// equal function_count().
+  std::size_t add(const platform::WorkflowConfig& config, std::size_t tag = 0);
+
+  std::size_t size() const { return tags_.size(); }
+  bool empty() const { return tags_.empty(); }
+  std::size_t function_count() const { return function_count_; }
+  double input_scale() const { return input_scale_; }
+
+  double vcpu(std::size_t lane, std::size_t fn) const {
+    return vcpu_[lane * function_count_ + fn];
+  }
+  double memory_mb(std::size_t lane, std::size_t fn) const {
+    return memory_mb_[lane * function_count_ + fn];
+  }
+  std::size_t tag(std::size_t lane) const { return tags_[lane]; }
+
+  /// Materialize one lane back into the AoS WorkflowConfig form (used for
+  /// trace records and cache keys).
+  platform::WorkflowConfig config(std::size_t lane) const;
+
+  /// Raw lane-major columns, `[lane * function_count() + fn]`.
+  const std::vector<double>& vcpu_lanes() const { return vcpu_; }
+  const std::vector<double>& memory_lanes() const { return memory_mb_; }
+
+  void reserve(std::size_t lanes);
+  void clear();
+
+ private:
+  std::size_t function_count_;
+  double input_scale_;
+  std::vector<double> vcpu_;       // lane-major
+  std::vector<double> memory_mb_;  // lane-major
+  std::vector<std::size_t> tags_;
+};
+
+}  // namespace aarc::search

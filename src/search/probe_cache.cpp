@@ -29,7 +29,7 @@ std::size_t ProbeCacheKeyHash::operator()(const ProbeCacheKey& key) const {
   return static_cast<std::size_t>(h);
 }
 
-const Evaluation* ProbeCache::find(const ProbeCacheKey& key) {
+const ProbeResult* ProbeCache::find(const ProbeCacheKey& key) {
   const auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++misses_;
@@ -39,8 +39,8 @@ const Evaluation* ProbeCache::find(const ProbeCacheKey& key) {
   return &it->second;
 }
 
-void ProbeCache::insert(const ProbeCacheKey& key, const Evaluation& eval) {
-  entries_.emplace(key, eval);
+void ProbeCache::insert(const ProbeCacheKey& key, const ProbeResult& result) {
+  entries_.emplace(key, result);
 }
 
 }  // namespace aarc::search

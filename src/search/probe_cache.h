@@ -39,20 +39,21 @@ struct ProbeCacheKeyHash {
 
 class ProbeCache {
  public:
-  /// The cached evaluation for `key`, or nullptr on a miss.  Counts the
-  /// lookup toward hits()/misses().
-  const Evaluation* find(const ProbeCacheKey& key);
+  /// The cached result for `key`, or nullptr on a miss.  Counts the lookup
+  /// toward hits()/misses().
+  const ProbeResult* find(const ProbeCacheKey& key);
 
-  /// Memoize `eval` under `key` (first write wins; re-inserting an existing
-  /// key keeps the original so cached history never mutates).
-  void insert(const ProbeCacheKey& key, const Evaluation& eval);
+  /// Memoize `result` under `key` (first write wins; re-inserting an
+  /// existing key keeps the original so cached history never mutates).  The
+  /// stored copy shares the result's arena, so caching is span-copy cheap.
+  void insert(const ProbeCacheKey& key, const ProbeResult& result);
 
   std::size_t size() const { return entries_.size(); }
   std::size_t hits() const { return hits_; }
   std::size_t misses() const { return misses_; }
 
  private:
-  std::unordered_map<ProbeCacheKey, Evaluation, ProbeCacheKeyHash> entries_;
+  std::unordered_map<ProbeCacheKey, ProbeResult, ProbeCacheKeyHash> entries_;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
 };

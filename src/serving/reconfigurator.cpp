@@ -252,10 +252,10 @@ platform::WorkflowConfig OnlineReconfigurator::incremental_reschedule(
   // Weight the DAG at the new scale under the deployed configuration — one
   // probe tells us the new critical path and whether the deployed
   // allocation can run at this scale at all.
-  search::Evaluation baseline = evaluator.evaluate(config);
+  search::ProbeResult baseline = evaluator.probe(config);
   for (std::size_t left = options_.scheduler.configurator.transient_probe_retries;
        left > 0 && baseline.sample.failed && baseline.sample.transient; --left) {
-    baseline = evaluator.evaluate(config);
+    baseline = evaluator.probe(config);
   }
   if (baseline.sample.failed) {
     samples = evaluator.billed_samples();
@@ -268,20 +268,20 @@ platform::WorkflowConfig OnlineReconfigurator::incremental_reschedule(
   // Priority Configurator walk it back down against the full SLO — the
   // Algorithm 2 inner loop without re-running detours or stray nodes.
   for (dag::NodeId id : critical_path.nodes()) config[id] = grid_.max_config();
-  search::Evaluation reprov = evaluator.evaluate(config);
+  search::ProbeResult reprov = evaluator.probe(config);
   for (std::size_t left = options_.scheduler.configurator.transient_probe_retries;
        left > 0 && reprov.sample.failed && reprov.sample.transient; --left) {
-    reprov = evaluator.evaluate(config);
+    reprov = evaluator.probe(config);
   }
   if (!reprov.sample.failed) {
     const core::PriorityConfigurator configurator(grid_,
                                                   options_.scheduler.configurator);
     configurator.configure_path(evaluator, critical_path.nodes(), slo, config, reprov);
 
-    search::Evaluation final_eval = evaluator.evaluate(config);
+    search::ProbeResult final_eval = evaluator.probe(config);
     for (std::size_t left = options_.scheduler.configurator.transient_probe_retries;
          left > 0 && final_eval.sample.failed && final_eval.sample.transient; --left) {
-      final_eval = evaluator.evaluate(config);
+      final_eval = evaluator.probe(config);
     }
     feasible = final_eval.sample.feasible;
   }

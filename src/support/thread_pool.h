@@ -4,7 +4,7 @@
 // across W persistent workers and block until all are done.  Each task is
 // handed its item index and the id of the worker running it, so callers can
 // route work to per-worker resources (e.g. per-thread Executor clones in
-// search::BatchEvaluator) without any locking of their own.
+// search::Evaluator) without any locking of their own.
 //
 // Determinism contract: the pool never reorders results — callers index a
 // pre-sized output slot by item, so the outcome of a parallel_for is a pure

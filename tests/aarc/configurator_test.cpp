@@ -37,8 +37,8 @@ platform::Workflow single() {
   return wf;
 }
 
-search::Evaluation baseline_of(search::Evaluator& ev, const platform::WorkflowConfig& cfg) {
-  return ev.evaluate(cfg);
+search::ProbeResult baseline_of(search::Evaluator& ev, const platform::WorkflowConfig& cfg) {
+  return ev.probe(cfg);
 }
 
 TEST(Configurator, RejectsBadOptions) {

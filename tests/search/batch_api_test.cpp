@@ -1,11 +1,10 @@
 // Batch probe API and memoization cache: batches must commit in request
 // order with thread-count-independent results, and a cache hit must return
-// the exact cached Evaluation without billing a second execution.
-#include "search/evaluator.h"
-
+// the exact cached ProbeResult without billing a second execution.
 #include <gtest/gtest.h>
 
 #include "perf/analytic.h"
+#include "search/evaluator.h"
 
 namespace aarc::search {
 namespace {
@@ -37,13 +36,19 @@ std::vector<ProbeRequest> some_requests(std::size_t count) {
   return requests;
 }
 
+ProbeBatch batch_of(Evaluator& ev, const std::vector<ProbeRequest>& requests) {
+  ProbeBatch batch = ev.make_batch();
+  for (const auto& r : requests) batch.add(r.config, r.tag);
+  return batch;
+}
+
 EvaluatorOptions with_threads(std::size_t threads) {
   EvaluatorOptions opts;
   opts.threads = threads;
   return opts;
 }
 
-TEST(BatchEvaluator, ResultsComeBackInRequestOrder) {
+TEST(BatchApi, ResultsComeBackInRequestOrder) {
   const platform::Workflow wf = chain();
   const platform::Executor ex;
   Evaluator ev(wf, ex, 100.0, 1.0, 42, with_threads(4));
@@ -56,7 +61,7 @@ TEST(BatchEvaluator, ResultsComeBackInRequestOrder) {
   }
 }
 
-TEST(BatchEvaluator, ThreadCountDoesNotChangeResults) {
+TEST(BatchApi, ThreadCountDoesNotChangeResults) {
   const platform::Workflow wf = chain();
   const platform::Executor ex;
   Evaluator serial(wf, ex, 100.0, 1.0, 42, with_threads(1));
@@ -65,12 +70,34 @@ TEST(BatchEvaluator, ThreadCountDoesNotChangeResults) {
   const auto b = parallel.evaluate_batch(some_requests(16));
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
-    EXPECT_DOUBLE_EQ(a[i].evaluation.sample.makespan, b[i].evaluation.sample.makespan);
-    EXPECT_DOUBLE_EQ(a[i].evaluation.sample.cost, b[i].evaluation.sample.cost);
+    EXPECT_DOUBLE_EQ(a[i].sample.makespan, b[i].sample.makespan);
+    EXPECT_DOUBLE_EQ(a[i].sample.cost, b[i].sample.cost);
   }
 }
 
-TEST(BatchEvaluator, BatchAndOneByOneAgree) {
+TEST(BatchApi, ExecutionPolicyOverridesTheDefaultThreadCount) {
+  const platform::Workflow wf = chain();
+  const platform::Executor ex;
+  Evaluator serial(wf, ex, 100.0, 1.0, 42, with_threads(1));
+  Evaluator parallel(wf, ex, 100.0, 1.0, 42, with_threads(1));
+  const auto requests = some_requests(16);
+  const auto a = serial.evaluate_batch(batch_of(serial, requests),
+                                       ExecutionPolicy::serial());
+  const auto b = parallel.evaluate_batch(batch_of(parallel, requests),
+                                         ExecutionPolicy::threads(8));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].sample.makespan, b[i].sample.makespan);
+    EXPECT_DOUBLE_EQ(a[i].sample.cost, b[i].sample.cost);
+    ASSERT_EQ(a[i].function_runtimes.size(), b[i].function_runtimes.size());
+    for (std::size_t fn = 0; fn < a[i].function_runtimes.size(); ++fn) {
+      EXPECT_DOUBLE_EQ(a[i].function_runtimes[fn], b[i].function_runtimes[fn]);
+      EXPECT_DOUBLE_EQ(a[i].function_costs[fn], b[i].function_costs[fn]);
+    }
+  }
+}
+
+TEST(BatchApi, BatchAndOneByOneAgree) {
   const platform::Workflow wf = chain();
   const platform::Executor ex;
   Evaluator batched(wf, ex, 100.0, 1.0, 7, with_threads(4));
@@ -78,8 +105,24 @@ TEST(BatchEvaluator, BatchAndOneByOneAgree) {
   const auto requests = some_requests(6);
   const auto results = batched.evaluate_batch(requests);
   for (std::size_t i = 0; i < requests.size(); ++i) {
-    const auto eval = sequential.evaluate(requests[i].config);
-    EXPECT_DOUBLE_EQ(results[i].evaluation.sample.makespan, eval.sample.makespan);
+    const auto eval = sequential.probe(requests[i].config);
+    EXPECT_DOUBLE_EQ(results[i].sample.makespan, eval.sample.makespan);
+  }
+}
+
+TEST(BatchApi, ArenaOutlivesTheEvaluator) {
+  const platform::Workflow wf = chain();
+  const platform::Executor ex;
+  std::vector<ProbeResult> results;
+  {
+    Evaluator ev(wf, ex, 100.0, 1.0, 42, with_threads(2));
+    results = ev.evaluate_batch(some_requests(4));
+  }
+  // The spans point into a shared arena kept alive by the results themselves.
+  for (const auto& r : results) {
+    ASSERT_EQ(r.function_runtimes.size(), 2u);
+    for (double v : r.function_runtimes) EXPECT_GT(v, 0.0);
+    for (double v : r.function_costs) EXPECT_GT(v, 0.0);
   }
 }
 
@@ -89,19 +132,22 @@ EvaluatorOptions with_cache() {
   return opts;
 }
 
-TEST(ProbeCache, HitReturnsTheCachedEvaluationUnbilled) {
+TEST(ProbeCache, HitReturnsTheCachedResultUnbilled) {
   const platform::Workflow wf = chain();
   const platform::Executor ex;
   Evaluator ev(wf, ex, 100.0, 1.0, 42, with_cache());
   const auto cfg = platform::uniform_config(2, {1.0, 512.0});
-  const auto first = ev.evaluate(cfg);
+  const auto first = ev.probe(cfg);
   const std::size_t executions_after_first = ev.executions_used();
-  const auto second = ev.evaluate(cfg);
+  const auto second = ev.probe(cfg);
 
   // Bit-identical payload, served from memory.
   EXPECT_DOUBLE_EQ(second.sample.makespan, first.sample.makespan);
   EXPECT_DOUBLE_EQ(second.sample.cost, first.sample.cost);
-  EXPECT_EQ(second.function_runtimes, first.function_runtimes);
+  ASSERT_EQ(second.function_runtimes.size(), first.function_runtimes.size());
+  for (std::size_t fn = 0; fn < first.function_runtimes.size(); ++fn) {
+    EXPECT_DOUBLE_EQ(second.function_runtimes[fn], first.function_runtimes[fn]);
+  }
 
   // The hit is a trace sample but not a platform execution or wall charge.
   EXPECT_EQ(ev.samples_used(), 2u);
@@ -119,8 +165,8 @@ TEST(ProbeCache, OffByDefault) {
   const platform::Executor ex;
   Evaluator ev(wf, ex, 100.0, 1.0, 42);
   const auto cfg = platform::uniform_config(2, {1.0, 512.0});
-  ev.evaluate(cfg);
-  ev.evaluate(cfg);
+  ev.probe(cfg);
+  ev.probe(cfg);
   EXPECT_EQ(ev.cache_hits(), 0u);
   EXPECT_EQ(ev.executions_used(), 2u);
 }
@@ -131,8 +177,8 @@ TEST(ProbeCache, DeterministicOomIsCached) {
   Evaluator ev(wf, ex, 100.0, 1.0, 42, with_cache());
   auto cfg = platform::uniform_config(2, {1.0, 512.0});
   cfg[1].memory_mb = 100.0;  // below the OOM floor: a property of the config
-  EXPECT_TRUE(ev.evaluate(cfg).sample.failed);
-  EXPECT_TRUE(ev.evaluate(cfg).sample.failed);
+  EXPECT_TRUE(ev.probe(cfg).sample.failed);
+  EXPECT_TRUE(ev.probe(cfg).sample.failed);
   EXPECT_EQ(ev.cache_hits(), 1u);
 }
 
@@ -145,8 +191,8 @@ TEST(ProbeCache, TransientFailuresAreNeverCached) {
   const platform::Executor ex(std::make_unique<platform::DecoupledLinearPricing>(), opts);
   Evaluator ev(wf, ex, 100.0, 1.0, 42, with_cache());
   const auto cfg = platform::uniform_config(2, {1.0, 512.0});
-  EXPECT_TRUE(ev.evaluate(cfg).sample.transient);
-  EXPECT_TRUE(ev.evaluate(cfg).sample.transient);
+  EXPECT_TRUE(ev.probe(cfg).sample.transient);
+  EXPECT_TRUE(ev.probe(cfg).sample.transient);
   // A crash is platform noise, not an answer about the configuration.
   EXPECT_EQ(ev.cache_hits(), 0u);
   EXPECT_EQ(ev.executions_used(), 2u);
@@ -163,11 +209,38 @@ TEST(ProbeCache, DuplicatesInsideOneBatchExecuteOnce) {
   const auto results = ev.evaluate_batch({ProbeRequest(cfg), ProbeRequest(cfg)});
   EXPECT_FALSE(results[0].cache_hit);
   EXPECT_TRUE(results[1].cache_hit);
-  EXPECT_EQ(results[1].evaluation.sample.makespan,
-            results[0].evaluation.sample.makespan);
+  EXPECT_EQ(results[1].sample.makespan, results[0].sample.makespan);
   EXPECT_EQ(ev.executions_used(), 1u);
   // A later probe of the same config hits the committed entry.
   EXPECT_EQ(ev.evaluate_batch({ProbeRequest(cfg)}).front().cache_hit, true);
+}
+
+TEST(ProbeCache, DuplicatesBillOnceAndTraceAsFreeHits) {
+  // Regression guard for the budget semantics of PR 4: a batch with many
+  // duplicate lanes must bill exactly one sample, and each duplicate must
+  // appear in the trace as a zero-cost, zero-attempt cache hit.
+  const platform::Workflow wf = chain();
+  const platform::Executor ex;
+  Evaluator ev(wf, ex, 100.0, 1.0, 42, with_cache());
+  const auto cfg = platform::uniform_config(2, {1.0, 512.0});
+  ProbeBatch batch = ev.make_batch();
+  for (std::size_t i = 0; i < 5; ++i) batch.add(cfg, /*tag=*/i);
+  const auto results = ev.evaluate_batch(batch, ExecutionPolicy::threads(4));
+  ASSERT_EQ(results.size(), 5u);
+  EXPECT_EQ(ev.billed_samples(), 1u);
+  EXPECT_EQ(ev.executions_used(), 1u);
+  EXPECT_EQ(ev.cache_hits(), 4u);
+  EXPECT_EQ(ev.samples_used(), 5u);
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_TRUE(results[i].cache_hit);
+    EXPECT_EQ(results[i].tag, i);
+    const auto& s = ev.trace().samples()[i];
+    EXPECT_TRUE(s.cache_hit);
+    EXPECT_EQ(s.probe_attempts, 0u);
+    EXPECT_DOUBLE_EQ(s.wall_seconds, 0.0);
+    EXPECT_DOUBLE_EQ(s.wall_cost, 0.0);
+    EXPECT_DOUBLE_EQ(results[i].sample.makespan, results[0].sample.makespan);
+  }
 }
 
 }  // namespace

@@ -44,8 +44,8 @@ TEST(BilledSamples, CacheHitsAreFree) {
   const platform::Executor ex;
   search::Evaluator ev = cached_evaluator(wf, ex);
   const auto cfg = platform::uniform_config(2, {1.0, 512.0});
-  ev.evaluate(cfg);
-  ev.evaluate(cfg);  // served from cache
+  ev.probe(cfg);
+  ev.probe(cfg);  // served from cache
   EXPECT_EQ(ev.trace().size(), 2u);
   EXPECT_EQ(ev.trace().cache_hits(), 1u);
   EXPECT_EQ(ev.trace().billed_samples(), 1u);
@@ -57,8 +57,8 @@ TEST(BilledSamples, EqualTraceSizeWhenCacheOff) {
   const platform::Executor ex;
   search::Evaluator ev(wf, ex, 100.0, 1.0, 42);
   const auto cfg = platform::uniform_config(2, {1.0, 512.0});
-  ev.evaluate(cfg);
-  ev.evaluate(cfg);  // re-executed: no cache
+  ev.probe(cfg);
+  ev.probe(cfg);  // re-executed: no cache
   EXPECT_EQ(ev.trace().billed_samples(), ev.trace().size());
 }
 
@@ -67,8 +67,8 @@ TEST(BilledSamples, SearchResultSamplesReportsBilledOnly) {
   const platform::Executor ex;
   search::Evaluator ev = cached_evaluator(wf, ex);
   const auto cfg = platform::uniform_config(2, {1.0, 512.0});
-  ev.evaluate(cfg);
-  ev.evaluate(cfg);
+  ev.probe(cfg);
+  ev.probe(cfg);
   search::SearchResult result;
   result.trace = ev.trace();
   EXPECT_EQ(result.samples(), 1u);

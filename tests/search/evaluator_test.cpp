@@ -32,8 +32,8 @@ TEST(Evaluator, RecordsEverySampleInOrder) {
   const platform::Executor ex;
   Evaluator ev(wf, ex, 100.0, 1.0, 42);
   const auto cfg = platform::uniform_config(2, {1.0, 512.0});
-  ev.evaluate(cfg);
-  ev.evaluate(cfg);
+  ev.probe(cfg);
+  ev.probe(cfg);
   EXPECT_EQ(ev.samples_used(), 2u);
   EXPECT_EQ(ev.trace().samples()[0].index, 0u);
   EXPECT_EQ(ev.trace().samples()[1].index, 1u);
@@ -45,15 +45,15 @@ TEST(Evaluator, FeasibilityAgainstSlo) {
   Evaluator tight(wf, ex, 5.0, 1.0, 42);   // makespan ~10 > 5
   Evaluator loose(wf, ex, 100.0, 1.0, 42);
   const auto cfg = platform::uniform_config(2, {1.0, 512.0});
-  EXPECT_FALSE(tight.evaluate(cfg).sample.feasible);
-  EXPECT_TRUE(loose.evaluate(cfg).sample.feasible);
+  EXPECT_FALSE(tight.probe(cfg).sample.feasible);
+  EXPECT_TRUE(loose.probe(cfg).sample.feasible);
 }
 
 TEST(Evaluator, CarriesFunctionRuntimesAndCosts) {
   const platform::Workflow wf = chain();
   const platform::Executor ex;
   Evaluator ev(wf, ex, 100.0, 1.0, 42);
-  const auto eval = ev.evaluate(platform::uniform_config(2, {1.0, 512.0}));
+  const auto eval = ev.probe(platform::uniform_config(2, {1.0, 512.0}));
   ASSERT_EQ(eval.function_runtimes.size(), 2u);
   ASSERT_EQ(eval.function_costs.size(), 2u);
   EXPECT_NEAR(eval.function_runtimes[0], 4.0, 0.5);
@@ -69,7 +69,7 @@ TEST(Evaluator, OomSampleIsFailedWithFiniteWallCharges) {
   Evaluator ev(wf, ex, 100.0, 1.0, 42);
   auto cfg = platform::uniform_config(2, {1.0, 512.0});
   cfg[1].memory_mb = 100.0;
-  const auto eval = ev.evaluate(cfg);
+  const auto eval = ev.probe(cfg);
   EXPECT_TRUE(eval.sample.failed);
   EXPECT_FALSE(eval.sample.feasible);
   EXPECT_TRUE(std::isinf(eval.sample.cost));
@@ -83,7 +83,7 @@ TEST(Evaluator, DeterministicForSeed) {
   Evaluator a(wf, ex, 100.0, 1.0, 7);
   Evaluator b(wf, ex, 100.0, 1.0, 7);
   const auto cfg = platform::uniform_config(2, {1.0, 512.0});
-  EXPECT_DOUBLE_EQ(a.evaluate(cfg).sample.makespan, b.evaluate(cfg).sample.makespan);
+  EXPECT_DOUBLE_EQ(a.probe(cfg).sample.makespan, b.probe(cfg).sample.makespan);
 }
 
 TEST(Evaluator, DifferentSeedsDiffer) {
@@ -92,7 +92,7 @@ TEST(Evaluator, DifferentSeedsDiffer) {
   Evaluator a(wf, ex, 100.0, 1.0, 7);
   Evaluator b(wf, ex, 100.0, 1.0, 8);
   const auto cfg = platform::uniform_config(2, {1.0, 512.0});
-  EXPECT_NE(a.evaluate(cfg).sample.makespan, b.evaluate(cfg).sample.makespan);
+  EXPECT_NE(a.probe(cfg).sample.makespan, b.probe(cfg).sample.makespan);
 }
 
 TEST(Evaluator, RejectsBadConstruction) {
@@ -121,8 +121,8 @@ TEST(Evaluator, ResamplingRecoversTransientProbeFailures) {
   std::size_t naive_failures = 0;
   std::size_t hardened_failures = 0;
   for (int i = 0; i < 30; ++i) {
-    if (naive.evaluate(cfg).sample.failed) ++naive_failures;
-    if (hardened.evaluate(cfg).sample.failed) ++hardened_failures;
+    if (naive.probe(cfg).sample.failed) ++naive_failures;
+    if (hardened.probe(cfg).sample.failed) ++hardened_failures;
   }
   EXPECT_GT(naive_failures, 0u);  // the fault rate actually bites
   EXPECT_EQ(hardened_failures, 0u);
@@ -138,13 +138,13 @@ TEST(Evaluator, ResampledProbeAccumulatesWallCharges) {
   resample.max_resamples = 3;
   Evaluator ev(wf, ex, 100.0, 1.0, 7, resample);
   const auto cfg = platform::uniform_config(2, {1.0, 512.0});
-  const auto eval = ev.evaluate(cfg);
+  const auto eval = ev.probe(cfg);
   EXPECT_TRUE(eval.sample.failed);
   EXPECT_TRUE(eval.sample.transient);
   EXPECT_EQ(eval.sample.probe_attempts, 4u);  // 1 initial + 3 re-samples
   // Wall charges cover every execution, so the probe is ~4x a single run.
   Evaluator single(wf, ex, 100.0, 1.0, 7);
-  const auto one = single.evaluate(cfg);
+  const auto one = single.probe(cfg);
   EXPECT_GT(eval.sample.wall_cost, 2.0 * one.sample.wall_cost);
 }
 
@@ -156,7 +156,7 @@ TEST(Evaluator, OomProbeIsNeverResampled) {
   Evaluator ev(wf, ex, 100.0, 1.0, 42, resample);
   auto cfg = platform::uniform_config(2, {1.0, 512.0});
   cfg[1].memory_mb = 100.0;  // deterministic OOM: re-running cannot help
-  const auto eval = ev.evaluate(cfg);
+  const auto eval = ev.probe(cfg);
   EXPECT_TRUE(eval.sample.failed);
   EXPECT_FALSE(eval.sample.transient);
   EXPECT_EQ(eval.sample.probe_attempts, 1u);
@@ -172,8 +172,8 @@ TEST(Evaluator, ResamplingIsDeterministicForSeed) {
   Evaluator b(wf, ex, 100.0, 1.0, 11, resample);
   const auto cfg = platform::uniform_config(2, {1.0, 512.0});
   for (int i = 0; i < 10; ++i) {
-    const auto ea = a.evaluate(cfg);
-    const auto eb = b.evaluate(cfg);
+    const auto ea = a.probe(cfg);
+    const auto eb = b.probe(cfg);
     EXPECT_DOUBLE_EQ(ea.sample.makespan, eb.sample.makespan);
     EXPECT_DOUBLE_EQ(ea.sample.wall_cost, eb.sample.wall_cost);
     EXPECT_EQ(ea.sample.probe_attempts, eb.sample.probe_attempts);
@@ -186,7 +186,7 @@ TEST(Evaluator, InputScalePropagates) {
   Evaluator small(wf, ex, 1000.0, 1.0, 7);
   Evaluator big(wf, ex, 1000.0, 3.0, 7);
   const auto cfg = platform::uniform_config(2, {1.0, 512.0});
-  EXPECT_NEAR(big.evaluate(cfg).sample.makespan, 3.0 * small.evaluate(cfg).sample.makespan,
+  EXPECT_NEAR(big.probe(cfg).sample.makespan, 3.0 * small.probe(cfg).sample.makespan,
               1e-9);
 }
 

@@ -1,0 +1,228 @@
+// SoA probe batches and the vectorized lane kernel.
+//
+// The property under test is bit-identity: evaluate_batch() routed through
+// platform::Executor::execute_lanes must reproduce the scalar execute() path
+// operation for operation — same RNG stream per executed probe, same FP
+// summation order — across every performance-model kind (analytic,
+// composite, profile-table) and across the checked-in scenario corpus.
+#include "search/probe_batch.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "perf/analytic.h"
+#include "perf/composite.h"
+#include "perf/profile_table.h"
+#include "scenario/generator.h"
+#include "search/evaluator.h"
+#include "support/contracts.h"
+#include "support/rng.h"
+
+namespace aarc::search {
+namespace {
+
+std::unique_ptr<perf::PerfModel> analytic(double serial, double min_mem = 128.0) {
+  perf::AnalyticParams p;
+  p.serial_seconds = serial;
+  p.parallel_seconds = serial / 2.0;
+  p.max_parallelism = 4.0;
+  p.working_set_mb = 256.0;
+  p.min_memory_mb = min_mem;
+  p.pressure_coeff = 0.3;
+  return std::make_unique<perf::AnalyticModel>(p);
+}
+
+std::unique_ptr<perf::PerfModel> composite(double a, double b) {
+  std::vector<std::unique_ptr<perf::PerfModel>> stages;
+  stages.push_back(analytic(a));
+  stages.push_back(analytic(b, 192.0));
+  return std::make_unique<perf::CompositeModel>(std::move(stages));
+}
+
+std::unique_ptr<perf::PerfModel> table() {
+  return std::make_unique<perf::ProfileTableModel>(
+      std::vector<double>{1.0, 2.0, 4.0}, std::vector<double>{512.0, 1024.0, 2048.0},
+      std::vector<double>{40.0, 30.0, 28.0, 24.0, 20.0, 18.0, 15.0, 12.0, 10.0});
+}
+
+/// One workflow exercising all three model kinds in a diamond.
+platform::Workflow mixed_workflow() {
+  platform::Workflow wf("mixed");
+  wf.add_function("src", analytic(2.0));
+  wf.add_function("left", composite(1.5, 2.5));
+  wf.add_function("right", table());
+  wf.add_function("sink", analytic(1.0));
+  wf.add_edge("src", "left");
+  wf.add_edge("src", "right");
+  wf.add_edge("left", "sink");
+  wf.add_edge("right", "sink");
+  return wf;
+}
+
+/// A spread of configurations, including one that OOMs (mem below floor).
+std::vector<platform::WorkflowConfig> config_spread(std::size_t functions) {
+  const double cpus[] = {0.5, 1.0, 2.0, 4.0};
+  const double mems[] = {512.0, 768.0, 1024.0, 1536.0};
+  std::vector<platform::WorkflowConfig> configs;
+  for (std::size_t i = 0; i < 12; ++i) {
+    platform::WorkflowConfig cfg(functions);
+    for (std::size_t f = 0; f < functions; ++f) {
+      cfg[f].vcpu = cpus[(i + f) % 4];
+      cfg[f].memory_mb = mems[(i * 3 + f) % 4];
+    }
+    configs.push_back(cfg);
+  }
+  platform::WorkflowConfig oom(functions);
+  for (std::size_t f = 0; f < functions; ++f) oom[f] = {1.0, 100.0};
+  configs.push_back(oom);
+  return configs;
+}
+
+/// Replicate what the scalar path does for executed probe `stream`: a fresh
+/// rng at the derived per-probe seed, one execute() call.
+platform::ExecutionResult scalar_reference(const platform::Workflow& wf,
+                                           const platform::Executor& ex,
+                                           const platform::WorkflowConfig& cfg,
+                                           double scale, std::uint64_t seed,
+                                           std::uint64_t stream) {
+  support::Rng rng(support::derive_seed(seed, stream));
+  return ex.execute(wf, cfg, scale, rng);
+}
+
+void expect_bit_identical(const ProbeResult& pr, const platform::ExecutionResult& ref) {
+  EXPECT_EQ(pr.sample.makespan, ref.makespan);
+  EXPECT_EQ(pr.sample.cost, ref.total_cost);
+  EXPECT_EQ(pr.sample.failed, ref.failed);
+  EXPECT_EQ(pr.sample.wall_seconds, ref.observed_wall_seconds());
+  EXPECT_EQ(pr.sample.wall_cost, ref.observed_cost());
+  ASSERT_EQ(pr.function_runtimes.size(), ref.invocations.size());
+  for (std::size_t f = 0; f < ref.invocations.size(); ++f) {
+    EXPECT_EQ(pr.function_runtimes[f], ref.invocations[f].runtime);
+    EXPECT_EQ(pr.function_costs[f], ref.invocations[f].cost);
+  }
+}
+
+TEST(ProbeBatch, SoALayoutRoundTrips) {
+  ProbeBatch batch(3, 2.0);
+  EXPECT_TRUE(batch.empty());
+  platform::WorkflowConfig cfg(3);
+  for (std::size_t f = 0; f < 3; ++f) cfg[f] = {1.0 + static_cast<double>(f), 512.0};
+  EXPECT_EQ(batch.add(cfg, 9), 0u);
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch.tag(0), 9u);
+  EXPECT_EQ(batch.input_scale(), 2.0);
+  for (std::size_t f = 0; f < 3; ++f) {
+    EXPECT_EQ(batch.vcpu(0, f), cfg[f].vcpu);
+    EXPECT_EQ(batch.memory_mb(0, f), cfg[f].memory_mb);
+  }
+  EXPECT_EQ(batch.config(0), cfg);
+}
+
+TEST(ProbeBatch, KernelMatchesScalarAcrossModelKinds) {
+  const platform::Workflow wf = mixed_workflow();
+  for (double sigma : {0.0, 0.03}) {
+    platform::ExecutorOptions opts;
+    opts.noise = perf::NoiseModel{sigma};
+    const platform::Executor ex(std::make_unique<platform::DecoupledLinearPricing>(),
+                                opts);
+    ASSERT_TRUE(ex.supports_lane_execution());
+    const std::uint64_t seed = 20240807;
+    Evaluator ev(wf, ex, 1000.0, 1.0, seed);
+    ProbeBatch batch = ev.make_batch();
+    const auto configs = config_spread(wf.function_count());
+    for (const auto& cfg : configs) batch.add(cfg);
+    const auto results = ev.evaluate_batch(batch, ExecutionPolicy::threads(4));
+    ASSERT_EQ(results.size(), configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      expect_bit_identical(results[i],
+                           scalar_reference(wf, ex, configs[i], 1.0, seed, i));
+    }
+  }
+}
+
+TEST(ProbeBatch, KernelMatchesScalarAtNonUnitInputScale) {
+  const platform::Workflow wf = mixed_workflow();
+  const platform::Executor ex;
+  const std::uint64_t seed = 77;
+  const double scale = 2.5;
+  Evaluator ev(wf, ex, 1000.0, scale, seed);
+  ProbeBatch batch = ev.make_batch();
+  const auto configs = config_spread(wf.function_count());
+  for (const auto& cfg : configs) batch.add(cfg);
+  const auto results = ev.evaluate_batch(batch, ExecutionPolicy::serial());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    expect_bit_identical(results[i],
+                         scalar_reference(wf, ex, configs[i], scale, seed, i));
+  }
+}
+
+TEST(ProbeBatch, KernelMatchesScalarOnScenarioCorpus) {
+  // The seeded scenario generator reproduces the checked-in corpus
+  // (tests/scenario/corpus_test.cpp); sweeping it here covers generated
+  // DAG shapes and model mixes beyond the handcrafted fixtures.
+  for (std::size_t index = 0; index < 10; ++index) {
+    const scenario::Scenario sc = scenario::generate_scenario(42, index);
+    const platform::Workflow& wf = sc.workload.workflow;
+    const std::size_t n = wf.function_count();
+    const platform::Executor ex;
+    const std::uint64_t seed = 1000 + index;
+    Evaluator ev(wf, ex, sc.workload.slo_seconds, 1.0, seed);
+    ProbeBatch batch = ev.make_batch();
+    const auto configs = config_spread(n);
+    for (const auto& cfg : configs) batch.add(cfg);
+    const auto results = ev.evaluate_batch(batch, ExecutionPolicy::threads(8));
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      expect_bit_identical(results[i],
+                           scalar_reference(wf, ex, configs[i], 1.0, seed, i));
+    }
+  }
+}
+
+TEST(ProbeBatch, RngStreamsContinueAcrossBatches) {
+  // Stream ids are a property of the evaluator, not the batch: submitting
+  // 2+2 lanes must draw the same per-probe streams as submitting 4, so
+  // batch splitting never changes results.
+  const platform::Workflow wf = mixed_workflow();
+  const platform::Executor ex;
+  const auto configs = config_spread(wf.function_count());
+  Evaluator split(wf, ex, 1000.0, 1.0, 5);
+  Evaluator whole(wf, ex, 1000.0, 1.0, 5);
+
+  std::vector<ProbeResult> split_results;
+  for (std::size_t begin = 0; begin < configs.size(); begin += 4) {
+    ProbeBatch batch = split.make_batch();
+    for (std::size_t i = begin; i < std::min(begin + 4, configs.size()); ++i) {
+      batch.add(configs[i]);
+    }
+    auto part = split.evaluate_batch(batch, ExecutionPolicy::threads(2));
+    for (auto& r : part) split_results.push_back(std::move(r));
+  }
+
+  ProbeBatch batch = whole.make_batch();
+  for (const auto& cfg : configs) batch.add(cfg);
+  const auto whole_results = whole.evaluate_batch(batch, ExecutionPolicy::threads(2));
+
+  ASSERT_EQ(split_results.size(), whole_results.size());
+  for (std::size_t i = 0; i < whole_results.size(); ++i) {
+    EXPECT_EQ(split_results[i].sample.makespan, whole_results[i].sample.makespan);
+    EXPECT_EQ(split_results[i].sample.cost, whole_results[i].sample.cost);
+  }
+}
+
+TEST(ProbeBatch, MismatchedShapeIsRejected) {
+  const platform::Workflow wf = mixed_workflow();
+  const platform::Executor ex;
+  Evaluator ev(wf, ex, 1000.0, 1.0, 1);
+  ProbeBatch wrong(wf.function_count() + 1, 1.0);
+  wrong.add(platform::WorkflowConfig(wf.function_count() + 1));
+  EXPECT_THROW((void)ev.evaluate_batch(wrong, ExecutionPolicy::serial()),
+               support::ContractViolation);
+  ProbeBatch wrong_scale(wf.function_count(), 2.0);
+  wrong_scale.add(platform::WorkflowConfig(wf.function_count()));
+  EXPECT_THROW((void)ev.evaluate_batch(wrong_scale, ExecutionPolicy::serial()),
+               support::ContractViolation);
+}
+
+}  // namespace
+}  // namespace aarc::search
