@@ -1,0 +1,235 @@
+// Probabilistic SLOs (doc/SLO.md): percentile-with-confidence bounds vs the
+// paper's mean/point checks, on a noisy platform.
+//
+// The paper's protocol accepts a configuration when a single noisy probe
+// lands under the SLO — which centers the *mean* near the deadline and
+// leaves the tail on the wrong side of it.  This campaign runs AARC twice
+// per paper workload on a high-noise executor:
+//
+//   * mean arm: the default bound (mean, confidence 1.0) — bit-identical to
+//     every earlier release;
+//   * p95 arm:  SloBound{p95, 0.95} — every accept/revert verdict probes
+//     min_replicates() times and judges the empirical distribution.
+//
+// Each arm's accepted configuration is then validated with noisy
+// executions, and validated SLO attainment (failure-aware: an OOM run never
+// met the deadline) is compared against the configured confidence.
+//
+// The paper deadlines leave the cost minimum far below the SLO, so both
+// arms would trivially attain it; each workload's deadline is first
+// *tightened* to the grid-max configuration's noisy p95 times a small
+// headroom, making it binding wherever resources buy latency (see
+// tightened_slo below).
+//
+// Headline acceptance (checked, nonzero exit on regression):
+//   1. the p95 arm's validated attainment >= its configured confidence on
+//      EVERY workload, and
+//   2. the mean arm misses p95 attainment on at least one workload — the
+//      point estimate is not merely more expensive to fix, it is wrong.
+//
+// A confidence frontier (p95 at 0.50/0.80/0.95/0.99 on video_analysis)
+// maps billed samples against achieved attainment: confidence is bought
+// with replicates, linearly in ln(1/beta).
+//
+// `--smoke` shrinks the campaign to video_analysis and two frontier points
+// for CTest.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "aarc/scheduler.h"
+#include "bench_json.h"
+#include "harness.h"
+#include "platform/profiler.h"
+#include "search/slo.h"
+
+using namespace aarc;
+
+namespace {
+
+/// Table II reports ~3% noise; this campaign cranks it to 25% so the mean
+/// and the p95 of the makespan distribution visibly disagree.
+constexpr double kNoiseSigma = 0.25;
+constexpr std::uint64_t kValidationSeed = 4242;
+
+platform::Executor make_noisy_executor() {
+  platform::ExecutorOptions opts;
+  opts.noise = perf::NoiseModel(kNoiseSigma);
+  return platform::Executor(std::make_unique<platform::DecoupledLinearPricing>(),
+                            opts);
+}
+
+struct ArmResult {
+  bool feasible = false;
+  std::size_t billed_samples = 0;
+  double attainment = 0.0;  ///< validated fraction of runs within the SLO
+  double mean_makespan = 0.0;
+  double mean_cost = 0.0;
+};
+
+ArmResult run_arm(const workloads::Workload& w, const search::SloBound& bound,
+                  std::size_t validation_runs) {
+  const platform::ConfigGrid grid;
+  const platform::Executor ex = make_noisy_executor();
+  core::SchedulerOptions opts;
+  opts.configurator.slo = bound;
+  const core::GraphCentricScheduler scheduler(ex, grid, opts);
+  const auto result = scheduler.schedule(w.workflow, w.slo_seconds).result;
+
+  ArmResult arm;
+  arm.feasible = result.found_feasible;
+  arm.billed_samples = result.samples();
+  if (!arm.feasible) return arm;  // attainment 0: nothing deployable
+
+  const platform::Profiler profiler(ex);
+  support::Rng rng(kValidationSeed);
+  const platform::ProfileReport report =
+      profiler.profile(w.workflow, result.best_config, validation_runs, rng);
+  arm.attainment = 1.0 - report.slo_violation_rate(w.slo_seconds);
+  arm.mean_makespan = report.makespan.mean;
+  arm.mean_cost = report.cost.mean;
+  return arm;
+}
+
+/// Multiplied onto the grid-max configuration's noisy p95 to form the bench
+/// deadline: enough headroom that a percentile bound is satisfiable at all,
+/// tight enough that the deadline binds wherever resources actually buy
+/// latency (video_analysis; the chatbot's critical path barely responds).
+constexpr double kSloHeadroom = 1.32;
+
+/// The paper deadlines leave the cost minimum far below the SLO — no amount
+/// of noise makes either arm violate there.  The interesting regime is a
+/// *binding* deadline: derive it from the fastest (grid-max) configuration's
+/// noisy p95, so the point-check search is pushed to the boundary while the
+/// p95 bound must hold the tail under it.
+double tightened_slo(const workloads::Workload& w) {
+  const platform::Executor ex = make_noisy_executor();
+  const platform::Profiler profiler(ex);
+  const platform::WorkflowConfig grid_max = platform::uniform_config(
+      w.workflow.function_count(), platform::ConfigGrid().max_config());
+  support::Rng rng(kValidationSeed);
+  const platform::ProfileReport report =
+      profiler.profile(w.workflow, grid_max, 200, rng);
+  search::LatencyDistribution dist;
+  for (const double m : report.makespans) dist.add(m);
+  return dist.quantile(0.95) * kSloHeadroom;
+}
+
+io::Json arm_json(const ArmResult& arm) {
+  io::JsonObject o;
+  o["feasible"] = arm.feasible;
+  o["billed_samples"] = arm.billed_samples;
+  o["attainment"] = arm.attainment;
+  o["mean_makespan"] = arm.mean_makespan;
+  o["mean_cost"] = arm.mean_cost;
+  return io::Json(std::move(o));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+
+  std::cout << "# Probabilistic SLOs: p95-with-confidence vs the mean point check\n\n"
+            << "Executor noise sigma " << kNoiseSigma
+            << "; attainment validated over noisy runs (failures count as\n"
+               "violations).  See doc/SLO.md for the verdict semantics.\n\n";
+
+  // video_analysis is the workload where resources genuinely buy latency, so
+  // it carries the smoke gate; the full run covers all paper workloads.
+  const std::vector<std::string> workload_names =
+      smoke ? std::vector<std::string>{"video_analysis"}
+            : workloads::paper_workload_names();
+  const std::size_t validation_runs = smoke ? 60 : 100;
+
+  search::SloBound p95_bound;
+  p95_bound.metric = search::SloMetric::P95;
+  p95_bound.confidence = 0.95;
+  const search::SloBound mean_bound;  // legacy default
+
+  bench::BenchJson out("probabilistic_slo");
+  out.set("smoke", smoke);
+  out.set("noise_sigma", kNoiseSigma);
+  out.set("validation_runs", validation_runs);
+  out.set("p95_replicates_per_verdict", p95_bound.min_replicates());
+
+  support::Table table({"workload", "SLO (s)", "arm", "feasible", "billed",
+                        "validated attainment", "mean makespan"});
+  io::JsonArray rows;
+  bool p95_meets_everywhere = true;
+  bool mean_misses_somewhere = false;
+  for (const auto& name : workload_names) {
+    workloads::Workload w = workloads::make_by_name(name);
+    const double default_slo = w.slo_seconds;
+    w.slo_seconds = tightened_slo(w);
+    const ArmResult mean_arm = run_arm(w, mean_bound, validation_runs);
+    const ArmResult p95_arm = run_arm(w, p95_bound, validation_runs);
+
+    p95_meets_everywhere = p95_meets_everywhere && p95_arm.feasible &&
+                           p95_arm.attainment >= p95_bound.confidence;
+    mean_misses_somewhere =
+        mean_misses_somewhere || !mean_arm.feasible ||
+        mean_arm.attainment < p95_bound.confidence;
+
+    const auto add_arm_row = [&](const char* label, const ArmResult& arm) {
+      table.add_row({name, support::format_double(w.slo_seconds, 1), label,
+                     arm.feasible ? "yes" : "no", std::to_string(arm.billed_samples),
+                     support::format_percent(arm.attainment, 1),
+                     support::format_double(arm.mean_makespan, 1)});
+    };
+    add_arm_row("mean", mean_arm);
+    add_arm_row("p95@0.95", p95_arm);
+    io::JsonObject row;
+    row["workload"] = name;
+    row["default_slo_seconds"] = default_slo;
+    row["slo_seconds"] = w.slo_seconds;
+    row["mean"] = arm_json(mean_arm);
+    row["p95"] = arm_json(p95_arm);
+    rows.emplace_back(std::move(row));
+  }
+  out.set("workloads", io::Json(std::move(rows)));
+  std::cout << table.to_markdown() << "\n";
+
+  // Confidence frontier: attainment is bought with billed replicates.
+  std::cout << "## Frontier: billed samples vs attainment (video_analysis, p95)\n\n";
+  const std::vector<double> confidences =
+      smoke ? std::vector<double>{0.80, 0.95}
+            : std::vector<double>{0.50, 0.80, 0.95, 0.99};
+  workloads::Workload frontier_workload = workloads::make_by_name("video_analysis");
+  frontier_workload.slo_seconds = tightened_slo(frontier_workload);
+  support::Table frontier_table(
+      {"confidence", "replicates/verdict", "billed", "validated attainment"});
+  io::JsonArray frontier_rows;
+  for (const double confidence : confidences) {
+    search::SloBound bound;
+    bound.metric = search::SloMetric::P95;
+    bound.confidence = confidence;
+    const ArmResult arm = run_arm(frontier_workload, bound, validation_runs);
+    frontier_table.add_row({support::format_double(confidence, 2),
+                            std::to_string(bound.min_replicates()),
+                            std::to_string(arm.billed_samples),
+                            support::format_percent(arm.attainment, 1)});
+    io::JsonObject row;
+    row["confidence"] = confidence;
+    row["replicates_per_verdict"] = bound.min_replicates();
+    row["billed_samples"] = arm.billed_samples;
+    row["attainment"] = arm.attainment;
+    frontier_rows.emplace_back(std::move(row));
+  }
+  out.set("frontier", io::Json(std::move(frontier_rows)));
+  std::cout << frontier_table.to_markdown() << "\n";
+
+  const bool pass = p95_meets_everywhere && mean_misses_somewhere;
+  std::cout << "\nprobabilistic SLO acceptance: p95 arm >= "
+            << support::format_percent(p95_bound.confidence, 0)
+            << " attainment on every workload ("
+            << (p95_meets_everywhere ? "yes" : "NO") << "), mean arm misses it "
+            << "on at least one (" << (mean_misses_somewhere ? "yes" : "NO")
+            << ") : " << (pass ? "PASS" : "FAIL") << "\n";
+  out.set("acceptance_pass", pass);
+  out.write();
+  std::cout << "wrote " << out.path() << "\n";
+  return pass ? 0 : 1;
+}

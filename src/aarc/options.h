@@ -8,6 +8,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "search/slo.h"
+
 namespace aarc::core {
 
 /// How the initial deallocation step of an operation is chosen.
@@ -67,6 +69,25 @@ struct ConfiguratorOptions {
   /// budget) before falling back to the genuine revert-and-halve path.
   /// 0 restores the paper's behavior: every error reverts.
   std::size_t transient_probe_retries = 2;
+
+  /// Probabilistic SLO bound (search/slo.h, doc/SLO.md) applied by every
+  /// accept/revert verdict: the per-path and end-to-end SLO checks, and the
+  /// dual mode's cost check.  The default (mean, confidence 1.0) is the
+  /// paper's single-sample point check, bit-identical to every earlier
+  /// release.  A non-legacy bound makes each verdict probe the platform
+  /// `slo.min_replicates()` times (every replicate billed) and accept only
+  /// when the empirical distribution clears the margin-adjusted limit.
+  search::SloBound slo{};
+
+  /// Cost-bounded dual mode: when > 0 the configurator minimizes latency
+  /// subject to "total workflow cost ≤ cost_bound" (with `slo`'s
+  /// metric/confidence applied to the cost distribution) instead of
+  /// minimizing cost subject to the SLO.  Deallocation rounds accept any
+  /// move that reduces total cost — prioritized by cost saved per second of
+  /// path latency given up — and stop as soon as the cost verdict clears
+  /// the bound, so the accepted configuration is the fastest one the budget
+  /// allowed the search to reach.  0 (the default) disables the mode.
+  double cost_bound = 0.0;
 
   /// Extension (off by default to stay close to the paper): after the
   /// deallocation queue drains, run a short *allocate-direction* polish

@@ -43,6 +43,8 @@ PriorityConfigurator::PriorityConfigurator(const platform::ConfigGrid& grid,
   expects(options_.polish_step_units >= 1, "polish_step_units must be >= 1");
   expects(options_.slo_safety_margin >= 0.0 && options_.slo_safety_margin < 1.0,
           "slo_safety_margin must be in [0, 1)");
+  expects(options_.cost_bound >= 0.0, "cost_bound must be non-negative");
+  options_.slo.validate();
 }
 
 std::size_t PriorityConfigurator::initial_step_units(double current_value,
@@ -59,8 +61,21 @@ std::size_t PriorityConfigurator::initial_step_units(double current_value,
 namespace {
 
 struct RoundState {
-  std::size_t count = 0;  // billed probes spent across all rounds (vs MAX_TRAIL)
+  std::size_t count = 0;  // billed verdicts spent across all rounds (vs MAX_TRAIL)
   std::vector<double> accepted_cost;
+  // Dual mode (cost_bound > 0) bookkeeping: total workflow cost of the last
+  // accepted configuration, and whether its cost verdict already clears the
+  // bound (always starts false under a probabilistic bound — the goal must
+  // be *proven* by a replicate distribution, never assumed).
+  double accepted_total_cost = 0.0;
+  bool cost_goal_met = false;
+};
+
+/// One verdict's worth of evidence: a single probe under the legacy bound,
+/// `replicates` fresh draws plus their representative otherwise.
+struct Evidence {
+  search::ProbeResult eval;
+  std::vector<search::ProbeResult> reps;  // empty under the legacy bound
 };
 
 struct ConfiguratorMetrics {
@@ -114,6 +129,44 @@ PathConfigOutcome PriorityConfigurator::configure_path(
   state.accepted_cost.assign(baseline.function_costs.begin(),
                              baseline.function_costs.end());
 
+  // Probabilistic bound (doc/SLO.md): every verdict probes `replicates`
+  // times and judges the empirical distribution; the legacy default keeps
+  // the paper's single-sample point checks bit-identical.
+  const bool probabilistic = !options_.slo.is_legacy();
+  const std::size_t replicates = options_.slo.min_replicates();
+  // Dual mode: minimize latency subject to total cost <= cost_bound.
+  const bool dual = options_.cost_bound > 0.0;
+  for (double c : state.accepted_cost) state.accepted_total_cost += c;
+  if (dual && !probabilistic) {
+    state.cost_goal_met = !(state.accepted_total_cost > options_.cost_bound);
+  }
+
+  // Gather the evidence for one verdict at the current `config`.
+  auto gather = [&]() {
+    Evidence ev;
+    if (!probabilistic) {
+      ev.eval = evaluator.probe(config);
+    } else {
+      ev.reps = evaluator.probe_replicates(config, replicates);
+      ev.eval = search::Evaluator::representative(ev.reps);
+    }
+    return ev;
+  };
+
+  // The dual mode's goal test: does the cost distribution (or, under the
+  // legacy bound, the representative's point cost) clear the bound?  The
+  // SLO safety margin guards latency promises, not the budget, so the bound
+  // is applied raw.
+  auto cost_within_bound = [&](const Evidence& ev) {
+    if (!probabilistic) return !(ev.eval.sample.cost > options_.cost_bound);
+    search::LatencyDistribution cost_dist;
+    for (const search::ProbeResult& r : ev.reps) {
+      cost_dist.add(r.sample.failed ? kInfinity : r.sample.cost);
+    }
+    return search::slo_verdict(cost_dist, options_.slo, options_.cost_bound) ==
+           search::SloVerdict::Accept;
+  };
+
   auto run_round = [&](Direction direction, std::size_t forced_step) {
     // Line 3-10: seed the queue with a cpu and a memory op per function.
     OperationQueue queue;
@@ -130,8 +183,13 @@ PathConfigOutcome PriorityConfigurator::configure_path(
       }
     }
 
-    // Line 11: loop until the queue drains or MAX_TRAIL probes are spent.
-    while (!queue.empty() && state.count < options_.max_trail) {
+    // Line 11: loop until the queue drains or MAX_TRAIL verdicts are spent.
+    // The dual mode's deallocation round additionally stops the moment the
+    // cost verdict clears the bound: the accepted configuration is then the
+    // fastest one the descent visited, and further deallocation would only
+    // trade latency for budget already met.
+    while (!queue.empty() && state.count < options_.max_trail &&
+           !(dual && direction == Direction::Deallocate && state.cost_goal_met)) {
       Operation op = queue.pop();
 
       // deallocate(op) / allocate(op): move the resource by `step` units.
@@ -149,12 +207,15 @@ PathConfigOutcome PriorityConfigurator::configure_path(
       }
       value = proposed;
 
-      // MAX_TRAIL is denominated in billed samples: a probe answered from
+      // MAX_TRAIL is denominated in billed verdicts: a probe answered from
       // the memoization cache consumed no platform execution and must not
-      // burn budget, so the count moves only on executed probes.
-      search::ProbeResult eval = evaluator.probe(config);
-      if (!eval.sample.cache_hit) ++state.count;
-      ++outcome.samples_used;
+      // burn budget, so the count moves only on executed probes.  Under a
+      // probabilistic bound one verdict costs one MAX_TRAIL unit but bills
+      // `replicates` samples — the budget bounds decisions, the trace bills
+      // executions.
+      Evidence ev = gather();
+      if (!ev.eval.sample.cache_hit) ++state.count;
+      outcome.samples_used += probabilistic ? replicates : 1;
 
       // Distinguish "the platform hiccuped" from "this move was bad": a
       // transient failure (crash/timeout, no OOM) is re-probed at the same
@@ -162,26 +223,84 @@ PathConfigOutcome PriorityConfigurator::configure_path(
       // halving the step on what is merely noise.  OOM is deterministic and
       // falls straight through to the revert path.
       for (std::size_t left = options_.transient_probe_retries;
-           left > 0 && eval.sample.failed && eval.sample.transient &&
+           left > 0 && ev.eval.sample.failed && ev.eval.sample.transient &&
            state.count < options_.max_trail;
            --left) {
-        eval = evaluator.probe(config);
-        if (!eval.sample.cache_hit) ++state.count;
-        ++outcome.samples_used;
+        ev = gather();
+        if (!ev.eval.sample.cache_hit) ++state.count;
+        outcome.samples_used += probabilistic ? replicates : 1;
         ++outcome.transient_retries;
         metrics.transient_retries.inc();
       }
+      const search::ProbeResult& eval = ev.eval;
 
       const double new_path_runtime = path_runtime(eval.function_runtimes, path_nodes);
       const double previous_cost = state.accepted_cost[op.node];
       const double new_cost = eval.function_costs[op.node];
 
       const bool error = eval.sample.failed;
-      const bool slo_violated =
-          new_path_runtime > effective_slo || eval.sample.makespan > effective_e2e_slo;
-      const bool cost_increased = !(new_cost < previous_cost);
 
-      if (error || slo_violated || cost_increased) {
+      // The SLO verdict.  Dual mode inverts the roles — latency becomes the
+      // objective and the budget the constraint — so no SLO check applies;
+      // the legacy bound keeps the paper's point comparisons verbatim; a
+      // probabilistic bound judges the per-replicate path and end-to-end
+      // latency distributions against the margin-adjusted limits (failed
+      // replicates contribute +inf, so they count as violations at any
+      // percentile they reach).
+      bool slo_violated = false;
+      if (dual) {
+        // no SLO constraint in dual mode
+      } else if (!probabilistic) {
+        slo_violated =
+            new_path_runtime > effective_slo || eval.sample.makespan > effective_e2e_slo;
+      } else {
+        search::LatencyDistribution path_dist;
+        search::LatencyDistribution e2e_dist;
+        for (const search::ProbeResult& r : ev.reps) {
+          path_dist.add(r.sample.failed ? kInfinity
+                                        : path_runtime(r.function_runtimes, path_nodes));
+          e2e_dist.add(r.sample.failed ? kInfinity : r.sample.makespan);
+        }
+        slo_violated =
+            search::slo_verdict(path_dist, options_.slo, effective_slo) !=
+                search::SloVerdict::Accept ||
+            search::slo_verdict(e2e_dist, options_.slo, effective_e2e_slo) !=
+                search::SloVerdict::Accept;
+      }
+
+      // The accept/revert decision and the priority of a kept move.  Cost
+      // comparisons always use the representative replicate: the SLO is the
+      // *guarantee* (judged on the distribution above); cost is the
+      // *objective*, where a deterministic point estimate keeps the queue
+      // ordering stable.
+      bool revert = false;
+      double accept_priority = 0.0;
+      bool prune_on_accept = false;
+      if (dual) {
+        if (direction == Direction::Deallocate) {
+          // Accept any move that strictly reduces total workflow cost,
+          // prioritized by cost saved per second of path latency given up.
+          const double reduced_total = state.accepted_total_cost - eval.sample.cost;
+          revert = error || !(reduced_total > 0.0);
+          const double latency_given_up =
+              std::max(0.0, new_path_runtime - outcome.accepted_path_runtime);
+          accept_priority = reduced_total / (1.0 + latency_given_up);
+        } else {
+          // Latency buy-back: keep a step-up only when it speeds the path
+          // up *and* the cost verdict stays within the bound.
+          const double latency_gain = outcome.accepted_path_runtime - new_path_runtime;
+          revert = error || !(latency_gain > 0.0) || !cost_within_bound(ev);
+          accept_priority = latency_gain;
+        }
+      } else {
+        const bool cost_increased = !(new_cost < previous_cost);
+        revert = error || slo_violated || cost_increased;
+        const double reduced_cost = previous_cost - new_cost;
+        accept_priority = options_.fifo_priority ? 1.0 : reduced_cost;
+        prune_on_accept = reduced_cost < options_.min_gain_fraction * previous_cost;
+      }
+
+      if (revert) {
         // Line 14-18: revert, back off exponentially, burn a trial.  A
         // revert at the minimum step cannot be refined further — retrying
         // the same grid move would only re-measure noise — so the op is
@@ -197,26 +316,36 @@ PathConfigOutcome PriorityConfigurator::configure_path(
       }
 
       // Line 19-22: keep the move; the priority is the achieved cost
-      // reduction (FIFO ablation flattens it to a constant).
+      // reduction (FIFO ablation flattens it to a constant; dual mode the
+      // direction-specific gain computed above).
       state.accepted_cost.assign(eval.function_costs.begin(), eval.function_costs.end());
       outcome.accepted_runtimes.assign(eval.function_runtimes.begin(),
                                        eval.function_runtimes.end());
       outcome.accepted_path_runtime = new_path_runtime;
       ++outcome.ops_accepted;
       metrics.ops_accepted.inc();
-      const double reduced_cost = previous_cost - new_cost;
-      if (reduced_cost < options_.min_gain_fraction * previous_cost) continue;
+      if (dual) {
+        state.accepted_total_cost = eval.sample.cost;
+        state.cost_goal_met = cost_within_bound(ev);
+      }
+      if (prune_on_accept) continue;
       if (options_.halve_step_on_accept) op.step = std::max<std::size_t>(1, op.step / 2);
-      queue.push(op, options_.fifo_priority ? 1.0 : reduced_cost);
+      queue.push(op, accept_priority);
     }
   };
 
   // Algorithm 2 proper: the deallocation round.
   run_round(Direction::Deallocate, 0);
 
-  // Optional extension: a short allocate-direction polish round recovers
-  // overshoot past a cost minimum (see options.h).
-  if (options_.polish_allocate) {
+  if (dual) {
+    // Dual mode: once — and only if — the cost verdict cleared the bound,
+    // spend the remaining budget buying latency back.  Allocate-direction
+    // moves are kept only when they speed the path up and the cost verdict
+    // stays within the bound, so the goal can never be un-met.
+    if (state.cost_goal_met) run_round(Direction::Allocate, options_.polish_step_units);
+  } else if (options_.polish_allocate) {
+    // Optional extension: a short allocate-direction polish round recovers
+    // overshoot past a cost minimum (see options.h).
     run_round(Direction::Allocate, options_.polish_step_units);
   }
 

@@ -149,15 +149,41 @@ ScheduleReport GraphCentricScheduler::schedule(const platform::Workflow& workflo
 
   // Finalization (step 7 in Fig. 4): verify the configuration once; a
   // transient fault must not reject an otherwise feasible configuration.
+  // Under a probabilistic bound the verification probes min_replicates()
+  // times and feasibility is the distribution verdict (doc/SLO.md); under
+  // cost_bound > 0 feasibility means the cost verdict clears the budget.
   obs::Span finalize_span("aarc.finalize", "aarc");
-  search::ProbeResult final_eval = evaluator.probe(config);
+  const bool probabilistic = !options_.configurator.slo.is_legacy();
+  const std::size_t replicates = options_.configurator.slo.min_replicates();
+  auto final_probe = [&]() {
+    return probabilistic ? evaluator.probe_distribution(config, replicates)
+                         : evaluator.probe(config);
+  };
+  search::ProbeResult final_eval = final_probe();
   for (std::size_t left = options_.configurator.transient_probe_retries;
        left > 0 && final_eval.sample.failed && final_eval.sample.transient; --left) {
-    final_eval = evaluator.probe(config);
+    final_eval = final_probe();
   }
   finalize_span.finish();
   report.result.best_config = config;
-  report.result.found_feasible = final_eval.sample.feasible;
+  if (options_.configurator.cost_bound > 0.0) {
+    // Dual mode: the promise is the budget, not the latency SLO.
+    report.result.found_feasible =
+        probabilistic
+            ? search::slo_verdict(*final_eval.cost_distribution,
+                                  options_.configurator.slo,
+                                  options_.configurator.cost_bound) ==
+                  search::SloVerdict::Accept
+            : !final_eval.sample.failed &&
+                  !(final_eval.sample.cost > options_.configurator.cost_bound);
+  } else if (probabilistic) {
+    report.result.found_feasible =
+        search::slo_verdict(*final_eval.makespan_distribution,
+                            options_.configurator.slo,
+                            evaluator.slo_seconds()) == search::SloVerdict::Accept;
+  } else {
+    report.result.found_feasible = final_eval.sample.feasible;
+  }
   report.result.trace = evaluator.trace();
   return report;
 }

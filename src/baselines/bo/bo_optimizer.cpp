@@ -237,6 +237,46 @@ search::SearchResult bayesian_optimization(search::Evaluator& evaluator,
   }
 
   search::SearchResult result;
+
+  if (!options.slo.is_legacy()) {
+    // Probabilistic validation stage (doc/SLO.md): the single-sample trace
+    // ranking stays the proposal mechanism, but the promise is made by a
+    // replicate distribution.  Walk the in-margin candidates cheapest first
+    // and return the first whose makespan verdict accepts.
+    const double safe_slo = evaluator.slo_seconds() * (1.0 - options.slo_margin);
+    std::vector<std::size_t> candidates;
+    {
+      const auto& samples = evaluator.trace().samples();
+      for (const auto& s : samples) {
+        if (!s.failed && !(s.makespan > safe_slo)) candidates.push_back(s.index);
+      }
+      std::sort(candidates.begin(), candidates.end(),
+                [&](std::size_t a, std::size_t b) {
+                  if (samples[a].cost != samples[b].cost)
+                    return samples[a].cost < samples[b].cost;
+                  return a < b;
+                });
+      if (candidates.size() > options.validation_candidates) {
+        candidates.resize(options.validation_candidates);
+      }
+    }
+    const std::size_t replicates = options.slo.min_replicates();
+    for (std::size_t idx : candidates) {
+      const platform::WorkflowConfig candidate =
+          evaluator.trace().samples()[idx].config;
+      const search::ProbeResult validated =
+          evaluator.probe_distribution(candidate, replicates);
+      if (search::slo_verdict(*validated.makespan_distribution, options.slo,
+                              safe_slo) == search::SloVerdict::Accept) {
+        result.found_feasible = true;
+        result.best_config = candidate;
+        break;
+      }
+    }
+    result.trace = evaluator.trace();
+    return result;
+  }
+
   result.trace = evaluator.trace();
   auto best = best_safe_index(result.trace, evaluator.slo_seconds() * (1.0 - options.slo_margin));
   // Fall back to plain feasibility if nothing sits inside the margin.

@@ -41,6 +41,17 @@ struct BoOptions {
   double noise_variance = 1e-3;        ///< GP noise (standardized units)
   std::size_t lengthscale_every = 10;  ///< refit lengthscale each k rounds
   std::uint64_t seed = 7;
+
+  /// Probabilistic SLO bound (search/slo.h, doc/SLO.md).  The search loop is
+  /// untouched (single-sample probes feed the GP exactly as before — the
+  /// default stays bit-identical); a non-legacy bound adds a *validation*
+  /// stage after the loop: the cheapest in-margin trace candidates (up to
+  /// validation_candidates) are re-probed `slo.min_replicates()` times each
+  /// and the first whose makespan distribution clears the verdict wins.
+  /// found_feasible is false when none does.
+  search::SloBound slo{};
+  /// How many trace candidates the probabilistic validation stage may try.
+  std::size_t validation_candidates = 5;
 };
 
 /// Run the BO baseline.  Every evaluation is recorded in the evaluator's

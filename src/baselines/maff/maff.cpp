@@ -49,12 +49,28 @@ search::SearchResult maff_gradient_descent(search::Evaluator& evaluator,
     config[f] = coupled(grid, memory[f], options.mb_per_vcpu);
   }
 
-  auto evaluate = [&]() { return evaluator.probe(config); };
+  // Probabilistic bound (doc/SLO.md): every descent verdict probes
+  // `replicates` times and judges the makespan distribution; the legacy
+  // default keeps the single-sample point checks bit-identical.
+  const bool probabilistic = !options.slo.is_legacy();
+  const std::size_t replicates = options.slo.min_replicates();
+  auto evaluate = [&]() {
+    return probabilistic ? evaluator.probe_distribution(config, replicates)
+                         : evaluator.probe(config);
+  };
+  auto slo_ok = [&](const search::ProbeResult& probe) {
+    if (probabilistic) {
+      return !probe.sample.failed &&
+             search::slo_verdict(*probe.makespan_distribution, options.slo,
+                                 safe_slo) == search::SloVerdict::Accept;
+    }
+    return !probe.sample.failed && probe.sample.makespan <= safe_slo;
+  };
 
   // Baseline probe: establishes cost under the starting configuration.
   search::ProbeResult current = evaluate();
   double current_cost = current.sample.cost;
-  const bool start_feasible = !current.sample.failed && current.sample.makespan <= safe_slo;
+  const bool start_feasible = slo_ok(current);
 
   std::vector<double> step(n, options.initial_step_mb);
   std::vector<bool> done(n, !start_feasible);  // infeasible start: nothing to do
@@ -83,7 +99,7 @@ search::SearchResult maff_gradient_descent(search::Evaluator& evaluator,
       config[f] = coupled(grid, proposed_memory, options.mb_per_vcpu);
       const search::ProbeResult probe = evaluate();
 
-      if (probe.sample.failed || probe.sample.makespan > safe_slo) {
+      if (!slo_ok(probe)) {
         // SLO violated: revert and terminate this function's descent.
         config[f] = previous;
         done[f] = true;
@@ -115,6 +131,21 @@ search::SearchResult maff_gradient_descent(search::Evaluator& evaluator,
   }
 
   search::SearchResult result;
+
+  if (probabilistic) {
+    // The trace scan below ranks individual samples — noisy draws, not
+    // verdicts — so the probabilistic path instead validates the descent's
+    // final configuration (every revert restored `config`, so it is the
+    // last accepted state) with one more replicate distribution.
+    const search::ProbeResult validated = evaluate();
+    if (slo_ok(validated)) {
+      result.found_feasible = true;
+      result.best_config = config;
+    }
+    result.trace = evaluator.trace();
+    return result;
+  }
+
   result.trace = evaluator.trace();
   // Cheapest probe inside the safety margin; fall back to plain feasibility.
   std::optional<std::size_t> best;

@@ -30,6 +30,15 @@ struct MaffOptions {
   std::size_t max_samples = 100;      ///< global probe cap
   std::size_t max_rounds = 16;        ///< round-robin sweeps cap
   double slo_margin = 0.03;           ///< keep makespan within slo*(1-margin)
+
+  /// Probabilistic SLO bound (search/slo.h, doc/SLO.md).  The default is the
+  /// paper's single-sample point check, bit-identical to earlier releases.
+  /// A non-legacy bound makes every descent step probe
+  /// `slo.min_replicates()` times and judge the makespan distribution
+  /// against the margin-adjusted SLO; the final configuration is validated
+  /// the same way instead of scanning the trace (individual replicates are
+  /// noisy samples, not verdicts).
+  search::SloBound slo{};
 };
 
 /// Run the MAFF baseline.  Every probe lands in the evaluator's trace.

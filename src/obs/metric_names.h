@@ -67,6 +67,14 @@ inline constexpr const char* kProbeBatchKernelCalls =
 inline constexpr const char* kProbeBatchScalarFallbacks =
     "probe.batch.scalar_fallbacks_total";
 
+// -- slo: probabilistic SLO verdicts (search/slo.h) -------------------------
+inline constexpr const char* kSloChecks = "slo.checks_total";
+inline constexpr const char* kSloAccepts = "slo.accepts_total";
+inline constexpr const char* kSloRejects = "slo.rejects_total";
+inline constexpr const char* kSloInsufficientSamples =
+    "slo.insufficient_samples_total";
+inline constexpr const char* kSloReplicates = "slo.replicates_total";
+
 // -- serving: the discrete-event request-stream simulator -------------------
 inline constexpr const char* kServingRequests = "serving.requests_total";
 inline constexpr const char* kServingRequestFailures =

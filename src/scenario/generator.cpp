@@ -60,6 +60,8 @@ void GeneratorOptions::validate() const {
   expects(chaos_probability >= 0.0 && chaos_probability <= 1.0,
           "chaos_probability must be in [0, 1]");
   expects(chaos_horizon_seconds > 0.0, "chaos_horizon_seconds must be positive");
+  expects(percentile_slo_probability >= 0.0 && percentile_slo_probability <= 1.0,
+          "percentile_slo_probability must be in [0, 1]");
 }
 
 namespace {
@@ -351,6 +353,16 @@ Scenario generate_scenario(std::uint64_t corpus_seed, std::size_t index,
 
   if (rng.bernoulli(options.chaos_probability)) {
     scenario.chaos = sample_chaos(scenario.workload.workflow, options, rng);
+  }
+
+  // Percentile SLO bound (doc/SLO.md).  The `> 0` guard keeps the default
+  // path off the rng entirely, so corpora generated before this knob
+  // existed stay byte-identical.
+  if (options.percentile_slo_probability > 0.0 &&
+      rng.bernoulli(options.percentile_slo_probability)) {
+    scenario.slo_bound.metric =
+        rng.bernoulli(0.5) ? search::SloMetric::P95 : search::SloMetric::P50;
+    scenario.slo_bound.confidence = rng.uniform(0.80, 0.95);
   }
   return scenario;
 }

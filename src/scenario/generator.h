@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "chaos/incident.h"
+#include "search/slo.h"
 #include "workloads/workload.h"
 
 namespace aarc::scenario {
@@ -64,6 +65,11 @@ struct GeneratorOptions {
   double chaos_probability = 0.0;
   /// Simulated-time horizon chaos incidents are placed in.
   double chaos_horizon_seconds = 1800.0;
+  /// Probability that a scenario carries a percentile SLO bound (p50 or
+  /// p95 with confidence drawn from [0.80, 0.95]) instead of the legacy
+  /// mean/point bound.  The default 0 draws nothing from the rng, so
+  /// existing corpora stay byte-identical.
+  double percentile_slo_probability = 0.0;
 
   /// Throws support::ContractViolation on out-of-range knobs.
   void validate() const;
@@ -78,6 +84,10 @@ struct Scenario {
   workloads::Workload workload;
   /// Optional chaos overlay for serving-path legs; empty = none.
   chaos::IncidentSchedule chaos;
+  /// SLO bound semantics (doc/SLO.md): the legacy default is the mean/point
+  /// check; percentile bounds make the sweep run every method under
+  /// replicate-backed verdicts.
+  search::SloBound slo_bound{};
 
   explicit Scenario(workloads::Workload w) : workload(std::move(w)) {}
 };

@@ -19,6 +19,12 @@ io::Json scenario_to_json(const Scenario& scenario) {
     doc["chaos"] = io::chaos_profile_to_json(scenario.workload.workflow,
                                              scenario.chaos, scenario.name);
   }
+  // Probabilistic SLO bound (doc/SLO.md): emitted only when non-legacy so
+  // pre-existing corpora round-trip byte-identically.
+  if (!scenario.slo_bound.is_legacy()) {
+    doc["slo_metric"] = search::to_string(scenario.slo_bound.metric);
+    doc["slo_confidence"] = scenario.slo_bound.confidence;
+  }
   return io::Json(std::move(doc));
 }
 
@@ -49,6 +55,12 @@ Scenario scenario_from_json(const io::Json& doc) {
     scenario.chaos =
         io::chaos_profile_from_json(scenario.workload.workflow, doc.at("chaos"));
   }
+  if (doc.contains("slo_metric")) {
+    scenario.slo_bound.metric =
+        search::slo_metric_from_string(doc.string_or("slo_metric", "mean"));
+  }
+  scenario.slo_bound.confidence = doc.number_or("slo_confidence", 1.0);
+  scenario.slo_bound.validate();
   return scenario;
 }
 

@@ -34,16 +34,20 @@ MethodRun run_aarc(const Scenario& scenario, const platform::Executor& executor,
   opts.seed = kAarcSeed;
   opts.evaluator_threads = options.threads;
   opts.probe_cache = options.probe_cache;
+  opts.configurator.slo = scenario.slo_bound;
   const core::GraphCentricScheduler scheduler(executor, grid, opts);
   const core::ScheduleReport report =
       scheduler.schedule(scenario.workload.workflow, scenario.workload.slo_seconds);
   MethodRun run;
   run.result = report.result;
-  // MAX_TRAIL billed probes per configured path, plus the base profiling and
-  // final verification probes (each retried on transient failures).
+  // MAX_TRAIL billed verdicts per configured path, plus the base profiling
+  // and final verification probes (each retried on transient failures).
+  // Under a probabilistic bound every verdict bills `min_replicates()`
+  // samples, so the billed-sample cap scales accordingly (doc/SLO.md).
+  const std::size_t replicates = scenario.slo_bound.min_replicates();
   const std::size_t paths = 1 + report.subpath_count + report.uncovered_count;
-  run.budget_cap = paths * opts.configurator.max_trail +
-                   2 * (1 + opts.configurator.transient_probe_retries);
+  run.budget_cap = replicates * (paths * opts.configurator.max_trail +
+                                 2 * (1 + opts.configurator.transient_probe_retries));
   return run;
 }
 
@@ -58,9 +62,18 @@ MethodRun run_bo(const Scenario& scenario, const platform::Executor& executor,
   opts.seed = kBoSeed;
   opts.max_samples = options.bo_max_samples;
   opts.init_samples = std::min<std::size_t>(10, options.bo_max_samples);
+  opts.slo = scenario.slo_bound;
   MethodRun run;
   run.result = baselines::bayesian_optimization(evaluator, grid, opts);
+  // The probabilistic validation stage re-probes up to validation_candidates
+  // configs with min_replicates() fresh draws each, on top of the search
+  // budget; under the legacy bound the stage never runs and the cap is the
+  // search budget alone, exactly as before.
   run.budget_cap = options.bo_max_samples;
+  if (!scenario.slo_bound.is_legacy()) {
+    run.budget_cap +=
+        opts.validation_candidates * scenario.slo_bound.min_replicates();
+  }
   return run;
 }
 
@@ -74,9 +87,16 @@ MethodRun run_maff(const Scenario& scenario, const platform::Executor& executor,
                               eval_opts);
   baselines::MaffOptions opts;
   opts.max_samples = options.maff_max_samples;
+  opts.slo = scenario.slo_bound;
   MethodRun run;
   run.result = baselines::maff_gradient_descent(evaluator, grid, opts);
+  // Probabilistic descents bill min_replicates() per verdict: the budget
+  // check happens before a verdict, so the last one may overshoot the cap
+  // by one replicate batch, and the final validation adds another.
   run.budget_cap = options.maff_max_samples;
+  if (!scenario.slo_bound.is_legacy()) {
+    run.budget_cap += 2 * scenario.slo_bound.min_replicates();
+  }
   return run;
 }
 
@@ -212,6 +232,7 @@ SweepResult run_sweep(const SweepOptions& options, const SweepProgress& progress
     outcome.function_count = scenario.workload.workflow.function_count();
     outcome.slo_seconds = scenario.workload.slo_seconds;
     outcome.has_chaos = !scenario.chaos.empty();
+    outcome.slo_bound = scenario.slo_bound;
     outcome.aarc =
         validate_method(scenario, "AARC", aarc, executor, options, result.violations);
     outcome.bo =
@@ -253,6 +274,7 @@ io::Json sweep_to_json(const SweepOptions& options, const SweepResult& result) {
   opts["deep_audit_stride"] = options.deep_audit_stride;
   opts["win_cost_slack"] = options.win_cost_slack;
   opts["chaos_probability"] = options.generator.chaos_probability;
+  opts["percentile_slo_probability"] = options.generator.percentile_slo_probability;
   doc["options"] = io::Json(std::move(opts));
 
   io::JsonArray rows;
@@ -264,6 +286,10 @@ io::Json sweep_to_json(const SweepOptions& options, const SweepResult& result) {
     row["functions"] = s.function_count;
     row["slo_seconds"] = s.slo_seconds;
     row["chaos"] = s.has_chaos;
+    if (!s.slo_bound.is_legacy()) {
+      row["slo_metric"] = search::to_string(s.slo_bound.metric);
+      row["slo_confidence"] = s.slo_bound.confidence;
+    }
     row["aarc"] = method_json(s.aarc);
     row["bo"] = method_json(s.bo);
     row["maff"] = method_json(s.maff);

@@ -65,6 +65,8 @@ struct ScenarioOutcome {
   std::size_t function_count = 0;
   double slo_seconds = 0.0;
   bool has_chaos = false;
+  /// The scenario's SLO bound semantics (legacy mean/point by default).
+  search::SloBound slo_bound{};
   MethodOutcome aarc;
   MethodOutcome bo;
   MethodOutcome maff;

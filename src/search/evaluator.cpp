@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -120,8 +121,66 @@ ProbeResult Evaluator::probe(const platform::WorkflowConfig& config) {
   return std::move(results.front());
 }
 
+std::vector<ProbeResult> Evaluator::probe_replicates(
+    const platform::WorkflowConfig& config, std::size_t replicates) {
+  if (replicates <= 1) {
+    std::vector<ProbeResult> one;
+    one.push_back(probe(config));
+    return one;
+  }
+  ProbeBatch batch = make_batch();
+  batch.reserve(replicates);
+  for (std::size_t r = 0; r < replicates; ++r) batch.add(config, r);
+  obs::MetricsRegistry::global()
+      .counter(obs::metric::kSloReplicates)
+      .inc(replicates);
+  // Replicate lanes are identical on purpose: bypass memoization and
+  // in-batch dedup so each lane consumes its own derived RNG stream.
+  return evaluate_batch_impl(
+      batch, ExecutionPolicy::threads(std::max<std::size_t>(1, options_.threads)),
+      /*use_cache=*/false);
+}
+
+const ProbeResult& Evaluator::representative(const std::vector<ProbeResult>& replicates) {
+  expects(!replicates.empty(), "representative of an empty replicate set");
+  std::vector<std::size_t> ok;
+  for (std::size_t r = 0; r < replicates.size(); ++r) {
+    if (!replicates[r].sample.failed) ok.push_back(r);
+  }
+  if (ok.empty()) return replicates.back();
+  std::sort(ok.begin(), ok.end(), [&](std::size_t a, std::size_t b) {
+    if (replicates[a].sample.makespan != replicates[b].sample.makespan) {
+      return replicates[a].sample.makespan < replicates[b].sample.makespan;
+    }
+    return a < b;
+  });
+  return replicates[ok[(ok.size() - 1) / 2]];
+}
+
+ProbeResult Evaluator::probe_distribution(const platform::WorkflowConfig& config,
+                                          std::size_t replicates) {
+  const std::vector<ProbeResult> reps = probe_replicates(config, replicates);
+  auto makespans = std::make_shared<LatencyDistribution>();
+  auto costs = std::make_shared<LatencyDistribution>();
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  for (const ProbeResult& r : reps) {
+    makespans->add(r.sample.failed ? inf : r.sample.makespan);
+    costs->add(r.sample.failed ? inf : r.sample.cost);
+  }
+  ProbeResult result = representative(reps);
+  result.makespan_distribution = std::move(makespans);
+  result.cost_distribution = std::move(costs);
+  return result;
+}
+
 std::vector<ProbeResult> Evaluator::evaluate_batch(const ProbeBatch& batch,
                                                    ExecutionPolicy policy) {
+  return evaluate_batch_impl(batch, policy, options_.probe_cache);
+}
+
+std::vector<ProbeResult> Evaluator::evaluate_batch_impl(const ProbeBatch& batch,
+                                                        ExecutionPolicy policy,
+                                                        bool use_cache) {
   expects(batch.function_count() == workflow_->function_count(),
           "probe batch must be shaped for this workflow");
   expects(batch.input_scale() == input_scale_,
@@ -149,7 +208,7 @@ std::vector<ProbeResult> Evaluator::evaluate_batch(const ProbeBatch& batch,
   // occurrence's answer and billed nothing (cache semantics, batch-local).
   std::unordered_map<ProbeCacheKey, std::size_t, ProbeCacheKeyHash> pending;
   for (std::size_t i = 0; i < count; ++i) {
-    if (options_.probe_cache) {
+    if (use_cache) {
       ProbeCacheKey key{batch.config(i), input_scale_, seed_};
       cached[i] = cache_.find(key);
       if (cached[i] != nullptr) continue;
@@ -398,7 +457,7 @@ std::vector<ProbeResult> Evaluator::evaluate_batch(const ProbeBatch& batch,
 
     const std::size_t k = exec_of[i];
     const Outcome& oc = outcomes[k];
-    if (options_.probe_cache) metrics.cache_misses.inc();
+    if (use_cache) metrics.cache_misses.inc();
     metrics.probes_executed.inc();
     metrics.probe_executions.inc(oc.attempts);
     metrics.probe_wall_seconds.observe(oc.wall_seconds);
@@ -446,7 +505,7 @@ std::vector<ProbeResult> Evaluator::evaluate_batch(const ProbeBatch& batch,
     if (!failed && std::isfinite(makespan)) success_makespans_.push_back(makespan);
     // Transient failures are weather, not configuration: caching one would
     // replay the hiccup forever.  Successes and deterministic OOMs memoize.
-    if (options_.probe_cache && !transient) {
+    if (use_cache && !transient) {
       cache_.insert(ProbeCacheKey{pr.sample.config, input_scale_, seed_}, pr);
     }
     trace_.add(pr.sample);

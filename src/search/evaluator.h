@@ -105,6 +105,33 @@ class Evaluator {
   /// Probe one configuration — a batch of one, for sequential algorithms.
   ProbeResult probe(const platform::WorkflowConfig& config);
 
+  /// Probe one configuration `replicates` times and return every replicate
+  /// (submission order).  Each replicate draws from its own derived RNG
+  /// stream exactly as independent probes would, so results are
+  /// bit-identical for every thread count.  Replicate batches bypass the
+  /// probe memoization cache in both directions: a distribution needs
+  /// `replicates` *fresh* draws (dedup/cache would collapse the identical
+  /// lanes into one answer), and the replicates must not overwrite the
+  /// cache's single-sample answers.  Every replicate is billed and traced.
+  /// `replicates` <= 1 degenerates to exactly probe().
+  std::vector<ProbeResult> probe_replicates(const platform::WorkflowConfig& config,
+                                            std::size_t replicates);
+
+  /// probe_replicates() aggregated for verdict-driven callers: the returned
+  /// result is the representative replicate (median makespan among
+  /// successful replicates, deterministic tie-break — the same rule probe
+  /// re-sampling uses; the last replicate when every one failed) with
+  /// `makespan_distribution` / `cost_distribution` attached over all
+  /// replicates.  `replicates` <= 1 degenerates to exactly probe() (with
+  /// single-sample distributions attached).
+  ProbeResult probe_distribution(const platform::WorkflowConfig& config,
+                                 std::size_t replicates);
+
+  /// The representative of a non-empty replicate set: median-makespan
+  /// successful replicate (lower median, earliest on ties), or the last
+  /// replicate when all failed.
+  static const ProbeResult& representative(const std::vector<ProbeResult>& replicates);
+
   /// Pre-batch scalar entry point; routes through probe() so memoization
   /// and budget accounting still flow through the one batch gateway.
   [[deprecated("use probe() or evaluate_batch()")]]
@@ -135,6 +162,12 @@ class Evaluator {
  private:
   /// Grow the worker-clone pool (and its labeled metric handles) to `n`.
   void ensure_workers(std::size_t n);
+
+  /// The one batch gateway.  `use_cache` gates memoization lookup, in-batch
+  /// dedup and cache insertion; the public entry points pass the evaluator's
+  /// probe_cache option, replicate batches pass false.
+  std::vector<ProbeResult> evaluate_batch_impl(const ProbeBatch& batch,
+                                               ExecutionPolicy policy, bool use_cache);
 
   const platform::Workflow* workflow_;
   const platform::Executor* executor_;

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "platform/resource.h"
+#include "search/slo.h"
 #include "search/trace.h"
 
 namespace aarc::search {
@@ -71,6 +72,16 @@ struct ProbeResult {
   /// Keep-alive for the spans above.  Never null for results produced by the
   /// evaluator; may be null for default-constructed results.
   std::shared_ptr<const ProbeResultArena> arena;
+
+  /// Empirical makespan distribution over the replicates of a
+  /// multi-replicate probe (Evaluator::probe_distribution): one sample per
+  /// replicate, +inf where the replicate failed.  Null for plain
+  /// single-sample probes — the legacy path carries no distribution.
+  std::shared_ptr<const LatencyDistribution> makespan_distribution;
+  /// Total-workflow-cost distribution over the same replicates (the
+  /// cost-bounded dual mode runs its verdicts over this).  Null alongside
+  /// makespan_distribution.
+  std::shared_ptr<const LatencyDistribution> cost_distribution;
 
   /// Build a self-owning result from explicit per-function columns.  Used by
   /// callers that synthesize baselines (e.g. the AARC scheduler's mean-run

@@ -1,0 +1,188 @@
+#include "search/slo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "support/contracts.h"
+
+namespace aarc::search {
+
+using support::expects;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct SloMetrics {
+  obs::Counter& checks;
+  obs::Counter& accepts;
+  obs::Counter& rejects;
+  obs::Counter& insufficient;
+};
+
+SloMetrics& slo_metrics() {
+  auto& reg = obs::MetricsRegistry::global();
+  static SloMetrics m{
+      reg.counter(obs::metric::kSloChecks),
+      reg.counter(obs::metric::kSloAccepts),
+      reg.counter(obs::metric::kSloRejects),
+      reg.counter(obs::metric::kSloInsufficientSamples),
+  };
+  return m;
+}
+
+}  // namespace
+
+std::string to_string(SloMetric metric) {
+  switch (metric) {
+    case SloMetric::Mean:
+      return "mean";
+    case SloMetric::P50:
+      return "p50";
+    case SloMetric::P95:
+      return "p95";
+    case SloMetric::P99:
+      return "p99";
+  }
+  return "?";
+}
+
+SloMetric slo_metric_from_string(std::string_view name) {
+  for (SloMetric metric :
+       {SloMetric::Mean, SloMetric::P50, SloMetric::P95, SloMetric::P99}) {
+    if (to_string(metric) == name) return metric;
+  }
+  expects(false, "unknown SLO metric: " + std::string(name) +
+                     " (mean | p50 | p95 | p99)");
+  throw support::ContractViolation("unreachable");
+}
+
+double slo_metric_quantile(SloMetric metric) {
+  switch (metric) {
+    case SloMetric::Mean:
+      break;
+    case SloMetric::P50:
+      return 0.50;
+    case SloMetric::P95:
+      return 0.95;
+    case SloMetric::P99:
+      return 0.99;
+  }
+  expects(false, "the mean metric has no quantile order");
+  throw support::ContractViolation("unreachable");
+}
+
+std::string to_string(SloVerdict verdict) {
+  switch (verdict) {
+    case SloVerdict::Accept:
+      return "accept";
+    case SloVerdict::Reject:
+      return "reject";
+    case SloVerdict::InsufficientSamples:
+      return "insufficient samples";
+  }
+  return "?";
+}
+
+void SloBound::validate() const {
+  expects(confidence > 0.0 && confidence <= 1.0, "SLO confidence must be in (0, 1]");
+}
+
+std::size_t SloBound::min_replicates(std::size_t dimension) const {
+  validate();
+  expects(dimension >= 1, "verdict dimension must be >= 1");
+  if (metric == SloMetric::Mean) {
+    return confidence >= 1.0 ? 1 : kMeanMinReplicates;
+  }
+  // Scenario-approach bound (Campi & Garatti; Jolteon's PCPSolver
+  // .sample_size): with N >= (2/eps) * (ln(1/beta) + d) samples, a decision
+  // feasible on all of them violates the chance constraint with probability
+  // at most eps, except on a beta-probability set of sample draws.
+  const double eps = 1.0 - slo_metric_quantile(metric);
+  const double beta = 1.0 - std::min(confidence, 0.9999);
+  const double bound =
+      (2.0 / eps) * (std::log(1.0 / beta) + static_cast<double>(dimension));
+  return static_cast<std::size_t>(std::ceil(bound));
+}
+
+LatencyDistribution::LatencyDistribution() : sketch_() {}
+
+void LatencyDistribution::add(double value) {
+  expects(!(value < 0.0), "distribution samples must be non-negative");
+  samples_.push_back(value);
+  if (std::isfinite(value)) {
+    finite_sum_ += value;
+    sketch_.add(value);
+  } else {
+    ++failures_;
+  }
+}
+
+double LatencyDistribution::mean() const {
+  if (samples_.empty() || failures_ > 0) return kInf;
+  return finite_sum_ / static_cast<double>(samples_.size());
+}
+
+double LatencyDistribution::stddev() const {
+  if (failures_ > 0) return kInf;
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double m2 = 0.0;
+  for (double v : samples_) m2 += (v - m) * (v - m);
+  return std::sqrt(m2 / static_cast<double>(samples_.size() - 1));
+}
+
+double LatencyDistribution::quantile(double q) const {
+  expects(q > 0.0 && q <= 1.0, "quantile order must be in (0, 1]");
+  if (samples_.empty()) return kInf;
+  std::vector<double> sorted(samples_);
+  std::sort(sorted.begin(), sorted.end());
+  // 1-based rank ceil(q * n): the smallest value v with at least ceil(q*n)
+  // samples ≤ v.  Equivalent to "violations ≤ floor((1-q) * n)", the
+  // empirical feasibility test of the scenario approach.
+  const auto n = static_cast<double>(sorted.size());
+  auto rank = static_cast<std::size_t>(std::ceil(q * n));
+  rank = std::min(std::max<std::size_t>(rank, 1), sorted.size());
+  return sorted[rank - 1];
+}
+
+double LatencyDistribution::metric_value(SloMetric metric) const {
+  if (metric == SloMetric::Mean) return mean();
+  return quantile(slo_metric_quantile(metric));
+}
+
+SloVerdict slo_verdict(const LatencyDistribution& distribution, const SloBound& bound,
+                       double limit) {
+  bound.validate();
+  expects(limit > 0.0, "SLO verdict limit must be positive");
+  SloMetrics& metrics = slo_metrics();
+  metrics.checks.inc();
+  if (distribution.count() < bound.min_replicates()) {
+    metrics.insufficient.inc();
+    return SloVerdict::InsufficientSamples;
+  }
+  bool accept = false;
+  if (bound.metric == SloMetric::Mean && bound.confidence >= 1.0) {
+    // Legacy point check: over one sample, mean() is the sample itself, so
+    // this is exactly the classic `value > limit` reject rule.
+    accept = !(distribution.mean() > limit);
+  } else if (bound.metric == SloMetric::Mean) {
+    // One-sided upper confidence bound on the true mean (normal
+    // approximation; min_replicates() enforces the CLT floor).  A failed
+    // replicate makes mean() +inf, so the comparison rejects.
+    const double n = static_cast<double>(distribution.count());
+    const double upper = distribution.mean() +
+                         support::normal_quantile(bound.confidence) *
+                             distribution.stddev() / std::sqrt(n);
+    accept = !(upper > limit);
+  } else {
+    accept = !(distribution.quantile(slo_metric_quantile(bound.metric)) > limit);
+  }
+  (accept ? metrics.accepts : metrics.rejects).inc();
+  return accept ? SloVerdict::Accept : SloVerdict::Reject;
+}
+
+}  // namespace aarc::search

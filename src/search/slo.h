@@ -1,0 +1,153 @@
+// Probabilistic SLO bounds: "metric ≤ bound with confidence c".
+//
+// AARC's Algorithm 2 accepts or reverts a configuration move against a
+// *point* check — one (possibly noisy) observation compared to the SLO.
+// Real serverless SLOs are percentile guarantees ("p95 latency ≤ 120 s"),
+// and a single noisy sample says nothing about a tail.  This module adds
+// the chance-constrained formulation of Jolteon's PCPSolver
+// (`set_bound(bound_type, bound, service_level)`, SNIPPETS.md snippet 2):
+//
+//   * SloMetric — which statistic of the latency (or cost) distribution the
+//     bound constrains: the mean, or an empirical percentile (p50/p95/p99);
+//   * SloBound — the metric plus a confidence level.  `min_replicates()` is
+//     the sample-size bound: how many independent probe replicates a verdict
+//     needs before accept/reject is statistically trustworthy.  For
+//     percentile metrics it is the scenario-approach bound
+//     N = ceil((2/eps) * (ln(1/beta) + d)) with eps = 1 - q (the violation
+//     budget of quantile q), beta = 1 - confidence and d the decision
+//     dimension (Campi & Garatti; `PCPSolver.sample_size` uses the same
+//     form).  For the mean with confidence < 1 it is a documented CLT floor.
+//   * LatencyDistribution — the empirical distribution of one configuration:
+//     exact replicate samples (failed replicates recorded as +inf) for
+//     deterministic verdicts, plus a streaming support::QuantileSketch for
+//     cheap observability export.  Despite the name it holds any
+//     non-negative per-replicate statistic; the cost-bounded dual mode runs
+//     verdicts over total-cost distributions through the same type.
+//   * slo_verdict — Accept / Reject / InsufficientSamples.  Fewer samples
+//     than `min_replicates()` NEVER accepts: an under-sampled verdict
+//     reports InsufficientSamples, which every caller treats as a reject.
+//
+// The default bound (mean, confidence 1.0) is the legacy point check:
+// verdicts over a single sample reproduce `value > limit` exactly, so every
+// pre-existing code path is bit-identical.  doc/SLO.md is the semantics
+// spec; the decision rules here and there must agree.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/statistics.h"
+
+namespace aarc::search {
+
+/// Which statistic of the empirical distribution an SLO bound constrains.
+enum class SloMetric { Mean, P50, P95, P99 };
+
+std::string to_string(SloMetric metric);
+/// Inverse of to_string ("mean" | "p50" | "p95" | "p99"); throws
+/// support::ContractViolation with the accepted spellings on unknown names.
+SloMetric slo_metric_from_string(std::string_view name);
+/// Quantile order q of a percentile metric (0.50 / 0.95 / 0.99).
+/// Asserts the metric is not Mean.
+double slo_metric_quantile(SloMetric metric);
+
+/// Outcome of one probabilistic SLO check.
+enum class SloVerdict {
+  Accept,               ///< metric ≤ limit at the configured confidence
+  Reject,               ///< metric exceeds the limit
+  InsufficientSamples,  ///< fewer samples than min_replicates(); never accept
+};
+
+std::string to_string(SloVerdict verdict);
+
+/// A chance-constrained bound: "metric ≤ limit with probability ≥
+/// confidence".  The limit itself travels separately (it is the workload's
+/// SLO or the configurator's cost bound); this struct carries the semantics.
+struct SloBound {
+  SloMetric metric = SloMetric::Mean;
+  /// Confidence level in (0, 1].  1.0 with the Mean metric is the legacy
+  /// single-sample point check; percentile metrics clamp the confidence to
+  /// 0.9999 internally (beta = 0 needs infinitely many samples).
+  double confidence = 1.0;
+
+  /// True for the default (mean, confidence 1.0) bound — the bit-identical
+  /// legacy path: one sample, point comparison.
+  bool is_legacy() const { return metric == SloMetric::Mean && confidence >= 1.0; }
+
+  /// Sample-size bound: replicates a probe needs before a verdict is
+  /// trustworthy.  Legacy → 1.  Mean with confidence < 1 → kMeanMinReplicates
+  /// (CLT floor for the normal-approximation confidence bound).  Percentile
+  /// metrics → the scenario-approach bound with decision dimension
+  /// `dimension` (default 1: one scalar threshold per verdict).
+  std::size_t min_replicates(std::size_t dimension = 1) const;
+
+  /// Throws support::ContractViolation on out-of-range fields.
+  void validate() const;
+};
+
+/// Minimum replicates for mean-metric verdicts with confidence < 1 (the
+/// normal-approximation upper confidence bound needs a CLT-sized sample).
+inline constexpr std::size_t kMeanMinReplicates = 30;
+
+/// Empirical distribution of one configuration's per-replicate statistic.
+///
+/// Exact samples drive the verdicts (deterministic, no sketch error); the
+/// streaming sketch rides along for observability export and for callers
+/// that aggregate across configurations.  Failed replicates are recorded as
+/// +inf so they count against every quantile and poison the mean — a
+/// configuration that sometimes fails cannot clear any bound with those
+/// failures inside the violation budget.
+class LatencyDistribution {
+ public:
+  LatencyDistribution();
+
+  /// Record one replicate (+inf for a failed replicate).
+  void add(double value);
+
+  std::size_t count() const { return samples_.size(); }
+  /// Replicates recorded as +inf (failures).
+  std::size_t failures() const { return failures_; }
+
+  /// Sample mean; +inf when empty or when any replicate failed.
+  double mean() const;
+  /// Sample standard deviation (n-1); 0 for fewer than two finite samples
+  /// and +inf when any replicate failed.
+  double stddev() const;
+  /// Conservative empirical quantile, q in (0, 1]: the sample at 1-based
+  /// rank ceil(q * n) of the sorted samples — the smallest observed value
+  /// with at least a q-fraction of the sample at or below it.  +inf when
+  /// empty; the single sample when n == 1.
+  double quantile(double q) const;
+  /// The statistic `metric` constrains: mean() or quantile(q).
+  double metric_value(SloMetric metric) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+  const support::QuantileSketch& sketch() const { return sketch_; }
+
+ private:
+  std::vector<double> samples_;
+  support::QuantileSketch sketch_;
+  std::size_t failures_ = 0;
+  double finite_sum_ = 0.0;
+};
+
+/// The decision rule (see doc/SLO.md for the full table):
+///
+///   * count() < bound.min_replicates()      → InsufficientSamples
+///   * legacy (mean, confidence 1.0)         → Accept iff mean() ≤ limit
+///     (over one sample this is exactly the classic point check)
+///   * mean, confidence < 1                  → Accept iff the one-sided
+///     normal-approximation upper confidence bound clears the limit:
+///     mean + z_confidence * stddev / sqrt(n) ≤ limit
+///   * percentile q                          → Accept iff the conservative
+///     empirical quantile(q) ≤ limit
+///
+/// Any failed replicate makes the mean +inf and occupies top quantile
+/// ranks, so failures inside the violation budget force a reject.
+/// Write-only `slo.*` metrics count every verdict by outcome.
+SloVerdict slo_verdict(const LatencyDistribution& distribution, const SloBound& bound,
+                       double limit);
+
+}  // namespace aarc::search

@@ -278,12 +278,24 @@ platform::WorkflowConfig OnlineReconfigurator::incremental_reschedule(
                                                   options_.scheduler.configurator);
     configurator.configure_path(evaluator, critical_path.nodes(), slo, config, reprov);
 
-    search::ProbeResult final_eval = evaluator.probe(config);
+    // Final verdict: same semantics as the scheduler's finalization — a
+    // probabilistic bound (doc/SLO.md) validates with a replicate
+    // distribution; the legacy default keeps the single-probe point check.
+    const search::SloBound& bound = options_.scheduler.configurator.slo;
+    auto final_probe = [&]() {
+      return bound.is_legacy()
+                 ? evaluator.probe(config)
+                 : evaluator.probe_distribution(config, bound.min_replicates());
+    };
+    search::ProbeResult final_eval = final_probe();
     for (std::size_t left = options_.scheduler.configurator.transient_probe_retries;
          left > 0 && final_eval.sample.failed && final_eval.sample.transient; --left) {
-      final_eval = evaluator.probe(config);
+      final_eval = final_probe();
     }
-    feasible = final_eval.sample.feasible;
+    feasible = bound.is_legacy()
+                   ? final_eval.sample.feasible
+                   : search::slo_verdict(*final_eval.makespan_distribution, bound,
+                                         slo) == search::SloVerdict::Accept;
   }
   samples = evaluator.billed_samples();
   return config;

@@ -94,6 +94,11 @@ double stddev(std::span<const double> values);
 /// Linear-interpolated percentile, p in [0, 100].  Requires non-empty input.
 double percentile(std::span<const double> values, double p);
 
+/// Inverse standard-normal CDF (probit), p in (0, 1).  Acklam's rational
+/// approximation, |relative error| < 1.15e-9 — plenty for the one-sided
+/// confidence bounds of search::SloBound (mean-metric verdicts).
+double normal_quantile(double p);
+
 /// Mean absolute difference between consecutive values (the paper's Fig. 3
 /// "average fluctuation amplitude").  Zero for fewer than two values.
 double mean_abs_delta(std::span<const double> values);

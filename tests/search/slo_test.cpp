@@ -1,0 +1,273 @@
+// Probabilistic SLO semantics (doc/SLO.md): distribution edge cases, the
+// sample-size bound, the verdict decision table, replicate determinism, and
+// the bit-identity guarantee of the legacy default bound.
+#include "search/slo.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "aarc/scheduler.h"
+#include "search/evaluator.h"
+#include "support/contracts.h"
+#include "workloads/catalog.h"
+
+namespace aarc::search {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// ---------------------------------------------------------------------------
+// LatencyDistribution edge cases
+
+TEST(LatencyDistribution, EmptyIsInfinite) {
+  LatencyDistribution d;
+  EXPECT_EQ(d.count(), 0u);
+  EXPECT_EQ(d.failures(), 0u);
+  EXPECT_EQ(d.mean(), kInf);
+  EXPECT_EQ(d.quantile(0.95), kInf);
+  EXPECT_EQ(d.stddev(), 0.0);
+}
+
+TEST(LatencyDistribution, SingleSampleIsEveryStatistic) {
+  LatencyDistribution d;
+  d.add(7.5);
+  EXPECT_EQ(d.count(), 1u);
+  EXPECT_DOUBLE_EQ(d.mean(), 7.5);
+  EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+  for (double q : {0.01, 0.50, 0.95, 1.0}) EXPECT_DOUBLE_EQ(d.quantile(q), 7.5);
+}
+
+TEST(LatencyDistribution, DuplicatesCollapse) {
+  LatencyDistribution d;
+  for (int i = 0; i < 50; ++i) d.add(3.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.99), 3.0);
+}
+
+TEST(LatencyDistribution, ConservativeQuantileRank) {
+  // Samples 1..100: rank ceil(q * 100), 1-based — p95 is the 95th value.
+  LatencyDistribution d;
+  for (int i = 100; i >= 1; --i) d.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(d.quantile(0.95), 95.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.50), 50.0);
+  EXPECT_DOUBLE_EQ(d.quantile(1.0), 100.0);
+  // Odd n: {1,2,3,4} at q=0.5 → rank ceil(2)=2 → 2 (conservative, not 2.5).
+  LatencyDistribution e;
+  for (double v : {4.0, 2.0, 1.0, 3.0}) e.add(v);
+  EXPECT_DOUBLE_EQ(e.quantile(0.5), 2.0);
+}
+
+TEST(LatencyDistribution, FailuresPoisonMeanAndTopQuantiles) {
+  LatencyDistribution d;
+  for (int i = 0; i < 99; ++i) d.add(1.0);
+  d.add(kInf);  // one failed replicate out of 100
+  EXPECT_EQ(d.failures(), 1u);
+  EXPECT_EQ(d.mean(), kInf);
+  EXPECT_EQ(d.stddev(), kInf);
+  EXPECT_EQ(d.quantile(1.0), kInf);   // the failure occupies the top rank
+  EXPECT_DOUBLE_EQ(d.quantile(0.99), 1.0);  // rank 99 is still finite
+}
+
+// ---------------------------------------------------------------------------
+// Sample-size bound
+
+TEST(SloBound, LegacyDefaultIsOneSample) {
+  const SloBound legacy;
+  EXPECT_TRUE(legacy.is_legacy());
+  EXPECT_EQ(legacy.min_replicates(), 1u);
+}
+
+TEST(SloBound, ScenarioApproachSampleSizes) {
+  const auto n = [](SloMetric m, double c) {
+    SloBound b;
+    b.metric = m;
+    b.confidence = c;
+    return b.min_replicates();
+  };
+  // N = ceil((2/eps)(ln(1/beta) + 1)), eps = 1 - q, beta = 1 - confidence.
+  EXPECT_EQ(n(SloMetric::P95, 0.80), 105u);
+  EXPECT_EQ(n(SloMetric::P95, 0.95), 160u);
+  EXPECT_EQ(n(SloMetric::P95, 0.99), 225u);
+  EXPECT_EQ(n(SloMetric::P99, 0.95), 800u);
+  // Mean with confidence < 1 uses the CLT floor, not the scenario bound.
+  EXPECT_EQ(n(SloMetric::Mean, 0.95), kMeanMinReplicates);
+  // Confidence 1.0 on a percentile clamps beta away from zero.
+  EXPECT_EQ(n(SloMetric::P95, 1.0), 409u);
+}
+
+TEST(SloBound, MetricNamesRoundTrip) {
+  for (SloMetric m :
+       {SloMetric::Mean, SloMetric::P50, SloMetric::P95, SloMetric::P99}) {
+    EXPECT_EQ(slo_metric_from_string(to_string(m)), m);
+  }
+  EXPECT_THROW(slo_metric_from_string("p90"), support::ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// Verdicts
+
+TEST(SloVerdict, InsufficientSamplesNeverAccepts) {
+  SloBound bound;
+  bound.metric = SloMetric::P95;
+  bound.confidence = 0.95;  // needs 160 replicates
+  LatencyDistribution d;
+  for (int i = 0; i < 159; ++i) d.add(0.001);  // far below any limit
+  EXPECT_EQ(slo_verdict(d, bound, 100.0), SloVerdict::InsufficientSamples);
+  d.add(0.001);  // the 160th sample flips it to a real verdict
+  EXPECT_EQ(slo_verdict(d, bound, 100.0), SloVerdict::Accept);
+}
+
+TEST(SloVerdict, LegacySingleSampleIsThePointCheck) {
+  const SloBound legacy;
+  LatencyDistribution under;
+  under.add(10.0);
+  EXPECT_EQ(slo_verdict(under, legacy, 10.0), SloVerdict::Accept);  // == limit
+  LatencyDistribution over;
+  over.add(10.0 + 1e-9);
+  EXPECT_EQ(slo_verdict(over, legacy, 10.0), SloVerdict::Reject);
+}
+
+TEST(SloVerdict, MeanConfidenceBoundWidensWithVariance) {
+  SloBound bound;
+  bound.confidence = 0.95;  // mean metric, UCB check
+  LatencyDistribution tight;  // 30 identical samples right at the limit
+  for (std::size_t i = 0; i < kMeanMinReplicates; ++i) tight.add(10.0);
+  EXPECT_EQ(slo_verdict(tight, bound, 10.0), SloVerdict::Accept);
+  LatencyDistribution noisy;  // same mean, nonzero spread → UCB exceeds
+  for (std::size_t i = 0; i < kMeanMinReplicates; ++i)
+    noisy.add(i % 2 == 0 ? 9.0 : 11.0);
+  EXPECT_EQ(slo_verdict(noisy, bound, 10.0), SloVerdict::Reject);
+}
+
+TEST(SloVerdict, PercentileJudgesTheTailNotTheMean) {
+  SloBound bound;
+  bound.metric = SloMetric::P95;
+  bound.confidence = 0.95;
+  // 8/160 violations is exactly the 5% budget (floor(0.05 * 160) = 8): the
+  // conservative rank-152 quantile still accepts.  One more violation tips
+  // the empirical p95 to the tail value.
+  LatencyDistribution within;
+  for (int i = 0; i < 152; ++i) within.add(1.0);
+  for (int i = 0; i < 8; ++i) within.add(100.0);
+  EXPECT_EQ(slo_verdict(within, bound, 50.0), SloVerdict::Accept);
+  LatencyDistribution over;  // mean ~6.6 but 9/160 samples at 100 → p95 = 100
+  for (int i = 0; i < 151; ++i) over.add(1.0);
+  for (int i = 0; i < 9; ++i) over.add(100.0);
+  EXPECT_EQ(slo_verdict(over, bound, 50.0), SloVerdict::Reject);
+  EXPECT_EQ(slo_verdict(over, bound, 100.0), SloVerdict::Accept);
+}
+
+TEST(SloVerdict, FailedReplicateInsideBudgetForcesReject) {
+  SloBound bound;
+  bound.metric = SloMetric::P95;
+  bound.confidence = 0.95;
+  LatencyDistribution d;
+  for (int i = 0; i < 151; ++i) d.add(1.0);
+  for (int i = 0; i < 9; ++i) d.add(kInf);  // 9/160 failures > 5% budget
+  EXPECT_EQ(slo_verdict(d, bound, 1e9), SloVerdict::Reject);
+}
+
+// ---------------------------------------------------------------------------
+// Replicates through the evaluator
+
+TEST(ProbeReplicates, BitIdenticalAcrossThreadCounts) {
+  const workloads::Workload w = workloads::make_by_name("chatbot");
+  const platform::Executor ex;  // default executor has nonzero noise
+  const auto config = platform::uniform_config(w.workflow.function_count(),
+                                               platform::ConfigGrid().max_config());
+  const auto run = [&](std::size_t threads) {
+    EvaluatorOptions opts;
+    opts.threads = threads;
+    Evaluator ev(w.workflow, ex, w.slo_seconds, 1.0, 917, opts);
+    std::vector<double> makespans;
+    for (const ProbeResult& r : ev.probe_replicates(config, 12))
+      makespans.push_back(r.sample.makespan);
+    return makespans;
+  };
+  const std::vector<double> serial = run(1);
+  EXPECT_EQ(serial.size(), 12u);
+  EXPECT_EQ(serial, run(4));
+  // Noise actually fires: replicates are not all identical.
+  EXPECT_NE(serial.front(), serial.back());
+}
+
+TEST(ProbeReplicates, DistributionOfOneDegeneratesToProbe) {
+  const workloads::Workload w = workloads::make_by_name("chatbot");
+  const platform::Executor ex;
+  const auto config = platform::uniform_config(w.workflow.function_count(),
+                                               platform::ConfigGrid().max_config());
+  Evaluator plain(w.workflow, ex, w.slo_seconds, 1.0, 917);
+  const ProbeResult single = plain.probe(config);
+  Evaluator dist(w.workflow, ex, w.slo_seconds, 1.0, 917);
+  const ProbeResult wrapped = dist.probe_distribution(config, 1);
+  EXPECT_EQ(single.sample.makespan, wrapped.sample.makespan);
+  EXPECT_EQ(single.sample.cost, wrapped.sample.cost);
+  ASSERT_NE(wrapped.makespan_distribution, nullptr);
+  EXPECT_EQ(wrapped.makespan_distribution->count(), 1u);
+  EXPECT_EQ(wrapped.makespan_distribution->quantile(1.0), wrapped.sample.makespan);
+}
+
+// ---------------------------------------------------------------------------
+// Configurator integration
+
+std::vector<double> trace_makespans(const SearchResult& r) {
+  std::vector<double> out;
+  for (const auto& s : r.trace.samples()) out.push_back(s.makespan);
+  return out;
+}
+
+SearchResult schedule_with(const workloads::Workload& w,
+                           const core::SchedulerOptions& opts) {
+  const platform::Executor ex;
+  const platform::ConfigGrid grid;
+  const core::GraphCentricScheduler scheduler(ex, grid, opts);
+  return scheduler.schedule(w.workflow, w.slo_seconds).result;
+}
+
+TEST(SloConfigurator, ExplicitLegacyBoundIsBitIdenticalToDefault) {
+  const workloads::Workload w = workloads::make_by_name("ml_pipeline");
+  const SearchResult base = schedule_with(w, {});
+  core::SchedulerOptions explicit_opts;
+  explicit_opts.configurator.slo.metric = SloMetric::Mean;
+  explicit_opts.configurator.slo.confidence = 1.0;
+  const SearchResult explicit_run = schedule_with(w, explicit_opts);
+  EXPECT_EQ(base.found_feasible, explicit_run.found_feasible);
+  EXPECT_EQ(base.best_config, explicit_run.best_config);
+  EXPECT_EQ(base.samples(), explicit_run.samples());
+  EXPECT_EQ(trace_makespans(base), trace_makespans(explicit_run));
+}
+
+TEST(SloConfigurator, PercentileBoundFindsAFeasibleConfig) {
+  const workloads::Workload w = workloads::make_by_name("chatbot");
+  core::SchedulerOptions opts;
+  opts.configurator.slo.metric = SloMetric::P95;
+  opts.configurator.slo.confidence = 0.80;
+  const SearchResult r = schedule_with(w, opts);
+  ASSERT_TRUE(r.found_feasible);
+  // The accepted configuration's validated p95 clears the deadline.
+  const platform::Executor ex;
+  Evaluator ev(w.workflow, ex, w.slo_seconds, 1.0, 2025);
+  const ProbeResult check =
+      ev.probe_distribution(r.best_config, opts.configurator.slo.min_replicates());
+  ASSERT_NE(check.makespan_distribution, nullptr);
+  EXPECT_LE(check.makespan_distribution->quantile(0.95), w.slo_seconds);
+}
+
+TEST(SloConfigurator, CostBoundedDualModeRespectsTheBound) {
+  const workloads::Workload w = workloads::make_by_name("chatbot");
+  core::SchedulerOptions opts;
+  opts.configurator.cost_bound = 600.0;
+  const SearchResult r = schedule_with(w, opts);
+  ASSERT_TRUE(r.found_feasible);
+  const platform::Executor ex;
+  Evaluator ev(w.workflow, ex, w.slo_seconds, 1.0, 2025);
+  EXPECT_LE(ev.probe(r.best_config).sample.cost, opts.configurator.cost_bound);
+}
+
+}  // namespace
+}  // namespace aarc::search

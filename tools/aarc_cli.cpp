@@ -79,6 +79,11 @@ Args parse_args(int argc, char** argv) {
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string token = argv[i];
+    if (token == "--help" || token == "-h") {
+      // Value-less by design: print usage and exit successfully.
+      args.options["help"] = "on";
+      continue;
+    }
     if (support::starts_with(token, "--")) {
       std::string key = token.substr(2);
       const auto alias = kAliases.find(key);
@@ -134,6 +139,41 @@ search::EvaluatorOptions search_evaluator_options(const Args& args) {
   if (opts.threads == 0) throw std::runtime_error("--threads must be >= 1");
   opts.probe_cache = option_switch(args, "probe-cache", false);
   return opts;
+}
+
+/// Probabilistic-SLO flags shared by schedule/compare/serve (doc/SLO.md):
+/// --slo-metric mean|p50|p95|p99 and --slo-confidence in (0, 1].  The
+/// defaults (mean, 1.0) reproduce the paper's single-sample point checks
+/// exactly; anything else makes every accept/revert verdict probe
+/// SloBound::min_replicates() times.
+search::SloBound slo_bound_options(const Args& args) {
+  search::SloBound bound;
+  const auto metric = args.options.find("slo-metric");
+  if (metric != args.options.end()) {
+    try {
+      bound.metric = search::slo_metric_from_string(metric->second);
+    } catch (const std::exception&) {
+      throw std::runtime_error("--slo-metric expects mean|p50|p95|p99 (got '" +
+                               metric->second + "')");
+    }
+  }
+  bound.confidence = option_number(args, "slo-confidence", bound.confidence);
+  if (!(bound.confidence > 0.0) || bound.confidence > 1.0) {
+    throw std::runtime_error("--slo-confidence must be in (0, 1] (got " +
+                             support::format_double(bound.confidence, 3) + ")");
+  }
+  bound.validate();
+  return bound;
+}
+
+/// --cost-bound: the dual mode's budget (0 = off; doc/SLO.md).
+double cost_bound_option(const Args& args) {
+  const double bound = option_number(args, "cost-bound", 0.0);
+  if (bound < 0.0) {
+    throw std::runtime_error("--cost-bound must be non-negative (got " +
+                             support::format_double(bound, 3) + ")");
+  }
+  return bound;
 }
 
 /// Fault-injection flags shared by schedule/simulate/serve: --fault-rate,
@@ -238,6 +278,8 @@ int cmd_schedule(const Args& args) {
   const auto eval_opts = search_evaluator_options(args);
   sched_opts.evaluator_threads = eval_opts.threads;
   sched_opts.probe_cache = eval_opts.probe_cache;
+  sched_opts.configurator.slo = slo_bound_options(args);
+  sched_opts.configurator.cost_bound = cost_bound_option(args);
   if (faults_requested(args)) {
     // On a faulty platform, let the evaluator absorb transient probe noise.
     sched_opts.probe_resamples =
@@ -383,7 +425,10 @@ int cmd_serve(const Args& args) {
     config = io::config_from_json(
         w.workflow, io::parse_json(io::read_text_file(config_path->second)));
   } else {
-    const core::GraphCentricScheduler scheduler(ex, grid);
+    core::SchedulerOptions sched_opts;
+    sched_opts.configurator.slo = slo_bound_options(args);
+    sched_opts.configurator.cost_bound = cost_bound_option(args);
+    const core::GraphCentricScheduler scheduler(ex, grid, sched_opts);
     auto report = scheduler.schedule(w.workflow, w.slo_seconds);
     if (!report.result.found_feasible) {
       std::cerr << "error: no feasible configuration found\n";
@@ -440,6 +485,8 @@ int cmd_serve(const Args& args) {
     const double expected =
         expectation.failed ? w.slo_seconds : expectation.makespan;
     serving::ReconfigOptions ropts;
+    ropts.scheduler.configurator.slo = slo_bound_options(args);
+    ropts.scheduler.configurator.cost_bound = cost_bound_option(args);
     ropts.min_outcomes_between_reconfigs =
         static_cast<std::size_t>(option_number(args, "reconfig-cooldown", 50));
     // Attainment windows that outlast the trigger cadence never fill; match
@@ -538,6 +585,7 @@ int cmd_compare(const Args& args) {
   const platform::ConfigGrid grid;
   const platform::Profiler profiler(ex);
   const search::EvaluatorOptions eval_opts = search_evaluator_options(args);
+  const search::SloBound slo_bound = slo_bound_options(args);
 
   std::vector<report::MethodRun> runs;
   std::vector<report::ValidationRun> validations;
@@ -558,6 +606,8 @@ int cmd_compare(const Args& args) {
     core::SchedulerOptions sched_opts;
     sched_opts.evaluator_threads = eval_opts.threads;
     sched_opts.probe_cache = eval_opts.probe_cache;
+    sched_opts.configurator.slo = slo_bound;
+    sched_opts.configurator.cost_bound = cost_bound_option(args);
     const core::GraphCentricScheduler scheduler(ex, grid, sched_opts);
     record("AARC", scheduler.schedule(w.workflow, w.slo_seconds).result);
   }
@@ -565,11 +615,14 @@ int cmd_compare(const Args& args) {
     search::Evaluator ev(w.workflow, ex, w.slo_seconds, 1.0, 3101, eval_opts);
     baselines::BoOptions bo;
     bo.batch_size = eval_opts.threads;  // one acquisition batch per worker set
+    bo.slo = slo_bound;
     record("BO", baselines::bayesian_optimization(ev, grid, bo));
   }
   {
     search::Evaluator ev(w.workflow, ex, w.slo_seconds, 1.0, 3202, eval_opts);
-    record("MAFF", baselines::maff_gradient_descent(ev, grid));
+    baselines::MaffOptions maff;
+    maff.slo = slo_bound;
+    record("MAFF", baselines::maff_gradient_descent(ev, grid, maff));
   }
   {
     search::Evaluator ev(w.workflow, ex, w.slo_seconds, 1.0, 3303, eval_opts);
@@ -596,6 +649,8 @@ int cmd_compare(const Args& args) {
 scenario::GeneratorOptions generator_options(const Args& args) {
   scenario::GeneratorOptions gen;
   gen.chaos_probability = option_number(args, "chaos-prob", gen.chaos_probability);
+  gen.percentile_slo_probability =
+      option_number(args, "percentile-slo", gen.percentile_slo_probability);
   gen.max_depth = static_cast<std::size_t>(
       option_number(args, "max-depth", static_cast<double>(gen.max_depth)));
   gen.max_width = static_cast<std::size_t>(
@@ -783,6 +838,8 @@ int usage() {
                "  --seed K             corpus seed (default 42); same seed =>\n"
                "                       byte-identical scenarios and sweep results\n"
                "  --chaos-prob P       probability of a chaos overlay (default 0)\n"
+               "  --percentile-slo P   probability a scenario draws a percentile\n"
+               "                       SLO bound (p50/p95 with confidence; default 0)\n"
                "  --max-depth/-width N taxonomy size bounds\n"
                "  --bo-samples N       sweep: BO billed-sample budget (default 60)\n"
                "  --maff-samples N     sweep: MAFF billed-sample budget (default 60)\n"
@@ -794,6 +851,14 @@ int usage() {
                "  --threads N          evaluator worker threads; results are\n"
                "                       identical for every value (default 1)\n"
                "  --probe-cache on|off memoize repeated probe configurations\n"
+               "probabilistic SLO (schedule | compare | serve; see doc/SLO.md):\n"
+               "  --slo-metric M       mean (default) | p50 | p95 | p99\n"
+               "  --slo-confidence C   verdict confidence in (0, 1]; a non-default\n"
+               "                       bound probes every accept/revert decision\n"
+               "                       min_replicates() times (default 1)\n"
+               "  --cost-bound B       dual mode: minimize latency subject to\n"
+               "                       total cost <= B under the same bound\n"
+               "                       (0 = off)\n"
                "output:\n"
                "  --out file           export | schedule: write instead of print;\n"
                "                       sweep: write the aggregate JSON report\n"
@@ -805,6 +870,8 @@ int usage() {
                "  --trace-out file     record spans; write Chrome trace_event JSON\n"
                "                       (open in ui.perfetto.dev), or JSONL when\n"
                "                       the file ends in .jsonl\n"
+               "misc:\n"
+               "  --help               print this message and exit\n"
                "workload: chatbot | ml_pipeline | video_analysis | data_analytics |\n"
                "          path/to/workload.json\n";
   return 2;
@@ -828,6 +895,10 @@ int run_command(const Args& args) {
 int main(int argc, char** argv) {
   try {
     const Args args = parse_args(argc, argv);
+    if (args.options.count("help") != 0) {
+      usage();
+      return 0;
+    }
     // sweep runs on generated scenarios; it takes no workload positional.
     const bool needs_workload = args.command != "sweep";
     if (args.command.empty() || (needs_workload && args.workload.empty())) {

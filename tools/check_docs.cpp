@@ -1,6 +1,6 @@
 // check_docs — documentation consistency checker, wired as a CTest.
 //
-// Two guarantees, both against the code as built:
+// Four guarantees, all against the code as built:
 //
 //   1. Metric catalog <-> doc/OBSERVABILITY.md agree in both directions.
 //      Every metric row in the doc's catalog tables (a table row whose kind
@@ -12,6 +12,18 @@
 //   2. Relative markdown links resolve.  Every [text](path.md) style link in
 //      README.md, DESIGN.md, ROADMAP.md and doc/*.md must point at a file
 //      that exists (anchors are stripped; absolute URLs are ignored).
+//
+//   3. Bench names are real.  Every `bench_*` token in the documentation set
+//      (plus EXPERIMENTS.md) must name a bench/<token>.cpp target; a
+//      `<target>_smoke` token is the target's CTest and counts when the
+//      target exists.  Tokens immediately followed by '.' are file names
+//      (bench_json.h, bench_output.txt), not target claims.
+//
+//   4. Documented flags exist.  Every `--flag` token in the documentation
+//      set must appear in the CLI source (tools/aarc_cli.cpp) or a bench
+//      source — as the literal `--flag` or as the option key `"flag"` —
+//      modulo a short allowlist of external tools' flags quoted in shell
+//      examples (git describe --always --dirty, ctest --output-on-failure).
 //
 // Usage: check_docs <repo_root>
 #include <cctype>
@@ -109,6 +121,50 @@ std::vector<std::string> relative_links(const std::string& doc) {
   return out;
 }
 
+bool word_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+}
+
+/// `bench_*` target claims: maximal [a-z0-9_] tokens starting with "bench_",
+/// not embedded in a longer identifier and not followed by '.' (file names).
+std::set<std::string> bench_tokens(const std::string& doc) {
+  std::set<std::string> out;
+  const std::string prefix = "bench_";
+  for (std::size_t i = doc.find(prefix); i != std::string::npos;
+       i = doc.find(prefix, i + 1)) {
+    if (i > 0 && word_char(doc[i - 1])) continue;
+    std::size_t end = i + prefix.size();
+    while (end < doc.size() && word_char(doc[end])) ++end;
+    if (end == i + prefix.size()) continue;  // bare "bench_"
+    if (end < doc.size() && doc[end] == '.') continue;  // a file name
+    out.insert(doc.substr(i, end - i));
+  }
+  return out;
+}
+
+/// `--flag` claims: "--" followed by [a-z][a-z0-9-]*, not part of a longer
+/// dash run (markdown rules like "----" never match).
+std::set<std::string> flag_tokens(const std::string& doc) {
+  std::set<std::string> out;
+  for (std::size_t i = 0; i + 2 < doc.size(); ++i) {
+    if (doc[i] != '-' || doc[i + 1] != '-') continue;
+    if (i > 0 && doc[i - 1] == '-') continue;
+    const char first = doc[i + 2];
+    if (first < 'a' || first > 'z') continue;
+    std::size_t end = i + 2;
+    while (end < doc.size() &&
+           ((doc[end] >= 'a' && doc[end] <= 'z') ||
+            (doc[end] >= '0' && doc[end] <= '9') || doc[end] == '-')) {
+      ++end;
+    }
+    std::string name = doc.substr(i + 2, end - i - 2);
+    while (!name.empty() && name.back() == '-') name.pop_back();  // "--foo--"
+    if (!name.empty()) out.insert(name);
+    i = end;
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -156,6 +212,49 @@ int main(int argc, char** argv) {
           fail(path.lexically_relative(root).string() + " links to " + target +
                ", which does not exist");
         }
+      }
+    }
+
+    // --- 3 & 4. bench-name and flag claims across the documentation set.
+    std::set<std::string> bench_targets;
+    for (const auto& entry : fs::directory_iterator(root / "bench")) {
+      if (entry.path().extension() == ".cpp") {
+        bench_targets.insert(entry.path().stem().string());
+      }
+    }
+    std::string flag_sources = read_file(root / "tools" / "aarc_cli.cpp");
+    for (const auto& entry : fs::directory_iterator(root / "bench")) {
+      if (entry.path().extension() == ".cpp") flag_sources += read_file(entry.path());
+    }
+    const std::set<std::string> external_flags = {
+        "always", "dirty",               // git describe
+        "build", "test-dir", "output-on-failure",  // cmake / ctest
+    };
+
+    std::vector<fs::path> claim_docs = docs;
+    claim_docs.push_back(root / "EXPERIMENTS.md");
+    for (const auto& path : claim_docs) {
+      if (!fs::exists(path)) continue;
+      const std::string text = read_file(path);
+      const std::string where = path.lexically_relative(root).string();
+      for (const std::string& token : bench_tokens(text)) {
+        std::string target = token;
+        const std::string smoke = "_smoke";
+        if (target.size() > smoke.size() &&
+            target.compare(target.size() - smoke.size(), smoke.size(), smoke) == 0) {
+          target.resize(target.size() - smoke.size());
+        }
+        if (bench_targets.count(target) == 0) {
+          fail(where + " names `" + token +
+               "`, which matches no target under bench/");
+        }
+      }
+      for (const std::string& flag : flag_tokens(text)) {
+        if (external_flags.count(flag) != 0) continue;
+        if (flag_sources.find("--" + flag) != std::string::npos) continue;
+        if (flag_sources.find("\"" + flag + "\"") != std::string::npos) continue;
+        fail(where + " documents `--" + flag +
+             "`, which no CLI or bench source accepts");
       }
     }
   } catch (const std::exception& e) {
